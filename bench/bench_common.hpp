@@ -1,0 +1,27 @@
+// Shared helpers for the benchmark harness.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "pragma/amr/rm3d.hpp"
+#include "pragma/util/table.hpp"
+
+namespace pragma::bench {
+
+/// Print the standard header every table/figure bench starts with.
+inline void banner(const std::string& id, const std::string& title) {
+  std::cout << "================================================================\n"
+            << id << " — " << title << "\n"
+            << "================================================================\n";
+}
+
+/// The canonical RM3D trace used by the paper's experiments: base grid
+/// 128x32x32, 3 levels of factor-2 space-time refinement, regridding every
+/// 4 steps, 800 coarse steps (>200 snapshots).
+inline amr::AdaptationTrace canonical_rm3d_trace() {
+  amr::Rm3dEmulator emulator;  // defaults match the paper's configuration
+  return emulator.run();
+}
+
+}  // namespace pragma::bench

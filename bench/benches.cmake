@@ -1,0 +1,33 @@
+# Benchmark harness: one binary per table/figure of the paper, plus
+# google-benchmark micro-benchmarks.  Targets are declared from the top
+# level so that ${CMAKE_BINARY_DIR}/bench contains only executables and
+# `for b in build/bench/*; do $b; done` runs the whole harness.
+
+function(pragma_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE pragma::all pragma_warnings)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+pragma_bench(table1_pf_accuracy)
+pragma_bench(table2_octant_recommendations)
+pragma_bench(table3_rm3d_characterization)
+pragma_bench(table4_partitioner_performance)
+pragma_bench(table5_system_sensitive)
+pragma_bench(fig1_catalina_flow)
+pragma_bench(fig2_octant_map)
+pragma_bench(fig3_rm3d_profiles)
+pragma_bench(fig4_capacity_pipeline)
+pragma_bench(ablation_sensitivity)
+
+function(pragma_micro_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE pragma::all benchmark::benchmark
+    pragma_warnings)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+pragma_micro_bench(micro_partitioners)
+pragma_micro_bench(micro_infra)

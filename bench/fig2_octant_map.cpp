@@ -1,0 +1,94 @@
+// Figure 2 — "The octant approach for characterizing application state."
+//
+// Two parts:
+//  (1) the octant cube itself: the three binary axes, the octant labels,
+//      and the Table 2 partitioner each octant maps to;
+//  (2) a classification sweep: synthetic traces with dialed-in scatter
+//      (number of refined regions), dynamics (fraction of regions moving
+//      per snapshot) and communication character (region size) are run
+//      through the classifier, and the resulting octant labels are printed
+//      as a map — demonstrating that the classifier recovers the intended
+//      state along each axis.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pragma/amr/synthetic.hpp"
+#include "pragma/octant/octant.hpp"
+
+using namespace pragma;
+
+namespace {
+
+octant::Octant classify_synthetic(int box_count, double move_fraction,
+                                  int box_edge) {
+  amr::SyntheticConfig config;
+  config.box_count = box_count;
+  config.box_edge = box_edge;
+  config.move_fraction = move_fraction;
+  config.seed = 42;
+  amr::SyntheticAppGenerator generator(config);
+  const amr::AdaptationTrace trace = generator.generate(8);
+  const octant::OctantClassifier classifier;
+  // Classify the last snapshot (dynamics window warmed up).
+  return classifier.classify(trace, trace.size() - 1).octant();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 2", "The octant approach for characterizing application state");
+
+  std::cout << "\nOctant cube (our canonical numbering; see octant.hpp):\n\n";
+  util::TextTable cube({"Octant", "Adaptation", "Dynamics", "Dominance",
+                        "Table 2 partitioners"});
+  cube.set_alignment(0, util::Align::kLeft);
+  cube.set_alignment(1, util::Align::kLeft);
+  cube.set_alignment(2, util::Align::kLeft);
+  cube.set_alignment(3, util::Align::kLeft);
+  cube.set_alignment(4, util::Align::kLeft);
+  for (int o = 1; o <= 8; ++o) {
+    const auto oct = static_cast<octant::Octant>(o);
+    const octant::OctantBits bits = octant::bits_of(oct);
+    std::string partitioners;
+    for (const std::string& name : octant::recommended_partitioners(oct)) {
+      if (!partitioners.empty()) partitioners += ", ";
+      partitioners += name;
+    }
+    cube.add_row({octant::to_string(oct),
+                  bits.scattered ? "scattered" : "localized",
+                  bits.dynamic ? "higher" : "lower",
+                  bits.communication ? "communication" : "computation",
+                  partitioners});
+  }
+  std::cout << cube.render();
+
+  // Classification sweep.
+  const int box_counts[] = {1, 2, 4, 8, 16, 32};
+  const double moves[] = {0.0, 0.05, 0.15, 0.3, 0.6, 1.0};
+  for (const int edge : {16, 4}) {
+    std::cout << "\nClassified octant map, region edge = " << edge
+              << " (level-1 cells) — "
+              << (edge <= 4
+                      ? "computation-leaning regime (sparse refinement: the "
+                        "base-grid work dominates)"
+                      : "communication-leaning regime (bulk deep refinement: "
+                        "substep-weighted ghost traffic dominates)")
+              << ":\n  rows: region count (scatter axis, top = localized)\n"
+              << "  cols: move fraction (dynamics axis, left = static)\n\n";
+    util::TextTable map({"#regions \\ move", "0.00", "0.05", "0.15", "0.30",
+                         "0.60", "1.00"});
+    for (const int count : box_counts) {
+      std::vector<std::string> row{util::cell(count)};
+      for (const double move : moves)
+        row.push_back(octant::to_string(classify_synthetic(count, move, edge)));
+      map.add_row(std::move(row));
+    }
+    std::cout << map.render();
+  }
+  std::cout
+      << "\nExpected recovery: region count drives the localized<->scattered\n"
+      << "bit; move fraction drives the dynamics bit; the share of deeply\n"
+      << "refined (multi-substep) volume drives the computation<->\n"
+      << "communication bit.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Micro-benchmarks: partitioner throughput and scaling.
+//
+// Measures the partitioning algorithms themselves (the "partitioning time"
+// component of the PAC metric) across grain sizes and processor counts,
+// plus the Berger–Rigoutsos clusterer and the work-grid rasterization.
+#include <benchmark/benchmark.h>
+
+#include "pragma/amr/rm3d.hpp"
+#include "pragma/amr/synthetic.hpp"
+#include "pragma/partition/metrics.hpp"
+
+using namespace pragma;
+
+namespace {
+
+const amr::GridHierarchy& sample_hierarchy() {
+  static const amr::GridHierarchy hierarchy = [] {
+    amr::Rm3dConfig config;
+    config.coarse_steps = 200;
+    amr::Rm3dEmulator emulator(config);
+    for (int s = 0; s < 160; ++s) emulator.advance();
+    return emulator.hierarchy();
+  }();
+  return hierarchy;
+}
+
+void BM_Partition(benchmark::State& state, const char* name) {
+  const auto partitioner = partition::make_partitioner(name);
+  const partition::WorkGrid grid(sample_hierarchy(),
+                                 partitioner->preferred_grain(),
+                                 partitioner->curve());
+  const auto targets =
+      partition::equal_targets(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partitioner->partition(grid, targets));
+  }
+  state.SetLabel(std::string(name) + " cells=" +
+                 std::to_string(grid.cell_count()));
+}
+
+void BM_WorkGridBuild(benchmark::State& state) {
+  const int grain = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        partition::WorkGrid(sample_hierarchy(), grain));
+  }
+}
+
+void BM_PacMetrics(benchmark::State& state) {
+  const auto partitioner = partition::make_partitioner("G-MISP+SP");
+  const partition::WorkGrid grid(sample_hierarchy(),
+                                 partitioner->preferred_grain(),
+                                 partitioner->curve());
+  const auto targets = partition::equal_targets(64);
+  const partition::PartitionResult result =
+      partitioner->partition(grid, targets);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        partition::evaluate_pac(grid, result, targets));
+  }
+}
+
+void BM_Regrid(benchmark::State& state) {
+  amr::Rm3dConfig config;
+  config.coarse_steps = 200;
+  amr::Rm3dEmulator emulator(config);
+  for (int s = 0; s < 120; ++s) emulator.advance();
+  for (auto _ : state) {
+    emulator.regrid();
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Partition, sfc, "SFC")->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_Partition, isp, "ISP")->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_Partition, gmisp, "G-MISP")->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_Partition, gmisp_sp, "G-MISP+SP")
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_CAPTURE(BM_Partition, pbd_isp, "pBD-ISP")->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_Partition, sp_isp, "SP-ISP")->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_WorkGridBuild)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_PacMetrics);
+BENCHMARK(BM_Regrid);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Table 1 — "Accuracy of the Performance Functions."
+//
+// Reproduces the Section 3.2 experiment: two PCs connected through an
+// Ethernet switch run a matrix-multiply-and-forward loop; each component's
+// task time is measured as a function of the data size D, a Performance
+// Function is fitted per component, the end-to-end PF is their composition
+// (Eq. 2), and the prediction is validated against fresh end-to-end
+// measurements at D = 200..1000 bytes.  The paper reports errors of
+// roughly 0.5–5%.
+//
+// Both fitting methods are exercised: the paper's neural network and the
+// closed-form least-squares fit of the poly+exp PF form (Eq. 1).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pragma/perf/netsys.hpp"
+#include "pragma/util/stats.hpp"
+#include "pragma/util/table.hpp"
+
+namespace {
+
+void run_method(pragma::perf::FitMethod method) {
+  using namespace pragma;
+
+  perf::Table1Options options;
+  options.method = method;
+  const perf::Table1Result result = perf::run_table1_experiment({}, options);
+
+  util::TextTable table({"Data Size (bytes)", "PF_total (predicted s)",
+                         "Measured end-to-end Delay (s)", "% Error"});
+  util::Accumulator errors;
+  for (const perf::Table1Row& row : result.rows) {
+    table.add_row({util::cell(static_cast<long long>(row.data_bytes)),
+                   util::sci_cell(row.predicted_s),
+                   util::sci_cell(row.measured_s),
+                   util::cell(row.percent_error, 3)});
+    errors.add(row.percent_error);
+  }
+  std::cout << "\nFit method: " << perf::to_string(method) << "\n"
+            << table.render() << "error range: " << util::cell(errors.min(), 3)
+            << "% .. " << util::cell(errors.max(), 3)
+            << "%  (paper: ~0.5% .. 5.2%)\n";
+}
+
+}  // namespace
+
+int main() {
+  pragma::bench::banner("Table 1", "Accuracy of the Performance Functions");
+  std::cout
+      << "System: PC1 -> switch -> PC2 matrix-multiply/forward loop.\n"
+      << "Procedure: measure per-component task time over training sizes,\n"
+      << "fit a PF per component, compose end-to-end (Eq. 2), validate at\n"
+      << "the paper's data sizes against fresh measurements.\n";
+  run_method(pragma::perf::FitMethod::kLeastSquares);
+  run_method(pragma::perf::FitMethod::kNeuralNetwork);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Table 3 — "Characterizing RM3D application run-time state for
+// partitioning behavior."
+//
+// The paper samples the RM3D adaptation trace at coarse steps 0, 5, 25,
+// 106, 137, 162, 174 and 201 and lists, for each, the octant state and the
+// partitioner the adaptive strategy selects.  This bench classifies the
+// same steps of our emulator trace and prints both our observation and the
+// paper's row.  The emulator is a structural surrogate, so the octant at a
+// given step need not coincide with the paper's — what must hold is that
+// the application migrates through multiple octants over the run and that
+// the selected partitioner follows Table 2.
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "bench_common.hpp"
+#include "pragma/core/meta_partitioner.hpp"
+#include "pragma/policy/builtin.hpp"
+
+using namespace pragma;
+
+int main() {
+  bench::banner("Table 3", "RM3D run-time octant state and selected partitioner");
+
+  const amr::AdaptationTrace trace = bench::canonical_rm3d_trace();
+  const policy::PolicyBase policies = policy::standard_policy_base();
+  core::MetaPartitioner meta(policies);
+  for (std::size_t i = 0; i < trace.size(); ++i) meta.select(trace, i);
+
+  struct PaperRow {
+    int step;
+    const char* octant;
+    const char* partitioner;
+  };
+  const PaperRow paper_rows[] = {
+      {0, "IV", "G-MISP+SP"},  {5, "VII", "G-MISP+SP"},
+      {25, "I", "pBD-ISP"},    {106, "VI", "pBD-ISP"},
+      {137, "VIII", "G-MISP+SP"}, {162, "II", "pBD-ISP"},
+      {174, "V", "pBD-ISP"},   {201, "III", "G-MISP+SP"},
+  };
+
+  util::TextTable table({"Time-step", "Octant (ours)", "Partitioner (ours)",
+                         "Octant (paper)", "Partitioner (paper)",
+                         "scatter", "dynamics", "comm/comp"});
+  for (const PaperRow& row : paper_rows) {
+    const std::size_t i = trace.index_for_step(row.step);
+    const core::Selection& sel = meta.history().at(i);
+    table.add_row({util::cell(row.step),
+                   octant::to_string(sel.state.octant()), sel.partitioner,
+                   row.octant, row.partitioner,
+                   util::cell(sel.state.scatter_score, 2),
+                   util::cell(sel.state.dynamics_score, 2),
+                   util::cell(sel.state.comm_score, 2)});
+  }
+  std::cout << table.render();
+
+  // Octant coverage over the whole trace.
+  std::map<std::string, int> coverage;
+  for (const core::Selection& sel : meta.history())
+    ++coverage[octant::to_string(sel.state.octant())];
+  std::cout << "\nOctant coverage over all " << trace.size()
+            << " snapshots: ";
+  bool first = true;
+  for (const auto& [oct, count] : coverage) {
+    if (!first) std::cout << ", ";
+    std::cout << oct << " x" << count;
+    first = false;
+  }
+  std::cout << "\nDistinct octants visited: " << coverage.size()
+            << " (paper's sampled rows visit 8)\n"
+            << "Partitioner switches along the trace: " << meta.switch_count()
+            << "\n";
+
+  // "Applications may start in one octant, then, as solution progresses,
+  //  migrate to others": the octant transition matrix of the trace.
+  const octant::TransitionMatrix matrix =
+      octant::transition_matrix(meta.classifier(), trace);
+  std::cout << "\nOctant transition matrix (rows: from, cols: to):\n";
+  util::TextTable transitions({"from \\ to", "I", "II", "III", "IV", "V",
+                               "VI", "VII", "VIII"});
+  for (int from = 0; from < 8; ++from) {
+    std::vector<std::string> row{
+        octant::to_string(static_cast<octant::Octant>(from + 1))};
+    for (int to = 0; to < 8; ++to)
+      row.push_back(matrix[from][to] > 0 ? util::cell(matrix[from][to])
+                                         : ".");
+    transitions.add_row(std::move(row));
+  }
+  std::cout << transitions.render();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Table 5 — "Improvement due to system-sensitive adaptive partitioning."
+//
+// Reproduces the Section 4.6 experiment: the RM3D kernel (3 levels of
+// factor-2 refinement on a 128x32x32 base mesh) runs on a heterogeneous
+// Linux-cluster model with a synthetic background-load generator and an
+// NWS-like resource monitor.  Relative node capacities are computed once
+// before the run (weighted normalized CPU/memory/bandwidth, Fig. 4) and
+// the capacity-proportional partitioner is compared against the default
+// equal-distribution scheme at 4, 8, 16 and 32 nodes.
+//
+// The paper reports improvements growing with the node count, reaching
+// about 18% at 32 nodes.  An ablation sweep over the capacity weights is
+// appended (a design choice DESIGN.md calls out).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pragma/core/system_sensitive.hpp"
+
+using namespace pragma;
+
+int main() {
+  bench::banner("Table 5", "Improvement due to system-sensitive adaptive partitioning");
+
+  // A shorter RM3D run keeps the four cluster sizes affordable; the
+  // improvement measurement is insensitive to trace length.
+  amr::Rm3dConfig app;
+  app.coarse_steps = 200;
+  const amr::AdaptationTrace trace = amr::Rm3dEmulator(app).run();
+
+  util::TextTable table({"Number of Processors", "Default run-time (s)",
+                         "Sensitive run-time (s)", "Improvement (%)",
+                         "eff. imbalance default", "eff. imbalance sensitive"});
+  for (std::size_t nprocs : {4u, 8u, 16u, 32u}) {
+    core::SystemSensitiveConfig config;
+    config.nprocs = nprocs;
+    const core::SystemSensitiveResult result =
+        core::run_system_sensitive_experiment(trace, config);
+    table.add_row({util::cell(static_cast<long long>(nprocs)),
+                   util::cell(result.default_runtime_s, 1),
+                   util::cell(result.sensitive_runtime_s, 1),
+                   util::cell(result.improvement * 100.0, 1),
+                   util::percent_cell(result.default_imbalance),
+                   util::percent_cell(result.sensitive_imbalance)});
+  }
+  std::cout << table.render()
+            << "\nPaper: improvement grows with processor count, ~18% at 32"
+               " nodes;\ncapacities computed once before the start, as here.\n";
+
+  // Ablation: sensitivity of the 32-node improvement to the capacity
+  // weights (Fig. 4's application-dependent "Weights" input).
+  std::cout << "\nAblation — capacity-weight mix at 32 nodes:\n";
+  util::TextTable ablation({"w_cpu", "w_mem", "w_bw", "Improvement (%)"});
+  const double mixes[][3] = {
+      {1.0, 0.0, 0.0}, {0.8, 0.1, 0.1}, {0.6, 0.2, 0.2}, {0.34, 0.33, 0.33}};
+  for (const auto& mix : mixes) {
+    core::SystemSensitiveConfig config;
+    config.nprocs = 32;
+    config.weights = monitor::CapacityWeights{mix[0], mix[1], mix[2]};
+    const core::SystemSensitiveResult result =
+        core::run_system_sensitive_experiment(trace, config);
+    ablation.add_row({util::cell(mix[0], 2), util::cell(mix[1], 2),
+                      util::cell(mix[2], 2),
+                      util::cell(result.improvement * 100.0, 1)});
+  }
+  std::cout << ablation.render()
+            << "\n(The capacity signal is CPU-dominated for the compute-bound"
+               " RM3D kernel.)\n";
+  return 0;
+}

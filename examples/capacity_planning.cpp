@@ -1,0 +1,85 @@
+// Capacity planning with application-level Performance Functions
+// (Section 3.2, step 3): measure the application at a few processor
+// counts, fit the composed scalability PF, project the performance of
+// unseen configurations, and validate the projection against actual
+// (simulated) runs — then recommend the cheapest near-optimal
+// configuration.
+//
+//   $ ./capacity_planning [--max-procs 128]
+#include <iostream>
+
+#include "pragma/amr/rm3d.hpp"
+#include "pragma/core/trace_runner.hpp"
+#include "pragma/perf/app_model.hpp"
+#include "pragma/util/cli.hpp"
+#include "pragma/util/table.hpp"
+
+using namespace pragma;
+
+namespace {
+
+double measured_step_time(const amr::AdaptationTrace& trace,
+                          std::size_t procs) {
+  const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(procs);
+  core::TraceRunConfig config;
+  config.nprocs = procs;
+  core::TraceRunner runner(trace, cluster, config);
+  const core::RunSummary run = runner.run_static("G-MISP+SP");
+  const auto steps = static_cast<double>(
+      trace.at(trace.size() - 1).step - trace.at(0).step);
+  return (run.compute_s + run.comm_s) / steps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags("Project application performance across processor"
+                       " counts.");
+  flags.add_int("max-procs", 128, "largest configuration to consider");
+  flags.add_int("steps", 160, "coarse steps of the measured kernel");
+  if (!flags.parse(argc, argv)) return 0;
+
+  amr::Rm3dConfig app;
+  app.coarse_steps = static_cast<int>(flags.get_int("steps"));
+  const amr::AdaptationTrace trace = amr::Rm3dEmulator(app).run();
+
+  // Measure a handful of configurations ("experimental techniques to
+  // obtain the PF").
+  std::cout << "Measuring training configurations...\n";
+  std::vector<perf::AppSample> samples;
+  for (std::size_t p : {4u, 8u, 16u, 32u})
+    samples.push_back({p, measured_step_time(trace, p)});
+
+  const perf::ScalabilityPf pf = perf::ScalabilityPf::fit(samples);
+  std::cout << "Fitted PF coefficients (serial, parallel, surface, sync): ";
+  for (double c : pf.coefficients()) std::cout << util::cell(c, 5) << ' ';
+  std::cout << "\ntraining RMS relative error: "
+            << util::percent_cell(pf.training_error(), 2) << "\n\n";
+
+  // Validate the projection at held-out configurations.
+  util::TextTable table({"procs", "predicted step (s)", "measured step (s)",
+                         "error", "in training set?"});
+  for (std::size_t p : {4u, 8u, 16u, 24u, 32u, 48u, 64u}) {
+    const double predicted = pf.predict(p);
+    const double measured = measured_step_time(trace, p);
+    const bool trained = p == 4 || p == 8 || p == 16 || p == 32;
+    table.add_row({util::cell(static_cast<long long>(p)),
+                   util::cell(predicted, 4), util::cell(measured, 4),
+                   util::percent_cell(
+                       std::abs(predicted - measured) / measured, 1),
+                   trained ? "yes" : "no"});
+  }
+  std::cout << table.render();
+
+  const auto max_procs =
+      static_cast<std::size_t>(flags.get_int("max-procs"));
+  const std::size_t recommended = pf.recommend_processors(max_procs, 0.05);
+  std::cout << "\nRecommended configuration: " << recommended
+            << " processors (smallest within 5% of the best predicted step"
+               " time up to "
+            << max_procs << ").\nPredicted speedup over 4 procs: "
+            << util::cell(pf.speedup(recommended, 4), 2)
+            << "x at parallel efficiency "
+            << util::percent_cell(pf.efficiency(recommended, 4)) << ".\n";
+  return 0;
+}

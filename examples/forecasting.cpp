@@ -1,0 +1,90 @@
+// Resource forecasting (Section 3.1): the NWS-style adaptive forecaster.
+//
+// Monitors a loaded cluster node, then compares the forecaster-ensemble
+// members and the adaptive selector on the resulting CPU-availability
+// series, and on three synthetic regimes (stationary noise, trend,
+// regime switches) that favor different members.
+//
+//   $ ./forecasting [--seconds 600]
+#include <iostream>
+
+#include "pragma/grid/loadgen.hpp"
+#include "pragma/monitor/resource_monitor.hpp"
+#include "pragma/util/cli.hpp"
+#include "pragma/util/table.hpp"
+
+using namespace pragma;
+
+namespace {
+
+void evaluate(const std::string& label, const std::vector<double>& series) {
+  std::cout << "\n" << label << " (" << series.size() << " samples):\n";
+  util::TextTable table({"forecaster", "one-step MAE"});
+  table.set_alignment(0, util::Align::kLeft);
+  std::vector<std::unique_ptr<monitor::Forecaster>> members;
+  members.push_back(std::make_unique<monitor::LastValueForecaster>());
+  members.push_back(std::make_unique<monitor::RunningMeanForecaster>());
+  members.push_back(std::make_unique<monitor::SlidingMeanForecaster>(8));
+  members.push_back(std::make_unique<monitor::SlidingMedianForecaster>(15));
+  members.push_back(std::make_unique<monitor::ExpSmoothingForecaster>(0.25));
+  members.push_back(std::make_unique<monitor::Ar1Forecaster>(32));
+  members.push_back(monitor::AdaptiveForecaster::standard());
+  double best = 1e300;
+  double adaptive = 0.0;
+  for (const auto& member : members) {
+    auto fresh = member->clone();
+    const double mae = monitor::evaluate_mae(*fresh, series);
+    if (member->name() == "adaptive") {
+      adaptive = mae;
+    } else {
+      best = std::min(best, mae);
+    }
+    table.add_row({fresh->name(), util::cell(mae, 5)});
+  }
+  std::cout << table.render() << "adaptive vs best member: "
+            << util::cell(adaptive / best, 3) << "x\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags("Forecaster ensemble evaluation.");
+  flags.add_int("seconds", 600, "simulated monitoring duration");
+  if (!flags.parse(argc, argv)) return 0;
+
+  // Real monitored series from the testbed.
+  sim::Simulator simulator;
+  util::Rng rng(5, 0);
+  grid::Cluster cluster = grid::ClusterBuilder::heterogeneous(4, rng);
+  grid::LoadGenerator loadgen(simulator, cluster, {}, util::Rng(5, 1));
+  monitor::ResourceMonitor nws(simulator, cluster, {}, util::Rng(5, 2));
+  loadgen.start();
+  nws.start();
+  simulator.run(static_cast<double>(flags.get_int("seconds")));
+  evaluate("Monitored CPU availability (node 0)",
+           nws.series(0, monitor::Resource::kCpu).values());
+
+  // Synthetic regimes.
+  util::Rng gen(123);
+  std::vector<double> stationary;
+  for (int i = 0; i < 400; ++i)
+    stationary.push_back(0.6 + gen.normal(0.0, 0.1));
+  evaluate("Synthetic: stationary noise (favors means/medians)", stationary);
+
+  std::vector<double> trend;
+  for (int i = 0; i < 400; ++i)
+    trend.push_back(0.2 + 0.0015 * i + gen.normal(0.0, 0.02));
+  evaluate("Synthetic: linear trend (favors AR(1)/last)", trend);
+
+  std::vector<double> regimes;
+  for (int i = 0; i < 400; ++i) {
+    const double level = (i / 80) % 2 == 0 ? 0.3 : 0.8;
+    regimes.push_back(level + gen.normal(0.0, 0.05));
+  }
+  evaluate("Synthetic: regime switches (favors fast trackers)", regimes);
+
+  std::cout << "\nThe adaptive selector stays near the best member in every"
+               " regime\nwithout knowing the regime in advance — the"
+               " property Pragma's\nproactive management relies on.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Hierarchical galaxy formation under adaptive runtime management.
+//
+// The paper's motivating applications include galaxy formation, where
+// "objects of progressively larger mass merge and collapse to form new
+// systems" — the adaptation pattern starts scattered and highly dynamic
+// (many small clumps) and ends localized and quiet (a few massive
+// systems), traversing the octant space in the opposite direction to the
+// shock-driven RM3D problem.  This example runs the merging emulator,
+// shows the octant migration, and compares the adaptive meta-partitioner
+// against the statics on the resulting trace.
+//
+//   $ ./galaxy_formation [--clumps 48] [--steps 400] [--procs 32]
+#include <iostream>
+
+#include "pragma/amr/galaxy.hpp"
+#include "pragma/core/trace_runner.hpp"
+#include "pragma/policy/builtin.hpp"
+#include "pragma/util/cli.hpp"
+#include "pragma/util/table.hpp"
+
+using namespace pragma;
+
+int main(int argc, char** argv) {
+  util::CliFlags flags("Adaptive management of a galaxy-formation run.");
+  flags.add_int("clumps", 48, "initial clump population");
+  flags.add_int("steps", 400, "coarse time-steps");
+  flags.add_int("procs", 32, "number of processors");
+  if (!flags.parse(argc, argv)) return 0;
+
+  amr::GalaxyConfig config;
+  config.clumps = static_cast<int>(flags.get_int("clumps"));
+  config.coarse_steps = static_cast<int>(flags.get_int("steps"));
+  amr::GalaxyEmulator emulator(config);
+  std::cout << "Simulating hierarchical merging of " << config.clumps
+            << " clumps over " << config.coarse_steps << " steps...\n";
+  const amr::AdaptationTrace trace = emulator.run();
+  std::cout << "Final population: " << emulator.clumps().size()
+            << " systems (total mass conserved at "
+            << util::cell(emulator.total_mass(), 2) << ").\n\n";
+
+  // Octant migration along the run.
+  const octant::OctantClassifier classifier;
+  std::cout << "Application state along the run:\n";
+  util::TextTable timeline({"step", "octant", "scatter", "dynamics",
+                            "refined boxes", "Table 2 choice"});
+  for (std::size_t i = 0; i < trace.size();
+       i += std::max<std::size_t>(1, trace.size() / 10)) {
+    const octant::OctantState state = classifier.classify(trace, i);
+    std::size_t boxes = 0;
+    const amr::GridHierarchy& h = trace.at(i).hierarchy;
+    for (int l = 1; l < h.num_levels(); ++l) boxes += h.level(l).box_count();
+    timeline.add_row({util::cell(trace.at(i).step),
+                      octant::to_string(state.octant()),
+                      util::cell(state.scatter_score, 2),
+                      util::cell(state.dynamics_score, 2),
+                      util::cell(boxes),
+                      octant::select_partitioner(state.octant())});
+  }
+  std::cout << timeline.render();
+
+  // Partitioning strategies on this trace.
+  const auto procs = static_cast<std::size_t>(flags.get_int("procs"));
+  const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(procs);
+  const policy::PolicyBase policies = policy::standard_policy_base();
+  core::TraceRunConfig run_config;
+  run_config.nprocs = procs;
+  core::TraceRunner runner(trace, cluster, run_config);
+
+  std::cout << "\nPartitioning strategies on the galaxy trace ("
+            << procs << " procs):\n";
+  util::TextTable results({"strategy", "run-time (s)", "mean imbalance",
+                           "switches"});
+  results.set_alignment(0, util::Align::kLeft);
+  for (const char* name : {"SFC", "G-MISP+SP", "pBD-ISP"}) {
+    const core::RunSummary run = runner.run_static(name);
+    results.add_row({run.label, util::cell(run.runtime_s, 2),
+                     util::percent_cell(run.mean_imbalance), "-"});
+  }
+  const core::RunSummary adaptive = runner.run_adaptive(policies);
+  results.add_row({adaptive.label, util::cell(adaptive.runtime_s, 2),
+                   util::percent_cell(adaptive.mean_imbalance),
+                   util::cell(adaptive.switches)});
+  std::cout << results.render()
+            << "\nThe same Table 2 policies manage both applications"
+               " unchanged — the\noctant abstraction is what makes the"
+               " meta-partitioner application-\nindependent.  (On this"
+               " lightly-refined trace the balance-oriented\nstatics are"
+               " competitive; the policy base is programmable precisely"
+               " so\nsuch application classes can install their own"
+               " rules.)\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Wide-area grid execution: why placement matters on a federation.
+//
+// The paper targets "widely distributed, highly heterogeneous and dynamic,
+// networked computational grids".  This example builds a two-site
+// federation joined by a slow WAN link, partitions an RM3D hierarchy with
+// the suite, and compares two placements of the resulting chunks onto
+// nodes: site-contiguous (consecutive SFC chunks land in the same site, so
+// almost all ghost traffic stays on the LANs) versus interleaved
+// (round-robin across sites, dragging every other ghost face across the
+// WAN).
+//
+//   $ ./grid_federation [--sites 2] [--nodes-per-site 16] [--wan-mbps 20]
+#include <iostream>
+#include <numeric>
+
+#include "pragma/amr/rm3d.hpp"
+#include "pragma/core/exec_model.hpp"
+#include "pragma/util/cli.hpp"
+#include "pragma/util/table.hpp"
+
+using namespace pragma;
+
+int main(int argc, char** argv) {
+  util::CliFlags flags("Placement on a federated (multi-site) grid.");
+  flags.add_int("sites", 2, "number of grid sites");
+  flags.add_int("nodes-per-site", 16, "nodes per site");
+  flags.add_double("wan-mbps", 20.0, "WAN bandwidth between sites");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const auto sites = static_cast<std::size_t>(flags.get_int("sites"));
+  const auto per_site =
+      static_cast<std::size_t>(flags.get_int("nodes-per-site"));
+  const std::size_t nprocs = sites * per_site;
+  grid::Cluster cluster = grid::ClusterBuilder::federated(
+      sites, per_site, 1.0, 1000.0, flags.get_double("wan-mbps"));
+
+  // An RM3D snapshot in the developed-mixing phase.
+  amr::Rm3dConfig app;
+  app.coarse_steps = 200;
+  amr::Rm3dEmulator emulator(app);
+  for (int s = 0; s < 160; ++s) emulator.advance();
+
+  const auto partitioner = partition::make_partitioner("G-MISP+SP");
+  const partition::WorkGrid grid(emulator.hierarchy(),
+                                 partitioner->preferred_grain(),
+                                 partitioner->curve());
+  const partition::PartitionResult result =
+      partitioner->partition(grid, partition::equal_targets(nprocs));
+
+  const core::ExecutionModel model;
+
+  // Placement A: chunk i -> node i (consecutive chunks share a site).
+  std::vector<int> contiguous_sites(nprocs);
+  for (std::size_t p = 0; p < nprocs; ++p)
+    contiguous_sites[p] = cluster.site_of(static_cast<grid::NodeId>(p));
+
+  // Placement B: chunk i -> site i mod sites (interleaved).
+  std::vector<int> interleaved_sites(nprocs);
+  for (std::size_t p = 0; p < nprocs; ++p)
+    interleaved_sites[p] = static_cast<int>(p % sites);
+
+  const core::MappedLoad contiguous =
+      model.map(grid, result.owners, &contiguous_sites);
+  const core::MappedLoad interleaved =
+      model.map(grid, result.owners, &interleaved_sites);
+
+  const core::StepTime t_contiguous = model.time_of(contiguous, cluster);
+  const core::StepTime t_interleaved = model.time_of(interleaved, cluster);
+
+  util::TextTable table({"placement", "WAN face cells/step",
+                         "step time (s)", "comm share"});
+  table.set_alignment(0, util::Align::kLeft);
+  table.add_row({"site-contiguous",
+                 util::cell(contiguous.wan_face_cells, 0),
+                 util::cell(t_contiguous.total_s, 3),
+                 util::percent_cell(
+                     t_contiguous.comm_s / t_contiguous.total_s)});
+  table.add_row({"interleaved across sites",
+                 util::cell(interleaved.wan_face_cells, 0),
+                 util::cell(t_interleaved.total_s, 3),
+                 util::percent_cell(
+                     t_interleaved.comm_s / t_interleaved.total_s)});
+  std::cout << table.render()
+            << "\nInterleaved placement is "
+            << util::cell(t_interleaved.total_s / t_contiguous.total_s, 2)
+            << "x slower: SFC-contiguous chunks already localize ghost"
+               " traffic,\nso keeping consecutive chunks within a site"
+               " keeps it off the WAN —\nthe placement rule a grid-aware"
+               " Pragma policy would encode.\n";
+  return 0;
+}

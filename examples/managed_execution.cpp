@@ -1,0 +1,79 @@
+// Fully managed execution (Section 4.7): the complete Pragma loop.
+//
+// An RM3D run on a simulated heterogeneous cluster with background load and
+// an injected node failure, managed end to end: the octant-driven
+// meta-partitioner repartitions at regrids, NWS-derived capacities weight
+// the distribution, component agents watch load/liveness sensors, and the
+// ADM's consolidated decisions trigger out-of-band repartitioning and
+// failure recovery.
+//
+//   $ ./managed_execution [--procs 16] [--steps 200] [--fail-at 60]
+#include <iostream>
+
+#include "pragma/core/managed_run.hpp"
+#include "pragma/util/cli.hpp"
+#include "pragma/util/table.hpp"
+
+using namespace pragma;
+
+int main(int argc, char** argv) {
+  util::CliFlags flags("Fully managed Pragma execution.");
+  flags.add_int("procs", 16, "number of processors");
+  flags.add_int("steps", 200, "coarse time-steps");
+  flags.add_double("fail-at", 60.0,
+                   "simulated seconds until node 3 fails (<0: no failure)");
+  flags.add_double("downtime", 120.0, "failure downtime in seconds");
+  flags.add_bool("proactive", false,
+                 "use capacity forecasts instead of current readings");
+  if (!flags.parse(argc, argv)) return 0;
+
+  core::ManagedRunConfig config;
+  config.app.coarse_steps = static_cast<int>(flags.get_int("steps"));
+  config.nprocs = static_cast<std::size_t>(flags.get_int("procs"));
+  config.capacity_spread = 0.35;
+  config.with_background_load = true;
+  config.system_sensitive = true;
+  config.proactive = flags.get_bool("proactive");
+
+  core::ManagedRun managed(config);
+  if (flags.get_double("fail-at") >= 0.0)
+    managed.schedule_failure(flags.get_double("fail-at"), 3,
+                             flags.get_double("downtime"));
+
+  std::cout << "Running " << config.app.coarse_steps
+            << " managed coarse steps on " << config.nprocs
+            << " heterogeneous nodes"
+            << (config.proactive ? " (proactive capacities)" : "") << "...\n";
+  const core::ManagedRunReport report = managed.run();
+
+  util::TextTable table({"metric", "value"});
+  table.set_alignment(0, util::Align::kLeft);
+  table.add_row({"simulated execution time (s)",
+                 util::cell(report.total_time_s, 1)});
+  table.add_row({"regrids", util::cell(report.regrids)});
+  table.add_row({"regrid repartitions", util::cell(report.repartitions)});
+  table.add_row({"agent threshold events", util::cell(report.agent_events)});
+  table.add_row({"ADM decisions", util::cell(report.adm_decisions)});
+  table.add_row({"event-triggered repartitions",
+                 util::cell(report.event_repartitions)});
+  table.add_row({"failure-driven migrations", util::cell(report.migrations)});
+  table.add_row({"partitioner switches",
+                 util::cell(report.partitioner_switches)});
+  std::cout << table.render();
+
+  std::cout << "\nTimeline excerpt (every 10th regrid):\n";
+  util::TextTable timeline({"step", "octant", "partitioner", "live nodes",
+                            "imbalance", "step time (s)"});
+  for (std::size_t i = 0; i < report.records.size(); i += 10) {
+    const core::ManagedStepRecord& r = report.records[i];
+    timeline.add_row({util::cell(r.step), r.octant, r.partitioner,
+                      util::cell(r.live_nodes),
+                      util::percent_cell(r.imbalance),
+                      util::cell(r.step_time_s, 3)});
+  }
+  std::cout << timeline.render()
+            << "\nWatch 'live nodes' drop when the failure hits and the"
+               " octant/partitioner\ncolumn react as the run passes through"
+               " its phases.\n";
+  return 0;
+}

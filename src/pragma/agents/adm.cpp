@@ -1,0 +1,102 @@
+#include "pragma/agents/adm.hpp"
+
+#include <utility>
+
+#include "pragma/util/logging.hpp"
+
+namespace pragma::agents {
+
+Adm::Adm(sim::Simulator& simulator, MessageCenter& center,
+         const policy::PolicyBase& policies, AdmConfig config)
+    : simulator_(simulator),
+      center_(center),
+      policies_(policies),
+      config_(std::move(config)) {
+  center_.register_port(config_.port,
+                        [this](const Message& m) { on_event(m); });
+  center_.subscribe(config_.event_topic, config_.port);
+}
+
+void Adm::manage(const PortId& agent_port) { managed_.push_back(agent_port); }
+
+void Adm::set_context(policy::AttributeSet context) {
+  context_ = std::move(context);
+}
+
+void Adm::set_directive_hook(DirectiveHook hook) { hook_ = std::move(hook); }
+
+void Adm::on_event(const Message& message) {
+  pending_[message.type].push_back(message);
+  if (!window_open_) {
+    window_open_ = true;
+    simulator_.schedule(config_.consolidation_window_s,
+                        [this] { consolidate(); });
+  }
+}
+
+void Adm::consolidate() {
+  window_open_ = false;
+  auto events = std::exchange(pending_, {});
+
+  for (auto& [type, messages] : events) {
+    // Build the consolidated policy query: the event type, how many agents
+    // reported it, the worst reported value, plus the static context.
+    policy::AttributeSet query = context_;
+    query["event"] = policy::Value{type};
+    query["count"] = policy::Value{static_cast<double>(messages.size())};
+    double worst = 0.0;
+    for (const Message& m : messages) {
+      const auto it = m.payload.find("value");
+      if (it == m.payload.end()) continue;
+      if (const auto* v = std::get_if<double>(&it->second))
+        worst = std::max(worst, *v);
+    }
+    // Reflect the triggering sensor as a named attribute so rules like
+    // "if load >= 0.8" match directly.
+    if (!messages.empty()) {
+      const auto it = messages.front().payload.find("sensor");
+      if (it != messages.front().payload.end())
+        query[policy::to_string(it->second)] = policy::Value{worst};
+    }
+
+    // Require a substantially confirmed match: rules whose conditions were
+    // not actually present in the consolidated state must not drive
+    // directives, regardless of their priority.  The confirmation check
+    // therefore uses the raw (priority-free) match score.
+    const policy::Policy* confirmed = nullptr;
+    for (const policy::Match& match : policies_.query(query)) {
+      if (match.policy->match(query) >= 0.6) {
+        confirmed = match.policy;
+        break;
+      }
+    }
+    if (confirmed == nullptr) continue;
+    const policy::Policy& fired = *confirmed;
+    const auto action_it = fired.action.find("action");
+    const std::string action = action_it != fired.action.end()
+                                   ? policy::to_string(action_it->second)
+                                   : type;
+
+    // Determine recipients: the hook may narrow them (e.g. only the
+    // overloaded component migrates); default is all managed agents.
+    std::vector<PortId> recipients;
+    if (hook_) recipients = hook_(action, fired.action);
+    if (recipients.empty()) recipients = managed_;
+
+    for (const PortId& port : recipients) {
+      Message directive;
+      directive.from = config_.port;
+      directive.to = port;
+      directive.type = action;
+      directive.payload = fired.action;
+      center_.send(std::move(directive));
+    }
+
+    decisions_.push_back(AdmDecision{simulator_.now(), type, action,
+                                     fired.name, recipients.size()});
+    util::log_debug("ADM consolidated ", messages.size(), " x ", type,
+                    " -> ", action, " via ", fired.name);
+  }
+}
+
+}  // namespace pragma::agents

@@ -1,0 +1,86 @@
+// The Application Delegated Manager (ADM).
+//
+// "Local decisions are hierarchically consolidated by the application
+//  delegation manager agent (ADM).  This agent initiates changes in the
+//  system configurations or requests additional resources as required.
+//  Final policy decisions are then propagated to the individual local
+//  agents."
+//
+// The ADM subscribes to the agents' event topic, consolidates events over
+// a short window, queries the policy knowledge base with the consolidated
+// state, and issues directives to component agents through the Message
+// Center.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pragma/agents/message_center.hpp"
+#include "pragma/policy/policy.hpp"
+
+namespace pragma::agents {
+
+struct AdmConfig {
+  PortId port = "adm";
+  std::string event_topic = "app.events";
+  /// Events are consolidated over windows of this many seconds.
+  double consolidation_window_s = 4.0;
+  /// Managed attribute, for reporting ("performance", "fault", ...).
+  std::string managed_attribute = "performance";
+};
+
+/// A record of one decision the ADM took.
+struct AdmDecision {
+  double time = 0.0;
+  std::string trigger;     ///< consolidated event type
+  std::string action;      ///< directive issued
+  std::string policy;      ///< name of the policy that fired
+  std::size_t recipients = 0;
+};
+
+class Adm {
+ public:
+  /// `resource_request` is invoked when a policy asks for more resources.
+  Adm(sim::Simulator& simulator, MessageCenter& center,
+      const policy::PolicyBase& policies, AdmConfig config = {});
+
+  /// Attach a component agent port the ADM manages.
+  void manage(const PortId& agent_port);
+
+  /// Extra attributes merged into every policy query (e.g. arch=...).
+  void set_context(policy::AttributeSet context);
+
+  /// Callback invoked with a directive type before it is sent; lets the
+  /// embedding runtime react (e.g. actually repartition).  Return value is
+  /// the set of agent ports to direct (empty = all managed agents).
+  using DirectiveHook =
+      std::function<std::vector<PortId>(const std::string& action,
+                                        const policy::AttributeSet& payload)>;
+  void set_directive_hook(DirectiveHook hook);
+
+  [[nodiscard]] const std::vector<AdmDecision>& decisions() const {
+    return decisions_;
+  }
+  [[nodiscard]] std::size_t managed_count() const { return managed_.size(); }
+  [[nodiscard]] const AdmConfig& config() const { return config_; }
+
+ private:
+  void on_event(const Message& message);
+  void consolidate();
+
+  sim::Simulator& simulator_;
+  MessageCenter& center_;
+  const policy::PolicyBase& policies_;
+  AdmConfig config_;
+  std::vector<PortId> managed_;
+  policy::AttributeSet context_;
+  DirectiveHook hook_;
+  // Events accumulated in the current consolidation window.
+  std::map<std::string, std::vector<Message>> pending_;
+  bool window_open_ = false;
+  std::vector<AdmDecision> decisions_;
+};
+
+}  // namespace pragma::agents

@@ -1,0 +1,50 @@
+#include "pragma/agents/mcs.hpp"
+
+#include <stdexcept>
+
+namespace pragma::agents {
+
+Environment::Environment(sim::Simulator& simulator,
+                         const policy::PolicyBase& policies, AppSpec spec,
+                         EnvTemplate blueprint)
+    : spec_(std::move(spec)),
+      blueprint_(std::move(blueprint)),
+      center_(simulator) {
+  AdmConfig adm_config;
+  adm_config.port = spec_.name + ".adm";
+  adm_config.event_topic = spec_.name + ".events";
+  adm_config.managed_attribute = spec_.managed_attribute;
+  adm_ = std::make_unique<Adm>(simulator, center_, policies, adm_config);
+
+  for (const std::string& component : spec_.components) {
+    auto agent = std::make_unique<ComponentAgent>(
+        simulator, center_, spec_.name + "." + component,
+        adm_config.event_topic, spec_.sample_period_s);
+    adm_->manage(agent->port());
+    agents_.push_back(std::move(agent));
+  }
+}
+
+void Environment::start() {
+  for (auto& agent : agents_) agent->start();
+}
+
+void Environment::stop() {
+  for (auto& agent : agents_) agent->stop();
+}
+
+Mcs::Mcs(sim::Simulator& simulator, const policy::PolicyBase& policies)
+    : simulator_(simulator), policies_(policies) {}
+
+std::unique_ptr<Environment> Mcs::build(AppSpec spec) {
+  auto blueprint = registry_.best(spec.requirements);
+  if (!blueprint)
+    throw std::runtime_error(
+        "MCS: no registered template meets the requirements of " +
+        spec.name);
+  return std::make_unique<Environment>(simulator_, policies_,
+                                       std::move(spec),
+                                       std::move(*blueprint));
+}
+
+}  // namespace pragma::agents

@@ -1,0 +1,77 @@
+// The Management Computing System (MCS): builds and owns the application
+// execution environment (Figure 1).
+//
+// The flow follows the paper: the Application Management Editor (AME)
+// produces an application specification (components + requirements +
+// management scheme); the MCS discovers a suitable template in the
+// registry, instantiates the Message Center, assigns an Application
+// Delegated Manager for the managed attribute, and launches one Component
+// Agent per application component.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pragma/agents/adm.hpp"
+#include "pragma/agents/component_agent.hpp"
+#include "pragma/agents/templates.hpp"
+
+namespace pragma::agents {
+
+/// What the AME hands to the MCS: the application specification.
+struct AppSpec {
+  std::string name = "app";
+  /// Component names; one CA is launched per component.
+  std::vector<std::string> components;
+  /// Requirements matched against the template registry.
+  policy::AttributeSet requirements;
+  /// Attribute the ADM manages ("performance", "fault", "security").
+  std::string managed_attribute = "performance";
+  /// Sampling period of the component agents.
+  double sample_period_s = 2.0;
+};
+
+/// The instantiated execution environment.
+class Environment {
+ public:
+  Environment(sim::Simulator& simulator, const policy::PolicyBase& policies,
+              AppSpec spec, EnvTemplate blueprint);
+
+  [[nodiscard]] MessageCenter& message_center() { return center_; }
+  [[nodiscard]] Adm& adm() { return *adm_; }
+  [[nodiscard]] const EnvTemplate& blueprint() const { return blueprint_; }
+  [[nodiscard]] const AppSpec& spec() const { return spec_; }
+  [[nodiscard]] std::size_t agent_count() const { return agents_.size(); }
+  [[nodiscard]] ComponentAgent& agent(std::size_t i) { return *agents_.at(i); }
+
+  /// Start all component agents.
+  void start();
+  void stop();
+
+ private:
+  AppSpec spec_;
+  EnvTemplate blueprint_;
+  MessageCenter center_;
+  std::unique_ptr<Adm> adm_;
+  std::vector<std::unique_ptr<ComponentAgent>> agents_;
+};
+
+class Mcs {
+ public:
+  explicit Mcs(sim::Simulator& simulator,
+               const policy::PolicyBase& policies);
+
+  [[nodiscard]] TemplateRegistry& registry() { return registry_; }
+
+  /// Build the execution environment for `spec`.  Throws std::runtime_error
+  /// when no registered template meets the requirements.
+  [[nodiscard]] std::unique_ptr<Environment> build(AppSpec spec);
+
+ private:
+  sim::Simulator& simulator_;
+  const policy::PolicyBase& policies_;
+  TemplateRegistry registry_;
+};
+
+}  // namespace pragma::agents

@@ -1,0 +1,27 @@
+// Messages exchanged over the CATALINA Message Center.
+//
+// "CATALINA uses a Message Center (MC) for all the communications between
+//  its modules and agents.  In the MC, every component is assigned a port
+//  which acts as its mailbox.  Every message directed to a component is
+//  placed on this mailbox."
+#pragma once
+
+#include <string>
+
+#include "pragma/policy/policy.hpp"
+#include "pragma/sim/simulator.hpp"
+
+namespace pragma::agents {
+
+/// Ports are named mailboxes ("adm", "agent.3", ...).
+using PortId = std::string;
+
+struct Message {
+  PortId from;
+  PortId to;          ///< destination port, or the topic for publishes
+  std::string type;   ///< e.g. "load_high", "migrate", "repartition"
+  policy::AttributeSet payload;
+  sim::SimTime sent_at = 0.0;
+};
+
+}  // namespace pragma::agents

@@ -1,0 +1,73 @@
+#include "pragma/agents/message_center.hpp"
+
+#include <algorithm>
+
+namespace pragma::agents {
+
+MessageCenter::MessageCenter(sim::Simulator& simulator,
+                             double delivery_latency_s)
+    : simulator_(simulator), latency_(delivery_latency_s) {}
+
+void MessageCenter::register_port(const PortId& port, Handler handler) {
+  ports_[port].handler = std::move(handler);
+}
+
+bool MessageCenter::has_port(const PortId& port) const {
+  return ports_.count(port) > 0;
+}
+
+bool MessageCenter::send(Message message) {
+  ++sent_;
+  message.sent_at = simulator_.now();
+  if (!has_port(message.to)) {
+    ++dropped_;
+    return false;
+  }
+  const PortId port = message.to;
+  simulator_.schedule(latency_, [this, port, msg = std::move(message)] {
+    deliver(port, msg);
+  });
+  return true;
+}
+
+void MessageCenter::publish(const std::string& topic, Message message) {
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return;
+  for (const PortId& port : it->second) {
+    Message copy = message;
+    copy.to = port;
+    send(std::move(copy));
+  }
+}
+
+void MessageCenter::subscribe(const std::string& topic, const PortId& port) {
+  auto& subscribers = topics_[topic];
+  if (std::find(subscribers.begin(), subscribers.end(), port) ==
+      subscribers.end())
+    subscribers.push_back(port);
+}
+
+void MessageCenter::deliver(const PortId& port, Message message) {
+  const auto it = ports_.find(port);
+  if (it == ports_.end()) {
+    ++dropped_;
+    return;
+  }
+  ++delivered_;
+  if (it->second.handler) {
+    it->second.handler(message);
+  } else {
+    it->second.mailbox.push_back(std::move(message));
+  }
+}
+
+std::vector<Message> MessageCenter::drain(const PortId& port) {
+  std::vector<Message> out;
+  const auto it = ports_.find(port);
+  if (it == ports_.end()) return out;
+  out.assign(it->second.mailbox.begin(), it->second.mailbox.end());
+  it->second.mailbox.clear();
+  return out;
+}
+
+}  // namespace pragma::agents

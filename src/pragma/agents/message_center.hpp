@@ -1,0 +1,62 @@
+// The Message Center: per-component mailboxes plus publish/subscribe.
+//
+// Delivery runs through the shared discrete-event simulator with a
+// configurable latency, so agent coordination interleaves realistically
+// with monitoring and load dynamics.  Ports either attach a handler
+// (push delivery) or poll their mailbox (pull delivery).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "pragma/agents/message.hpp"
+
+namespace pragma::agents {
+
+class MessageCenter {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  MessageCenter(sim::Simulator& simulator, double delivery_latency_s = 1e-3);
+
+  /// Create (or re-register) a port.  A null handler makes it poll-only.
+  void register_port(const PortId& port, Handler handler = nullptr);
+  [[nodiscard]] bool has_port(const PortId& port) const;
+
+  /// Send to a port's mailbox.  Returns false if the port does not exist
+  /// (the message is dropped and counted).
+  bool send(Message message);
+
+  /// Publish to a topic: delivered to every subscriber's mailbox with
+  /// message.to rewritten to the subscriber port.
+  void publish(const std::string& topic, Message message);
+  void subscribe(const std::string& topic, const PortId& port);
+
+  /// Drain a poll-only mailbox (also works for handler ports, which will
+  /// normally be empty).
+  [[nodiscard]] std::vector<Message> drain(const PortId& port);
+
+  [[nodiscard]] std::size_t sent_count() const { return sent_; }
+  [[nodiscard]] std::size_t delivered_count() const { return delivered_; }
+  [[nodiscard]] std::size_t dropped_count() const { return dropped_; }
+  [[nodiscard]] double delivery_latency() const { return latency_; }
+
+ private:
+  struct Port {
+    Handler handler;
+    std::deque<Message> mailbox;
+  };
+  void deliver(const PortId& port, Message message);
+
+  sim::Simulator& simulator_;
+  double latency_;
+  std::map<PortId, Port> ports_;
+  std::map<std::string, std::vector<PortId>> topics_;
+  std::size_t sent_ = 0;
+  std::size_t delivered_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace pragma::agents

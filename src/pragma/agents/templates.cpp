@@ -1,0 +1,89 @@
+#include "pragma/agents/templates.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pragma::agents {
+
+void TemplateRegistry::register_template(EnvTemplate entry) {
+  for (EnvTemplate& existing : templates_) {
+    if (existing.name == entry.name) {
+      existing = std::move(entry);
+      return;
+    }
+  }
+  templates_.push_back(std::move(entry));
+}
+
+bool TemplateRegistry::unregister(const std::string& name) {
+  const auto it = std::remove_if(
+      templates_.begin(), templates_.end(),
+      [&](const EnvTemplate& t) { return t.name == name; });
+  const bool found = it != templates_.end();
+  templates_.erase(it, templates_.end());
+  return found;
+}
+
+const EnvTemplate* TemplateRegistry::find(const std::string& name) const {
+  for (const EnvTemplate& entry : templates_)
+    if (entry.name == name) return &entry;
+  return nullptr;
+}
+
+namespace {
+/// Returns the headroom of `entry` over `requirements` (ratio of provided
+/// to required, min over numeric requirements), or a negative value when a
+/// requirement is unmet.
+double headroom(const EnvTemplate& entry,
+                const policy::AttributeSet& requirements) {
+  double smallest = std::numeric_limits<double>::infinity();
+  bool any_numeric = false;
+  for (const auto& [key, required] : requirements) {
+    const auto it = entry.provides.find(key);
+    if (it == entry.provides.end()) return -1.0;
+    const bool req_str = std::holds_alternative<std::string>(required);
+    const bool got_str = std::holds_alternative<std::string>(it->second);
+    if (req_str != got_str) return -1.0;
+    if (req_str) {
+      if (std::get<std::string>(required) !=
+          std::get<std::string>(it->second))
+        return -1.0;
+      continue;
+    }
+    const double need = std::get<double>(required);
+    const double have = std::get<double>(it->second);
+    if (have < need) return -1.0;
+    any_numeric = true;
+    if (need > 0.0) smallest = std::min(smallest, have / need);
+  }
+  if (!any_numeric) return 1.0;
+  return std::isfinite(smallest) ? smallest : 1.0;
+}
+}  // namespace
+
+std::vector<const EnvTemplate*> TemplateRegistry::discover(
+    const policy::AttributeSet& requirements) const {
+  std::vector<std::pair<double, const EnvTemplate*>> scored;
+  for (const EnvTemplate& entry : templates_) {
+    const double score = headroom(entry, requirements);
+    if (score >= 0.0) scored.emplace_back(score, &entry);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  std::vector<const EnvTemplate*> out;
+  out.reserve(scored.size());
+  for (const auto& [score, entry] : scored) out.push_back(entry);
+  return out;
+}
+
+std::optional<EnvTemplate> TemplateRegistry::best(
+    const policy::AttributeSet& requirements) const {
+  const auto hits = discover(requirements);
+  if (hits.empty()) return std::nullopt;
+  return *hits.front();
+}
+
+}  // namespace pragma::agents

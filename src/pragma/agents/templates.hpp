@@ -1,0 +1,56 @@
+// The template registry: blueprints of application execution environments.
+//
+// "To configure the application execution environment, the MCS searches for
+//  an appropriate template in the template database that can meet all
+//  application requirements.  The template can be viewed as a blueprint of
+//  the application execution environment.  The CATALINA template registry
+//  is being updated to use a JINI-based open architecture to allow third
+//  party template registration and discovery."
+//
+// Discovery is requirement-matching: a template is eligible when it
+// satisfies every requested requirement (numeric requirements are
+// "at least" semantics; string requirements are exact), and candidates are
+// ranked by how much headroom they offer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pragma/policy/policy.hpp"
+
+namespace pragma::agents {
+
+struct EnvTemplate {
+  std::string name;
+  std::string provider = "local";  ///< third-party registration tag
+  /// What the blueprint guarantees ("nodes" -> 64, "arch" -> "sp2",
+  /// "bandwidth_mbps" -> 100, ...).
+  policy::AttributeSet provides;
+  /// Free-form blueprint settings handed to the MCS on instantiation
+  /// ("partitioner" -> "G-MISP+SP", "monitor_period" -> 2, ...).
+  policy::AttributeSet blueprint;
+};
+
+class TemplateRegistry {
+ public:
+  /// Register (or replace, by name) a template.  Third parties register
+  /// through the same call with their provider tag.
+  void register_template(EnvTemplate entry);
+  bool unregister(const std::string& name);
+  [[nodiscard]] std::size_t size() const { return templates_.size(); }
+  [[nodiscard]] const EnvTemplate* find(const std::string& name) const;
+
+  /// All templates meeting the requirements, best (most headroom) first.
+  [[nodiscard]] std::vector<const EnvTemplate*> discover(
+      const policy::AttributeSet& requirements) const;
+
+  /// Best match or nullopt.
+  [[nodiscard]] std::optional<EnvTemplate> best(
+      const policy::AttributeSet& requirements) const;
+
+ private:
+  std::vector<EnvTemplate> templates_;
+};
+
+}  // namespace pragma::agents

@@ -1,0 +1,140 @@
+#include "pragma/amr/box.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace pragma::amr {
+
+namespace {
+int floor_div(int a, int b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+int ceil_div(int a, int b) {
+  return a >= 0 ? (a + b - 1) / b : -((-a) / b);
+}
+}  // namespace
+
+Box Box::coarsen(int ratio) const {
+  if (ratio <= 0) throw std::invalid_argument("Box::coarsen: ratio <= 0");
+  if (empty()) return {};
+  return Box({floor_div(lo_.x, ratio), floor_div(lo_.y, ratio),
+              floor_div(lo_.z, ratio)},
+             {ceil_div(hi_.x, ratio), ceil_div(hi_.y, ratio),
+              ceil_div(hi_.z, ratio)});
+}
+
+std::array<Box, 2> Box::split(int axis, int coordinate) const {
+  IntVec3 left_hi = hi_;
+  IntVec3 right_lo = lo_;
+  left_hi[axis] = coordinate;
+  right_lo[axis] = coordinate;
+  return {Box(lo_, left_hi), Box(right_lo, hi_)};
+}
+
+int Box::longest_axis() const {
+  const IntVec3 e = extent();
+  if (e.x >= e.y && e.x >= e.z) return 0;
+  if (e.y >= e.z) return 1;
+  return 2;
+}
+
+std::vector<Box> Box::chop(std::int64_t max_cells) const {
+  if (max_cells <= 0) throw std::invalid_argument("Box::chop: max_cells <= 0");
+  std::vector<Box> out;
+  std::vector<Box> stack{*this};
+  while (!stack.empty()) {
+    const Box box = stack.back();
+    stack.pop_back();
+    if (box.empty()) continue;
+    if (box.volume() <= max_cells) {
+      out.push_back(box);
+      continue;
+    }
+    const int axis = box.longest_axis();
+    if (box.extent()[axis] < 2) {
+      out.push_back(box);  // cannot split a unit-thickness axis further
+      continue;
+    }
+    const int mid = box.lo()[axis] + box.extent()[axis] / 2;
+    const auto halves = box.split(axis, mid);
+    stack.push_back(halves[0]);
+    stack.push_back(halves[1]);
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const IntVec3& v) {
+  return os << '(' << v.x << ',' << v.y << ',' << v.z << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Box& b) {
+  return os << '[' << b.lo() << ".." << b.hi() << ')';
+}
+
+std::int64_t total_volume(const std::vector<Box>& boxes) {
+  std::int64_t total = 0;
+  for (const Box& box : boxes) total += box.volume();
+  return total;
+}
+
+Box bounding_box(const std::vector<Box>& boxes) {
+  Box bound;
+  bool first = true;
+  for (const Box& box : boxes) {
+    if (box.empty()) continue;
+    if (first) {
+      bound = box;
+      first = false;
+      continue;
+    }
+    bound = Box({std::min(bound.lo().x, box.lo().x),
+                 std::min(bound.lo().y, box.lo().y),
+                 std::min(bound.lo().z, box.lo().z)},
+                {std::max(bound.hi().x, box.hi().x),
+                 std::max(bound.hi().y, box.hi().y),
+                 std::max(bound.hi().z, box.hi().z)});
+  }
+  return bound;
+}
+
+std::vector<Box> subtract(const Box& box, const Box& hole) {
+  std::vector<Box> out;
+  const Box cut = box.intersection(hole);
+  if (cut.empty()) {
+    if (!box.empty()) out.push_back(box);
+    return out;
+  }
+  // Peel slabs off each axis in turn; the remainder shrinks toward `cut`.
+  Box rest = box;
+  for (int axis = 0; axis < 3; ++axis) {
+    if (rest.lo()[axis] < cut.lo()[axis]) {
+      auto halves = rest.split(axis, cut.lo()[axis]);
+      if (!halves[0].empty()) out.push_back(halves[0]);
+      rest = halves[1];
+    }
+    if (cut.hi()[axis] < rest.hi()[axis]) {
+      auto halves = rest.split(axis, cut.hi()[axis]);
+      if (!halves[1].empty()) out.push_back(halves[1]);
+      rest = halves[0];
+    }
+  }
+  return out;
+}
+
+std::int64_t intersection_volume(const Box& box,
+                                 const std::vector<Box>& list) {
+  std::int64_t total = 0;
+  for (const Box& other : list) total += box.intersection(other).volume();
+  return total;
+}
+
+std::int64_t symmetric_difference_volume(const std::vector<Box>& a,
+                                         const std::vector<Box>& b) {
+  // |A| + |B| - 2 |A ∩ B|, assuming each list is internally disjoint.
+  std::int64_t overlap = 0;
+  for (const Box& box : a) overlap += intersection_volume(box, b);
+  return total_volume(a) + total_volume(b) - 2 * overlap;
+}
+
+}  // namespace pragma::amr

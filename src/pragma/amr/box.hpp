@@ -1,0 +1,149 @@
+// Integer index-space boxes — the basic currency of structured AMR.
+//
+// A Box is a half-open rectangular region [lo, hi) of a 3-D integer lattice.
+// Grid levels are collections of boxes; partitioners assign boxes (or box
+// fragments) to processors; communication volume is computed from box
+// surfaces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace pragma::amr {
+
+/// A point (or extent) on the 3-D index lattice.
+struct IntVec3 {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  friend constexpr bool operator==(const IntVec3&, const IntVec3&) = default;
+  [[nodiscard]] constexpr int operator[](int axis) const {
+    return axis == 0 ? x : axis == 1 ? y : z;
+  }
+  [[nodiscard]] constexpr int& operator[](int axis) {
+    return axis == 0 ? x : axis == 1 ? y : z;
+  }
+  [[nodiscard]] constexpr IntVec3 operator+(const IntVec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  [[nodiscard]] constexpr IntVec3 operator-(const IntVec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  [[nodiscard]] constexpr IntVec3 operator*(int s) const {
+    return {x * s, y * s, z * s};
+  }
+};
+
+/// Half-open axis-aligned box [lo, hi) in index space.
+class Box {
+ public:
+  constexpr Box() = default;
+  constexpr Box(IntVec3 lo, IntVec3 hi) : lo_(lo), hi_(hi) {}
+  /// Box spanning [0, dims).
+  static constexpr Box from_dims(IntVec3 dims) { return Box({0, 0, 0}, dims); }
+
+  [[nodiscard]] constexpr const IntVec3& lo() const { return lo_; }
+  [[nodiscard]] constexpr const IntVec3& hi() const { return hi_; }
+
+  [[nodiscard]] constexpr bool empty() const {
+    return hi_.x <= lo_.x || hi_.y <= lo_.y || hi_.z <= lo_.z;
+  }
+  [[nodiscard]] constexpr IntVec3 extent() const {
+    return empty() ? IntVec3{0, 0, 0} : hi_ - lo_;
+  }
+  [[nodiscard]] constexpr std::int64_t volume() const {
+    if (empty()) return 0;
+    const IntVec3 e = extent();
+    return static_cast<std::int64_t>(e.x) * e.y * e.z;
+  }
+  /// Number of boundary faces (cell faces on the box surface) — proxy for
+  /// ghost-cell communication volume.
+  [[nodiscard]] constexpr std::int64_t surface_area() const {
+    if (empty()) return 0;
+    const IntVec3 e = extent();
+    return 2LL * (static_cast<std::int64_t>(e.x) * e.y +
+                  static_cast<std::int64_t>(e.y) * e.z +
+                  static_cast<std::int64_t>(e.z) * e.x);
+  }
+
+  [[nodiscard]] constexpr bool contains(IntVec3 p) const {
+    return p.x >= lo_.x && p.x < hi_.x && p.y >= lo_.y && p.y < hi_.y &&
+           p.z >= lo_.z && p.z < hi_.z;
+  }
+  [[nodiscard]] constexpr bool contains(const Box& o) const {
+    return o.empty() ||
+           (o.lo_.x >= lo_.x && o.hi_.x <= hi_.x && o.lo_.y >= lo_.y &&
+            o.hi_.y <= hi_.y && o.lo_.z >= lo_.z && o.hi_.z <= hi_.z);
+  }
+  [[nodiscard]] constexpr bool intersects(const Box& o) const {
+    return !intersection(o).empty();
+  }
+  [[nodiscard]] constexpr Box intersection(const Box& o) const {
+    return Box({lo_.x > o.lo_.x ? lo_.x : o.lo_.x,
+                lo_.y > o.lo_.y ? lo_.y : o.lo_.y,
+                lo_.z > o.lo_.z ? lo_.z : o.lo_.z},
+               {hi_.x < o.hi_.x ? hi_.x : o.hi_.x,
+                hi_.y < o.hi_.y ? hi_.y : o.hi_.y,
+                hi_.z < o.hi_.z ? hi_.z : o.hi_.z});
+  }
+
+  /// Refine by an isotropic ratio (indices multiply).
+  [[nodiscard]] constexpr Box refine(int ratio) const {
+    return Box(lo_ * ratio, hi_ * ratio);
+  }
+  /// Coarsen by an isotropic ratio (floor on lo, ceil on hi) so that the
+  /// result covers the original region.
+  [[nodiscard]] Box coarsen(int ratio) const;
+
+  /// Grow by n cells in every direction.
+  [[nodiscard]] constexpr Box grow(int n) const {
+    return Box({lo_.x - n, lo_.y - n, lo_.z - n},
+               {hi_.x + n, hi_.y + n, hi_.z + n});
+  }
+
+  /// Split into two boxes at plane `coordinate` along `axis`
+  /// (lo[axis] < coordinate < hi[axis] required for both halves to be
+  /// non-empty).
+  [[nodiscard]] std::array<Box, 2> split(int axis, int coordinate) const;
+
+  /// Longest axis (0, 1 or 2).
+  [[nodiscard]] int longest_axis() const;
+
+  /// Chop into pieces with at most max_cells volume each, splitting the
+  /// longest axis recursively.
+  [[nodiscard]] std::vector<Box> chop(std::int64_t max_cells) const;
+
+  friend constexpr bool operator==(const Box&, const Box&) = default;
+
+ private:
+  IntVec3 lo_{0, 0, 0};
+  IntVec3 hi_{0, 0, 0};
+};
+
+std::ostream& operator<<(std::ostream& os, const IntVec3& v);
+std::ostream& operator<<(std::ostream& os, const Box& b);
+
+/// Total volume of a set of boxes (assumed disjoint).
+[[nodiscard]] std::int64_t total_volume(const std::vector<Box>& boxes);
+
+/// Smallest box containing every input box.
+[[nodiscard]] Box bounding_box(const std::vector<Box>& boxes);
+
+/// Subtract `hole` from `box`: up to 6 disjoint boxes covering
+/// box \ hole.
+[[nodiscard]] std::vector<Box> subtract(const Box& box, const Box& hole);
+
+/// Volume of the intersection of `box` with every box in `list`.
+[[nodiscard]] std::int64_t intersection_volume(const Box& box,
+                                               const std::vector<Box>& list);
+
+/// Volume of the symmetric difference between two disjoint box lists
+/// (cells covered by exactly one list) — used as the data-migration /
+/// refinement-churn measure.
+[[nodiscard]] std::int64_t symmetric_difference_volume(
+    const std::vector<Box>& a, const std::vector<Box>& b);
+
+}  // namespace pragma::amr

@@ -1,0 +1,36 @@
+// Berger–Rigoutsos point clustering.
+//
+// Turns a field of flagged cells into a small set of rectangular patches
+// whose "efficiency" (flagged cells / patch volume) exceeds a threshold.
+// This is the standard clustering algorithm used by SAMR frameworks
+// (including the GrACE substrate underlying the paper's RM3D runs).
+#pragma once
+
+#include <vector>
+
+#include "pragma/amr/flags.hpp"
+
+namespace pragma::amr {
+
+struct ClusterOptions {
+  /// Minimum acceptable flagged-cell fraction of a produced box.
+  double efficiency = 0.7;
+  /// Do not split boxes below this extent on any axis.
+  int min_width = 4;
+  /// Chop final boxes above this volume (0 = no chopping).
+  std::int64_t max_box_cells = 0;
+  /// Safety bound on recursion.
+  int max_depth = 64;
+};
+
+/// Cluster the flagged cells of `flags` inside `region` into boxes.
+/// Every flagged cell is covered by exactly one output box.
+[[nodiscard]] std::vector<Box> cluster_flags(const FlagField& flags,
+                                             const Box& region,
+                                             const ClusterOptions& options = {});
+
+/// Fraction of cells in `boxes` that are flagged (1.0 for empty input).
+[[nodiscard]] double clustering_efficiency(const FlagField& flags,
+                                           const std::vector<Box>& boxes);
+
+}  // namespace pragma::amr

@@ -1,0 +1,97 @@
+#include "pragma/amr/flags.hpp"
+
+#include <stdexcept>
+
+namespace pragma::amr {
+
+FlagField::FlagField(Box domain) : domain_(domain), dims_(domain.extent()) {
+  if (domain.empty()) throw std::invalid_argument("FlagField: empty domain");
+  cells_.assign(static_cast<std::size_t>(domain.volume()), 0);
+}
+
+std::size_t FlagField::index(IntVec3 p) const {
+  const IntVec3 rel = p - domain_.lo();
+  return (static_cast<std::size_t>(rel.z) * dims_.y +
+          static_cast<std::size_t>(rel.y)) *
+             static_cast<std::size_t>(dims_.x) +
+         static_cast<std::size_t>(rel.x);
+}
+
+void FlagField::set(IntVec3 p, bool flagged) {
+  if (!domain_.contains(p)) return;
+  std::uint8_t& cell = cells_[index(p)];
+  if (cell != static_cast<std::uint8_t>(flagged)) {
+    count_ += flagged ? 1 : -1;
+    cell = static_cast<std::uint8_t>(flagged);
+  }
+}
+
+bool FlagField::get(IntVec3 p) const {
+  if (!domain_.contains(p)) return false;
+  return cells_[index(p)] != 0;
+}
+
+void FlagField::clear() {
+  cells_.assign(cells_.size(), 0);
+  count_ = 0;
+}
+
+void FlagField::flag_where(const std::function<bool(IntVec3)>& predicate) {
+  for (int z = domain_.lo().z; z < domain_.hi().z; ++z)
+    for (int y = domain_.lo().y; y < domain_.hi().y; ++y)
+      for (int x = domain_.lo().x; x < domain_.hi().x; ++x) {
+        const IntVec3 p{x, y, z};
+        if (predicate(p)) set(p);
+      }
+}
+
+std::int64_t FlagField::count() const { return count_; }
+
+std::int64_t FlagField::count_in(const Box& box) const {
+  const Box clipped = domain_.intersection(box);
+  std::int64_t total = 0;
+  for (int z = clipped.lo().z; z < clipped.hi().z; ++z)
+    for (int y = clipped.lo().y; y < clipped.hi().y; ++y)
+      for (int x = clipped.lo().x; x < clipped.hi().x; ++x)
+        total += cells_[index({x, y, z})];
+  return total;
+}
+
+std::vector<std::int64_t> FlagField::signature(const Box& box,
+                                               int axis) const {
+  const Box clipped = domain_.intersection(box);
+  if (clipped.empty()) return {};
+  std::vector<std::int64_t> sig(
+      static_cast<std::size_t>(clipped.extent()[axis]), 0);
+  for (int z = clipped.lo().z; z < clipped.hi().z; ++z)
+    for (int y = clipped.lo().y; y < clipped.hi().y; ++y)
+      for (int x = clipped.lo().x; x < clipped.hi().x; ++x) {
+        if (cells_[index({x, y, z})]) {
+          const IntVec3 p{x, y, z};
+          sig[static_cast<std::size_t>(p[axis] - clipped.lo()[axis])] += 1;
+        }
+      }
+  return sig;
+}
+
+Box FlagField::minimal_bounding_box(const Box& box) const {
+  const Box clipped = domain_.intersection(box);
+  IntVec3 lo = clipped.hi();
+  IntVec3 hi = clipped.lo();
+  bool found = false;
+  for (int z = clipped.lo().z; z < clipped.hi().z; ++z)
+    for (int y = clipped.lo().y; y < clipped.hi().y; ++y)
+      for (int x = clipped.lo().x; x < clipped.hi().x; ++x) {
+        if (!cells_[index({x, y, z})]) continue;
+        found = true;
+        lo.x = std::min(lo.x, x);
+        lo.y = std::min(lo.y, y);
+        lo.z = std::min(lo.z, z);
+        hi.x = std::max(hi.x, x + 1);
+        hi.y = std::max(hi.y, y + 1);
+        hi.z = std::max(hi.z, z + 1);
+      }
+  return found ? Box(lo, hi) : Box{};
+}
+
+}  // namespace pragma::amr

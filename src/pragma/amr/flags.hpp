@@ -1,0 +1,50 @@
+// Refinement-flag field over a box region.
+//
+// The error estimator (here: the RM3D emulator's feature functions) tags
+// cells needing refinement; the Berger–Rigoutsos clusterer turns tagged
+// cells into patch boxes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pragma/amr/box.hpp"
+
+namespace pragma::amr {
+
+class FlagField {
+ public:
+  explicit FlagField(Box domain);
+
+  [[nodiscard]] const Box& domain() const { return domain_; }
+
+  void set(IntVec3 p, bool flagged = true);
+  [[nodiscard]] bool get(IntVec3 p) const;
+  void clear();
+
+  /// Flag every cell for which `predicate(cell)` holds.
+  void flag_where(const std::function<bool(IntVec3)>& predicate);
+
+  [[nodiscard]] std::int64_t count() const;
+  [[nodiscard]] std::int64_t count_in(const Box& box) const;
+  [[nodiscard]] bool any() const { return count_ > 0; }
+
+  /// Per-plane flagged-cell counts along `axis` within `box` — the
+  /// "signatures" of the Berger–Rigoutsos algorithm.
+  [[nodiscard]] std::vector<std::int64_t> signature(const Box& box,
+                                                    int axis) const;
+
+  /// Smallest box inside `box` containing all flagged cells (empty box if
+  /// none).
+  [[nodiscard]] Box minimal_bounding_box(const Box& box) const;
+
+ private:
+  [[nodiscard]] std::size_t index(IntVec3 p) const;
+  Box domain_;
+  IntVec3 dims_;
+  std::vector<std::uint8_t> cells_;
+  std::int64_t count_ = 0;
+};
+
+}  // namespace pragma::amr

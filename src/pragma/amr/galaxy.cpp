@@ -1,0 +1,203 @@
+#include "pragma/amr/galaxy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pragma::amr {
+
+namespace {
+constexpr double kBaseRadius = 0.02;  // radius of a unit-mass clump
+}
+
+double Clump::radius() const {
+  return kBaseRadius * std::cbrt(mass);
+}
+
+double Clump::density() const {
+  // Density grows slowly with mass (r ~ m^{1/3} keeps m/r^3 constant, so
+  // weight by a mild power to make merged systems refine deeper).
+  return 1.3 + 0.45 * std::log2(1.0 + mass);
+}
+
+GalaxyEmulator::GalaxyEmulator(GalaxyConfig config)
+    : config_(std::move(config)),
+      hierarchy_(config_.base_dims, config_.ratio, config_.max_levels) {
+  if (static_cast<int>(config_.thresholds.size()) < config_.max_levels - 1)
+    throw std::invalid_argument(
+        "GalaxyEmulator: need one threshold per refined level");
+  util::Rng rng(config_.seed);
+  clumps_.reserve(config_.clumps);
+  for (int i = 0; i < config_.clumps; ++i) {
+    Clump clump;
+    clump.x = rng.uniform(0.1, 0.9);
+    clump.y = rng.uniform(0.1, 0.9);
+    clump.z = rng.uniform(0.1, 0.9);
+    // Small random transverse motion; gravity does the rest.
+    clump.vx = rng.normal(0.0, 2e-4);
+    clump.vy = rng.normal(0.0, 2e-4);
+    clump.vz = rng.normal(0.0, 2e-4);
+    clump.mass = rng.uniform(0.5, 2.0);
+    clumps_.push_back(clump);
+  }
+  regrid();
+}
+
+double GalaxyEmulator::total_mass() const {
+  double total = 0.0;
+  for (const Clump& clump : clumps_) total += clump.mass;
+  return total;
+}
+
+bool GalaxyEmulator::advance() {
+  // Pairwise gravity (softened), leapfrog-ish update.
+  const double soft = 0.01;
+  std::vector<std::array<double, 3>> accel(clumps_.size(), {0.0, 0.0, 0.0});
+  for (std::size_t i = 0; i < clumps_.size(); ++i) {
+    for (std::size_t j = i + 1; j < clumps_.size(); ++j) {
+      const double dx = clumps_[j].x - clumps_[i].x;
+      const double dy = clumps_[j].y - clumps_[i].y;
+      const double dz = clumps_[j].z - clumps_[i].z;
+      const double r2 = dx * dx + dy * dy + dz * dz + soft * soft;
+      const double inv_r3 = 1.0 / (r2 * std::sqrt(r2));
+      const double f = config_.gravity * inv_r3;
+      accel[i][0] += f * clumps_[j].mass * dx;
+      accel[i][1] += f * clumps_[j].mass * dy;
+      accel[i][2] += f * clumps_[j].mass * dz;
+      accel[j][0] -= f * clumps_[i].mass * dx;
+      accel[j][1] -= f * clumps_[i].mass * dy;
+      accel[j][2] -= f * clumps_[i].mass * dz;
+    }
+  }
+  for (std::size_t i = 0; i < clumps_.size(); ++i) {
+    Clump& clump = clumps_[i];
+    clump.vx += accel[i][0];
+    clump.vy += accel[i][1];
+    clump.vz += accel[i][2];
+    clump.x = std::clamp(clump.x + clump.vx, 0.02, 0.98);
+    clump.y = std::clamp(clump.y + clump.vy, 0.02, 0.98);
+    clump.z = std::clamp(clump.z + clump.vz, 0.02, 0.98);
+  }
+
+  // Merge touching pairs (momentum-conserving).
+  for (std::size_t i = 0; i < clumps_.size(); ++i) {
+    for (std::size_t j = i + 1; j < clumps_.size();) {
+      const double dx = clumps_[j].x - clumps_[i].x;
+      const double dy = clumps_[j].y - clumps_[i].y;
+      const double dz = clumps_[j].z - clumps_[i].z;
+      const double distance = std::sqrt(dx * dx + dy * dy + dz * dz);
+      const double reach = config_.merge_factor *
+                           (clumps_[i].radius() + clumps_[j].radius());
+      if (distance < reach) {
+        Clump& a = clumps_[i];
+        const Clump& b = clumps_[j];
+        const double m = a.mass + b.mass;
+        a.x = (a.x * a.mass + b.x * b.mass) / m;
+        a.y = (a.y * a.mass + b.y * b.mass) / m;
+        a.z = (a.z * a.mass + b.z * b.mass) / m;
+        a.vx = (a.vx * a.mass + b.vx * b.mass) / m;
+        a.vy = (a.vy * a.mass + b.vy * b.mass) / m;
+        a.vz = (a.vz * a.mass + b.vz * b.mass) / m;
+        a.mass = m;
+        clumps_.erase(clumps_.begin() + static_cast<std::ptrdiff_t>(j));
+      } else {
+        ++j;
+      }
+    }
+  }
+
+  ++step_;
+  if (step_ % config_.regrid_interval == 0) {
+    regrid();
+    return true;
+  }
+  return false;
+}
+
+double GalaxyEmulator::indicator(double x, double y, double z) const {
+  double ind = 0.0;
+  for (const Clump& clump : clumps_) {
+    const double radius = clump.radius();
+    if (std::abs(x - clump.x) > radius || std::abs(y - clump.y) > radius ||
+        std::abs(z - clump.z) > radius)
+      continue;
+    const double dx = x - clump.x;
+    const double dy = y - clump.y;
+    const double dz = z - clump.z;
+    const double q = std::sqrt(dx * dx + dy * dy + dz * dz) / radius;
+    const double bump = 1.0 - q * q;
+    if (bump > 0.0) ind = std::max(ind, clump.density() * bump);
+  }
+  return ind;
+}
+
+std::vector<Box> GalaxyEmulator::flag_and_cluster(int level) {
+  const auto r = static_cast<int>(hierarchy_.cumulative_ratio(level));
+  const double nx = static_cast<double>(config_.base_dims.x * r);
+  const double ny = static_cast<double>(config_.base_dims.y * r);
+  const double nz = static_cast<double>(config_.base_dims.z * r);
+  const double threshold = config_.thresholds[static_cast<std::size_t>(level)];
+
+  std::vector<Box> coverage;
+  if (level == 0) {
+    coverage.push_back(hierarchy_.level_domain(0));
+  } else if (level < hierarchy_.num_levels()) {
+    coverage = hierarchy_.level(level).boxes;
+  } else {
+    return {};
+  }
+  if (coverage.empty()) return {};
+
+  const Box field_domain = bounding_box(coverage);
+  FlagField flags(field_domain);
+  for (const Box& box : coverage)
+    for (int z = box.lo().z; z < box.hi().z; ++z) {
+      const double wz = (static_cast<double>(z) + 0.5) / nz;
+      for (int y = box.lo().y; y < box.hi().y; ++y) {
+        const double wy = (static_cast<double>(y) + 0.5) / ny;
+        for (int x = box.lo().x; x < box.hi().x; ++x) {
+          const double wx = (static_cast<double>(x) + 0.5) / nx;
+          if (indicator(wx, wy, wz) >= threshold) flags.set({x, y, z});
+        }
+      }
+    }
+  if (!flags.any()) return {};
+
+  ClusterOptions options = config_.cluster;
+  options.max_box_cells = 0;
+  std::vector<Box> clustered = cluster_flags(flags, field_domain, options);
+  std::vector<Box> refined;
+  refined.reserve(clustered.size());
+  for (const Box& box : clustered) {
+    const Box fine = box.refine(config_.ratio);
+    if (config_.cluster.max_box_cells > 0 &&
+        fine.volume() > config_.cluster.max_box_cells) {
+      for (const Box& piece : fine.chop(config_.cluster.max_box_cells))
+        refined.push_back(piece);
+    } else {
+      refined.push_back(fine);
+    }
+  }
+  return refined;
+}
+
+void GalaxyEmulator::regrid() {
+  GridHierarchy fresh(config_.base_dims, config_.ratio, config_.max_levels);
+  hierarchy_ = std::move(fresh);
+  for (int level = 0; level + 1 < config_.max_levels; ++level) {
+    std::vector<Box> next = flag_and_cluster(level);
+    if (next.empty()) break;
+    hierarchy_.set_level_boxes(level + 1, std::move(next));
+  }
+}
+
+AdaptationTrace GalaxyEmulator::run() {
+  AdaptationTrace trace;
+  trace.add(Snapshot{step_, hierarchy_});
+  while (step_ < config_.coarse_steps) {
+    if (advance()) trace.add(Snapshot{step_, hierarchy_});
+  }
+  return trace;
+}
+
+}  // namespace pragma::amr

@@ -1,0 +1,248 @@
+#include "pragma/amr/rm3d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pragma::amr {
+
+namespace {
+// Phase timeline in normalized time tau = step / coarse_steps.
+// The incident shock starts *outside* the domain and enters at
+// tau ~ 0.022, so the run opens with a brief quiescent phase (static
+// interface refinement only) after the initialization transient dies out.
+constexpr double kShockStart = -0.05;  // initial shock position (u)
+constexpr double kShockSpeed = 2.2857; // du/dtau of the incident shock
+constexpr double kShockExit = 0.46;    // incident shock leaves the domain
+constexpr double kHitTime = 0.162;     // shock reaches the interface
+constexpr double kStartupEnd = 0.004;  // initialization-noise transient
+constexpr double kReshockStart = 0.55; // reflected shock re-enters at u=1
+constexpr double kReshockSpeed = 2.4;  // du/dtau of the reflected shock
+constexpr double kReshockEnd = 0.82;   // reshock absorbed by the mixing zone
+constexpr double kReshockHit = 0.80;   // reshock reaches the mixing zone
+constexpr double kInterface0 = 0.32;   // initial interface position
+
+/// Compact quadratic bump: s at distance 0, 0 beyond `radius`.
+double bump(double distance, double radius, double s) {
+  const double q = distance / radius;
+  const double v = 1.0 - q * q;
+  return v > 0.0 ? s * v : 0.0;
+}
+}  // namespace
+
+Rm3dEmulator::Rm3dEmulator(Rm3dConfig config)
+    : config_(std::move(config)),
+      hierarchy_(config_.base_dims, config_.ratio, config_.max_levels) {
+  if (static_cast<int>(config_.thresholds.size()) < config_.max_levels - 1)
+    throw std::invalid_argument(
+        "Rm3dEmulator: need one threshold per refined level");
+  seed_blobs();
+  regrid();
+}
+
+void Rm3dEmulator::seed_blobs() {
+  util::Rng rng(config_.seed);
+  blobs_.clear();
+  // First generation: instability features appearing after shock passage.
+  for (int i = 0; i < 32; ++i) {
+    TurbulentBlob blob;
+    blob.birth = rng.uniform(kHitTime + 0.01, kReshockStart);
+    blob.u = rng.uniform(-0.9, 0.9);
+    blob.v = rng.uniform(0.10, 0.90);
+    blob.w = rng.uniform(0.10, 0.90);
+    blob.radius = rng.uniform(0.018, 0.040);
+    blob.drift_v = rng.uniform(-0.03, 0.03);
+    blob.drift_w = rng.uniform(-0.03, 0.03);
+    blobs_.push_back(blob);
+  }
+  // Reshock generation: a denser, coarser population appearing quickly
+  // after the reflected shock strikes the mixing zone.
+  for (int i = 0; i < 44; ++i) {
+    TurbulentBlob blob;
+    blob.birth = rng.uniform(kReshockHit, kReshockHit + 0.12);
+    blob.u = rng.uniform(-0.95, 0.95);
+    blob.v = rng.uniform(0.06, 0.94);
+    blob.w = rng.uniform(0.06, 0.94);
+    blob.radius = rng.uniform(0.022, 0.055);
+    blob.drift_v = rng.uniform(-0.05, 0.05);
+    blob.drift_w = rng.uniform(-0.05, 0.05);
+    blobs_.push_back(blob);
+  }
+}
+
+double Rm3dEmulator::shock_position(double tau) const {
+  if (tau < kShockExit) return kShockStart + kShockSpeed * tau;
+  if (tau >= kReshockStart && tau <= kReshockEnd)
+    return 1.0 - kReshockSpeed * (tau - kReshockStart);
+  return -1.0;  // no active shock
+}
+
+bool Rm3dEmulator::shock_active(double tau) const {
+  const double pos = shock_position(tau);
+  return pos >= 0.0 && pos <= 1.0;
+}
+
+double Rm3dEmulator::mixing_center(double tau) const {
+  return kInterface0 + 0.10 * std::max(0.0, tau - kHitTime);
+}
+
+double Rm3dEmulator::mixing_width(double tau) const {
+  // Half-width of the mixing zone.  The pre-shock interface slab is a
+  // diffuse contact layer (a compact, computation-dominated refinement).
+  if (tau < kHitTime) return 0.028;
+  double w = 0.018 + 0.11 * std::pow(tau - kHitTime, 0.6);
+  if (tau > kReshockHit) w += 0.10 * std::sqrt(tau - kReshockHit);
+  return w;
+}
+
+double Rm3dEmulator::indicator(double u, double v, double w,
+                               double tau) const {
+  double ind = 0.0;
+
+  // Initialization transient: the first error estimate tags scattered
+  // pockets of start-up noise across the domain (they vanish by the first
+  // regrid, giving the trace its initial scattered, high-churn snapshot).
+  if (tau < kStartupEnd) {
+    for (std::size_t b = 0; b < blobs_.size() && b < 40; ++b) {
+      const TurbulentBlob& blob = blobs_[b];
+      const double nu = 0.05 + 0.90 * blob.v;
+      const double nv = blob.w;
+      const double nw = 0.5 * (blob.u + 1.0);
+      const double radius = 0.6 * blob.radius;
+      if (std::abs(u - nu) > radius || std::abs(v - nv) > radius ||
+          std::abs(w - nw) > radius)
+        continue;
+      const double r = std::sqrt((u - nu) * (u - nu) + (v - nv) * (v - nv) +
+                                 (w - nw) * (w - nw));
+      ind = std::max(ind, bump(r, radius, 1.4));
+    }
+  }
+
+  // Shock front: a thin finest-level core inside a wider level-1 band.
+  if (shock_active(tau)) {
+    const double dx = std::abs(u - shock_position(tau));
+    ind = std::max(ind, bump(dx, 0.018, 2.6));
+    ind = std::max(ind, bump(dx, 0.050, 1.35));
+  }
+
+  // Material interface / mixing zone.
+  const double xc = mixing_center(tau);
+  const double half = mixing_width(tau);
+  const double du = std::abs(u - xc);
+  if (du < half * 1.25) {
+    if (tau < kHitTime) {
+      // Quiescent perturbed interface: a compact level-1 slab (the
+      // perturbation amplitude is below the finest-level threshold until
+      // the shock arrives).
+      ind = std::max(ind, bump(du, half, 1.3));
+    } else {
+      // Developed mixing zone: level-1 slab...
+      ind = std::max(ind, bump(du, half * 1.25, 1.55));
+      // ...with embedded finest-level turbulent blobs.
+      for (const TurbulentBlob& blob : blobs_) {
+        if (blob.birth > tau) continue;
+        const double age = tau - blob.birth;
+        const double bu = xc + blob.u * 0.85 * half;
+        const double bv = blob.v + blob.drift_v * age;
+        const double bw = blob.w + blob.drift_w * age;
+        // Cheap bounding reject before the radial test.
+        if (std::abs(u - bu) > blob.radius || std::abs(v - bv) > blob.radius ||
+            std::abs(w - bw) > blob.radius)
+          continue;
+        const double r = std::sqrt((u - bu) * (u - bu) + (v - bv) * (v - bv) +
+                                   (w - bw) * (w - bw));
+        ind = std::max(ind, bump(r, blob.radius, 2.7));
+      }
+    }
+  }
+  return ind;
+}
+
+std::vector<Box> Rm3dEmulator::flag_and_cluster(int level) {
+  const double tau = normalized_time();
+  const auto r = static_cast<int>(hierarchy_.cumulative_ratio(level));
+  const double nx = static_cast<double>(config_.base_dims.x * r);
+  const double ny = static_cast<double>(config_.base_dims.y * r);
+  const double nz = static_cast<double>(config_.base_dims.z * r);
+  const double threshold = config_.thresholds[static_cast<std::size_t>(level)];
+
+  // Flag within this level's existing coverage (whole domain for level 0).
+  std::vector<Box> coverage;
+  if (level == 0) {
+    coverage.push_back(hierarchy_.level_domain(0));
+  } else if (level < hierarchy_.num_levels()) {
+    coverage = hierarchy_.level(level).boxes;
+  } else {
+    return {};
+  }
+  if (coverage.empty()) return {};
+
+  const Box field_domain = bounding_box(coverage);
+  FlagField flags(field_domain);
+  for (const Box& box : coverage) {
+    for (int z = box.lo().z; z < box.hi().z; ++z) {
+      const double wn = (static_cast<double>(z) + 0.5) / nz;
+      for (int y = box.lo().y; y < box.hi().y; ++y) {
+        const double vn = (static_cast<double>(y) + 0.5) / ny;
+        for (int x = box.lo().x; x < box.hi().x; ++x) {
+          const double un = (static_cast<double>(x) + 0.5) / nx;
+          if (indicator(un, vn, wn, tau) >= threshold)
+            flags.set({x, y, z});
+        }
+      }
+    }
+  }
+  if (!flags.any()) return {};
+
+  // Clustering happens in level-`level` index space; the patch-size bound
+  // applies to the *emitted* level-(level+1) patches, so chop after
+  // refinement.
+  ClusterOptions options = config_.cluster;
+  options.max_box_cells = 0;
+  std::vector<Box> clustered = cluster_flags(flags, field_domain, options);
+  std::vector<Box> refined;
+  refined.reserve(clustered.size());
+  for (const Box& box : clustered) {
+    const Box fine = box.refine(config_.ratio);
+    if (config_.cluster.max_box_cells > 0 &&
+        fine.volume() > config_.cluster.max_box_cells) {
+      for (const Box& piece : fine.chop(config_.cluster.max_box_cells))
+        refined.push_back(piece);
+    } else {
+      refined.push_back(fine);
+    }
+  }
+  return refined;
+}
+
+void Rm3dEmulator::regrid() {
+  // Rebuild fine levels bottom-up from the indicator.  Level l+1 boxes come
+  // from flags on level l, so nesting holds by construction.
+  GridHierarchy fresh(config_.base_dims, config_.ratio, config_.max_levels);
+  hierarchy_ = std::move(fresh);
+  for (int level = 0; level + 1 < config_.max_levels; ++level) {
+    std::vector<Box> next = flag_and_cluster(level);
+    if (next.empty()) break;
+    hierarchy_.set_level_boxes(level + 1, std::move(next));
+  }
+}
+
+bool Rm3dEmulator::advance() {
+  ++step_;
+  if (step_ % config_.regrid_interval == 0) {
+    regrid();
+    return true;
+  }
+  return false;
+}
+
+AdaptationTrace Rm3dEmulator::run() {
+  AdaptationTrace trace;
+  trace.add(Snapshot{step_, hierarchy_});
+  while (step_ < config_.coarse_steps) {
+    if (advance()) trace.add(Snapshot{step_, hierarchy_});
+  }
+  return trace;
+}
+
+}  // namespace pragma::amr

@@ -1,0 +1,97 @@
+#include "pragma/amr/synthetic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pragma::amr {
+
+SyntheticAppGenerator::SyntheticAppGenerator(SyntheticConfig config)
+    : config_(config), rng_(config.seed) {
+  const IntVec3 slots = slot_grid();
+  const int capacity = slots.x * slots.y * slots.z;
+  if (config_.box_count < 1 || config_.box_count > capacity)
+    throw std::invalid_argument(
+        "SyntheticAppGenerator: box_count exceeds slot capacity");
+  place_initial();
+}
+
+IntVec3 SyntheticAppGenerator::slot_grid() const {
+  const IntVec3 l1 = config_.base_dims * config_.ratio;
+  if (l1.x % config_.box_edge || l1.y % config_.box_edge ||
+      l1.z % config_.box_edge)
+    throw std::invalid_argument(
+        "SyntheticAppGenerator: box_edge must divide the level-1 domain");
+  return {l1.x / config_.box_edge, l1.y / config_.box_edge,
+          l1.z / config_.box_edge};
+}
+
+void SyntheticAppGenerator::place_initial() {
+  const IntVec3 slots = slot_grid();
+  const int capacity = slots.x * slots.y * slots.z;
+  std::vector<int> all(capacity);
+  for (int i = 0; i < capacity; ++i) all[i] = i;
+  // Partial Fisher-Yates: the first box_count entries become the slots.
+  for (int i = 0; i < config_.box_count; ++i) {
+    const auto j = static_cast<int>(
+        rng_.uniform_int(i, static_cast<std::int64_t>(capacity) - 1));
+    std::swap(all[i], all[j]);
+  }
+  occupied_slots_.assign(all.begin(), all.begin() + config_.box_count);
+}
+
+void SyntheticAppGenerator::move_some() {
+  const IntVec3 slots = slot_grid();
+  const int capacity = slots.x * slots.y * slots.z;
+  for (int& slot : occupied_slots_) {
+    if (!rng_.bernoulli(config_.move_fraction)) continue;
+    // Relocate to a random free slot.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto candidate = static_cast<int>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(capacity) - 1));
+      if (std::find(occupied_slots_.begin(), occupied_slots_.end(),
+                    candidate) == occupied_slots_.end()) {
+        slot = candidate;
+        break;
+      }
+    }
+  }
+}
+
+GridHierarchy SyntheticAppGenerator::build_hierarchy() const {
+  GridHierarchy hierarchy(config_.base_dims, config_.ratio,
+                          config_.max_levels);
+  const IntVec3 slots = slot_grid();
+  std::vector<Box> level1;
+  std::vector<Box> level2;
+  for (int slot : occupied_slots_) {
+    const int sx = slot % slots.x;
+    const int sy = (slot / slots.x) % slots.y;
+    const int sz = slot / (slots.x * slots.y);
+    const Box box({sx * config_.box_edge, sy * config_.box_edge,
+                   sz * config_.box_edge},
+                  {(sx + 1) * config_.box_edge, (sy + 1) * config_.box_edge,
+                   (sz + 1) * config_.box_edge});
+    level1.push_back(box);
+    if (config_.with_level2 && config_.max_levels > 2) {
+      // Inner core, at least one cell, refined to level 2.
+      const int margin = std::max(1, config_.box_edge / 4);
+      const Box core = box.grow(-margin);
+      if (!core.empty()) level2.push_back(core.refine(config_.ratio));
+    }
+  }
+  hierarchy.set_level_boxes(1, std::move(level1));
+  if (!level2.empty()) hierarchy.set_level_boxes(2, std::move(level2));
+  return hierarchy;
+}
+
+AdaptationTrace SyntheticAppGenerator::generate(int snapshots,
+                                                int step_stride) {
+  AdaptationTrace trace;
+  for (int s = 0; s < snapshots; ++s) {
+    if (s > 0) move_some();
+    trace.add(Snapshot{s * step_stride, build_hierarchy()});
+  }
+  return trace;
+}
+
+}  // namespace pragma::amr

@@ -1,0 +1,56 @@
+// Synthetic adaptation traces with controlled structural properties.
+//
+// The octant classifier and the partitioner suite are evaluated not only
+// on the RM3D emulator but on traces whose scatter (number of refined
+// regions), dynamics (fraction of regions moving per snapshot) and
+// communication character (region size, hence surface-to-volume) are dialed
+// in directly.  Regions live on a slot lattice so they stay disjoint by
+// construction.
+#pragma once
+
+#include "pragma/amr/trace.hpp"
+#include "pragma/util/rng.hpp"
+
+namespace pragma::amr {
+
+struct SyntheticConfig {
+  IntVec3 base_dims{64, 32, 32};
+  int max_levels = 3;
+  int ratio = 2;
+  /// Number of refined regions (scatter axis: 1 = fully localized).
+  int box_count = 8;
+  /// Region edge in level-1 index space; must divide the level-1 domain on
+  /// every axis (communication axis: small regions = high surface/volume).
+  int box_edge = 8;
+  /// Fraction of regions relocated between consecutive snapshots
+  /// (dynamics axis: 0 = static refinement).
+  double move_fraction = 0.2;
+  /// Refine the inner core of each region to level 2.
+  bool with_level2 = true;
+  std::uint64_t seed = 1;
+};
+
+class SyntheticAppGenerator {
+ public:
+  explicit SyntheticAppGenerator(SyntheticConfig config);
+
+  /// Produce a trace of `snapshots` snapshots, `step_stride` coarse steps
+  /// apart.
+  [[nodiscard]] AdaptationTrace generate(int snapshots, int step_stride = 4);
+
+  /// The hierarchy for the current region placement.
+  [[nodiscard]] GridHierarchy build_hierarchy() const;
+
+  [[nodiscard]] const SyntheticConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] IntVec3 slot_grid() const;
+  void place_initial();
+  void move_some();
+
+  SyntheticConfig config_;
+  util::Rng rng_;
+  std::vector<int> occupied_slots_;  // linear slot index per region
+};
+
+}  // namespace pragma::amr

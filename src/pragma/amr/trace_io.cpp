@@ -1,0 +1,108 @@
+#include "pragma/amr/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pragma::amr {
+
+namespace {
+constexpr const char* kMagic = "pragma-trace";
+constexpr int kVersion = 1;
+}  // namespace
+
+void save_trace(std::ostream& os, const AdaptationTrace& trace) {
+  if (trace.empty())
+    throw std::invalid_argument("save_trace: empty trace");
+  const GridHierarchy& first = trace.at(0).hierarchy;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const GridHierarchy& h = trace.at(i).hierarchy;
+    if (!(h.base_dims() == first.base_dims()) ||
+        h.ratio() != first.ratio() || h.max_levels() != first.max_levels())
+      throw std::invalid_argument(
+          "save_trace: snapshots disagree on configuration");
+  }
+
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "config " << first.base_dims().x << ' ' << first.base_dims().y
+     << ' ' << first.base_dims().z << ' ' << first.ratio() << ' '
+     << first.max_levels() << '\n';
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Snapshot& snapshot = trace.at(i);
+    os << "snapshot " << snapshot.step << ' '
+       << snapshot.hierarchy.num_levels() << '\n';
+    // Level 0 is implicit (the full domain).
+    for (int l = 1; l < snapshot.hierarchy.num_levels(); ++l) {
+      const GridLevel& level = snapshot.hierarchy.level(l);
+      os << "level " << l << ' ' << level.boxes.size() << '\n';
+      for (const Box& box : level.boxes)
+        os << "box " << box.lo().x << ' ' << box.lo().y << ' '
+           << box.lo().z << ' ' << box.hi().x << ' ' << box.hi().y << ' '
+           << box.hi().z << '\n';
+    }
+  }
+}
+
+AdaptationTrace load_trace(std::istream& is) {
+  auto fail = [](const std::string& message) -> void {
+    throw std::runtime_error("load_trace: " + message);
+  };
+
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kMagic) fail("bad header");
+  if (version != kVersion) fail("unsupported version");
+
+  std::string keyword;
+  if (!(is >> keyword) || keyword != "config") fail("missing config");
+  IntVec3 base;
+  int ratio = 0;
+  int max_levels = 0;
+  if (!(is >> base.x >> base.y >> base.z >> ratio >> max_levels))
+    fail("bad config");
+
+  AdaptationTrace trace;
+  while (is >> keyword) {
+    if (keyword != "snapshot") fail("expected snapshot, got " + keyword);
+    int step = 0;
+    int num_levels = 0;
+    if (!(is >> step >> num_levels)) fail("bad snapshot header");
+    GridHierarchy hierarchy(base, ratio, max_levels);
+    for (int l = 1; l < num_levels; ++l) {
+      int level_index = 0;
+      std::size_t nboxes = 0;
+      if (!(is >> keyword >> level_index >> nboxes) || keyword != "level" ||
+          level_index != l)
+        fail("bad level header");
+      std::vector<Box> boxes;
+      boxes.reserve(nboxes);
+      for (std::size_t b = 0; b < nboxes; ++b) {
+        IntVec3 lo;
+        IntVec3 hi;
+        if (!(is >> keyword >> lo.x >> lo.y >> lo.z >> hi.x >> hi.y >>
+              hi.z) ||
+            keyword != "box")
+          fail("bad box");
+        boxes.emplace_back(lo, hi);
+      }
+      hierarchy.set_level_boxes(l, std::move(boxes));
+    }
+    trace.add(Snapshot{step, std::move(hierarchy)});
+  }
+  if (trace.empty()) fail("no snapshots");
+  return trace;
+}
+
+void save_trace_file(const std::string& path, const AdaptationTrace& trace) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_trace_file: cannot open " + path);
+  save_trace(os, trace);
+}
+
+AdaptationTrace load_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_trace_file: cannot open " + path);
+  return load_trace(is);
+}
+
+}  // namespace pragma::amr

@@ -1,0 +1,38 @@
+// Adaptation-trace persistence.
+//
+// The paper's workflow captures the adaptation trace in a single-processor
+// run and analyzes it offline ("this trace was then analyzed using the
+// octant approach").  These helpers serialize traces to a line-oriented
+// text format so captured traces can be stored, diffed and replayed
+// without re-running the application.
+//
+// Format:
+//   pragma-trace 1
+//   config <bx> <by> <bz> <ratio> <max_levels>
+//   snapshot <step> <num_levels>
+//   level <l> <nboxes>
+//   box <lox> <loy> <loz> <hix> <hiy> <hiz>
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pragma/amr/trace.hpp"
+
+namespace pragma::amr {
+
+/// Write a trace.  All hierarchies must share the same configuration
+/// (base dims / ratio / max levels); throws std::invalid_argument
+/// otherwise, or on an empty trace.
+void save_trace(std::ostream& os, const AdaptationTrace& trace);
+
+/// Read a trace written by save_trace.  Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] AdaptationTrace load_trace(std::istream& is);
+
+/// Convenience file-path wrappers.
+void save_trace_file(const std::string& path, const AdaptationTrace& trace);
+[[nodiscard]] AdaptationTrace load_trace_file(const std::string& path);
+
+}  // namespace pragma::amr

@@ -1,0 +1,214 @@
+#include "pragma/core/exec_model.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <stdexcept>
+
+namespace pragma::core {
+
+MappedLoad ExecutionModel::map(const partition::WorkGrid& grid,
+                               const partition::OwnerMap& owners,
+                               const std::vector<int>* proc_sites) const {
+  const auto nprocs = static_cast<std::size_t>(owners.nprocs);
+
+  MappedLoad mapped;
+  mapped.work = partition::processor_loads(grid, owners);
+
+  std::vector<double> face_cells(nprocs, 0.0);
+  const amr::IntVec3 dims = grid.lattice_dims();
+  const int g = grid.grain();
+  // Cross-site exchanges: one WAN message per (proc pair, level) per
+  // substep, not per face.
+  std::set<std::tuple<int, int, int>> wan_exchanges;
+
+  auto visit_face = [&](std::size_t a, std::size_t b) {
+    const int pa = owners.owner[a];
+    const int pb = owners.owner[b];
+    if (pa == pb) return;
+    const std::uint32_t shared =
+        grid.levels_present(a) & grid.levels_present(b);
+    if (shared == 0) return;
+    const bool cross_site =
+        proc_sites != nullptr &&
+        (*proc_sites)[static_cast<std::size_t>(pa)] !=
+            (*proc_sites)[static_cast<std::size_t>(pb)];
+    double cost = 0.0;
+    double r = 1.0;
+    for (int l = 0; l < grid.num_levels(); ++l) {
+      if (shared & (1u << l)) {
+        const double edge = static_cast<double>(g) * r;
+        cost += edge * edge * r;  // face cells x substeps
+        if (cross_site &&
+            wan_exchanges.insert({std::min(pa, pb), std::max(pa, pb), l})
+                .second)
+          mapped.wan_messages += r;  // substeps of this level
+      }
+      r *= static_cast<double>(grid.ratio());
+    }
+    face_cells[static_cast<std::size_t>(pa)] += cost;
+    face_cells[static_cast<std::size_t>(pb)] += cost;
+    if (cross_site) mapped.wan_face_cells += cost;
+  };
+
+  for (int z = 0; z < dims.z; ++z)
+    for (int y = 0; y < dims.y; ++y)
+      for (int x = 0; x < dims.x; ++x) {
+        const std::size_t c = grid.linear({x, y, z});
+        if (x + 1 < dims.x) visit_face(c, grid.linear({x + 1, y, z}));
+        if (y + 1 < dims.y) visit_face(c, grid.linear({x, y + 1, z}));
+        if (z + 1 < dims.z) visit_face(c, grid.linear({x, y, z + 1}));
+      }
+
+  mapped.face_cells = std::move(face_cells);
+
+  // Message count = per-level ownership fragmentation: the number of
+  // maximal same-owner runs of level-l cells along the SFC order, per
+  // substep.  Each fragment is a patch piece with its own ghost exchanges
+  // and metadata — this is where fine-grain partitioning of scattered
+  // refinement patterns pays its "partitioning induced overheads".
+  mapped.messages.assign(nprocs, 0.0);
+  std::vector<double> substeps(static_cast<std::size_t>(grid.num_levels()));
+  {
+    double r = 1.0;
+    for (int l = 0; l < grid.num_levels(); ++l) {
+      substeps[static_cast<std::size_t>(l)] = r;
+      r *= static_cast<double>(grid.ratio());
+    }
+  }
+  int prev_owner = -1;
+  std::uint32_t prev_levels = 0;
+  for (std::uint32_t c : grid.order()) {
+    const int owner = owners.owner[c];
+    const std::uint32_t levels = grid.levels_present(c);
+    for (int l = 0; l < grid.num_levels(); ++l) {
+      const bool now = (levels >> l) & 1u;
+      const bool before = owner == prev_owner && ((prev_levels >> l) & 1u);
+      // A fragment of level l starts here: two boundary exchanges per
+      // substep of that level.
+      if (now && !before)
+        mapped.messages[static_cast<std::size_t>(owner)] +=
+            2.0 * substeps[static_cast<std::size_t>(l)];
+    }
+    prev_owner = owner;
+    prev_levels = levels;
+  }
+  return mapped;
+}
+
+StepTime ExecutionModel::time_of(const MappedLoad& mapped,
+                                 const grid::Cluster& cluster) const {
+  const std::size_t nprocs = mapped.nprocs();
+  if (nprocs > cluster.size())
+    throw std::invalid_argument("time_of: more processors than nodes");
+
+  StepTime result;
+  result.proc_busy_s.assign(nprocs, 0.0);
+  for (std::size_t p = 0; p < nprocs; ++p) {
+    // A processor with nothing assigned costs nothing — even a failed node
+    // (after its work has been migrated away) must not stall the step.
+    if (mapped.work[p] <= 0.0 && mapped.face_cells[p] <= 0.0 &&
+        mapped.messages[p] <= 0.0)
+      continue;
+    const grid::Node& node = cluster.node(static_cast<grid::NodeId>(p));
+    const double flops = mapped.work[p] * config_.flops_per_cell_update;
+    const double compute = node.compute_time(flops / 1e9);  // gflop units
+
+    const double bytes = mapped.face_cells[p] * config_.bytes_per_face_cell;
+    const double rate =
+        cluster.uplink(static_cast<grid::NodeId>(p)).effective_bytes_per_s();
+    const double comm = (rate > 0.0 ? bytes / rate : 0.0) +
+                        mapped.messages[p] * config_.message_latency_s;
+
+    result.proc_busy_s[p] = compute + comm;
+    result.compute_s = std::max(result.compute_s, compute);
+    result.comm_s = std::max(result.comm_s, comm);
+    result.total_s = std::max(result.total_s, compute + comm);
+  }
+
+  // Federated grids: cross-site ghost traffic shares one WAN link; the
+  // bulk-synchronous step waits for it on top of the slowest processor.
+  if (cluster.federated() && mapped.wan_face_cells > 0.0) {
+    const double rate = cluster.wan().effective_bytes_per_s();
+    const double wan_s =
+        (rate > 0.0
+             ? mapped.wan_face_cells * config_.bytes_per_face_cell / rate
+             : 0.0) +
+        mapped.wan_messages * cluster.wan().spec().latency_s;
+    result.comm_s += wan_s;
+    result.total_s += wan_s;
+  }
+  return result;
+}
+
+StepTime ExecutionModel::step_time(const partition::WorkGrid& grid,
+                                   const partition::OwnerMap& owners,
+                                   const grid::Cluster& cluster) const {
+  return time_of(map(grid, owners), cluster);
+}
+
+double ExecutionModel::migration_time(const partition::WorkGrid& grid,
+                                      const partition::OwnerMap& previous,
+                                      const partition::OwnerMap& current,
+                                      const grid::Cluster& cluster) const {
+  if (previous.owner.size() != current.owner.size())
+    throw std::invalid_argument("migration_time: lattice mismatch");
+  const auto nprocs = static_cast<std::size_t>(
+      std::max(previous.nprocs, current.nprocs));
+  std::vector<double> outgoing(nprocs, 0.0);
+  std::vector<double> incoming(nprocs, 0.0);
+  for (std::size_t c = 0; c < grid.cell_count(); ++c) {
+    const int from = previous.owner[c];
+    const int to = current.owner[c];
+    if (from == to) continue;
+    const double bytes = grid.storage(c) * config_.bytes_per_cell;
+    outgoing[static_cast<std::size_t>(from)] += bytes;
+    incoming[static_cast<std::size_t>(to)] += bytes;
+  }
+  double worst = 0.0;
+  for (std::size_t p = 0; p < nprocs && p < cluster.size(); ++p) {
+    const double rate =
+        cluster.uplink(static_cast<grid::NodeId>(p)).effective_bytes_per_s();
+    if (rate <= 0.0) continue;
+    worst = std::max(worst, (outgoing[p] + incoming[p]) / rate);
+  }
+  return worst * config_.redistribution_overhead;
+}
+
+partition::OwnerMap project_owners(const partition::OwnerMap& source,
+                                   amr::IntVec3 source_dims,
+                                   amr::IntVec3 target_dims) {
+  if (target_dims.x % source_dims.x != 0 ||
+      target_dims.y % source_dims.y != 0 ||
+      target_dims.z % source_dims.z != 0)
+    throw std::invalid_argument("project_owners: dims must divide");
+  const int fx = target_dims.x / source_dims.x;
+  const int fy = target_dims.y / source_dims.y;
+  const int fz = target_dims.z / source_dims.z;
+
+  partition::OwnerMap out;
+  out.nprocs = source.nprocs;
+  out.owner.resize(static_cast<std::size_t>(target_dims.x) *
+                   static_cast<std::size_t>(target_dims.y) *
+                   static_cast<std::size_t>(target_dims.z));
+  for (int z = 0; z < target_dims.z; ++z)
+    for (int y = 0; y < target_dims.y; ++y)
+      for (int x = 0; x < target_dims.x; ++x) {
+        const std::size_t src =
+            static_cast<std::size_t>(x / fx) +
+            static_cast<std::size_t>(source_dims.x) *
+                (static_cast<std::size_t>(y / fy) +
+                 static_cast<std::size_t>(source_dims.y) *
+                     static_cast<std::size_t>(z / fz));
+        const std::size_t dst =
+            static_cast<std::size_t>(x) +
+            static_cast<std::size_t>(target_dims.x) *
+                (static_cast<std::size_t>(y) +
+                 static_cast<std::size_t>(target_dims.y) *
+                     static_cast<std::size_t>(z));
+        out.owner[dst] = source.owner[src];
+      }
+  return out;
+}
+
+}  // namespace pragma::core

@@ -1,0 +1,230 @@
+#include "pragma/core/managed_run.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "pragma/policy/builtin.hpp"
+#include "pragma/util/logging.hpp"
+
+namespace pragma::core {
+
+ManagedRun::ManagedRun(ManagedRunConfig config)
+    : config_(std::move(config)),
+      cluster_(config_.capacity_spread > 0.0
+                   ? [&] {
+                       util::Rng rng(config_.seed, 1);
+                       return grid::ClusterBuilder::heterogeneous(
+                           config_.nprocs, rng, 0.5, 512.0, 100.0, 150e-6,
+                           config_.capacity_spread);
+                     }()
+                   : grid::ClusterBuilder::homogeneous(config_.nprocs)),
+      calculator_(config_.weights),
+      policies_(policy::standard_policy_base()),
+      emulator_(config_.app),
+      model_(config_.exec) {
+  if (config_.with_background_load) {
+    loadgen_ = std::make_unique<grid::LoadGenerator>(
+        simulator_, cluster_, config_.load, util::Rng(config_.seed, 2));
+    loadgen_->start();
+  }
+  failures_ = std::make_unique<grid::FailureInjector>(simulator_, cluster_);
+  nws_ = std::make_unique<monitor::ResourceMonitor>(
+      simulator_, cluster_, monitor::ResourceMonitorConfig{},
+      util::Rng(config_.seed, 3));
+  nws_->start();
+  // Prime the monitor so the very first capacity calculation sees real
+  // readings instead of empty series.
+  nws_->sample_now();
+  meta_ = std::make_unique<MetaPartitioner>(policies_, config_.meta);
+  mcs_ = std::make_unique<agents::Mcs>(simulator_, policies_);
+
+  // Register the execution-environment template and build the control
+  // network (Fig. 1 flow).
+  agents::EnvTemplate blueprint;
+  blueprint.name = "managed-cluster";
+  blueprint.provides["arch"] = policy::Value{std::string("linux-cluster")};
+  blueprint.provides["nodes"] =
+      policy::Value{static_cast<double>(config_.nprocs)};
+  mcs_->registry().register_template(blueprint);
+
+  agents::AppSpec spec;
+  spec.name = "rm3d";
+  spec.requirements["arch"] = policy::Value{std::string("linux-cluster")};
+  spec.sample_period_s = config_.agent_period_s;
+  for (std::size_t c = 0; c < config_.nprocs; ++c)
+    spec.components.push_back("p" + std::to_string(c));
+  environment_ = mcs_->build(std::move(spec));
+  wire_agents();
+
+  trace_.add(amr::Snapshot{0, emulator_.hierarchy()});
+}
+
+void ManagedRun::wire_agents() {
+  for (std::size_t c = 0; c < environment_->agent_count(); ++c) {
+    agents::ComponentAgent& agent = environment_->agent(c);
+    const auto node = static_cast<grid::NodeId>(c);
+    agent.add_sensor(agents::Sensor{
+        "load", [this, node] {
+          return cluster_.node(node).state().background_load;
+        }});
+    agent.add_sensor(agents::Sensor{
+        "node_up", [this, node] {
+          return cluster_.node(node).state().up ? 1.0 : 0.0;
+        }});
+    agent.add_rule(agents::ThresholdRule{"load",
+                                         config_.load_event_threshold, true,
+                                         "load_high", 30.0});
+    agent.add_rule(
+        agents::ThresholdRule{"node_up", 0.5, false, "node_down", 20.0});
+  }
+
+  // The ADM's consolidated decisions act on the running assignment.
+  environment_->adm().set_directive_hook(
+      [this](const std::string& action, const policy::AttributeSet&) {
+        if (!has_assignment_) return std::vector<agents::PortId>{};
+        if (action == "migrate") {
+          // Failure response: redistribute over the surviving nodes.
+          ++report_.migrations;
+          repartition(/*count_as_regrid=*/false);
+        } else if (action == "repartition") {
+          ++report_.event_repartitions;
+          repartition(/*count_as_regrid=*/false);
+        }
+        return std::vector<agents::PortId>{};
+      });
+  environment_->start();
+}
+
+void ManagedRun::schedule_failure(double at_s, grid::NodeId node,
+                                  double downtime_s) {
+  failures_->schedule_failure(at_s, node, downtime_s);
+}
+
+std::vector<double> ManagedRun::current_targets() {
+  std::vector<double> targets;
+  if (config_.system_sensitive) {
+    const monitor::RelativeCapacities capacities =
+        config_.proactive ? calculator_.from_forecast(*nws_)
+                          : calculator_.from_current(*nws_);
+    targets = capacities.fraction;
+  } else {
+    targets.assign(config_.nprocs, 1.0);
+  }
+  // A downed node receives no work regardless of the capacity signal.
+  double total = 0.0;
+  for (std::size_t p = 0; p < targets.size(); ++p) {
+    if (!cluster_.node(static_cast<grid::NodeId>(p)).state().up)
+      targets[p] = 0.0;
+    total += targets[p];
+  }
+  if (total > 0.0)
+    for (double& t : targets) t /= total;
+  return targets;
+}
+
+void ManagedRun::repartition(bool count_as_regrid) {
+  // Dynamic application configuration (Section 3.5): low available memory
+  // on any live node bounds the refined patch size the regridder may emit.
+  double min_memory = std::numeric_limits<double>::infinity();
+  for (grid::NodeId p = 0; p < cluster_.size(); ++p)
+    if (cluster_.node(p).state().up)
+      min_memory = std::min(min_memory, nws_->current(p).memory_mib);
+  if (std::isfinite(min_memory)) {
+    policy::AttributeSet query;
+    query["memory"] = policy::Value{min_memory};
+    if (const auto bound = policies_.decide(query, "max_patch_cells"))
+      emulator_.set_max_box_cells(
+          static_cast<std::int64_t>(std::get<double>(*bound)));
+  }
+
+  const std::vector<double> targets = current_targets();
+  const partition::Partitioner& partitioner =
+      meta_->select(trace_, trace_.size() - 1);
+
+  const int grain = meta_->current_grain() > 0
+                        ? meta_->current_grain()
+                        : partitioner.preferred_grain();
+  const partition::WorkGrid native(emulator_.hierarchy(), grain,
+                                   partitioner.curve());
+  const partition::PartitionResult result =
+      partitioner.partition(native, targets);
+  canonical_.emplace(emulator_.hierarchy(), 2,
+                     partition::CurveKind::kHilbert);
+  partition::OwnerMap next = project_owners(
+      result.owners, native.lattice_dims(), canonical_->lattice_dims());
+
+  double overhead = model_.partition_cost(result.partition_seconds);
+  if (has_assignment_ && next.owner.size() == owners_.owner.size())
+    overhead += model_.migration_time(*canonical_, owners_, next, cluster_);
+  report_.total_time_s += overhead;
+
+  owners_ = std::move(next);
+  mapped_ = model_.map(*canonical_, owners_);
+  has_assignment_ = true;
+  if (count_as_regrid) ++report_.repartitions;
+  util::log_debug("managed run: repartitioned with ", partitioner.name(),
+                  count_as_regrid ? " (regrid)" : " (event)");
+}
+
+ManagedRunReport ManagedRun::run() {
+  repartition(/*count_as_regrid=*/true);
+
+  while (emulator_.step() < config_.app.coarse_steps) {
+    const bool regridded = emulator_.advance();
+    if (regridded) {
+      trace_.add(amr::Snapshot{emulator_.step(), emulator_.hierarchy()});
+      ++report_.regrids;
+      repartition(/*count_as_regrid=*/true);
+
+      ManagedStepRecord record;
+      record.step = emulator_.step();
+      const Selection& selection = meta_->history().back();
+      record.octant = octant::to_string(selection.state.octant());
+      record.partitioner = selection.partitioner;
+      record.sim_time_s = simulator_.now();
+      record.live_nodes = cluster_.up_count();
+      record.repartitioned = true;
+      const std::vector<double> targets = current_targets();
+      const std::vector<double> loads =
+          partition::processor_loads(*canonical_, owners_);
+      double worst = 0.0;
+      for (std::size_t p = 0; p < loads.size(); ++p)
+        if (targets[p] > 0.0)
+          worst = std::max(worst,
+                           loads[p] / (targets[p] * canonical_->total_work()));
+      record.imbalance = std::max(0.0, worst - 1.0);
+      report_.records.push_back(record);
+    }
+
+    // Cost this coarse step against the current cluster state.  If a node
+    // holding work has failed, the application stalls until the control
+    // network reacts (sensing, consolidation, migrate directive).
+    StepTime step = model_.time_of(mapped_, cluster_);
+    int stall_guard = 0;
+    while (!std::isfinite(step.total_s) && stall_guard < 600) {
+      const double before = simulator_.now();
+      simulator_.run(before + 1.0);  // let agents/ADM make progress
+      report_.total_time_s += simulator_.now() - before;
+      step = model_.time_of(mapped_, cluster_);
+      ++stall_guard;
+    }
+    if (!std::isfinite(step.total_s)) {
+      util::log_error("managed run: unrecoverable stall; aborting run");
+      break;
+    }
+    report_.total_time_s += step.total_s;
+    if (!report_.records.empty())
+      report_.records.back().step_time_s = step.total_s;
+    simulator_.run(simulator_.now() + step.total_s);
+  }
+
+  report_.partitioner_switches = meta_->switch_count();
+  std::size_t events = 0;
+  for (std::size_t c = 0; c < environment_->agent_count(); ++c)
+    events += environment_->agent(c).events_published();
+  report_.agent_events = events;
+  report_.adm_decisions = environment_->adm().decisions().size();
+  return report_;
+}
+
+}  // namespace pragma::core

@@ -1,0 +1,131 @@
+// The integrated Pragma runtime (Section 4.7): fully automated management
+// of a running SAMR application.
+//
+// "Using application management agents and the predictive system
+//  characterization models, Pragma extends this process to adaptively
+//  manage all applications components in an automated, scalable, reliable,
+//  and efficient manner."
+//
+// ManagedRun drives the complete loop inside one discrete-event
+// simulation:
+//
+//   RM3D emulator --regrid--> octant classification --policy--> partitioner
+//        ^                                                        |
+//        |            NWS monitor --capacities--> targets --------+
+//        |                                                        v
+//   step costing  <-- execution model <-- owner map <-- partition/project
+//
+// with the CATALINA control network overlaid: per-processor component
+// agents watch load and liveness sensors, publish threshold events, and
+// the ADM's consolidated decisions trigger out-of-band repartitioning
+// (including failure response: a downed node's work is redistributed over
+// the survivors).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pragma/agents/mcs.hpp"
+#include "pragma/amr/rm3d.hpp"
+#include "pragma/core/exec_model.hpp"
+#include "pragma/core/meta_partitioner.hpp"
+#include "pragma/grid/failure.hpp"
+#include "pragma/grid/loadgen.hpp"
+#include "pragma/monitor/capacity.hpp"
+
+namespace pragma::core {
+
+struct ManagedRunConfig {
+  amr::Rm3dConfig app;
+  std::size_t nprocs = 16;
+  /// Heterogeneous cluster (0 = homogeneous Blue-Horizon-like nodes).
+  double capacity_spread = 0.0;
+  /// Background load; ignored when disabled.
+  bool with_background_load = false;
+  grid::LoadGeneratorConfig load;
+  /// Use capacity-weighted targets from the monitor.
+  bool system_sensitive = false;
+  /// Use one-step forecasts instead of current readings for the capacity
+  /// calculation (proactive management — the paper's stated extension of
+  /// plain NWS consumption).
+  bool proactive = false;
+  monitor::CapacityWeights weights{0.8, 0.1, 0.1};
+  ExecModelConfig exec;
+  MetaPartitionerConfig meta;
+  /// Agent sampling period and load threshold for out-of-band events.
+  double agent_period_s = 2.0;
+  double load_event_threshold = 0.85;
+  std::uint64_t seed = 40;
+};
+
+/// One regrid-interval record of a managed run.
+struct ManagedStepRecord {
+  int step = 0;
+  std::string octant;
+  std::string partitioner;
+  double sim_time_s = 0.0;        ///< simulated wall time at this regrid
+  double step_time_s = 0.0;       ///< per coarse step
+  double imbalance = 0.0;
+  std::size_t live_nodes = 0;
+  bool repartitioned = false;     ///< regrid-driven repartition happened
+};
+
+struct ManagedRunReport {
+  double total_time_s = 0.0;       ///< simulated application execution time
+  std::size_t regrids = 0;
+  std::size_t repartitions = 0;    ///< regrid-driven
+  std::size_t agent_events = 0;    ///< threshold events published
+  std::size_t adm_decisions = 0;
+  std::size_t event_repartitions = 0;  ///< out-of-band, agent-triggered
+  std::size_t migrations = 0;          ///< failure-driven component moves
+  std::size_t partitioner_switches = 0;
+  std::vector<ManagedStepRecord> records;
+};
+
+/// Drives a fully managed execution of the RM3D emulator.
+class ManagedRun {
+ public:
+  explicit ManagedRun(ManagedRunConfig config = {});
+
+  /// Inject a node failure at simulated time `at` (recovering after
+  /// `downtime_s`; negative = permanent).  Call before run().
+  void schedule_failure(double at_s, grid::NodeId node, double downtime_s);
+
+  /// Execute the whole configured application run.
+  [[nodiscard]] ManagedRunReport run();
+
+  [[nodiscard]] const grid::Cluster& cluster() const { return cluster_; }
+  [[nodiscard]] const ManagedRunConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] std::vector<double> current_targets();
+  void repartition(bool count_as_regrid);
+  void wire_agents();
+
+  ManagedRunConfig config_;
+  sim::Simulator simulator_;
+  grid::Cluster cluster_;
+  std::unique_ptr<grid::LoadGenerator> loadgen_;
+  std::unique_ptr<grid::FailureInjector> failures_;
+  std::unique_ptr<monitor::ResourceMonitor> nws_;
+  monitor::CapacityCalculator calculator_;
+  policy::PolicyBase policies_;
+  std::unique_ptr<agents::Mcs> mcs_;
+  std::unique_ptr<agents::Environment> environment_;
+  amr::Rm3dEmulator emulator_;
+  amr::AdaptationTrace trace_;  // grows as the run progresses
+  std::unique_ptr<MetaPartitioner> meta_;
+  ExecutionModel model_;
+
+  // Current assignment state.
+  std::optional<partition::WorkGrid> canonical_;
+  partition::OwnerMap owners_;
+  MappedLoad mapped_;
+  bool has_assignment_ = false;
+
+  ManagedRunReport report_;
+};
+
+}  // namespace pragma::core

@@ -1,0 +1,217 @@
+#include "pragma/core/trace_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+namespace pragma::core {
+
+TraceRunner::TraceRunner(const amr::AdaptationTrace& trace,
+                         const grid::Cluster& cluster, TraceRunConfig config)
+    : trace_(trace),
+      cluster_(cluster),
+      config_(std::move(config)),
+      model_(config_.exec) {
+  if (trace_.empty()) throw std::invalid_argument("TraceRunner: empty trace");
+  if (config_.nprocs == 0 || config_.nprocs > cluster_.size())
+    throw std::invalid_argument("TraceRunner: bad processor count");
+  if (config_.targets.empty())
+    config_.targets = partition::equal_targets(config_.nprocs);
+  if (config_.targets.size() != config_.nprocs)
+    throw std::invalid_argument("TraceRunner: targets/nprocs mismatch");
+}
+
+RunSummary TraceRunner::run_static(const partition::Partitioner& fixed) {
+  return replay(fixed.name(),
+                [&fixed](std::size_t) -> const partition::Partitioner& {
+                  return fixed;
+                },
+                nullptr);
+}
+
+RunSummary TraceRunner::run_static(const std::string& partitioner_name) {
+  const auto partitioner = partition::make_partitioner(
+      partitioner_name, config_.meta.partitioner_options);
+  return replay(partitioner_name,
+                [&partitioner](std::size_t) -> const partition::Partitioner& {
+                  return *partitioner;
+                },
+                nullptr);
+}
+
+RunSummary TraceRunner::run_adaptive(const policy::PolicyBase& policies) {
+  MetaPartitioner meta(policies, config_.meta);
+  return replay("adaptive",
+                [&](std::size_t i) -> const partition::Partitioner& {
+                  return meta.select(trace_, i);
+                },
+                &meta);
+}
+
+RunSummary TraceRunner::replay(
+    const std::string& label,
+    const std::function<const partition::Partitioner&(std::size_t)>& select,
+    MetaPartitioner* meta) {
+  RunSummary summary;
+  summary.label = label;
+  baseline_imbalance_ = 0.0;
+
+  partition::OwnerMap previous_canonical;
+  bool has_previous = false;
+
+  double weighted_imbalance = 0.0;
+  double weighted_efficiency = 0.0;
+  double total_steps = 0.0;
+
+  // Canonical work grid of the *next* snapshot, carried across iterations
+  // so each snapshot's grid is built exactly once.
+  std::unique_ptr<partition::WorkGrid> next_canonical;
+
+  for (std::size_t i = 0; i < trace_.size(); ++i) {
+    const amr::Snapshot& snapshot = trace_.at(i);
+    const amr::GridHierarchy& hierarchy = snapshot.hierarchy;
+
+    // Steps this snapshot's partition stays in effect.
+    int steps_covered;
+    if (i + 1 < trace_.size()) {
+      steps_covered = trace_.at(i + 1).step - snapshot.step;
+    } else if (i > 0) {
+      steps_covered = snapshot.step - trace_.at(i - 1).step;
+    } else {
+      steps_covered = 1;
+    }
+
+    const partition::Partitioner& partitioner = select(i);
+
+    const partition::WorkGrid canonical =
+        next_canonical ? std::move(*next_canonical)
+                       : partition::WorkGrid(hierarchy,
+                                             config_.canonical_grain,
+                                             partition::CurveKind::kHilbert);
+    next_canonical.reset();
+
+    // Agent-triggered repartitioning (adaptive runs only): keep the
+    // previous partition while its imbalance on the *current* workload has
+    // not drifted more than the trigger threshold above the imbalance it
+    // had when it was computed — saving the partitioning and redistribution
+    // costs that static schemes pay at every regrid.  In dynamic phases the
+    // drift crosses the threshold almost immediately, so repartitioning
+    // stays regrid-frequent there.
+    bool reuse_previous = false;
+    if (meta != nullptr && has_previous &&
+        config_.repartition_threshold > 0.0) {
+      const std::vector<double> loads =
+          partition::processor_loads(canonical, previous_canonical);
+      const double total = canonical.total_work();
+      double worst = 0.0;
+      for (std::size_t p = 0; p < loads.size(); ++p) {
+        const double share = config_.targets[p];
+        if (share > 0.0 && total > 0.0)
+          worst = std::max(worst, loads[p] / (share * total));
+      }
+      reuse_previous = (worst - 1.0) <
+                       baseline_imbalance_ + config_.repartition_threshold;
+    }
+
+    partition::OwnerMap owners;
+    partition::PartitionResult result;
+    if (reuse_previous) {
+      owners = previous_canonical;
+      result.partitioner = summary.records.back().partitioner;
+      result.partition_seconds = 0.0;
+    } else {
+      // Partition at the partitioner's preferred granularity/curve (unless
+      // a policy configured a grain for this selection), then project onto
+      // the canonical lattice used by the execution model (so that
+      // migration is comparable across partitioners).
+      const int grain = (meta != nullptr && meta->current_grain() > 0)
+                            ? meta->current_grain()
+                            : partitioner.preferred_grain();
+      const partition::WorkGrid native(hierarchy, grain,
+                                       partitioner.curve());
+      result = partitioner.partition(native, config_.targets);
+      owners = project_owners(result.owners, native.lattice_dims(),
+                              canonical.lattice_dims());
+    }
+
+    // A partition computed at this regrid is applied until the next one,
+    // during which the refinement pattern keeps evolving: the first half of
+    // the covered steps run against this snapshot's workload, the second
+    // half against the next snapshot's (the "stale partition" effect that
+    // penalizes expensive balancing in highly dynamic phases).
+    const StepTime fresh = model_.step_time(canonical, owners, cluster_);
+    StepTime stale = fresh;
+    if (i + 1 < trace_.size()) {
+      next_canonical = std::make_unique<partition::WorkGrid>(
+          trace_.at(i + 1).hierarchy, config_.canonical_grain,
+          partition::CurveKind::kHilbert);
+      stale = model_.step_time(*next_canonical, owners, cluster_);
+    }
+    const double sw = std::clamp(config_.stale_weight, 0.0, 1.0);
+    StepTime step;
+    step.total_s = fresh.total_s * (1.0 - sw) + stale.total_s * sw;
+    step.compute_s = fresh.compute_s * (1.0 - sw) + stale.compute_s * sw;
+    step.comm_s = fresh.comm_s * (1.0 - sw) + stale.comm_s * sw;
+
+    SnapshotRecord record;
+    record.step = snapshot.step;
+    record.partitioner = result.partitioner;
+    if (meta && !meta->history().empty())
+      record.octant =
+          octant::to_string(meta->history().back().state.octant());
+    record.step_time_s = step.total_s;
+
+    partition::PartitionResult canonical_result;
+    canonical_result.owners = owners;
+    canonical_result.partitioner = result.partitioner;
+    canonical_result.partition_seconds = result.partition_seconds;
+    const partition::PacMetrics pac = partition::evaluate_pac(
+        canonical, canonical_result, config_.targets,
+        has_previous ? &previous_canonical : nullptr);
+    record.imbalance = pac.load_imbalance;
+    record.comm_volume = pac.communication;
+    if (!reuse_previous) baseline_imbalance_ = pac.load_imbalance;
+
+    record.partition_s = model_.partition_cost(result.partition_seconds);
+    if (has_previous)
+      record.migration_s = model_.migration_time(canonical,
+                                                 previous_canonical, owners,
+                                                 cluster_);
+
+    // AMR efficiency: adaptivity saving relative to a uniformly fine grid,
+    // with the partitioner's ghost overhead charged as extra work.
+    const double uniform = hierarchy.uniform_fine_work();
+    record.amr_efficiency =
+        uniform > 0.0
+            ? 1.0 - (hierarchy.total_work() + 0.5 * pac.communication) /
+                        uniform
+            : 0.0;
+
+    const auto steps = static_cast<double>(steps_covered);
+    summary.runtime_s +=
+        step.total_s * steps + record.migration_s + record.partition_s;
+    summary.compute_s += step.compute_s * steps;
+    summary.comm_s += step.comm_s * steps;
+    summary.migration_s += record.migration_s;
+    summary.partition_s += record.partition_s;
+    summary.max_imbalance = std::max(summary.max_imbalance, record.imbalance);
+    weighted_imbalance += record.imbalance * steps;
+    weighted_efficiency += record.amr_efficiency * steps;
+    total_steps += steps;
+
+    summary.records.push_back(std::move(record));
+    previous_canonical = std::move(owners);
+    has_previous = true;
+  }
+
+  if (total_steps > 0.0) {
+    summary.mean_imbalance = weighted_imbalance / total_steps;
+    summary.amr_efficiency = weighted_efficiency / total_steps;
+  }
+  if (meta) summary.switches = meta->switch_count();
+  return summary;
+}
+
+}  // namespace pragma::core

@@ -1,0 +1,101 @@
+// Trace replay: evaluates partitioning strategies over a full adaptation
+// trace on a simulated cluster (the Table 4 experiment).
+//
+// "The experiments consisted of measuring application execution times for
+//  different processor configurations, with the partitioning parameters
+//  switched on-the-fly during application execution."
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pragma/amr/trace.hpp"
+#include "pragma/core/exec_model.hpp"
+#include "pragma/core/meta_partitioner.hpp"
+#include "pragma/grid/cluster.hpp"
+
+namespace pragma::core {
+
+struct TraceRunConfig {
+  ExecModelConfig exec;
+  MetaPartitionerConfig meta;
+  /// Number of processors (cluster nodes used).
+  std::size_t nprocs = 64;
+  /// Canonical metric/execution lattice grain (level-0 cells per edge).
+  int canonical_grain = 2;
+  /// Per-processor target fractions; empty = equal shares.
+  std::vector<double> targets;
+  /// Fraction of each regrid interval's steps evaluated against the *next*
+  /// snapshot's workload — the partition goes stale as refinement evolves.
+  /// Steps at drift fractions 0, 1/4, 2/4, 3/4 average to 0.375.
+  double stale_weight = 0.375;
+  /// Adaptive runs only: when the application is in a low-dynamics octant,
+  /// the existing partition is kept as long as its imbalance on the current
+  /// workload stays below this threshold (the paper's agent-triggered
+  /// repartitioning: "a local agent is used to generate events when the
+  /// load reaches a certain threshold - this event can then trigger
+  /// repartitioning").  Static baselines repartition at every regrid, as
+  /// the original SAMR framework did.  Set to 0 to disable.
+  double repartition_threshold = 0.20;
+};
+
+/// Per-snapshot record of a replay.
+struct SnapshotRecord {
+  int step = 0;
+  std::string partitioner;
+  std::string octant;      ///< empty for static runs
+  double step_time_s = 0.0;      ///< one coarse step
+  double imbalance = 0.0;        ///< max-over-target fraction
+  double comm_volume = 0.0;      ///< MIT-weighted ghost face cells
+  double migration_s = 0.0;      ///< redistribution cost at this regrid
+  double partition_s = 0.0;      ///< simulated partitioning cost
+  double amr_efficiency = 0.0;
+};
+
+struct RunSummary {
+  std::string label;
+  double runtime_s = 0.0;    ///< total simulated execution time
+  double compute_s = 0.0;    ///< critical-path compute component
+  double comm_s = 0.0;       ///< critical-path communication component
+  double migration_s = 0.0;
+  double partition_s = 0.0;
+  double max_imbalance = 0.0;   ///< worst snapshot imbalance
+  double mean_imbalance = 0.0;  ///< step-weighted mean imbalance
+  double amr_efficiency = 0.0;  ///< step-weighted mean
+  std::size_t switches = 0;     ///< partitioner switches (adaptive runs)
+  std::vector<SnapshotRecord> records;
+};
+
+class TraceRunner {
+ public:
+  TraceRunner(const amr::AdaptationTrace& trace, const grid::Cluster& cluster,
+              TraceRunConfig config = {});
+
+  /// Replay with one fixed partitioner.
+  [[nodiscard]] RunSummary run_static(const partition::Partitioner& fixed);
+  [[nodiscard]] RunSummary run_static(const std::string& partitioner_name);
+
+  /// Replay with the octant-driven adaptive meta-partitioner.
+  [[nodiscard]] RunSummary run_adaptive(const policy::PolicyBase& policies);
+
+  [[nodiscard]] const TraceRunConfig& config() const { return config_; }
+
+ private:
+  struct SelectionFn;
+  [[nodiscard]] RunSummary replay(
+      const std::string& label,
+      const std::function<const partition::Partitioner&(std::size_t)>&
+          select,
+      MetaPartitioner* meta);
+
+  const amr::AdaptationTrace& trace_;
+  const grid::Cluster& cluster_;
+  TraceRunConfig config_;
+  ExecutionModel model_;
+  /// Imbalance of the current partition at the regrid it was computed
+  /// (adaptive runs: the load-threshold trigger compares drift to this).
+  double baseline_imbalance_ = 0.0;
+};
+
+}  // namespace pragma::core

@@ -1,0 +1,47 @@
+#include "pragma/grid/failure.hpp"
+
+namespace pragma::grid {
+
+FailureInjector::FailureInjector(sim::Simulator& simulator, Cluster& cluster)
+    : simulator_(simulator), cluster_(cluster) {}
+
+void FailureInjector::schedule_failure(sim::SimTime at, NodeId node,
+                                       double downtime_s) {
+  simulator_.schedule_at(at, [this, node, downtime_s] {
+    apply(node, false);
+    if (downtime_s >= 0.0)
+      simulator_.schedule(downtime_s, [this, node] { apply(node, true); });
+  });
+}
+
+void FailureInjector::start_random(double mtbf_s, double mttr_s,
+                                   util::Rng rng) {
+  mtbf_s_ = mtbf_s;
+  mttr_s_ = mttr_s;
+  rng_ = rng;
+  random_active_ = true;
+  for (NodeId id = 0; id < cluster_.size(); ++id) arm_random_failure(id);
+}
+
+void FailureInjector::arm_random_failure(NodeId node) {
+  const double wait = rng_.exponential(1.0 / mtbf_s_);
+  simulator_.schedule(wait, [this, node] {
+    if (!random_active_) return;
+    apply(node, false);
+    const double downtime = rng_.exponential(1.0 / mttr_s_);
+    simulator_.schedule(downtime, [this, node] {
+      if (!random_active_) return;
+      apply(node, true);
+      arm_random_failure(node);
+    });
+  });
+}
+
+void FailureInjector::apply(NodeId node, bool up) {
+  cluster_.node(node).state().up = up;
+  const FailureEvent event{simulator_.now(), node, up};
+  history_.push_back(event);
+  if (observer_) observer_(event);
+}
+
+}  // namespace pragma::grid

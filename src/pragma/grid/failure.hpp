@@ -1,0 +1,60 @@
+// Failure injection for the simulated grid.
+//
+// Pragma's control network must "respond to system failures"; this component
+// schedules node-down / node-up events so that agent tests and examples can
+// exercise migration and repartitioning on failure.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "pragma/grid/cluster.hpp"
+#include "pragma/sim/simulator.hpp"
+#include "pragma/util/rng.hpp"
+
+namespace pragma::grid {
+
+struct FailureEvent {
+  sim::SimTime time;
+  NodeId node;
+  bool up;  // true = recovery, false = failure
+};
+
+/// Injects failures into a cluster, either from an explicit schedule or from
+/// a random exponential process.  An observer callback fires on each change
+/// (the agent control network subscribes to this).
+class FailureInjector {
+ public:
+  using Observer = std::function<void(const FailureEvent&)>;
+
+  FailureInjector(sim::Simulator& simulator, Cluster& cluster);
+
+  /// Fail `node` at absolute time `at`, recover after `downtime` seconds
+  /// (no recovery if downtime < 0).
+  void schedule_failure(sim::SimTime at, NodeId node, double downtime_s);
+
+  /// Start a random failure process: each node independently fails with the
+  /// given MTBF (exponential), staying down for `mttr_s` mean seconds.
+  void start_random(double mtbf_s, double mttr_s, util::Rng rng);
+
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  [[nodiscard]] const std::vector<FailureEvent>& history() const {
+    return history_;
+  }
+
+ private:
+  void apply(NodeId node, bool up);
+  void arm_random_failure(NodeId node);
+
+  sim::Simulator& simulator_;
+  Cluster& cluster_;
+  Observer observer_;
+  std::vector<FailureEvent> history_;
+  double mtbf_s_ = 0.0;
+  double mttr_s_ = 0.0;
+  util::Rng rng_;
+  bool random_active_ = false;
+};
+
+}  // namespace pragma::grid

@@ -1,0 +1,54 @@
+// Network-link model for the simulated grid testbed.
+//
+// Each node connects to a central switch through a full-duplex uplink;
+// node-to-node transfers traverse two links plus the switch.  Links carry a
+// dynamic background-traffic fraction mutated by the load generator and
+// sampled by bandwidth sensors (the NWS analogue).
+#pragma once
+
+#include <cstdint>
+
+namespace pragma::grid {
+
+/// Static description of a link.
+struct LinkSpec {
+  /// Raw capacity in megabits per second (the paper's cluster uses 100 Mb/s
+  /// fast Ethernet).
+  double bandwidth_mbps = 100.0;
+  /// One-way propagation + protocol latency in seconds.
+  double latency_s = 100e-6;
+};
+
+/// Dynamic link state.
+struct LinkState {
+  /// Fraction of capacity consumed by background traffic, in [0, 1).
+  double background_utilization = 0.0;
+  bool up = true;
+};
+
+class Link {
+ public:
+  Link() = default;
+  explicit Link(LinkSpec spec) : spec_(spec) {}
+
+  [[nodiscard]] const LinkSpec& spec() const { return spec_; }
+  [[nodiscard]] LinkState& state() { return state_; }
+  [[nodiscard]] const LinkState& state() const { return state_; }
+
+  /// Bytes/second available to the application right now.
+  [[nodiscard]] double effective_bytes_per_s() const {
+    if (!state_.up) return 0.0;
+    return spec_.bandwidth_mbps * 1.0e6 / 8.0 *
+           (1.0 - state_.background_utilization);
+  }
+
+  /// Seconds to move `bytes` across this link (latency + serialization).
+  /// Returns +inf when the link is down.
+  [[nodiscard]] double transfer_time(double bytes) const;
+
+ private:
+  LinkSpec spec_;
+  LinkState state_;
+};
+
+}  // namespace pragma::grid

@@ -1,0 +1,77 @@
+#include "pragma/grid/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pragma::grid {
+
+LoadGenerator::LoadGenerator(sim::Simulator& simulator, Cluster& cluster,
+                             LoadGeneratorConfig config, util::Rng rng)
+    : simulator_(simulator),
+      cluster_(cluster),
+      config_(config),
+      rng_(rng),
+      burst_until_(cluster.size(), -1.0) {
+  node_targets_.reserve(cluster_.size());
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    // Spread long-run means across nodes: target = mean * (1 + bias) with
+    // bias uniform in [-spread, +spread], clamped to a sane range.
+    const double bias = rng_.uniform(-config_.node_bias_spread,
+                                     config_.node_bias_spread);
+    node_targets_.push_back(
+        std::clamp(config_.mean_cpu_load * (1.0 + bias), 0.0, 0.9));
+  }
+}
+
+void LoadGenerator::start() {
+  if (running_) return;
+  running_ = true;
+  tick_ = simulator_.schedule_periodic(config_.update_period_s,
+                                       [this] { update(); },
+                                       /*first_delay=*/0.0);
+}
+
+void LoadGenerator::stop() {
+  if (!running_) return;
+  running_ = false;
+  simulator_.cancel(tick_);
+}
+
+void LoadGenerator::update() {
+  const double now = simulator_.now();
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    Node& node = cluster_.node(static_cast<NodeId>(i));
+    NodeState& state = node.state();
+
+    // Mean-reverting random walk toward this node's long-run target.
+    double load = state.background_load;
+    load += config_.reversion * (node_targets_[i] - load);
+    load += rng_.normal(0.0, config_.volatility);
+
+    // Heavy-tailed bursts: a competing job arrives and occupies the node.
+    if (burst_until_[i] > now) {
+      load += config_.burst_load;
+    } else if (rng_.bernoulli(config_.burst_probability)) {
+      const double duration =
+          rng_.pareto(config_.burst_duration_s / 3.0, 1.5);
+      burst_until_[i] = now + std::min(duration, 20.0 * config_.burst_duration_s);
+      load += config_.burst_load;
+    }
+    state.background_load = std::clamp(load, 0.0, 0.95);
+
+    // Memory pressure loosely tracks CPU load with noise.
+    state.memory_pressure = std::clamp(
+        0.5 * state.background_load + rng_.normal(0.05, 0.02), 0.0, 0.9);
+
+    // Link background utilization: mean-reverting around the configured
+    // mean, bursty when the node itself is bursting.
+    LinkState& link = cluster_.uplink(static_cast<NodeId>(i)).state();
+    double util = link.background_utilization;
+    util += config_.reversion * (config_.mean_link_utilization - util);
+    util += rng_.normal(0.0, config_.volatility * 0.5);
+    if (burst_until_[i] > now) util += 0.2;
+    link.background_utilization = std::clamp(util, 0.0, 0.9);
+  }
+}
+
+}  // namespace pragma::grid

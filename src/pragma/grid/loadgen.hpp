@@ -1,0 +1,75 @@
+// Synthetic load generator.
+//
+// The paper's Table 5 experiment "consisted of a synthetic load generator
+// (for simulating heterogeneous loads on the cluster nodes) and an external
+// resource monitoring system".  This component reproduces that generator:
+// per-node background CPU load follows a bounded mean-reverting random walk
+// with heavy-tailed on/off bursts, and per-link background traffic follows a
+// similar process.  All mutations run as events on the shared Simulator so
+// that monitors observe a time-varying environment.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pragma/grid/cluster.hpp"
+#include "pragma/sim/simulator.hpp"
+#include "pragma/util/rng.hpp"
+
+namespace pragma::grid {
+
+struct LoadGeneratorConfig {
+  /// Seconds between load updates.
+  double update_period_s = 1.0;
+  /// Long-run mean background CPU load per node, in [0, 1).
+  double mean_cpu_load = 0.30;
+  /// Mean-reversion strength per update (0 = pure random walk).
+  double reversion = 0.15;
+  /// Per-update random step standard deviation.
+  double volatility = 0.08;
+  /// Probability per update that a heavy burst starts on a node.
+  double burst_probability = 0.01;
+  /// Burst magnitude added to the load (clamped below 0.95).
+  double burst_load = 0.45;
+  /// Mean burst duration in seconds (Pareto-distributed, shape 1.5).
+  double burst_duration_s = 20.0;
+  /// Long-run mean background link utilization, in [0, 1).
+  double mean_link_utilization = 0.10;
+  /// Per-node scaling of mean load; >0 spreads mean loads across nodes so
+  /// that some nodes are persistently busier (heterogeneous *load*, on top
+  /// of heterogeneous *capacity*).
+  double node_bias_spread = 0.5;
+};
+
+/// Drives background load on every node/link of a Cluster.
+class LoadGenerator {
+ public:
+  LoadGenerator(sim::Simulator& simulator, Cluster& cluster,
+                LoadGeneratorConfig config, util::Rng rng);
+
+  /// Begin generating load (schedules the periodic update).
+  void start();
+  /// Stop generating load.
+  void stop();
+
+  [[nodiscard]] const LoadGeneratorConfig& config() const { return config_; }
+
+  /// Per-node long-run target loads (after bias spreading), for tests.
+  [[nodiscard]] const std::vector<double>& node_targets() const {
+    return node_targets_;
+  }
+
+ private:
+  void update();
+
+  sim::Simulator& simulator_;
+  Cluster& cluster_;
+  LoadGeneratorConfig config_;
+  util::Rng rng_;
+  std::vector<double> node_targets_;
+  std::vector<double> burst_until_;  // sim time at which a node's burst ends
+  sim::EventHandle tick_;
+  bool running_ = false;
+};
+
+}  // namespace pragma::grid

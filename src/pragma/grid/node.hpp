@@ -1,0 +1,73 @@
+// Compute-node model for the simulated grid testbed.
+//
+// A node has a static specification (peak speed, memory, architecture tag)
+// and a dynamic state (background load from other grid users, available
+// memory, up/down).  The synthetic load generator mutates the dynamic state
+// over simulated time; monitors sample it; the execution model charges
+// compute time against the *effective* speed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pragma::grid {
+
+using NodeId = std::uint32_t;
+
+/// Static description of a compute node.
+struct NodeSpec {
+  NodeId id = 0;
+  std::string name;
+  /// Peak floating-point rate in Gflop/s used to convert work units to time.
+  double peak_gflops = 1.0;
+  /// Physical memory in MiB.
+  double memory_mib = 1024.0;
+  /// Architecture tag consumed by policies ("sp2", "linux-cluster", ...).
+  std::string arch = "linux-cluster";
+  /// Grid site this node belongs to (federated configurations; transfers
+  /// between different sites traverse the WAN link).
+  int site = 0;
+};
+
+/// Dynamic, time-varying node state.
+struct NodeState {
+  /// Fraction of the CPU consumed by competing (background) work, in [0, 1).
+  double background_load = 0.0;
+  /// Fraction of memory consumed by competing work, in [0, 1).
+  double memory_pressure = 0.0;
+  /// False while the node is failed.
+  bool up = true;
+};
+
+/// A node: spec + mutable state.
+class Node {
+ public:
+  Node() = default;
+  explicit Node(NodeSpec spec) : spec_(std::move(spec)) {}
+
+  [[nodiscard]] const NodeSpec& spec() const { return spec_; }
+  [[nodiscard]] NodeState& state() { return state_; }
+  [[nodiscard]] const NodeState& state() const { return state_; }
+
+  /// Gflop/s available to the application right now.
+  [[nodiscard]] double effective_gflops() const {
+    if (!state_.up) return 0.0;
+    return spec_.peak_gflops * (1.0 - state_.background_load);
+  }
+
+  /// MiB of memory available to the application right now.
+  [[nodiscard]] double available_memory_mib() const {
+    if (!state_.up) return 0.0;
+    return spec_.memory_mib * (1.0 - state_.memory_pressure);
+  }
+
+  /// Seconds to execute `gflop` units of work at current effective speed.
+  /// Returns +inf when the node is down or fully loaded.
+  [[nodiscard]] double compute_time(double gflop) const;
+
+ private:
+  NodeSpec spec_;
+  NodeState state_;
+};
+
+}  // namespace pragma::grid

@@ -1,0 +1,87 @@
+#include "pragma/monitor/capacity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pragma::monitor {
+
+namespace {
+
+RelativeCapacities combine(const std::vector<double>& cpu,
+                           const std::vector<double>& mem,
+                           const std::vector<double>& bw,
+                           const CapacityWeights& weights) {
+  const std::size_t n = cpu.size();
+  RelativeCapacities out;
+  out.fraction.assign(n, 0.0);
+
+  auto normalize = [](const std::vector<double>& xs) {
+    double total = 0.0;
+    for (double x : xs) total += std::max(0.0, x);
+    std::vector<double> norm(xs.size(), 0.0);
+    if (total <= 0.0) return norm;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      norm[i] = std::max(0.0, xs[i]) / total;
+    return norm;
+  };
+
+  const std::vector<double> ncpu = normalize(cpu);
+  const std::vector<double> nmem = normalize(mem);
+  const std::vector<double> nbw = normalize(bw);
+
+  double wsum = weights.cpu + weights.memory + weights.bandwidth;
+  if (wsum <= 0.0) wsum = 1.0;
+  const double wc = weights.cpu / wsum;
+  const double wm = weights.memory / wsum;
+  const double wb = weights.bandwidth / wsum;
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.fraction[i] = wc * ncpu[i] + wm * nmem[i] + wb * nbw[i];
+    total += out.fraction[i];
+  }
+  if (total > 0.0)
+    for (double& f : out.fraction) f /= total;
+  return out;
+}
+
+}  // namespace
+
+RelativeCapacities CapacityCalculator::from_current(
+    const ResourceMonitor& monitor) const {
+  const std::size_t n = monitor.node_count();
+  std::vector<double> cpu(n), mem(n), bw(n);
+  for (grid::NodeId i = 0; i < n; ++i) {
+    const NodeReading reading = monitor.current(i);
+    cpu[i] = reading.cpu_gflops;
+    mem[i] = reading.memory_mib;
+    bw[i] = reading.bandwidth_mbps;
+  }
+  return combine(cpu, mem, bw, weights_);
+}
+
+RelativeCapacities CapacityCalculator::from_forecast(
+    const ResourceMonitor& monitor) const {
+  const std::size_t n = monitor.node_count();
+  std::vector<double> cpu(n), mem(n), bw(n);
+  for (grid::NodeId i = 0; i < n; ++i) {
+    cpu[i] = monitor.forecast(i, Resource::kCpu);
+    mem[i] = monitor.forecast(i, Resource::kMemory);
+    bw[i] = monitor.forecast(i, Resource::kBandwidth);
+  }
+  return combine(cpu, mem, bw, weights_);
+}
+
+RelativeCapacities CapacityCalculator::from_readings(
+    const std::vector<NodeReading>& readings) const {
+  const std::size_t n = readings.size();
+  std::vector<double> cpu(n), mem(n), bw(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cpu[i] = readings[i].cpu_gflops;
+    mem[i] = readings[i].memory_mib;
+    bw[i] = readings[i].bandwidth_mbps;
+  }
+  return combine(cpu, mem, bw, weights_);
+}
+
+}  // namespace pragma::monitor

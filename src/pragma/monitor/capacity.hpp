@@ -1,0 +1,59 @@
+// Relative-capacity calculator (Figure 4, left half).
+//
+// "The relative capacity C_i for the i-th grid-element is defined as the
+//  weighted sum of normalized values of the individual available CPU P_i,
+//  memory M_i, and link bandwidth B_i capacities returned by NWS.  Weights
+//  are application dependent and reflect its computational, memory, and
+//  communication requirements.  Once the relative capacities of the
+//  processors are computed, the workload is distributed proportionately."
+#pragma once
+
+#include <vector>
+
+#include "pragma/monitor/resource_monitor.hpp"
+
+namespace pragma::monitor {
+
+/// Application-dependent weights for combining resource dimensions.
+/// They are normalized to sum to 1 at use time.
+struct CapacityWeights {
+  double cpu = 0.6;
+  double memory = 0.2;
+  double bandwidth = 0.2;
+};
+
+/// The computed capacities: one non-negative fraction per node, summing to 1
+/// over nodes that are up (all zeros if nothing is available).
+struct RelativeCapacities {
+  std::vector<double> fraction;
+  [[nodiscard]] std::size_t size() const { return fraction.size(); }
+  [[nodiscard]] double operator[](std::size_t i) const { return fraction[i]; }
+};
+
+class CapacityCalculator {
+ public:
+  explicit CapacityCalculator(CapacityWeights weights = {})
+      : weights_(weights) {}
+
+  [[nodiscard]] const CapacityWeights& weights() const { return weights_; }
+  void set_weights(CapacityWeights weights) { weights_ = weights; }
+
+  /// Compute capacities from the monitor's *current* readings.
+  [[nodiscard]] RelativeCapacities from_current(
+      const ResourceMonitor& monitor) const;
+
+  /// Compute capacities from the monitor's one-step *forecasts* (proactive
+  /// management, the Pragma extension over plain NWS consumption).
+  [[nodiscard]] RelativeCapacities from_forecast(
+      const ResourceMonitor& monitor) const;
+
+  /// Compute capacities from raw readings (used by tests and by callers
+  /// that bypass the monitor).
+  [[nodiscard]] RelativeCapacities from_readings(
+      const std::vector<NodeReading>& readings) const;
+
+ private:
+  CapacityWeights weights_;
+};
+
+}  // namespace pragma::monitor

@@ -1,0 +1,131 @@
+#include "pragma/monitor/forecaster.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pragma::monitor {
+
+std::string SlidingMeanForecaster::name() const {
+  return "sliding_mean(" + std::to_string(window_.capacity()) + ")";
+}
+
+std::string SlidingMedianForecaster::name() const {
+  return "sliding_median(" + std::to_string(window_.capacity()) + ")";
+}
+
+std::string ExpSmoothingForecaster::name() const {
+  return "exp_smooth(" + std::to_string(alpha_) + ")";
+}
+
+std::string Ar1Forecaster::name() const {
+  return "ar1(" + std::to_string(window_.capacity()) + ")";
+}
+
+void Ar1Forecaster::observe(double value) {
+  window_.push(value);
+  last_ = value;
+  has_last_ = true;
+}
+
+double Ar1Forecaster::predict() const {
+  if (!has_last_) return 0.0;
+  const std::vector<double> values = window_.values();
+  if (values.size() < 4) return last_;
+  std::vector<double> x(values.begin(), values.end() - 1);
+  std::vector<double> y(values.begin() + 1, values.end());
+  const util::LinearFit fit = util::linear_fit(x, y);
+  // Guard against unstable fits on flat or degenerate windows.
+  if (!std::isfinite(fit.slope) || std::abs(fit.slope) > 2.0) return last_;
+  return fit.intercept + fit.slope * last_;
+}
+
+AdaptiveForecaster::AdaptiveForecaster(
+    std::vector<std::unique_ptr<Forecaster>> members,
+    std::size_t error_window)
+    : error_window_(error_window) {
+  if (members.empty())
+    throw std::invalid_argument("AdaptiveForecaster: no members");
+  members_.reserve(members.size());
+  for (auto& member : members)
+    members_.push_back(
+        Member{std::move(member), util::SlidingWindow(error_window_)});
+}
+
+std::unique_ptr<AdaptiveForecaster> AdaptiveForecaster::standard(
+    std::size_t error_window) {
+  std::vector<std::unique_ptr<Forecaster>> members;
+  members.push_back(std::make_unique<LastValueForecaster>());
+  members.push_back(std::make_unique<RunningMeanForecaster>());
+  members.push_back(std::make_unique<SlidingMeanForecaster>(8));
+  members.push_back(std::make_unique<SlidingMeanForecaster>(32));
+  members.push_back(std::make_unique<SlidingMedianForecaster>(15));
+  members.push_back(std::make_unique<ExpSmoothingForecaster>(0.25));
+  members.push_back(std::make_unique<ExpSmoothingForecaster>(0.6));
+  members.push_back(std::make_unique<Ar1Forecaster>(32));
+  return std::make_unique<AdaptiveForecaster>(std::move(members),
+                                              error_window);
+}
+
+void AdaptiveForecaster::observe(double value) {
+  for (Member& member : members_) {
+    member.errors.push(std::abs(member.forecaster->predict() - value));
+    member.forecaster->observe(value);
+  }
+}
+
+std::size_t AdaptiveForecaster::best_index() const {
+  std::size_t best = 0;
+  double best_error = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const double err = members_[i].errors.size() == 0
+                           ? std::numeric_limits<double>::infinity()
+                           : members_[i].errors.mean();
+    if (err < best_error) {
+      best_error = err;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double AdaptiveForecaster::predict() const {
+  return members_[best_index()].forecaster->predict();
+}
+
+std::unique_ptr<Forecaster> AdaptiveForecaster::clone() const {
+  std::vector<std::unique_ptr<Forecaster>> members;
+  members.reserve(members_.size());
+  for (const Member& member : members_)
+    members.push_back(member.forecaster->clone());
+  return std::make_unique<AdaptiveForecaster>(std::move(members),
+                                              error_window_);
+}
+
+std::string AdaptiveForecaster::best_member() const {
+  return members_[best_index()].forecaster->name();
+}
+
+std::vector<double> AdaptiveForecaster::member_errors() const {
+  std::vector<double> errors;
+  errors.reserve(members_.size());
+  for (const Member& member : members_)
+    errors.push_back(member.errors.size() == 0 ? 0.0 : member.errors.mean());
+  return errors;
+}
+
+double evaluate_mae(Forecaster& forecaster, std::span<const double> series) {
+  if (series.size() < 2) return 0.0;
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i > 0) {
+      total += std::abs(forecaster.predict() - series[i]);
+      ++count;
+    }
+    forecaster.observe(series[i]);
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+}  // namespace pragma::monitor

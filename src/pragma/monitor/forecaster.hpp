@@ -1,0 +1,177 @@
+// Short-term resource forecasting, after the Network Weather Service.
+//
+// NWS runs a family of simple predictors over each measurement series and,
+// at each step, trusts the predictor with the lowest trailing error.  The
+// Pragma system-characterization component consumes these forecasts to make
+// proactive adaptation decisions.  This file implements the predictor
+// family and the adaptive (ensemble) selector.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pragma/util/stats.hpp"
+
+namespace pragma::monitor {
+
+/// Incremental one-step-ahead predictor over a scalar series.
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Feed the next observation.
+  virtual void observe(double value) = 0;
+  /// Predict the next observation.  Implementations must be callable before
+  /// any observation (returning a neutral default).
+  [[nodiscard]] virtual double predict() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Fresh instance with the same configuration.
+  [[nodiscard]] virtual std::unique_ptr<Forecaster> clone() const = 0;
+};
+
+/// Predicts the last observed value (NWS "LAST").
+class LastValueForecaster final : public Forecaster {
+ public:
+  void observe(double value) override { last_ = value; }
+  [[nodiscard]] double predict() const override { return last_; }
+  [[nodiscard]] std::string name() const override { return "last"; }
+  [[nodiscard]] std::unique_ptr<Forecaster> clone() const override {
+    return std::make_unique<LastValueForecaster>();
+  }
+
+ private:
+  double last_ = 0.0;
+};
+
+/// Running mean over the whole history.
+class RunningMeanForecaster final : public Forecaster {
+ public:
+  void observe(double value) override { acc_.add(value); }
+  [[nodiscard]] double predict() const override { return acc_.mean(); }
+  [[nodiscard]] std::string name() const override { return "mean"; }
+  [[nodiscard]] std::unique_ptr<Forecaster> clone() const override {
+    return std::make_unique<RunningMeanForecaster>();
+  }
+
+ private:
+  util::Accumulator acc_;
+};
+
+/// Mean over a sliding window of the last `window` observations.
+class SlidingMeanForecaster final : public Forecaster {
+ public:
+  explicit SlidingMeanForecaster(std::size_t window) : window_(window) {}
+  void observe(double value) override { window_.push(value); }
+  [[nodiscard]] double predict() const override { return window_.mean(); }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Forecaster> clone() const override {
+    return std::make_unique<SlidingMeanForecaster>(window_.capacity());
+  }
+
+ private:
+  util::SlidingWindow window_;
+};
+
+/// Median over a sliding window (robust to bursts).
+class SlidingMedianForecaster final : public Forecaster {
+ public:
+  explicit SlidingMedianForecaster(std::size_t window) : window_(window) {}
+  void observe(double value) override { window_.push(value); }
+  [[nodiscard]] double predict() const override { return window_.median(); }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Forecaster> clone() const override {
+    return std::make_unique<SlidingMedianForecaster>(window_.capacity());
+  }
+
+ private:
+  util::SlidingWindow window_;
+};
+
+/// Exponential smoothing with gain alpha in (0, 1].
+class ExpSmoothingForecaster final : public Forecaster {
+ public:
+  explicit ExpSmoothingForecaster(double alpha) : alpha_(alpha) {}
+  void observe(double value) override {
+    if (!seeded_) {
+      estimate_ = value;
+      seeded_ = true;
+    } else {
+      estimate_ += alpha_ * (value - estimate_);
+    }
+  }
+  [[nodiscard]] double predict() const override { return estimate_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Forecaster> clone() const override {
+    return std::make_unique<ExpSmoothingForecaster>(alpha_);
+  }
+
+ private:
+  double alpha_;
+  double estimate_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// First-order autoregressive predictor fitted incrementally over a sliding
+/// window: x[t+1] = a + b * x[t] with (a, b) from least squares on lagged
+/// pairs.
+class Ar1Forecaster final : public Forecaster {
+ public:
+  explicit Ar1Forecaster(std::size_t window) : window_(window) {}
+  void observe(double value) override;
+  [[nodiscard]] double predict() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Forecaster> clone() const override {
+    return std::make_unique<Ar1Forecaster>(window_.capacity());
+  }
+
+ private:
+  util::SlidingWindow window_;
+  double last_ = 0.0;
+  bool has_last_ = false;
+};
+
+/// NWS-style adaptive selector: runs every member forecaster in parallel,
+/// tracks each one's trailing mean absolute error over a window, and
+/// predicts with the current best.
+class AdaptiveForecaster final : public Forecaster {
+ public:
+  /// Build with an explicit member set; takes ownership.
+  explicit AdaptiveForecaster(
+      std::vector<std::unique_ptr<Forecaster>> members,
+      std::size_t error_window = 32);
+
+  /// The default NWS-like ensemble (last, mean, sliding means/medians,
+  /// exponential smoothing, AR(1)).
+  [[nodiscard]] static std::unique_ptr<AdaptiveForecaster> standard(
+      std::size_t error_window = 32);
+
+  void observe(double value) override;
+  [[nodiscard]] double predict() const override;
+  [[nodiscard]] std::string name() const override { return "adaptive"; }
+  [[nodiscard]] std::unique_ptr<Forecaster> clone() const override;
+
+  /// Name of the member currently trusted.
+  [[nodiscard]] std::string best_member() const;
+  /// Trailing MAE per member, same order as construction.
+  [[nodiscard]] std::vector<double> member_errors() const;
+  [[nodiscard]] std::size_t member_count() const { return members_.size(); }
+
+ private:
+  struct Member {
+    std::unique_ptr<Forecaster> forecaster;
+    util::SlidingWindow errors;
+  };
+  [[nodiscard]] std::size_t best_index() const;
+
+  std::vector<Member> members_;
+  std::size_t error_window_;
+};
+
+/// Evaluate a forecaster over a series: feeds values one at a time, records
+/// one-step-ahead absolute errors (skipping the untrained first prediction),
+/// and returns the mean absolute error.
+[[nodiscard]] double evaluate_mae(Forecaster& forecaster,
+                                  std::span<const double> series);
+
+}  // namespace pragma::monitor

@@ -1,0 +1,32 @@
+#include "pragma/monitor/series.hpp"
+
+namespace pragma::monitor {
+
+TimeSeries::TimeSeries(std::size_t max_samples)
+    : max_samples_(max_samples == 0 ? 1 : max_samples) {}
+
+void TimeSeries::append(sim::SimTime time, double value) {
+  samples_.push_back(Sample{time, value});
+  if (samples_.size() > max_samples_) samples_.pop_front();
+}
+
+void TimeSeries::clear() { samples_.clear(); }
+
+double TimeSeries::last_value(double fallback) const {
+  return samples_.empty() ? fallback : samples_.back().value;
+}
+
+std::vector<double> TimeSeries::recent_values(std::size_t n) const {
+  const std::size_t count = n < samples_.size() ? n : samples_.size();
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = samples_.size() - count; i < samples_.size(); ++i)
+    out.push_back(samples_[i].value);
+  return out;
+}
+
+std::vector<double> TimeSeries::values() const {
+  return recent_values(samples_.size());
+}
+
+}  // namespace pragma::monitor

@@ -1,0 +1,154 @@
+#include "pragma/octant/octant.hpp"
+
+#include <stdexcept>
+
+namespace pragma::octant {
+
+std::string to_string(Octant octant) {
+  switch (octant) {
+    case Octant::kI:
+      return "I";
+    case Octant::kII:
+      return "II";
+    case Octant::kIII:
+      return "III";
+    case Octant::kIV:
+      return "IV";
+    case Octant::kV:
+      return "V";
+    case Octant::kVI:
+      return "VI";
+    case Octant::kVII:
+      return "VII";
+    case Octant::kVIII:
+      return "VIII";
+  }
+  return "?";
+}
+
+Octant octant_from_bits(bool scattered, bool dynamic, bool communication) {
+  // See the numbering table in the header.
+  if (dynamic) {
+    if (communication) return scattered ? Octant::kII : Octant::kI;
+    return scattered ? Octant::kIV : Octant::kIII;
+  }
+  if (communication) return scattered ? Octant::kVI : Octant::kV;
+  return scattered ? Octant::kVIII : Octant::kVII;
+}
+
+OctantBits bits_of(Octant octant) {
+  switch (octant) {
+    case Octant::kI:
+      return {false, true, true};
+    case Octant::kII:
+      return {true, true, true};
+    case Octant::kIII:
+      return {false, true, false};
+    case Octant::kIV:
+      return {true, true, false};
+    case Octant::kV:
+      return {false, false, true};
+    case Octant::kVI:
+      return {true, false, true};
+    case Octant::kVII:
+      return {false, false, false};
+    case Octant::kVIII:
+      return {true, false, false};
+  }
+  return {};
+}
+
+OctantState OctantClassifier::classify(const amr::AdaptationTrace& trace,
+                                       std::size_t i) const {
+  if (i >= trace.size())
+    throw std::out_of_range("OctantClassifier::classify: bad index");
+  OctantState state;
+  state.scatter_score = trace.scatter(i);
+
+  // Dynamics: mean churn over the trailing window (snapshot 0 inherits the
+  // churn of snapshot 1 if available so the very first classification is
+  // not artificially "static").
+  double churn_sum = 0.0;
+  int churn_count = 0;
+  const int window = thresholds_.dynamics_window;
+  for (int k = 0; k < window; ++k) {
+    if (i < static_cast<std::size_t>(k)) break;
+    const std::size_t j = i - static_cast<std::size_t>(k);
+    if (j == 0) continue;
+    churn_sum += trace.churn(j);
+    ++churn_count;
+  }
+  if (churn_count == 0 && trace.size() > 1) {
+    churn_sum = trace.churn(1);
+    churn_count = 1;
+  }
+  state.dynamics_score =
+      churn_count > 0 ? churn_sum / static_cast<double>(churn_count) : 0.0;
+
+  state.comm_score = trace.comm_comp_ratio(i);
+
+  state.scattered = state.scatter_score >= thresholds_.scatter;
+  state.dynamic = state.dynamics_score >= thresholds_.dynamics;
+  state.communication = state.comm_score >= thresholds_.communication;
+  return state;
+}
+
+std::vector<OctantState> OctantClassifier::classify_all(
+    const amr::AdaptationTrace& trace) const {
+  std::vector<OctantState> states;
+  states.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    states.push_back(classify(trace, i));
+  return states;
+}
+
+TransitionMatrix transition_matrix(const OctantClassifier& classifier,
+                                   const amr::AdaptationTrace& trace) {
+  TransitionMatrix matrix{};
+  Octant previous = Octant::kI;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Octant current = classifier.classify(trace, i).octant();
+    if (i > 0)
+      ++matrix[static_cast<std::size_t>(previous) - 1]
+              [static_cast<std::size_t>(current) - 1];
+    previous = current;
+  }
+  return matrix;
+}
+
+const std::vector<std::string>& recommended_partitioners(Octant octant) {
+  // Table 2 of the paper, verbatim ("ISP" appears only in IV and VIII).
+  static const std::vector<std::string> kI_{"pBD-ISP", "G-MISP+SP"};
+  static const std::vector<std::string> kII_{"pBD-ISP"};
+  static const std::vector<std::string> kIII_{"G-MISP+SP", "SP-ISP"};
+  static const std::vector<std::string> kIV_{"G-MISP+SP", "SP-ISP", "ISP"};
+  static const std::vector<std::string> kV_{"pBD-ISP"};
+  static const std::vector<std::string> kVI_{"pBD-ISP"};
+  static const std::vector<std::string> kVII_{"G-MISP+SP"};
+  static const std::vector<std::string> kVIII_{"G-MISP+SP", "ISP"};
+  switch (octant) {
+    case Octant::kI:
+      return kI_;
+    case Octant::kII:
+      return kII_;
+    case Octant::kIII:
+      return kIII_;
+    case Octant::kIV:
+      return kIV_;
+    case Octant::kV:
+      return kV_;
+    case Octant::kVI:
+      return kVI_;
+    case Octant::kVII:
+      return kVII_;
+    case Octant::kVIII:
+      return kVIII_;
+  }
+  return kI_;
+}
+
+std::string select_partitioner(Octant octant) {
+  return recommended_partitioners(octant).front();
+}
+
+}  // namespace pragma::octant

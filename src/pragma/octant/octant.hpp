@@ -1,0 +1,119 @@
+// The octant approach for characterizing SAMR application state (Fig. 2).
+//
+// Application state is classified along three binary axes:
+//   (a) adaptation pattern — localized vs scattered,
+//   (b) activity dynamics  — lower vs higher (how fast adaptation changes),
+//   (c) runtime dominance  — computation vs communication.
+//
+// Octant numbering (our canonical assignment; the paper's figure is a cube
+// sketch that does not pin the numbering unambiguously, so we fix the one
+// that makes Table 2 self-consistent with the partitioner properties the
+// paper states in Section 4.5 — pBD-ISP for communication-dominated and
+// high-dynamics states, G-MISP+SP/SP-ISP/ISP for computation-dominated
+// load-balance-critical states):
+//
+//   octant   adaptation  dynamics  dominance
+//   I        localized   higher    communication
+//   II       scattered   higher    communication
+//   III      localized   higher    computation
+//   IV       scattered   higher    computation
+//   V        localized   lower     communication
+//   VI       scattered   lower     communication
+//   VII      localized   lower     computation
+//   VIII     scattered   lower     computation
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "pragma/amr/trace.hpp"
+
+namespace pragma::octant {
+
+enum class Octant {
+  kI = 1,
+  kII = 2,
+  kIII = 3,
+  kIV = 4,
+  kV = 5,
+  kVI = 6,
+  kVII = 7,
+  kVIII = 8,
+};
+
+[[nodiscard]] std::string to_string(Octant octant);
+
+/// Octant from the three axis bits.
+[[nodiscard]] Octant octant_from_bits(bool scattered, bool dynamic,
+                                      bool communication);
+
+/// The three bits of an octant (inverse of octant_from_bits).
+struct OctantBits {
+  bool scattered = false;
+  bool dynamic = false;
+  bool communication = false;
+};
+[[nodiscard]] OctantBits bits_of(Octant octant);
+
+/// Classification result: the continuous scores and the thresholded state.
+struct OctantState {
+  double scatter_score = 0.0;   ///< [0, 1]; high = scattered
+  double dynamics_score = 0.0;  ///< churn; high = rapidly changing
+  double comm_score = 0.0;      ///< structural comm/comp ratio
+  bool scattered = false;
+  bool dynamic = false;
+  bool communication = false;
+  [[nodiscard]] Octant octant() const {
+    return octant_from_bits(scattered, dynamic, communication);
+  }
+};
+
+struct OctantThresholds {
+  double scatter = 0.55;
+  double dynamics = 0.25;
+  double communication = 1.45;
+  /// Churn is averaged over this many trailing snapshots.
+  int dynamics_window = 3;
+};
+
+/// Classifies trace snapshots into octants.
+class OctantClassifier {
+ public:
+  explicit OctantClassifier(OctantThresholds thresholds = {})
+      : thresholds_(thresholds) {}
+
+  [[nodiscard]] const OctantThresholds& thresholds() const {
+    return thresholds_;
+  }
+
+  /// Classify snapshot `i` of `trace` (uses trailing snapshots for the
+  /// dynamics axis).
+  [[nodiscard]] OctantState classify(const amr::AdaptationTrace& trace,
+                                     std::size_t i) const;
+
+  /// Classify every snapshot.
+  [[nodiscard]] std::vector<OctantState> classify_all(
+      const amr::AdaptationTrace& trace) const;
+
+ private:
+  OctantThresholds thresholds_;
+};
+
+/// Octant-to-octant transition counts over a classified trace:
+/// matrix[from][to] with octants mapped to indices 0..7 (octant I = 0).
+/// "Applications may start in one octant, then, as solution progresses,
+/// migrate to others" — the matrix quantifies that migration.
+using TransitionMatrix = std::array<std::array<int, 8>, 8>;
+[[nodiscard]] TransitionMatrix transition_matrix(
+    const OctantClassifier& classifier, const amr::AdaptationTrace& trace);
+
+/// Table 2: recommended partitioners per octant, best first.
+[[nodiscard]] const std::vector<std::string>& recommended_partitioners(
+    Octant octant);
+
+/// The single partitioner the meta-partitioner selects for an octant (the
+/// head of the Table 2 list).
+[[nodiscard]] std::string select_partitioner(Octant octant);
+
+}  // namespace pragma::octant

@@ -1,0 +1,124 @@
+#include "pragma/partition/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pragma::partition {
+
+std::vector<double> processor_loads(const WorkGrid& grid,
+                                    const OwnerMap& owners) {
+  std::vector<double> loads(static_cast<std::size_t>(owners.nprocs), 0.0);
+  for (std::size_t c = 0; c < grid.cell_count(); ++c)
+    loads[static_cast<std::size_t>(owners.owner[c])] += grid.work(c);
+  return loads;
+}
+
+std::vector<double> processor_storage(const WorkGrid& grid,
+                                      const OwnerMap& owners) {
+  std::vector<double> storage(static_cast<std::size_t>(owners.nprocs), 0.0);
+  for (std::size_t c = 0; c < grid.cell_count(); ++c)
+    storage[static_cast<std::size_t>(owners.owner[c])] += grid.storage(c);
+  return storage;
+}
+
+double communication_volume(const WorkGrid& grid, const OwnerMap& owners) {
+  if (owners.owner.size() != grid.cell_count())
+    throw std::invalid_argument("communication_volume: size mismatch");
+  const amr::IntVec3 dims = grid.lattice_dims();
+  const int g = grid.grain();
+  double total = 0.0;
+
+  // For every lattice face between differently-owned cells, charge the
+  // ghost-exchange area of each level present on both sides: a level-l face
+  // is (g r^l)^2 cells, exchanged r^l times per coarse step.
+  auto face_cost = [&](std::size_t a, std::size_t b) {
+    const std::uint32_t shared =
+        grid.levels_present(a) & grid.levels_present(b);
+    if (shared == 0) return 0.0;
+    double cost = 0.0;
+    double r = 1.0;
+    for (int l = 0; l < grid.num_levels(); ++l) {
+      if (shared & (1u << l)) {
+        const double edge = static_cast<double>(g) * r;
+        cost += edge * edge * r;
+      }
+      r *= static_cast<double>(grid.ratio());
+    }
+    return cost;
+  };
+
+  for (int z = 0; z < dims.z; ++z)
+    for (int y = 0; y < dims.y; ++y)
+      for (int x = 0; x < dims.x; ++x) {
+        const std::size_t c = grid.linear({x, y, z});
+        if (x + 1 < dims.x) {
+          const std::size_t n = grid.linear({x + 1, y, z});
+          if (owners.owner[c] != owners.owner[n]) total += face_cost(c, n);
+        }
+        if (y + 1 < dims.y) {
+          const std::size_t n = grid.linear({x, y + 1, z});
+          if (owners.owner[c] != owners.owner[n]) total += face_cost(c, n);
+        }
+        if (z + 1 < dims.z) {
+          const std::size_t n = grid.linear({x, y, z + 1});
+          if (owners.owner[c] != owners.owner[n]) total += face_cost(c, n);
+        }
+      }
+  return total;
+}
+
+double migration_fraction(const WorkGrid& grid, const OwnerMap& previous,
+                          const OwnerMap& current) {
+  if (previous.owner.size() != current.owner.size())
+    throw std::invalid_argument("migration_fraction: size mismatch");
+  double moved = 0.0;
+  double total = 0.0;
+  for (std::size_t c = 0; c < grid.cell_count(); ++c) {
+    total += grid.storage(c);
+    if (previous.owner[c] != current.owner[c]) moved += grid.storage(c);
+  }
+  return total > 0.0 ? moved / total : 0.0;
+}
+
+PacMetrics evaluate_pac(const WorkGrid& grid, const PartitionResult& result,
+                        std::span<const double> targets,
+                        const OwnerMap* previous) {
+  PacMetrics metrics;
+
+  const std::vector<double> loads = processor_loads(grid, result.owners);
+  double tsum = 0.0;
+  for (double t : targets) tsum += t;
+  if (tsum <= 0.0) tsum = 1.0;
+  const double total = grid.total_work();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const double share = targets[i] / tsum;
+    if (share <= 0.0) continue;
+    worst = std::max(worst, loads[i] / (share * total));
+  }
+  metrics.load_imbalance = total > 0.0 ? std::max(0.0, worst - 1.0) : 0.0;
+
+  metrics.communication = communication_volume(grid, result.owners);
+  metrics.partition_time = result.partition_seconds;
+  if (previous != nullptr)
+    metrics.data_migration = migration_fraction(grid, *previous,
+                                                result.owners);
+
+  // Fragmentation: maximal same-owner runs along the SFC order.
+  std::size_t fragments = 0;
+  int last_owner = -1;
+  for (std::uint32_t c : grid.order()) {
+    const int owner = result.owners.owner[c];
+    if (owner != last_owner) {
+      ++fragments;
+      last_owner = owner;
+    }
+  }
+  const auto p = static_cast<double>(result.owners.nprocs);
+  metrics.overhead =
+      p > 0.0 ? std::max(0.0, (static_cast<double>(fragments) - p) / p) : 0.0;
+  return metrics;
+}
+
+}  // namespace pragma::partition

@@ -1,0 +1,61 @@
+// The five-component PAC quality metric (Section 4.1).
+//
+// "The proposed metric for characterizing the quality of a PAC [tuple
+//  <partitioner, application, computer system>] for the adaptive SAMR
+//  meta-partitioner include Communication requirements, Load imbalance,
+//  Amount of data migration, Partitioning time, and Partitioning induced
+//  overheads."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pragma/partition/partitioner.hpp"
+
+namespace pragma::partition {
+
+struct PacMetrics {
+  /// (1) Communication: total inter-processor ghost-exchange volume per
+  /// coarse step (cell-faces, MIT-weighted across levels).
+  double communication = 0.0;
+  /// (2) Load imbalance: max_i(load_i / target_i) / total - 1, i.e. how far
+  /// the most overloaded processor is above its proportional share
+  /// (0 = perfectly proportional).  Reported as a fraction.
+  double load_imbalance = 0.0;
+  /// (3) Data migration: storage volume (cells, all levels) that changed
+  /// owner relative to the previous assignment, as a fraction of the total
+  /// storage.  0 when there is no previous assignment.
+  double data_migration = 0.0;
+  /// (4) Partitioning time in seconds (wall clock of the algorithm).
+  double partition_time = 0.0;
+  /// (5) Partitioning-induced overheads: fragmentation of ownership —
+  /// the number of ownership fragments (maximal same-owner SFC runs) per
+  /// processor above the ideal single fragment.
+  double overhead = 0.0;
+};
+
+/// Per-processor work loads of an assignment.
+[[nodiscard]] std::vector<double> processor_loads(const WorkGrid& grid,
+                                                  const OwnerMap& owners);
+
+/// Per-processor storage (cells across levels).
+[[nodiscard]] std::vector<double> processor_storage(const WorkGrid& grid,
+                                                    const OwnerMap& owners);
+
+/// Total inter-processor communication volume (MIT-weighted ghost faces).
+[[nodiscard]] double communication_volume(const WorkGrid& grid,
+                                          const OwnerMap& owners);
+
+/// Storage fraction that changed owner between two assignments over the
+/// same lattice.
+[[nodiscard]] double migration_fraction(const WorkGrid& grid,
+                                        const OwnerMap& previous,
+                                        const OwnerMap& current);
+
+/// Evaluate the full 5-component metric.  `previous` may be null.
+[[nodiscard]] PacMetrics evaluate_pac(const WorkGrid& grid,
+                                      const PartitionResult& result,
+                                      std::span<const double> targets,
+                                      const OwnerMap* previous = nullptr);
+
+}  // namespace pragma::partition

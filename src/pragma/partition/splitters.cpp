@@ -1,0 +1,244 @@
+#include "pragma/partition/splitters.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace pragma::partition {
+
+namespace {
+void validate(std::span<const double> targets) {
+  if (targets.empty())
+    throw std::invalid_argument("splitter: no processors");
+  for (double t : targets)
+    if (t < 0.0) throw std::invalid_argument("splitter: negative target");
+}
+
+double total_of(std::span<const double> weights) {
+  return std::accumulate(weights.begin(), weights.end(), 0.0);
+}
+}  // namespace
+
+std::vector<double> chunk_loads(std::span<const double> weights,
+                                const Breaks& breaks) {
+  std::vector<double> loads(breaks.size() - 1, 0.0);
+  for (std::size_t i = 0; i + 1 < breaks.size(); ++i)
+    for (std::size_t j = breaks[i]; j < breaks[i + 1]; ++j)
+      loads[i] += weights[j];
+  return loads;
+}
+
+double bottleneck(std::span<const double> weights, const Breaks& breaks,
+                  std::span<const double> targets) {
+  const double total = total_of(weights);
+  if (total <= 0.0) return 1.0;
+  const std::vector<double> loads = chunk_loads(weights, breaks);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const double share = targets[i] > 0.0
+                             ? loads[i] / (targets[i] * total)
+                             : (loads[i] > 0.0
+                                    ? std::numeric_limits<double>::infinity()
+                                    : 0.0);
+    worst = std::max(worst, share);
+  }
+  return worst;
+}
+
+Breaks greedy_split(std::span<const double> weights,
+                    std::span<const double> targets) {
+  validate(targets);
+  const std::size_t p = targets.size();
+  const std::size_t n = weights.size();
+  double tsum = 0.0;
+  for (double t : targets) tsum += t;
+  if (tsum <= 0.0) tsum = 1.0;
+
+  // Goals are recomputed from the *remaining* work and target mass so that
+  // per-chunk rounding errors do not accumulate onto the final chunk.
+  double remaining_work = total_of(weights);
+  double remaining_target = tsum;
+
+  Breaks breaks(p + 1, n);
+  breaks[0] = 0;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i + 1 < p; ++i) {
+    const double goal = remaining_target > 0.0
+                            ? remaining_work * (targets[i] / remaining_target)
+                            : 0.0;
+    double load = 0.0;
+    while (j < n) {
+      const double w = weights[j];
+      // The crossing element goes to whichever side is closer to the goal.
+      if (load + w > goal) {
+        if (goal - load < load + w - goal) break;
+        load += w;
+        ++j;
+        break;
+      }
+      load += w;
+      ++j;
+    }
+    breaks[i + 1] = j;
+    remaining_work -= load;
+    remaining_target -= targets[i];
+  }
+  return breaks;
+}
+
+Breaks plain_greedy_split(std::span<const double> weights,
+                          std::span<const double> targets) {
+  validate(targets);
+  const std::size_t p = targets.size();
+  const std::size_t n = weights.size();
+  const double total = total_of(weights);
+  double tsum = 0.0;
+  for (double t : targets) tsum += t;
+  if (tsum <= 0.0) tsum = 1.0;
+
+  Breaks breaks(p + 1, n);
+  breaks[0] = 0;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i + 1 < p; ++i) {
+    const double goal = total * (targets[i] / tsum);
+    double load = 0.0;
+    // Textbook first-fit: fill until the goal is reached, always taking
+    // the crossing element (surplus <= one element per chunk, and the
+    // accumulated surplus starves the trailing chunks).
+    while (j < n && load < goal) {
+      load += weights[j];
+      ++j;
+    }
+    breaks[i + 1] = j;
+  }
+  return breaks;
+}
+
+Breaks optimal_split(std::span<const double> weights,
+                     std::span<const double> targets) {
+  validate(targets);
+  const std::size_t p = targets.size();
+  const std::size_t n = weights.size();
+  const double total = total_of(weights);
+  double tsum = 0.0;
+  for (double t : targets) tsum += t;
+  if (tsum <= 0.0) tsum = 1.0;
+
+  std::vector<double> goals(p);
+  for (std::size_t i = 0; i < p; ++i) goals[i] = targets[i] / tsum;
+
+  // Degenerate target vectors (all zero, e.g. every node reported dead)
+  // have no feasible bottleneck at any scale; fall back to the greedy
+  // splitter's behavior instead of searching forever.
+  double goal_max = 0.0;
+  for (double g : goals) goal_max = std::max(goal_max, g);
+  if (goal_max <= 0.0) return greedy_split(weights, targets);
+
+  double wmax = 0.0;
+  for (double w : weights) wmax = std::max(wmax, w);
+
+  // Feasibility probe: can the sequence be cut so that chunk i holds at
+  // most lambda * goals[i] * total?  Greedy left-to-right packing is exact
+  // for contiguous chunks with ordered targets.
+  auto probe = [&](double lambda, Breaks* out) {
+    Breaks breaks(p + 1, n);
+    breaks[0] = 0;
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+      const double cap = lambda * goals[i] * total;
+      double load = 0.0;
+      while (j < n && load + weights[j] <= cap) {
+        load += weights[j];
+        ++j;
+      }
+      breaks[i + 1] = j;
+    }
+    const bool feasible = j == n;
+    if (feasible && out) *out = breaks;
+    return feasible;
+  };
+
+  // Lower bound: perfect proportionality; upper bound: everything feasible.
+  double lo = 1.0;
+  double hi = 1.0;
+  if (total > 0.0) {
+    // A chunk must hold its largest single element.
+    double min_goal = std::numeric_limits<double>::infinity();
+    for (double g : goals)
+      if (g > 0.0) min_goal = std::min(min_goal, g);
+    hi = std::max(2.0, (wmax / std::max(1e-300, min_goal * total)) + 1.0) *
+         static_cast<double>(p);
+  }
+  for (int doubling = 0; !probe(hi, nullptr); ++doubling) {
+    if (doubling > 200) return greedy_split(weights, targets);
+    hi *= 2.0;
+  }
+
+  Breaks best;
+  for (int iter = 0; iter < 64 && hi - lo > 1e-9 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (probe(mid, &best)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  if (best.empty()) probe(hi, &best);
+  return best;
+}
+
+namespace {
+void dissect(std::span<const double> weights, std::size_t seq_lo,
+             std::size_t seq_hi, std::span<const double> targets,
+             std::size_t proc_lo, std::size_t proc_hi, Breaks& breaks) {
+  const std::size_t nproc = proc_hi - proc_lo;
+  if (nproc <= 1) return;
+  const std::size_t proc_mid = proc_lo + (nproc + 1) / 2;
+
+  double left_target = 0.0;
+  double all_target = 0.0;
+  for (std::size_t i = proc_lo; i < proc_hi; ++i) {
+    all_target += targets[i];
+    if (i < proc_mid) left_target += targets[i];
+  }
+  const double frac = all_target > 0.0 ? left_target / all_target : 0.5;
+
+  double total = 0.0;
+  for (std::size_t j = seq_lo; j < seq_hi; ++j) total += weights[j];
+  const double goal = total * frac;
+
+  std::size_t cut = seq_lo;
+  double load = 0.0;
+  while (cut < seq_hi) {
+    const double w = weights[cut];
+    if (load + w > goal) {
+      if (goal - load < load + w - goal) break;
+      ++cut;
+      break;
+    }
+    load += w;
+    ++cut;
+  }
+  breaks[proc_mid] = cut;
+  dissect(weights, seq_lo, cut, targets, proc_lo, proc_mid, breaks);
+  dissect(weights, cut, seq_hi, targets, proc_mid, proc_hi, breaks);
+}
+}  // namespace
+
+Breaks dissection_split(std::span<const double> weights,
+                        std::span<const double> targets) {
+  validate(targets);
+  const std::size_t p = targets.size();
+  Breaks breaks(p + 1, 0);
+  breaks[p] = weights.size();
+  dissect(weights, 0, weights.size(), targets, 0, p, breaks);
+  return breaks;
+}
+
+std::vector<double> equal_targets(std::size_t p) {
+  return std::vector<double>(p, 1.0 / static_cast<double>(p));
+}
+
+}  // namespace pragma::partition

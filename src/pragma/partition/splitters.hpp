@@ -1,0 +1,68 @@
+// One-dimensional workload splitters.
+//
+// After the SFC maps the domain to a sequence, every partitioner reduces to
+// dividing a weight sequence into p contiguous chunks with per-processor
+// targets (equal targets for homogeneous runs; relative-capacity targets for
+// the system-sensitive partitioner of Fig. 4).  Three splitters are
+// implemented, mirroring the algorithmic spread of the paper's suite:
+//
+//  * greedy_split      — single pass, fills each chunk to its target (fast,
+//                        moderate balance; used by SFC/ISP/G-MISP),
+//  * optimal_split     — exact minimax contiguous partition via binary
+//                        search on the bottleneck (the "+SP" sequence
+//                        partitioning; best balance, slowest),
+//  * dissection_split  — p-way recursive binary dissection (pBD; fast,
+//                        keeps long contiguous runs together).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pragma::partition {
+
+/// Result: chunk[i] = first sequence index of chunk i (chunk i spans
+/// [breaks[i], breaks[i+1]) with breaks.size() == p + 1, breaks[0] == 0,
+/// breaks[p] == n).  Chunks may be empty.
+using Breaks = std::vector<std::size_t>;
+
+/// Per-chunk loads under a given break vector.
+[[nodiscard]] std::vector<double> chunk_loads(std::span<const double> weights,
+                                              const Breaks& breaks);
+
+/// Bottleneck of a break vector: max_i load_i / target_i (targets are
+/// fractions summing to 1; the total weight is factored out so 1.0 means
+/// perfectly proportional).
+[[nodiscard]] double bottleneck(std::span<const double> weights,
+                                const Breaks& breaks,
+                                std::span<const double> targets);
+
+/// Greedy prefix filling: close a chunk once its load reaches its target
+/// share (keeping the element that crosses the boundary on whichever side
+/// is closer to the target).  Goals are recomputed from the remaining work
+/// so rounding errors do not pile onto the last chunk.
+[[nodiscard]] Breaks greedy_split(std::span<const double> weights,
+                                  std::span<const double> targets);
+
+/// First-generation greedy: goals fixed up front from the total (no
+/// remaining-work correction), so per-chunk surpluses accumulate onto the
+/// trailing chunks.  This is the splitter of the early composite-SFC
+/// partitioner the paper's Table 4 uses as the baseline.
+[[nodiscard]] Breaks plain_greedy_split(std::span<const double> weights,
+                                        std::span<const double> targets);
+
+/// Exact minimax contiguous partition for weighted targets: binary search
+/// on the bottleneck value with a greedy feasibility probe.  O(n log(W/eps)).
+[[nodiscard]] Breaks optimal_split(std::span<const double> weights,
+                                   std::span<const double> targets);
+
+/// p-way recursive binary dissection: split the sequence into two parts
+/// whose target shares are the sums of the target shares of the processor
+/// halves, recurse.  Handles any p >= 1.
+[[nodiscard]] Breaks dissection_split(std::span<const double> weights,
+                                      std::span<const double> targets);
+
+/// Equal targets helper (1/p each).
+[[nodiscard]] std::vector<double> equal_targets(std::size_t p);
+
+}  // namespace pragma::partition

@@ -1,0 +1,80 @@
+#include "pragma/partition/workgrid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pragma::partition {
+
+WorkGrid::WorkGrid(const amr::GridHierarchy& hierarchy, int grain,
+                   CurveKind curve)
+    : grain_(grain),
+      num_levels_(hierarchy.num_levels()),
+      ratio_(hierarchy.ratio()) {
+  if (grain <= 0) throw std::invalid_argument("WorkGrid: grain <= 0");
+  const amr::IntVec3 base = hierarchy.base_dims();
+  dims_ = {(base.x + grain - 1) / grain, (base.y + grain - 1) / grain,
+           (base.z + grain - 1) / grain};
+  const std::size_t count = static_cast<std::size_t>(dims_.x) *
+                            static_cast<std::size_t>(dims_.y) *
+                            static_cast<std::size_t>(dims_.z);
+  work_.assign(count, 0.0);
+  levels_.assign(count, 0u);
+  storage_.assign(count, 0.0);
+
+  // Rasterize each level's boxes onto the grain lattice.  A level-l box is
+  // first coarsened to level-0 index space; for each overlapped grain cell
+  // the exact level-0 overlap volume is scaled back to level-l quantities.
+  for (const amr::GridLevel& level : hierarchy.levels()) {
+    const auto r = static_cast<double>(hierarchy.cumulative_ratio(level.level));
+    const double cells_per_l0 = r * r * r;      // level-l cells per L0 cell
+    const double work_per_l0 = cells_per_l0 * r;  // MIT substeps
+    const int rr = static_cast<int>(hierarchy.cumulative_ratio(level.level));
+    for (const amr::Box& box : level.boxes) {
+      const amr::Box in_l0 = box.coarsen(rr);
+      const amr::IntVec3 glo{in_l0.lo().x / grain, in_l0.lo().y / grain,
+                             in_l0.lo().z / grain};
+      const amr::IntVec3 ghi{(in_l0.hi().x + grain - 1) / grain,
+                             (in_l0.hi().y + grain - 1) / grain,
+                             (in_l0.hi().z + grain - 1) / grain};
+      for (int gz = glo.z; gz < ghi.z; ++gz)
+        for (int gy = glo.y; gy < ghi.y; ++gy)
+          for (int gx = glo.x; gx < ghi.x; ++gx) {
+            const amr::Box cell({gx * grain, gy * grain, gz * grain},
+                                {(gx + 1) * grain, (gy + 1) * grain,
+                                 (gz + 1) * grain});
+            const auto overlap = static_cast<double>(
+                cell.intersection(in_l0).volume());
+            if (overlap <= 0.0) continue;
+            const std::size_t c = linear({gx, gy, gz});
+            work_[c] += overlap * work_per_l0;
+            storage_[c] += overlap * cells_per_l0;
+            levels_[c] |= 1u << level.level;
+          }
+    }
+  }
+
+  total_work_ = 0.0;
+  for (double w : work_) total_work_ += w;
+
+  order_ = curve_order(dims_, curve);
+  sequence_.reserve(order_.size());
+  for (std::uint32_t c : order_) sequence_.push_back(work_[c]);
+}
+
+amr::IntVec3 WorkGrid::coords(std::size_t c) const {
+  const auto x = static_cast<int>(c % static_cast<std::size_t>(dims_.x));
+  const auto y = static_cast<int>((c / static_cast<std::size_t>(dims_.x)) %
+                                  static_cast<std::size_t>(dims_.y));
+  const auto z = static_cast<int>(c / (static_cast<std::size_t>(dims_.x) *
+                                       static_cast<std::size_t>(dims_.y)));
+  return {x, y, z};
+}
+
+amr::Box WorkGrid::cell_box(std::size_t c) const {
+  const amr::IntVec3 p = coords(c);
+  return amr::Box({p.x * grain_, p.y * grain_, p.z * grain_},
+                  {(p.x + 1) * grain_, (p.y + 1) * grain_,
+                   (p.z + 1) * grain_});
+}
+
+}  // namespace pragma::partition

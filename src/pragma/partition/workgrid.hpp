@@ -1,0 +1,82 @@
+// The composite work grid: the domain-based view of a SAMR hierarchy.
+//
+// All of the paper's partitioners are *domain-based*: they partition the
+// physical (level-0) domain, and every refinement level above a region
+// follows that region's owner.  The WorkGrid rasterizes a GridHierarchy
+// onto a coarse lattice of grain cells (grain^3 level-0 cells each) and
+// records, per grain cell:
+//   * the computational work (cell-updates per coarse step, MIT-weighted),
+//   * which levels are present (for communication weighting),
+//   * the storage volume (for migration cost).
+// Partitioners then assign each grain cell to a processor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pragma/amr/hierarchy.hpp"
+#include "pragma/partition/sfc.hpp"
+
+namespace pragma::partition {
+
+class WorkGrid {
+ public:
+  /// Rasterize `hierarchy` at the given grain (level-0 cells per grain-cell
+  /// edge) using the given curve for the 1-D ordering.
+  WorkGrid(const amr::GridHierarchy& hierarchy, int grain,
+           CurveKind curve = CurveKind::kHilbert);
+
+  [[nodiscard]] int grain() const { return grain_; }
+  [[nodiscard]] amr::IntVec3 lattice_dims() const { return dims_; }
+  [[nodiscard]] std::size_t cell_count() const { return work_.size(); }
+  [[nodiscard]] int num_levels() const { return num_levels_; }
+  [[nodiscard]] int ratio() const { return ratio_; }
+
+  /// Work of grain cell `c` (linear index).
+  [[nodiscard]] double work(std::size_t c) const { return work_[c]; }
+  /// Total work over the grid.
+  [[nodiscard]] double total_work() const { return total_work_; }
+  /// Bitmask of levels present in grain cell `c` (bit l = level l).
+  [[nodiscard]] std::uint32_t levels_present(std::size_t c) const {
+    return levels_[c];
+  }
+  /// Storage volume of grain cell `c` in cell-equivalents across levels.
+  [[nodiscard]] double storage(std::size_t c) const { return storage_[c]; }
+
+  /// SFC visit order: order()[rank] = linear cell index.
+  [[nodiscard]] const std::vector<std::uint32_t>& order() const {
+    return order_;
+  }
+  /// Work in SFC order (the 1-D sequence the splitters divide).
+  [[nodiscard]] const std::vector<double>& sequence() const {
+    return sequence_;
+  }
+
+  /// Linear index from lattice coordinates.
+  [[nodiscard]] std::size_t linear(amr::IntVec3 p) const {
+    return static_cast<std::size_t>(p.x) +
+           static_cast<std::size_t>(dims_.x) *
+               (static_cast<std::size_t>(p.y) +
+                static_cast<std::size_t>(dims_.y) *
+                    static_cast<std::size_t>(p.z));
+  }
+  /// Lattice coordinates from a linear index.
+  [[nodiscard]] amr::IntVec3 coords(std::size_t c) const;
+
+  /// The level-0 box covered by grain cell `c`.
+  [[nodiscard]] amr::Box cell_box(std::size_t c) const;
+
+ private:
+  int grain_;
+  amr::IntVec3 dims_{0, 0, 0};
+  int num_levels_ = 1;
+  int ratio_ = 2;
+  std::vector<double> work_;
+  std::vector<std::uint32_t> levels_;
+  std::vector<double> storage_;
+  std::vector<std::uint32_t> order_;
+  std::vector<double> sequence_;
+  double total_work_ = 0.0;
+};
+
+}  // namespace pragma::partition

@@ -1,0 +1,88 @@
+#include "pragma/perf/app_model.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "pragma/perf/linalg.hpp"
+
+namespace pragma::perf {
+
+namespace {
+std::vector<double> basis(double p) {
+  return {1.0, 1.0 / p, std::pow(p, -2.0 / 3.0), std::log2(p)};
+}
+}  // namespace
+
+ScalabilityPf ScalabilityPf::fit(std::span<const AppSample> samples) {
+  std::set<std::size_t> distinct;
+  for (const AppSample& sample : samples) {
+    if (sample.procs == 0)
+      throw std::invalid_argument("ScalabilityPf::fit: procs == 0");
+    distinct.insert(sample.procs);
+  }
+  if (distinct.size() < 4)
+    throw std::invalid_argument(
+        "ScalabilityPf::fit: need >= 4 distinct processor counts");
+
+  Matrix a(samples.size(), 4);
+  std::vector<double> b(samples.size());
+  for (std::size_t r = 0; r < samples.size(); ++r) {
+    const std::vector<double> row =
+        basis(static_cast<double>(samples[r].procs));
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = row[c];
+    b[r] = samples[r].step_time_s;
+  }
+
+  ScalabilityPf pf;
+  pf.coefficients_ = least_squares(a, b, 1e-12);
+
+  double rel = 0.0;
+  for (const AppSample& sample : samples) {
+    const double predicted = pf.predict(sample.procs);
+    const double d = sample.step_time_s > 0.0
+                         ? (predicted - sample.step_time_s) /
+                               sample.step_time_s
+                         : 0.0;
+    rel += d * d;
+  }
+  pf.training_error_ =
+      std::sqrt(rel / static_cast<double>(samples.size()));
+  return pf;
+}
+
+double ScalabilityPf::predict(std::size_t procs) const {
+  if (procs == 0) throw std::invalid_argument("predict: procs == 0");
+  const std::vector<double> row = basis(static_cast<double>(procs));
+  double value = 0.0;
+  for (std::size_t c = 0; c < 4; ++c) value += coefficients_[c] * row[c];
+  return value;
+}
+
+double ScalabilityPf::speedup(std::size_t procs,
+                              std::size_t baseline_procs) const {
+  const double base = predict(baseline_procs);
+  const double now = predict(procs);
+  return now > 0.0 ? base / now : 0.0;
+}
+
+double ScalabilityPf::efficiency(std::size_t procs,
+                                 std::size_t baseline_procs) const {
+  if (procs == 0) return 0.0;
+  return speedup(procs, baseline_procs) *
+         static_cast<double>(baseline_procs) / static_cast<double>(procs);
+}
+
+std::size_t ScalabilityPf::recommend_processors(std::size_t max_procs,
+                                                double slack) const {
+  if (max_procs == 0)
+    throw std::invalid_argument("recommend_processors: max_procs == 0");
+  double best = predict(1);
+  for (std::size_t p = 2; p <= max_procs; ++p)
+    best = std::min(best, predict(p));
+  for (std::size_t p = 1; p <= max_procs; ++p)
+    if (predict(p) <= best * (1.0 + slack)) return p;
+  return max_procs;
+}
+
+}  // namespace pragma::perf

@@ -1,0 +1,69 @@
+// Application-level Performance Functions: projecting execution time
+// across system configurations (Section 3.2, step 3).
+//
+// "The final step is to compose the component PFs to generate an overall
+//  PF that can be used during runtime to estimate and project the
+//  operation and performance of the application for any system and network
+//  state."
+//
+// For a bulk-synchronous SAMR step the natural composition over the
+// processor-count attribute p is
+//
+//     T(p) = t_serial + t_parallel / p + t_surface * p^{-2/3} + t_sync * log2(p)
+//
+// (perfectly parallel work, surface-dominated ghost exchange, and
+// tree-structured synchronization).  The coefficients are obtained by
+// linear least squares from a handful of measured (p, step time) samples;
+// the fitted PF then predicts unseen processor counts and recommends a
+// configuration — the decision Pragma's proactive management needs when
+// "selecting the appropriate number, type, and configuration of the
+// computing elements".
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pragma::perf {
+
+struct AppSample {
+  std::size_t procs = 1;
+  double step_time_s = 0.0;
+};
+
+class ScalabilityPf {
+ public:
+  /// Fit from measured samples (needs >= 4 distinct processor counts).
+  [[nodiscard]] static ScalabilityPf fit(std::span<const AppSample> samples);
+
+  /// Predicted step time at `procs`.
+  [[nodiscard]] double predict(std::size_t procs) const;
+
+  /// Predicted speedup over the smallest measured configuration.
+  [[nodiscard]] double speedup(std::size_t procs,
+                               std::size_t baseline_procs) const;
+
+  /// Predicted parallel efficiency relative to `baseline_procs`.
+  [[nodiscard]] double efficiency(std::size_t procs,
+                                  std::size_t baseline_procs) const;
+
+  /// The smallest processor count in [1, max_procs] whose predicted step
+  /// time is within `slack` (fractionally) of the best predicted time —
+  /// i.e. the cheapest configuration that is nearly as fast as the best.
+  [[nodiscard]] std::size_t recommend_processors(std::size_t max_procs,
+                                                 double slack = 0.05) const;
+
+  /// Fitted coefficients {serial, parallel, surface, sync}.
+  [[nodiscard]] const std::vector<double>& coefficients() const {
+    return coefficients_;
+  }
+
+  /// Root-mean-square relative error over the training samples.
+  [[nodiscard]] double training_error() const { return training_error_; }
+
+ private:
+  std::vector<double> coefficients_{0.0, 0.0, 0.0, 0.0};
+  double training_error_ = 0.0;
+};
+
+}  // namespace pragma::perf

@@ -1,0 +1,134 @@
+#include "pragma/perf/fit.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "pragma/perf/linalg.hpp"
+
+namespace pragma::perf {
+
+namespace {
+
+/// Build the design matrix for the polynomial basis (and optionally an
+/// exp(rate * x) column appended last).
+Matrix design_matrix(const std::vector<double>& x, int degree,
+                     bool with_exp, double rate) {
+  const std::size_t n = x.size();
+  const std::size_t cols =
+      static_cast<std::size_t>(degree + 1) + (with_exp ? 1 : 0);
+  Matrix a(n, cols);
+  for (std::size_t r = 0; r < n; ++r) {
+    double power = 1.0;
+    for (int j = 0; j <= degree; ++j) {
+      a(r, static_cast<std::size_t>(j)) = power;
+      power *= x[r];
+    }
+    if (with_exp) a(r, cols - 1) = std::exp(rate * x[r]);
+  }
+  return a;
+}
+
+}  // namespace
+
+std::unique_ptr<PolyExpPf> fit_poly_exp(const std::vector<double>& x,
+                                        const std::vector<double>& y,
+                                        const PolyExpFitOptions& options) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("fit_poly_exp: size mismatch");
+  const std::size_t min_samples =
+      static_cast<std::size_t>(options.degree + 1) +
+      (options.with_exponential ? 2 : 0);
+  if (x.size() < min_samples)
+    throw std::invalid_argument("fit_poly_exp: too few samples");
+
+  // Normalize x to [0, 1] for conditioning; fold the scale back into the
+  // returned coefficients.
+  double xmax = 0.0;
+  for (double v : x) xmax = std::max(xmax, std::abs(v));
+  if (xmax == 0.0) xmax = 1.0;
+  std::vector<double> xn(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) xn[i] = x[i] / xmax;
+
+  auto solve_linear = [&](bool with_exp, double rate,
+                          std::vector<double>& coeffs) {
+    const Matrix a = design_matrix(xn, options.degree, with_exp, rate);
+    coeffs = least_squares(a, y, options.ridge);
+  };
+
+  std::vector<double> best_coeffs;
+  double best_rate = 0.0;
+  double best_rss = std::numeric_limits<double>::infinity();
+  bool best_with_exp = false;
+
+  {
+    std::vector<double> coeffs;
+    solve_linear(false, 0.0, coeffs);
+    Matrix a = design_matrix(xn, options.degree, false, 0.0);
+    const std::vector<double> yhat = a.multiply(coeffs);
+    double rss = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i)
+      rss += (yhat[i] - y[i]) * (yhat[i] - y[i]);
+    best_coeffs = coeffs;
+    best_rss = rss;
+  }
+
+  if (options.with_exponential) {
+    for (int s = 0; s < options.exp_rate_steps; ++s) {
+      const double rate =
+          options.exp_rate_min +
+          (options.exp_rate_max - options.exp_rate_min) * s /
+              std::max(1, options.exp_rate_steps - 1);
+      if (std::abs(rate) < 1e-9) continue;  // degenerate: constant column
+      std::vector<double> coeffs;
+      try {
+        solve_linear(true, rate, coeffs);
+      } catch (const std::runtime_error&) {
+        continue;  // singular design for this rate
+      }
+      const Matrix a = design_matrix(xn, options.degree, true, rate);
+      const std::vector<double> yhat = a.multiply(coeffs);
+      double rss = 0.0;
+      for (std::size_t i = 0; i < y.size(); ++i)
+        rss += (yhat[i] - y[i]) * (yhat[i] - y[i]);
+      if (rss < best_rss) {
+        best_rss = rss;
+        best_coeffs = coeffs;
+        best_rate = rate;
+        best_with_exp = true;
+      }
+    }
+  }
+
+  // Undo the x normalization: coefficient of x^j becomes a_j / xmax^j and
+  // the exponential rate becomes rate / xmax.
+  std::vector<double> poly(static_cast<std::size_t>(options.degree) + 1);
+  double scale = 1.0;
+  for (int j = 0; j <= options.degree; ++j) {
+    poly[static_cast<std::size_t>(j)] =
+        best_coeffs[static_cast<std::size_t>(j)] / scale;
+    scale *= xmax;
+  }
+  double exp_scale = 0.0;
+  double exp_rate = 0.0;
+  if (best_with_exp) {
+    exp_scale = best_coeffs.back();
+    exp_rate = best_rate / xmax;
+  }
+  return std::make_unique<PolyExpPf>(std::move(poly), exp_scale, exp_rate,
+                                     "fitted_poly_exp");
+}
+
+double residual_ss(const PerfFunction& pf, const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("residual_ss: size mismatch");
+  double rss = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = pf.evaluate(x[i]) - y[i];
+    rss += d * d;
+  }
+  return rss;
+}
+
+}  // namespace pragma::perf

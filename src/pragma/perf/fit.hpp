@@ -1,0 +1,44 @@
+// Fitting Performance Functions from measurements (Section 3.2, step 2:
+// "use experimental and analytical techniques to obtain the PF").
+//
+// Two fitters are provided:
+//  * PolyExpFitter — fits the paper's poly+exp form.  The polynomial part is
+//    linear in its coefficients and solved by least squares; the exponential
+//    rate c is nonlinear and found by a coarse-to-fine scan (for each
+//    candidate c, the scale b joins the linear solve).
+//  * MlpFitter (mlp.hpp) — the paper's stated method ("feed these
+//    measurements to a neural network to obtain the corresponding PF").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pragma/perf/pf.hpp"
+
+namespace pragma::perf {
+
+struct PolyExpFitOptions {
+  /// Polynomial degree m (coefficients a_0..a_m).
+  int degree = 2;
+  /// Include the b*exp(c x) term.
+  bool with_exponential = false;
+  /// Candidate range scanned for the exponential rate c (per unit of x,
+  /// applied after normalizing x to [0,1] internally).
+  double exp_rate_min = -8.0;
+  double exp_rate_max = 8.0;
+  int exp_rate_steps = 65;
+  /// Ridge damping for the linear solve.
+  double ridge = 1e-12;
+};
+
+/// Fit a PolyExpPf to (x, y) samples.  Throws on insufficient samples.
+[[nodiscard]] std::unique_ptr<PolyExpPf> fit_poly_exp(
+    const std::vector<double>& x, const std::vector<double>& y,
+    const PolyExpFitOptions& options = {});
+
+/// Residual sum of squares of a PF over samples.
+[[nodiscard]] double residual_ss(const PerfFunction& pf,
+                                 const std::vector<double>& x,
+                                 const std::vector<double>& y);
+
+}  // namespace pragma::perf

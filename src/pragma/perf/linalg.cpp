@@ -1,0 +1,84 @@
+#include "pragma/perf/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pragma::perf {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_)
+    throw std::invalid_argument("Matrix::multiply: shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c)
+        out(r, c) += a * rhs(k, c);
+    }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double>& v) const {
+  if (cols_ != v.size())
+    throw std::invalid_argument("Matrix::multiply(vec): shape mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out[r] += (*this)(r, c) * v[c];
+  return out;
+}
+
+std::vector<double> solve(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n)
+    throw std::invalid_argument("solve: expected square system");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    if (std::abs(a(pivot, col)) < 1e-14)
+      throw std::runtime_error("solve: singular system");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double total = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) total -= a(r, c) * x[c];
+    x[r] = total / a(r, r);
+  }
+  return x;
+}
+
+std::vector<double> least_squares(const Matrix& a,
+                                  const std::vector<double>& b,
+                                  double ridge) {
+  const Matrix at = a.transpose();
+  Matrix ata = at.multiply(a);
+  for (std::size_t i = 0; i < ata.rows(); ++i) ata(i, i) += ridge;
+  const std::vector<double> atb = at.multiply(b);
+  return solve(std::move(ata), atb);
+}
+
+}  // namespace pragma::perf

@@ -1,0 +1,48 @@
+// Small dense linear algebra used by the least-squares PF fitter and the
+// MLP trainer.  Row-major matrices sized for regression problems (tens of
+// rows/columns), not for HPC kernels.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pragma::perf {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] Matrix multiply(const Matrix& rhs) const;
+  [[nodiscard]] std::vector<double> multiply(
+      const std::vector<double>& v) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.
+/// Throws std::runtime_error on a (numerically) singular system.
+[[nodiscard]] std::vector<double> solve(Matrix a, std::vector<double> b);
+
+/// Solve the linear least-squares problem min ||A x - b||_2 via the normal
+/// equations with Tikhonov damping `ridge` (0 for plain LS).
+[[nodiscard]] std::vector<double> least_squares(const Matrix& a,
+                                                const std::vector<double>& b,
+                                                double ridge = 0.0);
+
+}  // namespace pragma::perf

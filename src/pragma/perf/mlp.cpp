@@ -1,0 +1,193 @@
+#include "pragma/perf/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pragma::perf {
+
+Mlp::Mlp(std::size_t inputs, const MlpConfig& config)
+    : inputs_(inputs), config_(config) {
+  if (inputs == 0) throw std::invalid_argument("Mlp: zero inputs");
+  util::Rng rng(config.seed);
+  std::size_t prev = inputs;
+  for (std::size_t width : config.hidden) {
+    Layer layer;
+    layer.in = prev;
+    layer.out = width;
+    layer.weights.resize(width * prev);
+    layer.biases.assign(width, 0.0);
+    layer.w_vel.assign(width * prev, 0.0);
+    layer.b_vel.assign(width, 0.0);
+    // Xavier/Glorot initialization.
+    const double scale = std::sqrt(2.0 / static_cast<double>(prev + width));
+    for (double& w : layer.weights) w = rng.normal(0.0, scale);
+    layers_.push_back(std::move(layer));
+    prev = width;
+  }
+  Layer out;
+  out.in = prev;
+  out.out = 1;
+  out.weights.resize(prev);
+  out.biases.assign(1, 0.0);
+  out.w_vel.assign(prev, 0.0);
+  out.b_vel.assign(1, 0.0);
+  const double scale = std::sqrt(2.0 / static_cast<double>(prev + 1));
+  for (double& w : out.weights) w = rng.normal(0.0, scale);
+  layers_.push_back(std::move(out));
+
+  x_mean_.assign(inputs, 0.0);
+  x_std_.assign(inputs, 1.0);
+}
+
+std::vector<double> Mlp::forward(
+    std::vector<std::vector<double>>& activations,
+    const std::vector<double>& input) const {
+  activations.clear();
+  activations.push_back(input);
+  std::vector<double> current = input;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> next(layer.out, 0.0);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double z = layer.biases[o];
+      for (std::size_t i = 0; i < layer.in; ++i)
+        z += layer.weights[o * layer.in + i] * current[i];
+      // Hidden layers use tanh; the final layer is linear.
+      next[o] = (l + 1 == layers_.size()) ? z : std::tanh(z);
+    }
+    activations.push_back(next);
+    current = std::move(next);
+  }
+  return current;
+}
+
+void Mlp::backward(std::vector<std::vector<double>>& activations,
+                   double output_error) {
+  // delta for the linear output unit.
+  std::vector<double> delta{output_error};
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    Layer& layer = layers_[l];
+    const std::vector<double>& input = activations[l];
+    std::vector<double> prev_delta(layer.in, 0.0);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        prev_delta[i] += layer.weights[o * layer.in + i] * delta[o];
+        const double grad = delta[o] * input[i] +
+                            config_.weight_decay *
+                                layer.weights[o * layer.in + i];
+        double& vel = layer.w_vel[o * layer.in + i];
+        vel = config_.momentum * vel - config_.learning_rate * grad;
+        layer.weights[o * layer.in + i] += vel;
+      }
+      double& bvel = layer.b_vel[o];
+      bvel = config_.momentum * bvel - config_.learning_rate * delta[o];
+      layer.biases[o] += bvel;
+    }
+    if (l == 0) break;
+    // Apply tanh' of the previous layer's activation.
+    const std::vector<double>& act = activations[l];
+    (void)act;
+    for (std::size_t i = 0; i < layer.in; ++i) {
+      const double a = activations[l][i];
+      prev_delta[i] *= (1.0 - a * a);
+    }
+    delta = std::move(prev_delta);
+  }
+}
+
+double Mlp::train(const std::vector<std::vector<double>>& x,
+                  const std::vector<double>& y) {
+  if (x.size() != y.size() || x.empty())
+    throw std::invalid_argument("Mlp::train: bad sample set");
+  for (const auto& row : x)
+    if (row.size() != inputs_)
+      throw std::invalid_argument("Mlp::train: input dimension mismatch");
+
+  // Standardize inputs and targets.
+  const auto n = static_cast<double>(x.size());
+  x_mean_.assign(inputs_, 0.0);
+  x_std_.assign(inputs_, 0.0);
+  for (const auto& row : x)
+    for (std::size_t d = 0; d < inputs_; ++d) x_mean_[d] += row[d];
+  for (double& m : x_mean_) m /= n;
+  for (const auto& row : x)
+    for (std::size_t d = 0; d < inputs_; ++d)
+      x_std_[d] += (row[d] - x_mean_[d]) * (row[d] - x_mean_[d]);
+  for (double& s : x_std_) s = std::max(std::sqrt(s / n), 1e-12);
+
+  y_mean_ = 0.0;
+  for (double v : y) y_mean_ += v;
+  y_mean_ /= n;
+  y_std_ = 0.0;
+  for (double v : y) y_std_ += (v - y_mean_) * (v - y_mean_);
+  y_std_ = std::max(std::sqrt(y_std_ / n), 1e-12);
+
+  std::vector<std::vector<double>> xs(x.size(),
+                                      std::vector<double>(inputs_));
+  std::vector<double> ys(y.size());
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    for (std::size_t d = 0; d < inputs_; ++d)
+      xs[r][d] = (x[r][d] - x_mean_[d]) / x_std_[d];
+    ys[r] = (y[r] - y_mean_) / y_std_;
+  }
+
+  util::Rng rng(config_.seed ^ 0xabcdefULL);
+  std::vector<std::size_t> order(x.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<std::vector<double>> activations;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Fisher-Yates shuffle for SGD.
+    for (std::size_t i = order.size(); i-- > 1;) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(i)));
+      std::swap(order[i], order[j]);
+    }
+    for (std::size_t idx : order) {
+      const std::vector<double> out = forward(activations, xs[idx]);
+      backward(activations, out[0] - ys[idx]);
+    }
+  }
+
+  double rss = 0.0;
+  for (std::size_t r = 0; r < xs.size(); ++r) {
+    const std::vector<double> out = forward(activations, xs[r]);
+    const double err = (out[0] - ys[r]) * y_std_;
+    rss += err * err;
+  }
+  return std::sqrt(rss / n);
+}
+
+double Mlp::predict(const std::vector<double>& x) const {
+  if (x.size() != inputs_)
+    throw std::invalid_argument("Mlp::predict: input dimension mismatch");
+  std::vector<double> xn(inputs_);
+  for (std::size_t d = 0; d < inputs_; ++d)
+    xn[d] = (x[d] - x_mean_[d]) / x_std_[d];
+  std::vector<std::vector<double>> activations;
+  const std::vector<double> out = forward(activations, xn);
+  return out[0] * y_std_ + y_mean_;
+}
+
+std::unique_ptr<PerfFunction> Mlp::as_pf(const std::string& name) const {
+  if (inputs_ != 1)
+    throw std::logic_error("Mlp::as_pf: only 1-D networks wrap as PFs");
+  // Copy the network into the closure so the PF owns its parameters.
+  Mlp copy = *this;
+  return std::make_unique<CallablePf>(
+      [copy](double x) { return copy.predict1(x); }, name);
+}
+
+std::unique_ptr<PerfFunction> fit_mlp_pf(const std::vector<double>& x,
+                                         const std::vector<double>& y,
+                                         const MlpConfig& config,
+                                         const std::string& name) {
+  Mlp mlp(1, config);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(x.size());
+  for (double v : x) rows.push_back({v});
+  mlp.train(rows, y);
+  return mlp.as_pf(name);
+}
+
+}  // namespace pragma::perf

@@ -1,0 +1,142 @@
+#include "pragma/perf/netsys.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pragma/perf/fit.hpp"
+#include "pragma/perf/mlp.hpp"
+#include "pragma/util/stats.hpp"
+
+namespace pragma::perf {
+
+NetworkedSystem::NetworkedSystem(NetSysConfig config)
+    : config_(config), rng_(config.seed) {}
+
+namespace {
+/// Flops for multiplying the n×n matrices encoded in `data_bytes` of
+/// 8-byte elements: n = sqrt(D/8), cost = 2 n^3.
+double matmul_flops(double data_bytes) {
+  const double n = std::sqrt(data_bytes / 8.0);
+  return 2.0 * n * n * n;
+}
+}  // namespace
+
+double NetworkedSystem::true_pc1(double data_bytes) const {
+  return config_.pc_overhead_s +
+         matmul_flops(data_bytes) / (config_.pc1_gflops * 1e9);
+}
+
+double NetworkedSystem::true_pc2(double data_bytes) const {
+  return config_.pc_overhead_s +
+         matmul_flops(data_bytes) / (config_.pc2_gflops * 1e9);
+}
+
+double NetworkedSystem::true_switch(double data_bytes) const {
+  const double rate = config_.switch_bandwidth_mbps * 1e6 / 8.0;
+  return config_.switch_latency_s + data_bytes / rate;
+}
+
+double NetworkedSystem::true_end_to_end(double data_bytes) const {
+  return true_pc1(data_bytes) + true_switch(data_bytes) +
+         true_pc2(data_bytes);
+}
+
+double NetworkedSystem::noisy(double value) {
+  return std::max(0.0, value * (1.0 + rng_.normal(0.0, config_.noise)));
+}
+
+double NetworkedSystem::measure_pc1(double data_bytes) {
+  return noisy(true_pc1(data_bytes));
+}
+double NetworkedSystem::measure_pc2(double data_bytes) {
+  return noisy(true_pc2(data_bytes));
+}
+double NetworkedSystem::measure_switch(double data_bytes) {
+  return noisy(true_switch(data_bytes));
+}
+double NetworkedSystem::measure_end_to_end(double data_bytes) {
+  return noisy(true_end_to_end(data_bytes));
+}
+
+std::string to_string(FitMethod method) {
+  switch (method) {
+    case FitMethod::kLeastSquares:
+      return "least_squares";
+    case FitMethod::kNeuralNetwork:
+      return "neural_network";
+  }
+  return "?";
+}
+
+Table1Result run_table1_experiment(const NetSysConfig& config,
+                                   Table1Options options) {
+  if (options.training_sizes.empty())
+    for (double d = 100.0; d <= 1200.0; d += 50.0)
+      options.training_sizes.push_back(d);
+  if (options.validation_sizes.empty())
+    options.validation_sizes = {200.0, 400.0, 600.0, 800.0, 1000.0};
+  if (options.repetitions < 1 || options.validation_repetitions < 1)
+    throw std::invalid_argument("run_table1_experiment: repetitions >= 1");
+
+  NetworkedSystem system(config);
+
+  // Step 1+2: measure each component at the training sizes and fit a PF.
+  const std::size_t nt = options.training_sizes.size();
+  std::vector<double> pc1(nt, 0.0), pc2(nt, 0.0), sw(nt, 0.0);
+  for (std::size_t i = 0; i < nt; ++i) {
+    const double d = options.training_sizes[i];
+    util::Accumulator a1, a2, as;
+    for (int r = 0; r < options.repetitions; ++r) {
+      a1.add(system.measure_pc1(d));
+      a2.add(system.measure_pc2(d));
+      as.add(system.measure_switch(d));
+    }
+    pc1[i] = a1.mean();
+    pc2[i] = a2.mean();
+    sw[i] = as.mean();
+  }
+
+  auto fit_component = [&](const std::vector<double>& y,
+                           const std::string& name)
+      -> std::unique_ptr<PerfFunction> {
+    if (options.method == FitMethod::kNeuralNetwork) {
+      MlpConfig mlp;
+      mlp.hidden = {10, 10};
+      mlp.epochs = 2500;
+      mlp.learning_rate = 0.01;
+      return fit_mlp_pf(options.training_sizes, y, mlp, name);
+    }
+    PolyExpFitOptions fit;
+    fit.degree = 2;
+    fit.with_exponential = true;
+    auto pf = fit_poly_exp(options.training_sizes, y, fit);
+    return std::make_unique<PolyExpPf>(pf->poly(), pf->exp_scale(),
+                                       pf->exp_rate(), name);
+  };
+
+  // Step 3: compose the end-to-end PF (Eq. 2).
+  auto composite = std::make_unique<CompositePf>("end_to_end");
+  composite->add(fit_component(pc1, "PF_pc1"));
+  composite->add(fit_component(sw, "PF_switch"));
+  composite->add(fit_component(pc2, "PF_pc2"));
+
+  // Validate at the paper's data sizes against fresh measurements.
+  Table1Result result;
+  result.method = options.method;
+  for (double d : options.validation_sizes) {
+    util::Accumulator measured;
+    for (int r = 0; r < options.validation_repetitions; ++r)
+      measured.add(system.measure_end_to_end(d));
+    Table1Row row;
+    row.data_bytes = d;
+    row.predicted_s = composite->evaluate(d);
+    row.measured_s = measured.mean();
+    row.percent_error =
+        100.0 * std::abs(row.predicted_s - row.measured_s) / row.measured_s;
+    result.rows.push_back(row);
+  }
+  result.end_to_end_pf = std::move(composite);
+  return result;
+}
+
+}  // namespace pragma::perf

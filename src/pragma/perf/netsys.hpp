@@ -1,0 +1,109 @@
+// The example networked system of Section 3.2 / Table 1.
+//
+// "This example system consists of two Computers (PC1 and PC2) that are
+//  connected through an Ethernet switch.  PC1 performs a matrix
+//  multiplication and upon completion sends the result to PC2 through the
+//  Switch.  PC2 performs the same matrix multiplication function and returns
+//  the result back to PC1."
+//
+// We model each component's ground-truth behavior (matmul compute cost on
+// the PCs, store-and-forward transfer at the switch), add measurement noise,
+// fit a PF per component from training measurements (least squares over the
+// paper's poly+exp form, or the paper's neural-network method), compose the
+// end-to-end PF by summation (Eq. 2), and validate at held-out data sizes —
+// exactly the Table 1 procedure.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pragma/perf/pf.hpp"
+#include "pragma/util/rng.hpp"
+
+namespace pragma::perf {
+
+struct NetSysConfig {
+  /// Effective matmul rates of the two PCs in Gflop/s.  Deliberately slow
+  /// (interpreted/instrumented late-90s workstation code) so that the
+  /// end-to-end delays land in the paper's 8e-4 .. 2e-3 s range.
+  double pc1_gflops = 0.006;
+  double pc2_gflops = 0.005;
+  /// Per-invocation software overhead on each PC, seconds.
+  double pc_overhead_s = 2.8e-4;
+  /// Switch: per-message latency and bandwidth.
+  double switch_latency_s = 6e-5;
+  double switch_bandwidth_mbps = 100.0;
+  /// Relative measurement noise (std dev).
+  double noise = 0.035;
+  std::uint64_t seed = 2002;
+};
+
+/// Simulated measurements of the two-PC-plus-switch system.
+class NetworkedSystem {
+ public:
+  explicit NetworkedSystem(NetSysConfig config);
+
+  /// One noisy measurement of each component's task time for data size D
+  /// (bytes).  The matrices multiplied are n×n with n = sqrt(D / 8)
+  /// (8-byte elements), so compute cost scales as 2 n^3 flops.
+  [[nodiscard]] double measure_pc1(double data_bytes);
+  [[nodiscard]] double measure_pc2(double data_bytes);
+  [[nodiscard]] double measure_switch(double data_bytes);
+
+  /// One noisy end-to-end measurement: PC1 + switch + PC2 (the application's
+  /// response for one half cycle, which is what Table 1 tabulates).
+  [[nodiscard]] double measure_end_to_end(double data_bytes);
+
+  /// Noise-free ground truth (for tests).
+  [[nodiscard]] double true_pc1(double data_bytes) const;
+  [[nodiscard]] double true_pc2(double data_bytes) const;
+  [[nodiscard]] double true_switch(double data_bytes) const;
+  [[nodiscard]] double true_end_to_end(double data_bytes) const;
+
+  [[nodiscard]] const NetSysConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] double noisy(double value);
+  NetSysConfig config_;
+  util::Rng rng_;
+};
+
+/// How component PFs are obtained from measurements.
+enum class FitMethod { kLeastSquares, kNeuralNetwork };
+
+[[nodiscard]] std::string to_string(FitMethod method);
+
+/// One row of the reproduced Table 1.
+struct Table1Row {
+  double data_bytes = 0.0;
+  double predicted_s = 0.0;  // PF_total(D)
+  double measured_s = 0.0;   // fresh end-to-end measurement
+  double percent_error = 0.0;
+};
+
+struct Table1Result {
+  FitMethod method = FitMethod::kLeastSquares;
+  std::vector<Table1Row> rows;
+  /// The composed end-to-end PF (kept for inspection).
+  std::unique_ptr<PerfFunction> end_to_end_pf;
+};
+
+struct Table1Options {
+  FitMethod method = FitMethod::kLeastSquares;
+  /// Training data sizes; defaults cover 100..1200 bytes.
+  std::vector<double> training_sizes;
+  /// Repeated measurements per training size (averaged).
+  int repetitions = 3;
+  /// Validation sizes; defaults to the paper's {200, 400, 600, 800, 1000}.
+  std::vector<double> validation_sizes;
+  /// Measurements averaged per validation point.
+  int validation_repetitions = 3;
+};
+
+/// Run the full Table 1 procedure: measure → fit per-component PFs →
+/// compose → validate.
+[[nodiscard]] Table1Result run_table1_experiment(
+    const NetSysConfig& config = {}, Table1Options options = {});
+
+}  // namespace pragma::perf

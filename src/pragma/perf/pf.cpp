@@ -1,0 +1,61 @@
+#include "pragma/perf/pf.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+namespace pragma::perf {
+
+PolyExpPf::PolyExpPf(std::vector<double> poly, double exp_scale,
+                     double exp_rate, std::string name)
+    : poly_(std::move(poly)),
+      exp_scale_(exp_scale),
+      exp_rate_(exp_rate),
+      name_(std::move(name)) {}
+
+double PolyExpPf::evaluate(double x) const {
+  // Horner evaluation of the polynomial part.
+  double value = 0.0;
+  for (std::size_t j = poly_.size(); j-- > 0;) value = value * x + poly_[j];
+  if (exp_scale_ != 0.0) value += exp_scale_ * std::exp(exp_rate_ * x);
+  return value;
+}
+
+std::unique_ptr<PerfFunction> PolyExpPf::clone() const {
+  return std::make_unique<PolyExpPf>(poly_, exp_scale_, exp_rate_, name_);
+}
+
+void CompositePf::add(std::unique_ptr<PerfFunction> component) {
+  if (!component) throw std::invalid_argument("CompositePf::add: null");
+  components_.push_back(std::move(component));
+}
+
+double CompositePf::evaluate(double x) const {
+  double total = 0.0;
+  for (const auto& component : components_) total += component->evaluate(x);
+  return total;
+}
+
+std::unique_ptr<PerfFunction> CompositePf::clone() const {
+  auto copy = std::make_unique<CompositePf>(name_);
+  for (const auto& component : components_) copy->add(component->clone());
+  return copy;
+}
+
+std::vector<double> relative_errors(const PerfFunction& pf,
+                                    const std::vector<double>& xs,
+                                    const std::vector<double>& measured) {
+  if (xs.size() != measured.size())
+    throw std::invalid_argument("relative_errors: size mismatch");
+  std::vector<double> errors;
+  errors.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double predicted = pf.evaluate(xs[i]);
+    const double denom = measured[i] == 0.0 ? 1.0 : std::abs(measured[i]);
+    errors.push_back(std::abs(predicted - measured[i]) / denom);
+  }
+  return errors;
+}
+
+}  // namespace pragma::perf

@@ -1,0 +1,98 @@
+// Performance Functions (Section 3.2).
+//
+// A Performance Function (PF) "describes the behavior of a system component,
+// subsystem or compound system in terms of changes in one or more of its
+// attributes".  The paper's Eq. 1 gives each component's PF the form
+//
+//     PF_i(D) = sum_{j=0..m} a_j D^j  +  b * exp(c * D)
+//
+// over the data-size attribute D, and Eq. 2 composes the end-to-end PF of a
+// pipeline as the sum of the component PFs (analogous to composing block
+// transfer functions in control theory).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pragma::perf {
+
+/// A scalar performance function over one attribute (e.g. data size).
+class PerfFunction {
+ public:
+  virtual ~PerfFunction() = default;
+  /// Evaluate the predicted metric (e.g. delay in seconds) at attribute x.
+  [[nodiscard]] virtual double evaluate(double x) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<PerfFunction> clone() const = 0;
+};
+
+/// The paper's PF form: polynomial plus an exponential term.
+class PolyExpPf final : public PerfFunction {
+ public:
+  /// poly[j] is the coefficient of x^j; the exponential term is
+  /// exp_scale * exp(exp_rate * x) (pass exp_scale = 0 for pure polynomial).
+  PolyExpPf(std::vector<double> poly, double exp_scale, double exp_rate,
+            std::string name = "poly_exp");
+
+  [[nodiscard]] double evaluate(double x) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<PerfFunction> clone() const override;
+
+  [[nodiscard]] const std::vector<double>& poly() const { return poly_; }
+  [[nodiscard]] double exp_scale() const { return exp_scale_; }
+  [[nodiscard]] double exp_rate() const { return exp_rate_; }
+
+ private:
+  std::vector<double> poly_;
+  double exp_scale_;
+  double exp_rate_;
+  std::string name_;
+};
+
+/// End-to-end PF: the sum of component PFs (Eq. 2).
+class CompositePf final : public PerfFunction {
+ public:
+  CompositePf() = default;
+  explicit CompositePf(std::string name) : name_(std::move(name)) {}
+
+  void add(std::unique_ptr<PerfFunction> component);
+  [[nodiscard]] std::size_t components() const { return components_.size(); }
+  [[nodiscard]] const PerfFunction& component(std::size_t i) const {
+    return *components_.at(i);
+  }
+
+  [[nodiscard]] double evaluate(double x) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<PerfFunction> clone() const override;
+
+ private:
+  std::vector<std::unique_ptr<PerfFunction>> components_;
+  std::string name_ = "composite";
+};
+
+/// A PF backed by an arbitrary callable (used to wrap fitted MLPs).
+class CallablePf final : public PerfFunction {
+ public:
+  using Fn = std::function<double(double)>;
+  CallablePf(Fn fn, std::string name)
+      : fn_(std::move(fn)), name_(std::move(name)) {}
+  [[nodiscard]] double evaluate(double x) const override { return fn_(x); }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<PerfFunction> clone() const override {
+    return std::make_unique<CallablePf>(fn_, name_);
+  }
+
+ private:
+  Fn fn_;
+  std::string name_;
+};
+
+/// Relative error |predicted - measured| / measured of a PF at sample
+/// points; returns the per-point errors.
+[[nodiscard]] std::vector<double> relative_errors(
+    const PerfFunction& pf, const std::vector<double>& xs,
+    const std::vector<double>& measured);
+
+}  // namespace pragma::perf

@@ -1,0 +1,69 @@
+#include "pragma/policy/builtin.hpp"
+
+#include "pragma/octant/octant.hpp"
+#include "pragma/policy/dsl.hpp"
+
+namespace pragma::policy {
+
+void install_octant_policies(PolicyBase& base) {
+  using octant::Octant;
+  for (int i = 1; i <= 8; ++i) {
+    const auto oct = static_cast<Octant>(i);
+    const std::string name = octant::to_string(oct);
+    Policy policy;
+    policy.name = "octant_" + name;
+    policy.conditions.push_back(
+        Condition{"octant", Op::kEq, Value{name}, 0.0});
+    policy.action["partitioner"] = Value{octant::select_partitioner(oct)};
+    // Secondary recommendation, when Table 2 lists one.
+    const auto& recommended = octant::recommended_partitioners(oct);
+    if (recommended.size() > 1)
+      policy.action["fallback_partitioner"] = Value{recommended[1]};
+    base.add(std::move(policy));
+  }
+}
+
+void install_system_policies(PolicyBase& base) {
+  // The example rules the paper sketches in Sections 3.5 and 4.7, expressed
+  // in the rule DSL, with descriptive names for the ADM decision log.
+  struct NamedRule {
+    const char* name;
+    const char* rule;
+  };
+  const NamedRule kRules[] = {
+      // "a local agent is used to generate events when the load reaches a
+      //  certain threshold - this event can then trigger repartitioning"
+      {"load_threshold_repartition",
+       "if load >= 0.8 tol 0.05 then action = repartition priority 2"},
+      // "a change in the effective communication bandwidth can trigger a
+      //  similar repartitioning coupled with a selection of a partitioner
+      //  ... that can tolerate the increased communication latency"
+      {"bandwidth_drop_adaptation",
+       "if bandwidth <= 30 tol 10 then action = repartition,"
+       " comm = latency-tolerant, partitioner = pBD-ISP priority 2"},
+      // "If on a networked cluster and AMR application is in octant VI use
+      //  latency-tolerant communication"
+      {"cluster_octant_vi_comm",
+       "if arch = linux-cluster and octant = VI then"
+       " comm = latency-tolerant"},
+      // "If cache size of Y use refined grid components no larger than Q":
+      // low available memory bounds the refined patch size.
+      {"low_memory_patch_bound",
+       "if memory <= 128 tol 32 then max_patch_cells = 16384"},
+      // Node failure (node_up sensor reads 0 when the node is down):
+      // migrate the failed component.
+      {"node_failure_migrate",
+       "if node_up <= 0.5 tol 0.2 then action = migrate priority 3"},
+  };
+  for (const NamedRule& rule : kRules)
+    base.add(parse_rule(rule.rule, rule.name));
+}
+
+PolicyBase standard_policy_base() {
+  PolicyBase base;
+  install_octant_policies(base);
+  install_system_policies(base);
+  return base;
+}
+
+}  // namespace pragma::policy

@@ -1,0 +1,21 @@
+// Built-in adaptation policies: the Table 2 octant -> partitioner map plus
+// the system-sensitive rules sketched in Sections 3.5 and 4.7.
+#pragma once
+
+#include "pragma/policy/policy.hpp"
+
+namespace pragma::policy {
+
+/// Install one policy per octant ("octant" attribute -> "partitioner"
+/// action), following Table 2.
+void install_octant_policies(PolicyBase& base);
+
+/// Install the system-level example rules from the paper: load-threshold
+/// repartitioning, bandwidth-drop communication adaptation, low-memory
+/// granularity reduction.
+void install_system_policies(PolicyBase& base);
+
+/// A policy base pre-loaded with both sets.
+[[nodiscard]] PolicyBase standard_policy_base();
+
+}  // namespace pragma::policy

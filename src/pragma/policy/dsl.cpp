@@ -1,0 +1,192 @@
+#include "pragma/policy/dsl.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace pragma::policy {
+
+namespace {
+
+struct Tokenizer {
+  explicit Tokenizer(const std::string& text) : text_(text) {}
+
+  [[nodiscard]] bool done() {
+    skip_space();
+    return pos_ >= text_.size();
+  }
+
+  [[nodiscard]] std::string peek() {
+    const std::size_t saved = pos_;
+    std::string token = next();
+    pos_ = saved;
+    return token;
+  }
+
+  std::string next() {
+    skip_space();
+    if (pos_ >= text_.size()) return {};
+    const char c = text_[pos_];
+    // Operators.
+    if (c == '=' || c == ',') {
+      ++pos_;
+      return std::string(1, c);
+    }
+    if (c == '~' || c == '<' || c == '>') {
+      std::string op(1, c);
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] == '=') {
+        op += '=';
+        ++pos_;
+      }
+      return op;
+    }
+    // Barewords / numbers: everything until whitespace or an operator char.
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(
+                                      text_[pos_])) &&
+           text_[pos_] != '=' && text_[pos_] != ',' && text_[pos_] != '<' &&
+           text_[pos_] != '>' && text_[pos_] != '~')
+      ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument("policy rule parse error at position " +
+                                std::to_string(pos_) + ": " + message);
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+bool is_number(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return false;
+  if (out) *out = value;
+  return true;
+}
+
+Value parse_value(const std::string& token) {
+  double number = 0.0;
+  if (is_number(token, &number)) return Value{number};
+  return Value{token};
+}
+
+Op parse_op(Tokenizer& tok, const std::string& token) {
+  if (token == "=") return Op::kEq;
+  if (token == "~=") return Op::kApprox;
+  if (token == "<") return Op::kLt;
+  if (token == "<=") return Op::kLe;
+  if (token == ">") return Op::kGt;
+  if (token == ">=") return Op::kGe;
+  tok.fail("expected an operator, got '" + token + "'");
+}
+
+}  // namespace
+
+Policy parse_rule(const std::string& text, const std::string& name) {
+  Tokenizer tok(text);
+  Policy policy;
+  policy.name = name.empty() ? text : name;
+
+  if (tok.next() != "if") tok.fail("rule must start with 'if'");
+
+  // Conditions.
+  while (true) {
+    Condition condition;
+    condition.attribute = tok.next();
+    if (condition.attribute.empty()) tok.fail("expected attribute name");
+    condition.op = parse_op(tok, tok.next());
+    const std::string value = tok.next();
+    if (value.empty()) tok.fail("expected condition value");
+    condition.target = parse_value(value);
+    if (tok.peek() == "tol") {
+      tok.next();
+      double tol = 0.0;
+      if (!is_number(tok.next(), &tol)) tok.fail("expected tol number");
+      condition.tol = tol;
+    }
+    policy.conditions.push_back(std::move(condition));
+    const std::string keyword = tok.next();
+    if (keyword == "and") continue;
+    if (keyword == "then") break;
+    tok.fail("expected 'and' or 'then', got '" + keyword + "'");
+  }
+
+  // Action assignments.
+  while (true) {
+    const std::string key = tok.next();
+    if (key.empty()) tok.fail("expected action assignment");
+    if (tok.next() != "=") tok.fail("expected '=' in action");
+    const std::string value = tok.next();
+    if (value.empty()) tok.fail("expected action value");
+    policy.action[key] = parse_value(value);
+    if (tok.done()) break;
+    const std::string keyword = tok.peek();
+    if (keyword == ",") {
+      tok.next();
+      continue;
+    }
+    if (keyword == "priority") {
+      tok.next();
+      double priority = 1.0;
+      if (!is_number(tok.next(), &priority))
+        tok.fail("expected priority number");
+      policy.priority = priority;
+      break;
+    }
+    tok.fail("expected ',' or 'priority', got '" + keyword + "'");
+  }
+  if (!tok.done()) tok.fail("trailing tokens after rule");
+  return policy;
+}
+
+std::vector<Policy> parse_rules(const std::string& text) {
+  std::vector<Policy> policies;
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    bool blank = true;
+    for (char c : line)
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    if (blank) continue;
+    policies.push_back(
+        parse_rule(line, "rule_" + std::to_string(line_number)));
+  }
+  return policies;
+}
+
+std::string format_rule(const Policy& policy) {
+  std::ostringstream os;
+  os << "if ";
+  for (std::size_t i = 0; i < policy.conditions.size(); ++i) {
+    const Condition& c = policy.conditions[i];
+    if (i > 0) os << " and ";
+    os << c.attribute << ' ' << to_string(c.op) << ' ' << to_string(c.target);
+    if (c.tol > 0.0) os << " tol " << c.tol;
+  }
+  os << " then ";
+  bool first = true;
+  for (const auto& [key, value] : policy.action) {
+    if (!first) os << ", ";
+    os << key << " = " << to_string(value);
+    first = false;
+  }
+  if (policy.priority != 1.0) os << " priority " << policy.priority;
+  return os.str();
+}
+
+}  // namespace pragma::policy

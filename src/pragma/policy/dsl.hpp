@@ -1,0 +1,38 @@
+// A small rule language for the programmable policy base.
+//
+// "Programmability of the knowledge base will allow rules to be modified,
+//  adapted and extended."  Rules read like the paper's examples:
+//
+//   if octant = VI and arch = cluster then partitioner = pBD-ISP
+//   if load > 0.8 then action = repartition priority 2
+//   if bandwidth ~= 100 tol 20 then comm = latency-tolerant
+//
+// Grammar (one rule per line; '#' starts a comment):
+//   rule      := "if" cond ("and" cond)* "then" assign ("," assign)*
+//                ["priority" NUMBER]
+//   cond      := IDENT op VALUE ["tol" NUMBER]
+//   op        := "=" | "~=" | "<" | "<=" | ">" | ">="
+//   assign    := IDENT "=" VALUE
+//   VALUE     := NUMBER | bareword
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pragma/policy/policy.hpp"
+
+namespace pragma::policy {
+
+/// Parse a single rule.  `name` becomes the policy name (auto-generated
+/// from the text if empty).  Throws std::invalid_argument with a position
+/// hint on malformed input.
+[[nodiscard]] Policy parse_rule(const std::string& text,
+                                const std::string& name = {});
+
+/// Parse a newline-separated rule set, skipping blank lines and comments.
+[[nodiscard]] std::vector<Policy> parse_rules(const std::string& text);
+
+/// Render a policy back into rule syntax (round-trips through parse_rule).
+[[nodiscard]] std::string format_rule(const Policy& policy);
+
+}  // namespace pragma::policy

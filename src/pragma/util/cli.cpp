@@ -1,0 +1,111 @@
+#include "pragma/util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace pragma::util {
+
+CliFlags::CliFlags(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliFlags::add_int(const std::string& name, long long default_value,
+                       const std::string& help) {
+  flags_[name] = Flag{Type::kInt, help, std::to_string(default_value)};
+}
+
+void CliFlags::add_double(const std::string& name, double default_value,
+                          const std::string& help) {
+  std::ostringstream os;
+  os << default_value;
+  flags_[name] = Flag{Type::kDouble, help, os.str()};
+}
+
+void CliFlags::add_bool(const std::string& name, bool default_value,
+                        const std::string& help) {
+  flags_[name] = Flag{Type::kBool, help, default_value ? "true" : "false"};
+}
+
+void CliFlags::add_string(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help) {
+  flags_[name] = Flag{Type::kString, help, default_value};
+}
+
+bool CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+      throw std::invalid_argument("unknown flag --" + name);
+    if (!has_value) {
+      if (it->second.type == Type::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        throw std::invalid_argument("flag --" + name + " requires a value");
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const CliFlags::Flag& CliFlags::find(const std::string& name,
+                                     Type type) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end())
+    throw std::out_of_range("flag --" + name + " not registered");
+  if (it->second.type != type)
+    throw std::out_of_range("flag --" + name + " queried with wrong type");
+  return it->second;
+}
+
+long long CliFlags::get_int(const std::string& name) const {
+  return std::stoll(find(name, Type::kInt).value);
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return std::stod(find(name, Type::kDouble).value);
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  const std::string& v = find(name, Type::kBool).value;
+  return v == "true" || v == "1" || v == "yes";
+}
+
+const std::string& CliFlags::get_string(const std::string& name) const {
+  return find(name, Type::kString).value;
+}
+
+std::string CliFlags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "Usage: " << program << " [flags]\n";
+  if (!description_.empty()) os << description_ << "\n";
+  os << "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.value << ")\n      "
+       << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pragma::util

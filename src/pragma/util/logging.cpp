@@ -1,0 +1,48 @@
+#include "pragma/util/logging.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace pragma::util {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view message) {
+    std::fprintf(stderr, "[%.*s] %.*s\n",
+                 static_cast<int>(to_string(level).size()),
+                 to_string(level).data(), static_cast<int>(message.size()),
+                 message.data());
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  if (enabled(level)) sink_(level, message);
+}
+
+}  // namespace pragma::util

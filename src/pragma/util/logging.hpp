@@ -1,0 +1,91 @@
+// Minimal leveled logger for the Pragma runtime.
+//
+// The logger is intentionally tiny: a global level, a sink (defaults to
+// stderr), and printf-free formatted output built on std::ostringstream.
+// Simulation components log through this so that examples can turn tracing
+// on/off without recompiling.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace pragma::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Human-readable name of a log level ("TRACE", "DEBUG", ...).
+std::string_view to_string(LogLevel level);
+
+/// Global logger configuration.  Not thread-safe by design: the simulator is
+/// single-threaded and deterministic; configure logging before running.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Replace the output sink (default writes "[LEVEL] message" to stderr).
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+/// Log a message assembled by streaming all arguments.
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  Logger& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  logger.log(level, os.str());
+}
+
+template <typename... Args>
+void log_trace(const Args&... args) {
+  log(LogLevel::kTrace, args...);
+}
+template <typename... Args>
+void log_debug(const Args&... args) {
+  log(LogLevel::kDebug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  log(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  log(LogLevel::kWarn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  log(LogLevel::kError, args...);
+}
+
+}  // namespace pragma::util

@@ -1,0 +1,39 @@
+#include "pragma/util/rng.hpp"
+
+#include <cmath>
+
+namespace pragma::util {
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::exponential(double rate) {
+  // Guard against log(0); uniform() < 1 so 1-u > 0.
+  return -std::log1p(-uniform()) / rate;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto(double xm, double alpha) {
+  return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+}  // namespace pragma::util

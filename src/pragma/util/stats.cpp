@@ -1,0 +1,218 @@
+#include "pragma/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pragma::util {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(count_ + other.count_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / n;
+  mean_ = (mean_ * static_cast<double>(count_) +
+           other.mean_ * static_cast<double>(other.count_)) /
+          n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+void Accumulator::reset() { *this = Accumulator{}; }
+
+double Accumulator::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double total = 0.0;
+  for (double x : xs) total += (x - m) * (x - m);
+  return total / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double min_value(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double sum(std::span<const double> xs) {
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total;
+}
+
+double mean_absolute_error(std::span<const double> a,
+                           std::span<const double> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("mean_absolute_error: size mismatch");
+  if (a.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) total += std::abs(a[i] - b[i]);
+  return total / static_cast<double>(a.size());
+}
+
+double root_mean_squared_error(std::span<const double> a,
+                               std::span<const double> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("root_mean_squared_error: size mismatch");
+  if (a.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    total += d * d;
+  }
+  return std::sqrt(total / static_cast<double>(a.size()));
+}
+
+double correlation(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("correlation: size mismatch");
+  if (a.size() < 2) return 0.0;
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double num = 0.0;
+  double da = 0.0;
+  double db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da == 0.0 || db == 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("linear_fit: size mismatch");
+  LinearFit fit;
+  if (x.size() < 2) {
+    fit.intercept = y.empty() ? 0.0 : y[0];
+    return fit;
+  }
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+double imbalance(std::span<const double> loads) {
+  if (loads.empty()) return 0.0;
+  const double m = mean(loads);
+  if (m == 0.0) return 0.0;
+  return (max_value(loads) - m) / m;
+}
+
+SlidingWindow::SlidingWindow(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  values_.reserve(capacity_);
+}
+
+void SlidingWindow::push(double x) {
+  if (values_.size() < capacity_) {
+    values_.push_back(x);
+    sum_ += x;
+    return;
+  }
+  sum_ += x - values_[head_];
+  values_[head_] = x;
+  head_ = (head_ + 1) % capacity_;
+}
+
+void SlidingWindow::clear() {
+  values_.clear();
+  head_ = 0;
+  sum_ = 0.0;
+}
+
+double SlidingWindow::mean() const {
+  return values_.empty() ? 0.0
+                         : sum_ / static_cast<double>(values_.size());
+}
+
+double SlidingWindow::median() const {
+  return pragma::util::median(std::span<const double>(values_));
+}
+
+std::vector<double> SlidingWindow::values() const {
+  std::vector<double> out;
+  out.reserve(values_.size());
+  if (values_.size() < capacity_) {
+    out = values_;
+  } else {
+    for (std::size_t i = 0; i < values_.size(); ++i)
+      out.push_back(values_[(head_ + i) % capacity_]);
+  }
+  return out;
+}
+
+}  // namespace pragma::util

@@ -1,0 +1,98 @@
+// Streaming and batch statistics used throughout the monitoring, forecasting
+// and evaluation code.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pragma::util {
+
+/// Streaming accumulator (Welford) for mean/variance plus min/max.
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 if fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch helpers.  All take a span and do not modify the input.
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);
+[[nodiscard]] double stddev(std::span<const double> xs);
+[[nodiscard]] double median(std::span<const double> xs);
+/// Linear-interpolated percentile, p in [0, 100].
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+[[nodiscard]] double min_value(std::span<const double> xs);
+[[nodiscard]] double max_value(std::span<const double> xs);
+[[nodiscard]] double sum(std::span<const double> xs);
+
+/// Mean absolute error between two equally-sized series.
+[[nodiscard]] double mean_absolute_error(std::span<const double> a,
+                                         std::span<const double> b);
+/// Root mean squared error between two equally-sized series.
+[[nodiscard]] double root_mean_squared_error(std::span<const double> a,
+                                             std::span<const double> b);
+
+/// Pearson correlation coefficient; 0 if either series is constant.
+[[nodiscard]] double correlation(std::span<const double> a,
+                                 std::span<const double> b);
+
+/// Ordinary least squares fit y = intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+[[nodiscard]] LinearFit linear_fit(std::span<const double> x,
+                                   std::span<const double> y);
+
+/// Coefficient of variation max/mean - 1 style imbalance metric:
+/// (max - mean) / mean, expressed as a fraction (0 == perfectly balanced).
+[[nodiscard]] double imbalance(std::span<const double> loads);
+
+/// Fixed-capacity sliding window of doubles with O(1) push and streaming
+/// sum; used by sliding-window forecasters.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  void push(double x);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool full() const { return values_.size() == capacity_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  /// Median of the current window contents (O(n log n)).
+  [[nodiscard]] double median() const;
+  /// Window contents in insertion order, oldest first.
+  [[nodiscard]] std::vector<double> values() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // index of oldest element when full
+  std::vector<double> values_;
+  double sum_ = 0.0;
+};
+
+}  // namespace pragma::util

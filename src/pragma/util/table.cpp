@@ -1,0 +1,111 @@
+#include "pragma/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace pragma::util {
+
+TextTable::TextTable(std::vector<std::string> headers) {
+  set_headers(std::move(headers));
+}
+
+void TextTable::set_headers(std::vector<std::string> headers) {
+  headers_ = std::move(headers);
+  if (alignment_.size() < headers_.size())
+    alignment_.resize(headers_.size(), Align::kRight);
+}
+
+void TextTable::set_alignment(std::size_t column, Align align) {
+  if (alignment_.size() <= column) alignment_.resize(column + 1, Align::kRight);
+  alignment_[column] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_rule() { rules_.push_back(rows_.size()); }
+
+std::string TextTable::render() const {
+  std::size_t columns = headers_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  if (columns == 0) return {};
+
+  std::vector<std::size_t> widths(columns, 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = std::max(widths[c], headers_[c].size());
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto render_cell = [&](const std::string& text, std::size_t c) {
+    std::string out;
+    const std::size_t pad = widths[c] - std::min(widths[c], text.size());
+    const Align align =
+        c < alignment_.size() ? alignment_[c] : Align::kRight;
+    if (align == Align::kRight) out.append(pad, ' ');
+    out += text;
+    if (align == Align::kLeft) out.append(pad, ' ');
+    return out;
+  };
+
+  std::ostringstream os;
+  auto rule = [&] {
+    for (std::size_t c = 0; c < columns; ++c) {
+      os << std::string(widths[c] + 2, '-');
+      if (c + 1 != columns) os << '+';
+    }
+    os << '\n';
+  };
+
+  if (!headers_.empty()) {
+    for (std::size_t c = 0; c < columns; ++c) {
+      os << ' ' << render_cell(c < headers_.size() ? headers_[c] : "", c)
+         << ' ';
+      if (c + 1 != columns) os << '|';
+    }
+    os << '\n';
+    rule();
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(rules_.begin(), rules_.end(), r) != rules_.end()) rule();
+    for (std::size_t c = 0; c < columns; ++c) {
+      os << ' '
+         << render_cell(c < rows_[r].size() ? rows_[r][c] : "", c) << ' ';
+      if (c + 1 != columns) os << '|';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string cell(long long value) { return std::to_string(value); }
+std::string cell(std::size_t value) { return std::to_string(value); }
+std::string cell(int value) { return std::to_string(value); }
+
+std::string percent_cell(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+std::string sci_cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void print_section(std::ostream& os, const std::string& title) {
+  os << '\n' << title << '\n' << std::string(title.size(), '=') << '\n';
+}
+
+}  // namespace pragma::util

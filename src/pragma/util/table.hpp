@@ -1,0 +1,54 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables/figures; this
+// helper renders aligned ASCII tables that mirror the paper's layout.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pragma::util {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: set headers, append rows of strings (use the
+/// cell() helpers to format numbers), then render.
+class TextTable {
+ public:
+  TextTable() = default;
+  explicit TextTable(std::vector<std::string> headers);
+
+  void set_headers(std::vector<std::string> headers);
+  void set_alignment(std::size_t column, Align align);
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next added row.
+  void add_rule();
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> rules_;  // row indices preceded by a rule
+  std::vector<Align> alignment_;
+};
+
+/// Format a double with fixed precision.
+[[nodiscard]] std::string cell(double value, int precision = 3);
+/// Format an integer.
+[[nodiscard]] std::string cell(long long value);
+[[nodiscard]] std::string cell(std::size_t value);
+[[nodiscard]] std::string cell(int value);
+/// Format a percentage ("12.3%").
+[[nodiscard]] std::string percent_cell(double fraction, int precision = 1);
+/// Format in scientific notation (matches the paper's Table 1 style).
+[[nodiscard]] std::string sci_cell(double value, int precision = 4);
+
+/// Print a titled section header for bench output.
+void print_section(std::ostream& os, const std::string& title);
+
+}  // namespace pragma::util

@@ -1,0 +1,257 @@
+#include "pragma/agents/component_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pragma/agents/adm.hpp"
+#include "pragma/policy/builtin.hpp"
+
+namespace pragma::agents {
+namespace {
+
+class ComponentAgentTest : public ::testing::Test {
+ protected:
+  ComponentAgentTest()
+      : center_(simulator_),
+        agent_(simulator_, center_, "app.c0", "app.events", 1.0) {
+    center_.register_port("collector");
+    center_.subscribe("app.events", "collector");
+  }
+  sim::Simulator simulator_;
+  MessageCenter center_;
+  ComponentAgent agent_;
+  double load_ = 0.0;
+};
+
+TEST_F(ComponentAgentTest, SamplesSensorsPeriodically) {
+  agent_.add_sensor({"load", [this] { return load_; }});
+  agent_.start();
+  load_ = 0.42;
+  simulator_.run(5.0);
+  ASSERT_TRUE(agent_.last_reading("load").has_value());
+  EXPECT_DOUBLE_EQ(*agent_.last_reading("load"), 0.42);
+  EXPECT_FALSE(agent_.last_reading("missing").has_value());
+}
+
+TEST_F(ComponentAgentTest, ThresholdRulePublishesEvent) {
+  agent_.add_sensor({"load", [this] { return load_; }});
+  agent_.add_rule({"load", 0.8, true, "load_high", 10.0});
+  agent_.start();
+  load_ = 0.9;
+  simulator_.run(2.0);
+  const auto events = center_.drain("collector");
+  ASSERT_GE(events.size(), 1u);
+  EXPECT_EQ(events[0].type, "load_high");
+  EXPECT_EQ(policy::to_string(events[0].payload.at("component")), "app.c0");
+  EXPECT_DOUBLE_EQ(std::get<double>(events[0].payload.at("value")), 0.9);
+}
+
+TEST_F(ComponentAgentTest, NoEventBelowThreshold) {
+  agent_.add_sensor({"load", [this] { return load_; }});
+  agent_.add_rule({"load", 0.8, true, "load_high", 10.0});
+  agent_.start();
+  load_ = 0.5;
+  simulator_.run(20.0);
+  EXPECT_TRUE(center_.drain("collector").empty());
+  EXPECT_EQ(agent_.events_published(), 0u);
+}
+
+TEST_F(ComponentAgentTest, CooldownDebouncesEvents) {
+  agent_.add_sensor({"load", [this] { return load_; }});
+  agent_.add_rule({"load", 0.8, true, "load_high", 10.0});
+  agent_.start();
+  load_ = 0.95;  // permanently above threshold
+  simulator_.run(25.0);
+  // Sampling every second for 25 s with a 10 s cooldown: 3 events.
+  EXPECT_EQ(agent_.events_published(), 3u);
+}
+
+TEST_F(ComponentAgentTest, TriggerBelowDirection) {
+  agent_.add_sensor({"alive", [this] { return load_; }});
+  agent_.add_rule({"alive", 0.5, false, "down", 5.0});
+  agent_.start();
+  load_ = 1.0;
+  simulator_.run(3.0);
+  EXPECT_EQ(agent_.events_published(), 0u);
+  load_ = 0.0;
+  simulator_.run(5.0);
+  EXPECT_GE(agent_.events_published(), 1u);
+}
+
+TEST_F(ComponentAgentTest, DirectiveInvokesActuator) {
+  int repartitions = 0;
+  agent_.add_actuator({"repartition", [&](const policy::AttributeSet&) {
+                         ++repartitions;
+                       }});
+  Message directive;
+  directive.from = "adm";
+  directive.to = "app.c0";
+  directive.type = "repartition";
+  center_.send(std::move(directive));
+  simulator_.run();
+  EXPECT_EQ(repartitions, 1);
+  EXPECT_EQ(agent_.directives_applied(), 1u);
+}
+
+TEST_F(ComponentAgentTest, LifecycleSuspendResume) {
+  EXPECT_EQ(agent_.state(), ComponentState::kRunning);
+  Message suspend;
+  suspend.to = "app.c0";
+  suspend.type = "suspend";
+  center_.send(suspend);
+  simulator_.run();
+  EXPECT_EQ(agent_.state(), ComponentState::kSuspended);
+
+  // Suspended agents do not sample.
+  agent_.add_sensor({"load", [this] { return load_; }});
+  agent_.start();
+  load_ = 0.7;
+  simulator_.run(simulator_.now() + 5.0);
+  EXPECT_FALSE(agent_.last_reading("load").has_value());
+
+  Message resume;
+  resume.to = "app.c0";
+  resume.type = "resume";
+  center_.send(resume);
+  simulator_.run(simulator_.now() + 5.0);
+  EXPECT_EQ(agent_.state(), ComponentState::kRunning);
+  EXPECT_TRUE(agent_.last_reading("load").has_value());
+}
+
+TEST_F(ComponentAgentTest, MigrateReturnsToRunning) {
+  Message migrate;
+  migrate.to = "app.c0";
+  migrate.type = "migrate";
+  center_.send(migrate);
+  simulator_.run();
+  EXPECT_EQ(agent_.state(), ComponentState::kRunning);
+  EXPECT_EQ(agent_.directives_applied(), 1u);
+}
+
+TEST_F(ComponentAgentTest, StateNames) {
+  EXPECT_EQ(to_string(ComponentState::kRunning), "running");
+  EXPECT_EQ(to_string(ComponentState::kSuspended), "suspended");
+  EXPECT_EQ(to_string(ComponentState::kMigrating), "migrating");
+}
+
+
+TEST_F(ComponentAgentTest, QueryInterrogatesComponent) {
+  // "allows application components to be interrogated ... at runtime"
+  agent_.add_sensor({"load", [this] { return load_; }});
+  agent_.start();
+  load_ = 0.33;
+  simulator_.run(3.0);
+
+  center_.register_port("steering-console");
+  Message query;
+  query.from = "steering-console";
+  query.to = "app.c0";
+  query.type = "query";
+  center_.send(std::move(query));
+  simulator_.run(simulator_.now() + 1.0);
+
+  const auto replies = center_.drain("steering-console");
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].type, "query_reply");
+  EXPECT_EQ(policy::to_string(replies[0].payload.at("state")), "running");
+  EXPECT_DOUBLE_EQ(std::get<double>(replies[0].payload.at("load")), 0.33);
+}
+
+TEST_F(ComponentAgentTest, QueryDoesNotCountAsDirective) {
+  center_.register_port("console");
+  Message query;
+  query.from = "console";
+  query.to = "app.c0";
+  query.type = "query";
+  center_.send(std::move(query));
+  simulator_.run();
+  EXPECT_EQ(agent_.directives_applied(), 0u);
+}
+
+class AdmTest : public ::testing::Test {
+ protected:
+  AdmTest()
+      : center_(simulator_),
+        policies_(policy::standard_policy_base()),
+        adm_(simulator_, center_, policies_) {}
+  sim::Simulator simulator_;
+  MessageCenter center_;
+  policy::PolicyBase policies_;
+  Adm adm_;
+
+  void publish_event(const std::string& type, const std::string& sensor,
+                     double value) {
+    Message event;
+    event.from = "app.c0";
+    event.type = type;
+    event.payload["component"] = policy::Value{std::string("app.c0")};
+    event.payload["sensor"] = policy::Value{sensor};
+    event.payload["value"] = policy::Value{value};
+    center_.publish("app.events", std::move(event));
+  }
+};
+
+TEST_F(AdmTest, ConsolidatesEventIntoDirective) {
+  int repartitions = 0;
+  center_.register_port("app.c0", [&](const Message& m) {
+    if (m.type == "repartition") ++repartitions;
+  });
+  adm_.manage("app.c0");
+  publish_event("load_high", "load", 0.93);
+  simulator_.run(30.0);
+  EXPECT_EQ(repartitions, 1);
+  ASSERT_EQ(adm_.decisions().size(), 1u);
+  EXPECT_EQ(adm_.decisions()[0].trigger, "load_high");
+  EXPECT_EQ(adm_.decisions()[0].action, "repartition");
+}
+
+TEST_F(AdmTest, WindowConsolidatesMultipleReports) {
+  int directives = 0;
+  center_.register_port("app.c0",
+                        [&](const Message&) { ++directives; });
+  adm_.manage("app.c0");
+  // Three agents report within one window -> one decision.
+  publish_event("load_high", "load", 0.9);
+  publish_event("load_high", "load", 0.85);
+  publish_event("load_high", "load", 0.95);
+  simulator_.run(30.0);
+  EXPECT_EQ(adm_.decisions().size(), 1u);
+  EXPECT_EQ(directives, 1);
+}
+
+TEST_F(AdmTest, DirectiveHookNarrowsRecipients) {
+  int c0 = 0;
+  int c1 = 0;
+  center_.register_port("app.c0", [&](const Message&) { ++c0; });
+  center_.register_port("app.c1", [&](const Message&) { ++c1; });
+  adm_.manage("app.c0");
+  adm_.manage("app.c1");
+  adm_.set_directive_hook(
+      [](const std::string&, const policy::AttributeSet&) {
+        return std::vector<PortId>{"app.c1"};
+      });
+  publish_event("load_high", "load", 0.9);
+  simulator_.run(30.0);
+  EXPECT_EQ(c0, 0);
+  EXPECT_EQ(c1, 1);
+}
+
+TEST_F(AdmTest, NodeDownEventTriggersMigrate) {
+  std::string action;
+  center_.register_port("app.c0",
+                        [&](const Message& m) { action = m.type; });
+  adm_.manage("app.c0");
+  publish_event("node_down", "node_up", 0.0);
+  simulator_.run(30.0);
+  EXPECT_EQ(action, "migrate");
+}
+
+TEST_F(AdmTest, UnmatchedEventProducesNoDecision) {
+  adm_.manage("app.c0");
+  center_.register_port("app.c0");
+  publish_event("exotic_event", "exotic", 1.0);
+  simulator_.run(30.0);
+  EXPECT_TRUE(adm_.decisions().empty());
+}
+
+}  // namespace
+}  // namespace pragma::agents

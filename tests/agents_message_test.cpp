@@ -1,0 +1,137 @@
+#include "pragma/agents/message_center.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pragma::agents {
+namespace {
+
+Message make(const PortId& from, const PortId& to,
+             const std::string& type = "ping") {
+  Message message;
+  message.from = from;
+  message.to = to;
+  message.type = type;
+  return message;
+}
+
+class MessageCenterTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator_;
+  MessageCenter center_{simulator_, 1e-3};
+};
+
+TEST_F(MessageCenterTest, RegisterAndQueryPorts) {
+  EXPECT_FALSE(center_.has_port("a"));
+  center_.register_port("a");
+  EXPECT_TRUE(center_.has_port("a"));
+}
+
+TEST_F(MessageCenterTest, HandlerReceivesMessage) {
+  std::vector<Message> received;
+  center_.register_port("a", [&](const Message& m) { received.push_back(m); });
+  center_.register_port("b");
+  EXPECT_TRUE(center_.send(make("b", "a", "hello")));
+  simulator_.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].type, "hello");
+  EXPECT_EQ(received[0].from, "b");
+}
+
+TEST_F(MessageCenterTest, DeliveryHasLatency) {
+  double delivered_at = -1.0;
+  center_.register_port("a", [&](const Message&) {
+    delivered_at = simulator_.now();
+  });
+  center_.send(make("x", "a"));
+  simulator_.run();
+  EXPECT_DOUBLE_EQ(delivered_at, 1e-3);
+}
+
+TEST_F(MessageCenterTest, UnknownPortDropsAndCounts) {
+  EXPECT_FALSE(center_.send(make("a", "nowhere")));
+  EXPECT_EQ(center_.dropped_count(), 1u);
+  EXPECT_EQ(center_.delivered_count(), 0u);
+}
+
+TEST_F(MessageCenterTest, PollPortQueuesUntilDrained) {
+  center_.register_port("mailbox");
+  center_.send(make("x", "mailbox", "m1"));
+  center_.send(make("x", "mailbox", "m2"));
+  simulator_.run();
+  auto messages = center_.drain("mailbox");
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0].type, "m1");  // FIFO order
+  EXPECT_EQ(messages[1].type, "m2");
+  EXPECT_TRUE(center_.drain("mailbox").empty());
+}
+
+TEST_F(MessageCenterTest, FifoPerPortUnderInterleaving) {
+  center_.register_port("mailbox");
+  for (int i = 0; i < 20; ++i)
+    center_.send(make("x", "mailbox", "m" + std::to_string(i)));
+  simulator_.run();
+  const auto messages = center_.drain("mailbox");
+  ASSERT_EQ(messages.size(), 20u);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(messages[i].type, "m" + std::to_string(i));
+}
+
+TEST_F(MessageCenterTest, PublishReachesAllSubscribers) {
+  int a_count = 0;
+  int b_count = 0;
+  center_.register_port("a", [&](const Message&) { ++a_count; });
+  center_.register_port("b", [&](const Message&) { ++b_count; });
+  center_.subscribe("events", "a");
+  center_.subscribe("events", "b");
+  center_.publish("events", make("x", "", "event"));
+  simulator_.run();
+  EXPECT_EQ(a_count, 1);
+  EXPECT_EQ(b_count, 1);
+}
+
+TEST_F(MessageCenterTest, PublishRewritesDestination) {
+  Message seen;
+  center_.register_port("a", [&](const Message& m) { seen = m; });
+  center_.subscribe("topic", "a");
+  center_.publish("topic", make("x", "", "e"));
+  simulator_.run();
+  EXPECT_EQ(seen.to, "a");
+}
+
+TEST_F(MessageCenterTest, DuplicateSubscriptionIgnored) {
+  int count = 0;
+  center_.register_port("a", [&](const Message&) { ++count; });
+  center_.subscribe("topic", "a");
+  center_.subscribe("topic", "a");
+  center_.publish("topic", make("x", "", "e"));
+  simulator_.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(MessageCenterTest, PublishToUnknownTopicIsNoop) {
+  center_.publish("ghost-topic", make("x", "", "e"));
+  simulator_.run();
+  EXPECT_EQ(center_.sent_count(), 0u);
+}
+
+TEST_F(MessageCenterTest, CountsConsistent) {
+  center_.register_port("a");
+  center_.send(make("x", "a"));
+  center_.send(make("x", "missing"));
+  simulator_.run();
+  EXPECT_EQ(center_.sent_count(), 2u);
+  EXPECT_EQ(center_.delivered_count(), 1u);
+  EXPECT_EQ(center_.dropped_count(), 1u);
+}
+
+TEST_F(MessageCenterTest, SentAtStampsSimTime) {
+  center_.register_port("a");
+  simulator_.schedule(5.0, [this] { center_.send(make("x", "a")); });
+  simulator_.run();
+  const auto messages = center_.drain("a");
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_DOUBLE_EQ(messages[0].sent_at, 5.0);
+}
+
+}  // namespace
+}  // namespace pragma::agents

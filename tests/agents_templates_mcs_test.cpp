@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "pragma/agents/mcs.hpp"
+#include "pragma/policy/builtin.hpp"
+
+namespace pragma::agents {
+namespace {
+
+EnvTemplate cluster_template(const std::string& name, double nodes,
+                             const std::string& arch = "linux-cluster") {
+  EnvTemplate entry;
+  entry.name = name;
+  entry.provides["arch"] = policy::Value{arch};
+  entry.provides["nodes"] = policy::Value{nodes};
+  return entry;
+}
+
+TEST(TemplateRegistry, RegisterReplaceUnregister) {
+  TemplateRegistry registry;
+  registry.register_template(cluster_template("a", 8));
+  registry.register_template(cluster_template("a", 16));
+  EXPECT_EQ(registry.size(), 1u);
+  ASSERT_NE(registry.find("a"), nullptr);
+  EXPECT_DOUBLE_EQ(std::get<double>(registry.find("a")->provides.at("nodes")),
+                   16.0);
+  EXPECT_TRUE(registry.unregister("a"));
+  EXPECT_FALSE(registry.unregister("a"));
+}
+
+TEST(TemplateRegistry, DiscoveryFiltersByRequirements) {
+  TemplateRegistry registry;
+  registry.register_template(cluster_template("small", 8));
+  registry.register_template(cluster_template("large", 64));
+  registry.register_template(cluster_template("sp2", 64, "sp2"));
+
+  policy::AttributeSet requirements;
+  requirements["arch"] = policy::Value{std::string("linux-cluster")};
+  requirements["nodes"] = policy::Value{16.0};
+  const auto hits = registry.discover(requirements);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->name, "large");
+}
+
+TEST(TemplateRegistry, RanksByHeadroom) {
+  TemplateRegistry registry;
+  registry.register_template(cluster_template("tight", 16));
+  registry.register_template(cluster_template("roomy", 64));
+  policy::AttributeSet requirements;
+  requirements["nodes"] = policy::Value{16.0};
+  const auto hits = registry.discover(requirements);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0]->name, "roomy");
+}
+
+TEST(TemplateRegistry, NumericRequirementIsAtLeast) {
+  TemplateRegistry registry;
+  registry.register_template(cluster_template("c", 8));
+  policy::AttributeSet too_big;
+  too_big["nodes"] = policy::Value{9.0};
+  EXPECT_TRUE(registry.discover(too_big).empty());
+}
+
+TEST(TemplateRegistry, MissingAttributeDisqualifies) {
+  TemplateRegistry registry;
+  registry.register_template(cluster_template("c", 8));
+  policy::AttributeSet requirements;
+  requirements["gpu"] = policy::Value{1.0};
+  EXPECT_TRUE(registry.discover(requirements).empty());
+}
+
+TEST(TemplateRegistry, ThirdPartyProviderTag) {
+  TemplateRegistry registry;
+  EnvTemplate entry = cluster_template("external", 8);
+  entry.provider = "third-party";
+  registry.register_template(entry);
+  EXPECT_EQ(registry.find("external")->provider, "third-party");
+}
+
+TEST(TemplateRegistry, BestReturnsNulloptWhenNothingFits) {
+  TemplateRegistry registry;
+  policy::AttributeSet requirements;
+  requirements["nodes"] = policy::Value{1.0};
+  EXPECT_FALSE(registry.best(requirements).has_value());
+}
+
+class McsTest : public ::testing::Test {
+ protected:
+  McsTest() : policies_(policy::standard_policy_base()),
+              mcs_(simulator_, policies_) {}
+  sim::Simulator simulator_;
+  policy::PolicyBase policies_;
+  Mcs mcs_;
+};
+
+TEST_F(McsTest, BuildFailsWithoutTemplate) {
+  AppSpec spec;
+  spec.requirements["nodes"] = policy::Value{8.0};
+  EXPECT_THROW(mcs_.build(spec), std::runtime_error);
+}
+
+TEST_F(McsTest, BuildWiresAdmAndAgents) {
+  mcs_.registry().register_template(cluster_template("c", 8));
+  AppSpec spec;
+  spec.name = "app";
+  spec.components = {"c0", "c1", "c2"};
+  spec.requirements["nodes"] = policy::Value{4.0};
+  auto environment = mcs_.build(spec);
+  EXPECT_EQ(environment->agent_count(), 3u);
+  EXPECT_EQ(environment->adm().managed_count(), 3u);
+  EXPECT_EQ(environment->blueprint().name, "c");
+  EXPECT_TRUE(environment->message_center().has_port("app.adm"));
+  EXPECT_TRUE(environment->message_center().has_port("app.c1"));
+}
+
+TEST_F(McsTest, EndToEndEventFlow) {
+  mcs_.registry().register_template(cluster_template("c", 8));
+  AppSpec spec;
+  spec.name = "app";
+  spec.components = {"c0", "c1"};
+  spec.requirements["nodes"] = policy::Value{2.0};
+  spec.sample_period_s = 1.0;
+  auto environment = mcs_.build(spec);
+
+  double load = 0.95;
+  int repartitions = 0;
+  for (std::size_t c = 0; c < environment->agent_count(); ++c) {
+    environment->agent(c).add_sensor({"load", [&load] { return load; }});
+    environment->agent(c).add_rule({"load", 0.8, true, "load_high", 60.0});
+    environment->agent(c).add_actuator(
+        {"repartition",
+         [&repartitions](const policy::AttributeSet&) { ++repartitions; }});
+  }
+  environment->start();
+  simulator_.run(30.0);
+  // Both agents report; the ADM consolidates once and directs both.
+  EXPECT_EQ(environment->adm().decisions().size(), 1u);
+  EXPECT_EQ(repartitions, 2);
+  environment->stop();
+}
+
+}  // namespace
+}  // namespace pragma::agents

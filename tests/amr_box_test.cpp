@@ -1,0 +1,237 @@
+#include "pragma/amr/box.hpp"
+
+#include <gtest/gtest.h>
+
+// EXPECT_THROW intentionally discards nodiscard results.
+#pragma GCC diagnostic ignored "-Wunused-result"
+
+#include "pragma/util/rng.hpp"
+
+namespace pragma::amr {
+namespace {
+
+Box random_box(util::Rng& rng, int span = 32) {
+  const int x0 = static_cast<int>(rng.uniform_int(-span, span));
+  const int y0 = static_cast<int>(rng.uniform_int(-span, span));
+  const int z0 = static_cast<int>(rng.uniform_int(-span, span));
+  return Box({x0, y0, z0},
+             {x0 + static_cast<int>(rng.uniform_int(1, 12)),
+              y0 + static_cast<int>(rng.uniform_int(1, 12)),
+              z0 + static_cast<int>(rng.uniform_int(1, 12))});
+}
+
+TEST(IntVec3Test, ArithmeticAndIndexing) {
+  const IntVec3 a{1, 2, 3};
+  const IntVec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, (IntVec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (IntVec3{3, 3, 3}));
+  EXPECT_EQ(a * 2, (IntVec3{2, 4, 6}));
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[1], 2);
+  EXPECT_EQ(a[2], 3);
+}
+
+TEST(BoxTest, DefaultIsEmpty) {
+  const Box box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.volume(), 0);
+  EXPECT_EQ(box.surface_area(), 0);
+}
+
+TEST(BoxTest, VolumeAndExtent) {
+  const Box box({1, 2, 3}, {4, 6, 8});
+  EXPECT_FALSE(box.empty());
+  EXPECT_EQ(box.extent(), (IntVec3{3, 4, 5}));
+  EXPECT_EQ(box.volume(), 60);
+}
+
+TEST(BoxTest, SurfaceAreaOfUnitCube) {
+  const Box box({0, 0, 0}, {1, 1, 1});
+  EXPECT_EQ(box.surface_area(), 6);
+}
+
+TEST(BoxTest, ContainsPointsAndBoxes) {
+  const Box box({0, 0, 0}, {4, 4, 4});
+  EXPECT_TRUE(box.contains(IntVec3{0, 0, 0}));
+  EXPECT_TRUE(box.contains(IntVec3{3, 3, 3}));
+  EXPECT_FALSE(box.contains(IntVec3{4, 0, 0}));  // hi is exclusive
+  EXPECT_TRUE(box.contains(Box({1, 1, 1}, {3, 3, 3})));
+  EXPECT_FALSE(box.contains(Box({1, 1, 1}, {5, 3, 3})));
+  EXPECT_TRUE(box.contains(Box{}));  // empty boxes are contained anywhere
+}
+
+TEST(BoxTest, IntersectionBasics) {
+  const Box a({0, 0, 0}, {4, 4, 4});
+  const Box b({2, 2, 2}, {6, 6, 6});
+  const Box i = a.intersection(b);
+  EXPECT_EQ(i, Box({2, 2, 2}, {4, 4, 4}));
+  EXPECT_TRUE(a.intersects(b));
+  const Box c({10, 10, 10}, {12, 12, 12});
+  EXPECT_TRUE(a.intersection(c).empty());
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(BoxTest, IntersectionCommutesAndIsContained) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Box a = random_box(rng);
+    const Box b = random_box(rng);
+    const Box ab = a.intersection(b);
+    const Box ba = b.intersection(a);
+    EXPECT_EQ(ab.volume(), ba.volume());
+    if (!ab.empty()) {
+      EXPECT_EQ(ab, ba);
+      EXPECT_TRUE(a.contains(ab));
+      EXPECT_TRUE(b.contains(ab));
+    }
+  }
+}
+
+TEST(BoxTest, RefineScalesVolumeByRatioCubed) {
+  const Box box({1, 1, 1}, {3, 4, 5});
+  const Box fine = box.refine(2);
+  EXPECT_EQ(fine.volume(), box.volume() * 8);
+  EXPECT_EQ(fine.lo(), (IntVec3{2, 2, 2}));
+}
+
+TEST(BoxTest, CoarsenCoversOriginal) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Box box = random_box(rng);
+    const Box coarse = box.coarsen(2);
+    EXPECT_TRUE(coarse.refine(2).contains(box));
+  }
+}
+
+TEST(BoxTest, CoarsenRefineIdentityWhenAligned) {
+  const Box aligned({2, 4, -6}, {8, 10, 0});
+  EXPECT_EQ(aligned.coarsen(2).refine(2), aligned);
+}
+
+TEST(BoxTest, CoarsenNegativeCoordinates) {
+  const Box box({-3, -3, -3}, {-1, -1, -1});
+  const Box coarse = box.coarsen(2);
+  EXPECT_EQ(coarse, Box({-2, -2, -2}, {0, 0, 0}));
+}
+
+TEST(BoxTest, CoarsenBadRatioThrows) {
+  EXPECT_THROW(Box({0, 0, 0}, {2, 2, 2}).coarsen(0), std::invalid_argument);
+}
+
+TEST(BoxTest, GrowAndShrink) {
+  const Box box({2, 2, 2}, {4, 4, 4});
+  EXPECT_EQ(box.grow(1), Box({1, 1, 1}, {5, 5, 5}));
+  EXPECT_EQ(box.grow(-1), Box({3, 3, 3}, {3, 3, 3}));
+  EXPECT_TRUE(box.grow(-1).empty());
+}
+
+TEST(BoxTest, SplitPartitionsVolume) {
+  const Box box({0, 0, 0}, {10, 4, 4});
+  const auto halves = box.split(0, 3);
+  EXPECT_EQ(halves[0].volume() + halves[1].volume(), box.volume());
+  EXPECT_EQ(halves[0], Box({0, 0, 0}, {3, 4, 4}));
+  EXPECT_EQ(halves[1], Box({3, 0, 0}, {10, 4, 4}));
+  EXPECT_FALSE(halves[0].intersects(halves[1]));
+}
+
+TEST(BoxTest, LongestAxis) {
+  EXPECT_EQ(Box({0, 0, 0}, {10, 4, 4}).longest_axis(), 0);
+  EXPECT_EQ(Box({0, 0, 0}, {4, 10, 4}).longest_axis(), 1);
+  EXPECT_EQ(Box({0, 0, 0}, {4, 4, 10}).longest_axis(), 2);
+}
+
+TEST(BoxTest, ChopRespectsMaxCellsAndCoversBox) {
+  const Box box({0, 0, 0}, {16, 8, 8});
+  const auto pieces = box.chop(64);
+  std::int64_t total = 0;
+  for (const Box& piece : pieces) {
+    EXPECT_LE(piece.volume(), 64);
+    EXPECT_TRUE(box.contains(piece));
+    total += piece.volume();
+  }
+  EXPECT_EQ(total, box.volume());
+  // Pairwise disjoint.
+  for (std::size_t i = 0; i < pieces.size(); ++i)
+    for (std::size_t j = i + 1; j < pieces.size(); ++j)
+      EXPECT_FALSE(pieces[i].intersects(pieces[j]));
+}
+
+TEST(BoxTest, ChopBadLimitThrows) {
+  EXPECT_THROW(Box({0, 0, 0}, {2, 2, 2}).chop(0), std::invalid_argument);
+}
+
+TEST(BoxListOps, TotalVolumeAndBoundingBox) {
+  const std::vector<Box> boxes{Box({0, 0, 0}, {2, 2, 2}),
+                               Box({4, 4, 4}, {6, 6, 6})};
+  EXPECT_EQ(total_volume(boxes), 16);
+  EXPECT_EQ(bounding_box(boxes), Box({0, 0, 0}, {6, 6, 6}));
+}
+
+TEST(BoxListOps, BoundingBoxSkipsEmpties) {
+  const std::vector<Box> boxes{Box{}, Box({1, 1, 1}, {2, 2, 2})};
+  EXPECT_EQ(bounding_box(boxes), Box({1, 1, 1}, {2, 2, 2}));
+}
+
+TEST(SubtractTest, NoOverlapReturnsOriginal) {
+  const Box box({0, 0, 0}, {2, 2, 2});
+  const Box hole({5, 5, 5}, {6, 6, 6});
+  const auto rest = subtract(box, hole);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], box);
+}
+
+TEST(SubtractTest, FullOverlapReturnsNothing) {
+  const Box box({1, 1, 1}, {3, 3, 3});
+  const Box hole({0, 0, 0}, {4, 4, 4});
+  EXPECT_TRUE(subtract(box, hole).empty());
+}
+
+TEST(SubtractTest, VolumeConservationProperty) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Box box = random_box(rng);
+    const Box hole = random_box(rng);
+    const auto rest = subtract(box, hole);
+    std::int64_t rest_volume = 0;
+    for (const Box& piece : rest) {
+      EXPECT_TRUE(box.contains(piece));
+      EXPECT_FALSE(piece.intersects(hole));
+      rest_volume += piece.volume();
+    }
+    EXPECT_EQ(rest_volume,
+              box.volume() - box.intersection(hole).volume());
+    // Pieces pairwise disjoint.
+    for (std::size_t i = 0; i < rest.size(); ++i)
+      for (std::size_t j = i + 1; j < rest.size(); ++j)
+        EXPECT_FALSE(rest[i].intersects(rest[j]));
+  }
+}
+
+TEST(IntersectionVolumeTest, SumsOverList) {
+  const Box box({0, 0, 0}, {4, 4, 4});
+  const std::vector<Box> list{Box({0, 0, 0}, {2, 4, 4}),
+                              Box({2, 0, 0}, {4, 4, 4})};
+  EXPECT_EQ(intersection_volume(box, list), 64);
+}
+
+TEST(SymmetricDifferenceTest, DisjointListsAddUp) {
+  const std::vector<Box> a{Box({0, 0, 0}, {2, 2, 2})};
+  const std::vector<Box> b{Box({10, 0, 0}, {12, 2, 2})};
+  EXPECT_EQ(symmetric_difference_volume(a, b), 16);
+}
+
+TEST(SymmetricDifferenceTest, IdenticalListsAreZero) {
+  const std::vector<Box> a{Box({0, 0, 0}, {3, 3, 3}),
+                           Box({5, 5, 5}, {6, 6, 6})};
+  EXPECT_EQ(symmetric_difference_volume(a, a), 0);
+}
+
+TEST(SymmetricDifferenceTest, PartialOverlap) {
+  const std::vector<Box> a{Box({0, 0, 0}, {4, 1, 1})};
+  const std::vector<Box> b{Box({2, 0, 0}, {6, 1, 1})};
+  // |A| = 4, |B| = 4, overlap = 2 -> symmetric difference = 4.
+  EXPECT_EQ(symmetric_difference_volume(a, b), 4);
+}
+
+}  // namespace
+}  // namespace pragma::amr

@@ -1,0 +1,221 @@
+#include "pragma/amr/rm3d.hpp"
+
+#include <gtest/gtest.h>
+
+// EXPECT_THROW intentionally discards nodiscard results.
+#pragma GCC diagnostic ignored "-Wunused-result"
+
+namespace pragma::amr {
+namespace {
+
+Rm3dConfig short_config(int steps = 120) {
+  Rm3dConfig config;
+  config.coarse_steps = steps;
+  return config;
+}
+
+TEST(Rm3dEmulator, DefaultsMatchPaperSetup) {
+  const Rm3dConfig config;
+  EXPECT_EQ(config.base_dims, (IntVec3{128, 32, 32}));
+  EXPECT_EQ(config.max_levels, 3);
+  EXPECT_EQ(config.ratio, 2);
+  EXPECT_EQ(config.regrid_interval, 4);
+  EXPECT_EQ(config.coarse_steps, 800);
+}
+
+TEST(Rm3dEmulator, ThresholdValidation) {
+  Rm3dConfig config;
+  config.thresholds = {1.0};  // needs 2 for 3 levels
+  EXPECT_THROW(Rm3dEmulator{config}, std::invalid_argument);
+}
+
+TEST(Rm3dEmulator, InitialHierarchyHasRefinement) {
+  Rm3dEmulator emulator(short_config());
+  EXPECT_GE(emulator.hierarchy().num_levels(), 2);
+  EXPECT_GT(emulator.hierarchy().total_cells(),
+            emulator.hierarchy().level(0).cell_count());
+}
+
+TEST(Rm3dEmulator, AdvanceRegridsOnInterval) {
+  Rm3dEmulator emulator(short_config());
+  EXPECT_FALSE(emulator.advance());  // step 1
+  EXPECT_FALSE(emulator.advance());
+  EXPECT_FALSE(emulator.advance());
+  EXPECT_TRUE(emulator.advance());   // step 4: regrid
+  EXPECT_EQ(emulator.step(), 4);
+}
+
+TEST(Rm3dEmulator, TraceHasSnapshotPerRegridPlusInitial) {
+  Rm3dEmulator emulator(short_config(40));
+  const AdaptationTrace trace = emulator.run();
+  EXPECT_EQ(trace.size(), 11u);  // steps 0, 4, 8, ..., 40
+  EXPECT_EQ(trace.at(0).step, 0);
+  EXPECT_EQ(trace.at(10).step, 40);
+}
+
+TEST(Rm3dEmulator, FullPaperTraceHasOver200Snapshots) {
+  Rm3dEmulator emulator;  // 800 steps, regrid every 4
+  // Don't run the whole thing here; the count is determined by config.
+  EXPECT_EQ(emulator.config().coarse_steps /
+                    emulator.config().regrid_interval +
+                1,
+            201);
+}
+
+TEST(Rm3dEmulator, ShockMovesForward) {
+  const Rm3dEmulator emulator(short_config());
+  const double early = emulator.shock_position(0.05);
+  const double later = emulator.shock_position(0.10);
+  EXPECT_GT(later, early);
+}
+
+TEST(Rm3dEmulator, ShockStartsOutsideAndEnters) {
+  const Rm3dEmulator emulator(short_config());
+  EXPECT_FALSE(emulator.shock_active(0.0));
+  EXPECT_TRUE(emulator.shock_active(0.10));
+  EXPECT_FALSE(emulator.shock_active(0.50));   // exited
+  EXPECT_TRUE(emulator.shock_active(0.60));    // reshock
+  EXPECT_FALSE(emulator.shock_active(0.90));   // absorbed
+}
+
+TEST(Rm3dEmulator, MixingZoneGrowsAfterHit) {
+  const Rm3dEmulator emulator(short_config());
+  const double before = emulator.mixing_width(0.10);
+  const double after = emulator.mixing_width(0.40);
+  const double late = emulator.mixing_width(0.95);
+  EXPECT_GT(after, before);
+  EXPECT_GT(late, after);
+}
+
+TEST(Rm3dEmulator, MixingCenterDriftsDownstream) {
+  const Rm3dEmulator emulator(short_config());
+  EXPECT_GT(emulator.mixing_center(0.9), emulator.mixing_center(0.1));
+}
+
+TEST(Rm3dEmulator, IndicatorPeaksAtShockFront) {
+  const Rm3dEmulator emulator(short_config());
+  const double tau = 0.10;
+  const double front = emulator.shock_position(tau);
+  EXPECT_GT(emulator.indicator(front, 0.5, 0.5, tau), 2.0);
+  EXPECT_LT(emulator.indicator(front + 0.2, 0.5, 0.5, tau), 2.0);
+}
+
+TEST(Rm3dEmulator, IndicatorNonNegativeEverywhere) {
+  const Rm3dEmulator emulator(short_config());
+  for (double tau : {0.0, 0.2, 0.5, 0.8, 1.0})
+    for (double u = 0.05; u < 1.0; u += 0.1)
+      EXPECT_GE(emulator.indicator(u, 0.4, 0.6, tau), 0.0);
+}
+
+TEST(Rm3dEmulator, DeterministicForSameSeed) {
+  Rm3dEmulator a(short_config(40));
+  Rm3dEmulator b(short_config(40));
+  const AdaptationTrace ta = a.run();
+  const AdaptationTrace tb = b.run();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta.at(i).hierarchy.total_cells(),
+              tb.at(i).hierarchy.total_cells());
+  }
+}
+
+TEST(Rm3dEmulator, DifferentSeedsDifferInBlobPhase) {
+  Rm3dConfig ca = short_config(200);
+  Rm3dConfig cb = short_config(200);
+  cb.seed = 99;
+  AdaptationTrace ta = Rm3dEmulator(ca).run();
+  AdaptationTrace tb = Rm3dEmulator(cb).run();
+  // After the shock-interface interaction the blob populations differ.
+  bool differs = false;
+  for (std::size_t i = ta.size() / 2; i < ta.size(); ++i)
+    if (ta.at(i).hierarchy.total_cells() != tb.at(i).hierarchy.total_cells())
+      differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rm3dEmulator, ProperNestingAcrossLevels) {
+  Rm3dEmulator emulator(short_config(200));
+  for (int s = 0; s < 160; ++s) emulator.advance();
+  const GridHierarchy& h = emulator.hierarchy();
+  for (int level = 2; level < h.num_levels(); ++level) {
+    for (const Box& fine : h.level(level).boxes) {
+      // Every fine box must be fully covered by the next coarser level.
+      const Box in_coarser = fine.coarsen(h.ratio());
+      std::int64_t covered = 0;
+      for (const Box& coarse : h.level(level - 1).boxes)
+        covered += in_coarser.intersection(coarse).volume();
+      EXPECT_EQ(covered, in_coarser.volume());
+    }
+  }
+}
+
+TEST(Rm3dEmulator, LevelsStayInsideDomains) {
+  Rm3dEmulator emulator(short_config(120));
+  AdaptationTrace trace = emulator.run();
+  for (std::size_t i = 0; i < trace.size(); i += 5) {
+    const GridHierarchy& h = trace.at(i).hierarchy;
+    for (int level = 1; level < h.num_levels(); ++level) {
+      const Box domain = h.level_domain(level);
+      for (const Box& box : h.level(level).boxes)
+        EXPECT_TRUE(domain.contains(box));
+    }
+  }
+}
+
+TEST(Rm3dEmulator, BoxesWithinLevelAreDisjoint) {
+  Rm3dEmulator emulator(short_config(160));
+  for (int s = 0; s < 140; ++s) emulator.advance();
+  const GridHierarchy& h = emulator.hierarchy();
+  for (int level = 1; level < h.num_levels(); ++level) {
+    const auto& boxes = h.level(level).boxes;
+    for (std::size_t i = 0; i < boxes.size(); ++i)
+      for (std::size_t j = i + 1; j < boxes.size(); ++j)
+        EXPECT_FALSE(boxes[i].intersects(boxes[j]))
+            << "level " << level << " boxes " << i << "," << j;
+  }
+}
+
+TEST(Rm3dEmulator, AmrEfficiencyStaysHigh) {
+  Rm3dEmulator emulator(short_config(120));
+  AdaptationTrace trace = emulator.run();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_GT(trace.at(i).hierarchy.amr_efficiency(), 0.9)
+        << "snapshot " << i;
+  }
+}
+
+
+TEST(Rm3dEmulator, RuntimePatchSizeBoundHonored) {
+  // The dynamic application-configuration hook: a policy-imposed patch
+  // bound takes effect at the next regrid.
+  Rm3dEmulator emulator(short_config(200));
+  for (int s = 0; s < 160; ++s) emulator.advance();
+  emulator.set_max_box_cells(2048);
+  emulator.regrid();
+  const GridHierarchy& h = emulator.hierarchy();
+  for (int level = 1; level < h.num_levels(); ++level)
+    for (const Box& box : h.level(level).boxes)
+      EXPECT_LE(box.volume(), 2048) << "level " << level;
+}
+
+TEST(Rm3dEmulator, SmallerPatchBoundMeansMoreBoxes) {
+  Rm3dEmulator coarse(short_config(200));
+  Rm3dEmulator fine(short_config(200));
+  for (int s = 0; s < 160; ++s) {
+    coarse.advance();
+    fine.advance();
+  }
+  fine.set_max_box_cells(1024);
+  fine.regrid();
+  coarse.regrid();
+  std::size_t coarse_boxes = 0;
+  std::size_t fine_boxes = 0;
+  for (int l = 1; l < coarse.hierarchy().num_levels(); ++l)
+    coarse_boxes += coarse.hierarchy().level(l).box_count();
+  for (int l = 1; l < fine.hierarchy().num_levels(); ++l)
+    fine_boxes += fine.hierarchy().level(l).box_count();
+  EXPECT_GT(fine_boxes, coarse_boxes);
+}
+
+}  // namespace
+}  // namespace pragma::amr

@@ -1,0 +1,123 @@
+#include "pragma/amr/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+// EXPECT_THROW intentionally discards nodiscard results.
+#pragma GCC diagnostic ignored "-Wunused-result"
+
+#include <cstdio>
+#include <sstream>
+
+#include "pragma/amr/rm3d.hpp"
+#include "pragma/amr/synthetic.hpp"
+
+namespace pragma::amr {
+namespace {
+
+AdaptationTrace sample_trace() {
+  SyntheticConfig config;
+  config.box_count = 6;
+  config.move_fraction = 0.4;
+  config.seed = 99;
+  SyntheticAppGenerator generator(config);
+  return generator.generate(5);
+}
+
+void expect_equal_traces(const AdaptationTrace& a, const AdaptationTrace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.at(i).step, b.at(i).step);
+    const GridHierarchy& ha = a.at(i).hierarchy;
+    const GridHierarchy& hb = b.at(i).hierarchy;
+    ASSERT_EQ(ha.num_levels(), hb.num_levels());
+    EXPECT_EQ(ha.base_dims(), hb.base_dims());
+    EXPECT_EQ(ha.ratio(), hb.ratio());
+    for (int l = 0; l < ha.num_levels(); ++l) {
+      ASSERT_EQ(ha.level(l).boxes.size(), hb.level(l).boxes.size());
+      for (std::size_t box = 0; box < ha.level(l).boxes.size(); ++box)
+        EXPECT_EQ(ha.level(l).boxes[box], hb.level(l).boxes[box]);
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripsSyntheticTrace) {
+  const AdaptationTrace original = sample_trace();
+  std::stringstream buffer;
+  save_trace(buffer, original);
+  const AdaptationTrace loaded = load_trace(buffer);
+  expect_equal_traces(original, loaded);
+}
+
+TEST(TraceIo, RoundTripsRm3dTrace) {
+  Rm3dConfig config;
+  config.coarse_steps = 40;
+  const AdaptationTrace original = Rm3dEmulator(config).run();
+  std::stringstream buffer;
+  save_trace(buffer, original);
+  const AdaptationTrace loaded = load_trace(buffer);
+  expect_equal_traces(original, loaded);
+}
+
+TEST(TraceIo, RoundTripPreservesDerivedMetrics) {
+  const AdaptationTrace original = sample_trace();
+  std::stringstream buffer;
+  save_trace(buffer, original);
+  const AdaptationTrace loaded = load_trace(buffer);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(original.churn(i), loaded.churn(i));
+    EXPECT_DOUBLE_EQ(original.scatter(i), loaded.scatter(i));
+    EXPECT_DOUBLE_EQ(original.comm_comp_ratio(i),
+                     loaded.comm_comp_ratio(i));
+  }
+}
+
+TEST(TraceIo, EmptyTraceThrows) {
+  std::stringstream buffer;
+  EXPECT_THROW(save_trace(buffer, AdaptationTrace{}),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, InconsistentConfigThrows) {
+  AdaptationTrace mixed;
+  mixed.add(Snapshot{0, GridHierarchy({16, 16, 16}, 2, 3)});
+  mixed.add(Snapshot{4, GridHierarchy({32, 16, 16}, 2, 3)});
+  std::stringstream buffer;
+  EXPECT_THROW(save_trace(buffer, mixed), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream buffer("not-a-trace 1\n");
+  EXPECT_THROW(load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnsupportedVersion) {
+  std::stringstream buffer("pragma-trace 99\n");
+  EXPECT_THROW(load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedInput) {
+  const AdaptationTrace original = sample_trace();
+  std::stringstream buffer;
+  save_trace(buffer, original);
+  std::string text = buffer.str();
+  text.resize(text.size() * 2 / 3);
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_trace(truncated), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const AdaptationTrace original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/pragma_trace_test.txt";
+  save_trace_file(path, original);
+  const AdaptationTrace loaded = load_trace_file(path);
+  expect_equal_traces(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace_file("/nonexistent/dir/trace.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pragma::amr

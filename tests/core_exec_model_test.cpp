@@ -1,0 +1,227 @@
+#include "pragma/core/exec_model.hpp"
+
+#include <gtest/gtest.h>
+
+// EXPECT_THROW intentionally discards nodiscard results.
+#pragma GCC diagnostic ignored "-Wunused-result"
+
+#include "pragma/amr/synthetic.hpp"
+
+namespace pragma::core {
+namespace {
+
+amr::GridHierarchy test_hierarchy() {
+  amr::SyntheticConfig config;
+  config.base_dims = {32, 16, 16};
+  config.box_count = 4;
+  amr::SyntheticAppGenerator generator(config);
+  return generator.build_hierarchy();
+}
+
+partition::OwnerMap split_by_curve(const partition::WorkGrid& grid,
+                                   int nprocs) {
+  const auto partitioner = partition::make_partitioner("ISP");
+  return partitioner->partition(grid, partition::equal_targets(nprocs))
+      .owners;
+}
+
+TEST(ExecutionModel, StepTimePositiveAndBoundedByParts) {
+  const partition::WorkGrid grid(test_hierarchy(), 2);
+  const partition::OwnerMap owners = split_by_curve(grid, 4);
+  const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(4);
+  const ExecutionModel model;
+  const StepTime step = model.step_time(grid, owners, cluster);
+  EXPECT_GT(step.compute_s, 0.0);
+  EXPECT_GT(step.comm_s, 0.0);
+  EXPECT_GE(step.total_s, step.compute_s);
+  EXPECT_LE(step.total_s, step.compute_s + step.comm_s + 1e-12);
+  EXPECT_EQ(step.proc_busy_s.size(), 4u);
+}
+
+TEST(ExecutionModel, MoreProcessorsReduceComputeTime) {
+  const partition::WorkGrid grid(test_hierarchy(), 2);
+  const grid::Cluster big = grid::ClusterBuilder::homogeneous(16);
+  const ExecutionModel model;
+  const StepTime few = model.step_time(grid, split_by_curve(grid, 2), big);
+  const StepTime many = model.step_time(grid, split_by_curve(grid, 16), big);
+  EXPECT_LT(many.compute_s, few.compute_s);
+}
+
+TEST(ExecutionModel, SlowNodeDominatesStepTime) {
+  const partition::WorkGrid grid(test_hierarchy(), 2);
+  const partition::OwnerMap owners = split_by_curve(grid, 4);
+  grid::Cluster cluster = grid::ClusterBuilder::homogeneous(4);
+  const ExecutionModel model;
+  const StepTime before = model.step_time(grid, owners, cluster);
+  cluster.node(2).state().background_load = 0.9;  // 10x slower
+  const StepTime after = model.step_time(grid, owners, cluster);
+  EXPECT_GT(after.total_s, before.total_s * 3.0);
+}
+
+TEST(ExecutionModel, MapSeparatesFromTiming) {
+  const partition::WorkGrid grid(test_hierarchy(), 2);
+  const partition::OwnerMap owners = split_by_curve(grid, 4);
+  grid::Cluster cluster = grid::ClusterBuilder::homogeneous(4);
+  const ExecutionModel model;
+  const MappedLoad mapped = model.map(grid, owners);
+  const StepTime direct = model.step_time(grid, owners, cluster);
+  const StepTime via_map = model.time_of(mapped, cluster);
+  EXPECT_DOUBLE_EQ(direct.total_s, via_map.total_s);
+}
+
+TEST(ExecutionModel, MappedWorkConserved) {
+  const partition::WorkGrid grid(test_hierarchy(), 2);
+  const partition::OwnerMap owners = split_by_curve(grid, 8);
+  const ExecutionModel model;
+  const MappedLoad mapped = model.map(grid, owners);
+  double total = 0.0;
+  for (double w : mapped.work) total += w;
+  EXPECT_NEAR(total, grid.total_work(), 1e-6);
+}
+
+TEST(ExecutionModel, TooManyProcessorsThrow) {
+  const partition::WorkGrid grid(test_hierarchy(), 2);
+  const partition::OwnerMap owners = split_by_curve(grid, 8);
+  const grid::Cluster small = grid::ClusterBuilder::homogeneous(4);
+  const ExecutionModel model;
+  EXPECT_THROW(model.step_time(grid, owners, small), std::invalid_argument);
+}
+
+TEST(ExecutionModel, MigrationTimeZeroForIdenticalAssignments) {
+  const partition::WorkGrid grid(test_hierarchy(), 2);
+  const partition::OwnerMap owners = split_by_curve(grid, 4);
+  const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(4);
+  const ExecutionModel model;
+  EXPECT_DOUBLE_EQ(model.migration_time(grid, owners, owners, cluster), 0.0);
+}
+
+TEST(ExecutionModel, MigrationTimeGrowsWithChange) {
+  const partition::WorkGrid grid(test_hierarchy(), 2);
+  const partition::OwnerMap a = split_by_curve(grid, 4);
+  partition::OwnerMap b = a;
+  // Swap two processors entirely.
+  for (int& owner : b.owner) owner = owner == 0 ? 1 : owner == 1 ? 0 : owner;
+  partition::OwnerMap c = a;
+  for (int& owner : c.owner) owner = (owner + 1) % 4;  // everything moves
+  const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(4);
+  const ExecutionModel model;
+  const double none = model.migration_time(grid, a, a, cluster);
+  const double some = model.migration_time(grid, a, b, cluster);
+  const double all = model.migration_time(grid, a, c, cluster);
+  EXPECT_LT(none, some);
+  EXPECT_LE(some, all);
+}
+
+TEST(ExecutionModel, RedistributionOverheadScalesMigration) {
+  const partition::WorkGrid grid(test_hierarchy(), 2);
+  const partition::OwnerMap a = split_by_curve(grid, 4);
+  partition::OwnerMap b = a;
+  for (int& owner : b.owner) owner = (owner + 1) % 4;
+  const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(4);
+  ExecModelConfig cheap;
+  cheap.redistribution_overhead = 1.0;
+  ExecModelConfig costly;
+  costly.redistribution_overhead = 8.0;
+  const double t1 =
+      ExecutionModel(cheap).migration_time(grid, a, b, cluster);
+  const double t8 =
+      ExecutionModel(costly).migration_time(grid, a, b, cluster);
+  EXPECT_NEAR(t8, 8.0 * t1, 1e-9);
+}
+
+TEST(ExecutionModel, PartitionCostScales) {
+  ExecModelConfig config;
+  config.partition_time_scale = 100.0;
+  const ExecutionModel model(config);
+  EXPECT_DOUBLE_EQ(model.partition_cost(0.01), 1.0);
+}
+
+TEST(ProjectOwners, IdentityWhenSameDims) {
+  const partition::WorkGrid grid(test_hierarchy(), 2);
+  const partition::OwnerMap owners = split_by_curve(grid, 4);
+  const partition::OwnerMap projected =
+      project_owners(owners, grid.lattice_dims(), grid.lattice_dims());
+  EXPECT_EQ(projected.owner, owners.owner);
+}
+
+TEST(ProjectOwners, RefinesCoarseAssignment) {
+  partition::OwnerMap coarse;
+  coarse.nprocs = 2;
+  coarse.owner = {0, 1};  // 2x1x1 lattice
+  const partition::OwnerMap fine =
+      project_owners(coarse, {2, 1, 1}, {4, 2, 2});
+  ASSERT_EQ(fine.owner.size(), 16u);
+  // First half in x belongs to 0, second half to 1.
+  for (int z = 0; z < 2; ++z)
+    for (int y = 0; y < 2; ++y)
+      for (int x = 0; x < 4; ++x) {
+        const std::size_t c = x + 4 * (y + 2 * z);
+        EXPECT_EQ(fine.owner[c], x < 2 ? 0 : 1);
+      }
+}
+
+TEST(ProjectOwners, NonDividingDimsThrow) {
+  partition::OwnerMap coarse;
+  coarse.nprocs = 1;
+  coarse.owner = {0, 0};
+  EXPECT_THROW(project_owners(coarse, {2, 1, 1}, {3, 1, 1}),
+               std::invalid_argument);
+}
+
+
+TEST(ExecutionModel, WanTrafficChargedOnFederations) {
+  const partition::WorkGrid grid(test_hierarchy(), 2);
+  const partition::OwnerMap owners = split_by_curve(grid, 8);
+  const grid::Cluster federation =
+      grid::ClusterBuilder::federated(2, 4, 1.0, 1000.0, 10.0);
+  const ExecutionModel model;
+
+  // Contiguous: chunks 0-3 at site 0, 4-7 at site 1.
+  std::vector<int> contiguous{0, 0, 0, 0, 1, 1, 1, 1};
+  // Interleaved across the WAN.
+  std::vector<int> interleaved{0, 1, 0, 1, 0, 1, 0, 1};
+
+  const MappedLoad a = model.map(grid, owners, &contiguous);
+  const MappedLoad b = model.map(grid, owners, &interleaved);
+  EXPECT_GT(b.wan_face_cells, a.wan_face_cells);
+  EXPECT_GT(model.time_of(b, federation).total_s,
+            model.time_of(a, federation).total_s);
+}
+
+TEST(ExecutionModel, NoWanChargeWithoutSites) {
+  const partition::WorkGrid grid(test_hierarchy(), 2);
+  const partition::OwnerMap owners = split_by_curve(grid, 4);
+  const ExecutionModel model;
+  const MappedLoad mapped = model.map(grid, owners);
+  EXPECT_DOUBLE_EQ(mapped.wan_face_cells, 0.0);
+  // A federated cluster with no cross-site traffic charges nothing extra.
+  const grid::Cluster federation = grid::ClusterBuilder::federated(2, 2);
+  std::vector<int> same_site{0, 0, 0, 0};
+  const MappedLoad local = model.map(grid, owners, &same_site);
+  EXPECT_DOUBLE_EQ(local.wan_face_cells, 0.0);
+}
+
+TEST(ExecutionModel, FragmentedOwnershipCostsMoreMessages) {
+  const partition::WorkGrid grid(test_hierarchy(), 2);
+  const ExecutionModel model;
+
+  partition::OwnerMap contiguous;
+  contiguous.nprocs = 2;
+  contiguous.owner.assign(grid.cell_count(), 0);
+  for (std::size_t rank = grid.order().size() / 2;
+       rank < grid.order().size(); ++rank)
+    contiguous.owner[grid.order()[rank]] = 1;
+
+  partition::OwnerMap striped;
+  striped.nprocs = 2;
+  striped.owner.assign(grid.cell_count(), 0);
+  for (std::size_t rank = 0; rank < grid.order().size(); ++rank)
+    striped.owner[grid.order()[rank]] = static_cast<int>(rank % 2);
+
+  const MappedLoad a = model.map(grid, contiguous);
+  const MappedLoad b = model.map(grid, striped);
+  EXPECT_GT(b.messages[0], a.messages[0] * 2.0);
+}
+
+}  // namespace
+}  // namespace pragma::core

@@ -1,0 +1,176 @@
+// Cross-module integration tests: full trace replays and the
+// system-sensitive experiment, at reduced scale for test-suite speed.
+#include <gtest/gtest.h>
+
+// EXPECT_THROW intentionally discards nodiscard results.
+#pragma GCC diagnostic ignored "-Wunused-result"
+
+#include "pragma/amr/rm3d.hpp"
+#include "pragma/core/system_sensitive.hpp"
+#include "pragma/core/trace_runner.hpp"
+#include "pragma/policy/builtin.hpp"
+
+namespace pragma::core {
+namespace {
+
+const amr::AdaptationTrace& short_rm3d_trace() {
+  static const amr::AdaptationTrace trace = [] {
+    amr::Rm3dConfig config;
+    config.coarse_steps = 200;  // covers startup, shock and hit phases
+    return amr::Rm3dEmulator(config).run();
+  }();
+  return trace;
+}
+
+TEST(TraceRunner, ValidatesConfiguration) {
+  const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(4);
+  TraceRunConfig config;
+  config.nprocs = 8;  // more than the cluster has
+  EXPECT_THROW(TraceRunner(short_rm3d_trace(), cluster, config),
+               std::invalid_argument);
+  amr::AdaptationTrace empty;
+  EXPECT_THROW(TraceRunner(empty, cluster, {}), std::invalid_argument);
+}
+
+TEST(TraceRunner, StaticReplayProducesRecordsPerSnapshot) {
+  const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(16);
+  TraceRunConfig config;
+  config.nprocs = 16;
+  TraceRunner runner(short_rm3d_trace(), cluster, config);
+  const RunSummary summary = runner.run_static("ISP");
+  EXPECT_EQ(summary.records.size(), short_rm3d_trace().size());
+  EXPECT_GT(summary.runtime_s, 0.0);
+  EXPECT_GT(summary.compute_s, 0.0);
+  EXPECT_GT(summary.comm_s, 0.0);
+  EXPECT_GE(summary.max_imbalance, summary.mean_imbalance);
+  EXPECT_GT(summary.amr_efficiency, 0.9);
+  EXPECT_EQ(summary.label, "ISP");
+}
+
+TEST(TraceRunner, RuntimeDecomposesIntoComponents) {
+  const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(16);
+  TraceRunConfig config;
+  config.nprocs = 16;
+  TraceRunner runner(short_rm3d_trace(), cluster, config);
+  const RunSummary s = runner.run_static("pBD-ISP");
+  EXPECT_NEAR(s.runtime_s,
+              s.compute_s + s.comm_s + s.migration_s + s.partition_s,
+              0.02 * s.runtime_s);
+}
+
+TEST(TraceRunner, OptimalBalancerBeatsBaselineOnImbalance) {
+  const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(16);
+  TraceRunConfig config;
+  config.nprocs = 16;
+  TraceRunner runner(short_rm3d_trace(), cluster, config);
+  const RunSummary sfc = runner.run_static("SFC");
+  const RunSummary gmisp_sp = runner.run_static("G-MISP+SP");
+  EXPECT_LT(gmisp_sp.mean_imbalance, sfc.mean_imbalance);
+}
+
+TEST(TraceRunner, AdaptiveRunsAndSwitches) {
+  const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(16);
+  const policy::PolicyBase policies = policy::standard_policy_base();
+  TraceRunConfig config;
+  config.nprocs = 16;
+  TraceRunner runner(short_rm3d_trace(), cluster, config);
+  const RunSummary adaptive = runner.run_adaptive(policies);
+  EXPECT_EQ(adaptive.label, "adaptive");
+  // The 200-step prefix crosses the quiescent -> shock transition, so at
+  // least one octant-driven switch must occur.
+  EXPECT_GE(adaptive.switches, 1u);
+  // Octant recorded on every snapshot.
+  for (const SnapshotRecord& record : adaptive.records)
+    EXPECT_FALSE(record.octant.empty());
+}
+
+TEST(TraceRunner, AdaptiveCompetitiveWithStatics) {
+  const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(16);
+  const policy::PolicyBase policies = policy::standard_policy_base();
+  TraceRunConfig config;
+  config.nprocs = 16;
+  TraceRunner runner(short_rm3d_trace(), cluster, config);
+  const double adaptive = runner.run_adaptive(policies).runtime_s;
+  const double sfc = runner.run_static("SFC").runtime_s;
+  // The headline claim at reduced scale: adaptive beats the baseline.
+  EXPECT_LT(adaptive, sfc);
+}
+
+TEST(TraceRunner, LazyRepartitioningReducesMigration) {
+  const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(16);
+  const policy::PolicyBase policies = policy::standard_policy_base();
+  TraceRunConfig eager;
+  eager.nprocs = 16;
+  eager.repartition_threshold = 0.0;  // repartition every regrid
+  TraceRunConfig lazy;
+  lazy.nprocs = 16;
+  lazy.repartition_threshold = 0.3;
+  TraceRunner eager_runner(short_rm3d_trace(), cluster, eager);
+  TraceRunner lazy_runner(short_rm3d_trace(), cluster, lazy);
+  const RunSummary eager_run = eager_runner.run_adaptive(policies);
+  const RunSummary lazy_run = lazy_runner.run_adaptive(policies);
+  EXPECT_LT(lazy_run.migration_s, eager_run.migration_s);
+}
+
+TEST(TraceRunner, WeightedTargetsShiftLoad) {
+  const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(4);
+  TraceRunConfig config;
+  config.nprocs = 4;
+  config.targets = {0.55, 0.15, 0.15, 0.15};
+  TraceRunner runner(short_rm3d_trace(), cluster, config);
+  const RunSummary summary = runner.run_static("G-MISP+SP");
+  // Imbalance is measured against the weighted targets, so a partitioner
+  // honoring them stays moderate.
+  EXPECT_LT(summary.mean_imbalance, 0.6);
+}
+
+TEST(SystemSensitive, ImprovesOnHeterogeneousCluster) {
+  SystemSensitiveConfig config;
+  config.nprocs = 12;
+  const SystemSensitiveResult result =
+      run_system_sensitive_experiment(short_rm3d_trace(), config);
+  EXPECT_GT(result.default_runtime_s, 0.0);
+  EXPECT_GT(result.improvement, 0.0);
+  EXPECT_LT(result.sensitive_imbalance, result.default_imbalance);
+  EXPECT_EQ(result.capacities.size(), 12u);
+}
+
+TEST(SystemSensitive, CapacitiesSumToOne) {
+  SystemSensitiveConfig config;
+  config.nprocs = 6;
+  const SystemSensitiveResult result =
+      run_system_sensitive_experiment(short_rm3d_trace(), config);
+  double total = 0.0;
+  for (std::size_t i = 0; i < result.capacities.size(); ++i)
+    total += result.capacities[i];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SystemSensitive, DeterministicForSeed) {
+  SystemSensitiveConfig config;
+  config.nprocs = 6;
+  const SystemSensitiveResult a =
+      run_system_sensitive_experiment(short_rm3d_trace(), config);
+  const SystemSensitiveResult b =
+      run_system_sensitive_experiment(short_rm3d_trace(), config);
+  EXPECT_DOUBLE_EQ(a.default_runtime_s, b.default_runtime_s);
+  EXPECT_DOUBLE_EQ(a.sensitive_runtime_s, b.sensitive_runtime_s);
+}
+
+TEST(SystemSensitive, HomogeneousClusterGainsLittle) {
+  SystemSensitiveConfig heterogeneous;
+  heterogeneous.nprocs = 8;
+  SystemSensitiveConfig homogeneous = heterogeneous;
+  homogeneous.capacity_spread = 0.01;
+  homogeneous.load.node_bias_spread = 0.0;
+  const double gain_hetero =
+      run_system_sensitive_experiment(short_rm3d_trace(), heterogeneous)
+          .improvement;
+  const double gain_homo =
+      run_system_sensitive_experiment(short_rm3d_trace(), homogeneous)
+          .improvement;
+  EXPECT_GT(gain_hetero, gain_homo);
+}
+
+}  // namespace
+}  // namespace pragma::core

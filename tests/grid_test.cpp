@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "pragma/grid/failure.hpp"
+#include "pragma/grid/loadgen.hpp"
+#include "pragma/util/stats.hpp"
+
+namespace pragma::grid {
+namespace {
+
+TEST(NodeTest, EffectiveSpeedScalesWithLoad) {
+  NodeSpec spec;
+  spec.peak_gflops = 2.0;
+  Node node(spec);
+  EXPECT_DOUBLE_EQ(node.effective_gflops(), 2.0);
+  node.state().background_load = 0.5;
+  EXPECT_DOUBLE_EQ(node.effective_gflops(), 1.0);
+}
+
+TEST(NodeTest, DownNodeHasNoCapacity) {
+  Node node(NodeSpec{});
+  node.state().up = false;
+  EXPECT_DOUBLE_EQ(node.effective_gflops(), 0.0);
+  EXPECT_DOUBLE_EQ(node.available_memory_mib(), 0.0);
+  EXPECT_TRUE(std::isinf(node.compute_time(1.0)));
+}
+
+TEST(NodeTest, ComputeTimeInverseToSpeed) {
+  NodeSpec spec;
+  spec.peak_gflops = 4.0;
+  Node node(spec);
+  EXPECT_DOUBLE_EQ(node.compute_time(8.0), 2.0);  // 8 Gflop at 4 Gflop/s
+}
+
+TEST(LinkTest, TransferTimeIncludesLatency) {
+  Link link(LinkSpec{100.0, 1e-3});  // 100 Mb/s, 1 ms
+  // 12.5 MB at 12.5 MB/s = 1 s, plus latency.
+  EXPECT_NEAR(link.transfer_time(12.5e6), 1.001, 1e-9);
+}
+
+TEST(LinkTest, BackgroundTrafficReducesRate) {
+  Link link(LinkSpec{100.0, 0.0});
+  const double clean = link.transfer_time(1e6);
+  link.state().background_utilization = 0.5;
+  EXPECT_NEAR(link.transfer_time(1e6), 2.0 * clean, 1e-9);
+}
+
+TEST(LinkTest, DownLinkIsInfinite) {
+  Link link;
+  link.state().up = false;
+  EXPECT_TRUE(std::isinf(link.transfer_time(1.0)));
+}
+
+TEST(ClusterTest, HomogeneousBuilderProducesIdenticalNodes) {
+  const Cluster cluster = ClusterBuilder::homogeneous(8, 1.5, 512.0);
+  ASSERT_EQ(cluster.size(), 8u);
+  for (NodeId i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(cluster.node(i).spec().peak_gflops, 1.5);
+    EXPECT_DOUBLE_EQ(cluster.node(i).spec().memory_mib, 512.0);
+    EXPECT_EQ(cluster.node(i).spec().id, i);
+  }
+  EXPECT_DOUBLE_EQ(cluster.total_effective_gflops(), 12.0);
+}
+
+TEST(ClusterTest, HeterogeneousBuilderSpreadsSpeeds) {
+  util::Rng rng(17);
+  const Cluster cluster = ClusterBuilder::heterogeneous(32, rng);
+  std::vector<double> speeds;
+  for (NodeId i = 0; i < cluster.size(); ++i)
+    speeds.push_back(cluster.node(i).spec().peak_gflops);
+  // Log-normal spread: distinct speeds with a meaningful CV.
+  EXPECT_GT(util::stddev(speeds) / util::mean(speeds), 0.15);
+  EXPECT_GT(util::min_value(speeds), 0.0);
+}
+
+TEST(ClusterTest, TransferToSelfIsFree) {
+  const Cluster cluster = ClusterBuilder::homogeneous(4);
+  EXPECT_DOUBLE_EQ(cluster.transfer_time(2, 2, 1e9), 0.0);
+}
+
+TEST(ClusterTest, TransferCrossesTwoLinks) {
+  const Cluster cluster = ClusterBuilder::homogeneous(4, 1.0, 1024.0,
+                                                      /*bw=*/800.0,
+                                                      /*lat=*/1e-3);
+  // 1e6 bytes at 100 MB/s per link: 0.01 s per link, twice, plus
+  // latencies and fabric forwarding.
+  const double t = cluster.transfer_time(0, 1, 1e6);
+  EXPECT_NEAR(t, 0.02 + 2e-3 + cluster.fabric().forwarding_latency_s, 1e-9);
+}
+
+TEST(ClusterTest, PathBandwidthIsBottleneck) {
+  Cluster cluster = ClusterBuilder::homogeneous(2, 1.0, 1024.0, 100.0);
+  cluster.uplink(1).state().background_utilization = 0.75;
+  const double bw = cluster.path_bandwidth(0, 1);
+  EXPECT_NEAR(bw, 100.0 * 1e6 / 8.0 * 0.25, 1e-6);
+}
+
+TEST(ClusterTest, UpCountTracksFailures) {
+  Cluster cluster = ClusterBuilder::homogeneous(4);
+  EXPECT_EQ(cluster.up_count(), 4u);
+  cluster.node(2).state().up = false;
+  EXPECT_EQ(cluster.up_count(), 3u);
+}
+
+TEST(ClusterTest, MismatchedLinksThrow) {
+  std::vector<Node> nodes(3);
+  std::vector<Link> links(2);
+  EXPECT_THROW(Cluster(std::move(nodes), std::move(links), SwitchSpec{}),
+               std::invalid_argument);
+}
+
+
+TEST(FederatedClusterTest, SitesAssignedByBuilder) {
+  const Cluster cluster = ClusterBuilder::federated(2, 4);
+  ASSERT_EQ(cluster.size(), 8u);
+  EXPECT_TRUE(cluster.federated());
+  for (NodeId i = 0; i < 4; ++i) EXPECT_EQ(cluster.site_of(i), 0);
+  for (NodeId i = 4; i < 8; ++i) EXPECT_EQ(cluster.site_of(i), 1);
+  EXPECT_TRUE(cluster.same_site(0, 3));
+  EXPECT_FALSE(cluster.same_site(3, 4));
+}
+
+TEST(FederatedClusterTest, InterSiteTransfersPayTheWan) {
+  const Cluster cluster = ClusterBuilder::federated(2, 2, 1.0, 1000.0,
+                                                    /*wan_mbps=*/10.0,
+                                                    /*wan_latency=*/50e-3);
+  const double intra = cluster.transfer_time(0, 1, 1e6);
+  const double inter = cluster.transfer_time(0, 2, 1e6);
+  // 1 MB over a 10 Mb/s WAN adds ~0.8 s plus 50 ms latency.
+  EXPECT_GT(inter, intra + 0.5);
+}
+
+TEST(FederatedClusterTest, PathBandwidthBottleneckedByWan) {
+  const Cluster cluster = ClusterBuilder::federated(2, 2, 1.0, 1000.0, 10.0);
+  const double intra = cluster.path_bandwidth(0, 1);
+  const double inter = cluster.path_bandwidth(0, 2);
+  EXPECT_NEAR(inter, 10.0 * 1e6 / 8.0, 1.0);
+  EXPECT_GT(intra, inter * 50.0);
+}
+
+TEST(FederatedClusterTest, NonFederatedClusterHasNoWan) {
+  const Cluster cluster = ClusterBuilder::homogeneous(4);
+  EXPECT_FALSE(cluster.federated());
+  EXPECT_EQ(cluster.site_of(0), cluster.site_of(3));
+}
+
+TEST(LoadGeneratorTest, KeepsLoadsInRange) {
+  sim::Simulator simulator;
+  Cluster cluster = ClusterBuilder::homogeneous(8);
+  LoadGenerator generator(simulator, cluster, {}, util::Rng(1));
+  generator.start();
+  simulator.run(300.0);
+  for (NodeId i = 0; i < cluster.size(); ++i) {
+    EXPECT_GE(cluster.node(i).state().background_load, 0.0);
+    EXPECT_LE(cluster.node(i).state().background_load, 0.95);
+    EXPECT_GE(cluster.uplink(i).state().background_utilization, 0.0);
+    EXPECT_LE(cluster.uplink(i).state().background_utilization, 0.9);
+  }
+}
+
+TEST(LoadGeneratorTest, MeanLoadNearTarget) {
+  sim::Simulator simulator;
+  Cluster cluster = ClusterBuilder::homogeneous(16);
+  LoadGeneratorConfig config;
+  config.mean_cpu_load = 0.4;
+  config.burst_probability = 0.0;  // isolate the mean-reverting walk
+  config.node_bias_spread = 0.0;
+  LoadGenerator generator(simulator, cluster, config, util::Rng(2));
+  generator.start();
+  // Sample the long-run mean over time and nodes.
+  util::Accumulator acc;
+  simulator.schedule_periodic(5.0, [&] {
+    for (NodeId i = 0; i < cluster.size(); ++i)
+      acc.add(cluster.node(i).state().background_load);
+  });
+  simulator.run(2000.0);
+  EXPECT_NEAR(acc.mean(), 0.4, 0.06);
+}
+
+TEST(LoadGeneratorTest, BiasSpreadCreatesPersistentDifferences) {
+  sim::Simulator simulator;
+  Cluster cluster = ClusterBuilder::homogeneous(8);
+  LoadGeneratorConfig config;
+  config.node_bias_spread = 0.8;
+  LoadGenerator generator(simulator, cluster, config, util::Rng(3));
+  const std::vector<double>& targets = generator.node_targets();
+  EXPECT_GT(util::max_value(targets) - util::min_value(targets), 0.05);
+}
+
+TEST(LoadGeneratorTest, StopFreezesState) {
+  sim::Simulator simulator;
+  Cluster cluster = ClusterBuilder::homogeneous(2);
+  LoadGenerator generator(simulator, cluster, {}, util::Rng(4));
+  generator.start();
+  simulator.run(50.0);
+  generator.stop();
+  const double frozen = cluster.node(0).state().background_load;
+  simulator.run(100.0);
+  EXPECT_DOUBLE_EQ(cluster.node(0).state().background_load, frozen);
+}
+
+TEST(FailureInjectorTest, ScheduledFailureAndRecovery) {
+  sim::Simulator simulator;
+  Cluster cluster = ClusterBuilder::homogeneous(4);
+  FailureInjector injector(simulator, cluster);
+  injector.schedule_failure(10.0, 1, 5.0);
+  simulator.run(12.0);
+  EXPECT_FALSE(cluster.node(1).state().up);
+  simulator.run(20.0);
+  EXPECT_TRUE(cluster.node(1).state().up);
+  ASSERT_EQ(injector.history().size(), 2u);
+  EXPECT_FALSE(injector.history()[0].up);
+  EXPECT_TRUE(injector.history()[1].up);
+}
+
+TEST(FailureInjectorTest, ObserverNotified) {
+  sim::Simulator simulator;
+  Cluster cluster = ClusterBuilder::homogeneous(2);
+  FailureInjector injector(simulator, cluster);
+  int notifications = 0;
+  injector.set_observer([&](const FailureEvent&) { ++notifications; });
+  injector.schedule_failure(1.0, 0, 1.0);
+  simulator.run(5.0);
+  EXPECT_EQ(notifications, 2);
+}
+
+TEST(FailureInjectorTest, PermanentFailureWithoutRecovery) {
+  sim::Simulator simulator;
+  Cluster cluster = ClusterBuilder::homogeneous(2);
+  FailureInjector injector(simulator, cluster);
+  injector.schedule_failure(1.0, 0, -1.0);
+  simulator.run(100.0);
+  EXPECT_FALSE(cluster.node(0).state().up);
+  EXPECT_EQ(injector.history().size(), 1u);
+}
+
+TEST(FailureInjectorTest, RandomProcessTogglesNodes) {
+  sim::Simulator simulator;
+  Cluster cluster = ClusterBuilder::homogeneous(8);
+  FailureInjector injector(simulator, cluster);
+  injector.start_random(/*mtbf=*/50.0, /*mttr=*/10.0, util::Rng(5));
+  simulator.run(500.0);
+  EXPECT_GT(injector.history().size(), 10u);
+  // Every failure eventually recovers (or the run ended while down).
+  int down = 0;
+  for (const FailureEvent& event : injector.history())
+    down += event.up ? -1 : 1;
+  EXPECT_GE(down, 0);
+}
+
+}  // namespace
+}  // namespace pragma::grid

@@ -1,0 +1,116 @@
+// Edge-case coverage across modules that the focused suites do not touch.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pragma/agents/mcs.hpp"
+#include "pragma/amr/box.hpp"
+#include "pragma/monitor/resource_monitor.hpp"
+#include "pragma/perf/pf.hpp"
+#include "pragma/policy/dsl.hpp"
+#include "pragma/util/table.hpp"
+
+namespace pragma {
+namespace {
+
+TEST(BoxStreaming, PrintsReadableForm) {
+  std::ostringstream os;
+  os << amr::Box({1, 2, 3}, {4, 5, 6});
+  EXPECT_EQ(os.str(), "[(1,2,3)..(4,5,6))");
+}
+
+TEST(TextTableRule, InsertsSeparator) {
+  util::TextTable table({"a"});
+  table.add_row({"1"});
+  table.add_rule();
+  table.add_row({"2"});
+  const std::string out = table.render();
+  // Header rule plus the explicit rule: at least two separator lines.
+  std::size_t rules = 0;
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line))
+    if (line.find("---") != std::string::npos) ++rules;
+  EXPECT_GE(rules, 2u);
+}
+
+TEST(PrintSection, UnderlinesTitle) {
+  std::ostringstream os;
+  util::print_section(os, "Results");
+  EXPECT_NE(os.str().find("Results\n======="), std::string::npos);
+}
+
+TEST(CallablePf, WrapsLambda) {
+  const perf::CallablePf pf([](double x) { return 3.0 * x; }, "triple");
+  EXPECT_DOUBLE_EQ(pf.evaluate(2.0), 6.0);
+  EXPECT_EQ(pf.name(), "triple");
+  const auto clone = pf.clone();
+  EXPECT_DOUBLE_EQ(clone->evaluate(4.0), 12.0);
+}
+
+TEST(ForecasterChoice, MonitorExposesBestMemberName) {
+  sim::Simulator simulator;
+  grid::Cluster cluster = grid::ClusterBuilder::homogeneous(2);
+  monitor::ResourceMonitor nws(simulator, cluster, {}, util::Rng(1));
+  for (int i = 0; i < 20; ++i) nws.sample_now();
+  const std::string choice =
+      nws.forecaster_choice(0, monitor::Resource::kCpu);
+  EXPECT_FALSE(choice.empty());
+}
+
+TEST(FormatRule, NoTolOmitted) {
+  const policy::Policy rule = policy::parse_rule("if a = b then c = d");
+  const std::string text = policy::format_rule(rule);
+  EXPECT_EQ(text.find("tol"), std::string::npos);
+}
+
+TEST(EnvironmentLifecycle, StopPreventsFurtherSampling) {
+  sim::Simulator simulator;
+  const policy::PolicyBase policies;
+  agents::Mcs mcs(simulator, policies);
+  agents::EnvTemplate blueprint;
+  blueprint.name = "t";
+  mcs.registry().register_template(blueprint);
+  agents::AppSpec spec;
+  spec.components = {"c0"};
+  spec.sample_period_s = 1.0;
+  auto environment = mcs.build(spec);
+  int samples = 0;
+  environment->agent(0).add_sensor(
+      {"x", [&samples] { return static_cast<double>(++samples); }});
+  environment->start();
+  simulator.run(5.0);
+  const int seen = samples;
+  EXPECT_GT(seen, 0);
+  environment->stop();
+  simulator.run(20.0);
+  EXPECT_EQ(samples, seen);
+}
+
+TEST(AdmContext, MergedIntoQueries) {
+  // A context attribute satisfies a rule condition that event payloads
+  // alone would not.
+  sim::Simulator simulator;
+  agents::MessageCenter center(simulator);
+  policy::PolicyBase policies;
+  policies.add(policy::parse_rule(
+      "if arch = sp2 and load >= 0.5 then action = repartition",
+      "sp2_rule"));
+  agents::Adm adm(simulator, center, policies);
+  adm.manage("c0");
+  adm.set_context({{"arch", policy::Value{std::string("sp2")}}});
+  center.register_port("c0");
+
+  agents::Message event;
+  event.from = "c0";
+  event.type = "load_high";
+  event.payload["sensor"] = policy::Value{std::string("load")};
+  event.payload["value"] = policy::Value{0.9};
+  center.publish("app.events", event);
+  simulator.run(30.0);
+  ASSERT_EQ(adm.decisions().size(), 1u);
+  EXPECT_EQ(adm.decisions()[0].policy, "sp2_rule");
+}
+
+}  // namespace
+}  // namespace pragma

@@ -1,0 +1,166 @@
+#include "pragma/monitor/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "pragma/grid/loadgen.hpp"
+#include "pragma/monitor/resource_monitor.hpp"
+
+namespace pragma::monitor {
+namespace {
+
+std::vector<NodeReading> make_readings(
+    std::initializer_list<std::array<double, 3>> rows) {
+  std::vector<NodeReading> readings;
+  for (const auto& row : rows)
+    readings.push_back(NodeReading{row[0], row[1], row[2]});
+  return readings;
+}
+
+TEST(CapacityCalculator, FractionsSumToOne) {
+  const CapacityCalculator calculator;
+  const auto capacities = calculator.from_readings(make_readings(
+      {{1.0, 512.0, 100.0}, {2.0, 256.0, 100.0}, {0.5, 1024.0, 50.0}}));
+  double total = 0.0;
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    EXPECT_GE(capacities[i], 0.0);
+    total += capacities[i];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(CapacityCalculator, IdenticalNodesGetEqualShares) {
+  const CapacityCalculator calculator;
+  const auto capacities = calculator.from_readings(make_readings(
+      {{1.0, 512.0, 100.0}, {1.0, 512.0, 100.0}, {1.0, 512.0, 100.0}}));
+  for (std::size_t i = 0; i < capacities.size(); ++i)
+    EXPECT_NEAR(capacities[i], 1.0 / 3.0, 1e-12);
+}
+
+TEST(CapacityCalculator, PureCpuWeightIsProportionalToCpu) {
+  const CapacityCalculator calculator(CapacityWeights{1.0, 0.0, 0.0});
+  const auto capacities = calculator.from_readings(make_readings(
+      {{3.0, 1.0, 1.0}, {1.0, 100.0, 100.0}}));
+  EXPECT_NEAR(capacities[0], 0.75, 1e-12);
+  EXPECT_NEAR(capacities[1], 0.25, 1e-12);
+}
+
+TEST(CapacityCalculator, WeightsAreNormalized) {
+  // Weights (2, 0, 0) behave like (1, 0, 0).
+  const CapacityCalculator a(CapacityWeights{2.0, 0.0, 0.0});
+  const CapacityCalculator b(CapacityWeights{1.0, 0.0, 0.0});
+  const auto readings = make_readings({{3.0, 5.0, 7.0}, {1.0, 50.0, 7.0}});
+  const auto ca = a.from_readings(readings);
+  const auto cb = b.from_readings(readings);
+  for (std::size_t i = 0; i < ca.size(); ++i)
+    EXPECT_NEAR(ca[i], cb[i], 1e-12);
+}
+
+TEST(CapacityCalculator, DeadNodeGetsZero) {
+  const CapacityCalculator calculator(CapacityWeights{1.0, 0.0, 0.0});
+  const auto capacities = calculator.from_readings(
+      make_readings({{0.0, 0.0, 0.0}, {1.0, 512.0, 100.0}}));
+  EXPECT_DOUBLE_EQ(capacities[0], 0.0);
+  EXPECT_NEAR(capacities[1], 1.0, 1e-12);
+}
+
+TEST(CapacityCalculator, AllZeroReadingsGiveAllZeros) {
+  const CapacityCalculator calculator;
+  const auto capacities = calculator.from_readings(
+      make_readings({{0.0, 0.0, 0.0}, {0.0, 0.0, 0.0}}));
+  for (std::size_t i = 0; i < capacities.size(); ++i)
+    EXPECT_DOUBLE_EQ(capacities[i], 0.0);
+}
+
+TEST(CapacityCalculator, NegativeReadingsClampedToZero) {
+  const CapacityCalculator calculator(CapacityWeights{1.0, 0.0, 0.0});
+  const auto capacities = calculator.from_readings(
+      make_readings({{-5.0, 1.0, 1.0}, {1.0, 1.0, 1.0}}));
+  EXPECT_DOUBLE_EQ(capacities[0], 0.0);
+  EXPECT_NEAR(capacities[1], 1.0, 1e-12);
+}
+
+class MonitoredClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(21);
+    cluster_ = grid::ClusterBuilder::heterogeneous(6, rng);
+    monitor_ = std::make_unique<ResourceMonitor>(simulator_, cluster_,
+                                                 ResourceMonitorConfig{},
+                                                 util::Rng(22));
+  }
+  sim::Simulator simulator_;
+  grid::Cluster cluster_;
+  std::unique_ptr<ResourceMonitor> monitor_;
+};
+
+TEST_F(MonitoredClusterTest, SamplesAccumulate) {
+  monitor_->start();
+  simulator_.run(20.0);
+  EXPECT_GE(monitor_->sweeps(), 10u);
+  EXPECT_GE(monitor_->series(0, Resource::kCpu).size(), 10u);
+}
+
+TEST_F(MonitoredClusterTest, ReadingsTrackTruthWithinNoise) {
+  cluster_.node(0).state().background_load = 0.5;
+  monitor_->sample_now();
+  const NodeReading reading = monitor_->current(0);
+  const double truth = cluster_.node(0).effective_gflops();
+  EXPECT_NEAR(reading.cpu_gflops, truth, truth * 0.15);
+  EXPECT_GT(reading.memory_mib, 0.0);
+  EXPECT_GT(reading.bandwidth_mbps, 0.0);
+}
+
+TEST_F(MonitoredClusterTest, DownNodeReadsZeroCpu) {
+  cluster_.node(2).state().up = false;
+  monitor_->sample_now();
+  EXPECT_DOUBLE_EQ(monitor_->current(2).cpu_gflops, 0.0);
+}
+
+TEST_F(MonitoredClusterTest, ForecastTracksStableLoad) {
+  cluster_.node(1).state().background_load = 0.3;
+  for (int i = 0; i < 40; ++i) {
+    monitor_->sample_now();
+  }
+  const double truth = cluster_.node(1).effective_gflops();
+  EXPECT_NEAR(monitor_->forecast(1, Resource::kCpu), truth, truth * 0.1);
+}
+
+TEST_F(MonitoredClusterTest, CapacitiesFavorFasterNodes) {
+  // Make node 3 clearly the fastest and unloaded.
+  for (grid::NodeId i = 0; i < cluster_.size(); ++i)
+    cluster_.node(i).state().background_load = (i == 3) ? 0.0 : 0.6;
+  for (int i = 0; i < 10; ++i) monitor_->sample_now();
+  const CapacityCalculator calculator(CapacityWeights{1.0, 0.0, 0.0});
+  const auto capacities = calculator.from_current(*monitor_);
+  for (grid::NodeId i = 0; i < cluster_.size(); ++i) {
+    if (i == 3) continue;
+    const double speed_ratio = cluster_.node(3).effective_gflops() /
+                               cluster_.node(i).effective_gflops();
+    if (speed_ratio > 1.2) {
+      EXPECT_GT(capacities[3], capacities[i]);
+    }
+  }
+}
+
+TEST_F(MonitoredClusterTest, ForecastCapacitiesAlsoNormalized) {
+  for (int i = 0; i < 20; ++i) monitor_->sample_now();
+  const CapacityCalculator calculator;
+  const auto capacities = calculator.from_forecast(*monitor_);
+  double total = 0.0;
+  for (std::size_t i = 0; i < capacities.size(); ++i) total += capacities[i];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(MonitoredClusterTest, StopHaltsSampling) {
+  monitor_->start();
+  simulator_.run(10.0);
+  const std::size_t sweeps = monitor_->sweeps();
+  monitor_->stop();
+  simulator_.run(50.0);
+  EXPECT_EQ(monitor_->sweeps(), sweeps);
+}
+
+}  // namespace
+}  // namespace pragma::monitor

@@ -1,0 +1,186 @@
+#include "pragma/monitor/forecaster.hpp"
+
+#include <gtest/gtest.h>
+
+// EXPECT_THROW intentionally discards nodiscard results.
+#pragma GCC diagnostic ignored "-Wunused-result"
+
+#include <cmath>
+
+#include "pragma/util/rng.hpp"
+
+namespace pragma::monitor {
+namespace {
+
+TEST(LastValue, PredictsLast) {
+  LastValueForecaster forecaster;
+  EXPECT_DOUBLE_EQ(forecaster.predict(), 0.0);
+  forecaster.observe(3.0);
+  forecaster.observe(5.0);
+  EXPECT_DOUBLE_EQ(forecaster.predict(), 5.0);
+}
+
+TEST(RunningMean, PredictsMean) {
+  RunningMeanForecaster forecaster;
+  forecaster.observe(2.0);
+  forecaster.observe(4.0);
+  forecaster.observe(6.0);
+  EXPECT_DOUBLE_EQ(forecaster.predict(), 4.0);
+}
+
+TEST(SlidingMean, ForgetsOldValues) {
+  SlidingMeanForecaster forecaster(2);
+  forecaster.observe(100.0);
+  forecaster.observe(2.0);
+  forecaster.observe(4.0);
+  EXPECT_DOUBLE_EQ(forecaster.predict(), 3.0);
+}
+
+TEST(SlidingMedian, RobustToOutliers) {
+  SlidingMedianForecaster forecaster(5);
+  for (double v : {1.0, 1.0, 1.0, 1.0, 1000.0}) forecaster.observe(v);
+  EXPECT_DOUBLE_EQ(forecaster.predict(), 1.0);
+}
+
+TEST(ExpSmoothing, SeedsWithFirstObservation) {
+  ExpSmoothingForecaster forecaster(0.5);
+  forecaster.observe(10.0);
+  EXPECT_DOUBLE_EQ(forecaster.predict(), 10.0);
+  forecaster.observe(20.0);
+  EXPECT_DOUBLE_EQ(forecaster.predict(), 15.0);
+}
+
+TEST(Ar1, TracksLinearTrendWell) {
+  Ar1Forecaster forecaster(32);
+  // Feed x[t] = 2t; AR(1) on a line predicts the continuation closely.
+  for (int t = 0; t < 40; ++t)
+    forecaster.observe(2.0 * t);
+  EXPECT_NEAR(forecaster.predict(), 80.0, 1.0);
+}
+
+TEST(Ar1, FallsBackToLastBeforeEnoughData) {
+  Ar1Forecaster forecaster(32);
+  forecaster.observe(5.0);
+  forecaster.observe(6.0);
+  EXPECT_DOUBLE_EQ(forecaster.predict(), 6.0);
+}
+
+TEST(Ar1, StableOnConstantSeries) {
+  Ar1Forecaster forecaster(16);
+  for (int i = 0; i < 30; ++i) forecaster.observe(4.2);
+  EXPECT_NEAR(forecaster.predict(), 4.2, 1e-9);
+}
+
+TEST(Clone, ProducesIndependentFreshInstance) {
+  SlidingMeanForecaster original(4);
+  original.observe(100.0);
+  const auto clone = original.clone();
+  clone->observe(2.0);
+  EXPECT_DOUBLE_EQ(clone->predict(), 2.0);        // fresh state
+  EXPECT_DOUBLE_EQ(original.predict(), 100.0);    // untouched
+  EXPECT_EQ(clone->name(), original.name());      // same configuration
+}
+
+TEST(Adaptive, RequiresMembers) {
+  std::vector<std::unique_ptr<Forecaster>> none;
+  EXPECT_THROW(AdaptiveForecaster dead(std::move(none)),
+               std::invalid_argument);
+}
+
+TEST(Adaptive, SelectsLastValueOnPersistentSeries) {
+  auto adaptive = AdaptiveForecaster::standard();
+  // A slow ramp: "last" has the smallest one-step error.
+  for (int t = 0; t < 200; ++t)
+    adaptive->observe(0.01 * t);
+  EXPECT_NEAR(adaptive->predict(), 2.0, 0.05);
+  // Best member should be one of the trackers, not the running mean.
+  EXPECT_NE(adaptive->best_member(), "mean");
+}
+
+TEST(Adaptive, SelectsMeanLikeMemberOnWhiteNoise) {
+  util::Rng rng(9);
+  auto adaptive = AdaptiveForecaster::standard();
+  for (int t = 0; t < 600; ++t)
+    adaptive->observe(5.0 + rng.normal(0.0, 1.0));
+  // Prediction near the true mean, not chasing the noise.
+  EXPECT_NEAR(adaptive->predict(), 5.0, 0.5);
+}
+
+TEST(Adaptive, NearBestMemberOnEveryRegime) {
+  util::Rng rng(10);
+  for (int regime = 0; regime < 3; ++regime) {
+    std::vector<double> series;
+    for (int t = 0; t < 400; ++t) {
+      double v = 0.0;
+      if (regime == 0) v = 1.0 + rng.normal(0.0, 0.2);
+      if (regime == 1) v = 0.01 * t + rng.normal(0.0, 0.05);
+      if (regime == 2) v = ((t / 50) % 2 == 0 ? 1.0 : 3.0) + rng.normal(0.0, 0.1);
+      series.push_back(v);
+    }
+    // Best individual member MAE.
+    double best = 1e300;
+    std::vector<std::unique_ptr<Forecaster>> members;
+    members.push_back(std::make_unique<LastValueForecaster>());
+    members.push_back(std::make_unique<RunningMeanForecaster>());
+    members.push_back(std::make_unique<SlidingMeanForecaster>(8));
+    members.push_back(std::make_unique<ExpSmoothingForecaster>(0.25));
+    members.push_back(std::make_unique<Ar1Forecaster>(32));
+    for (const auto& member : members) {
+      auto fresh = member->clone();
+      best = std::min(best, evaluate_mae(*fresh, series));
+    }
+    auto adaptive = AdaptiveForecaster::standard();
+    const double mae = evaluate_mae(*adaptive, series);
+    EXPECT_LT(mae, best * 1.35) << "regime " << regime;
+  }
+}
+
+TEST(Adaptive, MemberErrorsTracked) {
+  auto adaptive = AdaptiveForecaster::standard();
+  for (int t = 0; t < 50; ++t) adaptive->observe(1.0);
+  const std::vector<double> errors = adaptive->member_errors();
+  EXPECT_EQ(errors.size(), adaptive->member_count());
+  // On a constant series every member converges to zero error.
+  for (double e : errors) EXPECT_LT(e, 0.5);
+}
+
+TEST(Adaptive, CloneIsFresh) {
+  auto adaptive = AdaptiveForecaster::standard();
+  for (int t = 0; t < 50; ++t) adaptive->observe(9.0);
+  const auto clone = adaptive->clone();
+  clone->observe(1.0);
+  EXPECT_NE(clone->predict(), adaptive->predict());
+}
+
+TEST(EvaluateMae, PerfectForecastScoresZero) {
+  LastValueForecaster forecaster;
+  const std::vector<double> constant(20, 3.0);
+  EXPECT_DOUBLE_EQ(evaluate_mae(forecaster, constant), 0.0);
+}
+
+TEST(EvaluateMae, ShortSeriesIsZero) {
+  LastValueForecaster forecaster;
+  const std::vector<double> one{1.0};
+  EXPECT_DOUBLE_EQ(evaluate_mae(forecaster, one), 0.0);
+}
+
+// Parameterized sweep: on iid noise, the adaptive forecaster must beat the
+// naive last-value forecaster for any seed.
+class AdaptiveBeatsNaive : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdaptiveBeatsNaive, OnWhiteNoise) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> series;
+  for (int t = 0; t < 500; ++t) series.push_back(rng.normal(0.0, 1.0));
+  LastValueForecaster naive;
+  auto adaptive = AdaptiveForecaster::standard();
+  const double naive_mae = evaluate_mae(naive, series);
+  const double adaptive_mae = evaluate_mae(*adaptive, series);
+  EXPECT_LT(adaptive_mae, naive_mae);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdaptiveBeatsNaive,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace pragma::monitor

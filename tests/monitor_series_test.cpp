@@ -1,0 +1,62 @@
+#include "pragma/monitor/series.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pragma::monitor {
+namespace {
+
+TEST(TimeSeriesTest, AppendsAndReadsBack) {
+  TimeSeries series;
+  series.append(1.0, 10.0);
+  series.append(2.0, 20.0);
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.back().value, 20.0);
+  EXPECT_DOUBLE_EQ(series.at(0).time, 1.0);
+}
+
+TEST(TimeSeriesTest, LastValueFallback) {
+  TimeSeries series;
+  EXPECT_DOUBLE_EQ(series.last_value(7.0), 7.0);
+  series.append(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(series.last_value(7.0), 3.0);
+}
+
+TEST(TimeSeriesTest, BoundedHistoryEvictsOldest) {
+  TimeSeries series(3);
+  for (int i = 0; i < 5; ++i)
+    series.append(i, static_cast<double>(i));
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.at(0).value, 2.0);
+  EXPECT_DOUBLE_EQ(series.back().value, 4.0);
+}
+
+TEST(TimeSeriesTest, RecentValuesOldestFirst) {
+  TimeSeries series;
+  for (int i = 0; i < 10; ++i) series.append(i, static_cast<double>(i));
+  const std::vector<double> recent = series.recent_values(3);
+  EXPECT_EQ(recent, (std::vector<double>{7.0, 8.0, 9.0}));
+}
+
+TEST(TimeSeriesTest, RecentMoreThanSizeReturnsAll) {
+  TimeSeries series;
+  series.append(0.0, 1.0);
+  EXPECT_EQ(series.recent_values(100).size(), 1u);
+}
+
+TEST(TimeSeriesTest, ClearEmpties) {
+  TimeSeries series;
+  series.append(0.0, 1.0);
+  series.clear();
+  EXPECT_TRUE(series.empty());
+}
+
+TEST(TimeSeriesTest, ZeroCapacityClampedToOne) {
+  TimeSeries series(0);
+  series.append(0.0, 1.0);
+  series.append(1.0, 2.0);
+  EXPECT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series.back().value, 2.0);
+}
+
+}  // namespace
+}  // namespace pragma::monitor

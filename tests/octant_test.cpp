@@ -1,0 +1,191 @@
+#include "pragma/octant/octant.hpp"
+
+#include <gtest/gtest.h>
+
+// EXPECT_THROW intentionally discards nodiscard results.
+#pragma GCC diagnostic ignored "-Wunused-result"
+
+#include "pragma/amr/synthetic.hpp"
+
+namespace pragma::octant {
+namespace {
+
+TEST(OctantEnum, NamesRoundTrip) {
+  EXPECT_EQ(to_string(Octant::kI), "I");
+  EXPECT_EQ(to_string(Octant::kIV), "IV");
+  EXPECT_EQ(to_string(Octant::kVIII), "VIII");
+}
+
+TEST(OctantBitsTest, FromBitsAndBackAllEight) {
+  for (int scattered = 0; scattered <= 1; ++scattered)
+    for (int dynamic = 0; dynamic <= 1; ++dynamic)
+      for (int comm = 0; comm <= 1; ++comm) {
+        const Octant octant = octant_from_bits(scattered, dynamic, comm);
+        const OctantBits bits = bits_of(octant);
+        EXPECT_EQ(bits.scattered, static_cast<bool>(scattered));
+        EXPECT_EQ(bits.dynamic, static_cast<bool>(dynamic));
+        EXPECT_EQ(bits.communication, static_cast<bool>(comm));
+      }
+}
+
+TEST(OctantBitsTest, CanonicalAssignments) {
+  // See the numbering table in octant.hpp.
+  EXPECT_EQ(octant_from_bits(false, true, true), Octant::kI);
+  EXPECT_EQ(octant_from_bits(true, true, true), Octant::kII);
+  EXPECT_EQ(octant_from_bits(false, true, false), Octant::kIII);
+  EXPECT_EQ(octant_from_bits(true, true, false), Octant::kIV);
+  EXPECT_EQ(octant_from_bits(false, false, true), Octant::kV);
+  EXPECT_EQ(octant_from_bits(true, false, true), Octant::kVI);
+  EXPECT_EQ(octant_from_bits(false, false, false), Octant::kVII);
+  EXPECT_EQ(octant_from_bits(true, false, false), Octant::kVIII);
+}
+
+TEST(Table2, RecommendationsMatchPaper) {
+  using V = std::vector<std::string>;
+  EXPECT_EQ(recommended_partitioners(Octant::kI),
+            (V{"pBD-ISP", "G-MISP+SP"}));
+  EXPECT_EQ(recommended_partitioners(Octant::kII), (V{"pBD-ISP"}));
+  EXPECT_EQ(recommended_partitioners(Octant::kIII),
+            (V{"G-MISP+SP", "SP-ISP"}));
+  EXPECT_EQ(recommended_partitioners(Octant::kIV),
+            (V{"G-MISP+SP", "SP-ISP", "ISP"}));
+  EXPECT_EQ(recommended_partitioners(Octant::kV), (V{"pBD-ISP"}));
+  EXPECT_EQ(recommended_partitioners(Octant::kVI), (V{"pBD-ISP"}));
+  EXPECT_EQ(recommended_partitioners(Octant::kVII), (V{"G-MISP+SP"}));
+  EXPECT_EQ(recommended_partitioners(Octant::kVIII),
+            (V{"G-MISP+SP", "ISP"}));
+}
+
+TEST(Table2, SelectReturnsHead) {
+  EXPECT_EQ(select_partitioner(Octant::kII), "pBD-ISP");
+  EXPECT_EQ(select_partitioner(Octant::kVII), "G-MISP+SP");
+}
+
+TEST(Table2, CommDominatedOctantsPreferPbd) {
+  for (const Octant octant :
+       {Octant::kI, Octant::kII, Octant::kV, Octant::kVI}) {
+    EXPECT_TRUE(bits_of(octant).communication);
+    EXPECT_EQ(select_partitioner(octant), "pBD-ISP");
+  }
+}
+
+TEST(Table2, ComputationDominatedOctantsPreferGMispSp) {
+  for (const Octant octant :
+       {Octant::kIII, Octant::kIV, Octant::kVII, Octant::kVIII}) {
+    EXPECT_FALSE(bits_of(octant).communication);
+    EXPECT_EQ(select_partitioner(octant), "G-MISP+SP");
+  }
+}
+
+amr::AdaptationTrace synthetic_trace(int box_count, double move_fraction,
+                                     int box_edge = 8) {
+  amr::SyntheticConfig config;
+  config.box_count = box_count;
+  config.move_fraction = move_fraction;
+  config.box_edge = box_edge;
+  config.seed = 17;
+  amr::SyntheticAppGenerator generator(config);
+  return generator.generate(10);
+}
+
+TEST(Classifier, OutOfRangeThrows) {
+  const amr::AdaptationTrace trace = synthetic_trace(4, 0.0);
+  const OctantClassifier classifier;
+  EXPECT_THROW(classifier.classify(trace, trace.size()), std::out_of_range);
+}
+
+TEST(Classifier, StaticTraceIsLowDynamics) {
+  const amr::AdaptationTrace trace = synthetic_trace(4, 0.0);
+  const OctantClassifier classifier;
+  const OctantState state = classifier.classify(trace, trace.size() - 1);
+  EXPECT_FALSE(state.dynamic);
+  EXPECT_NEAR(state.dynamics_score, 0.0, 1e-9);
+}
+
+TEST(Classifier, MovingTraceIsHighDynamics) {
+  const amr::AdaptationTrace trace = synthetic_trace(8, 0.8);
+  const OctantClassifier classifier;
+  const OctantState state = classifier.classify(trace, trace.size() - 1);
+  EXPECT_TRUE(state.dynamic);
+}
+
+TEST(Classifier, SingleRegionIsLocalized) {
+  const amr::AdaptationTrace trace = synthetic_trace(1, 0.0, 16);
+  const OctantClassifier classifier;
+  EXPECT_FALSE(classifier.classify(trace, 0).scattered);
+}
+
+TEST(Classifier, ManyRegionsAreScattered) {
+  const amr::AdaptationTrace trace = synthetic_trace(28, 0.0, 4);
+  const OctantClassifier classifier;
+  EXPECT_TRUE(classifier.classify(trace, 0).scattered);
+}
+
+TEST(Classifier, FirstSnapshotUsesLookaheadChurn) {
+  // Snapshot 0 has no history; the classifier borrows churn(1) so a
+  // dynamic run is recognized as dynamic from the start.
+  const amr::AdaptationTrace trace = synthetic_trace(8, 1.0);
+  const OctantClassifier classifier;
+  EXPECT_GT(classifier.classify(trace, 0).dynamics_score, 0.0);
+}
+
+TEST(Classifier, ThresholdsChangeDecision) {
+  const amr::AdaptationTrace trace = synthetic_trace(8, 0.3);
+  OctantThresholds strict;
+  strict.dynamics = 1e9;  // nothing is dynamic
+  OctantThresholds loose;
+  loose.dynamics = 0.0;   // everything is dynamic
+  const OctantClassifier a(strict);
+  const OctantClassifier b(loose);
+  EXPECT_FALSE(a.classify(trace, 5).dynamic);
+  EXPECT_TRUE(b.classify(trace, 5).dynamic);
+}
+
+TEST(Classifier, ClassifyAllCoversTrace) {
+  const amr::AdaptationTrace trace = synthetic_trace(8, 0.2);
+  const OctantClassifier classifier;
+  const auto states = classifier.classify_all(trace);
+  EXPECT_EQ(states.size(), trace.size());
+}
+
+TEST(Classifier, StateOctantConsistentWithBits) {
+  const amr::AdaptationTrace trace = synthetic_trace(8, 0.2);
+  const OctantClassifier classifier;
+  for (const OctantState& state : classifier.classify_all(trace)) {
+    const OctantBits bits = bits_of(state.octant());
+    EXPECT_EQ(bits.scattered, state.scattered);
+    EXPECT_EQ(bits.dynamic, state.dynamic);
+    EXPECT_EQ(bits.communication, state.communication);
+  }
+}
+
+
+TEST(TransitionMatrixTest, StaticTraceStaysOnDiagonal) {
+  const amr::AdaptationTrace trace = synthetic_trace(4, 0.0);
+  const OctantClassifier classifier;
+  const TransitionMatrix matrix = transition_matrix(classifier, trace);
+  int total = 0;
+  int diagonal = 0;
+  for (int from = 0; from < 8; ++from)
+    for (int to = 0; to < 8; ++to) {
+      total += matrix[from][to];
+      if (from == to) diagonal += matrix[from][to];
+    }
+  EXPECT_EQ(total, static_cast<int>(trace.size()) - 1);
+  // After the dynamics window warms up, the state is stationary; allow the
+  // initial transient to leave the diagonal at most twice.
+  EXPECT_GE(diagonal, total - 2);
+}
+
+TEST(TransitionMatrixTest, CountsSumToTraceLengthMinusOne) {
+  const amr::AdaptationTrace trace = synthetic_trace(12, 0.5);
+  const OctantClassifier classifier;
+  const TransitionMatrix matrix = transition_matrix(classifier, trace);
+  int total = 0;
+  for (const auto& row : matrix)
+    for (int count : row) total += count;
+  EXPECT_EQ(total, static_cast<int>(trace.size()) - 1);
+}
+
+}  // namespace
+}  // namespace pragma::octant

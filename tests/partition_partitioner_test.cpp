@@ -1,0 +1,212 @@
+#include "pragma/partition/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+// EXPECT_THROW intentionally discards nodiscard results.
+#pragma GCC diagnostic ignored "-Wunused-result"
+
+#include <algorithm>
+#include <set>
+
+#include "pragma/amr/synthetic.hpp"
+#include "pragma/partition/metrics.hpp"
+
+namespace pragma::partition {
+namespace {
+
+amr::GridHierarchy test_hierarchy(int box_count = 10,
+                                  std::uint64_t seed = 3) {
+  amr::SyntheticConfig config;
+  config.base_dims = {64, 32, 32};
+  config.box_count = box_count;
+  config.seed = seed;
+  amr::SyntheticAppGenerator generator(config);
+  return generator.build_hierarchy();
+}
+
+TEST(Suite, ContainsAllSixPartitioners) {
+  const auto suite = standard_suite();
+  std::set<std::string> names;
+  for (const auto& partitioner : suite) names.insert(partitioner->name());
+  EXPECT_EQ(names, (std::set<std::string>{"SFC", "ISP", "G-MISP",
+                                          "G-MISP+SP", "pBD-ISP", "SP-ISP"}));
+}
+
+TEST(Suite, MakePartitionerByName) {
+  EXPECT_EQ(make_partitioner("pBD-ISP")->name(), "pBD-ISP");
+  EXPECT_THROW(make_partitioner("nonsense"), std::invalid_argument);
+}
+
+TEST(Suite, CurvesAndGrains) {
+  EXPECT_EQ(make_partitioner("SFC")->curve(), CurveKind::kMorton);
+  EXPECT_EQ(make_partitioner("ISP")->curve(), CurveKind::kHilbert);
+  EXPECT_EQ(make_partitioner("SFC")->preferred_grain(), 4);
+  EXPECT_EQ(make_partitioner("ISP")->preferred_grain(), 2);
+  EXPECT_EQ(make_partitioner("pBD-ISP")->preferred_grain(), 4);
+}
+
+class EveryPartitioner : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EveryPartitioner, AssignsEveryCellToValidProcessor) {
+  const auto partitioner = make_partitioner(GetParam());
+  const WorkGrid grid(test_hierarchy(), partitioner->preferred_grain(),
+                      partitioner->curve());
+  const auto targets = equal_targets(16);
+  const PartitionResult result = partitioner->partition(grid, targets);
+  ASSERT_EQ(result.owners.size(), grid.cell_count());
+  EXPECT_EQ(result.owners.nprocs, 16);
+  for (int owner : result.owners.owner) {
+    EXPECT_GE(owner, 0);
+    EXPECT_LT(owner, 16);
+  }
+}
+
+TEST_P(EveryPartitioner, ConservesWork) {
+  const auto partitioner = make_partitioner(GetParam());
+  const WorkGrid grid(test_hierarchy(), partitioner->preferred_grain(),
+                      partitioner->curve());
+  const auto targets = equal_targets(8);
+  const PartitionResult result = partitioner->partition(grid, targets);
+  const auto loads = processor_loads(grid, result.owners);
+  double total = 0.0;
+  for (double load : loads) total += load;
+  EXPECT_NEAR(total, grid.total_work(), 1e-6 * grid.total_work());
+}
+
+TEST_P(EveryPartitioner, OwnershipContiguousAlongOwnCurve) {
+  const auto partitioner = make_partitioner(GetParam());
+  const WorkGrid grid(test_hierarchy(), partitioner->preferred_grain(),
+                      partitioner->curve());
+  const PartitionResult result =
+      partitioner->partition(grid, equal_targets(8));
+  // Along the partitioner's own curve order, owners must be
+  // non-decreasing (sequence partitioners produce contiguous chunks).
+  int last = -1;
+  for (std::uint32_t c : grid.order()) {
+    const int owner = result.owners.owner[c];
+    EXPECT_GE(owner, last);
+    last = owner;
+  }
+}
+
+TEST_P(EveryPartitioner, SingleProcessorGetsEverything) {
+  const auto partitioner = make_partitioner(GetParam());
+  const WorkGrid grid(test_hierarchy(), partitioner->preferred_grain(),
+                      partitioner->curve());
+  const PartitionResult result =
+      partitioner->partition(grid, equal_targets(1));
+  for (int owner : result.owners.owner) EXPECT_EQ(owner, 0);
+}
+
+TEST_P(EveryPartitioner, ReasonableBalanceOnSmoothLoad) {
+  const auto partitioner = make_partitioner(GetParam());
+  const WorkGrid grid(test_hierarchy(24, 7), partitioner->preferred_grain(),
+                      partitioner->curve());
+  const auto targets = equal_targets(8);
+  const PartitionResult result = partitioner->partition(grid, targets);
+  const PacMetrics pac = evaluate_pac(grid, result, targets);
+  // Generous bound: even the baseline SFC stays under 120% at 8 procs.
+  EXPECT_LT(pac.load_imbalance, 1.2) << partitioner->name();
+}
+
+TEST_P(EveryPartitioner, HonorsWeightedTargets) {
+  const auto partitioner = make_partitioner(GetParam());
+  const WorkGrid grid(test_hierarchy(), partitioner->preferred_grain(),
+                      partitioner->curve());
+  // One processor should get ~70% of the work.
+  const std::vector<double> targets{0.7, 0.1, 0.1, 0.1};
+  const PartitionResult result = partitioner->partition(grid, targets);
+  const auto loads = processor_loads(grid, result.owners);
+  EXPECT_GT(loads[0] / grid.total_work(), 0.5) << partitioner->name();
+}
+
+TEST_P(EveryPartitioner, DeterministicForSameInput) {
+  const auto partitioner = make_partitioner(GetParam());
+  const WorkGrid grid(test_hierarchy(), partitioner->preferred_grain(),
+                      partitioner->curve());
+  const auto targets = equal_targets(8);
+  const PartitionResult a = partitioner->partition(grid, targets);
+  const PartitionResult b = partitioner->partition(grid, targets);
+  EXPECT_EQ(a.owners.owner, b.owners.owner);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, EveryPartitioner,
+                         ::testing::Values("SFC", "ISP", "G-MISP",
+                                           "G-MISP+SP", "pBD-ISP", "SP-ISP"));
+
+
+TEST_P(EveryPartitioner, ZeroTargetProcessorGetsLittle) {
+  // A failed node's target is zeroed by the runtime; sequence splitters
+  // must route (nearly) all work elsewhere.  Greedy crossing-element
+  // choices may leave at most one boundary element behind.
+  const auto partitioner = make_partitioner(GetParam());
+  const WorkGrid grid(test_hierarchy(), partitioner->preferred_grain(),
+                      partitioner->curve());
+  const std::vector<double> targets{0.5, 0.0, 0.5, 0.0};
+  const PartitionResult result = partitioner->partition(grid, targets);
+  const auto loads = processor_loads(grid, result.owners);
+  double max_cell = 0.0;
+  for (std::size_t c = 0; c < grid.cell_count(); ++c)
+    max_cell = std::max(max_cell, grid.work(c));
+  EXPECT_LE(loads[1], max_cell + 1e-9) << partitioner->name();
+  EXPECT_LE(loads[3], max_cell + 1e-9) << partitioner->name();
+}
+
+TEST_P(EveryPartitioner, MorePartsSpreadWork) {
+  const auto partitioner = make_partitioner(GetParam());
+  const WorkGrid grid(test_hierarchy(), partitioner->preferred_grain(),
+                      partitioner->curve());
+  const auto few = processor_loads(
+      grid, partitioner->partition(grid, equal_targets(2)).owners);
+  const auto many = processor_loads(
+      grid, partitioner->partition(grid, equal_targets(16)).owners);
+  EXPECT_LT(*std::max_element(many.begin(), many.end()),
+            *std::max_element(few.begin(), few.end()));
+}
+
+TEST(OptimalVsGreedy, SpPartitionersBalanceAtLeastAsWell) {
+  const amr::GridHierarchy h = test_hierarchy(16, 11);
+  const auto targets = equal_targets(16);
+
+  const auto gmisp = make_partitioner("G-MISP");
+  const auto gmisp_sp = make_partitioner("G-MISP+SP");
+  const WorkGrid grid(h, gmisp->preferred_grain(), gmisp->curve());
+  const double greedy_imb =
+      evaluate_pac(grid, gmisp->partition(grid, targets), targets)
+          .load_imbalance;
+  const double optimal_imb =
+      evaluate_pac(grid, gmisp_sp->partition(grid, targets), targets)
+          .load_imbalance;
+  EXPECT_LE(optimal_imb, greedy_imb + 1e-9);
+}
+
+TEST(GMisp, VariableGrainUsesFewerUnitsThanFlat) {
+  const amr::GridHierarchy h = test_hierarchy();
+  const auto gmisp = make_partitioner("G-MISP");
+  const auto isp = make_partitioner("ISP");
+  const WorkGrid grid(h, 2, CurveKind::kHilbert);
+  const PartitionResult blocked = gmisp->partition(grid, equal_targets(8));
+  const PartitionResult flat = isp->partition(grid, equal_targets(8));
+  EXPECT_LT(blocked.unit_count, flat.unit_count);
+  EXPECT_EQ(flat.unit_count, grid.cell_count());
+}
+
+TEST(PartitionTimeMeasured, NonZeroAndOrdered) {
+  const amr::GridHierarchy h = test_hierarchy(24, 13);
+  const auto sp = make_partitioner("SP-ISP");
+  const auto pbd = make_partitioner("pBD-ISP");
+  const WorkGrid fine(h, 2, CurveKind::kHilbert);
+  const auto targets = equal_targets(32);
+  // Warm both paths once, then compare.
+  (void)sp->partition(fine, targets);
+  (void)pbd->partition(fine, targets);
+  const double sp_time = sp->partition(fine, targets).partition_seconds;
+  const double pbd_time = pbd->partition(fine, targets).partition_seconds;
+  EXPECT_GT(sp_time, 0.0);
+  EXPECT_GT(pbd_time, 0.0);
+  // The optimal sequence partitioner does strictly more work.
+  EXPECT_GT(sp_time, pbd_time * 0.5);
+}
+
+}  // namespace
+}  // namespace pragma::partition

@@ -1,0 +1,125 @@
+#include "pragma/partition/sfc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace pragma::partition {
+namespace {
+
+TEST(CurveBits, SmallestPowerOfTwoCover) {
+  EXPECT_EQ(curve_bits({2, 2, 2}), 1);
+  EXPECT_EQ(curve_bits({3, 2, 2}), 2);
+  EXPECT_EQ(curve_bits({32, 8, 8}), 5);
+  EXPECT_EQ(curve_bits({33, 8, 8}), 6);
+}
+
+TEST(MortonKey, OriginIsZero) {
+  EXPECT_EQ(morton_key(0, 0, 0, 5), 0u);
+}
+
+TEST(MortonKey, DistinctForDistinctCoords) {
+  std::set<std::uint64_t> keys;
+  for (std::uint32_t z = 0; z < 8; ++z)
+    for (std::uint32_t y = 0; y < 8; ++y)
+      for (std::uint32_t x = 0; x < 8; ++x)
+        keys.insert(morton_key(x, y, z, 3));
+  EXPECT_EQ(keys.size(), 512u);
+}
+
+TEST(HilbertKey, BijectiveOnCube) {
+  std::set<std::uint64_t> keys;
+  for (std::uint32_t z = 0; z < 8; ++z)
+    for (std::uint32_t y = 0; y < 8; ++y)
+      for (std::uint32_t x = 0; x < 8; ++x)
+        keys.insert(hilbert_key(x, y, z, 3));
+  EXPECT_EQ(keys.size(), 512u);
+  EXPECT_EQ(*keys.begin(), 0u);
+  EXPECT_EQ(*keys.rbegin(), 511u);  // keys form a complete 0..n-1 range
+}
+
+TEST(HilbertKey, ConsecutiveKeysAreAdjacentCells) {
+  // The Hilbert curve's defining property: consecutive visits differ by
+  // exactly one step along one axis.
+  const int bits = 3;
+  const int n = 1 << bits;
+  std::vector<std::array<int, 3>> by_rank(static_cast<std::size_t>(n * n * n));
+  for (int z = 0; z < n; ++z)
+    for (int y = 0; y < n; ++y)
+      for (int x = 0; x < n; ++x) {
+        const std::uint64_t key = hilbert_key(x, y, z, bits);
+        by_rank[key] = {x, y, z};
+      }
+  for (std::size_t rank = 1; rank < by_rank.size(); ++rank) {
+    const int dist = std::abs(by_rank[rank][0] - by_rank[rank - 1][0]) +
+                     std::abs(by_rank[rank][1] - by_rank[rank - 1][1]) +
+                     std::abs(by_rank[rank][2] - by_rank[rank - 1][2]);
+    EXPECT_EQ(dist, 1) << "rank " << rank;
+  }
+}
+
+TEST(CurveOrder, PermutationOfAllCells) {
+  for (const CurveKind kind : {CurveKind::kMorton, CurveKind::kHilbert}) {
+    const auto order = curve_order({6, 5, 4}, kind);
+    EXPECT_EQ(order.size(), 120u);
+    std::set<std::uint32_t> seen(order.begin(), order.end());
+    EXPECT_EQ(seen.size(), 120u);
+    EXPECT_EQ(*seen.rbegin(), 119u);
+  }
+}
+
+TEST(CurveOrder, EmptyLatticeThrows) {
+  EXPECT_THROW(curve_order({0, 4, 4}, CurveKind::kHilbert),
+               std::invalid_argument);
+}
+
+TEST(CurveOrder, MemoizedCallsAgree) {
+  const auto a = curve_order({16, 8, 8}, CurveKind::kHilbert);
+  const auto b = curve_order({16, 8, 8}, CurveKind::kHilbert);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CurveOrder, HilbertLocalityBeatsRowMajor) {
+  // Average index-space distance between consecutive curve positions must
+  // be small (1 for a perfect Hilbert traversal of a cube; slightly more
+  // on a non-cubic lattice with skips).
+  const amr::IntVec3 dims{16, 8, 8};
+  const auto order = curve_order(dims, CurveKind::kHilbert);
+  auto coords = [&](std::uint32_t linear) {
+    return std::array<int, 3>{
+        static_cast<int>(linear % dims.x),
+        static_cast<int>((linear / dims.x) % dims.y),
+        static_cast<int>(linear / (dims.x * dims.y))};
+  };
+  double total = 0.0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const auto a = coords(order[i - 1]);
+    const auto b = coords(order[i]);
+    total += std::abs(a[0] - b[0]) + std::abs(a[1] - b[1]) +
+             std::abs(a[2] - b[2]);
+  }
+  const double mean_jump = total / static_cast<double>(order.size() - 1);
+  EXPECT_LT(mean_jump, 1.6);
+}
+
+TEST(CurveOrder, OctantBlocksAreContiguousRuns) {
+  // Cells of an aligned power-of-two block occupy consecutive positions in
+  // the curve order (the property G-MISP's variable-grain blocks rely on).
+  const amr::IntVec3 dims{8, 8, 8};
+  const auto order = curve_order(dims, CurveKind::kHilbert);
+  // Check the block [0,4)^3.
+  std::vector<std::size_t> ranks;
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const std::uint32_t linear = order[rank];
+    const int x = static_cast<int>(linear % 8);
+    const int y = static_cast<int>((linear / 8) % 8);
+    const int z = static_cast<int>(linear / 64);
+    if (x < 4 && y < 4 && z < 4) ranks.push_back(rank);
+  }
+  ASSERT_EQ(ranks.size(), 64u);
+  EXPECT_EQ(ranks.back() - ranks.front(), 63u);
+}
+
+}  // namespace
+}  // namespace pragma::partition

@@ -1,0 +1,266 @@
+#include "pragma/partition/splitters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "pragma/util/rng.hpp"
+
+namespace pragma::partition {
+namespace {
+
+/// Exhaustive optimal bottleneck for contiguous partitioning (reference).
+double brute_force_bottleneck(const std::vector<double>& weights,
+                              const std::vector<double>& targets) {
+  const std::size_t n = weights.size();
+  const std::size_t p = targets.size();
+  double best = std::numeric_limits<double>::infinity();
+  // Enumerate all break vectors via p-1 cut positions in [0, n].
+  std::vector<std::size_t> cuts(p - 1, 0);
+  while (true) {
+    bool valid = true;
+    for (std::size_t i = 1; i < cuts.size(); ++i)
+      if (cuts[i] < cuts[i - 1]) valid = false;
+    if (valid) {
+      Breaks breaks;
+      breaks.push_back(0);
+      for (std::size_t cut : cuts) breaks.push_back(cut);
+      breaks.push_back(n);
+      best = std::min(best, bottleneck(weights, breaks, targets));
+    }
+    // Odometer increment.
+    std::size_t i = 0;
+    for (; i < cuts.size(); ++i) {
+      if (cuts[i] < n) {
+        ++cuts[i];
+        for (std::size_t j = 0; j < i; ++j) cuts[j] = cuts[i];
+        break;
+      }
+    }
+    if (i == cuts.size()) break;
+  }
+  return best;
+}
+
+bool valid_breaks(const Breaks& breaks, std::size_t n, std::size_t p) {
+  if (breaks.size() != p + 1) return false;
+  if (breaks.front() != 0 || breaks.back() != n) return false;
+  for (std::size_t i = 1; i < breaks.size(); ++i)
+    if (breaks[i] < breaks[i - 1]) return false;
+  return true;
+}
+
+TEST(ChunkLoads, SumsWithinBreaks) {
+  const std::vector<double> weights{1, 2, 3, 4, 5};
+  const Breaks breaks{0, 2, 5};
+  const auto loads = chunk_loads(weights, breaks);
+  EXPECT_DOUBLE_EQ(loads[0], 3.0);
+  EXPECT_DOUBLE_EQ(loads[1], 12.0);
+}
+
+TEST(Bottleneck, PerfectSplitIsOne) {
+  const std::vector<double> weights{1, 1, 1, 1};
+  const Breaks breaks{0, 2, 4};
+  EXPECT_DOUBLE_EQ(bottleneck(weights, breaks, equal_targets(2)), 1.0);
+}
+
+TEST(Bottleneck, ZeroTargetWithLoadIsInfinite) {
+  const std::vector<double> weights{1, 1};
+  const Breaks breaks{0, 1, 2};
+  const std::vector<double> targets{0.0, 1.0};
+  EXPECT_TRUE(std::isinf(bottleneck(weights, breaks, targets)));
+}
+
+TEST(GreedySplit, UniformWeightsEqualChunks) {
+  const std::vector<double> weights(12, 1.0);
+  const Breaks breaks = greedy_split(weights, equal_targets(4));
+  ASSERT_TRUE(valid_breaks(breaks, 12, 4));
+  const auto loads = chunk_loads(weights, breaks);
+  for (double load : loads) EXPECT_DOUBLE_EQ(load, 3.0);
+}
+
+TEST(GreedySplit, WeightedTargetsRespected) {
+  const std::vector<double> weights(100, 1.0);
+  const std::vector<double> targets{0.1, 0.4, 0.5};
+  const Breaks breaks = greedy_split(weights, targets);
+  const auto loads = chunk_loads(weights, breaks);
+  EXPECT_NEAR(loads[0], 10.0, 1.0);
+  EXPECT_NEAR(loads[1], 40.0, 1.0);
+  EXPECT_NEAR(loads[2], 50.0, 1.0);
+}
+
+TEST(GreedySplit, EmptySequenceAllEmptyChunks) {
+  const std::vector<double> weights;
+  const Breaks breaks = greedy_split(weights, equal_targets(3));
+  EXPECT_TRUE(valid_breaks(breaks, 0, 3));
+}
+
+TEST(GreedySplit, MorePartsThanElements) {
+  const std::vector<double> weights{5.0, 5.0};
+  const Breaks breaks = greedy_split(weights, equal_targets(4));
+  ASSERT_TRUE(valid_breaks(breaks, 2, 4));
+  const auto loads = chunk_loads(weights, breaks);
+  EXPECT_DOUBLE_EQ(*std::max_element(loads.begin(), loads.end()), 5.0);
+}
+
+TEST(GreedySplit, NoProcessorsThrows) {
+  EXPECT_THROW(greedy_split(std::vector<double>{1.0}, {}),
+               std::invalid_argument);
+}
+
+TEST(GreedySplit, NegativeTargetThrows) {
+  const std::vector<double> targets{0.5, -0.5};
+  EXPECT_THROW(greedy_split(std::vector<double>{1.0}, targets),
+               std::invalid_argument);
+}
+
+TEST(PlainGreedySplit, SurplusAccumulatesToTail) {
+  // Heavy atoms: plain greedy overfills early chunks and starves the tail;
+  // adaptive greedy corrects goals as it goes.
+  const std::vector<double> weights{3.0, 3.0, 3.0, 3.0, 3.0, 3.0};
+  const Breaks plain = plain_greedy_split(weights, equal_targets(4));
+  const Breaks adaptive = greedy_split(weights, equal_targets(4));
+  const double plain_max = bottleneck(weights, plain, equal_targets(4));
+  const double adaptive_max =
+      bottleneck(weights, adaptive, equal_targets(4));
+  EXPECT_LE(adaptive_max, plain_max + 1e-12);
+}
+
+TEST(OptimalSplit, MatchesBruteForceOnSmallInstances) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 5));
+    const std::size_t p = 2 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    std::vector<double> weights(n);
+    for (double& w : weights) w = rng.uniform(0.1, 3.0);
+    const auto targets = equal_targets(p);
+    const Breaks breaks = optimal_split(weights, targets);
+    ASSERT_TRUE(valid_breaks(breaks, n, p));
+    const double mine = bottleneck(weights, breaks, targets);
+    const double best = brute_force_bottleneck(weights, targets);
+    EXPECT_LE(mine, best * (1.0 + 1e-6)) << "trial " << trial;
+  }
+}
+
+TEST(OptimalSplit, MatchesBruteForceWithWeightedTargets) {
+  util::Rng rng(37);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 5 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    std::vector<double> weights(n);
+    for (double& w : weights) w = rng.uniform(0.1, 2.0);
+    std::vector<double> targets{rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0),
+                                rng.uniform(0.1, 1.0)};
+    double tsum = targets[0] + targets[1] + targets[2];
+    for (double& t : targets) t /= tsum;
+    const Breaks breaks = optimal_split(weights, targets);
+    const double mine = bottleneck(weights, breaks, targets);
+    const double best = brute_force_bottleneck(weights, targets);
+    EXPECT_LE(mine, best * (1.0 + 1e-6)) << "trial " << trial;
+  }
+}
+
+TEST(OptimalSplit, NeverWorseThanGreedy) {
+  util::Rng rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> weights(64);
+    for (double& w : weights) w = rng.uniform(0.0, 4.0);
+    const auto targets = equal_targets(8);
+    const double greedy =
+        bottleneck(weights, greedy_split(weights, targets), targets);
+    const double optimal =
+        bottleneck(weights, optimal_split(weights, targets), targets);
+    EXPECT_LE(optimal, greedy * (1.0 + 1e-9));
+  }
+}
+
+TEST(OptimalSplit, AllZeroWeights) {
+  const std::vector<double> weights(10, 0.0);
+  const Breaks breaks = optimal_split(weights, equal_targets(3));
+  EXPECT_TRUE(valid_breaks(breaks, 10, 3));
+}
+
+
+TEST(OptimalSplit, AllZeroTargetsFallBackGracefully) {
+  // Degenerate target vectors (e.g. every node reported dead) must not
+  // hang the bottleneck search.
+  const std::vector<double> weights{1.0, 2.0, 3.0};
+  const std::vector<double> targets{0.0, 0.0, 0.0};
+  const Breaks breaks = optimal_split(weights, targets);
+  EXPECT_TRUE(valid_breaks(breaks, 3, 3));
+}
+
+TEST(DissectionSplit, PowerOfTwoUniformIsExact) {
+  const std::vector<double> weights(64, 1.0);
+  const Breaks breaks = dissection_split(weights, equal_targets(8));
+  ASSERT_TRUE(valid_breaks(breaks, 64, 8));
+  const auto loads = chunk_loads(weights, breaks);
+  for (double load : loads) EXPECT_DOUBLE_EQ(load, 8.0);
+}
+
+TEST(DissectionSplit, NonPowerOfTwoParts) {
+  const std::vector<double> weights(60, 1.0);
+  const Breaks breaks = dissection_split(weights, equal_targets(6));
+  ASSERT_TRUE(valid_breaks(breaks, 60, 6));
+  const double worst = bottleneck(weights, breaks, equal_targets(6));
+  EXPECT_LT(worst, 1.2);
+}
+
+TEST(DissectionSplit, SinglePartTakesEverything) {
+  const std::vector<double> weights{1.0, 2.0, 3.0};
+  const Breaks breaks = dissection_split(weights, equal_targets(1));
+  ASSERT_TRUE(valid_breaks(breaks, 3, 1));
+  EXPECT_DOUBLE_EQ(chunk_loads(weights, breaks)[0], 6.0);
+}
+
+TEST(DissectionSplit, WeightedTargetsFollowed) {
+  const std::vector<double> weights(100, 1.0);
+  const std::vector<double> targets{0.25, 0.25, 0.5};
+  const Breaks breaks = dissection_split(weights, targets);
+  const auto loads = chunk_loads(weights, breaks);
+  EXPECT_NEAR(loads[2], 50.0, 2.0);
+}
+
+TEST(EqualTargets, SumToOne) {
+  const auto targets = equal_targets(7);
+  double total = 0.0;
+  for (double t : targets) total += t;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+// Property sweep over all three splitters: breaks are always structurally
+// valid and conserve the total weight.
+class SplitterProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SplitterProperty, ValidAndConservative) {
+  const auto [seed, p] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<double> weights(128);
+  for (double& w : weights) w = rng.uniform(0.0, 2.0);
+  const auto targets = equal_targets(static_cast<std::size_t>(p));
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  using SplitterFn = Breaks (*)(std::span<const double>,
+                                std::span<const double>);
+  const SplitterFn splitters[] = {&greedy_split, &plain_greedy_split,
+                                  &optimal_split, &dissection_split};
+  for (SplitterFn splitter : splitters) {
+    const Breaks breaks = (*splitter)(weights, targets);
+    ASSERT_TRUE(valid_breaks(breaks, weights.size(),
+                             static_cast<std::size_t>(p)));
+    const auto loads = chunk_loads(weights, breaks);
+    const double assigned =
+        std::accumulate(loads.begin(), loads.end(), 0.0);
+    EXPECT_NEAR(assigned, total, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SplitterProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(1, 2, 7, 16, 64)));
+
+}  // namespace
+}  // namespace pragma::partition

@@ -1,0 +1,113 @@
+#include "pragma/partition/workgrid.hpp"
+
+#include <gtest/gtest.h>
+
+// EXPECT_THROW intentionally discards nodiscard results.
+#pragma GCC diagnostic ignored "-Wunused-result"
+
+#include "pragma/amr/synthetic.hpp"
+
+namespace pragma::partition {
+namespace {
+
+amr::GridHierarchy simple_hierarchy() {
+  amr::GridHierarchy h({16, 8, 8}, 2, 3);
+  h.set_level_boxes(1, {amr::Box({0, 0, 0}, {8, 8, 8})});     // L1 space
+  h.set_level_boxes(2, {amr::Box({0, 0, 0}, {8, 8, 8})});     // L2 space
+  return h;
+}
+
+TEST(WorkGrid, LatticeDimsFromGrain) {
+  const WorkGrid grid(simple_hierarchy(), 4);
+  EXPECT_EQ(grid.lattice_dims(), (amr::IntVec3{4, 2, 2}));
+  EXPECT_EQ(grid.cell_count(), 16u);
+  EXPECT_EQ(grid.grain(), 4);
+}
+
+TEST(WorkGrid, BadGrainThrows) {
+  EXPECT_THROW(WorkGrid(simple_hierarchy(), 0), std::invalid_argument);
+}
+
+TEST(WorkGrid, TotalWorkMatchesHierarchy) {
+  const amr::GridHierarchy h = simple_hierarchy();
+  const WorkGrid grid(h, 2);
+  EXPECT_NEAR(grid.total_work(), h.total_work(), 1e-9);
+}
+
+TEST(WorkGrid, WorkConcentratedOverRefinement) {
+  const WorkGrid grid(simple_hierarchy(), 4);
+  // Level-1 box covers L0 region [0,4)^3: grain cell (0,0,0).
+  const double refined = grid.work(grid.linear({0, 0, 0}));
+  const double coarse = grid.work(grid.linear({3, 1, 1}));
+  EXPECT_GT(refined, coarse * 5.0);
+}
+
+TEST(WorkGrid, LevelsPresentBitmask) {
+  const WorkGrid grid(simple_hierarchy(), 4);
+  // Refined corner: levels 0, 1 and 2 present.
+  EXPECT_EQ(grid.levels_present(grid.linear({0, 0, 0})), 0b111u);
+  // Far corner: only the base level.
+  EXPECT_EQ(grid.levels_present(grid.linear({3, 1, 1})), 0b001u);
+}
+
+TEST(WorkGrid, StoragePositiveEverywhere) {
+  const WorkGrid grid(simple_hierarchy(), 4);
+  for (std::size_t c = 0; c < grid.cell_count(); ++c)
+    EXPECT_GT(grid.storage(c), 0.0);
+}
+
+TEST(WorkGrid, SequenceMatchesOrder) {
+  const WorkGrid grid(simple_hierarchy(), 4);
+  const auto& order = grid.order();
+  const auto& sequence = grid.sequence();
+  ASSERT_EQ(order.size(), sequence.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank)
+    EXPECT_DOUBLE_EQ(sequence[rank], grid.work(order[rank]));
+}
+
+TEST(WorkGrid, SequenceSumEqualsTotalWork) {
+  const WorkGrid grid(simple_hierarchy(), 2);
+  double total = 0.0;
+  for (double w : grid.sequence()) total += w;
+  EXPECT_NEAR(total, grid.total_work(), 1e-9);
+}
+
+TEST(WorkGrid, CoordsRoundTrip) {
+  const WorkGrid grid(simple_hierarchy(), 4);
+  for (std::size_t c = 0; c < grid.cell_count(); ++c)
+    EXPECT_EQ(grid.linear(grid.coords(c)), c);
+}
+
+TEST(WorkGrid, CellBoxCoversGrainCube) {
+  const WorkGrid grid(simple_hierarchy(), 4);
+  const amr::Box box = grid.cell_box(grid.linear({1, 0, 1}));
+  EXPECT_EQ(box, amr::Box({4, 0, 4}, {8, 4, 8}));
+}
+
+TEST(WorkGrid, NonDividingGrainRoundsUp) {
+  amr::GridHierarchy h({10, 6, 6}, 2, 2);
+  const WorkGrid grid(h, 4);
+  EXPECT_EQ(grid.lattice_dims(), (amr::IntVec3{3, 2, 2}));
+}
+
+TEST(WorkGrid, FinerGrainPreservesTotals) {
+  amr::SyntheticConfig config;
+  config.box_count = 10;
+  amr::SyntheticAppGenerator generator(config);
+  const amr::GridHierarchy h = generator.build_hierarchy();
+  const WorkGrid coarse(h, 8);
+  const WorkGrid fine(h, 2);
+  EXPECT_NEAR(coarse.total_work(), fine.total_work(),
+              1e-9 * fine.total_work());
+}
+
+TEST(WorkGrid, MortonAndHilbertSameWorkDifferentOrder) {
+  const amr::GridHierarchy h = simple_hierarchy();
+  const WorkGrid morton(h, 2, CurveKind::kMorton);
+  const WorkGrid hilbert(h, 2, CurveKind::kHilbert);
+  EXPECT_NEAR(morton.total_work(), hilbert.total_work(), 1e-9);
+  EXPECT_NE(morton.order(), hilbert.order());
+}
+
+}  // namespace
+}  // namespace pragma::partition

@@ -1,0 +1,98 @@
+#include "pragma/perf/app_model.hpp"
+
+#include <gtest/gtest.h>
+
+// EXPECT_THROW intentionally discards nodiscard results.
+#pragma GCC diagnostic ignored "-Wunused-result"
+
+#include <cmath>
+
+#include "pragma/util/rng.hpp"
+
+namespace pragma::perf {
+namespace {
+
+std::vector<AppSample> synthetic_samples(double serial, double parallel,
+                                         double surface, double sync,
+                                         double noise = 0.0,
+                                         std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  std::vector<AppSample> samples;
+  for (std::size_t p : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const double t = serial + parallel / static_cast<double>(p) +
+                     surface * std::pow(static_cast<double>(p), -2.0 / 3.0) +
+                     sync * std::log2(static_cast<double>(p));
+    samples.push_back(
+        {p, t * (1.0 + (noise > 0.0 ? rng.normal(0.0, noise) : 0.0))});
+  }
+  return samples;
+}
+
+TEST(ScalabilityPf, FitValidation) {
+  std::vector<AppSample> too_few{{1, 1.0}, {2, 0.6}, {4, 0.4}};
+  EXPECT_THROW(ScalabilityPf::fit(too_few), std::invalid_argument);
+  std::vector<AppSample> zero{{0, 1.0}, {2, 1.0}, {4, 1.0}, {8, 1.0}};
+  EXPECT_THROW(ScalabilityPf::fit(zero), std::invalid_argument);
+}
+
+TEST(ScalabilityPf, RecoversExactModel) {
+  const auto samples = synthetic_samples(0.1, 8.0, 1.0, 0.02);
+  const ScalabilityPf pf = ScalabilityPf::fit(samples);
+  EXPECT_LT(pf.training_error(), 1e-9);
+  for (const AppSample& sample : samples)
+    EXPECT_NEAR(pf.predict(sample.procs), sample.step_time_s,
+                1e-9 * sample.step_time_s);
+}
+
+TEST(ScalabilityPf, InterpolatesUnseenCounts) {
+  const auto samples = synthetic_samples(0.1, 8.0, 1.0, 0.02);
+  const ScalabilityPf pf = ScalabilityPf::fit(samples);
+  // True value at p = 24 (never in the training set).
+  const double truth = 0.1 + 8.0 / 24.0 + std::pow(24.0, -2.0 / 3.0) +
+                       0.02 * std::log2(24.0);
+  EXPECT_NEAR(pf.predict(24), truth, 0.02 * truth);
+}
+
+TEST(ScalabilityPf, RobustToMeasurementNoise) {
+  const auto samples = synthetic_samples(0.1, 8.0, 1.0, 0.02, 0.03, 7);
+  const ScalabilityPf pf = ScalabilityPf::fit(samples);
+  EXPECT_LT(pf.training_error(), 0.1);
+  const double truth = 0.1 + 8.0 / 48.0 + std::pow(48.0, -2.0 / 3.0) +
+                       0.02 * std::log2(48.0);
+  EXPECT_NEAR(pf.predict(48), truth, 0.15 * truth);
+}
+
+TEST(ScalabilityPf, SpeedupAndEfficiency) {
+  // Perfectly parallel work: speedup == p, efficiency == 1.
+  std::vector<AppSample> ideal;
+  for (std::size_t p : {1u, 2u, 4u, 8u, 16u})
+    ideal.push_back({p, 16.0 / static_cast<double>(p)});
+  const ScalabilityPf pf = ScalabilityPf::fit(ideal);
+  EXPECT_NEAR(pf.speedup(8, 1), 8.0, 0.1);
+  EXPECT_NEAR(pf.efficiency(8, 1), 1.0, 0.02);
+}
+
+TEST(ScalabilityPf, RecommendsKneeOfTheCurve) {
+  // Heavy sync term: adding processors beyond a point is useless, so the
+  // recommendation must land well below max_procs.
+  const auto samples = synthetic_samples(0.05, 4.0, 0.0, 0.05);
+  const ScalabilityPf pf = ScalabilityPf::fit(samples);
+  const std::size_t recommended = pf.recommend_processors(256, 0.05);
+  EXPECT_LT(recommended, 128u);
+  EXPECT_GT(recommended, 4u);
+  // And it is indeed within 5% of the best predicted time.
+  double best = pf.predict(1);
+  for (std::size_t p = 2; p <= 256; ++p)
+    best = std::min(best, pf.predict(p));
+  EXPECT_LE(pf.predict(recommended), best * 1.05 + 1e-12);
+}
+
+TEST(ScalabilityPf, PredictValidation) {
+  const auto samples = synthetic_samples(0.1, 8.0, 1.0, 0.02);
+  const ScalabilityPf pf = ScalabilityPf::fit(samples);
+  EXPECT_THROW(pf.predict(0), std::invalid_argument);
+  EXPECT_THROW(pf.recommend_processors(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pragma::perf

@@ -1,0 +1,175 @@
+#include "pragma/perf/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pragma/util/rng.hpp"
+
+namespace pragma::perf {
+namespace {
+
+TEST(PolyExpPf, EvaluatesHornerPolynomial) {
+  const PolyExpPf pf({1.0, 2.0, 3.0}, 0.0, 0.0);  // 1 + 2x + 3x^2
+  EXPECT_DOUBLE_EQ(pf.evaluate(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(pf.evaluate(2.0), 17.0);
+}
+
+TEST(PolyExpPf, ExponentialTerm) {
+  const PolyExpPf pf({0.0}, 2.0, 1.0);  // 2 e^x
+  EXPECT_NEAR(pf.evaluate(1.0), 2.0 * std::exp(1.0), 1e-12);
+}
+
+TEST(PolyExpPf, CloneIsEqualFunction) {
+  const PolyExpPf pf({1.0, -0.5}, 0.3, -2.0, "orig");
+  const auto clone = pf.clone();
+  for (double x : {0.0, 0.5, 2.0, 10.0})
+    EXPECT_DOUBLE_EQ(clone->evaluate(x), pf.evaluate(x));
+  EXPECT_EQ(clone->name(), "orig");
+}
+
+TEST(CompositePf, SumsComponents) {
+  CompositePf composite;
+  composite.add(std::make_unique<PolyExpPf>(std::vector<double>{1.0}, 0.0,
+                                            0.0));
+  composite.add(std::make_unique<PolyExpPf>(std::vector<double>{0.0, 2.0},
+                                            0.0, 0.0));
+  EXPECT_DOUBLE_EQ(composite.evaluate(3.0), 7.0);  // 1 + 2*3
+  EXPECT_EQ(composite.components(), 2u);
+}
+
+TEST(CompositePf, NullComponentThrows) {
+  CompositePf composite;
+  EXPECT_THROW(composite.add(nullptr), std::invalid_argument);
+}
+
+TEST(CompositePf, CloneDeepCopies) {
+  CompositePf composite("e2e");
+  composite.add(std::make_unique<PolyExpPf>(std::vector<double>{5.0}, 0.0,
+                                            0.0));
+  const auto clone = composite.clone();
+  EXPECT_DOUBLE_EQ(clone->evaluate(1.0), 5.0);
+  EXPECT_EQ(clone->name(), "e2e");
+}
+
+TEST(RelativeErrors, ComputesPerPoint) {
+  const PolyExpPf pf({0.0, 1.0}, 0.0, 0.0);  // y = x
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> measured{2.0, 2.0};
+  const std::vector<double> errors = relative_errors(pf, xs, measured);
+  EXPECT_DOUBLE_EQ(errors[0], 0.5);   // |1-2|/2
+  EXPECT_DOUBLE_EQ(errors[1], 0.0);
+}
+
+TEST(FitPolyExp, RecoversExactQuadratic) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 20; ++i) {
+    const double v = 10.0 * i;
+    x.push_back(v);
+    y.push_back(3.0 + 0.5 * v + 0.02 * v * v);
+  }
+  PolyExpFitOptions options;
+  options.degree = 2;
+  const auto pf = fit_poly_exp(x, y, options);
+  for (double v : {5.0, 55.0, 155.0})
+    EXPECT_NEAR(pf->evaluate(v), 3.0 + 0.5 * v + 0.02 * v * v,
+                1e-6 * (1.0 + std::abs(v)));
+}
+
+TEST(FitPolyExp, RecoversCoefficientsUpToScaling) {
+  std::vector<double> x{0.0, 1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y;
+  for (double v : x) y.push_back(1.0 + 2.0 * v);
+  PolyExpFitOptions options;
+  options.degree = 1;
+  const auto pf = fit_poly_exp(x, y, options);
+  ASSERT_EQ(pf->poly().size(), 2u);
+  EXPECT_NEAR(pf->poly()[0], 1.0, 1e-8);
+  EXPECT_NEAR(pf->poly()[1], 2.0, 1e-8);
+}
+
+TEST(FitPolyExp, CapturesExponentialComponent) {
+  // y = 0.1 x + 4 e^{0.002 x}: a pure low-degree polynomial fit struggles,
+  // the exp-enabled fit should do clearly better.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 30; ++i) {
+    const double v = 40.0 * i;
+    x.push_back(v);
+    y.push_back(0.1 * v + 4.0 * std::exp(0.002 * v));
+  }
+  PolyExpFitOptions no_exp;
+  no_exp.degree = 1;
+  no_exp.with_exponential = false;
+  PolyExpFitOptions with_exp = no_exp;
+  with_exp.with_exponential = true;
+  const auto plain = fit_poly_exp(x, y, no_exp);
+  const auto exp_fit = fit_poly_exp(x, y, with_exp);
+  EXPECT_LT(residual_ss(*exp_fit, x, y), residual_ss(*plain, x, y) * 0.05);
+}
+
+TEST(FitPolyExp, NoisyFitStaysClose) {
+  util::Rng rng(3);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 40; ++i) {
+    const double v = 25.0 * i;
+    x.push_back(v);
+    y.push_back((5.0 + 0.3 * v) * (1.0 + rng.normal(0.0, 0.02)));
+  }
+  PolyExpFitOptions options;
+  options.degree = 1;
+  const auto pf = fit_poly_exp(x, y, options);
+  for (double v : {100.0, 500.0, 900.0}) {
+    const double truth = 5.0 + 0.3 * v;
+    EXPECT_NEAR(pf->evaluate(v), truth, truth * 0.05);
+  }
+}
+
+TEST(FitPolyExp, SizeMismatchThrows) {
+  EXPECT_THROW(fit_poly_exp({1.0, 2.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(FitPolyExp, TooFewSamplesThrows) {
+  PolyExpFitOptions options;
+  options.degree = 3;
+  EXPECT_THROW(fit_poly_exp({1.0, 2.0}, {1.0, 2.0}, options),
+               std::invalid_argument);
+}
+
+TEST(ResidualSs, ZeroForPerfectModel) {
+  const PolyExpPf pf({0.0, 1.0}, 0.0, 0.0);
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(residual_ss(pf, x, x), 0.0);
+}
+
+// Property sweep: the fitted polynomial's residual never exceeds that of
+// the true generator for random polynomial data (LS optimality).
+class FitOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(FitOptimality, BeatsOrMatchesGenerator) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const double a0 = rng.uniform(-2.0, 2.0);
+  const double a1 = rng.uniform(-0.1, 0.1);
+  const double a2 = rng.uniform(-0.001, 0.001);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 25; ++i) {
+    const double v = 30.0 * i;
+    x.push_back(v);
+    y.push_back(a0 + a1 * v + a2 * v * v + rng.normal(0.0, 0.05));
+  }
+  PolyExpFitOptions options;
+  options.degree = 2;
+  const auto fitted = fit_poly_exp(x, y, options);
+  const PolyExpPf generator({a0, a1, a2}, 0.0, 0.0);
+  EXPECT_LE(residual_ss(*fitted, x, y),
+            residual_ss(generator, x, y) * (1.0 + 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FitOptimality,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace pragma::perf

@@ -1,0 +1,165 @@
+#include "pragma/perf/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+// EXPECT_THROW intentionally discards nodiscard results.
+#pragma GCC diagnostic ignored "-Wunused-result"
+
+#include <cmath>
+
+#include "pragma/util/rng.hpp"
+
+namespace pragma::perf {
+namespace {
+
+TEST(MatrixTest, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m(2, 3);
+  int k = 0;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = ++k;
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(t(c, r), m(r, c));
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a(2, 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    a(0, c) = 1.0;
+    a(1, c) = static_cast<double>(c);
+  }
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  const std::vector<double> out = a.multiply(v);
+  EXPECT_DOUBLE_EQ(out[0], 6.0);
+  EXPECT_DOUBLE_EQ(out[1], 8.0);
+}
+
+TEST(MatrixTest, ShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+  EXPECT_THROW(a.multiply(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(SolveTest, IdentityReturnsRhs) {
+  Matrix eye(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) eye(i, i) = 1.0;
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  const std::vector<double> x = solve(eye, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], b[i], 1e-12);
+}
+
+TEST(SolveTest, RandomSystemRoundTrips) {
+  util::Rng rng(5);
+  const std::size_t n = 8;
+  Matrix a(n, n);
+  std::vector<double> x_true(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    x_true[r] = rng.uniform(-2.0, 2.0);
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += 4.0;  // diagonally dominant => well-conditioned
+  }
+  const std::vector<double> b = a.multiply(x_true);
+  const std::vector<double> x = solve(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(SolveTest, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const std::vector<double> x = solve(a, {3.0, 4.0});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveTest, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW(solve(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(SolveTest, NonSquareThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve(a, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(LeastSquaresTest, ExactFitWhenConsistent) {
+  // y = 2 + 3x sampled without noise; LS must recover exactly.
+  const std::size_t n = 10;
+  Matrix a(n, 2);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    a(i, 0) = 1.0;
+    a(i, 1) = x;
+    b[i] = 2.0 + 3.0 * x;
+  }
+  const std::vector<double> coeffs = least_squares(a, b);
+  EXPECT_NEAR(coeffs[0], 2.0, 1e-9);
+  EXPECT_NEAR(coeffs[1], 3.0, 1e-9);
+}
+
+TEST(LeastSquaresTest, OverdeterminedMinimizesResidual) {
+  // Three points not on a line; LS line is the classical regression.
+  Matrix a(3, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = static_cast<double>(i);
+  }
+  const std::vector<double> b{0.0, 1.0, 1.0};
+  const std::vector<double> coeffs = least_squares(a, b);
+  EXPECT_NEAR(coeffs[1], 0.5, 1e-9);           // slope
+  EXPECT_NEAR(coeffs[0], 1.0 / 6.0, 1e-9);     // intercept
+}
+
+TEST(LeastSquaresTest, RidgeShrinksCoefficients) {
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = static_cast<double>(i);
+    b[i] = 10.0 * static_cast<double>(i);
+  }
+  const std::vector<double> plain = least_squares(a, b, 0.0);
+  const std::vector<double> ridged = least_squares(a, b, 10.0);
+  EXPECT_LT(std::abs(ridged[1]), std::abs(plain[1]));
+}
+
+}  // namespace
+}  // namespace pragma::perf

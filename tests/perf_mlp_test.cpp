@@ -1,0 +1,129 @@
+#include "pragma/perf/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+// EXPECT_THROW intentionally discards nodiscard results.
+#pragma GCC diagnostic ignored "-Wunused-result"
+
+#include <cmath>
+
+#include "pragma/util/rng.hpp"
+
+namespace pragma::perf {
+namespace {
+
+TEST(Mlp, RejectsZeroInputs) {
+  EXPECT_THROW(Mlp(0, {}), std::invalid_argument);
+}
+
+TEST(Mlp, RejectsBadTrainingShapes) {
+  Mlp mlp(2, {});
+  EXPECT_THROW(mlp.train({}, {}), std::invalid_argument);
+  EXPECT_THROW(mlp.train({{1.0}}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(mlp.train({{1.0, 2.0}}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Mlp, RejectsBadPredictShape) {
+  Mlp mlp(2, {});
+  EXPECT_THROW(mlp.predict({1.0}), std::invalid_argument);
+}
+
+TEST(Mlp, LearnsLinearFunction) {
+  MlpConfig config;
+  config.epochs = 1500;
+  Mlp mlp(1, config);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 20; ++i) {
+    const double v = static_cast<double>(i);
+    x.push_back({v});
+    y.push_back(2.0 * v + 1.0);
+  }
+  const double rmse = mlp.train(x, y);
+  EXPECT_LT(rmse, 0.5);
+  EXPECT_NEAR(mlp.predict1(10.5), 22.0, 1.0);
+}
+
+TEST(Mlp, LearnsSmoothNonlinearCurve) {
+  MlpConfig config;
+  config.epochs = 2500;
+  config.hidden = {12, 12};
+  Mlp mlp(1, config);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 40; ++i) {
+    const double v = i / 40.0;
+    x.push_back({v});
+    y.push_back(std::sin(3.0 * v) + 0.5 * v * v);
+  }
+  const double rmse = mlp.train(x, y);
+  EXPECT_LT(rmse, 0.05);
+  // Interpolation between training points.
+  const double v = 0.512;
+  EXPECT_NEAR(mlp.predict1(v), std::sin(3.0 * v) + 0.5 * v * v, 0.1);
+}
+
+TEST(Mlp, LearnsTwoInputFunction) {
+  MlpConfig config;
+  config.epochs = 2500;
+  Mlp mlp(2, config);
+  util::Rng rng(4);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 80; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    x.push_back({a, b});
+    y.push_back(a + 2.0 * b);
+  }
+  const double rmse = mlp.train(x, y);
+  EXPECT_LT(rmse, 0.1);
+  EXPECT_NEAR(mlp.predict({0.5, 0.5}), 1.5, 0.25);
+}
+
+TEST(Mlp, DeterministicForSameSeed) {
+  auto train_once = [] {
+    MlpConfig config;
+    config.epochs = 300;
+    Mlp mlp(1, config);
+    std::vector<std::vector<double>> x{{0.0}, {1.0}, {2.0}, {3.0}};
+    std::vector<double> y{0.0, 1.0, 4.0, 9.0};
+    mlp.train(x, y);
+    return mlp.predict1(1.5);
+  };
+  EXPECT_DOUBLE_EQ(train_once(), train_once());
+}
+
+TEST(Mlp, AsPfWrapsNetwork) {
+  MlpConfig config;
+  config.epochs = 800;
+  Mlp mlp(1, config);
+  std::vector<std::vector<double>> x{{0.0}, {1.0}, {2.0}, {3.0}, {4.0}};
+  std::vector<double> y{1.0, 3.0, 5.0, 7.0, 9.0};
+  mlp.train(x, y);
+  const auto pf = mlp.as_pf("net");
+  EXPECT_EQ(pf->name(), "net");
+  EXPECT_DOUBLE_EQ(pf->evaluate(2.0), mlp.predict1(2.0));
+}
+
+TEST(Mlp, AsPfRequiresOneInput) {
+  Mlp mlp(2, {});
+  EXPECT_THROW(mlp.as_pf("bad"), std::logic_error);
+}
+
+TEST(FitMlpPf, OneCallHelperFitsCurve) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 20; ++i) {
+    x.push_back(50.0 * i);
+    y.push_back(1e-4 + 2e-7 * (50.0 * i));
+  }
+  MlpConfig config;
+  config.epochs = 1500;
+  const auto pf = fit_mlp_pf(x, y, config);
+  const double truth = 1e-4 + 2e-7 * 525.0;
+  EXPECT_NEAR(pf->evaluate(525.0), truth, truth * 0.1);
+}
+
+}  // namespace
+}  // namespace pragma::perf

@@ -1,0 +1,112 @@
+#include "pragma/perf/netsys.hpp"
+
+#include <gtest/gtest.h>
+
+// EXPECT_THROW intentionally discards nodiscard results.
+#pragma GCC diagnostic ignored "-Wunused-result"
+
+#include "pragma/util/stats.hpp"
+
+namespace pragma::perf {
+namespace {
+
+TEST(NetworkedSystem, TruthIsMonotoneInDataSize) {
+  const NetworkedSystem system{NetSysConfig{}};
+  double last = 0.0;
+  for (double d = 100.0; d <= 1200.0; d += 100.0) {
+    const double t = system.true_end_to_end(d);
+    EXPECT_GT(t, last);
+    last = t;
+  }
+}
+
+TEST(NetworkedSystem, EndToEndIsSumOfComponents) {
+  const NetworkedSystem system{NetSysConfig{}};
+  const double d = 600.0;
+  EXPECT_NEAR(system.true_end_to_end(d),
+              system.true_pc1(d) + system.true_switch(d) +
+                  system.true_pc2(d),
+              1e-15);
+}
+
+TEST(NetworkedSystem, Pc2SlowerThanPc1) {
+  const NetworkedSystem system{NetSysConfig{}};
+  // PC2 has the lower Gflop/s rating in the default configuration.
+  EXPECT_GT(system.true_pc2(800.0), system.true_pc1(800.0));
+}
+
+TEST(NetworkedSystem, MeasurementsAreNoisyButUnbiased) {
+  NetSysConfig config;
+  config.noise = 0.05;
+  NetworkedSystem system(config);
+  util::Accumulator acc;
+  for (int i = 0; i < 5000; ++i) acc.add(system.measure_end_to_end(500.0));
+  const double truth = system.true_end_to_end(500.0);
+  EXPECT_NEAR(acc.mean(), truth, truth * 0.01);
+  EXPECT_GT(acc.stddev(), truth * 0.02);
+}
+
+TEST(NetworkedSystem, ZeroNoiseMeasurementsAreExact) {
+  NetSysConfig config;
+  config.noise = 0.0;
+  NetworkedSystem system(config);
+  EXPECT_DOUBLE_EQ(system.measure_pc1(400.0), system.true_pc1(400.0));
+}
+
+TEST(NetworkedSystem, DelaysInPaperRange) {
+  // The paper's Table 1 measures 8.3e-4 .. 2.2e-3 s across 200..1000 B.
+  const NetworkedSystem system{NetSysConfig{}};
+  EXPECT_GT(system.true_end_to_end(200.0), 2e-4);
+  EXPECT_LT(system.true_end_to_end(1000.0), 5e-3);
+}
+
+TEST(Table1Experiment, LeastSquaresErrorsWithinPaperBand) {
+  Table1Options options;
+  options.method = FitMethod::kLeastSquares;
+  const Table1Result result = run_table1_experiment({}, options);
+  ASSERT_EQ(result.rows.size(), 5u);
+  for (const Table1Row& row : result.rows) {
+    EXPECT_GT(row.predicted_s, 0.0);
+    // The paper reports 0.5%..5.2%; allow headroom for seed variation.
+    EXPECT_LT(row.percent_error, 8.0) << "D=" << row.data_bytes;
+  }
+}
+
+TEST(Table1Experiment, NeuralNetworkErrorsWithinPaperBand) {
+  Table1Options options;
+  options.method = FitMethod::kNeuralNetwork;
+  const Table1Result result = run_table1_experiment({}, options);
+  for (const Table1Row& row : result.rows)
+    EXPECT_LT(row.percent_error, 8.0) << "D=" << row.data_bytes;
+}
+
+TEST(Table1Experiment, ComposedPfHasThreeComponents) {
+  const Table1Result result = run_table1_experiment();
+  ASSERT_NE(result.end_to_end_pf, nullptr);
+  const auto* composite =
+      dynamic_cast<const CompositePf*>(result.end_to_end_pf.get());
+  ASSERT_NE(composite, nullptr);
+  EXPECT_EQ(composite->components(), 3u);
+}
+
+TEST(Table1Experiment, CustomValidationSizes) {
+  Table1Options options;
+  options.validation_sizes = {300.0, 700.0};
+  const Table1Result result = run_table1_experiment({}, options);
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.rows[0].data_bytes, 300.0);
+}
+
+TEST(Table1Experiment, BadRepetitionsThrow) {
+  Table1Options options;
+  options.repetitions = 0;
+  EXPECT_THROW(run_table1_experiment({}, options), std::invalid_argument);
+}
+
+TEST(Table1Experiment, FitMethodNames) {
+  EXPECT_EQ(to_string(FitMethod::kLeastSquares), "least_squares");
+  EXPECT_EQ(to_string(FitMethod::kNeuralNetwork), "neural_network");
+}
+
+}  // namespace
+}  // namespace pragma::perf

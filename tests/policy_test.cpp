@@ -1,0 +1,205 @@
+#include "pragma/policy/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pragma/policy/builtin.hpp"
+
+namespace pragma::policy {
+namespace {
+
+TEST(ValueTest, ToStringBothKinds) {
+  EXPECT_EQ(to_string(Value{std::string("abc")}), "abc");
+  EXPECT_EQ(to_string(Value{2.5}), "2.5");
+}
+
+TEST(ConditionTest, StringEquality) {
+  const Condition c{"octant", Op::kEq, Value{std::string("VI")}, 0.0};
+  EXPECT_DOUBLE_EQ(c.membership(Value{std::string("VI")}), 1.0);
+  EXPECT_DOUBLE_EQ(c.membership(Value{std::string("IV")}), 0.0);
+}
+
+TEST(ConditionTest, TypeMismatchIsZero) {
+  const Condition c{"x", Op::kEq, Value{1.0}, 0.0};
+  EXPECT_DOUBLE_EQ(c.membership(Value{std::string("1")}), 0.0);
+}
+
+TEST(ConditionTest, CrispNumericEquality) {
+  const Condition c{"x", Op::kEq, Value{2.0}, 0.0};
+  EXPECT_DOUBLE_EQ(c.membership(Value{2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(c.membership(Value{2.0001}), 0.0);
+}
+
+TEST(ConditionTest, FuzzyApproxGaussian) {
+  const Condition c{"bw", Op::kApprox, Value{100.0}, 20.0};
+  EXPECT_DOUBLE_EQ(c.membership(Value{100.0}), 1.0);
+  const double near = c.membership(Value{110.0});
+  const double far = c.membership(Value{160.0});
+  EXPECT_GT(near, 0.5);
+  EXPECT_LT(far, 0.01);
+  EXPECT_GT(near, far);
+}
+
+TEST(ConditionTest, OrderingOperatorsCrispAtZeroTol) {
+  const Condition ge{"load", Op::kGe, Value{0.8}, 0.0};
+  EXPECT_DOUBLE_EQ(ge.membership(Value{0.9}), 1.0);
+  EXPECT_DOUBLE_EQ(ge.membership(Value{0.7}), 0.0);
+  const Condition le{"mem", Op::kLe, Value{128.0}, 0.0};
+  EXPECT_DOUBLE_EQ(le.membership(Value{100.0}), 1.0);
+  EXPECT_DOUBLE_EQ(le.membership(Value{200.0}), 0.0);
+}
+
+TEST(ConditionTest, SoftBoundaryGradesMembership) {
+  const Condition ge{"load", Op::kGe, Value{0.8}, 0.1};
+  const double well_above = ge.membership(Value{0.95});
+  const double at_boundary = ge.membership(Value{0.8});
+  const double well_below = ge.membership(Value{0.5});
+  EXPECT_GT(well_above, 0.9);
+  EXPECT_NEAR(at_boundary, 0.5, 1e-9);
+  EXPECT_LT(well_below, 0.01);
+}
+
+TEST(ConditionTest, OrderingOnStringsIsZero) {
+  const Condition c{"x", Op::kGt, Value{std::string("abc")}, 0.0};
+  EXPECT_DOUBLE_EQ(c.membership(Value{std::string("abc")}), 0.0);
+}
+
+Policy octant_rule(const std::string& octant, const std::string& partitioner,
+                   double priority = 1.0) {
+  Policy policy;
+  policy.name = "octant_" + octant;
+  policy.conditions.push_back(
+      Condition{"octant", Op::kEq, Value{octant}, 0.0});
+  policy.action["partitioner"] = Value{partitioner};
+  policy.priority = priority;
+  return policy;
+}
+
+TEST(PolicyMatch, AllConditionsMultiply) {
+  Policy policy;
+  policy.conditions.push_back(
+      Condition{"a", Op::kEq, Value{std::string("x")}, 0.0});
+  policy.conditions.push_back(Condition{"b", Op::kGe, Value{1.0}, 0.0});
+  AttributeSet query{{"a", Value{std::string("x")}}, {"b", Value{2.0}}};
+  EXPECT_DOUBLE_EQ(policy.match(query), 1.0);
+  query["b"] = Value{0.0};
+  EXPECT_DOUBLE_EQ(policy.match(query), 0.0);
+}
+
+TEST(PolicyMatch, MissingAttributePenalized) {
+  Policy policy;
+  policy.conditions.push_back(
+      Condition{"a", Op::kEq, Value{std::string("x")}, 0.0});
+  const AttributeSet empty;
+  EXPECT_DOUBLE_EQ(policy.match(empty, 0.25), 0.25);
+  // Confirmed rules must outrank speculative ones.
+  const AttributeSet confirmed{{"a", Value{std::string("x")}}};
+  EXPECT_GT(policy.match(confirmed), policy.match(empty));
+}
+
+TEST(PolicyBaseTest, AddReplacesByName) {
+  PolicyBase base;
+  base.add(octant_rule("VI", "pBD-ISP"));
+  base.add(octant_rule("VI", "SFC"));
+  EXPECT_EQ(base.size(), 1u);
+  const AttributeSet query{{"octant", Value{std::string("VI")}}};
+  EXPECT_EQ(to_string(*base.decide(query, "partitioner")), "SFC");
+}
+
+TEST(PolicyBaseTest, RemoveByName) {
+  PolicyBase base;
+  base.add(octant_rule("I", "pBD-ISP"));
+  EXPECT_TRUE(base.remove("octant_I"));
+  EXPECT_FALSE(base.remove("octant_I"));
+  EXPECT_EQ(base.size(), 0u);
+}
+
+TEST(PolicyBaseTest, QueryRanksByScoreTimesPriority) {
+  PolicyBase base;
+  base.add(octant_rule("VI", "pBD-ISP", 1.0));
+  Policy wildcard;  // no conditions: matches everything with score 1
+  wildcard.name = "wildcard";
+  wildcard.action["partitioner"] = Value{std::string("SFC")};
+  wildcard.priority = 0.5;
+  base.add(wildcard);
+
+  const AttributeSet query{{"octant", Value{std::string("VI")}}};
+  const auto matches = base.query(query);
+  ASSERT_GE(matches.size(), 2u);
+  EXPECT_EQ(matches[0].policy->name, "octant_VI");
+  EXPECT_EQ(matches[1].policy->name, "wildcard");
+}
+
+TEST(PolicyBaseTest, MinScoreFilters) {
+  PolicyBase base;
+  base.add(octant_rule("VI", "pBD-ISP"));
+  const AttributeSet query{{"octant", Value{std::string("II")}}};
+  EXPECT_TRUE(base.query(query, 0.05).empty());
+}
+
+TEST(PolicyBaseTest, DecideFindsFirstActionWithKey) {
+  PolicyBase base;
+  Policy no_key;
+  no_key.name = "other";
+  no_key.action["comm"] = Value{std::string("eager")};
+  no_key.priority = 5.0;
+  base.add(no_key);
+  base.add(octant_rule("VI", "pBD-ISP"));
+  const AttributeSet query{{"octant", Value{std::string("VI")}}};
+  // "other" ranks first (priority 5) but lacks the key; decide() falls
+  // through to the octant rule.
+  EXPECT_EQ(to_string(*base.decide(query, "partitioner")), "pBD-ISP");
+}
+
+TEST(PolicyBaseTest, DecideEmptyWhenNothingMatches) {
+  PolicyBase base;
+  base.add(octant_rule("VI", "pBD-ISP"));
+  const AttributeSet query{{"octant", Value{std::string("III")}}};
+  EXPECT_FALSE(base.decide(query, "partitioner").has_value());
+}
+
+TEST(BuiltinPolicies, OctantPoliciesCoverAllEight) {
+  PolicyBase base;
+  install_octant_policies(base);
+  EXPECT_EQ(base.size(), 8u);
+  for (const std::string octant :
+       {"I", "II", "III", "IV", "V", "VI", "VII", "VIII"}) {
+    const AttributeSet query{{"octant", Value{octant}}};
+    const auto decision = base.decide(query, "partitioner");
+    ASSERT_TRUE(decision.has_value()) << octant;
+  }
+}
+
+TEST(BuiltinPolicies, OctantDecisionsFollowTable2) {
+  const PolicyBase base = standard_policy_base();
+  const AttributeSet vi{{"octant", Value{std::string("VI")}}};
+  EXPECT_EQ(to_string(*base.decide(vi, "partitioner")), "pBD-ISP");
+  const AttributeSet vii{{"octant", Value{std::string("VII")}}};
+  EXPECT_EQ(to_string(*base.decide(vii, "partitioner")), "G-MISP+SP");
+}
+
+TEST(BuiltinPolicies, LoadThresholdTriggersRepartition) {
+  const PolicyBase base = standard_policy_base();
+  const AttributeSet query{{"load", Value{0.95}}};
+  const auto action = base.decide(query, "action");
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(to_string(*action), "repartition");
+}
+
+TEST(BuiltinPolicies, NodeFailureTriggersMigration) {
+  const PolicyBase base = standard_policy_base();
+  const AttributeSet query{{"node_up", Value{0.0}}};
+  const auto action = base.decide(query, "action");
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(to_string(*action), "migrate");
+}
+
+TEST(BuiltinPolicies, BandwidthDropSelectsLatencyTolerantComm) {
+  const PolicyBase base = standard_policy_base();
+  const AttributeSet query{{"bandwidth", Value{10.0}}};
+  const auto comm = base.decide(query, "comm");
+  ASSERT_TRUE(comm.has_value());
+  EXPECT_EQ(to_string(*comm), "latency-tolerant");
+}
+
+}  // namespace
+}  // namespace pragma::policy

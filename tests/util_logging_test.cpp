@@ -1,0 +1,81 @@
+#include "pragma/util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace pragma::util {
+namespace {
+
+struct SinkCapture {
+  std::vector<std::pair<LogLevel, std::string>> lines;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = Logger::instance().level();
+    Logger::instance().set_sink(
+        [this](LogLevel level, std::string_view message) {
+          capture_.lines.emplace_back(level, std::string(message));
+        });
+  }
+  void TearDown() override {
+    Logger::instance().set_level(saved_level_);
+    // Restore a stderr-like default sink.
+    Logger::instance().set_sink([](LogLevel, std::string_view) {});
+  }
+  SinkCapture capture_;
+  LogLevel saved_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST_F(LoggingTest, LevelFiltering) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  log_debug("hidden");
+  log_info("hidden");
+  log_warn("visible");
+  log_error("visible too");
+  ASSERT_EQ(capture_.lines.size(), 2u);
+  EXPECT_EQ(capture_.lines[0].first, LogLevel::kWarn);
+  EXPECT_EQ(capture_.lines[1].first, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  log_error("nope");
+  EXPECT_TRUE(capture_.lines.empty());
+}
+
+TEST_F(LoggingTest, StreamsArgumentsTogether) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  log_info("x=", 42, " y=", 1.5, " s=", std::string("abc"));
+  ASSERT_EQ(capture_.lines.size(), 1u);
+  EXPECT_EQ(capture_.lines[0].second, "x=42 y=1.5 s=abc");
+}
+
+TEST_F(LoggingTest, EnabledReflectsLevel) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+}
+
+TEST_F(LoggingTest, NullSinkIgnored) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  Logger::instance().set_sink(nullptr);  // must not replace the sink
+  log_info("still captured");
+  ASSERT_EQ(capture_.lines.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pragma::util

@@ -1,0 +1,149 @@
+#include "pragma/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "pragma/util/stats.hpp"
+
+namespace pragma::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  Rng a(123, 0);
+  Rng b(123, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedReproduces) {
+  Rng rng(42, 7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(rng());
+  rng.reseed(42, 7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng(), first[i]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanConverges) {
+  Rng rng(3);
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(rng.uniform());
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+  EXPECT_NEAR(acc.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, UniformIntUnbiasedAcrossRange) {
+  Rng rng(6);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(0, 9)];
+  for (int c : counts)
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  Accumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.normal());
+  EXPECT_NEAR(acc.mean(), 0.0, 0.01);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(8);
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(rng.normal(10.0, 2.5));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng(9);
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.exponential(0.5);  // mean 2
+    EXPECT_GT(x, 0.0);
+    acc.add(x);
+  }
+  EXPECT_NEAR(acc.mean(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(10);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.lognormal(0.0, 0.5));
+  // Median of lognormal(mu, sigma) is exp(mu) = 1.
+  EXPECT_NEAR(median(xs), 1.0, 0.03);
+}
+
+TEST(Rng, ParetoBoundedBelowByScale) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(3.0, 1.5), 3.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Splitmix, KnownProgressionIsDeterministic) {
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  const std::uint64_t a = splitmix64(s1);
+  const std::uint64_t b = splitmix64(s2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(splitmix64(s1), a);  // state advanced
+}
+
+}  // namespace
+}  // namespace pragma::util

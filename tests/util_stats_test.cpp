@@ -1,0 +1,222 @@
+#include "pragma/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+// EXPECT_THROW intentionally discards nodiscard results.
+#pragma GCC diagnostic ignored "-Wunused-result"
+
+#include <cmath>
+#include <vector>
+
+#include "pragma/util/rng.hpp"
+
+namespace pragma::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.5);
+}
+
+TEST(Accumulator, MatchesBatchStatistics) {
+  Rng rng(7);
+  std::vector<double> xs;
+  Accumulator acc;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    xs.push_back(x);
+    acc.add(x);
+  }
+  EXPECT_NEAR(acc.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(acc.variance(), variance(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(acc.min(), min_value(xs));
+  EXPECT_DOUBLE_EQ(acc.max(), max_value(xs));
+}
+
+TEST(Accumulator, MergeEqualsCombinedStream) {
+  Rng rng(11);
+  Accumulator a;
+  Accumulator b;
+  Accumulator combined;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    (i % 2 == 0 ? a : b).add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(2.0);
+  Accumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(BatchStats, Median) {
+  const std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(BatchStats, PercentileEndpoints) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(BatchStats, PercentileClampsOutOfRange) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 200.0), 2.0);
+}
+
+TEST(BatchStats, ErrorsOnSizeMismatch) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW(mean_absolute_error(a, b), std::invalid_argument);
+  EXPECT_THROW(root_mean_squared_error(a, b), std::invalid_argument);
+  EXPECT_THROW(correlation(a, b), std::invalid_argument);
+}
+
+TEST(BatchStats, MaeAndRmse) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(mean_absolute_error(a, b), 1.0);
+  EXPECT_NEAR(root_mean_squared_error(a, b), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(BatchStats, CorrelationOfLinearSeriesIsOne) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i - 7.0);
+  }
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+  for (double& v : y) v = -v;
+  EXPECT_NEAR(correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(BatchStats, CorrelationOfConstantIsZero) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> c{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(correlation(x, c), 0.0);
+}
+
+TEST(LinearFitTest, RecoversExactLine) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(0.5 * i);
+    y.push_back(2.5 * (0.5 * i) + 1.25);
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.25, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, ConstantXGivesMeanIntercept) {
+  const std::vector<double> x{2.0, 2.0, 2.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(Imbalance, PerfectBalanceIsZero) {
+  const std::vector<double> loads{4.0, 4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(imbalance(loads), 0.0);
+}
+
+TEST(Imbalance, KnownValue) {
+  const std::vector<double> loads{2.0, 4.0, 6.0};  // mean 4, max 6
+  EXPECT_DOUBLE_EQ(imbalance(loads), 0.5);
+}
+
+TEST(SlidingWindowTest, FillsThenSlides) {
+  SlidingWindow window(3);
+  window.push(1.0);
+  window.push(2.0);
+  EXPECT_EQ(window.size(), 2u);
+  EXPECT_FALSE(window.full());
+  EXPECT_DOUBLE_EQ(window.mean(), 1.5);
+  window.push(3.0);
+  EXPECT_TRUE(window.full());
+  window.push(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(window.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(window.mean(), 5.0);
+}
+
+TEST(SlidingWindowTest, ValuesInInsertionOrder) {
+  SlidingWindow window(3);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) window.push(v);
+  const std::vector<double> expected{3.0, 4.0, 5.0};
+  EXPECT_EQ(window.values(), expected);
+}
+
+TEST(SlidingWindowTest, MedianOfWindow) {
+  SlidingWindow window(5);
+  for (double v : {9.0, 1.0, 5.0}) window.push(v);
+  EXPECT_DOUBLE_EQ(window.median(), 5.0);
+}
+
+TEST(SlidingWindowTest, ZeroCapacityClampedToOne) {
+  SlidingWindow window(0);
+  window.push(1.0);
+  window.push(7.0);
+  EXPECT_EQ(window.size(), 1u);
+  EXPECT_DOUBLE_EQ(window.mean(), 7.0);
+}
+
+TEST(SlidingWindowTest, SumStaysAccurateAfterManyPushes) {
+  SlidingWindow window(16);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) window.push(rng.uniform(-1.0, 1.0));
+  const std::vector<double> values = window.values();
+  EXPECT_NEAR(window.sum(), sum(values), 1e-9);
+}
+
+// Property sweep: percentile is monotone in p for arbitrary data.
+class PercentileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotone, MonotoneInP) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.normal());
+  double last = percentile(xs, 0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double value = percentile(xs, p);
+    EXPECT_GE(value, last) << "p=" << p;
+    last = value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace pragma::util

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+// EXPECT_THROW intentionally discards nodiscard results.
+#pragma GCC diagnostic ignored "-Wunused-result"
+
+#include <stdexcept>
+
+#include "pragma/util/cli.hpp"
+#include "pragma/util/table.hpp"
+
+namespace pragma::util {
+namespace {
+
+TEST(TextTableTest, RendersHeadersAndRows) {
+  TextTable table({"a", "bb"});
+  table.add_row({"1", "2"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_NE(out.find("1"), std::string::npos);
+  // header separator present
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, AlignmentPadsCells) {
+  TextTable table({"name", "value"});
+  table.set_alignment(0, Align::kLeft);
+  table.add_row({"x", "10"});
+  table.add_row({"longer", "7"});
+  const std::string out = table.render();
+  // Left-aligned: "x" followed by padding before the separator.
+  EXPECT_NE(out.find(" x      "), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTableRendersEmpty) {
+  TextTable table;
+  EXPECT_TRUE(table.render().empty());
+}
+
+TEST(TextTableTest, RaggedRowsHandled) {
+  TextTable table({"a"});
+  table.add_row({"1", "2", "3"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+TEST(CellFormatting, FixedAndScientific) {
+  EXPECT_EQ(cell(3.14159, 2), "3.14");
+  EXPECT_EQ(cell(static_cast<long long>(42)), "42");
+  EXPECT_EQ(percent_cell(0.123, 1), "12.3%");
+  EXPECT_EQ(sci_cell(0.000123, 2), "1.23e-04");
+}
+
+TEST(CliFlagsTest, DefaultsApply) {
+  CliFlags flags;
+  flags.add_int("n", 5, "count");
+  flags.add_bool("verbose", false, "verbosity");
+  flags.add_double("x", 1.5, "x value");
+  flags.add_string("name", "abc", "name");
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(flags.parse(1, argv));
+  EXPECT_EQ(flags.get_int("n"), 5);
+  EXPECT_FALSE(flags.get_bool("verbose"));
+  EXPECT_DOUBLE_EQ(flags.get_double("x"), 1.5);
+  EXPECT_EQ(flags.get_string("name"), "abc");
+}
+
+TEST(CliFlagsTest, EqualsAndSpaceForms) {
+  CliFlags flags;
+  flags.add_int("n", 0, "count");
+  flags.add_string("s", "", "str");
+  const char* argv[] = {"prog", "--n=7", "--s", "hello"};
+  EXPECT_TRUE(flags.parse(4, argv));
+  EXPECT_EQ(flags.get_int("n"), 7);
+  EXPECT_EQ(flags.get_string("s"), "hello");
+}
+
+TEST(CliFlagsTest, BareBoolSetsTrue) {
+  CliFlags flags;
+  flags.add_bool("fast", false, "speed");
+  const char* argv[] = {"prog", "--fast"};
+  EXPECT_TRUE(flags.parse(2, argv));
+  EXPECT_TRUE(flags.get_bool("fast"));
+}
+
+TEST(CliFlagsTest, UnknownFlagThrows) {
+  CliFlags flags;
+  const char* argv[] = {"prog", "--mystery=1"};
+  EXPECT_THROW(flags.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliFlagsTest, MissingValueThrows) {
+  CliFlags flags;
+  flags.add_int("n", 0, "count");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(flags.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliFlagsTest, PositionalCollected) {
+  CliFlags flags;
+  flags.add_int("n", 0, "count");
+  const char* argv[] = {"prog", "input.txt", "--n=3", "more"};
+  EXPECT_TRUE(flags.parse(4, argv));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "more");
+}
+
+TEST(CliFlagsTest, HelpReturnsFalse) {
+  CliFlags flags;
+  flags.add_int("n", 0, "count");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(CliFlagsTest, WrongTypeQueryThrows) {
+  CliFlags flags;
+  flags.add_int("n", 0, "count");
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(flags.parse(1, argv));
+  EXPECT_THROW(flags.get_bool("n"), std::out_of_range);
+  EXPECT_THROW(flags.get_int("missing"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pragma::util
