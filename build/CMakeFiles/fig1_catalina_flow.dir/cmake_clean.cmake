@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_catalina_flow.dir/bench/fig1_catalina_flow.cpp.o"
+  "CMakeFiles/fig1_catalina_flow.dir/bench/fig1_catalina_flow.cpp.o.d"
+  "bench/fig1_catalina_flow"
+  "bench/fig1_catalina_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_catalina_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_octant_map.dir/bench/fig2_octant_map.cpp.o"
+  "CMakeFiles/fig2_octant_map.dir/bench/fig2_octant_map.cpp.o.d"
+  "bench/fig2_octant_map"
+  "bench/fig2_octant_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_octant_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

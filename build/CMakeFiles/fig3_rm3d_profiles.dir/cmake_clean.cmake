@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_rm3d_profiles.dir/bench/fig3_rm3d_profiles.cpp.o"
+  "CMakeFiles/fig3_rm3d_profiles.dir/bench/fig3_rm3d_profiles.cpp.o.d"
+  "bench/fig3_rm3d_profiles"
+  "bench/fig3_rm3d_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_rm3d_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

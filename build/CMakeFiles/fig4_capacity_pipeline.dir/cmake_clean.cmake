@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_capacity_pipeline.dir/bench/fig4_capacity_pipeline.cpp.o"
+  "CMakeFiles/fig4_capacity_pipeline.dir/bench/fig4_capacity_pipeline.cpp.o.d"
+  "bench/fig4_capacity_pipeline"
+  "bench/fig4_capacity_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_capacity_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

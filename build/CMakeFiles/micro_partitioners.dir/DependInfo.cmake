@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_partitioners.cpp" "CMakeFiles/micro_partitioners.dir/bench/micro_partitioners.cpp.o" "gcc" "CMakeFiles/micro_partitioners.dir/bench/micro_partitioners.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pragma/perf/CMakeFiles/pragma_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/core/CMakeFiles/pragma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/monitor/CMakeFiles/pragma_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/grid/CMakeFiles/pragma_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/partition/CMakeFiles/pragma_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/agents/CMakeFiles/pragma_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/sim/CMakeFiles/pragma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/policy/CMakeFiles/pragma_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/octant/CMakeFiles/pragma_octant.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/amr/CMakeFiles/pragma_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/util/CMakeFiles/pragma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_partitioners.dir/bench/micro_partitioners.cpp.o"
+  "CMakeFiles/micro_partitioners.dir/bench/micro_partitioners.cpp.o.d"
+  "bench/micro_partitioners"
+  "bench/micro_partitioners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_partitioners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pf_accuracy.dir/bench/table1_pf_accuracy.cpp.o"
+  "CMakeFiles/table1_pf_accuracy.dir/bench/table1_pf_accuracy.cpp.o.d"
+  "bench/table1_pf_accuracy"
+  "bench/table1_pf_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pf_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_octant_recommendations.dir/bench/table2_octant_recommendations.cpp.o"
+  "CMakeFiles/table2_octant_recommendations.dir/bench/table2_octant_recommendations.cpp.o.d"
+  "bench/table2_octant_recommendations"
+  "bench/table2_octant_recommendations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_octant_recommendations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

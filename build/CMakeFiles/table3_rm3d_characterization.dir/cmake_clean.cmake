@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_rm3d_characterization.dir/bench/table3_rm3d_characterization.cpp.o"
+  "CMakeFiles/table3_rm3d_characterization.dir/bench/table3_rm3d_characterization.cpp.o.d"
+  "bench/table3_rm3d_characterization"
+  "bench/table3_rm3d_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_rm3d_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

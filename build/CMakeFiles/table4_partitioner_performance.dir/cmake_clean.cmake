@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_partitioner_performance.dir/bench/table4_partitioner_performance.cpp.o"
+  "CMakeFiles/table4_partitioner_performance.dir/bench/table4_partitioner_performance.cpp.o.d"
+  "bench/table4_partitioner_performance"
+  "bench/table4_partitioner_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_partitioner_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

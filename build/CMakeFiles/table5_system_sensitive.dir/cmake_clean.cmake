@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_system_sensitive.dir/bench/table5_system_sensitive.cpp.o"
+  "CMakeFiles/table5_system_sensitive.dir/bench/table5_system_sensitive.cpp.o.d"
+  "bench/table5_system_sensitive"
+  "bench/table5_system_sensitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_system_sensitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

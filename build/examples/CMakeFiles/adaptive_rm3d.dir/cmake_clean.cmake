@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_rm3d.dir/adaptive_rm3d.cpp.o"
+  "CMakeFiles/adaptive_rm3d.dir/adaptive_rm3d.cpp.o.d"
+  "adaptive_rm3d"
+  "adaptive_rm3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_rm3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

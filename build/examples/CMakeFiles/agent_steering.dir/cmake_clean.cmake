@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_steering.dir/agent_steering.cpp.o"
+  "CMakeFiles/agent_steering.dir/agent_steering.cpp.o.d"
+  "agent_steering"
+  "agent_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

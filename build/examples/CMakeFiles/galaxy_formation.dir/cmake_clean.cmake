@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galaxy_formation.dir/galaxy_formation.cpp.o"
+  "CMakeFiles/galaxy_formation.dir/galaxy_formation.cpp.o.d"
+  "galaxy_formation"
+  "galaxy_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galaxy_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_federation.dir/grid_federation.cpp.o"
+  "CMakeFiles/grid_federation.dir/grid_federation.cpp.o.d"
+  "grid_federation"
+  "grid_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

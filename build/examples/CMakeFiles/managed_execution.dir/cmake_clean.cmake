@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/managed_execution.dir/managed_execution.cpp.o"
+  "CMakeFiles/managed_execution.dir/managed_execution.cpp.o.d"
+  "managed_execution"
+  "managed_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/managed_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

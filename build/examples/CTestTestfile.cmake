@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--procs" "8")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adaptive_rm3d "/root/repo/build/examples/adaptive_rm3d" "--procs" "8" "--steps" "60")
+set_tests_properties(example_adaptive_rm3d PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heterogeneous_cluster "/root/repo/build/examples/heterogeneous_cluster" "--nodes" "6" "--steps" "60")
+set_tests_properties(example_heterogeneous_cluster PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_agent_steering "/root/repo/build/examples/agent_steering" "--nodes" "4" "--seconds" "120")
+set_tests_properties(example_agent_steering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_forecasting "/root/repo/build/examples/forecasting" "--seconds" "120")
+set_tests_properties(example_forecasting PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_managed_execution "/root/repo/build/examples/managed_execution" "--procs" "8" "--steps" "40" "--fail-at" "10")
+set_tests_properties(example_managed_execution PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_capacity_planning "/root/repo/build/examples/capacity_planning" "--steps" "60" "--max-procs" "64")
+set_tests_properties(example_capacity_planning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_galaxy_formation "/root/repo/build/examples/galaxy_formation" "--clumps" "16" "--steps" "80" "--procs" "8")
+set_tests_properties(example_galaxy_formation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_grid_federation "/root/repo/build/examples/grid_federation" "--sites" "2" "--nodes-per-site" "4")
+set_tests_properties(example_grid_federation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("pragma/util")
+subdirs("pragma/sim")
+subdirs("pragma/grid")
+subdirs("pragma/monitor")
+subdirs("pragma/perf")
+subdirs("pragma/amr")
+subdirs("pragma/partition")
+subdirs("pragma/octant")
+subdirs("pragma/policy")
+subdirs("pragma/agents")
+subdirs("pragma/core")

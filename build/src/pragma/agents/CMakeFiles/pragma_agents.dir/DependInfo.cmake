@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pragma/agents/adm.cpp" "src/pragma/agents/CMakeFiles/pragma_agents.dir/adm.cpp.o" "gcc" "src/pragma/agents/CMakeFiles/pragma_agents.dir/adm.cpp.o.d"
+  "/root/repo/src/pragma/agents/component_agent.cpp" "src/pragma/agents/CMakeFiles/pragma_agents.dir/component_agent.cpp.o" "gcc" "src/pragma/agents/CMakeFiles/pragma_agents.dir/component_agent.cpp.o.d"
+  "/root/repo/src/pragma/agents/mcs.cpp" "src/pragma/agents/CMakeFiles/pragma_agents.dir/mcs.cpp.o" "gcc" "src/pragma/agents/CMakeFiles/pragma_agents.dir/mcs.cpp.o.d"
+  "/root/repo/src/pragma/agents/message_center.cpp" "src/pragma/agents/CMakeFiles/pragma_agents.dir/message_center.cpp.o" "gcc" "src/pragma/agents/CMakeFiles/pragma_agents.dir/message_center.cpp.o.d"
+  "/root/repo/src/pragma/agents/templates.cpp" "src/pragma/agents/CMakeFiles/pragma_agents.dir/templates.cpp.o" "gcc" "src/pragma/agents/CMakeFiles/pragma_agents.dir/templates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pragma/util/CMakeFiles/pragma_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/sim/CMakeFiles/pragma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/policy/CMakeFiles/pragma_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/octant/CMakeFiles/pragma_octant.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/amr/CMakeFiles/pragma_amr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

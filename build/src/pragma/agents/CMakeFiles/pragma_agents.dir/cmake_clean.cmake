@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pragma_agents.dir/adm.cpp.o"
+  "CMakeFiles/pragma_agents.dir/adm.cpp.o.d"
+  "CMakeFiles/pragma_agents.dir/component_agent.cpp.o"
+  "CMakeFiles/pragma_agents.dir/component_agent.cpp.o.d"
+  "CMakeFiles/pragma_agents.dir/mcs.cpp.o"
+  "CMakeFiles/pragma_agents.dir/mcs.cpp.o.d"
+  "CMakeFiles/pragma_agents.dir/message_center.cpp.o"
+  "CMakeFiles/pragma_agents.dir/message_center.cpp.o.d"
+  "CMakeFiles/pragma_agents.dir/templates.cpp.o"
+  "CMakeFiles/pragma_agents.dir/templates.cpp.o.d"
+  "libpragma_agents.a"
+  "libpragma_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pragma_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

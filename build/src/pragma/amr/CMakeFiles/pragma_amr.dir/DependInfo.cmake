@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pragma/amr/box.cpp" "src/pragma/amr/CMakeFiles/pragma_amr.dir/box.cpp.o" "gcc" "src/pragma/amr/CMakeFiles/pragma_amr.dir/box.cpp.o.d"
+  "/root/repo/src/pragma/amr/cluster_br.cpp" "src/pragma/amr/CMakeFiles/pragma_amr.dir/cluster_br.cpp.o" "gcc" "src/pragma/amr/CMakeFiles/pragma_amr.dir/cluster_br.cpp.o.d"
+  "/root/repo/src/pragma/amr/flags.cpp" "src/pragma/amr/CMakeFiles/pragma_amr.dir/flags.cpp.o" "gcc" "src/pragma/amr/CMakeFiles/pragma_amr.dir/flags.cpp.o.d"
+  "/root/repo/src/pragma/amr/galaxy.cpp" "src/pragma/amr/CMakeFiles/pragma_amr.dir/galaxy.cpp.o" "gcc" "src/pragma/amr/CMakeFiles/pragma_amr.dir/galaxy.cpp.o.d"
+  "/root/repo/src/pragma/amr/hierarchy.cpp" "src/pragma/amr/CMakeFiles/pragma_amr.dir/hierarchy.cpp.o" "gcc" "src/pragma/amr/CMakeFiles/pragma_amr.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/pragma/amr/rm3d.cpp" "src/pragma/amr/CMakeFiles/pragma_amr.dir/rm3d.cpp.o" "gcc" "src/pragma/amr/CMakeFiles/pragma_amr.dir/rm3d.cpp.o.d"
+  "/root/repo/src/pragma/amr/synthetic.cpp" "src/pragma/amr/CMakeFiles/pragma_amr.dir/synthetic.cpp.o" "gcc" "src/pragma/amr/CMakeFiles/pragma_amr.dir/synthetic.cpp.o.d"
+  "/root/repo/src/pragma/amr/trace.cpp" "src/pragma/amr/CMakeFiles/pragma_amr.dir/trace.cpp.o" "gcc" "src/pragma/amr/CMakeFiles/pragma_amr.dir/trace.cpp.o.d"
+  "/root/repo/src/pragma/amr/trace_io.cpp" "src/pragma/amr/CMakeFiles/pragma_amr.dir/trace_io.cpp.o" "gcc" "src/pragma/amr/CMakeFiles/pragma_amr.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pragma/util/CMakeFiles/pragma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

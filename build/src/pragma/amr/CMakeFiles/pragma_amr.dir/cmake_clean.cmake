@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pragma_amr.dir/box.cpp.o"
+  "CMakeFiles/pragma_amr.dir/box.cpp.o.d"
+  "CMakeFiles/pragma_amr.dir/cluster_br.cpp.o"
+  "CMakeFiles/pragma_amr.dir/cluster_br.cpp.o.d"
+  "CMakeFiles/pragma_amr.dir/flags.cpp.o"
+  "CMakeFiles/pragma_amr.dir/flags.cpp.o.d"
+  "CMakeFiles/pragma_amr.dir/galaxy.cpp.o"
+  "CMakeFiles/pragma_amr.dir/galaxy.cpp.o.d"
+  "CMakeFiles/pragma_amr.dir/hierarchy.cpp.o"
+  "CMakeFiles/pragma_amr.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/pragma_amr.dir/rm3d.cpp.o"
+  "CMakeFiles/pragma_amr.dir/rm3d.cpp.o.d"
+  "CMakeFiles/pragma_amr.dir/synthetic.cpp.o"
+  "CMakeFiles/pragma_amr.dir/synthetic.cpp.o.d"
+  "CMakeFiles/pragma_amr.dir/trace.cpp.o"
+  "CMakeFiles/pragma_amr.dir/trace.cpp.o.d"
+  "CMakeFiles/pragma_amr.dir/trace_io.cpp.o"
+  "CMakeFiles/pragma_amr.dir/trace_io.cpp.o.d"
+  "libpragma_amr.a"
+  "libpragma_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pragma_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pragma/core/exec_model.cpp" "src/pragma/core/CMakeFiles/pragma_core.dir/exec_model.cpp.o" "gcc" "src/pragma/core/CMakeFiles/pragma_core.dir/exec_model.cpp.o.d"
+  "/root/repo/src/pragma/core/managed_run.cpp" "src/pragma/core/CMakeFiles/pragma_core.dir/managed_run.cpp.o" "gcc" "src/pragma/core/CMakeFiles/pragma_core.dir/managed_run.cpp.o.d"
+  "/root/repo/src/pragma/core/meta_partitioner.cpp" "src/pragma/core/CMakeFiles/pragma_core.dir/meta_partitioner.cpp.o" "gcc" "src/pragma/core/CMakeFiles/pragma_core.dir/meta_partitioner.cpp.o.d"
+  "/root/repo/src/pragma/core/system_sensitive.cpp" "src/pragma/core/CMakeFiles/pragma_core.dir/system_sensitive.cpp.o" "gcc" "src/pragma/core/CMakeFiles/pragma_core.dir/system_sensitive.cpp.o.d"
+  "/root/repo/src/pragma/core/trace_runner.cpp" "src/pragma/core/CMakeFiles/pragma_core.dir/trace_runner.cpp.o" "gcc" "src/pragma/core/CMakeFiles/pragma_core.dir/trace_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pragma/util/CMakeFiles/pragma_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/sim/CMakeFiles/pragma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/grid/CMakeFiles/pragma_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/monitor/CMakeFiles/pragma_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/amr/CMakeFiles/pragma_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/partition/CMakeFiles/pragma_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/octant/CMakeFiles/pragma_octant.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/policy/CMakeFiles/pragma_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/agents/CMakeFiles/pragma_agents.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pragma_core.dir/exec_model.cpp.o"
+  "CMakeFiles/pragma_core.dir/exec_model.cpp.o.d"
+  "CMakeFiles/pragma_core.dir/managed_run.cpp.o"
+  "CMakeFiles/pragma_core.dir/managed_run.cpp.o.d"
+  "CMakeFiles/pragma_core.dir/meta_partitioner.cpp.o"
+  "CMakeFiles/pragma_core.dir/meta_partitioner.cpp.o.d"
+  "CMakeFiles/pragma_core.dir/system_sensitive.cpp.o"
+  "CMakeFiles/pragma_core.dir/system_sensitive.cpp.o.d"
+  "CMakeFiles/pragma_core.dir/trace_runner.cpp.o"
+  "CMakeFiles/pragma_core.dir/trace_runner.cpp.o.d"
+  "libpragma_core.a"
+  "libpragma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pragma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pragma/grid/cluster.cpp" "src/pragma/grid/CMakeFiles/pragma_grid.dir/cluster.cpp.o" "gcc" "src/pragma/grid/CMakeFiles/pragma_grid.dir/cluster.cpp.o.d"
+  "/root/repo/src/pragma/grid/failure.cpp" "src/pragma/grid/CMakeFiles/pragma_grid.dir/failure.cpp.o" "gcc" "src/pragma/grid/CMakeFiles/pragma_grid.dir/failure.cpp.o.d"
+  "/root/repo/src/pragma/grid/loadgen.cpp" "src/pragma/grid/CMakeFiles/pragma_grid.dir/loadgen.cpp.o" "gcc" "src/pragma/grid/CMakeFiles/pragma_grid.dir/loadgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pragma/util/CMakeFiles/pragma_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/sim/CMakeFiles/pragma_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pragma_grid.dir/cluster.cpp.o"
+  "CMakeFiles/pragma_grid.dir/cluster.cpp.o.d"
+  "CMakeFiles/pragma_grid.dir/failure.cpp.o"
+  "CMakeFiles/pragma_grid.dir/failure.cpp.o.d"
+  "CMakeFiles/pragma_grid.dir/loadgen.cpp.o"
+  "CMakeFiles/pragma_grid.dir/loadgen.cpp.o.d"
+  "libpragma_grid.a"
+  "libpragma_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pragma_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

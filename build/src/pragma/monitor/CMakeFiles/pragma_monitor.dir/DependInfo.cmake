@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pragma/monitor/capacity.cpp" "src/pragma/monitor/CMakeFiles/pragma_monitor.dir/capacity.cpp.o" "gcc" "src/pragma/monitor/CMakeFiles/pragma_monitor.dir/capacity.cpp.o.d"
+  "/root/repo/src/pragma/monitor/forecaster.cpp" "src/pragma/monitor/CMakeFiles/pragma_monitor.dir/forecaster.cpp.o" "gcc" "src/pragma/monitor/CMakeFiles/pragma_monitor.dir/forecaster.cpp.o.d"
+  "/root/repo/src/pragma/monitor/resource_monitor.cpp" "src/pragma/monitor/CMakeFiles/pragma_monitor.dir/resource_monitor.cpp.o" "gcc" "src/pragma/monitor/CMakeFiles/pragma_monitor.dir/resource_monitor.cpp.o.d"
+  "/root/repo/src/pragma/monitor/series.cpp" "src/pragma/monitor/CMakeFiles/pragma_monitor.dir/series.cpp.o" "gcc" "src/pragma/monitor/CMakeFiles/pragma_monitor.dir/series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pragma/util/CMakeFiles/pragma_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/sim/CMakeFiles/pragma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/grid/CMakeFiles/pragma_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pragma_monitor.dir/capacity.cpp.o"
+  "CMakeFiles/pragma_monitor.dir/capacity.cpp.o.d"
+  "CMakeFiles/pragma_monitor.dir/forecaster.cpp.o"
+  "CMakeFiles/pragma_monitor.dir/forecaster.cpp.o.d"
+  "CMakeFiles/pragma_monitor.dir/resource_monitor.cpp.o"
+  "CMakeFiles/pragma_monitor.dir/resource_monitor.cpp.o.d"
+  "CMakeFiles/pragma_monitor.dir/series.cpp.o"
+  "CMakeFiles/pragma_monitor.dir/series.cpp.o.d"
+  "libpragma_monitor.a"
+  "libpragma_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pragma_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpragma_monitor.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pragma_octant.dir/octant.cpp.o"
+  "CMakeFiles/pragma_octant.dir/octant.cpp.o.d"
+  "libpragma_octant.a"
+  "libpragma_octant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pragma_octant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

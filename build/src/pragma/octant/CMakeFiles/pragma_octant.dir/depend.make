@@ -1,0 +1,2 @@
+# Empty dependencies file for pragma_octant.
+# This may be replaced when dependencies are built.

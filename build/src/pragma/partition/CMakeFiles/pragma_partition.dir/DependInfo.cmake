@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pragma/partition/metrics.cpp" "src/pragma/partition/CMakeFiles/pragma_partition.dir/metrics.cpp.o" "gcc" "src/pragma/partition/CMakeFiles/pragma_partition.dir/metrics.cpp.o.d"
+  "/root/repo/src/pragma/partition/partitioner.cpp" "src/pragma/partition/CMakeFiles/pragma_partition.dir/partitioner.cpp.o" "gcc" "src/pragma/partition/CMakeFiles/pragma_partition.dir/partitioner.cpp.o.d"
+  "/root/repo/src/pragma/partition/sfc.cpp" "src/pragma/partition/CMakeFiles/pragma_partition.dir/sfc.cpp.o" "gcc" "src/pragma/partition/CMakeFiles/pragma_partition.dir/sfc.cpp.o.d"
+  "/root/repo/src/pragma/partition/splitters.cpp" "src/pragma/partition/CMakeFiles/pragma_partition.dir/splitters.cpp.o" "gcc" "src/pragma/partition/CMakeFiles/pragma_partition.dir/splitters.cpp.o.d"
+  "/root/repo/src/pragma/partition/workgrid.cpp" "src/pragma/partition/CMakeFiles/pragma_partition.dir/workgrid.cpp.o" "gcc" "src/pragma/partition/CMakeFiles/pragma_partition.dir/workgrid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pragma/util/CMakeFiles/pragma_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/amr/CMakeFiles/pragma_amr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pragma_partition.dir/metrics.cpp.o"
+  "CMakeFiles/pragma_partition.dir/metrics.cpp.o.d"
+  "CMakeFiles/pragma_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/pragma_partition.dir/partitioner.cpp.o.d"
+  "CMakeFiles/pragma_partition.dir/sfc.cpp.o"
+  "CMakeFiles/pragma_partition.dir/sfc.cpp.o.d"
+  "CMakeFiles/pragma_partition.dir/splitters.cpp.o"
+  "CMakeFiles/pragma_partition.dir/splitters.cpp.o.d"
+  "CMakeFiles/pragma_partition.dir/workgrid.cpp.o"
+  "CMakeFiles/pragma_partition.dir/workgrid.cpp.o.d"
+  "libpragma_partition.a"
+  "libpragma_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pragma_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pragma/perf/app_model.cpp" "src/pragma/perf/CMakeFiles/pragma_perf.dir/app_model.cpp.o" "gcc" "src/pragma/perf/CMakeFiles/pragma_perf.dir/app_model.cpp.o.d"
+  "/root/repo/src/pragma/perf/fit.cpp" "src/pragma/perf/CMakeFiles/pragma_perf.dir/fit.cpp.o" "gcc" "src/pragma/perf/CMakeFiles/pragma_perf.dir/fit.cpp.o.d"
+  "/root/repo/src/pragma/perf/linalg.cpp" "src/pragma/perf/CMakeFiles/pragma_perf.dir/linalg.cpp.o" "gcc" "src/pragma/perf/CMakeFiles/pragma_perf.dir/linalg.cpp.o.d"
+  "/root/repo/src/pragma/perf/mlp.cpp" "src/pragma/perf/CMakeFiles/pragma_perf.dir/mlp.cpp.o" "gcc" "src/pragma/perf/CMakeFiles/pragma_perf.dir/mlp.cpp.o.d"
+  "/root/repo/src/pragma/perf/netsys.cpp" "src/pragma/perf/CMakeFiles/pragma_perf.dir/netsys.cpp.o" "gcc" "src/pragma/perf/CMakeFiles/pragma_perf.dir/netsys.cpp.o.d"
+  "/root/repo/src/pragma/perf/pf.cpp" "src/pragma/perf/CMakeFiles/pragma_perf.dir/pf.cpp.o" "gcc" "src/pragma/perf/CMakeFiles/pragma_perf.dir/pf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pragma/util/CMakeFiles/pragma_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/sim/CMakeFiles/pragma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/grid/CMakeFiles/pragma_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pragma_perf.dir/app_model.cpp.o"
+  "CMakeFiles/pragma_perf.dir/app_model.cpp.o.d"
+  "CMakeFiles/pragma_perf.dir/fit.cpp.o"
+  "CMakeFiles/pragma_perf.dir/fit.cpp.o.d"
+  "CMakeFiles/pragma_perf.dir/linalg.cpp.o"
+  "CMakeFiles/pragma_perf.dir/linalg.cpp.o.d"
+  "CMakeFiles/pragma_perf.dir/mlp.cpp.o"
+  "CMakeFiles/pragma_perf.dir/mlp.cpp.o.d"
+  "CMakeFiles/pragma_perf.dir/netsys.cpp.o"
+  "CMakeFiles/pragma_perf.dir/netsys.cpp.o.d"
+  "CMakeFiles/pragma_perf.dir/pf.cpp.o"
+  "CMakeFiles/pragma_perf.dir/pf.cpp.o.d"
+  "libpragma_perf.a"
+  "libpragma_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pragma_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

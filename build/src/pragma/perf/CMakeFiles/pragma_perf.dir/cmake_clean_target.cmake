@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpragma_perf.a"
+)

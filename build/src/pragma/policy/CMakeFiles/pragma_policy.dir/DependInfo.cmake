@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pragma/policy/builtin.cpp" "src/pragma/policy/CMakeFiles/pragma_policy.dir/builtin.cpp.o" "gcc" "src/pragma/policy/CMakeFiles/pragma_policy.dir/builtin.cpp.o.d"
+  "/root/repo/src/pragma/policy/dsl.cpp" "src/pragma/policy/CMakeFiles/pragma_policy.dir/dsl.cpp.o" "gcc" "src/pragma/policy/CMakeFiles/pragma_policy.dir/dsl.cpp.o.d"
+  "/root/repo/src/pragma/policy/policy.cpp" "src/pragma/policy/CMakeFiles/pragma_policy.dir/policy.cpp.o" "gcc" "src/pragma/policy/CMakeFiles/pragma_policy.dir/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pragma/util/CMakeFiles/pragma_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/octant/CMakeFiles/pragma_octant.dir/DependInfo.cmake"
+  "/root/repo/build/src/pragma/amr/CMakeFiles/pragma_amr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pragma_policy.dir/builtin.cpp.o"
+  "CMakeFiles/pragma_policy.dir/builtin.cpp.o.d"
+  "CMakeFiles/pragma_policy.dir/dsl.cpp.o"
+  "CMakeFiles/pragma_policy.dir/dsl.cpp.o.d"
+  "CMakeFiles/pragma_policy.dir/policy.cpp.o"
+  "CMakeFiles/pragma_policy.dir/policy.cpp.o.d"
+  "libpragma_policy.a"
+  "libpragma_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pragma_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

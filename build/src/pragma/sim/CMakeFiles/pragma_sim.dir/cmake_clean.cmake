@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pragma_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pragma_sim.dir/simulator.cpp.o.d"
+  "libpragma_sim.a"
+  "libpragma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pragma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pragma/util/cli.cpp" "src/pragma/util/CMakeFiles/pragma_util.dir/cli.cpp.o" "gcc" "src/pragma/util/CMakeFiles/pragma_util.dir/cli.cpp.o.d"
+  "/root/repo/src/pragma/util/logging.cpp" "src/pragma/util/CMakeFiles/pragma_util.dir/logging.cpp.o" "gcc" "src/pragma/util/CMakeFiles/pragma_util.dir/logging.cpp.o.d"
+  "/root/repo/src/pragma/util/rng.cpp" "src/pragma/util/CMakeFiles/pragma_util.dir/rng.cpp.o" "gcc" "src/pragma/util/CMakeFiles/pragma_util.dir/rng.cpp.o.d"
+  "/root/repo/src/pragma/util/stats.cpp" "src/pragma/util/CMakeFiles/pragma_util.dir/stats.cpp.o" "gcc" "src/pragma/util/CMakeFiles/pragma_util.dir/stats.cpp.o.d"
+  "/root/repo/src/pragma/util/table.cpp" "src/pragma/util/CMakeFiles/pragma_util.dir/table.cpp.o" "gcc" "src/pragma/util/CMakeFiles/pragma_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pragma_util.dir/cli.cpp.o"
+  "CMakeFiles/pragma_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pragma_util.dir/logging.cpp.o"
+  "CMakeFiles/pragma_util.dir/logging.cpp.o.d"
+  "CMakeFiles/pragma_util.dir/rng.cpp.o"
+  "CMakeFiles/pragma_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pragma_util.dir/stats.cpp.o"
+  "CMakeFiles/pragma_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pragma_util.dir/table.cpp.o"
+  "CMakeFiles/pragma_util.dir/table.cpp.o.d"
+  "libpragma_util.a"
+  "libpragma_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pragma_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

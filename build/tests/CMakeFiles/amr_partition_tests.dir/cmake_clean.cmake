@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_partition_tests.dir/amr_box_test.cpp.o"
+  "CMakeFiles/amr_partition_tests.dir/amr_box_test.cpp.o.d"
+  "CMakeFiles/amr_partition_tests.dir/amr_flags_cluster_test.cpp.o"
+  "CMakeFiles/amr_partition_tests.dir/amr_flags_cluster_test.cpp.o.d"
+  "CMakeFiles/amr_partition_tests.dir/amr_galaxy_test.cpp.o"
+  "CMakeFiles/amr_partition_tests.dir/amr_galaxy_test.cpp.o.d"
+  "CMakeFiles/amr_partition_tests.dir/amr_hierarchy_test.cpp.o"
+  "CMakeFiles/amr_partition_tests.dir/amr_hierarchy_test.cpp.o.d"
+  "CMakeFiles/amr_partition_tests.dir/amr_rm3d_test.cpp.o"
+  "CMakeFiles/amr_partition_tests.dir/amr_rm3d_test.cpp.o.d"
+  "CMakeFiles/amr_partition_tests.dir/amr_trace_io_test.cpp.o"
+  "CMakeFiles/amr_partition_tests.dir/amr_trace_io_test.cpp.o.d"
+  "CMakeFiles/amr_partition_tests.dir/amr_trace_synthetic_test.cpp.o"
+  "CMakeFiles/amr_partition_tests.dir/amr_trace_synthetic_test.cpp.o.d"
+  "CMakeFiles/amr_partition_tests.dir/octant_test.cpp.o"
+  "CMakeFiles/amr_partition_tests.dir/octant_test.cpp.o.d"
+  "CMakeFiles/amr_partition_tests.dir/partition_metrics_test.cpp.o"
+  "CMakeFiles/amr_partition_tests.dir/partition_metrics_test.cpp.o.d"
+  "CMakeFiles/amr_partition_tests.dir/partition_partitioner_test.cpp.o"
+  "CMakeFiles/amr_partition_tests.dir/partition_partitioner_test.cpp.o.d"
+  "CMakeFiles/amr_partition_tests.dir/partition_sfc_test.cpp.o"
+  "CMakeFiles/amr_partition_tests.dir/partition_sfc_test.cpp.o.d"
+  "CMakeFiles/amr_partition_tests.dir/partition_splitters_test.cpp.o"
+  "CMakeFiles/amr_partition_tests.dir/partition_splitters_test.cpp.o.d"
+  "CMakeFiles/amr_partition_tests.dir/partition_workgrid_test.cpp.o"
+  "CMakeFiles/amr_partition_tests.dir/partition_workgrid_test.cpp.o.d"
+  "amr_partition_tests"
+  "amr_partition_tests.pdb"
+  "amr_partition_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_partition_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_tests.dir/grid_test.cpp.o"
+  "CMakeFiles/base_tests.dir/grid_test.cpp.o.d"
+  "CMakeFiles/base_tests.dir/monitor_capacity_test.cpp.o"
+  "CMakeFiles/base_tests.dir/monitor_capacity_test.cpp.o.d"
+  "CMakeFiles/base_tests.dir/monitor_forecaster_test.cpp.o"
+  "CMakeFiles/base_tests.dir/monitor_forecaster_test.cpp.o.d"
+  "CMakeFiles/base_tests.dir/monitor_series_test.cpp.o"
+  "CMakeFiles/base_tests.dir/monitor_series_test.cpp.o.d"
+  "CMakeFiles/base_tests.dir/sim_test.cpp.o"
+  "CMakeFiles/base_tests.dir/sim_test.cpp.o.d"
+  "CMakeFiles/base_tests.dir/util_logging_test.cpp.o"
+  "CMakeFiles/base_tests.dir/util_logging_test.cpp.o.d"
+  "CMakeFiles/base_tests.dir/util_rng_test.cpp.o"
+  "CMakeFiles/base_tests.dir/util_rng_test.cpp.o.d"
+  "CMakeFiles/base_tests.dir/util_stats_test.cpp.o"
+  "CMakeFiles/base_tests.dir/util_stats_test.cpp.o.d"
+  "CMakeFiles/base_tests.dir/util_table_cli_test.cpp.o"
+  "CMakeFiles/base_tests.dir/util_table_cli_test.cpp.o.d"
+  "base_tests"
+  "base_tests.pdb"
+  "base_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

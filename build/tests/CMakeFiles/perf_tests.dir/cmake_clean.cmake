@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_tests.dir/perf_app_model_test.cpp.o"
+  "CMakeFiles/perf_tests.dir/perf_app_model_test.cpp.o.d"
+  "CMakeFiles/perf_tests.dir/perf_fit_test.cpp.o"
+  "CMakeFiles/perf_tests.dir/perf_fit_test.cpp.o.d"
+  "CMakeFiles/perf_tests.dir/perf_linalg_test.cpp.o"
+  "CMakeFiles/perf_tests.dir/perf_linalg_test.cpp.o.d"
+  "CMakeFiles/perf_tests.dir/perf_mlp_test.cpp.o"
+  "CMakeFiles/perf_tests.dir/perf_mlp_test.cpp.o.d"
+  "CMakeFiles/perf_tests.dir/perf_netsys_test.cpp.o"
+  "CMakeFiles/perf_tests.dir/perf_netsys_test.cpp.o.d"
+  "perf_tests"
+  "perf_tests.pdb"
+  "perf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

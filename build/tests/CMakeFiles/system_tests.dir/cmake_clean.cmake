@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_tests.dir/agents_agent_test.cpp.o"
+  "CMakeFiles/system_tests.dir/agents_agent_test.cpp.o.d"
+  "CMakeFiles/system_tests.dir/agents_message_test.cpp.o"
+  "CMakeFiles/system_tests.dir/agents_message_test.cpp.o.d"
+  "CMakeFiles/system_tests.dir/agents_templates_mcs_test.cpp.o"
+  "CMakeFiles/system_tests.dir/agents_templates_mcs_test.cpp.o.d"
+  "CMakeFiles/system_tests.dir/core_exec_model_test.cpp.o"
+  "CMakeFiles/system_tests.dir/core_exec_model_test.cpp.o.d"
+  "CMakeFiles/system_tests.dir/core_integration_test.cpp.o"
+  "CMakeFiles/system_tests.dir/core_integration_test.cpp.o.d"
+  "CMakeFiles/system_tests.dir/core_managed_run_test.cpp.o"
+  "CMakeFiles/system_tests.dir/core_managed_run_test.cpp.o.d"
+  "CMakeFiles/system_tests.dir/core_meta_test.cpp.o"
+  "CMakeFiles/system_tests.dir/core_meta_test.cpp.o.d"
+  "CMakeFiles/system_tests.dir/misc_coverage_test.cpp.o"
+  "CMakeFiles/system_tests.dir/misc_coverage_test.cpp.o.d"
+  "CMakeFiles/system_tests.dir/policy_dsl_test.cpp.o"
+  "CMakeFiles/system_tests.dir/policy_dsl_test.cpp.o.d"
+  "CMakeFiles/system_tests.dir/policy_test.cpp.o"
+  "CMakeFiles/system_tests.dir/policy_test.cpp.o.d"
+  "system_tests"
+  "system_tests.pdb"
+  "system_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

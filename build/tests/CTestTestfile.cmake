@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_tests[1]_include.cmake")
+include("/root/repo/build/tests/perf_tests[1]_include.cmake")
+include("/root/repo/build/tests/amr_partition_tests[1]_include.cmake")
+include("/root/repo/build/tests/system_tests[1]_include.cmake")
