@@ -3,11 +3,25 @@
 // Measures the partitioning algorithms themselves (the "partitioning time"
 // component of the PAC metric) across grain sizes and processor counts,
 // plus the Berger–Rigoutsos clusterer and the work-grid rasterization.
+//
+// In addition to the google-benchmark suite, main() first runs a small
+// fixed harness over the hot pipeline kernels — prefix-sum splitters vs the
+// reference scan kernels, serial vs parallel WorkGrid build and
+// communication sweep — and writes the results to
+// BENCH_partition_pipeline.json (name -> ns/op, cells, threads) so runs can
+// be diffed mechanically.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "pragma/amr/rm3d.hpp"
 #include "pragma/amr/synthetic.hpp"
 #include "pragma/partition/metrics.hpp"
+#include "pragma/util/thread_pool.hpp"
 
 using namespace pragma;
 
@@ -38,15 +52,49 @@ void BM_Partition(benchmark::State& state, const char* name) {
                  std::to_string(grid.cell_count()));
 }
 
+// Prefix-sum kernel vs the original reference scan, on the same RM3D
+// sequence.  The prefix variant shares the grid's prebuilt PrefixSums view,
+// exactly as the partitioners do.
+void BM_SplitterPrefix(
+    benchmark::State& state,
+    partition::Breaks (*splitter)(const partition::PrefixSums&,
+                                  std::span<const double>)) {
+  const partition::WorkGrid grid(sample_hierarchy(), 2);
+  const auto targets =
+      partition::equal_targets(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(splitter(grid.prefix_sums(), targets));
+  }
+  state.SetLabel("cells=" + std::to_string(grid.cell_count()));
+}
+
+void BM_SplitterReference(
+    benchmark::State& state,
+    partition::Breaks (*splitter)(std::span<const double>,
+                                  std::span<const double>)) {
+  const partition::WorkGrid grid(sample_hierarchy(), 2);
+  const auto targets =
+      partition::equal_targets(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(splitter(grid.sequence(), targets));
+  }
+  state.SetLabel("cells=" + std::to_string(grid.cell_count()));
+}
+
 void BM_WorkGridBuild(benchmark::State& state) {
   const int grain = static_cast<int>(state.range(0));
+  // thread arg 0 = auto (hardware_concurrency), 1 = the serial path
+  const int threads =
+      util::resolve_threads(static_cast<int>(state.range(1)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        partition::WorkGrid(sample_hierarchy(), grain));
+    benchmark::DoNotOptimize(partition::WorkGrid(
+        sample_hierarchy(), grain, partition::CurveKind::kHilbert, threads));
   }
 }
 
 void BM_PacMetrics(benchmark::State& state) {
+  const int threads =
+      util::resolve_threads(static_cast<int>(state.range(0)));
   const auto partitioner = partition::make_partitioner("G-MISP+SP");
   const partition::WorkGrid grid(sample_hierarchy(),
                                  partitioner->preferred_grain(),
@@ -56,7 +104,7 @@ void BM_PacMetrics(benchmark::State& state) {
       partitioner->partition(grid, targets);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        partition::evaluate_pac(grid, result, targets));
+        partition::evaluate_pac(grid, result, targets, nullptr, threads));
   }
 }
 
@@ -70,6 +118,111 @@ void BM_Regrid(benchmark::State& state) {
   }
 }
 
+// ---- Fixed JSON harness ---------------------------------------------------
+
+struct PipelineEntry {
+  std::string name;
+  double ns_per_op = 0.0;
+  std::size_t cells = 0;
+  int threads = 1;
+};
+
+/// Time `fn` with a plain steady_clock loop: one warm-up call, then batches
+/// until ~0.2 s have accumulated.
+template <typename Fn>
+double time_ns_per_op(Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warm-up (first-touch, curve cache)
+  constexpr double kMinSeconds = 0.2;
+  constexpr std::size_t kMaxIters = 1u << 20;
+  std::size_t iters = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  while (elapsed < kMinSeconds && iters < kMaxIters) {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  }
+  return elapsed * 1e9 / static_cast<double>(iters);
+}
+
+bool write_pipeline_json(const std::vector<PipelineEntry>& entries,
+                         const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) return false;
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const PipelineEntry& e = entries[i];
+    std::fprintf(out,
+                 "  {\"name\": \"%s\", \"ns_per_op\": %.1f, "
+                 "\"cells\": %zu, \"threads\": %d}%s\n",
+                 e.name.c_str(), e.ns_per_op, e.cells, e.threads,
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  return true;
+}
+
+std::vector<PipelineEntry> run_pipeline_harness() {
+  const amr::GridHierarchy& hierarchy = sample_hierarchy();
+  const partition::WorkGrid grid(hierarchy, 2);
+  const std::size_t cells = grid.cell_count();
+  const auto targets = partition::equal_targets(64);
+  const int hw = util::resolve_threads(0);
+
+  std::vector<PipelineEntry> entries;
+  auto add = [&](std::string name, int threads, double ns) {
+    entries.push_back({std::move(name), ns, cells, threads});
+  };
+
+  struct SplitterPair {
+    const char* name;
+    partition::Breaks (*prefix)(const partition::PrefixSums&,
+                                std::span<const double>);
+    partition::Breaks (*reference)(std::span<const double>,
+                                   std::span<const double>);
+  };
+  const SplitterPair splitters[] = {
+      {"greedy_split", &partition::greedy_split,
+       &partition::reference_greedy_split},
+      {"plain_greedy_split", &partition::plain_greedy_split,
+       &partition::reference_plain_greedy_split},
+      {"optimal_split", &partition::optimal_split,
+       &partition::reference_optimal_split},
+      {"dissection_split", &partition::dissection_split,
+       &partition::reference_dissection_split},
+  };
+  for (const SplitterPair& s : splitters) {
+    add(std::string(s.name) + "/prefix", 1, time_ns_per_op([&] {
+          benchmark::DoNotOptimize(s.prefix(grid.prefix_sums(), targets));
+        }));
+    add(std::string(s.name) + "/reference", 1, time_ns_per_op([&] {
+          benchmark::DoNotOptimize(s.reference(grid.sequence(), targets));
+        }));
+  }
+
+  for (const int threads : {1, hw}) {
+    add("workgrid_build", threads, time_ns_per_op([&] {
+          benchmark::DoNotOptimize(partition::WorkGrid(
+              hierarchy, 2, partition::CurveKind::kHilbert, threads));
+        }));
+    if (hw == 1) break;
+  }
+
+  const auto partitioner = partition::make_partitioner("G-MISP+SP");
+  const partition::PartitionResult result =
+      partitioner->partition(grid, targets);
+  for (const int threads : {1, hw}) {
+    add("communication_volume", threads, time_ns_per_op([&] {
+          benchmark::DoNotOptimize(partition::communication_volume(
+              grid, result.owners, threads));
+        }));
+    if (hw == 1) break;
+  }
+  return entries;
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_Partition, sfc, "SFC")->Arg(16)->Arg(64)->Arg(256);
@@ -81,8 +234,35 @@ BENCHMARK_CAPTURE(BM_Partition, gmisp_sp, "G-MISP+SP")
     ->Arg(256);
 BENCHMARK_CAPTURE(BM_Partition, pbd_isp, "pBD-ISP")->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK_CAPTURE(BM_Partition, sp_isp, "SP-ISP")->Arg(16)->Arg(64)->Arg(256);
-BENCHMARK(BM_WorkGridBuild)->Arg(2)->Arg(4)->Arg(8);
-BENCHMARK(BM_PacMetrics);
+BENCHMARK_CAPTURE(BM_SplitterPrefix, greedy, &partition::greedy_split)
+    ->Arg(64);
+BENCHMARK_CAPTURE(BM_SplitterReference, greedy,
+                  &partition::reference_greedy_split)
+    ->Arg(64);
+BENCHMARK_CAPTURE(BM_SplitterPrefix, optimal, &partition::optimal_split)
+    ->Arg(64);
+BENCHMARK_CAPTURE(BM_SplitterReference, optimal,
+                  &partition::reference_optimal_split)
+    ->Arg(64);
+BENCHMARK(BM_WorkGridBuild)->ArgsProduct({{2, 4, 8}, {1, 0}});
+BENCHMARK(BM_PacMetrics)->Arg(1)->Arg(0);
 BENCHMARK(BM_Regrid);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::vector<PipelineEntry> entries = run_pipeline_harness();
+  if (write_pipeline_json(entries, "BENCH_partition_pipeline.json"))
+    std::printf("wrote BENCH_partition_pipeline.json (%zu entries)\n",
+                entries.size());
+  else
+    std::fprintf(stderr,
+                 "could not write BENCH_partition_pipeline.json\n");
+  for (const PipelineEntry& e : entries)
+    std::printf("  %-28s threads=%d  %12.1f ns/op\n", e.name.c_str(),
+                e.threads, e.ns_per_op);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

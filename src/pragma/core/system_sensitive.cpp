@@ -1,6 +1,7 @@
 #include "pragma/core/system_sensitive.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "pragma/monitor/resource_monitor.hpp"
 #include "pragma/partition/partitioner.hpp"
@@ -61,25 +62,34 @@ SystemSensitiveResult run_system_sensitive_experiment(
     if (config.dynamic_capacities)
       capacities = calculator.from_current(nws);
 
-    const partition::WorkGrid native(snapshot.hierarchy,
-                                     partitioner->preferred_grain(),
-                                     partitioner->curve());
-    const partition::WorkGrid canonical(snapshot.hierarchy,
-                                        config.canonical_grain,
-                                        partition::CurveKind::kHilbert);
+    // Grids come from the shared cache when one is configured, so the
+    // Table 5 processor-count sweep rasterizes each snapshot only once.
+    auto grid_for = [&](int grain, partition::CurveKind curve) {
+      if (config.workgrid_cache != nullptr)
+        return config.workgrid_cache->get_or_build(i, snapshot.hierarchy,
+                                                   grain, curve,
+                                                   config.threads);
+      return std::shared_ptr<const partition::WorkGrid>(
+          std::make_shared<const partition::WorkGrid>(
+              snapshot.hierarchy, grain, curve, config.threads));
+    };
+    const std::shared_ptr<const partition::WorkGrid> native =
+        grid_for(partitioner->preferred_grain(), partitioner->curve());
+    const std::shared_ptr<const partition::WorkGrid> canonical =
+        grid_for(config.canonical_grain, partition::CurveKind::kHilbert);
 
     auto project = [&](const partition::PartitionResult& r) {
-      return project_owners(r.owners, native.lattice_dims(),
-                            canonical.lattice_dims());
+      return project_owners(r.owners, native->lattice_dims(),
+                            canonical->lattice_dims());
     };
     const partition::OwnerMap owners_default =
-        project(partitioner->partition(native, equal));
+        project(partitioner->partition(*native, equal));
     const partition::OwnerMap owners_sensitive =
-        project(partitioner->partition(native, capacities.fraction));
+        project(partitioner->partition(*native, capacities.fraction));
 
-    const MappedLoad mapped_default = model.map(canonical, owners_default);
+    const MappedLoad mapped_default = model.map(*canonical, owners_default);
     const MappedLoad mapped_sensitive =
-        model.map(canonical, owners_sensitive);
+        model.map(*canonical, owners_sensitive);
 
     for (int s = 0; s < steps_covered; ++s) {
       const StepTime t_default = model.time_of(mapped_default, cluster);

@@ -19,6 +19,7 @@
 #include "pragma/core/exec_model.hpp"
 #include "pragma/grid/loadgen.hpp"
 #include "pragma/monitor/capacity.hpp"
+#include "pragma/partition/workgrid.hpp"
 
 namespace pragma::core {
 
@@ -56,6 +57,13 @@ struct SystemSensitiveConfig {
   /// Recompute capacities at every regrid instead of once at start (an
   /// extension the paper leaves to future work; off to match Table 5).
   bool dynamic_capacities = false;
+  /// Optional shared work-grid cache (keyed by snapshot index): experiments
+  /// over the same trace — e.g. the Table 5 processor-count sweep — share
+  /// one cache so each snapshot is rasterized once across all of them.
+  /// Null builds grids locally per call.
+  partition::WorkGridCache* workgrid_cache = nullptr;
+  /// Worker threads for WorkGrid rasterization (see TraceRunConfig).
+  int threads = 1;
 };
 
 struct SystemSensitiveResult {

@@ -6,6 +6,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "pragma/util/thread_pool.hpp"
+
 namespace pragma::core {
 
 TraceRunner::TraceRunner(const amr::AdaptationTrace& trace,
@@ -21,9 +23,11 @@ TraceRunner::TraceRunner(const amr::AdaptationTrace& trace,
     config_.targets = partition::equal_targets(config_.nprocs);
   if (config_.targets.size() != config_.nprocs)
     throw std::invalid_argument("TraceRunner: targets/nprocs mismatch");
+  config_.threads = util::resolve_threads(config_.threads);
 }
 
-RunSummary TraceRunner::run_static(const partition::Partitioner& fixed) {
+RunSummary TraceRunner::run_static(
+    const partition::Partitioner& fixed) const {
   return replay(fixed.name(),
                 [&fixed](std::size_t) -> const partition::Partitioner& {
                   return fixed;
@@ -31,7 +35,8 @@ RunSummary TraceRunner::run_static(const partition::Partitioner& fixed) {
                 nullptr);
 }
 
-RunSummary TraceRunner::run_static(const std::string& partitioner_name) {
+RunSummary TraceRunner::run_static(
+    const std::string& partitioner_name) const {
   const auto partitioner = partition::make_partitioner(
       partitioner_name, config_.meta.partitioner_options);
   return replay(partitioner_name,
@@ -41,7 +46,8 @@ RunSummary TraceRunner::run_static(const std::string& partitioner_name) {
                 nullptr);
 }
 
-RunSummary TraceRunner::run_adaptive(const policy::PolicyBase& policies) {
+RunSummary TraceRunner::run_adaptive(
+    const policy::PolicyBase& policies) const {
   MetaPartitioner meta(policies, config_.meta);
   return replay("adaptive",
                 [&](std::size_t i) -> const partition::Partitioner& {
@@ -53,10 +59,12 @@ RunSummary TraceRunner::run_adaptive(const policy::PolicyBase& policies) {
 RunSummary TraceRunner::replay(
     const std::string& label,
     const std::function<const partition::Partitioner&(std::size_t)>& select,
-    MetaPartitioner* meta) {
+    MetaPartitioner* meta) const {
   RunSummary summary;
   summary.label = label;
-  baseline_imbalance_ = 0.0;
+  // Imbalance of the current partition at the regrid it was computed
+  // (adaptive runs: the load-threshold trigger compares drift to this).
+  double baseline_imbalance = 0.0;
 
   partition::OwnerMap previous_canonical;
   bool has_previous = false;
@@ -64,10 +72,6 @@ RunSummary TraceRunner::replay(
   double weighted_imbalance = 0.0;
   double weighted_efficiency = 0.0;
   double total_steps = 0.0;
-
-  // Canonical work grid of the *next* snapshot, carried across iterations
-  // so each snapshot's grid is built exactly once.
-  std::unique_ptr<partition::WorkGrid> next_canonical;
 
   for (std::size_t i = 0; i < trace_.size(); ++i) {
     const amr::Snapshot& snapshot = trace_.at(i);
@@ -85,12 +89,15 @@ RunSummary TraceRunner::replay(
 
     const partition::Partitioner& partitioner = select(i);
 
-    const partition::WorkGrid canonical =
-        next_canonical ? std::move(*next_canonical)
-                       : partition::WorkGrid(hierarchy,
-                                             config_.canonical_grain,
-                                             partition::CurveKind::kHilbert);
-    next_canonical.reset();
+    // Each snapshot's canonical grid is rasterized once per runner and
+    // shared across replays through the cache (snapshot i+1's grid, built
+    // below for the stale-partition term, is this lookup on the next
+    // iteration — and on every other replay of the same trace).
+    const std::shared_ptr<const partition::WorkGrid> canonical_ptr =
+        workgrid_cache_.get_or_build(i, hierarchy, config_.canonical_grain,
+                                     partition::CurveKind::kHilbert,
+                                     config_.threads);
+    const partition::WorkGrid& canonical = *canonical_ptr;
 
     // Agent-triggered repartitioning (adaptive runs only): keep the
     // previous partition while its imbalance on the *current* workload has
@@ -112,7 +119,7 @@ RunSummary TraceRunner::replay(
           worst = std::max(worst, loads[p] / (share * total));
       }
       reuse_previous = (worst - 1.0) <
-                       baseline_imbalance_ + config_.repartition_threshold;
+                       baseline_imbalance + config_.repartition_threshold;
     }
 
     partition::OwnerMap owners;
@@ -129,10 +136,11 @@ RunSummary TraceRunner::replay(
       const int grain = (meta != nullptr && meta->current_grain() > 0)
                             ? meta->current_grain()
                             : partitioner.preferred_grain();
-      const partition::WorkGrid native(hierarchy, grain,
-                                       partitioner.curve());
-      result = partitioner.partition(native, config_.targets);
-      owners = project_owners(result.owners, native.lattice_dims(),
+      const std::shared_ptr<const partition::WorkGrid> native =
+          workgrid_cache_.get_or_build(i, hierarchy, grain,
+                                       partitioner.curve(), config_.threads);
+      result = partitioner.partition(*native, config_.targets);
+      owners = project_owners(result.owners, native->lattice_dims(),
                               canonical.lattice_dims());
     }
 
@@ -144,9 +152,11 @@ RunSummary TraceRunner::replay(
     const StepTime fresh = model_.step_time(canonical, owners, cluster_);
     StepTime stale = fresh;
     if (i + 1 < trace_.size()) {
-      next_canonical = std::make_unique<partition::WorkGrid>(
-          trace_.at(i + 1).hierarchy, config_.canonical_grain,
-          partition::CurveKind::kHilbert);
+      const std::shared_ptr<const partition::WorkGrid> next_canonical =
+          workgrid_cache_.get_or_build(i + 1, trace_.at(i + 1).hierarchy,
+                                       config_.canonical_grain,
+                                       partition::CurveKind::kHilbert,
+                                       config_.threads);
       stale = model_.step_time(*next_canonical, owners, cluster_);
     }
     const double sw = std::clamp(config_.stale_weight, 0.0, 1.0);
@@ -169,10 +179,10 @@ RunSummary TraceRunner::replay(
     canonical_result.partition_seconds = result.partition_seconds;
     const partition::PacMetrics pac = partition::evaluate_pac(
         canonical, canonical_result, config_.targets,
-        has_previous ? &previous_canonical : nullptr);
+        has_previous ? &previous_canonical : nullptr, config_.threads);
     record.imbalance = pac.load_imbalance;
     record.comm_volume = pac.communication;
-    if (!reuse_previous) baseline_imbalance_ = pac.load_imbalance;
+    if (!reuse_previous) baseline_imbalance = pac.load_imbalance;
 
     record.partition_s = model_.partition_cost(result.partition_seconds);
     if (has_previous)

@@ -14,6 +14,7 @@
 #include "pragma/core/exec_model.hpp"
 #include "pragma/core/meta_partitioner.hpp"
 #include "pragma/grid/cluster.hpp"
+#include "pragma/partition/workgrid.hpp"
 
 namespace pragma::core {
 
@@ -38,6 +39,10 @@ struct TraceRunConfig {
   /// repartitioning").  Static baselines repartition at every regrid, as
   /// the original SAMR framework did.  Set to 0 to disable.
   double repartition_threshold = 0.20;
+  /// Worker threads for the partitioning pipeline (WorkGrid rasterization,
+  /// communication sweep).  0 = hardware_concurrency; 1 = the serial code
+  /// path, bitwise-identical to pre-threading replays.
+  int threads = 0;
 };
 
 /// Per-snapshot record of a replay.
@@ -72,30 +77,34 @@ class TraceRunner {
   TraceRunner(const amr::AdaptationTrace& trace, const grid::Cluster& cluster,
               TraceRunConfig config = {});
 
-  /// Replay with one fixed partitioner.
-  [[nodiscard]] RunSummary run_static(const partition::Partitioner& fixed);
-  [[nodiscard]] RunSummary run_static(const std::string& partitioner_name);
+  /// Replay with one fixed partitioner.  Replays are const: independent
+  /// replays over the same runner may execute concurrently (the canonical
+  /// work grids are shared through a mutex-guarded cache).
+  [[nodiscard]] RunSummary run_static(
+      const partition::Partitioner& fixed) const;
+  [[nodiscard]] RunSummary run_static(
+      const std::string& partitioner_name) const;
 
   /// Replay with the octant-driven adaptive meta-partitioner.
-  [[nodiscard]] RunSummary run_adaptive(const policy::PolicyBase& policies);
+  [[nodiscard]] RunSummary run_adaptive(
+      const policy::PolicyBase& policies) const;
 
   [[nodiscard]] const TraceRunConfig& config() const { return config_; }
 
  private:
-  struct SelectionFn;
   [[nodiscard]] RunSummary replay(
       const std::string& label,
       const std::function<const partition::Partitioner&(std::size_t)>&
           select,
-      MetaPartitioner* meta);
+      MetaPartitioner* meta) const;
 
   const amr::AdaptationTrace& trace_;
   const grid::Cluster& cluster_;
   TraceRunConfig config_;
   ExecutionModel model_;
-  /// Imbalance of the current partition at the regrid it was computed
-  /// (adaptive runs: the load-threshold trigger compares drift to this).
-  double baseline_imbalance_ = 0.0;
+  /// Canonical (and native) work grids keyed by snapshot index: each grid
+  /// is rasterized once per runner and shared across replays.
+  mutable partition::WorkGridCache workgrid_cache_;
 };
 
 }  // namespace pragma::core

@@ -3,11 +3,29 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "pragma/util/thread_pool.hpp"
 
 namespace pragma::partition {
 
+namespace {
+/// Shared guard for the per-processor accumulators: the owner map must
+/// cover every grain cell and every owner must be a valid processor, or
+/// the accumulation loops index out of bounds.
+void validate_owners(const char* who, const WorkGrid& grid,
+                     const OwnerMap& owners) {
+  if (owners.owner.size() != grid.cell_count())
+    throw std::invalid_argument(std::string(who) + ": size mismatch");
+  for (int owner : owners.owner)
+    if (owner < 0 || owner >= owners.nprocs)
+      throw std::invalid_argument(std::string(who) + ": owner out of range");
+}
+}  // namespace
+
 std::vector<double> processor_loads(const WorkGrid& grid,
                                     const OwnerMap& owners) {
+  validate_owners("processor_loads", grid, owners);
   std::vector<double> loads(static_cast<std::size_t>(owners.nprocs), 0.0);
   for (std::size_t c = 0; c < grid.cell_count(); ++c)
     loads[static_cast<std::size_t>(owners.owner[c])] += grid.work(c);
@@ -16,18 +34,19 @@ std::vector<double> processor_loads(const WorkGrid& grid,
 
 std::vector<double> processor_storage(const WorkGrid& grid,
                                       const OwnerMap& owners) {
+  validate_owners("processor_storage", grid, owners);
   std::vector<double> storage(static_cast<std::size_t>(owners.nprocs), 0.0);
   for (std::size_t c = 0; c < grid.cell_count(); ++c)
     storage[static_cast<std::size_t>(owners.owner[c])] += grid.storage(c);
   return storage;
 }
 
-double communication_volume(const WorkGrid& grid, const OwnerMap& owners) {
+double communication_volume(const WorkGrid& grid, const OwnerMap& owners,
+                            int threads) {
   if (owners.owner.size() != grid.cell_count())
     throw std::invalid_argument("communication_volume: size mismatch");
   const amr::IntVec3 dims = grid.lattice_dims();
   const int g = grid.grain();
-  double total = 0.0;
 
   // For every lattice face between differently-owned cells, charge the
   // ghost-exchange area of each level present on both sides: a level-l face
@@ -48,23 +67,47 @@ double communication_volume(const WorkGrid& grid, const OwnerMap& owners) {
     return cost;
   };
 
-  for (int z = 0; z < dims.z; ++z)
-    for (int y = 0; y < dims.y; ++y)
-      for (int x = 0; x < dims.x; ++x) {
-        const std::size_t c = grid.linear({x, y, z});
-        if (x + 1 < dims.x) {
-          const std::size_t n = grid.linear({x + 1, y, z});
-          if (owners.owner[c] != owners.owner[n]) total += face_cost(c, n);
+  // Every face is visited from its lower cell, so z-slabs [z0, z1) sweep
+  // disjoint face sets; per-slab partials are reduced in slab order.
+  auto sweep_slab = [&](int z0, int z1) {
+    double slab_total = 0.0;
+    for (int z = z0; z < z1; ++z)
+      for (int y = 0; y < dims.y; ++y)
+        for (int x = 0; x < dims.x; ++x) {
+          const std::size_t c = grid.linear({x, y, z});
+          if (x + 1 < dims.x) {
+            const std::size_t n = grid.linear({x + 1, y, z});
+            if (owners.owner[c] != owners.owner[n])
+              slab_total += face_cost(c, n);
+          }
+          if (y + 1 < dims.y) {
+            const std::size_t n = grid.linear({x, y + 1, z});
+            if (owners.owner[c] != owners.owner[n])
+              slab_total += face_cost(c, n);
+          }
+          if (z + 1 < dims.z) {
+            const std::size_t n = grid.linear({x, y, z + 1});
+            if (owners.owner[c] != owners.owner[n])
+              slab_total += face_cost(c, n);
+          }
         }
-        if (y + 1 < dims.y) {
-          const std::size_t n = grid.linear({x, y + 1, z});
-          if (owners.owner[c] != owners.owner[n]) total += face_cost(c, n);
-        }
-        if (z + 1 < dims.z) {
-          const std::size_t n = grid.linear({x, y, z + 1});
-          if (owners.owner[c] != owners.owner[n]) total += face_cost(c, n);
-        }
-      }
+    return slab_total;
+  };
+
+  if (threads <= 1 || dims.z < 2) return sweep_slab(0, dims.z);
+
+  std::vector<double> partials(
+      std::min<std::size_t>(static_cast<std::size_t>(threads),
+                            static_cast<std::size_t>(dims.z)),
+      0.0);
+  const std::size_t used = util::parallel_blocks(
+      static_cast<std::size_t>(dims.z), static_cast<int>(partials.size()),
+      [&](std::size_t block, std::size_t begin, std::size_t end) {
+        partials[block] =
+            sweep_slab(static_cast<int>(begin), static_cast<int>(end));
+      });
+  double total = 0.0;
+  for (std::size_t b = 0; b < used; ++b) total += partials[b];
   return total;
 }
 
@@ -83,7 +126,10 @@ double migration_fraction(const WorkGrid& grid, const OwnerMap& previous,
 
 PacMetrics evaluate_pac(const WorkGrid& grid, const PartitionResult& result,
                         std::span<const double> targets,
-                        const OwnerMap* previous) {
+                        const OwnerMap* previous, int threads) {
+  validate_owners("evaluate_pac", grid, result.owners);
+  if (targets.size() != static_cast<std::size_t>(result.owners.nprocs))
+    throw std::invalid_argument("evaluate_pac: targets/nprocs mismatch");
   PacMetrics metrics;
 
   const std::vector<double> loads = processor_loads(grid, result.owners);
@@ -99,7 +145,7 @@ PacMetrics evaluate_pac(const WorkGrid& grid, const PartitionResult& result,
   }
   metrics.load_imbalance = total > 0.0 ? std::max(0.0, worst - 1.0) : 0.0;
 
-  metrics.communication = communication_volume(grid, result.owners);
+  metrics.communication = communication_volume(grid, result.owners, threads);
   metrics.partition_time = result.partition_seconds;
   if (previous != nullptr)
     metrics.data_migration = migration_fraction(grid, *previous,

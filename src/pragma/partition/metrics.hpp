@@ -34,17 +34,22 @@ struct PacMetrics {
   double overhead = 0.0;
 };
 
-/// Per-processor work loads of an assignment.
+/// Per-processor work loads of an assignment.  Throws std::invalid_argument
+/// when the owner map does not cover the grid or an owner is out of range.
 [[nodiscard]] std::vector<double> processor_loads(const WorkGrid& grid,
                                                   const OwnerMap& owners);
 
-/// Per-processor storage (cells across levels).
+/// Per-processor storage (cells across levels).  Validates like
+/// processor_loads.
 [[nodiscard]] std::vector<double> processor_storage(const WorkGrid& grid,
                                                     const OwnerMap& owners);
 
 /// Total inter-processor communication volume (MIT-weighted ghost faces).
+/// `threads` > 1 splits the face sweep over z-slabs with per-thread
+/// partials reduced in slab order.
 [[nodiscard]] double communication_volume(const WorkGrid& grid,
-                                          const OwnerMap& owners);
+                                          const OwnerMap& owners,
+                                          int threads = 1);
 
 /// Storage fraction that changed owner between two assignments over the
 /// same lattice.
@@ -52,10 +57,14 @@ struct PacMetrics {
                                         const OwnerMap& previous,
                                         const OwnerMap& current);
 
-/// Evaluate the full 5-component metric.  `previous` may be null.
+/// Evaluate the full 5-component metric.  `previous` may be null.  Throws
+/// std::invalid_argument when the owner map does not cover the grid or
+/// targets.size() != nprocs.  `threads` parallelizes the communication
+/// sweep (see communication_volume).
 [[nodiscard]] PacMetrics evaluate_pac(const WorkGrid& grid,
                                       const PartitionResult& result,
                                       std::span<const double> targets,
-                                      const OwnerMap* previous = nullptr);
+                                      const OwnerMap* previous = nullptr,
+                                      int threads = 1);
 
 }  // namespace pragma::partition

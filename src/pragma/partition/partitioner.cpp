@@ -34,10 +34,12 @@ std::size_t nonempty_chunks(const Breaks& breaks) {
 PartitionResult sequence_partition(const WorkGrid& grid,
                                    std::span<const double> targets,
                                    const std::string& name,
-                                   Breaks (*splitter)(std::span<const double>,
+                                   Breaks (*splitter)(const PrefixSums&,
                                                       std::span<const double>)) {
   const auto start = Clock::now();
-  const Breaks breaks = splitter(grid.sequence(), targets);
+  // Splitters run on the grid's shared prefix-sum view: range sums are O(1)
+  // and every cut is a binary search.
+  const Breaks breaks = splitter(grid.prefix_sums(), targets);
   PartitionResult result;
   result.owners = owners_from_breaks(grid, breaks);
   result.partition_seconds =
@@ -72,8 +74,8 @@ PartitionResult SpIspPartitioner::partition(
 
 std::vector<std::size_t> GMispPartitioner::build_blocks(
     const WorkGrid& grid, std::span<const double> targets) const {
-  const std::vector<double>& sequence = grid.sequence();
-  const std::size_t n = sequence.size();
+  const PrefixSums& sums = grid.prefix_sums();
+  const std::size_t n = sums.size();
 
   // Mean per-processor goal; a block is split while it is heavier than
   // split_factor * goal, down to single grain cells.  Runs are halved in
@@ -98,8 +100,7 @@ std::vector<std::size_t> GMispPartitioner::build_blocks(
   while (!agenda.empty()) {
     auto [begin, len] = agenda.back();
     agenda.pop_back();
-    double work = 0.0;
-    for (std::size_t j = begin; j < begin + len; ++j) work += sequence[j];
+    const double work = sums.sum(begin, begin + len);
     if (len > 1 && work > limit) {
       const std::size_t half = len / 2;
       agenda.emplace_back(begin + half, len - half);
@@ -127,15 +128,14 @@ PartitionResult GMispPartitioner::partition(
   const auto start = Clock::now();
   const std::vector<std::size_t> lengths = build_blocks(grid, targets);
 
-  // Aggregate the fine sequence into block weights.
-  const std::vector<double>& sequence = grid.sequence();
+  // Aggregate the fine sequence into block weights (O(1) per block over
+  // the shared prefix sums).
+  const PrefixSums& sums = grid.prefix_sums();
   std::vector<double> block_weights;
   block_weights.reserve(lengths.size());
   std::size_t pos = 0;
   for (std::size_t len : lengths) {
-    double work = 0.0;
-    for (std::size_t j = pos; j < pos + len; ++j) work += sequence[j];
-    block_weights.push_back(work);
+    block_weights.push_back(sums.sum(pos, pos + len));
     pos += len;
   }
 

@@ -1,7 +1,9 @@
 #include "pragma/partition/sfc.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace pragma::partition {
 
@@ -70,22 +72,25 @@ int curve_bits(amr::IntVec3 dims) {
   return bits;
 }
 
-std::vector<std::uint32_t> curve_order(amr::IntVec3 dims, CurveKind kind) {
-  if (dims.x <= 0 || dims.y <= 0 || dims.z <= 0)
-    throw std::invalid_argument("curve_order: empty lattice");
+namespace {
+struct CurveCacheKey {
+  amr::IntVec3 dims;
+  CurveKind kind;
+  bool operator==(const CurveCacheKey&) const = default;
+};
 
-  // Orders are pure functions of (dims, kind) and are requested once per
-  // WorkGrid construction — hundreds of times per trace replay — so they
-  // are memoized.  The simulator is single-threaded by design.
-  struct CacheKey {
-    amr::IntVec3 dims;
-    CurveKind kind;
-    bool operator==(const CacheKey&) const = default;
-  };
-  static std::vector<std::pair<CacheKey, std::vector<std::uint32_t>>> cache;
-  const CacheKey key{dims, kind};
-  for (const auto& [k, order] : cache)
-    if (k == key) return order;
+struct CurveCacheKeyHash {
+  std::size_t operator()(const CurveCacheKey& key) const {
+    std::uint64_t h = static_cast<std::uint64_t>(key.dims.x);
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(key.dims.y);
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(key.dims.z);
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(key.kind);
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+std::vector<std::uint32_t> compute_curve_order(amr::IntVec3 dims,
+                                               CurveKind kind) {
   const int bits = curve_bits(dims);
   const std::size_t count = static_cast<std::size_t>(dims.x) *
                             static_cast<std::size_t>(dims.y) *
@@ -107,8 +112,35 @@ std::vector<std::uint32_t> curve_order(amr::IntVec3 dims, CurveKind kind) {
   std::vector<std::uint32_t> order;
   order.reserve(count);
   for (const auto& [k, linear] : keyed) order.push_back(linear);
-  cache.emplace_back(key, order);
   return order;
+}
+}  // namespace
+
+std::shared_ptr<const std::vector<std::uint32_t>> curve_order_shared(
+    amr::IntVec3 dims, CurveKind kind) {
+  if (dims.x <= 0 || dims.y <= 0 || dims.z <= 0)
+    throw std::invalid_argument("curve_order: empty lattice");
+
+  using OrderPtr = std::shared_ptr<const std::vector<std::uint32_t>>;
+  static std::mutex mutex;
+  static std::unordered_map<CurveCacheKey, OrderPtr, CurveCacheKeyHash> cache;
+
+  const CurveCacheKey key{dims, kind};
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  // Compute outside the lock; a concurrent builder of the same key loses
+  // the try_emplace race and its copy is dropped.
+  auto order = std::make_shared<const std::vector<std::uint32_t>>(
+      compute_curve_order(dims, kind));
+  std::lock_guard<std::mutex> lock(mutex);
+  return cache.try_emplace(key, std::move(order)).first->second;
+}
+
+std::vector<std::uint32_t> curve_order(amr::IntVec3 dims, CurveKind kind) {
+  return *curve_order_shared(dims, kind);
 }
 
 }  // namespace pragma::partition

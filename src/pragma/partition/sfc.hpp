@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "pragma/amr/box.hpp"
@@ -29,6 +30,15 @@ enum class CurveKind { kMorton, kHilbert };
 /// index (x + X*(y + Y*z)).  The lattice is embedded in the enclosing
 /// power-of-two cube; cells outside the lattice are skipped, which keeps
 /// aligned power-of-two blocks contiguous in the order.
+///
+/// Orders are pure functions of (dims, kind) and are requested once per
+/// WorkGrid construction — hundreds of times per trace replay — so they are
+/// memoized in a mutex-guarded hash map and shared: every caller with the
+/// same key receives the same immutable vector, with no per-hit copy.
+[[nodiscard]] std::shared_ptr<const std::vector<std::uint32_t>>
+curve_order_shared(amr::IntVec3 dims, CurveKind kind);
+
+/// Copying convenience wrapper around curve_order_shared().
 [[nodiscard]] std::vector<std::uint32_t> curve_order(amr::IntVec3 dims,
                                                      CurveKind kind);
 

@@ -19,15 +19,33 @@ void validate(std::span<const double> targets) {
 double total_of(std::span<const double> weights) {
   return std::accumulate(weights.begin(), weights.end(), 0.0);
 }
+
+/// Greedy chunk extension with the crossing-element tie-break: extend the
+/// chunk starting at `j` as far as `goal` allows, then keep the crossing
+/// element on whichever side is closer to the goal.  Binary search over the
+/// prefix sums — the kernel shared by greedy_split and dissection_split.
+std::size_t greedy_cut(const PrefixSums& sums, std::size_t j, std::size_t hi,
+                       double goal) {
+  std::size_t cut = sums.last_within(j, hi, goal);
+  if (cut < hi) {
+    const double load = sums.sum(j, cut);
+    const double w = sums.sum(cut, cut + 1);
+    if (!(goal - load < load + w - goal)) ++cut;
+  }
+  return cut;
+}
 }  // namespace
+
+std::vector<double> chunk_loads(const PrefixSums& sums, const Breaks& breaks) {
+  std::vector<double> loads(breaks.size() - 1, 0.0);
+  for (std::size_t i = 0; i + 1 < breaks.size(); ++i)
+    loads[i] = sums.sum(breaks[i], breaks[i + 1]);
+  return loads;
+}
 
 std::vector<double> chunk_loads(std::span<const double> weights,
                                 const Breaks& breaks) {
-  std::vector<double> loads(breaks.size() - 1, 0.0);
-  for (std::size_t i = 0; i + 1 < breaks.size(); ++i)
-    for (std::size_t j = breaks[i]; j < breaks[i + 1]; ++j)
-      loads[i] += weights[j];
-  return loads;
+  return chunk_loads(PrefixSums(weights), breaks);
 }
 
 double bottleneck(std::span<const double> weights, const Breaks& breaks,
@@ -47,8 +65,210 @@ double bottleneck(std::span<const double> weights, const Breaks& breaks,
   return worst;
 }
 
+Breaks greedy_split(const PrefixSums& sums, std::span<const double> targets) {
+  validate(targets);
+  const std::size_t p = targets.size();
+  const std::size_t n = sums.size();
+  double tsum = 0.0;
+  for (double t : targets) tsum += t;
+  if (tsum <= 0.0) tsum = 1.0;
+
+  // Goals are recomputed from the *remaining* work and target mass so that
+  // per-chunk rounding errors do not accumulate onto the final chunk.
+  double remaining_target = tsum;
+
+  Breaks breaks(p + 1, n);
+  breaks[0] = 0;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i + 1 < p; ++i) {
+    const double remaining_work = sums.total() - sums.prefix(j);
+    const double goal = remaining_target > 0.0
+                            ? remaining_work * (targets[i] / remaining_target)
+                            : 0.0;
+    j = greedy_cut(sums, j, n, goal);
+    breaks[i + 1] = j;
+    remaining_target -= targets[i];
+  }
+  return breaks;
+}
+
 Breaks greedy_split(std::span<const double> weights,
                     std::span<const double> targets) {
+  return greedy_split(PrefixSums(weights), targets);
+}
+
+Breaks plain_greedy_split(const PrefixSums& sums,
+                          std::span<const double> targets) {
+  validate(targets);
+  const std::size_t p = targets.size();
+  const std::size_t n = sums.size();
+  const double total = sums.total();
+  double tsum = 0.0;
+  for (double t : targets) tsum += t;
+  if (tsum <= 0.0) tsum = 1.0;
+
+  Breaks breaks(p + 1, n);
+  breaks[0] = 0;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i + 1 < p; ++i) {
+    // Textbook first-fit: fill until the goal is reached, always taking
+    // the crossing element (surplus <= one element per chunk, and the
+    // accumulated surplus starves the trailing chunks).
+    const double goal = total * (targets[i] / tsum);
+    j = sums.first_reaching(j, goal);
+    breaks[i + 1] = j;
+  }
+  return breaks;
+}
+
+Breaks plain_greedy_split(std::span<const double> weights,
+                          std::span<const double> targets) {
+  return plain_greedy_split(PrefixSums(weights), targets);
+}
+
+namespace {
+Breaks optimal_split_impl(const PrefixSums& sums,
+                          std::span<const double> targets, double wmax) {
+  const std::size_t p = targets.size();
+  const std::size_t n = sums.size();
+  const double total = sums.total();
+  double tsum = 0.0;
+  for (double t : targets) tsum += t;
+  if (tsum <= 0.0) tsum = 1.0;
+
+  std::vector<double> goals(p);
+  for (std::size_t i = 0; i < p; ++i) goals[i] = targets[i] / tsum;
+
+  // Degenerate target vectors (all zero, e.g. every node reported dead)
+  // have no feasible bottleneck at any scale; fall back to the greedy
+  // splitter's behavior instead of searching forever.
+  double goal_max = 0.0;
+  for (double g : goals) goal_max = std::max(goal_max, g);
+  if (goal_max <= 0.0) return greedy_split(sums, targets);
+
+  // Feasibility probe: can the sequence be cut so that chunk i holds at
+  // most lambda * goals[i] * total?  Greedy left-to-right packing is exact
+  // for contiguous chunks with ordered targets; each chunk extent is one
+  // binary search over the prefix sums, so a probe costs O(p log n).
+  auto probe = [&](double lambda, Breaks* out) {
+    Breaks breaks(p + 1, n);
+    breaks[0] = 0;
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+      const double cap = lambda * goals[i] * total;
+      j = sums.last_within(j, cap);
+      breaks[i + 1] = j;
+    }
+    const bool feasible = j == n;
+    if (feasible && out) *out = breaks;
+    return feasible;
+  };
+
+  // Lower bound: perfect proportionality; upper bound: everything feasible.
+  double lo = 1.0;
+  double hi = 1.0;
+  if (total > 0.0) {
+    // A chunk must hold its largest single element.
+    double min_goal = std::numeric_limits<double>::infinity();
+    for (double g : goals)
+      if (g > 0.0) min_goal = std::min(min_goal, g);
+    hi = std::max(2.0, (wmax / std::max(1e-300, min_goal * total)) + 1.0) *
+         static_cast<double>(p);
+  }
+  for (int doubling = 0; !probe(hi, nullptr); ++doubling) {
+    if (doubling > 200) return greedy_split(sums, targets);
+    hi *= 2.0;
+  }
+
+  Breaks best;
+  for (int iter = 0; iter < 64 && hi - lo > 1e-9 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (probe(mid, &best)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  if (best.empty()) probe(hi, &best);
+  return best;
+}
+}  // namespace
+
+Breaks optimal_split(const PrefixSums& sums, std::span<const double> targets) {
+  validate(targets);
+  double wmax = 0.0;
+  for (std::size_t i = 0; i < sums.size(); ++i)
+    wmax = std::max(wmax, sums.sum(i, i + 1));
+  return optimal_split_impl(sums, targets, wmax);
+}
+
+Breaks optimal_split(std::span<const double> weights,
+                     std::span<const double> targets) {
+  validate(targets);
+  // Take wmax from the raw weights so the search bounds match the
+  // reference scan kernel bit for bit.
+  double wmax = 0.0;
+  for (double w : weights) wmax = std::max(wmax, w);
+  return optimal_split_impl(PrefixSums(weights), targets, wmax);
+}
+
+namespace {
+void dissect(const PrefixSums& sums, std::size_t seq_lo, std::size_t seq_hi,
+             std::span<const double> targets, std::size_t proc_lo,
+             std::size_t proc_hi, Breaks& breaks) {
+  const std::size_t nproc = proc_hi - proc_lo;
+  if (nproc <= 1) return;
+  const std::size_t proc_mid = proc_lo + (nproc + 1) / 2;
+
+  double left_target = 0.0;
+  double all_target = 0.0;
+  for (std::size_t i = proc_lo; i < proc_hi; ++i) {
+    all_target += targets[i];
+    if (i < proc_mid) left_target += targets[i];
+  }
+  const double frac = all_target > 0.0 ? left_target / all_target : 0.5;
+
+  const double goal = sums.sum(seq_lo, seq_hi) * frac;
+  const std::size_t cut = greedy_cut(sums, seq_lo, seq_hi, goal);
+  breaks[proc_mid] = cut;
+  dissect(sums, seq_lo, cut, targets, proc_lo, proc_mid, breaks);
+  dissect(sums, cut, seq_hi, targets, proc_mid, proc_hi, breaks);
+}
+}  // namespace
+
+Breaks dissection_split(const PrefixSums& sums,
+                        std::span<const double> targets) {
+  validate(targets);
+  const std::size_t p = targets.size();
+  Breaks breaks(p + 1, 0);
+  breaks[p] = sums.size();
+  dissect(sums, 0, sums.size(), targets, 0, p, breaks);
+  return breaks;
+}
+
+Breaks dissection_split(std::span<const double> weights,
+                        std::span<const double> targets) {
+  return dissection_split(PrefixSums(weights), targets);
+}
+
+std::vector<double> equal_targets(std::size_t p) {
+  return std::vector<double>(p, 1.0 / static_cast<double>(p));
+}
+
+// --- Reference scan kernels -----------------------------------------------
+// The seed implementations, unchanged: O(n) element-by-element rescans.
+
+std::vector<double> reference_chunk_loads(std::span<const double> weights,
+                                          const Breaks& breaks) {
+  std::vector<double> loads(breaks.size() - 1, 0.0);
+  for (std::size_t i = 0; i + 1 < breaks.size(); ++i)
+    for (std::size_t j = breaks[i]; j < breaks[i + 1]; ++j)
+      loads[i] += weights[j];
+  return loads;
+}
+
+Breaks reference_greedy_split(std::span<const double> weights,
+                              std::span<const double> targets) {
   validate(targets);
   const std::size_t p = targets.size();
   const std::size_t n = weights.size();
@@ -56,8 +276,6 @@ Breaks greedy_split(std::span<const double> weights,
   for (double t : targets) tsum += t;
   if (tsum <= 0.0) tsum = 1.0;
 
-  // Goals are recomputed from the *remaining* work and target mass so that
-  // per-chunk rounding errors do not accumulate onto the final chunk.
   double remaining_work = total_of(weights);
   double remaining_target = tsum;
 
@@ -88,8 +306,8 @@ Breaks greedy_split(std::span<const double> weights,
   return breaks;
 }
 
-Breaks plain_greedy_split(std::span<const double> weights,
-                          std::span<const double> targets) {
+Breaks reference_plain_greedy_split(std::span<const double> weights,
+                                    std::span<const double> targets) {
   validate(targets);
   const std::size_t p = targets.size();
   const std::size_t n = weights.size();
@@ -104,9 +322,6 @@ Breaks plain_greedy_split(std::span<const double> weights,
   for (std::size_t i = 0; i + 1 < p; ++i) {
     const double goal = total * (targets[i] / tsum);
     double load = 0.0;
-    // Textbook first-fit: fill until the goal is reached, always taking
-    // the crossing element (surplus <= one element per chunk, and the
-    // accumulated surplus starves the trailing chunks).
     while (j < n && load < goal) {
       load += weights[j];
       ++j;
@@ -116,8 +331,8 @@ Breaks plain_greedy_split(std::span<const double> weights,
   return breaks;
 }
 
-Breaks optimal_split(std::span<const double> weights,
-                     std::span<const double> targets) {
+Breaks reference_optimal_split(std::span<const double> weights,
+                               std::span<const double> targets) {
   validate(targets);
   const std::size_t p = targets.size();
   const std::size_t n = weights.size();
@@ -129,19 +344,13 @@ Breaks optimal_split(std::span<const double> weights,
   std::vector<double> goals(p);
   for (std::size_t i = 0; i < p; ++i) goals[i] = targets[i] / tsum;
 
-  // Degenerate target vectors (all zero, e.g. every node reported dead)
-  // have no feasible bottleneck at any scale; fall back to the greedy
-  // splitter's behavior instead of searching forever.
   double goal_max = 0.0;
   for (double g : goals) goal_max = std::max(goal_max, g);
-  if (goal_max <= 0.0) return greedy_split(weights, targets);
+  if (goal_max <= 0.0) return reference_greedy_split(weights, targets);
 
   double wmax = 0.0;
   for (double w : weights) wmax = std::max(wmax, w);
 
-  // Feasibility probe: can the sequence be cut so that chunk i holds at
-  // most lambda * goals[i] * total?  Greedy left-to-right packing is exact
-  // for contiguous chunks with ordered targets.
   auto probe = [&](double lambda, Breaks* out) {
     Breaks breaks(p + 1, n);
     breaks[0] = 0;
@@ -160,11 +369,9 @@ Breaks optimal_split(std::span<const double> weights,
     return feasible;
   };
 
-  // Lower bound: perfect proportionality; upper bound: everything feasible.
   double lo = 1.0;
   double hi = 1.0;
   if (total > 0.0) {
-    // A chunk must hold its largest single element.
     double min_goal = std::numeric_limits<double>::infinity();
     for (double g : goals)
       if (g > 0.0) min_goal = std::min(min_goal, g);
@@ -172,7 +379,7 @@ Breaks optimal_split(std::span<const double> weights,
          static_cast<double>(p);
   }
   for (int doubling = 0; !probe(hi, nullptr); ++doubling) {
-    if (doubling > 200) return greedy_split(weights, targets);
+    if (doubling > 200) return reference_greedy_split(weights, targets);
     hi *= 2.0;
   }
 
@@ -190,9 +397,10 @@ Breaks optimal_split(std::span<const double> weights,
 }
 
 namespace {
-void dissect(std::span<const double> weights, std::size_t seq_lo,
-             std::size_t seq_hi, std::span<const double> targets,
-             std::size_t proc_lo, std::size_t proc_hi, Breaks& breaks) {
+void reference_dissect(std::span<const double> weights, std::size_t seq_lo,
+                       std::size_t seq_hi, std::span<const double> targets,
+                       std::size_t proc_lo, std::size_t proc_hi,
+                       Breaks& breaks) {
   const std::size_t nproc = proc_hi - proc_lo;
   if (nproc <= 1) return;
   const std::size_t proc_mid = proc_lo + (nproc + 1) / 2;
@@ -222,23 +430,19 @@ void dissect(std::span<const double> weights, std::size_t seq_lo,
     ++cut;
   }
   breaks[proc_mid] = cut;
-  dissect(weights, seq_lo, cut, targets, proc_lo, proc_mid, breaks);
-  dissect(weights, cut, seq_hi, targets, proc_mid, proc_hi, breaks);
+  reference_dissect(weights, seq_lo, cut, targets, proc_lo, proc_mid, breaks);
+  reference_dissect(weights, cut, seq_hi, targets, proc_mid, proc_hi, breaks);
 }
 }  // namespace
 
-Breaks dissection_split(std::span<const double> weights,
-                        std::span<const double> targets) {
+Breaks reference_dissection_split(std::span<const double> weights,
+                                  std::span<const double> targets) {
   validate(targets);
   const std::size_t p = targets.size();
   Breaks breaks(p + 1, 0);
   breaks[p] = weights.size();
-  dissect(weights, 0, weights.size(), targets, 0, p, breaks);
+  reference_dissect(weights, 0, weights.size(), targets, 0, p, breaks);
   return breaks;
-}
-
-std::vector<double> equal_targets(std::size_t p) {
-  return std::vector<double>(p, 1.0 / static_cast<double>(p));
 }
 
 }  // namespace pragma::partition

@@ -13,11 +13,19 @@
 //                        partitioning; best balance, slowest),
 //  * dissection_split  — p-way recursive binary dissection (pBD; fast,
 //                        keeps long contiguous runs together).
+//
+// All splitters run on prefix-sum kernels: chunk extents are binary searches
+// over the PrefixSums view instead of O(n) rescans, so a full split costs
+// O(n + p log n) (and each optimal_split feasibility probe O(p log n)).
+// The original scan implementations are kept under the `reference_` prefix
+// so tests can assert the kernels produce identical breaks.
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
+
+#include "pragma/partition/prefix_sums.hpp"
 
 namespace pragma::partition {
 
@@ -28,6 +36,9 @@ using Breaks = std::vector<std::size_t>;
 
 /// Per-chunk loads under a given break vector.
 [[nodiscard]] std::vector<double> chunk_loads(std::span<const double> weights,
+                                              const Breaks& breaks);
+/// Same, against a prebuilt prefix-sum view (O(p)).
+[[nodiscard]] std::vector<double> chunk_loads(const PrefixSums& sums,
                                               const Breaks& breaks);
 
 /// Bottleneck of a break vector: max_i load_i / target_i (targets are
@@ -43,6 +54,9 @@ using Breaks = std::vector<std::size_t>;
 /// so rounding errors do not pile onto the last chunk.
 [[nodiscard]] Breaks greedy_split(std::span<const double> weights,
                                   std::span<const double> targets);
+/// Same, sharing a prebuilt prefix-sum view of `weights`.
+[[nodiscard]] Breaks greedy_split(const PrefixSums& sums,
+                                  std::span<const double> targets);
 
 /// First-generation greedy: goals fixed up front from the total (no
 /// remaining-work correction), so per-chunk surpluses accumulate onto the
@@ -50,10 +64,15 @@ using Breaks = std::vector<std::size_t>;
 /// partitioner the paper's Table 4 uses as the baseline.
 [[nodiscard]] Breaks plain_greedy_split(std::span<const double> weights,
                                         std::span<const double> targets);
+[[nodiscard]] Breaks plain_greedy_split(const PrefixSums& sums,
+                                        std::span<const double> targets);
 
 /// Exact minimax contiguous partition for weighted targets: binary search
-/// on the bottleneck value with a greedy feasibility probe.  O(n log(W/eps)).
+/// on the bottleneck value with a greedy feasibility probe.  Each probe is
+/// O(p log n) over the prefix sums, O(n + p log n log(W/eps)) overall.
 [[nodiscard]] Breaks optimal_split(std::span<const double> weights,
+                                   std::span<const double> targets);
+[[nodiscard]] Breaks optimal_split(const PrefixSums& sums,
                                    std::span<const double> targets);
 
 /// p-way recursive binary dissection: split the sequence into two parts
@@ -61,8 +80,25 @@ using Breaks = std::vector<std::size_t>;
 /// halves, recurse.  Handles any p >= 1.
 [[nodiscard]] Breaks dissection_split(std::span<const double> weights,
                                       std::span<const double> targets);
+[[nodiscard]] Breaks dissection_split(const PrefixSums& sums,
+                                      std::span<const double> targets);
 
 /// Equal targets helper (1/p each).
 [[nodiscard]] std::vector<double> equal_targets(std::size_t p);
+
+// --- Reference scan kernels -----------------------------------------------
+// The original O(n)-rescan implementations, element-by-element accumulation.
+// Kept (and exercised by benches/tests) as the ground truth the prefix-sum
+// kernels must match break-for-break.
+[[nodiscard]] Breaks reference_greedy_split(std::span<const double> weights,
+                                            std::span<const double> targets);
+[[nodiscard]] Breaks reference_plain_greedy_split(
+    std::span<const double> weights, std::span<const double> targets);
+[[nodiscard]] Breaks reference_optimal_split(std::span<const double> weights,
+                                             std::span<const double> targets);
+[[nodiscard]] Breaks reference_dissection_split(
+    std::span<const double> weights, std::span<const double> targets);
+[[nodiscard]] std::vector<double> reference_chunk_loads(
+    std::span<const double> weights, const Breaks& breaks);
 
 }  // namespace pragma::partition

@@ -3,10 +3,54 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "pragma/util/thread_pool.hpp"
+
 namespace pragma::partition {
 
+namespace {
+/// One rasterization unit: a box with its level's precomputed weights.
+struct BoxTask {
+  const amr::Box* box;
+  double work_per_l0;
+  double cells_per_l0;
+  int rr;
+  std::uint32_t level_bit;
+};
+
+/// Rasterize one box onto (work, storage, levels) arrays.
+void rasterize_box(const BoxTask& task, int grain, amr::IntVec3 dims,
+                   std::vector<double>& work, std::vector<double>& storage,
+                   std::vector<std::uint32_t>& levels) {
+  const amr::Box in_l0 = task.box->coarsen(task.rr);
+  const amr::IntVec3 glo{in_l0.lo().x / grain, in_l0.lo().y / grain,
+                         in_l0.lo().z / grain};
+  const amr::IntVec3 ghi{(in_l0.hi().x + grain - 1) / grain,
+                         (in_l0.hi().y + grain - 1) / grain,
+                         (in_l0.hi().z + grain - 1) / grain};
+  for (int gz = glo.z; gz < ghi.z; ++gz)
+    for (int gy = glo.y; gy < ghi.y; ++gy)
+      for (int gx = glo.x; gx < ghi.x; ++gx) {
+        const amr::Box cell({gx * grain, gy * grain, gz * grain},
+                            {(gx + 1) * grain, (gy + 1) * grain,
+                             (gz + 1) * grain});
+        const auto overlap =
+            static_cast<double>(cell.intersection(in_l0).volume());
+        if (overlap <= 0.0) continue;
+        const std::size_t c =
+            static_cast<std::size_t>(gx) +
+            static_cast<std::size_t>(dims.x) *
+                (static_cast<std::size_t>(gy) +
+                 static_cast<std::size_t>(dims.y) *
+                     static_cast<std::size_t>(gz));
+        work[c] += overlap * task.work_per_l0;
+        storage[c] += overlap * task.cells_per_l0;
+        levels[c] |= task.level_bit;
+      }
+}
+}  // namespace
+
 WorkGrid::WorkGrid(const amr::GridHierarchy& hierarchy, int grain,
-                   CurveKind curve)
+                   CurveKind curve, int threads)
     : grain_(grain),
       num_levels_(hierarchy.num_levels()),
       ratio_(hierarchy.ratio()) {
@@ -24,41 +68,64 @@ WorkGrid::WorkGrid(const amr::GridHierarchy& hierarchy, int grain,
   // Rasterize each level's boxes onto the grain lattice.  A level-l box is
   // first coarsened to level-0 index space; for each overlapped grain cell
   // the exact level-0 overlap volume is scaled back to level-l quantities.
+  std::vector<BoxTask> tasks;
   for (const amr::GridLevel& level : hierarchy.levels()) {
     const auto r = static_cast<double>(hierarchy.cumulative_ratio(level.level));
     const double cells_per_l0 = r * r * r;      // level-l cells per L0 cell
     const double work_per_l0 = cells_per_l0 * r;  // MIT substeps
     const int rr = static_cast<int>(hierarchy.cumulative_ratio(level.level));
-    for (const amr::Box& box : level.boxes) {
-      const amr::Box in_l0 = box.coarsen(rr);
-      const amr::IntVec3 glo{in_l0.lo().x / grain, in_l0.lo().y / grain,
-                             in_l0.lo().z / grain};
-      const amr::IntVec3 ghi{(in_l0.hi().x + grain - 1) / grain,
-                             (in_l0.hi().y + grain - 1) / grain,
-                             (in_l0.hi().z + grain - 1) / grain};
-      for (int gz = glo.z; gz < ghi.z; ++gz)
-        for (int gy = glo.y; gy < ghi.y; ++gy)
-          for (int gx = glo.x; gx < ghi.x; ++gx) {
-            const amr::Box cell({gx * grain, gy * grain, gz * grain},
-                                {(gx + 1) * grain, (gy + 1) * grain,
-                                 (gz + 1) * grain});
-            const auto overlap = static_cast<double>(
-                cell.intersection(in_l0).volume());
-            if (overlap <= 0.0) continue;
-            const std::size_t c = linear({gx, gy, gz});
-            work_[c] += overlap * work_per_l0;
-            storage_[c] += overlap * cells_per_l0;
-            levels_[c] |= 1u << level.level;
-          }
-    }
+    for (const amr::Box& box : level.boxes)
+      tasks.push_back({&box, work_per_l0, cells_per_l0, rr,
+                       1u << level.level});
+  }
+
+  // Too few boxes to amortize per-thread partial grids: stay serial.
+  constexpr std::size_t kMinTasksPerThread = 8;
+  const std::size_t max_blocks =
+      threads > 1 ? tasks.size() / kMinTasksPerThread : 1;
+  if (max_blocks <= 1) {
+    for (const BoxTask& task : tasks)
+      rasterize_box(task, grain, dims_, work_, storage_, levels_);
+  } else {
+    const int blocks =
+        static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(threads), max_blocks));
+    std::vector<std::vector<double>> part_work;
+    std::vector<std::vector<double>> part_storage;
+    std::vector<std::vector<std::uint32_t>> part_levels;
+    part_work.resize(static_cast<std::size_t>(blocks));
+    part_storage.resize(static_cast<std::size_t>(blocks));
+    part_levels.resize(static_cast<std::size_t>(blocks));
+    const std::size_t used = util::parallel_blocks(
+        tasks.size(), blocks,
+        [&](std::size_t block, std::size_t begin, std::size_t end) {
+          auto& bw = part_work[block];
+          auto& bs = part_storage[block];
+          auto& bl = part_levels[block];
+          bw.assign(count, 0.0);
+          bs.assign(count, 0.0);
+          bl.assign(count, 0u);
+          for (std::size_t t = begin; t < end; ++t)
+            rasterize_box(tasks[t], grain, dims_, bw, bs, bl);
+        });
+    // Merge the contiguous slices in block order: deterministic for a
+    // fixed thread count (and exact whenever the work values are, as for
+    // the integer-valued RM3D weights).
+    for (std::size_t b = 0; b < used; ++b)
+      for (std::size_t c = 0; c < count; ++c) {
+        work_[c] += part_work[b][c];
+        storage_[c] += part_storage[b][c];
+        levels_[c] |= part_levels[b][c];
+      }
   }
 
   total_work_ = 0.0;
   for (double w : work_) total_work_ += w;
 
-  order_ = curve_order(dims_, curve);
-  sequence_.reserve(order_.size());
-  for (std::uint32_t c : order_) sequence_.push_back(work_[c]);
+  order_ = curve_order_shared(dims_, curve);
+  sequence_.reserve(order_->size());
+  for (std::uint32_t c : *order_) sequence_.push_back(work_[c]);
+  prefix_ = PrefixSums(sequence_);
 }
 
 amr::IntVec3 WorkGrid::coords(std::size_t c) const {
@@ -75,6 +142,33 @@ amr::Box WorkGrid::cell_box(std::size_t c) const {
   return amr::Box({p.x * grain_, p.y * grain_, p.z * grain_},
                   {(p.x + 1) * grain_, (p.y + 1) * grain_,
                    (p.z + 1) * grain_});
+}
+
+std::shared_ptr<const WorkGrid> WorkGridCache::get_or_build(
+    std::size_t snapshot, const amr::GridHierarchy& hierarchy, int grain,
+    CurveKind curve, int threads) {
+  const Key key{snapshot, grain, curve};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Rasterize outside the lock; a concurrent builder of the same key loses
+  // the try_emplace race and its grid is dropped.
+  auto grid = std::make_shared<const WorkGrid>(hierarchy, grain, curve,
+                                               threads);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.try_emplace(key, std::move(grid)).first->second;
+}
+
+std::size_t WorkGridCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+void WorkGridCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
 }
 
 }  // namespace pragma::partition

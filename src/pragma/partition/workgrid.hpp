@@ -12,9 +12,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "pragma/amr/hierarchy.hpp"
+#include "pragma/partition/prefix_sums.hpp"
 #include "pragma/partition/sfc.hpp"
 
 namespace pragma::partition {
@@ -22,9 +26,11 @@ namespace pragma::partition {
 class WorkGrid {
  public:
   /// Rasterize `hierarchy` at the given grain (level-0 cells per grain-cell
-  /// edge) using the given curve for the 1-D ordering.
+  /// edge) using the given curve for the 1-D ordering.  `threads` > 1
+  /// splits the per-box rasterization across the shared thread pool with
+  /// per-thread partial grids merged in box order; 1 is the serial path.
   WorkGrid(const amr::GridHierarchy& hierarchy, int grain,
-           CurveKind curve = CurveKind::kHilbert);
+           CurveKind curve = CurveKind::kHilbert, int threads = 1);
 
   [[nodiscard]] int grain() const { return grain_; }
   [[nodiscard]] amr::IntVec3 lattice_dims() const { return dims_; }
@@ -43,14 +49,18 @@ class WorkGrid {
   /// Storage volume of grain cell `c` in cell-equivalents across levels.
   [[nodiscard]] double storage(std::size_t c) const { return storage_[c]; }
 
-  /// SFC visit order: order()[rank] = linear cell index.
+  /// SFC visit order: order()[rank] = linear cell index.  The vector is
+  /// shared with the process-wide curve cache (see curve_order_shared).
   [[nodiscard]] const std::vector<std::uint32_t>& order() const {
-    return order_;
+    return *order_;
   }
   /// Work in SFC order (the 1-D sequence the splitters divide).
   [[nodiscard]] const std::vector<double>& sequence() const {
     return sequence_;
   }
+  /// Prefix sums of sequence(), built once so every splitter invocation on
+  /// this grid shares the same O(1)-range-sum view.
+  [[nodiscard]] const PrefixSums& prefix_sums() const { return prefix_; }
 
   /// Linear index from lattice coordinates.
   [[nodiscard]] std::size_t linear(amr::IntVec3 p) const {
@@ -74,9 +84,46 @@ class WorkGrid {
   std::vector<double> work_;
   std::vector<std::uint32_t> levels_;
   std::vector<double> storage_;
-  std::vector<std::uint32_t> order_;
+  std::shared_ptr<const std::vector<std::uint32_t>> order_;
   std::vector<double> sequence_;
+  PrefixSums prefix_;
   double total_work_ = 0.0;
+};
+
+/// Thread-safe cache of immutable WorkGrids keyed by (snapshot index,
+/// grain, curve).  Trace replays and multi-run benches request the same
+/// canonical grid once per partitioner run; with the cache each grid is
+/// rasterized exactly once per trace and shared from then on.
+class WorkGridCache {
+ public:
+  /// Return the cached grid for (`snapshot`, `grain`, `curve`), building it
+  /// from `hierarchy` on first request.  The caller must use a stable
+  /// snapshot index <-> hierarchy mapping for the lifetime of the cache.
+  [[nodiscard]] std::shared_ptr<const WorkGrid> get_or_build(
+      std::size_t snapshot, const amr::GridHierarchy& hierarchy, int grain,
+      CurveKind curve, int threads = 1);
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  struct Key {
+    std::size_t snapshot;
+    int grain;
+    CurveKind curve;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      std::uint64_t h = static_cast<std::uint64_t>(key.snapshot);
+      h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(key.grain);
+      h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(key.curve);
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<const WorkGrid>, KeyHash> cache_;
 };
 
 }  // namespace pragma::partition

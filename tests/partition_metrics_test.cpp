@@ -97,6 +97,42 @@ TEST(MigrationFraction, CompleteSwapIsOne) {
   EXPECT_DOUBLE_EQ(migration_fraction(grid, a, b), 1.0);
 }
 
+TEST(OwnerValidation, SizeMismatchThrows) {
+  const WorkGrid grid(flat_hierarchy(), 4);
+  OwnerMap owners;
+  owners.nprocs = 2;
+  owners.owner.assign(grid.cell_count() - 1, 0);  // one cell short
+  EXPECT_THROW(processor_loads(grid, owners), std::invalid_argument);
+  EXPECT_THROW(processor_storage(grid, owners), std::invalid_argument);
+  EXPECT_THROW(communication_volume(grid, owners), std::invalid_argument);
+  PartitionResult result;
+  result.owners = owners;
+  EXPECT_THROW(evaluate_pac(grid, result, equal_targets(2)),
+               std::invalid_argument);
+}
+
+TEST(OwnerValidation, OwnerOutOfRangeThrows) {
+  const WorkGrid grid(flat_hierarchy(), 4);
+  OwnerMap owners = half_split(grid);
+  owners.owner.front() = owners.nprocs;  // one past the last processor
+  EXPECT_THROW(processor_loads(grid, owners), std::invalid_argument);
+  EXPECT_THROW(processor_storage(grid, owners), std::invalid_argument);
+  owners.owner.front() = -1;
+  EXPECT_THROW(processor_loads(grid, owners), std::invalid_argument);
+  PartitionResult result;
+  result.owners = owners;
+  EXPECT_THROW(evaluate_pac(grid, result, equal_targets(2)),
+               std::invalid_argument);
+}
+
+TEST(OwnerValidation, TargetsMismatchThrows) {
+  const WorkGrid grid(flat_hierarchy(), 4);
+  PartitionResult result;
+  result.owners = half_split(grid);  // nprocs == 2
+  EXPECT_THROW(evaluate_pac(grid, result, equal_targets(3)),
+               std::invalid_argument);
+}
+
 TEST(MigrationFraction, SizeMismatchThrows) {
   const WorkGrid grid(flat_hierarchy(), 4);
   const OwnerMap a = half_split(grid);
