@@ -1,0 +1,218 @@
+// Chaos soak — the fault-tolerant control plane under sustained abuse.
+//
+// Runs the fully managed RM3D execution (Section 4.7) with every
+// robustness feature engaged at once: a lossy, jittery, duplicating
+// message channel; random node failures (MTBF >> MTTR) detected by
+// heartbeat timeout rather than an oracle; checkpoint/rollback recovery;
+// and the synthetic background-load generator.  A fault-free run of the
+// same configuration provides the baseline.
+//
+// The soak asserts the invariants the runtime promises:
+//   - work conservation: the chaos run advances exactly the same total
+//     cell updates as the fault-free run (every coarse step completes
+//     exactly once, failures notwithstanding);
+//   - zero lost directives: the request/reply protocol never gives up on
+//     a directive addressed to a live component;
+//   - no false suspects at the default detection thresholds;
+//   - bounded recovery overhead (lost-work fraction and total slowdown);
+//   - determinism: two runs at the same seed produce bit-identical
+//     reports (all randomness flows through seeded util::Rng streams and
+//     the partitioner cost is modeled, not measured).
+//
+// Results land in BENCH_chaos_soak.json using the same name -> numeric
+// fields schema as BENCH_partition_pipeline.json.  Exit code is non-zero
+// when any invariant fails, so CI can run this directly.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "pragma/core/managed_run.hpp"
+
+using namespace pragma;
+
+namespace {
+
+struct SoakConfig {
+  int steps = 200;
+  std::size_t procs = 16;
+  double drop = 0.05;
+  double duplicate = 0.01;
+  double mtbf_s = 400.0;
+  double mttr_s = 60.0;
+  double checkpoint_s = 25.0;
+  std::uint64_t seed = 40;
+};
+
+SoakConfig parse_args(int argc, char** argv) {
+  SoakConfig config;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const double value = std::atof(argv[i + 1]);
+    if (flag == "--steps") config.steps = static_cast<int>(value);
+    else if (flag == "--procs") config.procs = static_cast<std::size_t>(value);
+    else if (flag == "--drop") config.drop = value;
+    else if (flag == "--mtbf") config.mtbf_s = value;
+    else if (flag == "--mttr") config.mttr_s = value;
+    else if (flag == "--checkpoint") config.checkpoint_s = value;
+    else if (flag == "--seed") config.seed = static_cast<std::uint64_t>(value);
+  }
+  return config;
+}
+
+core::ManagedRunConfig managed_config(const SoakConfig& soak, bool chaos) {
+  core::ManagedRunConfig config;
+  config.app.coarse_steps = soak.steps;
+  config.nprocs = soak.procs;
+  config.with_background_load = true;
+  config.system_sensitive = true;
+  config.seed = soak.seed;
+  config.ft.enabled = true;
+  config.ft.checkpoint_interval_s = soak.checkpoint_s;
+  if (chaos) {
+    config.ft.channel.drop_probability = soak.drop;
+    config.ft.channel.duplicate_probability = soak.duplicate;
+    config.ft.channel.jitter_s = 2.0 * config.exec.message_latency_s;
+  }
+  return config;
+}
+
+core::ManagedRunReport run_one(const SoakConfig& soak, bool chaos) {
+  core::ManagedRun managed(managed_config(soak, chaos));
+  if (chaos) managed.start_random_failures(soak.mtbf_s, soak.mttr_s);
+  return managed.run();
+}
+
+int failures = 0;
+void check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (!ok) ++failures;
+}
+
+/// Bit-exact double comparison (determinism means byte-identical).
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const SoakConfig soak = parse_args(argc, argv);
+  bench::banner("Chaos soak",
+                "fault-tolerant control plane under loss + failures");
+  std::printf(
+      "config: steps=%d procs=%zu drop=%.3f dup=%.3f mtbf=%.0fs mttr=%.0fs"
+      " checkpoint=%.0fs seed=%llu\n",
+      soak.steps, soak.procs, soak.drop, soak.duplicate, soak.mtbf_s,
+      soak.mttr_s, soak.checkpoint_s,
+      static_cast<unsigned long long>(soak.seed));
+
+  std::printf("\nbaseline (faults disabled) ...\n");
+  const core::ManagedRunReport baseline = run_one(soak, /*chaos=*/false);
+  std::printf("chaos run 1 ...\n");
+  const core::ManagedRunReport chaos = run_one(soak, /*chaos=*/true);
+  std::printf("chaos run 2 (determinism replay) ...\n");
+  const core::ManagedRunReport replay = run_one(soak, /*chaos=*/true);
+
+  util::TextTable table({"metric", "baseline", "chaos"});
+  table.set_alignment(0, util::Align::kLeft);
+  table.add_row({"total time (s)", util::cell(baseline.total_time_s, 1),
+                 util::cell(chaos.total_time_s, 1)});
+  table.add_row({"cells advanced", util::cell(baseline.cells_advanced, 0),
+                 util::cell(chaos.cells_advanced, 0)});
+  table.add_row({"checkpoints", util::cell(baseline.checkpoints),
+                 util::cell(chaos.checkpoints)});
+  table.add_row({"detected failures", util::cell(baseline.detected_failures),
+                 util::cell(chaos.detected_failures)});
+  table.add_row({"migrations", util::cell(baseline.migrations),
+                 util::cell(chaos.migrations)});
+  table.add_row({"directive retries", util::cell(baseline.directive_retries),
+                 util::cell(chaos.directive_retries)});
+  table.add_row({"messages dropped", util::cell(baseline.messages_lost),
+                 util::cell(chaos.messages_lost)});
+  table.add_row({"heartbeats", util::cell(baseline.heartbeats_received),
+                 util::cell(chaos.heartbeats_received)});
+  std::cout << '\n' << table.render() << '\n';
+
+  const double mean_detection_s =
+      chaos.detected_failures > 0
+          ? chaos.detection_latency_s /
+                static_cast<double>(chaos.detected_failures)
+          : 0.0;
+  const double lost_work_fraction =
+      chaos.cells_advanced > 0.0
+          ? chaos.recomputed_cells / chaos.cells_advanced
+          : 0.0;
+  const double overhead_fraction =
+      baseline.total_time_s > 0.0
+          ? (chaos.total_time_s - baseline.total_time_s) /
+                baseline.total_time_s
+          : 0.0;
+  const double false_suspect_rate =
+      chaos.suspects > 0 ? static_cast<double>(chaos.false_suspects) /
+                               static_cast<double>(chaos.suspects)
+                         : 0.0;
+
+  std::printf("invariants:\n");
+  check(baseline.detected_failures == 0 && baseline.suspects == 0 &&
+            baseline.lost_directives == 0,
+        "baseline is failure-free");
+  check(chaos.cells_advanced > 0.0 &&
+            same_bits(chaos.cells_advanced, baseline.cells_advanced),
+        "work conservation: chaos advanced the same cell updates");
+  check(chaos.lost_directives == 0, "zero directives lost to live targets");
+  check(chaos.false_suspects == 0,
+        "no false suspects at default detection thresholds");
+  check(lost_work_fraction < 0.2, "lost-work fraction bounded (< 20%)");
+  check(overhead_fraction < 0.75,
+        "recovery overhead bounded (< 75% slowdown)");
+  check(same_bits(chaos.total_time_s, replay.total_time_s) &&
+            same_bits(chaos.cells_advanced, replay.cells_advanced) &&
+            chaos.detected_failures == replay.detected_failures &&
+            chaos.messages_lost == replay.messages_lost &&
+            chaos.directive_retries == replay.directive_retries &&
+            chaos.heartbeats_received == replay.heartbeats_received &&
+            chaos.adm_decisions == replay.adm_decisions,
+        "deterministic: replay at the same seed is bit-identical");
+
+  util::BenchJsonWriter json;
+  json.entry("chaos_soak/recovery")
+      .field("detected_failures", chaos.detected_failures)
+      .field("mean_detection_s", mean_detection_s, 3)
+      .field("recovery_time_s", chaos.recovery_time_s, 3)
+      .field("lost_work_fraction", lost_work_fraction, 6);
+  json.entry("chaos_soak/protocol")
+      .field("directive_retries", chaos.directive_retries)
+      .field("lost_directives", chaos.lost_directives)
+      .field("directives_abandoned", chaos.directives_abandoned)
+      .field("duplicates_suppressed", chaos.duplicates_suppressed)
+      .field("messages_dropped", chaos.messages_lost);
+  json.entry("chaos_soak/detector")
+      .field("heartbeats_received", chaos.heartbeats_received)
+      .field("suspects", chaos.suspects)
+      .field("false_suspects", chaos.false_suspects)
+      .field("false_suspect_rate", false_suspect_rate, 6)
+      .field("detector_recoveries", chaos.detector_recoveries);
+  json.entry("chaos_soak/totals")
+      .field("baseline_time_s", baseline.total_time_s, 1)
+      .field("chaos_time_s", chaos.total_time_s, 1)
+      .field("overhead_fraction", overhead_fraction, 6)
+      .field("checkpoints", chaos.checkpoints)
+      .field("checkpoint_time_s", chaos.checkpoint_time_s, 2)
+      .field("cells_advanced", chaos.cells_advanced, 0)
+      .field("recomputed_cells", chaos.recomputed_cells, 0);
+  if (json.write("BENCH_chaos_soak.json"))
+    std::printf("\nwrote BENCH_chaos_soak.json (%zu entries)\n",
+                json.entry_count());
+  else
+    std::fprintf(stderr, "\ncould not write BENCH_chaos_soak.json\n");
+
+  if (failures > 0) {
+    std::fprintf(stderr, "\n%d invariant(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("\nall invariants held\n");
+  return 0;
+}

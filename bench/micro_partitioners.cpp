@@ -21,6 +21,7 @@
 #include "pragma/amr/rm3d.hpp"
 #include "pragma/amr/synthetic.hpp"
 #include "pragma/partition/metrics.hpp"
+#include "pragma/util/table.hpp"
 #include "pragma/util/thread_pool.hpp"
 
 using namespace pragma;
@@ -148,20 +149,13 @@ double time_ns_per_op(Fn&& fn) {
 
 bool write_pipeline_json(const std::vector<PipelineEntry>& entries,
                          const char* path) {
-  std::FILE* out = std::fopen(path, "w");
-  if (out == nullptr) return false;
-  std::fprintf(out, "[\n");
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const PipelineEntry& e = entries[i];
-    std::fprintf(out,
-                 "  {\"name\": \"%s\", \"ns_per_op\": %.1f, "
-                 "\"cells\": %zu, \"threads\": %d}%s\n",
-                 e.name.c_str(), e.ns_per_op, e.cells, e.threads,
-                 i + 1 < entries.size() ? "," : "");
-  }
-  std::fprintf(out, "]\n");
-  std::fclose(out);
-  return true;
+  util::BenchJsonWriter json;
+  for (const PipelineEntry& e : entries)
+    json.entry(e.name)
+        .field("ns_per_op", e.ns_per_op)
+        .field("cells", e.cells)
+        .field("threads", e.threads);
+  return json.write(path);
 }
 
 std::vector<PipelineEntry> run_pipeline_harness() {

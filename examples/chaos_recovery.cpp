@@ -1,0 +1,83 @@
+// Fault-tolerant managed execution: detected failures, not oracle ones.
+//
+// The same managed RM3D run as managed_execution, but with the
+// fault-tolerant control plane switched on: control messages drop and
+// jitter, the ADM's directives ride the sequence-numbered request/reply
+// protocol, node death is detected from heartbeat silence, and recovery
+// rolls survivors back to the last save-state checkpoint.  A node is
+// killed mid-run so the whole pipeline — silence, suspicion, confirmation,
+// migrate directive, rollback — is visible in the report.
+//
+//   $ ./chaos_recovery [--procs 16] [--steps 200] [--fail-at 60]
+//                      [--drop 0.05] [--checkpoint 25]
+#include <iostream>
+
+#include "pragma/core/managed_run.hpp"
+#include "pragma/util/cli.hpp"
+#include "pragma/util/table.hpp"
+
+using namespace pragma;
+
+int main(int argc, char** argv) {
+  util::CliFlags flags("Fault-tolerant managed execution with recovery.");
+  flags.add_int("procs", 16, "number of processors");
+  flags.add_int("steps", 200, "coarse time-steps");
+  flags.add_double("fail-at", 60.0,
+                   "simulated seconds until node 3 fails (<0: no failure)");
+  flags.add_double("downtime", 120.0, "failure downtime in seconds");
+  flags.add_double("drop", 0.05, "control-message drop probability");
+  flags.add_double("checkpoint", 25.0, "save-state interval in seconds");
+  if (!flags.parse(argc, argv)) return 0;
+
+  core::ManagedRunConfig config;
+  config.app.coarse_steps = static_cast<int>(flags.get_int("steps"));
+  config.nprocs = static_cast<std::size_t>(flags.get_int("procs"));
+  config.with_background_load = true;
+  config.system_sensitive = true;
+  config.ft.enabled = true;
+  config.ft.channel.drop_probability = flags.get_double("drop");
+  config.ft.channel.jitter_s = 2.0 * config.exec.message_latency_s;
+  config.ft.checkpoint_interval_s = flags.get_double("checkpoint");
+
+  core::ManagedRun managed(config);
+  if (flags.get_double("fail-at") >= 0.0)
+    managed.schedule_failure(flags.get_double("fail-at"), 3,
+                             flags.get_double("downtime"));
+
+  std::cout << "Running " << config.app.coarse_steps
+            << " managed coarse steps on " << config.nprocs
+            << " nodes over a lossy control network (drop "
+            << flags.get_double("drop") << ")...\n";
+  const core::ManagedRunReport report = managed.run();
+
+  util::TextTable table({"metric", "value"});
+  table.set_alignment(0, util::Align::kLeft);
+  table.add_row({"simulated execution time (s)",
+                 util::cell(report.total_time_s, 1)});
+  table.add_row({"cell updates advanced",
+                 util::cell(report.cells_advanced, 0)});
+  table.add_row({"checkpoints taken", util::cell(report.checkpoints)});
+  table.add_row({"checkpoint time (s)",
+                 util::cell(report.checkpoint_time_s, 2)});
+  table.add_row({"heartbeats received",
+                 util::cell(report.heartbeats_received)});
+  table.add_row({"failures detected", util::cell(report.detected_failures)});
+  table.add_row({"detection latency (s)",
+                 util::cell(report.detection_latency_s, 2)});
+  table.add_row({"false suspects", util::cell(report.false_suspects)});
+  table.add_row({"rollback recompute (s)",
+                 util::cell(report.recovery_time_s, 2)});
+  table.add_row({"cell updates recomputed",
+                 util::cell(report.recomputed_cells, 0)});
+  table.add_row({"directive retries", util::cell(report.directive_retries)});
+  table.add_row({"directives lost", util::cell(report.lost_directives)});
+  table.add_row({"messages dropped by channel",
+                 util::cell(report.messages_lost)});
+  table.add_row({"failure-driven migrations", util::cell(report.migrations)});
+  std::cout << table.render()
+            << "\nThe failure is *detected* from heartbeat silence — compare"
+               "\n'detection latency' with managed_execution's instant oracle"
+               "\nreaction — and survivors replay everything the victim did"
+               "\nsince the last checkpoint.\n";
+  return 0;
+}

@@ -25,6 +25,11 @@ void Adm::set_context(policy::AttributeSet context) {
 
 void Adm::set_directive_hook(DirectiveHook hook) { hook_ = std::move(hook); }
 
+void Adm::use_reliable_channel(ReliableChannel* reliable) {
+  reliable_ = reliable;
+  if (reliable_ != nullptr) reliable_->make_endpoint(config_.port);
+}
+
 void Adm::on_event(const Message& message) {
   pending_[message.type].push_back(message);
   if (!window_open_) {
@@ -89,7 +94,10 @@ void Adm::consolidate() {
       directive.to = port;
       directive.type = action;
       directive.payload = fired.action;
-      center_.send(std::move(directive));
+      if (reliable_ != nullptr)
+        reliable_->send(std::move(directive));
+      else
+        center_.send(std::move(directive));
     }
 
     decisions_.push_back(AdmDecision{simulator_.now(), type, action,

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "pragma/agents/message_center.hpp"
+#include "pragma/agents/reliable.hpp"
 #include "pragma/policy/policy.hpp"
 
 namespace pragma::agents {
@@ -60,6 +61,12 @@ class Adm {
                                         const policy::AttributeSet& payload)>;
   void set_directive_hook(DirectiveHook hook);
 
+  /// Route directives through a reliable channel (retries + acks) instead
+  /// of plain sends.  The channel must outlive the ADM; pass nullptr to
+  /// revert to unreliable sends.  The ADM's own port becomes a protocol
+  /// endpoint so acks addressed to it settle in-flight directives.
+  void use_reliable_channel(ReliableChannel* reliable);
+
   [[nodiscard]] const std::vector<AdmDecision>& decisions() const {
     return decisions_;
   }
@@ -72,6 +79,7 @@ class Adm {
 
   sim::Simulator& simulator_;
   MessageCenter& center_;
+  ReliableChannel* reliable_ = nullptr;
   const policy::PolicyBase& policies_;
   AdmConfig config_;
   std::vector<PortId> managed_;

@@ -44,17 +44,42 @@ void ComponentAgent::add_rule(ThresholdRule rule) {
   rule_last_fired_.push_back(-1e300);
 }
 
+void ComponentAgent::set_liveness(std::function<bool()> alive) {
+  alive_ = std::move(alive);
+}
+
+void ComponentAgent::enable_heartbeat(std::string topic, double period_s) {
+  heartbeat_topic_ = std::move(topic);
+  heartbeat_period_s_ = period_s;
+  if (running_ && heartbeat_period_s_ > 0.0)
+    heartbeat_tick_ = simulator_.schedule_periodic(
+        heartbeat_period_s_, [this] { heartbeat(); }, /*first_delay=*/0.0);
+}
+
 void ComponentAgent::start() {
   if (running_) return;
   running_ = true;
   tick_ = simulator_.schedule_periodic(period_, [this] { sample(); },
                                        /*first_delay=*/0.0);
+  if (heartbeat_period_s_ > 0.0 && !heartbeat_topic_.empty())
+    heartbeat_tick_ = simulator_.schedule_periodic(
+        heartbeat_period_s_, [this] { heartbeat(); }, /*first_delay=*/0.0);
 }
 
 void ComponentAgent::stop() {
   if (!running_) return;
   running_ = false;
   simulator_.cancel(tick_);
+  simulator_.cancel(heartbeat_tick_);
+}
+
+void ComponentAgent::heartbeat() {
+  if (alive_ && !alive_()) return;  // a dead node's agent is silent
+  Message beat;
+  beat.from = port_;
+  beat.type = "heartbeat";
+  center_.publish(heartbeat_topic_, std::move(beat));
+  ++heartbeats_;
 }
 
 std::optional<double> ComponentAgent::last_reading(
@@ -66,6 +91,7 @@ std::optional<double> ComponentAgent::last_reading(
 
 void ComponentAgent::sample() {
   if (state_ == ComponentState::kSuspended) return;
+  if (alive_ && !alive_()) return;  // host node is down
   for (const Sensor& sensor : sensors_) readings_[sensor.name] = sensor.read();
 
   for (std::size_t r = 0; r < rules_.size(); ++r) {

@@ -62,6 +62,16 @@ class ComponentAgent {
   void add_actuator(Actuator actuator);
   void add_rule(ThresholdRule rule);
 
+  /// Gate the agent on its host's liveness: when `alive` returns false the
+  /// agent neither samples nor publishes (a CA dies with its node — it
+  /// cannot keep reporting from a failed machine).
+  void set_liveness(std::function<bool()> alive);
+
+  /// Publish periodic "heartbeat" messages to `topic` every `period_s`
+  /// (started/stopped with the agent).  The failure detector subscribes to
+  /// the topic; a silent agent is eventually suspected and confirmed dead.
+  void enable_heartbeat(std::string topic, double period_s);
+
   /// Begin periodic sensing.
   void start();
   void stop();
@@ -70,6 +80,7 @@ class ComponentAgent {
   [[nodiscard]] ComponentState state() const { return state_; }
   [[nodiscard]] std::size_t events_published() const { return events_; }
   [[nodiscard]] std::size_t directives_applied() const { return directives_; }
+  [[nodiscard]] std::size_t heartbeats_sent() const { return heartbeats_; }
 
   /// Latest reading of a sensor (sampled at the last tick), if any.
   [[nodiscard]] std::optional<double> last_reading(
@@ -78,6 +89,7 @@ class ComponentAgent {
  private:
   void on_message(const Message& message);
   void sample();
+  void heartbeat();
 
   sim::Simulator& simulator_;
   MessageCenter& center_;
@@ -94,6 +106,11 @@ class ComponentAgent {
   bool running_ = false;
   std::size_t events_ = 0;
   std::size_t directives_ = 0;
+  std::function<bool()> alive_;
+  std::string heartbeat_topic_;
+  double heartbeat_period_s_ = 0.0;
+  sim::EventHandle heartbeat_tick_;
+  std::size_t heartbeats_ = 0;
 };
 
 }  // namespace pragma::agents

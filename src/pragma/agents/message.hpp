@@ -6,6 +6,7 @@
 //  placed on this mailbox."
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "pragma/policy/policy.hpp"
@@ -22,6 +23,9 @@ struct Message {
   std::string type;   ///< e.g. "load_high", "migrate", "repartition"
   policy::AttributeSet payload;
   sim::SimTime sent_at = 0.0;
+  /// Sequence number stamped by the reliable request/reply layer.
+  /// 0 = plain (unacknowledged) message.
+  std::uint64_t seq = 0;
 };
 
 }  // namespace pragma::agents

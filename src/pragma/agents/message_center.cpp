@@ -1,6 +1,7 @@
 #include "pragma/agents/message_center.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace pragma::agents {
 
@@ -9,11 +10,50 @@ MessageCenter::MessageCenter(sim::Simulator& simulator,
     : simulator_(simulator), latency_(delivery_latency_s) {}
 
 void MessageCenter::register_port(const PortId& port, Handler handler) {
-  ports_[port].handler = std::move(handler);
+  Port& entry = ports_[port];
+  entry.handler = std::move(handler);
+  // A port that queued messages while poll-only must not strand them when
+  // a handler takes over: flush in FIFO order.  (They were already counted
+  // as delivered when they entered the mailbox.)
+  if (entry.handler && !entry.mailbox.empty()) {
+    std::deque<Message> queued = std::exchange(entry.mailbox, {});
+    for (Message& message : queued) entry.handler(message);
+  }
+}
+
+void MessageCenter::unregister_port(const PortId& port) {
+  const auto it = ports_.find(port);
+  if (it == ports_.end()) return;
+  // Queued-but-undrained messages are lost with the port.
+  dropped_ += it->second.mailbox.size();
+  ports_.erase(it);
 }
 
 bool MessageCenter::has_port(const PortId& port) const {
   return ports_.count(port) > 0;
+}
+
+void MessageCenter::set_interceptor(const PortId& port,
+                                    Interceptor interceptor) {
+  const auto it = ports_.find(port);
+  if (it == ports_.end()) return;
+  it->second.interceptor = std::move(interceptor);
+}
+
+void MessageCenter::set_faults(ChannelFaults faults, util::Rng rng) {
+  faults_ = std::move(faults);
+  fault_rng_ = rng;
+  faults_active_ = faults_.any();
+}
+
+void MessageCenter::schedule_delivery(Message message) {
+  double delay = latency_;
+  if (faults_active_ && faults_.jitter_s > 0.0)
+    delay += fault_rng_.uniform(0.0, faults_.jitter_s);
+  const PortId port = message.to;
+  simulator_.schedule(delay, [this, port, msg = std::move(message)] {
+    deliver(port, msg);
+  });
 }
 
 bool MessageCenter::send(Message message) {
@@ -23,10 +63,23 @@ bool MessageCenter::send(Message message) {
     ++dropped_;
     return false;
   }
-  const PortId port = message.to;
-  simulator_.schedule(latency_, [this, port, msg = std::move(message)] {
-    deliver(port, msg);
-  });
+  if (faults_active_) {
+    if (faults_.reachable && !faults_.reachable(message.from, message.to)) {
+      ++partition_dropped_;
+      return true;  // the sender cannot tell a partition from slow delivery
+    }
+    if (faults_.drop_probability > 0.0 &&
+        fault_rng_.bernoulli(faults_.drop_probability)) {
+      ++fault_dropped_;
+      return true;
+    }
+    if (faults_.duplicate_probability > 0.0 &&
+        fault_rng_.bernoulli(faults_.duplicate_probability)) {
+      ++duplicated_;
+      schedule_delivery(message);  // extra copy
+    }
+  }
+  schedule_delivery(std::move(message));
   return true;
 }
 
@@ -54,6 +107,7 @@ void MessageCenter::deliver(const PortId& port, Message message) {
     return;
   }
   ++delivered_;
+  if (it->second.interceptor && it->second.interceptor(message)) return;
   if (it->second.handler) {
     it->second.handler(message);
   } else {

@@ -1,0 +1,112 @@
+#include "pragma/agents/reliable.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "pragma/util/logging.hpp"
+
+namespace pragma::agents {
+
+ReliableChannel::ReliableChannel(sim::Simulator& simulator,
+                                 MessageCenter& center, ReliableConfig config)
+    : simulator_(simulator), center_(center), config_(config) {}
+
+void ReliableChannel::make_endpoint(const PortId& port) {
+  center_.set_interceptor(
+      port, [this, port](const Message& m) { return intercept(port, m); });
+}
+
+bool ReliableChannel::intercept(const PortId& port, const Message& message) {
+  if (message.type == kAckType) {
+    on_ack(message.seq);
+    return true;
+  }
+  if (message.seq == 0) return false;  // plain traffic passes through
+
+  // Acknowledge every sequenced message, including re-deliveries: the
+  // original ack may have been the lost copy.
+  Message ack;
+  ack.from = port;
+  ack.to = message.from;
+  ack.type = kAckType;
+  ack.seq = message.seq;
+  center_.send(std::move(ack));
+  ++acks_sent_;
+
+  auto& seen = seen_[{port, message.from}];
+  if (!seen.insert(message.seq).second) {
+    ++duplicates_suppressed_;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t ReliableChannel::send(Message message) {
+  const std::uint64_t seq = next_seq_++;
+  message.seq = seq;
+  Pending& entry = pending_[seq];
+  entry.message = std::move(message);
+  entry.attempts = 0;
+  entry.timeout_s = config_.timeout_s;
+  ++sends_;
+  transmit(seq);
+  return seq;
+}
+
+void ReliableChannel::transmit(std::uint64_t seq) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  Pending& entry = it->second;
+  ++entry.attempts;
+  if (entry.attempts > 1) ++retries_;
+  center_.send(entry.message);
+  const int attempt = entry.attempts;
+  simulator_.schedule(entry.timeout_s,
+                      [this, seq, attempt] { on_timeout(seq, attempt); });
+  entry.timeout_s *= config_.backoff_factor;
+}
+
+void ReliableChannel::on_timeout(std::uint64_t seq, int attempt) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;           // already acked or abandoned
+  if (it->second.attempts != attempt) return;  // stale timer
+  if (it->second.attempts >= config_.max_attempts) {
+    const Message message = std::move(it->second.message);
+    const int attempts = it->second.attempts;
+    pending_.erase(it);
+    ++failed_;
+    util::log_debug("reliable: giving up on ", message.type, " to ",
+                    message.to, " after ", attempts, " attempts");
+    if (on_failure_) on_failure_(message, attempts);
+    return;
+  }
+  transmit(seq);
+}
+
+void ReliableChannel::on_ack(std::uint64_t seq) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // duplicate ack
+  const Message message = std::move(it->second.message);
+  const int attempts = it->second.attempts;
+  pending_.erase(it);
+  ++acked_;
+  if (on_acked_) on_acked_(message, attempts);
+}
+
+void ReliableChannel::abandon_destination(const PortId& port) {
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [seq, entry] : pending_)
+    if (entry.message.to == port) doomed.push_back(seq);
+  for (const std::uint64_t seq : doomed) pending_.erase(seq);
+  abandoned_ += doomed.size();
+}
+
+void ReliableChannel::set_failure_handler(FailureHandler handler) {
+  on_failure_ = std::move(handler);
+}
+
+void ReliableChannel::set_ack_handler(AckHandler handler) {
+  on_acked_ = std::move(handler);
+}
+
+}  // namespace pragma::agents

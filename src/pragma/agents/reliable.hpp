@@ -1,0 +1,108 @@
+// Reliable request/reply protocol layered over the lossy Message Center.
+//
+// The paper's control network assumes the ADM's directives reach the
+// component agents; over a real grid network that requires an end-to-end
+// protocol.  This layer provides exactly-once delivery semantics between
+// registered endpoints: every reliable send is stamped with a global
+// sequence number, the receiving endpoint acknowledges it (and suppresses
+// duplicates), and the sender retries on timeout with exponential backoff
+// until the ack arrives, the attempt budget is exhausted, or the
+// destination is explicitly abandoned (e.g. confirmed dead by the failure
+// detector).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "pragma/agents/message_center.hpp"
+
+namespace pragma::agents {
+
+/// Message type used for protocol acknowledgements.
+inline const std::string kAckType = "_ack";
+
+struct ReliableConfig {
+  /// Seconds to wait for an ack before the first retry.
+  double timeout_s = 0.5;
+  /// Each subsequent retry waits backoff_factor times longer.
+  double backoff_factor = 2.0;
+  /// Total transmission attempts (first send included) before giving up.
+  int max_attempts = 8;
+};
+
+class ReliableChannel {
+ public:
+  /// Invoked when a send exhausts its attempts without an ack (and was not
+  /// abandoned).  `attempts` is the number of transmissions made.
+  using FailureHandler =
+      std::function<void(const Message& message, int attempts)>;
+  /// Invoked when a send is acknowledged; `attempts` transmissions used.
+  using AckHandler = std::function<void(const Message& message, int attempts)>;
+
+  ReliableChannel(sim::Simulator& simulator, MessageCenter& center,
+                  ReliableConfig config = {});
+
+  /// Make `port` a protocol endpoint: incoming sequenced messages are
+  /// acked and de-duplicated before reaching the port's handler/mailbox,
+  /// and incoming acks settle this channel's pending sends.  The port must
+  /// already be registered with the center.
+  void make_endpoint(const PortId& port);
+
+  /// Reliable send.  Returns the assigned sequence number.
+  std::uint64_t send(Message message);
+
+  /// Drop all pending sends addressed to `port` (destination confirmed
+  /// dead); they count as abandoned, not failed.
+  void abandon_destination(const PortId& port);
+
+  void set_failure_handler(FailureHandler handler);
+  void set_ack_handler(AckHandler handler);
+
+  [[nodiscard]] const ReliableConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
+  [[nodiscard]] std::size_t sends() const { return sends_; }
+  [[nodiscard]] std::size_t retries() const { return retries_; }
+  [[nodiscard]] std::size_t acked() const { return acked_; }
+  [[nodiscard]] std::size_t failed() const { return failed_; }
+  [[nodiscard]] std::size_t abandoned() const { return abandoned_; }
+  [[nodiscard]] std::size_t acks_sent() const { return acks_sent_; }
+  [[nodiscard]] std::size_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
+
+ private:
+  struct Pending {
+    Message message;
+    int attempts = 0;
+    double timeout_s = 0.0;  // wait before the next retry
+  };
+
+  /// Endpoint-side interception: returns true when the message was
+  /// consumed by the protocol (ack or suppressed duplicate).
+  bool intercept(const PortId& port, const Message& message);
+  void transmit(std::uint64_t seq);
+  void on_timeout(std::uint64_t seq, int attempt);
+  void on_ack(std::uint64_t seq);
+
+  sim::Simulator& simulator_;
+  MessageCenter& center_;
+  ReliableConfig config_;
+  std::uint64_t next_seq_ = 1;
+  std::map<std::uint64_t, Pending> pending_;
+  /// Per (endpoint, sender) set of already-delivered sequence numbers.
+  std::map<std::pair<PortId, PortId>, std::set<std::uint64_t>> seen_;
+  FailureHandler on_failure_;
+  AckHandler on_acked_;
+  std::size_t sends_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t acked_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t abandoned_ = 0;
+  std::size_t acks_sent_ = 0;
+  std::size_t duplicates_suppressed_ = 0;
+};
+
+}  // namespace pragma::agents

@@ -1,7 +1,9 @@
 #include "pragma/core/managed_run.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "pragma/policy/builtin.hpp"
 #include "pragma/util/logging.hpp"
@@ -59,6 +61,14 @@ ManagedRun::ManagedRun(ManagedRunConfig config)
   trace_.add(amr::Snapshot{0, emulator_.hierarchy()});
 }
 
+bool ManagedRun::port_reachable(const agents::PortId& port) const {
+  // Ports not tied to a node (ADM, detector) live on the front end and are
+  // always reachable; component-agent ports die with their node.
+  const auto it = port_node_.find(port);
+  if (it == port_node_.end()) return true;
+  return cluster_.node(it->second).state().up;
+}
+
 void ManagedRun::wire_agents() {
   for (std::size_t c = 0; c < environment_->agent_count(); ++c) {
     agents::ComponentAgent& agent = environment_->agent(c);
@@ -74,9 +84,15 @@ void ManagedRun::wire_agents() {
     agent.add_rule(agents::ThresholdRule{"load",
                                          config_.load_event_threshold, true,
                                          "load_high", 30.0});
-    agent.add_rule(
-        agents::ThresholdRule{"node_up", 0.5, false, "node_down", 20.0});
+    // Oracle liveness feed: an agent that keeps publishing from a dead
+    // machine.  With fault tolerance on, death is *detected* from
+    // heartbeat silence instead (wire_fault_tolerance below).
+    if (!config_.ft.enabled)
+      agent.add_rule(
+          agents::ThresholdRule{"node_up", 0.5, false, "node_down", 20.0});
   }
+
+  if (config_.ft.enabled) wire_fault_tolerance();
 
   // The ADM's consolidated decisions act on the running assignment.
   environment_->adm().set_directive_hook(
@@ -85,6 +101,7 @@ void ManagedRun::wire_agents() {
         if (action == "migrate") {
           // Failure response: redistribute over the surviving nodes.
           ++report_.migrations;
+          if (config_.ft.enabled) rollback_recovery();
           repartition(/*count_as_regrid=*/false);
         } else if (action == "repartition") {
           ++report_.event_repartitions;
@@ -93,6 +110,172 @@ void ManagedRun::wire_agents() {
         return std::vector<agents::PortId>{};
       });
   environment_->start();
+  if (detector_) detector_->start();
+}
+
+void ManagedRun::wire_fault_tolerance() {
+  agents::MessageCenter& center = environment_->message_center();
+
+  for (std::size_t c = 0; c < environment_->agent_count(); ++c)
+    port_node_[environment_->agent(c).port()] =
+        static_cast<grid::NodeId>(c);
+
+  // Lossy channel, with the liveness overlay composed onto any
+  // user-supplied partition predicate.
+  agents::ChannelFaults faults = config_.ft.channel;
+  auto user_reachable = std::move(faults.reachable);
+  faults.reachable = [this, user_reachable](const agents::PortId& from,
+                                            const agents::PortId& to) {
+    if (user_reachable && !user_reachable(from, to)) return false;
+    return port_reachable(from) && port_reachable(to);
+  };
+  center.set_faults(std::move(faults), util::Rng(config_.seed, 7));
+
+  // Directives ride the request/reply protocol.
+  reliable_ = std::make_unique<agents::ReliableChannel>(
+      simulator_, center, config_.ft.reliable);
+  for (const auto& [port, node] : port_node_) reliable_->make_endpoint(port);
+  environment_->adm().use_reliable_channel(reliable_.get());
+  reliable_->set_failure_handler(
+      [this](const agents::Message& message, int) {
+        // Exhausting retries against a dead node is expected (abandoned on
+        // confirmation); a directive lost to a *live* target is a real
+        // protocol failure.
+        if (port_reachable(message.to)) ++report_.lost_directives;
+      });
+
+  // Heartbeats from every component agent, gated on node liveness.
+  agents::HeartbeatConfig hb = config_.ft.heartbeat;
+  hb.topic = environment_->spec().name + ".hb";
+  for (std::size_t c = 0; c < environment_->agent_count(); ++c) {
+    agents::ComponentAgent& agent = environment_->agent(c);
+    const auto node = static_cast<grid::NodeId>(c);
+    agent.set_liveness(
+        [this, node] { return cluster_.node(node).state().up; });
+    agent.enable_heartbeat(hb.topic, hb.period_s);
+  }
+  detector_ = std::make_unique<agents::HeartbeatDetector>(
+      simulator_, center, hb, environment_->spec().name + ".detector");
+  for (const auto& [port, node] : port_node_) detector_->watch(port);
+  detector_->set_on_suspect(
+      [this](const agents::PortId& port, double now) {
+        on_suspect(port, now);
+      });
+  detector_->set_on_confirm(
+      [this](const agents::PortId& port, double now) {
+        on_confirm(port, now);
+      });
+
+  // Degraded monitoring: NWS probes time out against dead nodes.
+  nws_->set_reachability([this](grid::NodeId node) {
+    return cluster_.node(node).state().up;
+  });
+}
+
+void ManagedRun::on_suspect(const agents::PortId& port, double now) {
+  ++report_.suspects;
+  const auto it = port_node_.find(port);
+  if (it == port_node_.end()) return;
+  const grid::NodeId node = it->second;
+  // Ground truth (reporting only — the runtime never acts on it): was the
+  // node actually down at any point in the silence window?
+  if (!cluster_.node(node).state().up) return;
+  const double window =
+      config_.ft.heartbeat.period_s *
+          static_cast<double>(config_.ft.heartbeat.suspect_missed) +
+      config_.ft.heartbeat.period_s;
+  for (const grid::FailureEvent& event : failures_->history())
+    if (event.node == node && !event.up && event.time >= now - window)
+      return;
+  ++report_.false_suspects;
+}
+
+void ManagedRun::on_confirm(const agents::PortId& port, double now) {
+  const auto it = port_node_.find(port);
+  if (it == port_node_.end()) return;
+  const grid::NodeId node = it->second;
+  ++report_.detected_failures;
+
+  // Detection latency: time from the (ground-truth) failure event to this
+  // confirmation.  The stalled application has been paying for it already;
+  // here it is attributed explicitly.
+  double failed_at = now;
+  const auto& history = failures_->history();
+  for (auto event = history.rbegin(); event != history.rend(); ++event) {
+    if (event->node == node && !event->up && event->time <= now) {
+      failed_at = event->time;
+      break;
+    }
+  }
+  const double latency = now - failed_at;
+  report_.detection_latency_s += latency;
+  pending_detection_s_ += latency;
+  pending_victims_.push_back(node);
+
+  // Stop retrying in-flight directives to the dead component.
+  if (reliable_) reliable_->abandon_destination(port);
+
+  // Feed the control loop exactly like an agent event would: the builtin
+  // node_failure_migrate policy keys on sensor node_up <= 0.5.
+  agents::Message event;
+  event.from = detector_ ? detector_->port() : port;
+  event.type = "node_down";
+  event.payload["component"] = policy::Value{port};
+  event.payload["sensor"] = policy::Value{std::string("node_up")};
+  event.payload["value"] = policy::Value{0.0};
+  environment_->message_center().publish(
+      environment_->adm().config().event_topic, std::move(event));
+}
+
+void ManagedRun::rollback_recovery() {
+  if (pending_victims_.empty() && pending_detection_s_ <= 0.0) return;
+  // Survivors recompute everything the victims did since the last
+  // checkpoint.  The accumulator (not the current share times steps) is
+  // the right quantity: a suspected node's work may already have been
+  // repartitioned away before the failure was confirmed.
+  double lost_cells = 0.0;
+  for (const grid::NodeId victim : std::exchange(pending_victims_, {}))
+    if (victim < cells_since_checkpoint_.size())
+      lost_cells += std::exchange(cells_since_checkpoint_[victim], 0.0);
+
+  const double rate_flops = cluster_.total_effective_gflops() * 1e9;
+  const double recompute_s =
+      rate_flops > 0.0
+          ? lost_cells * config_.exec.flops_per_cell_update / rate_flops
+          : 0.0;
+  report_.recomputed_cells += lost_cells;
+  report_.recovery_time_s += recompute_s;
+  report_.total_time_s += recompute_s;
+  const double detection_s = std::exchange(pending_detection_s_, 0.0);
+  if (!report_.records.empty()) {
+    report_.records.back().recovery_s += recompute_s;
+    report_.records.back().lost_cells += lost_cells;
+    report_.records.back().detection_s += detection_s;
+  }
+  util::log_debug("managed run: rollback recovery of ", lost_cells,
+                  " cell updates (", recompute_s, " s)");
+}
+
+void ManagedRun::take_checkpoint() {
+  // Save-state cost: every live processor writes its partition's state
+  // over its uplink; the checkpoint completes when the slowest finishes.
+  double worst = 0.0;
+  for (grid::NodeId p = 0; p < cluster_.size(); ++p) {
+    if (p >= mapped_.work.size()) break;
+    if (!cluster_.node(p).state().up || mapped_.work[p] <= 0.0) continue;
+    const double bytes = mapped_.work[p] * config_.exec.bytes_per_cell;
+    const double rate = cluster_.uplink(p).effective_bytes_per_s() /
+                        config_.exec.redistribution_overhead;
+    if (rate > 0.0) worst = std::max(worst, bytes / rate);
+  }
+  const double cost = worst * config_.ft.checkpoint_cost_factor;
+  ++report_.checkpoints;
+  report_.checkpoint_time_s += cost;
+  report_.total_time_s += cost;
+  std::fill(cells_since_checkpoint_.begin(), cells_since_checkpoint_.end(),
+            0.0);
+  if (cost > 0.0) simulator_.run(simulator_.now() + cost);
+  last_checkpoint_time_ = simulator_.now();
 }
 
 void ManagedRun::schedule_failure(double at_s, grid::NodeId node,
@@ -100,21 +283,38 @@ void ManagedRun::schedule_failure(double at_s, grid::NodeId node,
   failures_->schedule_failure(at_s, node, downtime_s);
 }
 
+void ManagedRun::start_random_failures(double mtbf_s, double mttr_s) {
+  failures_->start_random(mtbf_s, mttr_s, util::Rng(config_.seed, 8));
+}
+
 std::vector<double> ManagedRun::current_targets() {
   std::vector<double> targets;
   if (config_.system_sensitive) {
     const monitor::RelativeCapacities capacities =
-        config_.proactive ? calculator_.from_forecast(*nws_)
-                          : calculator_.from_current(*nws_);
+        config_.ft.enabled
+            ? (config_.proactive
+                   ? calculator_.from_forecast(*nws_, simulator_.now(),
+                                               config_.ft.staleness)
+                   : calculator_.from_current(*nws_, simulator_.now(),
+                                              config_.ft.staleness))
+            : (config_.proactive ? calculator_.from_forecast(*nws_)
+                                 : calculator_.from_current(*nws_));
     targets = capacities.fraction;
   } else {
     targets.assign(config_.nprocs, 1.0);
   }
-  // A downed node receives no work regardless of the capacity signal.
+  // A node believed down receives no work.  The fault-tolerant runtime
+  // only has the detector's belief to go on; the ideal runtime reads the
+  // cluster oracle.
   double total = 0.0;
   for (std::size_t p = 0; p < targets.size(); ++p) {
-    if (!cluster_.node(static_cast<grid::NodeId>(p)).state().up)
+    if (config_.ft.enabled && detector_) {
+      const auto port = environment_->agent(p).port();
+      if (detector_->liveness(port) != agents::Liveness::kAlive)
+        targets[p] = 0.0;
+    } else if (!cluster_.node(static_cast<grid::NodeId>(p)).state().up) {
       targets[p] = 0.0;
+    }
     total += targets[p];
   }
   if (total > 0.0)
@@ -153,7 +353,14 @@ void ManagedRun::repartition(bool count_as_regrid) {
   partition::OwnerMap next = project_owners(
       result.owners, native.lattice_dims(), canonical_->lattice_dims());
 
-  double overhead = model_.partition_cost(result.partition_seconds);
+  // The measured partitioner cost is wall clock — fine for the ideal runs,
+  // but nondeterministic; the fault-tolerant path swaps in a modeled cost
+  // so chaos runs replay byte-identically under a fixed seed.
+  double partition_seconds = result.partition_seconds;
+  if (config_.ft.enabled && config_.ft.modeled_partition_s_per_cell > 0.0)
+    partition_seconds = static_cast<double>(native.cell_count()) *
+                        config_.ft.modeled_partition_s_per_cell;
+  double overhead = model_.partition_cost(partition_seconds);
   if (has_assignment_ && next.owner.size() == owners_.owner.size())
     overhead += model_.migration_time(*canonical_, owners_, next, cluster_);
   report_.total_time_s += overhead;
@@ -168,6 +375,8 @@ void ManagedRun::repartition(bool count_as_regrid) {
 
 ManagedRunReport ManagedRun::run() {
   repartition(/*count_as_regrid=*/true);
+  last_checkpoint_time_ = simulator_.now();
+  cells_since_checkpoint_.assign(config_.nprocs, 0.0);
 
   while (emulator_.step() < config_.app.coarse_steps) {
     const bool regridded = emulator_.advance();
@@ -198,7 +407,8 @@ ManagedRunReport ManagedRun::run() {
 
     // Cost this coarse step against the current cluster state.  If a node
     // holding work has failed, the application stalls until the control
-    // network reacts (sensing, consolidation, migrate directive).
+    // network reacts (sensing or heartbeat timeout, consolidation, migrate
+    // directive) — detection latency is paid right here.
     StepTime step = model_.time_of(mapped_, cluster_);
     int stall_guard = 0;
     while (!std::isfinite(step.total_s) && stall_guard < 600) {
@@ -216,6 +426,16 @@ ManagedRunReport ManagedRun::run() {
     if (!report_.records.empty())
       report_.records.back().step_time_s = step.total_s;
     simulator_.run(simulator_.now() + step.total_s);
+    ++completed_steps_;
+    if (config_.ft.enabled) {
+      report_.cells_advanced += canonical_->total_work();
+      for (std::size_t p = 0;
+           p < mapped_.work.size() && p < cells_since_checkpoint_.size(); ++p)
+        cells_since_checkpoint_[p] += mapped_.work[p];
+      if (simulator_.now() - last_checkpoint_time_ >=
+          config_.ft.checkpoint_interval_s)
+        take_checkpoint();
+    }
   }
 
   report_.partitioner_switches = meta_->switch_count();
@@ -224,6 +444,20 @@ ManagedRunReport ManagedRun::run() {
     events += environment_->agent(c).events_published();
   report_.agent_events = events;
   report_.adm_decisions = environment_->adm().decisions().size();
+  if (config_.ft.enabled) {
+    const agents::MessageCenter& center = environment_->message_center();
+    report_.messages_lost = center.fault_dropped_count();
+    report_.messages_partition_dropped = center.partition_dropped_count();
+    if (reliable_) {
+      report_.directive_retries = reliable_->retries();
+      report_.directives_abandoned = reliable_->abandoned();
+      report_.duplicates_suppressed = reliable_->duplicates_suppressed();
+    }
+    if (detector_) {
+      report_.heartbeats_received = detector_->beats_received();
+      report_.detector_recoveries = detector_->recoveries();
+    }
+  }
   return report_;
 }
 

@@ -20,14 +20,26 @@
 // the ADM's consolidated decisions trigger out-of-band repartitioning
 // (including failure response: a downed node's work is redistributed over
 // the survivors).
+//
+// With fault tolerance enabled the control network stops being ideal:
+// messages drop and jitter, directives ride a sequence-numbered
+// request/reply protocol, node death is *detected* from heartbeat silence
+// (not read from an oracle), and recovery replays work from the last
+// save-state checkpoint.  All of it is gated behind `ft.enabled` so the
+// default configuration reproduces the ideal-network results byte for
+// byte.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "pragma/agents/heartbeat.hpp"
 #include "pragma/agents/mcs.hpp"
+#include "pragma/agents/reliable.hpp"
 #include "pragma/amr/rm3d.hpp"
 #include "pragma/core/exec_model.hpp"
 #include "pragma/core/meta_partitioner.hpp"
@@ -36,6 +48,33 @@
 #include "pragma/monitor/capacity.hpp"
 
 namespace pragma::core {
+
+/// Fault-tolerant control plane knobs.  Everything here is inert unless
+/// `enabled` is set; the fault-free path must stay byte-identical.
+struct FaultToleranceConfig {
+  bool enabled = false;
+  /// Channel fault model for the control network.  A reachability overlay
+  /// is composed in automatically: ports living on a downed node can
+  /// neither send nor receive, independent of any user predicate.
+  agents::ChannelFaults channel;
+  /// Request/reply protocol used for ADM directives.
+  agents::ReliableConfig reliable;
+  /// Heartbeat publishing/detection cadence.  The topic is derived from
+  /// the application name; what is set here is ignored.
+  agents::HeartbeatConfig heartbeat;
+  /// Staleness handling for capacity readings from unreachable nodes.
+  monitor::StalenessPolicy staleness;
+  /// Simulated seconds between save-state checkpoints.  Smaller means less
+  /// lost work per failure but more steady-state overhead.
+  double checkpoint_interval_s = 25.0;
+  /// Scale factor on the modeled checkpoint write cost.
+  double checkpoint_cost_factor = 1.0;
+  /// Deterministic partitioner cost model, in seconds per work-grid cell
+  /// (scaled by the exec model's partition_time_scale like the measured
+  /// cost would be).  Replaces the wall-clock measurement so that
+  /// fault-injected runs replay byte-identically.  <= 0 keeps wall clock.
+  double modeled_partition_s_per_cell = 50e-9;
+};
 
 struct ManagedRunConfig {
   amr::Rm3dConfig app;
@@ -58,6 +97,7 @@ struct ManagedRunConfig {
   double agent_period_s = 2.0;
   double load_event_threshold = 0.85;
   std::uint64_t seed = 40;
+  FaultToleranceConfig ft;
 };
 
 /// One regrid-interval record of a managed run.
@@ -70,6 +110,10 @@ struct ManagedStepRecord {
   double imbalance = 0.0;
   std::size_t live_nodes = 0;
   bool repartitioned = false;     ///< regrid-driven repartition happened
+  // Fault-tolerance accounting (zero when ft is disabled).
+  double recovery_s = 0.0;        ///< recompute time charged in this interval
+  double lost_cells = 0.0;        ///< cell-updates rolled back to checkpoint
+  double detection_s = 0.0;       ///< failure->confirmation latency paid here
 };
 
 struct ManagedRunReport {
@@ -82,6 +126,25 @@ struct ManagedRunReport {
   std::size_t migrations = 0;          ///< failure-driven component moves
   std::size_t partitioner_switches = 0;
   std::vector<ManagedStepRecord> records;
+
+  // Fault-tolerance telemetry (all zero when ft is disabled).
+  std::size_t checkpoints = 0;
+  double checkpoint_time_s = 0.0;   ///< total save-state cost
+  std::size_t detected_failures = 0;
+  std::size_t suspects = 0;
+  std::size_t false_suspects = 0;   ///< suspected while actually alive
+  std::size_t detector_recoveries = 0;
+  double detection_latency_s = 0.0;  ///< summed failure->confirm latency
+  double recovery_time_s = 0.0;      ///< summed rollback recompute time
+  double cells_advanced = 0.0;       ///< completed coarse-step cell updates
+  double recomputed_cells = 0.0;     ///< cell updates redone after rollback
+  std::size_t lost_directives = 0;   ///< reliable sends lost to live targets
+  std::size_t directive_retries = 0;
+  std::size_t directives_abandoned = 0;  ///< to confirmed-dead targets
+  std::size_t messages_lost = 0;         ///< dropped by the lossy channel
+  std::size_t messages_partition_dropped = 0;
+  std::size_t duplicates_suppressed = 0;
+  std::size_t heartbeats_received = 0;
 };
 
 /// Drives a fully managed execution of the RM3D emulator.
@@ -93,16 +156,33 @@ class ManagedRun {
   /// `downtime_s`; negative = permanent).  Call before run().
   void schedule_failure(double at_s, grid::NodeId node, double downtime_s);
 
+  /// Start a random failure/recovery process over the cluster, driven by a
+  /// dedicated RNG stream of the run's seed.  Call before run().
+  void start_random_failures(double mtbf_s, double mttr_s);
+
   /// Execute the whole configured application run.
   [[nodiscard]] ManagedRunReport run();
 
   [[nodiscard]] const grid::Cluster& cluster() const { return cluster_; }
   [[nodiscard]] const ManagedRunConfig& config() const { return config_; }
+  /// Present only when ft.enabled; valid for the object's lifetime.
+  [[nodiscard]] const agents::HeartbeatDetector* detector() const {
+    return detector_.get();
+  }
+  [[nodiscard]] const agents::ReliableChannel* reliable() const {
+    return reliable_.get();
+  }
 
  private:
   [[nodiscard]] std::vector<double> current_targets();
+  [[nodiscard]] bool port_reachable(const agents::PortId& port) const;
   void repartition(bool count_as_regrid);
   void wire_agents();
+  void wire_fault_tolerance();
+  void on_suspect(const agents::PortId& port, double now);
+  void on_confirm(const agents::PortId& port, double now);
+  void rollback_recovery();
+  void take_checkpoint();
 
   ManagedRunConfig config_;
   sim::Simulator simulator_;
@@ -114,6 +194,10 @@ class ManagedRun {
   policy::PolicyBase policies_;
   std::unique_ptr<agents::Mcs> mcs_;
   std::unique_ptr<agents::Environment> environment_;
+  // Declared after environment_: they hold references into its message
+  // center and must be destroyed first.
+  std::unique_ptr<agents::ReliableChannel> reliable_;
+  std::unique_ptr<agents::HeartbeatDetector> detector_;
   amr::Rm3dEmulator emulator_;
   amr::AdaptationTrace trace_;  // grows as the run progresses
   std::unique_ptr<MetaPartitioner> meta_;
@@ -124,6 +208,16 @@ class ManagedRun {
   partition::OwnerMap owners_;
   MappedLoad mapped_;
   bool has_assignment_ = false;
+
+  // Fault-tolerance state.
+  std::map<agents::PortId, grid::NodeId> port_node_;
+  std::vector<grid::NodeId> pending_victims_;
+  double pending_detection_s_ = 0.0;
+  int completed_steps_ = 0;
+  double last_checkpoint_time_ = 0.0;
+  /// Per-node cell updates performed since the last checkpoint — exactly
+  /// what dies with the node and must be recomputed on rollback.
+  std::vector<double> cells_since_checkpoint_;
 
   ManagedRunReport report_;
 };

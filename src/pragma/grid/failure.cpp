@@ -16,6 +16,7 @@ void FailureInjector::schedule_failure(sim::SimTime at, NodeId node,
 
 void FailureInjector::start_random(double mtbf_s, double mttr_s,
                                    util::Rng rng) {
+  if (random_active_) return;  // one chain per node, never two
   mtbf_s_ = mtbf_s;
   mttr_s_ = mttr_s;
   rng_ = rng;
@@ -38,6 +39,10 @@ void FailureInjector::arm_random_failure(NodeId node) {
 }
 
 void FailureInjector::apply(NodeId node, bool up) {
+  // Idempotence guard: a failure for an already-down node (or a scheduled
+  // recovery for a node that was manually recovered) must not record a
+  // duplicate transition or re-notify the observer.
+  if (cluster_.node(node).state().up == up) return;
   cluster_.node(node).state().up = up;
   const FailureEvent event{simulator_.now(), node, up};
   history_.push_back(event);

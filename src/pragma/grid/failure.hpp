@@ -35,7 +35,19 @@ class FailureInjector {
 
   /// Start a random failure process: each node independently fails with the
   /// given MTBF (exponential), staying down for `mttr_s` mean seconds.
+  /// Re-entrant calls while the process is active are ignored (arming a
+  /// second chain per node would double the failure rate).
   void start_random(double mtbf_s, double mttr_s, util::Rng rng);
+
+  /// Stop the random process; already-scheduled events become no-ops.
+  void stop_random() { random_active_ = false; }
+  [[nodiscard]] bool random_active() const { return random_active_; }
+
+  /// Manually fail / recover a node now.  No-ops (no history entry, no
+  /// observer call) when the node is already in the requested state, so a
+  /// scheduled recovery racing a manual one cannot double-apply.
+  void fail_now(NodeId node) { apply(node, false); }
+  void recover_now(NodeId node) { apply(node, true); }
 
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 

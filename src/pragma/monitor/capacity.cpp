@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <utility>
 
 namespace pragma::monitor {
 
@@ -45,6 +47,35 @@ RelativeCapacities combine(const std::vector<double>& cpu,
   return out;
 }
 
+/// Trust weight of a reading of the given age under the policy.
+double staleness_weight(double age_s, const StalenessPolicy& policy) {
+  if (age_s <= policy.fresh_age_s) return 1.0;
+  if (policy.decay_tau_s <= 0.0) return 0.0;
+  return std::exp(-(age_s - policy.fresh_age_s) / policy.decay_tau_s);
+}
+
+double median_of(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  return xs[mid];
+}
+
+/// Blend per-node values toward the conservative prior by staleness.
+void apply_staleness(std::vector<double>& values,
+                     const std::vector<double>& ages,
+                     const StalenessPolicy& policy) {
+  std::vector<double> fresh;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (ages[i] <= policy.fresh_age_s) fresh.push_back(values[i]);
+  const double prior = policy.prior_fraction * median_of(std::move(fresh));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double w = staleness_weight(ages[i], policy);
+    values[i] = w * values[i] + (1.0 - w) * prior;
+  }
+}
+
 }  // namespace
 
 RelativeCapacities CapacityCalculator::from_current(
@@ -69,6 +100,61 @@ RelativeCapacities CapacityCalculator::from_forecast(
     mem[i] = monitor.forecast(i, Resource::kMemory);
     bw[i] = monitor.forecast(i, Resource::kBandwidth);
   }
+  return combine(cpu, mem, bw, weights_);
+}
+
+RelativeCapacities CapacityCalculator::from_current(
+    const ResourceMonitor& monitor, double now,
+    const StalenessPolicy& policy) const {
+  const std::size_t n = monitor.node_count();
+  std::vector<double> cpu(n), mem(n), bw(n);
+  std::vector<double> cpu_age(n), mem_age(n), bw_age(n);
+  for (grid::NodeId i = 0; i < n; ++i) {
+    const NodeReading reading = monitor.current(i);
+    cpu[i] = reading.cpu_gflops;
+    mem[i] = reading.memory_mib;
+    bw[i] = reading.bandwidth_mbps;
+    cpu_age[i] = now - monitor.last_sample_time(i, Resource::kCpu);
+    mem_age[i] = now - monitor.last_sample_time(i, Resource::kMemory);
+    bw_age[i] = now - monitor.last_sample_time(i, Resource::kBandwidth);
+  }
+  apply_staleness(cpu, cpu_age, policy);
+  apply_staleness(mem, mem_age, policy);
+  apply_staleness(bw, bw_age, policy);
+  return combine(cpu, mem, bw, weights_);
+}
+
+RelativeCapacities CapacityCalculator::from_forecast(
+    const ResourceMonitor& monitor, double now,
+    const StalenessPolicy& policy) const {
+  const std::size_t n = monitor.node_count();
+  std::vector<double> cpu(n), mem(n), bw(n);
+  std::vector<double> cpu_age(n), mem_age(n), bw_age(n);
+  const Resource kinds[] = {Resource::kCpu, Resource::kMemory,
+                            Resource::kBandwidth};
+  for (grid::NodeId i = 0; i < n; ++i) {
+    const NodeReading reading = monitor.current(i);
+    const double raw[] = {reading.cpu_gflops, reading.memory_mib,
+                          reading.bandwidth_mbps};
+    double out[3];
+    double age[3];
+    for (int r = 0; r < 3; ++r) {
+      age[r] = now - monitor.last_sample_time(i, kinds[r]);
+      // Gap in the series: the forecaster's state is frozen at the gap's
+      // start, so fall back to the (decaying) last observation instead.
+      out[r] = age[r] <= policy.fresh_age_s ? monitor.forecast(i, kinds[r])
+                                            : raw[r];
+    }
+    cpu[i] = out[0];
+    mem[i] = out[1];
+    bw[i] = out[2];
+    cpu_age[i] = age[0];
+    mem_age[i] = age[1];
+    bw_age[i] = age[2];
+  }
+  apply_staleness(cpu, cpu_age, policy);
+  apply_staleness(mem, mem_age, policy);
+  apply_staleness(bw, bw_age, policy);
   return combine(cpu, mem, bw, weights_);
 }
 

@@ -30,6 +30,21 @@ struct RelativeCapacities {
   [[nodiscard]] double operator[](std::size_t i) const { return fraction[i]; }
 };
 
+/// How to treat readings from nodes the monitor could not sweep recently
+/// (dead, partitioned, or probe timeouts).  A reading older than
+/// `fresh_age_s` decays exponentially toward a conservative prior instead
+/// of being trusted at face value: a silent node earns a shrinking share
+/// of the workload rather than its last-known one.
+struct StalenessPolicy {
+  /// Readings at most this old count as fresh (typically 2x sweep period).
+  double fresh_age_s = 4.0;
+  /// Exponential decay time constant applied beyond fresh_age_s.
+  double decay_tau_s = 10.0;
+  /// The prior the reading decays toward, as a fraction of the median
+  /// *fresh* reading across nodes (0 = assume the silent node has nothing).
+  double prior_fraction = 0.0;
+};
+
 class CapacityCalculator {
  public:
   explicit CapacityCalculator(CapacityWeights weights = {})
@@ -46,6 +61,19 @@ class CapacityCalculator {
   /// management, the Pragma extension over plain NWS consumption).
   [[nodiscard]] RelativeCapacities from_forecast(
       const ResourceMonitor& monitor) const;
+
+  /// Staleness-aware variants for a degraded monitor: readings (or
+  /// forecasts) from series last sampled before `now - fresh_age` decay
+  /// toward the conservative prior.  The proactive variant additionally
+  /// falls back from the forecaster to the decayed last reading whenever a
+  /// series has gaps — extrapolating a forecaster across a hole in its
+  /// input is worse than admitting ignorance.
+  [[nodiscard]] RelativeCapacities from_current(
+      const ResourceMonitor& monitor, double now,
+      const StalenessPolicy& policy) const;
+  [[nodiscard]] RelativeCapacities from_forecast(
+      const ResourceMonitor& monitor, double now,
+      const StalenessPolicy& policy) const;
 
   /// Compute capacities from raw readings (used by tests and by callers
   /// that bypass the monitor).

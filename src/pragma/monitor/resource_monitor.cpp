@@ -1,6 +1,8 @@
 #include "pragma/monitor/resource_monitor.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 namespace pragma::monitor {
 
@@ -32,9 +34,15 @@ double ResourceMonitor::noisy(double value) {
   return std::max(0.0, value * (1.0 + rng_.normal(0.0, config_.noise)));
 }
 
+void ResourceMonitor::set_reachability(
+    std::function<bool(grid::NodeId)> reachable) {
+  reachable_ = std::move(reachable);
+}
+
 void ResourceMonitor::sample_now() {
   const sim::SimTime now = simulator_.now();
   for (grid::NodeId id = 0; id < per_node_.size(); ++id) {
+    if (reachable_ && !reachable_(id)) continue;  // probe times out
     const grid::Node& node = cluster_.node(id);
     const grid::Link& link = cluster_.uplink(id);
     PerNode& series = per_node_[id];
@@ -75,6 +83,13 @@ NodeReading ResourceMonitor::current(grid::NodeId node) const {
   reading.memory_mib = per_node.memory.series.last_value(0.0);
   reading.bandwidth_mbps = per_node.bandwidth.series.last_value(0.0);
   return reading;
+}
+
+double ResourceMonitor::last_sample_time(grid::NodeId node,
+                                         Resource resource) const {
+  const TimeSeries& series = resource_of(node, resource).series;
+  if (series.empty()) return -std::numeric_limits<double>::infinity();
+  return series.back().time;
 }
 
 double ResourceMonitor::forecast(grid::NodeId node, Resource resource) const {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -50,8 +51,22 @@ class ResourceMonitor {
   void start();
   void stop();
 
+  /// Restrict sweeps to reachable nodes: when set and the predicate says
+  /// no (node dead or partitioned away from the monitor), the sweep skips
+  /// that node and its series simply stops growing — consumers see a
+  /// stale-but-last-known reading, exactly like a real NWS probe timeout.
+  void set_reachability(std::function<bool(grid::NodeId)> reachable);
+
   /// Take one measurement sweep immediately (also usable without start()).
   void sample_now();
+
+  /// Simulated time of the most recent retained sample for a node
+  /// (-infinity when the series is empty).  Lets consumers weigh staleness.
+  [[nodiscard]] double last_sample_time(grid::NodeId node,
+                                        Resource resource) const;
+
+  /// Configured sweep period (staleness is measured in these units).
+  [[nodiscard]] double period() const { return config_.period_s; }
 
   /// Most recent (noisy) reading for a node.
   [[nodiscard]] NodeReading current(grid::NodeId node) const;
@@ -92,6 +107,7 @@ class ResourceMonitor {
   const grid::Cluster& cluster_;
   ResourceMonitorConfig config_;
   util::Rng rng_;
+  std::function<bool(grid::NodeId)> reachable_;
   std::vector<PerNode> per_node_;
   sim::EventHandle tick_;
   bool running_ = false;

@@ -1,6 +1,7 @@
 #include "pragma/util/table.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -106,6 +107,49 @@ std::string sci_cell(double value, int precision) {
 
 void print_section(std::ostream& os, const std::string& title) {
   os << '\n' << title << '\n' << std::string(title.size(), '=') << '\n';
+}
+
+BenchJsonWriter& BenchJsonWriter::entry(const std::string& name) {
+  entries_.push_back(Entry{name, {}});
+  return *this;
+}
+
+BenchJsonWriter& BenchJsonWriter::field(const std::string& key, double value,
+                                        int precision) {
+  entries_.back().fields.emplace_back(key, cell(value, precision));
+  return *this;
+}
+
+BenchJsonWriter& BenchJsonWriter::field(const std::string& key,
+                                        std::size_t value) {
+  entries_.back().fields.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+BenchJsonWriter& BenchJsonWriter::field(const std::string& key, int value) {
+  entries_.back().fields.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+std::string BenchJsonWriter::render() const {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    os << "  {\"name\": \"" << e.name << '"';
+    for (const auto& [key, value] : e.fields)
+      os << ", \"" << key << "\": " << value;
+    os << '}' << (i + 1 < entries_.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
+  return os.str();
+}
+
+bool BenchJsonWriter::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render();
+  return static_cast<bool>(out);
 }
 
 }  // namespace pragma::util

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pragma::util {
@@ -50,5 +51,34 @@ class TextTable {
 
 /// Print a titled section header for bench output.
 void print_section(std::ostream& os, const std::string& title);
+
+/// Shared emitter for the BENCH_*.json files: a JSON array of flat objects,
+/// each with a "name" field followed by numeric fields, one object per
+/// line.  Every bench harness uses this so the files share one schema and
+/// can be diffed mechanically across runs.
+class BenchJsonWriter {
+ public:
+  /// Start a new entry.  Fields added afterwards belong to it.
+  BenchJsonWriter& entry(const std::string& name);
+  /// Append a numeric field to the current entry.  Doubles render with
+  /// fixed precision (default matches the ns/op convention, 1 digit).
+  BenchJsonWriter& field(const std::string& key, double value,
+                         int precision = 1);
+  BenchJsonWriter& field(const std::string& key, std::size_t value);
+  BenchJsonWriter& field(const std::string& key, int value);
+
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+  /// Render the whole array (trailing newline included).
+  [[nodiscard]] std::string render() const;
+  /// Write to `path`; false when the file cannot be opened.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> fields;
+  };
+  std::vector<Entry> entries_;
+};
 
 }  // namespace pragma::util

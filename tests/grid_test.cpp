@@ -250,5 +250,74 @@ TEST(FailureInjectorTest, RandomProcessTogglesNodes) {
   EXPECT_GE(down, 0);
 }
 
+TEST(FailureInjectorTest, ManualApplyIsIdempotent) {
+  sim::Simulator simulator;
+  Cluster cluster = ClusterBuilder::homogeneous(4);
+  FailureInjector injector(simulator, cluster);
+  int notifications = 0;
+  injector.set_observer([&](const FailureEvent&) { ++notifications; });
+  injector.fail_now(1);
+  injector.fail_now(1);  // redundant: no history entry, no observer call
+  EXPECT_FALSE(cluster.node(1).state().up);
+  EXPECT_EQ(injector.history().size(), 1u);
+  EXPECT_EQ(notifications, 1);
+  injector.recover_now(1);
+  injector.recover_now(1);
+  EXPECT_TRUE(cluster.node(1).state().up);
+  EXPECT_EQ(injector.history().size(), 2u);
+  EXPECT_EQ(notifications, 2);
+}
+
+TEST(FailureInjectorTest, ScheduledRecoveryRacingManualOneApplies) {
+  sim::Simulator simulator;
+  Cluster cluster = ClusterBuilder::homogeneous(2);
+  FailureInjector injector(simulator, cluster);
+  injector.schedule_failure(1.0, 0, 10.0);  // scheduled recovery at t = 11
+  simulator.run(5.0);
+  injector.recover_now(0);  // an operator beats the scheduler to it
+  simulator.run(20.0);
+  EXPECT_TRUE(cluster.node(0).state().up);
+  // down@1, up@5 — the scheduled recovery at t = 11 was a no-op.
+  ASSERT_EQ(injector.history().size(), 2u);
+  EXPECT_DOUBLE_EQ(injector.history()[1].time, 5.0);
+}
+
+TEST(FailureInjectorTest, ReentrantStartRandomIgnored) {
+  sim::Simulator sim_once;
+  sim::Simulator sim_twice;
+  Cluster once = ClusterBuilder::homogeneous(8);
+  Cluster twice = ClusterBuilder::homogeneous(8);
+  FailureInjector injector_once(sim_once, once);
+  FailureInjector injector_twice(sim_twice, twice);
+  injector_once.start_random(50.0, 10.0, util::Rng(5));
+  injector_twice.start_random(50.0, 10.0, util::Rng(5));
+  // A second start while active would arm a second chain per node and
+  // double the failure rate; it must be ignored outright.
+  injector_twice.start_random(5.0, 1.0, util::Rng(99));
+  EXPECT_TRUE(injector_twice.random_active());
+  sim_once.run(500.0);
+  sim_twice.run(500.0);
+  ASSERT_EQ(injector_twice.history().size(), injector_once.history().size());
+  for (std::size_t i = 0; i < injector_once.history().size(); ++i) {
+    EXPECT_DOUBLE_EQ(injector_twice.history()[i].time,
+                     injector_once.history()[i].time);
+    EXPECT_EQ(injector_twice.history()[i].node,
+              injector_once.history()[i].node);
+  }
+}
+
+TEST(FailureInjectorTest, StopRandomHaltsProcess) {
+  sim::Simulator simulator;
+  Cluster cluster = ClusterBuilder::homogeneous(8);
+  FailureInjector injector(simulator, cluster);
+  injector.start_random(50.0, 10.0, util::Rng(5));
+  simulator.run(200.0);
+  injector.stop_random();
+  EXPECT_FALSE(injector.random_active());
+  const std::size_t events = injector.history().size();
+  simulator.run(2000.0);
+  EXPECT_EQ(injector.history().size(), events);
+}
+
 }  // namespace
 }  // namespace pragma::grid

@@ -153,6 +153,73 @@ TEST_F(MonitoredClusterTest, ForecastCapacitiesAlsoNormalized) {
   EXPECT_NEAR(total, 1.0, 1e-9);
 }
 
+TEST_F(MonitoredClusterTest, FreshReadingsMatchPlainCapacities) {
+  monitor_->start();
+  simulator_.run(10.0);
+  const CapacityCalculator calculator;
+  const auto plain = calculator.from_current(*monitor_);
+  const auto aware =
+      calculator.from_current(*monitor_, simulator_.now(), StalenessPolicy{});
+  ASSERT_EQ(aware.size(), plain.size());
+  // Everything was swept within fresh_age_s: staleness handling is a no-op.
+  for (std::size_t i = 0; i < plain.size(); ++i)
+    EXPECT_NEAR(aware[i], plain[i], 1e-12);
+}
+
+TEST_F(MonitoredClusterTest, UnreachableNodeDecaysTowardZero) {
+  monitor_->start();
+  simulator_.run(10.0);
+  monitor_->set_reachability([](grid::NodeId node) { return node != 2; });
+  simulator_.run(70.0);  // node 2's last sample is now ~60 s stale
+  EXPECT_LE(monitor_->last_sample_time(2, Resource::kCpu), 10.0);
+  const CapacityCalculator calculator;
+  const auto naive = calculator.from_current(*monitor_);
+  const auto aware =
+      calculator.from_current(*monitor_, simulator_.now(), StalenessPolicy{});
+  // Trusting the last-known reading would hand the silent node a full
+  // share; the staleness policy shrinks it to (nearly) nothing.
+  EXPECT_GT(naive[2], 0.05);
+  EXPECT_LT(aware[2], 0.05 * naive[2]);
+  double total = 0.0;
+  for (std::size_t i = 0; i < aware.size(); ++i) total += aware[i];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(MonitoredClusterTest, StalePriorFractionKeepsConservativeShare) {
+  monitor_->start();
+  simulator_.run(10.0);
+  monitor_->set_reachability([](grid::NodeId node) { return node != 2; });
+  simulator_.run(70.0);
+  StalenessPolicy zero_prior;  // decays to nothing
+  StalenessPolicy half_prior;
+  half_prior.prior_fraction = 0.5;  // decays to half the median fresh node
+  const CapacityCalculator calculator;
+  const auto pessimistic =
+      calculator.from_current(*monitor_, simulator_.now(), zero_prior);
+  const auto conservative =
+      calculator.from_current(*monitor_, simulator_.now(), half_prior);
+  EXPECT_GT(conservative[2], pessimistic[2]);
+  EXPECT_GT(conservative[2], 0.01);
+}
+
+TEST_F(MonitoredClusterTest, ProactiveFallsBackOnSeriesGaps) {
+  monitor_->start();
+  simulator_.run(10.0);
+  monitor_->set_reachability([](grid::NodeId node) { return node != 1; });
+  simulator_.run(70.0);
+  const CapacityCalculator calculator;
+  // The forecaster would happily extrapolate across the gap; the
+  // staleness-aware proactive path must fall back to the decayed reading.
+  const auto aware =
+      calculator.from_forecast(*monitor_, simulator_.now(), StalenessPolicy{});
+  const auto naive = calculator.from_forecast(*monitor_);
+  EXPECT_GT(naive[1], 0.05);
+  EXPECT_LT(aware[1], 0.05 * naive[1]);
+  double total = 0.0;
+  for (std::size_t i = 0; i < aware.size(); ++i) total += aware[i];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
 TEST_F(MonitoredClusterTest, StopHaltsSampling) {
   monitor_->start();
   simulator_.run(10.0);

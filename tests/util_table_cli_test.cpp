@@ -3,6 +3,9 @@
 // EXPECT_THROW intentionally discards nodiscard results.
 #pragma GCC diagnostic ignored "-Wunused-result"
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "pragma/util/cli.hpp"
@@ -49,6 +52,51 @@ TEST(CellFormatting, FixedAndScientific) {
   EXPECT_EQ(cell(static_cast<long long>(42)), "42");
   EXPECT_EQ(percent_cell(0.123, 1), "12.3%");
   EXPECT_EQ(sci_cell(0.000123, 2), "1.23e-04");
+}
+
+TEST(BenchJsonWriterTest, RendersSharedSchema) {
+  BenchJsonWriter json;
+  json.entry("suite/a").field("ns_per_op", 12.345).field("cells",
+                                                         std::size_t{4096});
+  json.entry("suite/b").field("threads", 8).field("fraction", 0.123456, 6);
+  EXPECT_EQ(json.entry_count(), 2u);
+  EXPECT_EQ(json.render(),
+            "[\n"
+            "  {\"name\": \"suite/a\", \"ns_per_op\": 12.3, \"cells\": 4096},\n"
+            "  {\"name\": \"suite/b\", \"threads\": 8,"
+            " \"fraction\": 0.123456}\n"
+            "]\n");
+}
+
+TEST(BenchJsonWriterTest, EmptyWriterRendersEmptyArray) {
+  BenchJsonWriter json;
+  EXPECT_EQ(json.entry_count(), 0u);
+  EXPECT_EQ(json.render(), "[\n]\n");
+}
+
+TEST(BenchJsonWriterTest, DoublePrecisionIsPerField) {
+  BenchJsonWriter json;
+  json.entry("e").field("coarse", 1.0 / 3.0).field("fine", 1.0 / 3.0, 4);
+  EXPECT_NE(json.render().find("\"coarse\": 0.3,"), std::string::npos);
+  EXPECT_NE(json.render().find("\"fine\": 0.3333"), std::string::npos);
+}
+
+TEST(BenchJsonWriterTest, WriteRoundTrips) {
+  BenchJsonWriter json;
+  json.entry("x").field("v", 1);
+  const std::string path = ::testing::TempDir() + "bench_json_writer_test.json";
+  ASSERT_TRUE(json.write(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), json.render());
+  std::remove(path.c_str());
+}
+
+TEST(BenchJsonWriterTest, WriteToBadPathFails) {
+  BenchJsonWriter json;
+  json.entry("x").field("v", 1);
+  EXPECT_FALSE(json.write("/nonexistent-dir/nope/bench.json"));
 }
 
 TEST(CliFlagsTest, DefaultsApply) {
