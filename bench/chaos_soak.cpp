@@ -19,17 +19,30 @@
 //     reports (all randomness flows through seeded util::Rng streams and
 //     the partitioner cost is modeled, not measured).
 //
+// A second, durability phase exercises the crash-consistent checkpoint
+// files: a persist-enabled run is killed mid-flight (SIGKILL-style, via
+// the halt_after_steps hook), its newest on-disk generation is corrupted
+// and a torn ".tmp" orphan is planted, and the resumed run must still
+// recover — falling back to the previous valid generation — and finish
+// with a final report bit-identical to an uninterrupted run at the same
+// seed.
+//
 // Results land in BENCH_chaos_soak.json using the same name -> numeric
 // fields schema as BENCH_partition_pipeline.json.  Exit code is non-zero
 // when any invariant fails, so CI can run this directly.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "pragma/core/managed_run.hpp"
+#include "pragma/io/checkpoint.hpp"
 
 using namespace pragma;
 
@@ -94,6 +107,49 @@ void check(bool ok, const std::string& what) {
 /// Bit-exact double comparison (determinism means byte-identical).
 bool same_bits(double a, double b) {
   return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Bit-exact comparison of the table-5-style metrics and per-regrid
+/// records two runs report.
+bool reports_bit_identical(const core::ManagedRunReport& a,
+                           const core::ManagedRunReport& b) {
+  if (!same_bits(a.total_time_s, b.total_time_s)) return false;
+  if (!same_bits(a.cells_advanced, b.cells_advanced)) return false;
+  if (a.regrids != b.regrids || a.repartitions != b.repartitions ||
+      a.agent_events != b.agent_events ||
+      a.adm_decisions != b.adm_decisions ||
+      a.event_repartitions != b.event_repartitions ||
+      a.partitioner_switches != b.partitioner_switches)
+    return false;
+  if (a.records.size() != b.records.size()) return false;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const core::ManagedStepRecord& ra = a.records[i];
+    const core::ManagedStepRecord& rb = b.records[i];
+    if (ra.step != rb.step || ra.octant != rb.octant ||
+        ra.partitioner != rb.partitioner ||
+        !same_bits(ra.sim_time_s, rb.sim_time_s) ||
+        !same_bits(ra.step_time_s, rb.step_time_s) ||
+        !same_bits(ra.imbalance, rb.imbalance) ||
+        ra.live_nodes != rb.live_nodes)
+      return false;
+  }
+  return true;
+}
+
+core::ManagedRunConfig durable_config(const SoakConfig& soak,
+                                      const std::string& dir) {
+  core::ManagedRunConfig config;
+  config.app.coarse_steps = soak.steps;
+  config.nprocs = soak.procs;
+  config.with_background_load = true;
+  config.system_sensitive = true;
+  config.seed = soak.seed;
+  config.persist.enabled = true;
+  config.persist.dir = dir;
+  // Checkpoint at every coarse-step boundary so the kill point always has
+  // recent generations behind it.
+  config.persist.checkpoint_interval_s = 1e-3;
+  return config;
 }
 
 }  // namespace
@@ -177,6 +233,58 @@ int main(int argc, char** argv) {
             chaos.adm_decisions == replay.adm_decisions,
         "deterministic: replay at the same seed is bit-identical");
 
+  // ---- durability phase: kill-restart with torn-write injection ----
+  namespace fs = std::filesystem;
+  const std::string ckpt_dir =
+      (fs::temp_directory_path() / "pragma_chaos_soak_ckpt").string();
+  fs::remove_all(ckpt_dir);
+  // Kill somewhere in the middle third of the run, seed-determined.
+  const int halt_step =
+      soak.steps / 3 +
+      static_cast<int>(soak.seed % static_cast<std::uint64_t>(
+                                       std::max(1, soak.steps / 3)));
+
+  std::printf("\ndurability reference (persist, uninterrupted) ...\n");
+  const core::ManagedRunReport durable_ref =
+      core::ManagedRun(durable_config(soak, ckpt_dir + "-ref")).run();
+  std::printf("durability kill at step %d ...\n", halt_step);
+  core::ManagedRunConfig killed = durable_config(soak, ckpt_dir);
+  killed.persist.halt_after_steps = halt_step;
+  const core::ManagedRunReport halted = core::ManagedRun(killed).run();
+
+  // Inject the failure modes a crash can leave behind: a torn ".tmp"
+  // orphan and a bit-flipped newest generation.
+  io::CheckpointStoreOptions store_options;
+  store_options.dir = ckpt_dir;
+  const io::CheckpointStore store(store_options);
+  const std::vector<std::uint64_t> gens = store.generations();
+  if (!gens.empty()) {
+    std::ofstream(store.path_for(gens.back() + 1) + ".tmp")
+        << "torn write: crashed before fsync+rename";
+    std::fstream newest(store.path_for(gens.back()),
+                        std::ios::in | std::ios::out | std::ios::binary);
+    newest.seekp(static_cast<std::streamoff>(io::kCheckpointHeaderBytes + 5));
+    const char garbage = '\x5a';
+    newest.write(&garbage, 1);
+  }
+
+  std::printf("durability resume from last valid generation ...\n");
+  core::ManagedRunConfig resume = durable_config(soak, ckpt_dir);
+  resume.persist.resume = true;
+  const core::ManagedRunReport recovered = core::ManagedRun(resume).run();
+
+  std::printf("\ndurability invariants:\n");
+  check(halted.halted && halted.checkpoints_persisted > 0,
+        "killed run halted after writing durable generations");
+  check(gens.size() >= 2, "multiple checkpoint generations on disk");
+  check(recovered.resumed, "restart resumed from a checkpoint");
+  check(recovered.checkpoint_generations_rejected >= 1,
+        "corrupted newest generation was detected and skipped");
+  check(reports_bit_identical(durable_ref, recovered),
+        "resumed run is bit-identical to the uninterrupted run");
+  fs::remove_all(ckpt_dir);
+  fs::remove_all(ckpt_dir + "-ref");
+
   util::BenchJsonWriter json;
   json.entry("chaos_soak/recovery")
       .field("detected_failures", chaos.detected_failures)
@@ -203,6 +311,16 @@ int main(int argc, char** argv) {
       .field("checkpoint_time_s", chaos.checkpoint_time_s, 2)
       .field("cells_advanced", chaos.cells_advanced, 0)
       .field("recomputed_cells", chaos.recomputed_cells, 0);
+  json.entry("chaos_soak/durability")
+      .field("halt_step", halt_step)
+      .field("checkpoints_persisted", halted.checkpoints_persisted)
+      .field("generations_on_disk", gens.size())
+      .field("generations_rejected",
+             recovered.checkpoint_generations_rejected)
+      .field("resumed", recovered.resumed ? 1 : 0)
+      .field("bit_identical", reports_bit_identical(durable_ref, recovered)
+                                  ? 1
+                                  : 0);
   if (json.write("BENCH_chaos_soak.json"))
     std::printf("\nwrote BENCH_chaos_soak.json (%zu entries)\n",
                 json.entry_count());

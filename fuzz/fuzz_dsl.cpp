@@ -1,0 +1,28 @@
+// libFuzzer harness for the policy rule DSL parser.
+//
+// Rule files come from operators and may be arbitrarily malformed; the
+// contract is that try_parse_rules never crashes or throws and that its
+// diagnostics (line/column/snippet) are always constructible.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "pragma/policy/dsl.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  pragma::util::Expected<std::vector<pragma::policy::Policy>> rules =
+      pragma::policy::try_parse_rules(text);
+  if (rules) {
+    // Accepted rules must round-trip through the formatter and re-parse.
+    for (const pragma::policy::Policy& policy : rules.value()) {
+      const std::string formatted = pragma::policy::format_rule(policy);
+      (void)pragma::policy::try_parse_rules(formatted);
+    }
+  } else {
+    volatile std::size_t sink = rules.status().to_string().size();
+    (void)sink;
+  }
+  return 0;
+}

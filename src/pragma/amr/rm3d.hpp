@@ -88,6 +88,15 @@ class Rm3dEmulator {
   /// (including the initial one at step 0).
   [[nodiscard]] AdaptationTrace run();
 
+  /// Restore the emulator to a checkpointed position: step counter plus
+  /// the hierarchy produced by the last regrid before that step.  The
+  /// blob field is a pure function of the config seed, so this is all the
+  /// state a resume needs.
+  void restore(int step, GridHierarchy hierarchy) {
+    step_ = step;
+    hierarchy_ = std::move(hierarchy);
+  }
+
   /// The refinement indicator at normalized position (u, v, w) in [0,1]^3
   /// and normalized time tau in [0,1].  Exposed for tests and for the
   /// Figure 3 profile rendering.

@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "pragma/core/run_snapshot.hpp"
 #include "pragma/policy/builtin.hpp"
 #include "pragma/util/logging.hpp"
 
@@ -59,6 +60,11 @@ ManagedRun::ManagedRun(ManagedRunConfig config)
   wire_agents();
 
   trace_.add(amr::Snapshot{0, emulator_.hierarchy()});
+
+  if (config_.persist.enabled)
+    store_ = std::make_unique<io::CheckpointStore>(io::CheckpointStoreOptions{
+        config_.persist.dir, config_.persist.keep_generations,
+        io::kDefaultMaxPayloadBytes});
 }
 
 bool ManagedRun::port_reachable(const agents::PortId& port) const {
@@ -90,6 +96,14 @@ void ManagedRun::wire_agents() {
     if (!config_.ft.enabled)
       agent.add_rule(
           agents::ThresholdRule{"node_up", 0.5, false, "node_down", 20.0});
+    // The save-state actuator (Section 3.4.1): a "save_state" directive
+    // forces a durable checkpoint at the next coarse-step boundary.
+    if (config_.persist.enabled)
+      agent.add_actuator(agents::Actuator{
+          "save_state",
+          [this](const policy::AttributeSet&) {
+            checkpoint_requested_ = true;
+          }});
   }
 
   if (config_.ft.enabled) wire_fault_tolerance();
@@ -276,6 +290,112 @@ void ManagedRun::take_checkpoint() {
             0.0);
   if (cost > 0.0) simulator_.run(simulator_.now() + cost);
   last_checkpoint_time_ = simulator_.now();
+  // The durable half of save-state: the modeled cost above is the
+  // simulated write; this is the real one.  Real I/O time is *not*
+  // charged to the simulation clock (it would break determinism).
+  if (config_.persist.enabled) persist_checkpoint();
+}
+
+void ManagedRun::persist_checkpoint() {
+  RunSnapshot snapshot;
+  snapshot.config_fingerprint = config_fingerprint(config_);
+  snapshot.completed_steps = completed_steps_;
+  snapshot.emulator_step = emulator_.step();
+  snapshot.sim_clock = simulator_.now();
+  snapshot.max_box_cells =
+      static_cast<std::int64_t>(emulator_.config().cluster.max_box_cells);
+  snapshot.select_indices = select_indices_;
+  snapshot.owners.assign(owners_.owner.begin(), owners_.owner.end());
+  snapshot.owners_nprocs = owners_.nprocs;
+  snapshot.trace = trace_;
+  snapshot.report = report_;
+  const util::Status status =
+      store_->write(encode_run_snapshot(snapshot));
+  if (status.is_ok()) {
+    ++report_.checkpoints_persisted;
+  } else {
+    // A failed durable write degrades recovery, not the run itself.
+    util::log_warn("persist: checkpoint write failed: ",
+                   status.to_string());
+  }
+}
+
+bool ManagedRun::try_restore() {
+  const std::uint64_t want = config_fingerprint(config_);
+  std::vector<std::uint64_t> generations = store_->generations();
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    // Validate a candidate completely before mutating any run state: once
+    // the simulator has been fast-forwarded there is no rewinding for an
+    // older generation.
+    util::Expected<io::LoadedCheckpoint> loaded =
+        store_->load_generation(*it);
+    util::Expected<RunSnapshot> decoded =
+        loaded ? decode_run_snapshot(loaded.value().payload)
+               : util::Expected<RunSnapshot>(loaded.status());
+    util::Status status = decoded.status();
+    std::optional<partition::WorkGrid> canonical;
+    if (decoded) {
+      const RunSnapshot& snapshot = decoded.value();
+      if (snapshot.config_fingerprint != want) {
+        status = util::Status::failed_precondition(
+            "checkpoint was taken under a different configuration");
+      } else if (snapshot.emulator_step > config_.app.coarse_steps ||
+                 snapshot.trace.empty()) {
+        status = util::Status::invalid("checkpoint beyond configured run");
+      } else {
+        canonical.emplace(snapshot.trace.snapshots().back().hierarchy, 2,
+                          partition::CurveKind::kHilbert);
+        if (snapshot.owners.size() != canonical->cell_count())
+          status = util::Status::invalid(
+              "owner map size " + std::to_string(snapshot.owners.size()) +
+              " mismatches work grid of " +
+              std::to_string(canonical->cell_count()));
+      }
+    }
+    if (!status.is_ok()) {
+      ++report_.checkpoint_generations_rejected;
+      util::log_warn("persist: generation ", *it, " rejected: ",
+                     status.to_string());
+      continue;
+    }
+    const RunSnapshot& snapshot = decoded.value();
+
+    // Fast-forward the periodic control plane (monitor samples, agent
+    // ticks, background load) to the checkpoint's clock.  This replays
+    // the exact event and RNG-draw sequence the original run produced up
+    // to this time, which is what makes the resumed continuation
+    // byte-identical.  The ADM directive hook is inert during the replay
+    // because no assignment exists yet.
+    if (snapshot.sim_clock > 0.0) simulator_.run(snapshot.sim_clock);
+
+    // Application state on top of the replayed control plane.
+    trace_ = snapshot.trace;
+    emulator_.restore(snapshot.emulator_step,
+                      trace_.snapshots().back().hierarchy);
+    emulator_.set_max_box_cells(snapshot.max_box_cells);
+    select_indices_ = snapshot.select_indices;
+    for (const std::uint32_t index : select_indices_)
+      (void)meta_->select(trace_, index);
+
+    owners_.owner.assign(snapshot.owners.begin(), snapshot.owners.end());
+    owners_.nprocs = snapshot.owners_nprocs;
+    canonical_ = std::move(canonical);
+    mapped_ = model_.map(*canonical_, owners_);
+    has_assignment_ = true;
+
+    const std::size_t rejected = report_.checkpoint_generations_rejected;
+    report_ = snapshot.report;
+    report_.checkpoint_generations_rejected = rejected;
+    report_.resumed = true;
+    completed_steps_ = snapshot.completed_steps;
+    last_checkpoint_time_ = snapshot.sim_clock;
+    cells_since_checkpoint_.assign(config_.nprocs, 0.0);
+    util::log_info("persist: resumed from generation ", *it, " at step ",
+                   completed_steps_, " (t=", snapshot.sim_clock, "s)");
+    return true;
+  }
+  util::log_info("persist: no usable checkpoint; starting fresh");
+  return false;
 }
 
 void ManagedRun::schedule_failure(double at_s, grid::NodeId node,
@@ -338,8 +458,11 @@ void ManagedRun::repartition(bool count_as_regrid) {
   }
 
   const std::vector<double> targets = current_targets();
+  const std::size_t select_index = trace_.size() - 1;
   const partition::Partitioner& partitioner =
-      meta_->select(trace_, trace_.size() - 1);
+      meta_->select(trace_, select_index);
+  if (config_.persist.enabled)
+    select_indices_.push_back(static_cast<std::uint32_t>(select_index));
 
   const int grain = meta_->current_grain() > 0
                         ? meta_->current_grain()
@@ -354,12 +477,19 @@ void ManagedRun::repartition(bool count_as_regrid) {
       result.owners, native.lattice_dims(), canonical_->lattice_dims());
 
   // The measured partitioner cost is wall clock — fine for the ideal runs,
-  // but nondeterministic; the fault-tolerant path swaps in a modeled cost
-  // so chaos runs replay byte-identically under a fixed seed.
+  // but nondeterministic; the fault-tolerant and persistent paths swap in
+  // a modeled cost so chaos runs and checkpoint resumes replay
+  // byte-identically under a fixed seed.
   double partition_seconds = result.partition_seconds;
-  if (config_.ft.enabled && config_.ft.modeled_partition_s_per_cell > 0.0)
-    partition_seconds = static_cast<double>(native.cell_count()) *
-                        config_.ft.modeled_partition_s_per_cell;
+  const double modeled_s_per_cell =
+      config_.ft.enabled
+          ? config_.ft.modeled_partition_s_per_cell
+          : (config_.persist.enabled
+                 ? config_.persist.modeled_partition_s_per_cell
+                 : 0.0);
+  if (modeled_s_per_cell > 0.0)
+    partition_seconds =
+        static_cast<double>(native.cell_count()) * modeled_s_per_cell;
   double overhead = model_.partition_cost(partition_seconds);
   if (has_assignment_ && next.owner.size() == owners_.owner.size())
     overhead += model_.migration_time(*canonical_, owners_, next, cluster_);
@@ -374,11 +504,25 @@ void ManagedRun::repartition(bool count_as_regrid) {
 }
 
 ManagedRunReport ManagedRun::run() {
-  repartition(/*count_as_regrid=*/true);
-  last_checkpoint_time_ = simulator_.now();
-  cells_since_checkpoint_.assign(config_.nprocs, 0.0);
+  const bool durable = config_.ft.enabled || config_.persist.enabled;
+  bool resumed = false;
+  if (config_.persist.enabled && config_.persist.resume)
+    resumed = try_restore();
+  if (!resumed) {
+    repartition(/*count_as_regrid=*/true);
+    last_checkpoint_time_ = simulator_.now();
+    cells_since_checkpoint_.assign(config_.nprocs, 0.0);
+  }
 
   while (emulator_.step() < config_.app.coarse_steps) {
+    // Crash injection for the kill-restart soak: abandon the run the way
+    // SIGKILL would — no final accounting, no flushing.  Only checkpoints
+    // already durably written survive.
+    if (config_.persist.halt_after_steps >= 0 &&
+        completed_steps_ >= config_.persist.halt_after_steps) {
+      report_.halted = true;
+      return report_;
+    }
     const bool regridded = emulator_.advance();
     if (regridded) {
       trace_.add(amr::Snapshot{emulator_.step(), emulator_.hierarchy()});
@@ -427,14 +571,17 @@ ManagedRunReport ManagedRun::run() {
       report_.records.back().step_time_s = step.total_s;
     simulator_.run(simulator_.now() + step.total_s);
     ++completed_steps_;
-    if (config_.ft.enabled) {
+    if (durable) {
       report_.cells_advanced += canonical_->total_work();
       for (std::size_t p = 0;
            p < mapped_.work.size() && p < cells_since_checkpoint_.size(); ++p)
         cells_since_checkpoint_[p] += mapped_.work[p];
       if (simulator_.now() - last_checkpoint_time_ >=
-          config_.ft.checkpoint_interval_s)
+              checkpoint_interval_s() ||
+          checkpoint_requested_) {
+        checkpoint_requested_ = false;
         take_checkpoint();
+      }
     }
   }
 

@@ -45,6 +45,7 @@
 #include "pragma/core/meta_partitioner.hpp"
 #include "pragma/grid/failure.hpp"
 #include "pragma/grid/loadgen.hpp"
+#include "pragma/io/checkpoint.hpp"
 #include "pragma/monitor/capacity.hpp"
 
 namespace pragma::core {
@@ -76,6 +77,43 @@ struct FaultToleranceConfig {
   double modeled_partition_s_per_cell = 50e-9;
 };
 
+/// Durable checkpoint persistence: the paper's save-state actuator made
+/// real.  When enabled, every save-state checkpoint also writes a
+/// versioned, CRC-checksummed snapshot file (tmp + fsync + rename) under
+/// `dir`, and a run constructed with `resume` restores from the newest
+/// *valid* generation — torn writes and bit-flips are detected and the
+/// loader falls back to the previous generation.
+///
+/// Resume is byte-identical to an uninterrupted run of the same seed as
+/// long as `ft.enabled` is off (the lossy-channel RNG draws depend on
+/// in-flight protocol state that is deliberately not persisted).  The
+/// restart fast-forwards the periodic control plane (monitor, agents,
+/// load generator) to the checkpoint's simulator clock, which replays the
+/// exact event and RNG-draw sequence of the original run, then restores
+/// the application state on top.
+struct PersistenceConfig {
+  bool enabled = false;
+  /// Directory for checkpoint generations (created on first write).
+  std::string dir = "pragma-checkpoints";
+  /// Restore from the newest valid checkpoint in `dir` (fresh start when
+  /// none validates).
+  bool resume = false;
+  /// Simulated seconds between durable checkpoints (independent of the
+  /// ft cadence; ft's interval wins when both subsystems are enabled).
+  double checkpoint_interval_s = 25.0;
+  /// Validated generations retained on disk (>= 2 keeps a fallback).
+  int keep_generations = 3;
+  /// Deterministic partitioner cost model, like
+  /// ft.modeled_partition_s_per_cell — required for byte-identical
+  /// resume (<= 0 keeps nondeterministic wall clock).
+  double modeled_partition_s_per_cell = 50e-9;
+  /// Crash-injection hook for the kill-restart soak: abandon run() once
+  /// this many coarse steps have completed (-1 = never), as an abrupt
+  /// SIGKILL would — no final accounting, nothing flushed beyond the
+  /// checkpoints already written.
+  int halt_after_steps = -1;
+};
+
 struct ManagedRunConfig {
   amr::Rm3dConfig app;
   std::size_t nprocs = 16;
@@ -98,6 +136,7 @@ struct ManagedRunConfig {
   double load_event_threshold = 0.85;
   std::uint64_t seed = 40;
   FaultToleranceConfig ft;
+  PersistenceConfig persist;
 };
 
 /// One regrid-interval record of a managed run.
@@ -145,6 +184,13 @@ struct ManagedRunReport {
   std::size_t messages_partition_dropped = 0;
   std::size_t duplicates_suppressed = 0;
   std::size_t heartbeats_received = 0;
+
+  // Persistence telemetry.  `halted` and `resumed` describe *this
+  // process's* run and are never serialized into a checkpoint.
+  std::size_t checkpoints_persisted = 0;
+  std::size_t checkpoint_generations_rejected = 0;  ///< corrupt, skipped
+  bool halted = false;   ///< run() abandoned by the crash-injection hook
+  bool resumed = false;  ///< state restored from a checkpoint
 };
 
 /// Drives a fully managed execution of the RM3D emulator.
@@ -183,6 +229,14 @@ class ManagedRun {
   void on_confirm(const agents::PortId& port, double now);
   void rollback_recovery();
   void take_checkpoint();
+  void persist_checkpoint();
+  /// Restore from the newest fully valid checkpoint generation; false
+  /// (fresh start) when none decodes, validates, and matches this config.
+  bool try_restore();
+  [[nodiscard]] double checkpoint_interval_s() const {
+    return config_.ft.enabled ? config_.ft.checkpoint_interval_s
+                              : config_.persist.checkpoint_interval_s;
+  }
 
   ManagedRunConfig config_;
   sim::Simulator simulator_;
@@ -218,6 +272,15 @@ class ManagedRun {
   /// Per-node cell updates performed since the last checkpoint — exactly
   /// what dies with the node and must be recomputed on rollback.
   std::vector<double> cells_since_checkpoint_;
+
+  // Persistence state.
+  std::unique_ptr<io::CheckpointStore> store_;
+  /// Snapshot index of every MetaPartitioner::select call so far, so a
+  /// resume can replay the meta-partitioner to its exact internal state.
+  std::vector<std::uint32_t> select_indices_;
+  /// Set by the save_state actuator; forces a checkpoint at the next
+  /// coarse-step boundary.
+  bool checkpoint_requested_ = false;
 
   ManagedRunReport report_;
 };

@@ -1,0 +1,271 @@
+#include "pragma/io/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "pragma/util/crc32.hpp"
+#include "pragma/util/logging.hpp"
+
+namespace pragma::io {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kPrefix = "ckpt-";
+constexpr const char* kSuffix = ".pragma";
+constexpr const char* kTmpSuffix = ".tmp";
+
+void put_u32(std::uint8_t* out, std::uint32_t value) {
+  std::memcpy(out, &value, sizeof value);
+}
+
+void put_u64(std::uint8_t* out, std::uint64_t value) {
+  std::memcpy(out, &value, sizeof value);
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  std::uint32_t value = 0;
+  std::memcpy(&value, in, sizeof value);
+  return value;
+}
+
+std::uint64_t get_u64(const std::uint8_t* in) {
+  std::uint64_t value = 0;
+  std::memcpy(&value, in, sizeof value);
+  return value;
+}
+
+/// Parse a generation number out of "ckpt-<digits>.pragma"; 0 = not a
+/// checkpoint file name.
+std::uint64_t generation_of(const std::string& filename) {
+  const std::size_t prefix_len = std::strlen(kPrefix);
+  const std::size_t suffix_len = std::strlen(kSuffix);
+  if (filename.size() <= prefix_len + suffix_len) return 0;
+  if (filename.compare(0, prefix_len, kPrefix) != 0) return 0;
+  if (filename.compare(filename.size() - suffix_len, suffix_len, kSuffix) !=
+      0)
+    return 0;
+  std::uint64_t generation = 0;
+  for (std::size_t i = prefix_len; i < filename.size() - suffix_len; ++i) {
+    const char c = filename[i];
+    if (c < '0' || c > '9') return 0;
+    if (generation > (UINT64_MAX - 9) / 10) return 0;
+    generation = generation * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return generation;
+}
+
+util::Status sync_fd(int fd, const std::string& what) {
+  if (::fsync(fd) != 0)
+    return util::Status::internal("fsync failed for " + what + ": " +
+                                  std::strerror(errno));
+  return util::Status::ok();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_envelope(
+    const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out(kCheckpointHeaderBytes + payload.size());
+  std::memcpy(out.data(), kCheckpointMagic, sizeof kCheckpointMagic);
+  put_u32(out.data() + 8, kCheckpointVersion);
+  put_u32(out.data() + 12, 0);  // flags
+  put_u64(out.data() + 16, payload.size());
+  put_u32(out.data() + 24, util::crc32(payload.data(), payload.size()));
+  put_u32(out.data() + 28, util::crc32(out.data(), 28));
+  std::memcpy(out.data() + kCheckpointHeaderBytes, payload.data(),
+              payload.size());
+  return out;
+}
+
+util::Expected<std::vector<std::uint8_t>> decode_envelope(
+    const std::uint8_t* bytes, std::size_t size,
+    std::uint64_t max_payload_bytes) {
+  if (size < kCheckpointHeaderBytes)
+    return util::Status::data_loss(
+        "checkpoint shorter than its 32-byte header (" +
+        std::to_string(size) + " bytes)");
+  if (std::memcmp(bytes, kCheckpointMagic, sizeof kCheckpointMagic) != 0)
+    return util::Status::invalid("bad checkpoint magic");
+  const std::uint32_t header_crc = get_u32(bytes + 28);
+  if (util::crc32(bytes, 28) != header_crc)
+    return util::Status::data_loss("checkpoint header CRC mismatch");
+  const std::uint32_t version = get_u32(bytes + 8);
+  if (version != kCheckpointVersion)
+    return util::Status::unimplemented("checkpoint format version " +
+                                       std::to_string(version));
+  if (get_u32(bytes + 12) != 0)
+    return util::Status::invalid("nonzero reserved checkpoint flags");
+  const std::uint64_t declared = get_u64(bytes + 16);
+  if (declared > max_payload_bytes)
+    return util::Status::out_of_range(
+        "declared payload of " + std::to_string(declared) +
+        " bytes exceeds cap of " + std::to_string(max_payload_bytes));
+  if (declared != size - kCheckpointHeaderBytes)
+    return util::Status::data_loss(
+        "declared payload size " + std::to_string(declared) +
+        " does not match file contents (" +
+        std::to_string(size - kCheckpointHeaderBytes) + " bytes) — torn write");
+  const std::uint8_t* payload = bytes + kCheckpointHeaderBytes;
+  if (util::crc32(payload, declared) != get_u32(bytes + 24))
+    return util::Status::data_loss("checkpoint payload CRC mismatch");
+  return std::vector<std::uint8_t>(payload, payload + declared);
+}
+
+util::Expected<std::vector<std::uint8_t>> decode_envelope(
+    const std::vector<std::uint8_t>& bytes,
+    std::uint64_t max_payload_bytes) {
+  return decode_envelope(bytes.data(), bytes.size(), max_payload_bytes);
+}
+
+CheckpointStore::CheckpointStore(CheckpointStoreOptions options)
+    : options_(std::move(options)) {
+  if (options_.keep_generations < 1) options_.keep_generations = 1;
+}
+
+std::string CheckpointStore::path_for(std::uint64_t generation) const {
+  char name[64];
+  std::snprintf(name, sizeof name, "%s%08llu%s", kPrefix,
+                static_cast<unsigned long long>(generation), kSuffix);
+  return (fs::path(options_.dir) / name).string();
+}
+
+std::vector<std::uint64_t> CheckpointStore::generations() const {
+  std::vector<std::uint64_t> result;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::uint64_t generation =
+        generation_of(entry.path().filename().string());
+    if (generation > 0) result.push_back(generation);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::uint64_t CheckpointStore::next_generation() const {
+  const std::vector<std::uint64_t> existing = generations();
+  return existing.empty() ? 1 : existing.back() + 1;
+}
+
+util::Status CheckpointStore::write(
+    const std::vector<std::uint8_t>& payload) {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec)
+    return util::Status::internal("cannot create checkpoint dir " +
+                                  options_.dir + ": " + ec.message());
+
+  const std::vector<std::uint8_t> file = encode_envelope(payload);
+  const std::uint64_t generation = next_generation();
+  const std::string final_path = path_for(generation);
+  const std::string tmp_path = final_path + kTmpSuffix;
+
+  const int fd = ::open(tmp_path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0)
+    return util::Status::internal("cannot open " + tmp_path + ": " +
+                                  std::strerror(errno));
+  std::size_t written = 0;
+  while (written < file.size()) {
+    const ssize_t n =
+        ::write(fd, file.data() + written, file.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const util::Status status = util::Status::internal(
+          "write failed for " + tmp_path + ": " + std::strerror(errno));
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return status;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (util::Status status = sync_fd(fd, tmp_path); !status.is_ok()) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  ::close(fd);
+
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    const util::Status status = util::Status::internal(
+        "rename to " + final_path + " failed: " + std::strerror(errno));
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+
+  // Make the rename itself durable.
+  const int dir_fd = ::open(options_.dir.c_str(),
+                            O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    const util::Status status = sync_fd(dir_fd, options_.dir);
+    ::close(dir_fd);
+    if (!status.is_ok()) return status;
+  }
+
+  // Prune generations beyond the retention window (never the one just
+  // written).  Best-effort: a failed unlink only wastes disk.
+  const std::vector<std::uint64_t> existing = generations();
+  if (existing.size() > static_cast<std::size_t>(options_.keep_generations))
+    for (std::size_t i = 0;
+         i < existing.size() -
+                 static_cast<std::size_t>(options_.keep_generations);
+         ++i)
+      ::unlink(path_for(existing[i]).c_str());
+  return util::Status::ok();
+}
+
+util::Expected<LoadedCheckpoint> CheckpointStore::load_generation(
+    std::uint64_t generation) const {
+  const std::string path = path_for(generation);
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    return util::Status::not_found("cannot open " + path);
+  std::vector<std::uint8_t> bytes;
+  {
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(path, ec);
+    if (ec)
+      return util::Status::internal("cannot stat " + path + ": " +
+                                    ec.message());
+    // Reject oversized files before reading them into memory.
+    if (size > options_.max_payload_bytes + kCheckpointHeaderBytes)
+      return util::Status::out_of_range(
+          path + " is " + std::to_string(size) + " bytes, above the cap");
+    bytes.resize(static_cast<std::size_t>(size));
+  }
+  if (!bytes.empty() &&
+      !in.read(reinterpret_cast<char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size())))
+    return util::Status::internal("short read from " + path);
+  util::Expected<std::vector<std::uint8_t>> payload =
+      decode_envelope(bytes, options_.max_payload_bytes);
+  if (!payload) return payload.status();
+  return LoadedCheckpoint{generation, std::move(payload).value()};
+}
+
+util::Expected<LoadedCheckpoint> CheckpointStore::load_latest_valid(
+    int* rejected) const {
+  if (rejected) *rejected = 0;
+  std::vector<std::uint64_t> existing = generations();
+  for (auto it = existing.rbegin(); it != existing.rend(); ++it) {
+    util::Expected<LoadedCheckpoint> loaded = load_generation(*it);
+    if (loaded) return loaded;
+    if (rejected) ++*rejected;
+    util::log_warn("checkpoint generation ", *it, " rejected: ",
+                   loaded.status().to_string());
+  }
+  return util::Status::not_found("no valid checkpoint generation in " +
+                                 options_.dir);
+}
+
+}  // namespace pragma::io

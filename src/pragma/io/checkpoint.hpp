@@ -1,0 +1,111 @@
+// Durable, crash-consistent checkpoint files.
+//
+// The paper's CA actuators can "save component execution state"; this is
+// the layer that makes that actuator real.  A checkpoint is an opaque
+// payload wrapped in a fixed 32-byte envelope:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0     8  magic "PRGMCKP1"
+//        8     4  format version (little-endian u32, currently 1)
+//       12     4  flags (reserved, must be zero)
+//       16     8  payload size in bytes (u64)
+//       24     4  CRC-32 of the payload (IEEE)
+//       28     4  CRC-32 of bytes [0, 28) — seals the header itself
+//       32     …  payload
+//
+// A file is accepted only when *every* check passes: size, magic, header
+// CRC, version, declared-vs-actual payload size, payload CRC.  Torn
+// writes (short file), bit-flips (either CRC) and future versions are all
+// detected before a byte of payload is interpreted.
+//
+// CheckpointStore manages a directory of numbered generations
+// (ckpt-00000001.pragma, ckpt-00000002.pragma, …) written via the
+// classic crash-consistent sequence: write to a ".tmp" name, fsync the
+// file, rename() into place, fsync the directory.  A crash mid-write
+// leaves only a ".tmp" orphan which the loader never reads;
+// load_latest_valid() walks generations newest-first and returns the
+// first one that validates, so a corrupted newest generation falls back
+// to its predecessor instead of taking the run down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pragma/util/status.hpp"
+
+namespace pragma::io {
+
+/// Envelope constants, exposed for tests and fuzzers.
+inline constexpr char kCheckpointMagic[8] = {'P', 'R', 'G', 'M',
+                                             'C', 'K', 'P', '1'};
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::size_t kCheckpointHeaderBytes = 32;
+/// Default cap on accepted payload size: a hostile header cannot make the
+/// loader allocate more than this.
+inline constexpr std::uint64_t kDefaultMaxPayloadBytes = 64ull << 20;
+
+/// Wrap `payload` in the checkpoint envelope.
+[[nodiscard]] std::vector<std::uint8_t> encode_envelope(
+    const std::vector<std::uint8_t>& payload);
+
+/// Validate `bytes` and extract the payload.  Pure function over memory —
+/// the fuzzer entry point for the checkpoint loader.
+[[nodiscard]] util::Expected<std::vector<std::uint8_t>> decode_envelope(
+    const std::uint8_t* bytes, std::size_t size,
+    std::uint64_t max_payload_bytes = kDefaultMaxPayloadBytes);
+[[nodiscard]] util::Expected<std::vector<std::uint8_t>> decode_envelope(
+    const std::vector<std::uint8_t>& bytes,
+    std::uint64_t max_payload_bytes = kDefaultMaxPayloadBytes);
+
+struct CheckpointStoreOptions {
+  std::string dir;
+  /// Validated generations kept on disk; older ones are pruned after a
+  /// successful write.  Minimum 1 (the generation just written); keep ≥ 2
+  /// so a corrupted newest generation still has a fallback.
+  int keep_generations = 3;
+  std::uint64_t max_payload_bytes = kDefaultMaxPayloadBytes;
+};
+
+/// A loaded checkpoint: which generation it came from plus its payload.
+struct LoadedCheckpoint {
+  std::uint64_t generation = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(CheckpointStoreOptions options);
+
+  /// Durably write `payload` as the next generation (tmp + fsync + rename
+  /// + directory fsync).  On success older generations beyond
+  /// keep_generations are pruned.
+  util::Status write(const std::vector<std::uint8_t>& payload);
+
+  /// Newest generation that passes full validation.  Generations that
+  /// fail are logged and skipped (and reported via `rejected` when
+  /// non-null); kNotFound when none validates.
+  [[nodiscard]] util::Expected<LoadedCheckpoint> load_latest_valid(
+      int* rejected = nullptr) const;
+
+  /// Read + validate one specific generation.
+  [[nodiscard]] util::Expected<LoadedCheckpoint> load_generation(
+      std::uint64_t generation) const;
+
+  /// Generations present on disk (validated or not), ascending.
+  [[nodiscard]] std::vector<std::uint64_t> generations() const;
+
+  /// Next generation number a write() would use.
+  [[nodiscard]] std::uint64_t next_generation() const;
+
+  [[nodiscard]] std::string path_for(std::uint64_t generation) const;
+  [[nodiscard]] const CheckpointStoreOptions& options() const {
+    return options_;
+  }
+
+ private:
+  CheckpointStoreOptions options_;
+};
+
+}  // namespace pragma::io

@@ -1,0 +1,28 @@
+// Binary codecs for AMR state inside checkpoint payloads.
+//
+// The checkpoint payload needs the grid hierarchy and the adaptation
+// trace in a compact, deterministic form.  These codecs mirror the text
+// trace format (config, then per-snapshot levels of boxes) but are
+// binary, and share the same TraceLimits validation caps: a decoded
+// count is checked against both its cap and the remaining buffer before
+// anything is allocated.
+#pragma once
+
+#include "pragma/amr/hierarchy.hpp"
+#include "pragma/amr/trace.hpp"
+#include "pragma/io/serial.hpp"
+#include "pragma/util/status.hpp"
+
+namespace pragma::io {
+
+/// Encode/decode one hierarchy (configuration + all levels' boxes).
+void encode_hierarchy(ByteWriter& writer, const amr::GridHierarchy& h);
+[[nodiscard]] util::Expected<amr::GridHierarchy> decode_hierarchy(
+    ByteReader& reader);
+
+/// Encode/decode a whole adaptation trace.
+void encode_trace(ByteWriter& writer, const amr::AdaptationTrace& trace);
+[[nodiscard]] util::Expected<amr::AdaptationTrace> decode_trace(
+    ByteReader& reader);
+
+}  // namespace pragma::io

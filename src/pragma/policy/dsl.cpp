@@ -1,6 +1,7 @@
 #include "pragma/policy/dsl.hpp"
 
 #include <cctype>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -8,8 +9,55 @@ namespace pragma::policy {
 
 namespace {
 
+/// Clip a token echoed into an error message so hostile input cannot
+/// balloon diagnostics.
+std::string clip(const std::string& token) {
+  constexpr std::size_t kMaxEcho = 40;
+  if (token.size() <= kMaxEcho) return token;
+  return token.substr(0, kMaxEcho) + "...";
+}
+
+/// Build "line N, column C" diagnostics with a source snippet and caret.
+/// `line_base` is the 1-based number of the first line of `text` within
+/// the enclosing document (parse_rules passes the file line).
+[[noreturn]] void throw_parse_error(const std::string& text, std::size_t pos,
+                                    int line_base,
+                                    const std::string& message) {
+  if (pos > text.size()) pos = text.size();
+  std::size_t line_start = 0;
+  int line = line_base;
+  for (std::size_t i = 0; i < pos; ++i)
+    if (text[i] == '\n') {
+      ++line;
+      line_start = i + 1;
+    }
+  std::size_t line_end = text.find('\n', line_start);
+  if (line_end == std::string::npos) line_end = text.size();
+  const std::size_t column = pos - line_start + 1;
+
+  // Window the snippet around the column so long lines stay readable.
+  constexpr std::size_t kWindow = 72;
+  std::size_t snippet_start = line_start;
+  if (column > kWindow - 8)
+    snippet_start = line_start + column - (kWindow - 8);
+  std::string snippet =
+      text.substr(snippet_start, std::min(line_end - snippet_start, kWindow));
+  for (char& c : snippet)
+    if (!std::isprint(static_cast<unsigned char>(c))) c = '?';
+  std::string caret(pos >= snippet_start ? pos - snippet_start : 0, ' ');
+  caret += '^';
+
+  std::ostringstream os;
+  os << "policy rule parse error at line " << line << ", column " << column
+     << ": " << message << '\n'
+     << "  " << snippet << '\n'
+     << "  " << caret;
+  throw std::invalid_argument(os.str());
+}
+
 struct Tokenizer {
-  explicit Tokenizer(const std::string& text) : text_(text) {}
+  Tokenizer(const std::string& text, int line_base)
+      : text_(text), line_base_(line_base) {}
 
   [[nodiscard]] bool done() {
     skip_space();
@@ -48,12 +96,18 @@ struct Tokenizer {
            text_[pos_] != '=' && text_[pos_] != ',' && text_[pos_] != '<' &&
            text_[pos_] != '>' && text_[pos_] != '~')
       ++pos_;
+    last_token_start_ = start;
     return text_.substr(start, pos_ - start);
   }
 
   [[noreturn]] void fail(const std::string& message) const {
-    throw std::invalid_argument("policy rule parse error at position " +
-                                std::to_string(pos_) + ": " + message);
+    throw_parse_error(text_, pos_, line_base_, message);
+  }
+
+  /// Fail pointing at the start of the most recent bareword token rather
+  /// than the cursor (reads better for "got 'foo'" messages).
+  [[noreturn]] void fail_at_token(const std::string& message) const {
+    throw_parse_error(text_, last_token_start_, line_base_, message);
   }
 
  private:
@@ -63,7 +117,9 @@ struct Tokenizer {
       ++pos_;
   }
   const std::string& text_;
+  int line_base_ = 1;
   std::size_t pos_ = 0;
+  std::size_t last_token_start_ = 0;
 };
 
 bool is_number(const std::string& token, double* out) {
@@ -88,17 +144,16 @@ Op parse_op(Tokenizer& tok, const std::string& token) {
   if (token == "<=") return Op::kLe;
   if (token == ">") return Op::kGt;
   if (token == ">=") return Op::kGe;
-  tok.fail("expected an operator, got '" + token + "'");
+  tok.fail("expected an operator, got '" + clip(token) + "'");
 }
 
-}  // namespace
-
-Policy parse_rule(const std::string& text, const std::string& name) {
-  Tokenizer tok(text);
+Policy parse_rule_at(const std::string& text, const std::string& name,
+                     int line_base) {
+  Tokenizer tok(text, line_base);
   Policy policy;
   policy.name = name.empty() ? text : name;
 
-  if (tok.next() != "if") tok.fail("rule must start with 'if'");
+  if (tok.next() != "if") tok.fail_at_token("rule must start with 'if'");
 
   // Conditions.
   while (true) {
@@ -119,7 +174,8 @@ Policy parse_rule(const std::string& text, const std::string& name) {
     const std::string keyword = tok.next();
     if (keyword == "and") continue;
     if (keyword == "then") break;
-    tok.fail("expected 'and' or 'then', got '" + keyword + "'");
+    tok.fail_at_token("expected 'and' or 'then', got '" + clip(keyword) +
+                      "'");
   }
 
   // Action assignments.
@@ -144,13 +200,13 @@ Policy parse_rule(const std::string& text, const std::string& name) {
       policy.priority = priority;
       break;
     }
-    tok.fail("expected ',' or 'priority', got '" + keyword + "'");
+    tok.fail("expected ',' or 'priority', got '" + clip(keyword) + "'");
   }
   if (!tok.done()) tok.fail("trailing tokens after rule");
   return policy;
 }
 
-std::vector<Policy> parse_rules(const std::string& text) {
+std::vector<Policy> parse_rules_impl(const std::string& text) {
   std::vector<Policy> policies;
   std::istringstream stream(text);
   std::string line;
@@ -163,10 +219,32 @@ std::vector<Policy> parse_rules(const std::string& text) {
     for (char c : line)
       if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
     if (blank) continue;
-    policies.push_back(
-        parse_rule(line, "rule_" + std::to_string(line_number)));
+    policies.push_back(parse_rule_at(line, "rule_" +
+                                     std::to_string(line_number),
+                                     line_number));
   }
   return policies;
+}
+
+}  // namespace
+
+Policy parse_rule(const std::string& text, const std::string& name) {
+  return parse_rule_at(text, name, 1);
+}
+
+std::vector<Policy> parse_rules(const std::string& text) {
+  return parse_rules_impl(text);
+}
+
+util::Expected<std::vector<Policy>> try_parse_rules(const std::string& text) {
+  // The recursive-descent parser reports through one internal exception
+  // type; this boundary converts it into a Status so callers handling
+  // untrusted policy files never see a throw.
+  try {
+    return parse_rules_impl(text);
+  } catch (const std::invalid_argument& error) {
+    return util::Status::invalid(error.what());
+  }
 }
 
 std::string format_rule(const Policy& policy) {

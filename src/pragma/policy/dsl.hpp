@@ -20,17 +20,32 @@
 #include <vector>
 
 #include "pragma/policy/policy.hpp"
+#include "pragma/util/status.hpp"
 
 namespace pragma::policy {
 
 /// Parse a single rule.  `name` becomes the policy name (auto-generated
-/// from the text if empty).  Throws std::invalid_argument with a position
-/// hint on malformed input.
+/// from the text if empty).  Throws std::invalid_argument on malformed
+/// input; the message carries the line number (when known), the column,
+/// a source snippet and a caret marking the offending position:
+///
+///   policy rule parse error at line 3, column 14: expected 'and' or
+///   'then', got 'foo'
+///     if load > 0.8 foo = bar
+///                   ^
 [[nodiscard]] Policy parse_rule(const std::string& text,
                                 const std::string& name = {});
 
 /// Parse a newline-separated rule set, skipping blank lines and comments.
+/// Throws like parse_rule, with the failing line number and snippet.
 [[nodiscard]] std::vector<Policy> parse_rules(const std::string& text);
+
+/// Structured-error variant of parse_rules for untrusted policy files:
+/// returns the parsed rule set or a Status whose message has the same
+/// line/column/snippet diagnostics, without using exceptions for control
+/// flow.
+[[nodiscard]] util::Expected<std::vector<Policy>> try_parse_rules(
+    const std::string& text);
 
 /// Render a policy back into rule syntax (round-trips through parse_rule).
 [[nodiscard]] std::string format_rule(const Policy& policy);

@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the checkpoint envelope to detect torn writes and bit-flips.
+// The implementation is the classic byte-at-a-time table walk: the
+// checkpoint payloads are small (tens of KiB) so simplicity wins over a
+// slicing-by-8 variant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pragma::util {
+
+/// CRC of `size` bytes, continuing from `seed` (pass the previous return
+/// value to checksum a buffer in chunks; the default starts a new stream).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+}  // namespace pragma::util

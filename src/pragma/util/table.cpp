@@ -1,6 +1,8 @@
 #include "pragma/util/table.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -109,6 +111,38 @@ void print_section(std::ostream& os, const std::string& title) {
   os << '\n' << title << '\n' << std::string(title.size(), '=') << '\n';
 }
 
+namespace {
+
+/// Escape a string for use inside a JSON string literal: backslash, double
+/// quote, and all control characters (the latter as \u00XX).  Bench names
+/// and keys are normally tame identifiers, but nothing stops a caller from
+/// forwarding user input (e.g. a trace path) into an entry name.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char raw : text) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 BenchJsonWriter& BenchJsonWriter::entry(const std::string& name) {
   entries_.push_back(Entry{name, {}});
   return *this;
@@ -116,7 +150,10 @@ BenchJsonWriter& BenchJsonWriter::entry(const std::string& name) {
 
 BenchJsonWriter& BenchJsonWriter::field(const std::string& key, double value,
                                         int precision) {
-  entries_.back().fields.emplace_back(key, cell(value, precision));
+  // "nan"/"inf" are not valid JSON tokens; emit null so downstream diff
+  // tooling keeps parsing instead of choking on one poisoned metric.
+  entries_.back().fields.emplace_back(
+      key, std::isfinite(value) ? cell(value, precision) : "null");
   return *this;
 }
 
@@ -136,9 +173,9 @@ std::string BenchJsonWriter::render() const {
   os << "[\n";
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const Entry& e = entries_[i];
-    os << "  {\"name\": \"" << e.name << '"';
+    os << "  {\"name\": \"" << json_escape(e.name) << '"';
     for (const auto& [key, value] : e.fields)
-      os << ", \"" << key << "\": " << value;
+      os << ", \"" << json_escape(key) << "\": " << value;
     os << '}' << (i + 1 < entries_.size() ? "," : "") << '\n';
   }
   os << "]\n";

@@ -61,7 +61,8 @@ class BenchJsonWriter {
   /// Start a new entry.  Fields added afterwards belong to it.
   BenchJsonWriter& entry(const std::string& name);
   /// Append a numeric field to the current entry.  Doubles render with
-  /// fixed precision (default matches the ns/op convention, 1 digit).
+  /// fixed precision (default matches the ns/op convention, 1 digit);
+  /// non-finite values (NaN/Inf) serialize as JSON null.
   BenchJsonWriter& field(const std::string& key, double value,
                          int precision = 1);
   BenchJsonWriter& field(const std::string& key, std::size_t value);

@@ -119,5 +119,75 @@ TEST(TraceIo, MissingFileThrows) {
                std::runtime_error);
 }
 
+util::Expected<AdaptationTrace> try_load(const std::string& text) {
+  std::istringstream is(text);
+  return try_load_trace(is);
+}
+
+TEST(TraceIoHardened, TryLoadReturnsStatusNotThrow) {
+  const auto trace = try_load("garbage bytes");
+  ASSERT_FALSE(trace);
+  EXPECT_EQ(trace.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(TraceIoHardened, UnsupportedVersionIsUnimplemented) {
+  const auto trace = try_load("pragma-trace 99\n");
+  ASSERT_FALSE(trace);
+  EXPECT_EQ(trace.status().code(), util::StatusCode::kUnimplemented);
+}
+
+TEST(TraceIoHardened, HugeBoxCountRejectedBeforeAllocation) {
+  // Declares ~10^18 boxes; the loader must refuse the count up front
+  // rather than reserve a vector for it.
+  const auto trace = try_load(
+      "pragma-trace 1\nconfig 16 8 8 2 3\nsnapshot 0 2\n"
+      "level 1 1000000000000000000\n");
+  ASSERT_FALSE(trace);
+  EXPECT_EQ(trace.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(TraceIoHardened, NegativeBoxCountRejected) {
+  const auto trace = try_load(
+      "pragma-trace 1\nconfig 16 8 8 2 3\nsnapshot 0 2\nlevel 1 -1\n");
+  ASSERT_FALSE(trace);
+  EXPECT_EQ(trace.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(TraceIoHardened, NumLevelsCrossCheckedAgainstMaxLevels) {
+  const auto trace =
+      try_load("pragma-trace 1\nconfig 16 8 8 2 3\nsnapshot 0 7\n");
+  ASSERT_FALSE(trace);
+  EXPECT_EQ(trace.status().code(), util::StatusCode::kOutOfRange);
+  EXPECT_NE(trace.status().message().find("max_levels"), std::string::npos);
+}
+
+TEST(TraceIoHardened, InvertedBoxExtentsRejected) {
+  const auto trace = try_load(
+      "pragma-trace 1\nconfig 16 8 8 2 3\nsnapshot 0 2\nlevel 1 1\n"
+      "box 5 5 5 1 1 1\n");
+  ASSERT_FALSE(trace);
+  EXPECT_NE(trace.status().message().find("hi < lo"), std::string::npos);
+}
+
+TEST(TraceIoHardened, AbsurdConfigDimensionsRejected) {
+  const auto trace =
+      try_load("pragma-trace 1\nconfig 2000000000 8 8 2 3\nsnapshot 0 1\n");
+  ASSERT_FALSE(trace);
+  EXPECT_EQ(trace.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(TraceIoHardened, BadRefinementRatioRejected) {
+  const auto trace =
+      try_load("pragma-trace 1\nconfig 16 8 8 99 3\nsnapshot 0 1\n");
+  ASSERT_FALSE(trace);
+  EXPECT_EQ(trace.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(TraceIoHardened, MissingFileIsNotFoundStatus) {
+  const auto trace = try_load_trace_file("/nonexistent/dir/trace.txt");
+  ASSERT_FALSE(trace);
+  EXPECT_EQ(trace.status().code(), util::StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace pragma::amr

@@ -1,0 +1,263 @@
+// Integration tests for durable checkpoint persistence in ManagedRun:
+// the save-state actuator writes real files, a killed run resumes from
+// the newest valid generation, corruption falls back a generation, and
+// the resumed run's final report is bit-identical to an uninterrupted
+// run at the same seed.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "pragma/core/managed_run.hpp"
+#include "pragma/core/run_snapshot.hpp"
+#include "pragma/io/checkpoint.hpp"
+
+namespace pragma::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string test_dir(const std::string& tag) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("pragma_persist_" + tag);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+ManagedRunConfig persist_config(const std::string& dir, int steps = 40) {
+  ManagedRunConfig config;
+  config.app.coarse_steps = steps;
+  config.nprocs = 8;
+  config.persist.enabled = true;
+  config.persist.dir = dir;
+  // Checkpoint on (almost) every step boundary so a mid-run kill always
+  // has generations to recover from.
+  config.persist.checkpoint_interval_s = 1e-6;
+  config.persist.keep_generations = 4;
+  return config;
+}
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void expect_reports_bit_identical(const ManagedRunReport& a,
+                                  const ManagedRunReport& b) {
+  EXPECT_TRUE(same_bits(a.total_time_s, b.total_time_s))
+      << a.total_time_s << " vs " << b.total_time_s;
+  EXPECT_EQ(a.regrids, b.regrids);
+  EXPECT_EQ(a.repartitions, b.repartitions);
+  EXPECT_EQ(a.agent_events, b.agent_events);
+  EXPECT_EQ(a.adm_decisions, b.adm_decisions);
+  EXPECT_EQ(a.event_repartitions, b.event_repartitions);
+  EXPECT_EQ(a.partitioner_switches, b.partitioner_switches);
+  EXPECT_TRUE(same_bits(a.cells_advanced, b.cells_advanced));
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const ManagedStepRecord& ra = a.records[i];
+    const ManagedStepRecord& rb = b.records[i];
+    EXPECT_EQ(ra.step, rb.step) << "record " << i;
+    EXPECT_EQ(ra.octant, rb.octant) << "record " << i;
+    EXPECT_EQ(ra.partitioner, rb.partitioner) << "record " << i;
+    EXPECT_TRUE(same_bits(ra.sim_time_s, rb.sim_time_s)) << "record " << i;
+    EXPECT_TRUE(same_bits(ra.step_time_s, rb.step_time_s)) << "record " << i;
+    EXPECT_TRUE(same_bits(ra.imbalance, rb.imbalance)) << "record " << i;
+    EXPECT_EQ(ra.live_nodes, rb.live_nodes) << "record " << i;
+  }
+}
+
+TEST(Persistence, DisabledWritesNothing) {
+  ManagedRunConfig config;
+  config.app.coarse_steps = 20;
+  config.nprocs = 8;
+  const ManagedRunReport report = ManagedRun(config).run();
+  EXPECT_EQ(report.checkpoints_persisted, 0u);
+  EXPECT_FALSE(report.resumed);
+  EXPECT_FALSE(report.halted);
+}
+
+TEST(Persistence, WritesValidatableGenerations) {
+  const std::string dir = test_dir("writes");
+  const ManagedRunReport report =
+      ManagedRun(persist_config(dir)).run();
+  EXPECT_GT(report.checkpoints_persisted, 0u);
+
+  io::CheckpointStoreOptions options;
+  options.dir = dir;
+  const io::CheckpointStore store(options);
+  EXPECT_FALSE(store.generations().empty());
+  EXPECT_LE(store.generations().size(), 4u);
+  const auto loaded = store.load_latest_valid();
+  ASSERT_TRUE(loaded) << loaded.status().to_string();
+  const auto snapshot = decode_run_snapshot(loaded.value().payload);
+  ASSERT_TRUE(snapshot) << snapshot.status().to_string();
+  EXPECT_EQ(snapshot.value().config_fingerprint,
+            config_fingerprint(persist_config(dir)));
+  fs::remove_all(dir);
+}
+
+TEST(Persistence, RerunWithSameSeedIsBitIdentical) {
+  const std::string dir_a = test_dir("rerun_a");
+  const std::string dir_b = test_dir("rerun_b");
+  const ManagedRunReport a = ManagedRun(persist_config(dir_a)).run();
+  const ManagedRunReport b = ManagedRun(persist_config(dir_b)).run();
+  expect_reports_bit_identical(a, b);
+  fs::remove_all(dir_a);
+  fs::remove_all(dir_b);
+}
+
+TEST(Persistence, HaltAbandonsRunEarly) {
+  const std::string dir = test_dir("halt");
+  ManagedRunConfig config = persist_config(dir);
+  config.persist.halt_after_steps = 13;
+  const ManagedRunReport report = ManagedRun(config).run();
+  EXPECT_TRUE(report.halted);
+  EXPECT_GT(report.checkpoints_persisted, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(Persistence, KillThenResumeMatchesUninterruptedBitwise) {
+  const std::string dir_ref = test_dir("kr_ref");
+  const std::string dir = test_dir("kr");
+
+  const ManagedRunReport uninterrupted =
+      ManagedRun(persist_config(dir_ref)).run();
+
+  ManagedRunConfig killed = persist_config(dir);
+  killed.persist.halt_after_steps = 17;
+  ASSERT_TRUE(ManagedRun(killed).run().halted);
+
+  ManagedRunConfig resume = persist_config(dir);
+  resume.persist.resume = true;
+  const ManagedRunReport resumed = ManagedRun(resume).run();
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_FALSE(resumed.halted);
+  expect_reports_bit_identical(uninterrupted, resumed);
+
+  fs::remove_all(dir_ref);
+  fs::remove_all(dir);
+}
+
+TEST(Persistence, DoubleKillThenResumeStillMatches) {
+  const std::string dir_ref = test_dir("kr2_ref");
+  const std::string dir = test_dir("kr2");
+
+  const ManagedRunReport uninterrupted =
+      ManagedRun(persist_config(dir_ref)).run();
+
+  // Crash twice at different points before finally finishing.
+  for (int halt_at : {9, 23}) {
+    ManagedRunConfig killed = persist_config(dir);
+    killed.persist.resume = true;
+    killed.persist.halt_after_steps = halt_at;
+    ASSERT_TRUE(ManagedRun(killed).run().halted);
+  }
+  ManagedRunConfig resume = persist_config(dir);
+  resume.persist.resume = true;
+  const ManagedRunReport resumed = ManagedRun(resume).run();
+  EXPECT_TRUE(resumed.resumed);
+  expect_reports_bit_identical(uninterrupted, resumed);
+
+  fs::remove_all(dir_ref);
+  fs::remove_all(dir);
+}
+
+TEST(Persistence, CorruptNewestGenerationFallsBackAndStillMatches) {
+  const std::string dir_ref = test_dir("corrupt_ref");
+  const std::string dir = test_dir("corrupt");
+
+  const ManagedRunReport uninterrupted =
+      ManagedRun(persist_config(dir_ref)).run();
+
+  ManagedRunConfig killed = persist_config(dir);
+  killed.persist.halt_after_steps = 21;
+  ASSERT_TRUE(ManagedRun(killed).run().halted);
+
+  // Corrupt the newest generation (payload bit-flip) and drop a torn tmp
+  // orphan next to it, as a crash mid-write would leave.
+  io::CheckpointStoreOptions options;
+  options.dir = dir;
+  const io::CheckpointStore store(options);
+  const auto gens = store.generations();
+  ASSERT_GE(gens.size(), 2u);
+  {
+    std::fstream file(store.path_for(gens.back()),
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(static_cast<std::streamoff>(io::kCheckpointHeaderBytes + 7));
+    const char garbage = '\xa5';
+    file.write(&garbage, 1);
+  }
+  std::ofstream(store.path_for(gens.back() + 1) + ".tmp") << "torn";
+
+  ManagedRunConfig resume = persist_config(dir);
+  resume.persist.resume = true;
+  const ManagedRunReport resumed = ManagedRun(resume).run();
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_GE(resumed.checkpoint_generations_rejected, 1u);
+  expect_reports_bit_identical(uninterrupted, resumed);
+
+  fs::remove_all(dir_ref);
+  fs::remove_all(dir);
+}
+
+TEST(Persistence, MismatchedConfigStartsFresh) {
+  const std::string dir = test_dir("mismatch");
+  ManagedRunConfig killed = persist_config(dir);
+  killed.persist.halt_after_steps = 11;
+  ASSERT_TRUE(ManagedRun(killed).run().halted);
+
+  // Same directory, different seed: the fingerprint must reject the
+  // checkpoint rather than blend state across configurations.
+  ManagedRunConfig resume = persist_config(dir);
+  resume.persist.resume = true;
+  resume.seed = 4141;
+  const ManagedRunReport report = ManagedRun(resume).run();
+  EXPECT_FALSE(report.resumed);
+  EXPECT_FALSE(report.halted);
+  fs::remove_all(dir);
+}
+
+TEST(Persistence, ResumeFromEmptyDirectoryStartsFresh) {
+  const std::string dir = test_dir("empty");
+  ManagedRunConfig config = persist_config(dir);
+  config.persist.resume = true;
+  const ManagedRunReport report = ManagedRun(config).run();
+  EXPECT_FALSE(report.resumed);
+  EXPECT_GT(report.checkpoints_persisted, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(RunSnapshotCodec, RejectsTruncatedAndTrailingBytes) {
+  RunSnapshot snapshot;
+  snapshot.config_fingerprint = 42;
+  snapshot.owners = {0, 1, 2};
+  snapshot.owners_nprocs = 4;
+  amr::GridHierarchy h({16, 8, 8}, 2, 3);
+  snapshot.trace.add(amr::Snapshot{0, h});
+  const std::vector<std::uint8_t> bytes = encode_run_snapshot(snapshot);
+
+  const auto ok = decode_run_snapshot(bytes);
+  ASSERT_TRUE(ok) << ok.status().to_string();
+
+  std::vector<std::uint8_t> truncated(bytes.begin(), bytes.end() - 3);
+  EXPECT_FALSE(decode_run_snapshot(truncated));
+
+  std::vector<std::uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(decode_run_snapshot(padded));
+}
+
+TEST(RunSnapshotCodec, RejectsOutOfRangeOwners) {
+  RunSnapshot snapshot;
+  snapshot.owners = {0, 9};  // owner 9 with only 4 processors
+  snapshot.owners_nprocs = 4;
+  amr::GridHierarchy h({16, 8, 8}, 2, 3);
+  snapshot.trace.add(amr::Snapshot{0, h});
+  const auto decoded = decode_run_snapshot(encode_run_snapshot(snapshot));
+  ASSERT_FALSE(decoded);
+  EXPECT_EQ(decoded.status().code(), util::StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace pragma::core

@@ -93,6 +93,56 @@ TEST(FormatRule, RoundTripsThroughParser) {
   }
 }
 
+TEST(ParseRule, ErrorReportsLineColumnAndSnippet) {
+  try {
+    parse_rule("if load > 0.8 foo = bar");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("line 1"), std::string::npos) << message;
+    EXPECT_NE(message.find("column 15"), std::string::npos) << message;
+    EXPECT_NE(message.find("got 'foo'"), std::string::npos) << message;
+    // The source line and a caret under the offending token.
+    EXPECT_NE(message.find("if load > 0.8 foo = bar"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find('^'), std::string::npos) << message;
+  }
+}
+
+TEST(ParseRules, ErrorReportsFailingFileLine) {
+  try {
+    parse_rules("# comment\nif a = 1 then x = 1\nif load > 0.8 foo = bar\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(TryParseRules, ReturnsRulesOnValidInput) {
+  const auto rules =
+      try_parse_rules("if a = 1 then x = 1\nif b = 2 then x = 2\n");
+  ASSERT_TRUE(rules);
+  EXPECT_EQ(rules.value().size(), 2u);
+}
+
+TEST(TryParseRules, ReturnsStatusWithDiagnosticsOnMalformedInput) {
+  const auto rules = try_parse_rules("if a = 1 then x = 1\nnonsense\n");
+  ASSERT_FALSE(rules);
+  EXPECT_EQ(rules.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(rules.status().message().find("line 2"), std::string::npos)
+      << rules.status().message();
+}
+
+TEST(TryParseRules, HostileTokenEchoIsClipped) {
+  const std::string huge(10000, 'z');
+  const auto rules = try_parse_rules("if a = 1 " + huge + " then x = 1");
+  ASSERT_FALSE(rules);
+  // The 10k-character token must not be echoed wholesale; Status
+  // additionally truncates messages at its own bound.
+  EXPECT_LE(rules.status().message().size(), 512u + 64u);
+}
+
 TEST(ParsedRule, BehavesInPolicyBase) {
   PolicyBase base;
   base.add(parse_rule("if octant = II then partitioner = pBD-ISP"));

@@ -1,0 +1,83 @@
+#include "pragma/util/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace pragma::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.to_string(), "ok");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_EQ(Status::invalid("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::out_of_range("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::data_loss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::failed_precondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::data_loss("payload CRC mismatch").to_string(),
+            "data-loss: payload CRC mismatch");
+}
+
+TEST(StatusTest, OversizedMessageIsTruncatedWithMarker) {
+  const std::string huge(10000, 'a');
+  const Status status = Status::invalid(huge);
+  EXPECT_EQ(status.message().size(), Status::kMaxMessageBytes + 3);
+  EXPECT_EQ(status.message().substr(Status::kMaxMessageBytes), "...");
+}
+
+TEST(StatusTest, BoundaryMessageNotTruncated) {
+  const std::string exact(Status::kMaxMessageBytes, 'b');
+  EXPECT_EQ(Status::invalid(exact).message(), exact);
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  const Expected<int> expected(7);
+  ASSERT_TRUE(expected);
+  EXPECT_EQ(expected.value(), 7);
+  EXPECT_TRUE(expected.status().is_ok());
+  EXPECT_EQ(expected.value_or(-1), 7);
+}
+
+TEST(ExpectedTest, HoldsStatus) {
+  const Expected<int> expected(Status::not_found("no checkpoint"));
+  EXPECT_FALSE(expected);
+  EXPECT_EQ(expected.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(expected.value_or(-1), -1);
+}
+
+TEST(ExpectedTest, OkStatusConstructionIsNormalizedToInternal) {
+  // Constructing an error-carrying Expected from an OK status would make
+  // has_value()==false with an ok status — an impossible state.  It is
+  // coerced into an internal error instead.
+  const Expected<int> expected(Status::ok());
+  EXPECT_FALSE(expected);
+  EXPECT_EQ(expected.status().code(), StatusCode::kInternal);
+}
+
+TEST(ExpectedTest, MoveOutValue) {
+  Expected<std::vector<int>> expected(std::vector<int>{1, 2, 3});
+  const std::vector<int> taken = std::move(expected).value();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(ExpectedTest, ImplicitConversionFromValueAndStatus) {
+  const auto make = [](bool ok) -> Expected<std::string> {
+    if (ok) return std::string("yes");
+    return Status::invalid("no");
+  };
+  EXPECT_TRUE(make(true));
+  EXPECT_FALSE(make(false));
+}
+
+}  // namespace
+}  // namespace pragma::util

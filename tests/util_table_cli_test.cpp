@@ -3,8 +3,10 @@
 // EXPECT_THROW intentionally discards nodiscard results.
 #pragma GCC diagnostic ignored "-Wunused-result"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -97,6 +99,38 @@ TEST(BenchJsonWriterTest, WriteToBadPathFails) {
   BenchJsonWriter json;
   json.entry("x").field("v", 1);
   EXPECT_FALSE(json.write("/nonexistent-dir/nope/bench.json"));
+}
+
+TEST(BenchJsonWriterTest, EscapesQuotesBackslashesAndControlChars) {
+  BenchJsonWriter json;
+  json.entry("he said \"hi\\there\"\n\x01").field("ok", 1);
+  const std::string out = json.render();
+  EXPECT_NE(out.find("he said \\\"hi\\\\there\\\"\\n\\u0001"),
+            std::string::npos)
+      << out;
+}
+
+TEST(BenchJsonWriterTest, EscapesKeys) {
+  BenchJsonWriter json;
+  json.entry("x").field(std::string("bad\"key"), 1);
+  EXPECT_NE(json.render().find("\"bad\\\"key\":"), std::string::npos);
+}
+
+TEST(BenchJsonWriterTest, NonFiniteDoublesSerializeAsNull) {
+  BenchJsonWriter json;
+  json.entry("x")
+      .field("nan", std::nan(""))
+      .field("inf", std::numeric_limits<double>::infinity())
+      .field("ninf", -std::numeric_limits<double>::infinity())
+      .field("fine", 2.0);
+  const std::string out = json.render();
+  EXPECT_NE(out.find("\"nan\": null"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"inf\": null"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"ninf\": null"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"fine\": 2.0"), std::string::npos) << out;
+  // The rendered array must stay parseable: no bare nan/inf tokens.
+  EXPECT_EQ(out.find("\": nan"), std::string::npos) << out;
+  EXPECT_EQ(out.find("\": inf"), std::string::npos) << out;
 }
 
 TEST(CliFlagsTest, DefaultsApply) {
