@@ -42,6 +42,7 @@ int main() {
 
   const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(64);
   const policy::PolicyBase policies = policy::standard_policy_base();
+  util::BenchJsonWriter json;
 
   // --- Regrid interval: how often the application regrids (and the
   //     statics repartition).
@@ -58,6 +59,10 @@ int main() {
                     util::cell(cell.gmisp_sp, 1), util::cell(cell.sfc, 1),
                     util::percent_cell(
                         (cell.sfc - cell.adaptive) / cell.sfc, 1)});
+    json.entry("regrid_interval_" + std::to_string(interval))
+        .field("adaptive_s", cell.adaptive, 3)
+        .field("gmisp_sp_s", cell.gmisp_sp, 3)
+        .field("sfc_s", cell.sfc, 3);
   }
   std::cout << regrid.render()
             << "(Frequent regridding keeps partitions fresh; infrequent"
@@ -77,6 +82,10 @@ int main() {
     const Cell cell = run_cell(trace, cluster, policies, weight, 0.20);
     stale.add_row({util::cell(weight, 3), util::cell(cell.adaptive, 1),
                    util::cell(cell.gmisp_sp, 1), util::cell(cell.sfc, 1)});
+    json.entry("stale_weight_" + util::cell(weight, 3))
+        .field("adaptive_s", cell.adaptive, 3)
+        .field("gmisp_sp_s", cell.gmisp_sp, 3)
+        .field("sfc_s", cell.sfc, 3);
   }
   std::cout << stale.render()
             << "(0 = partitions never stale between regrids; the default"
@@ -95,10 +104,15 @@ int main() {
     threshold.add_row({util::cell(t, 2), util::cell(run.runtime_s, 1),
                        util::cell(run.migration_s, 1),
                        util::cell(run.partition_s, 1)});
+    json.entry("repartition_threshold_" + util::cell(t, 2))
+        .field("adaptive_s", run.runtime_s, 3)
+        .field("migration_s", run.migration_s, 3)
+        .field("partition_s", run.partition_s, 3);
   }
   std::cout << threshold.render()
             << "(0 repartitions at every regrid, like the statics; larger"
                " thresholds\n trade balance drift for fewer"
                " redistributions.)\n";
+  bench::write_bench_json(json, "BENCH_ablation_sensitivity.json");
   return 0;
 }

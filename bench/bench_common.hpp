@@ -24,4 +24,12 @@ inline amr::AdaptationTrace canonical_rm3d_trace() {
   return emulator.run();
 }
 
+/// Write a BENCH_*.json artifact.  Silent on success so stdout stays
+/// byte-stable across runs; failures go to stderr.
+inline void write_bench_json(const util::BenchJsonWriter& json,
+                             const std::string& path) {
+  if (!json.write(path))
+    std::cerr << "warning: cannot write " << path << "\n";
+}
+
 }  // namespace pragma::bench

@@ -137,5 +137,18 @@ int main() {
                  util::cell(d.recipients)});
   }
   std::cout << log.render();
+
+  util::BenchJsonWriter json;
+  json.entry("managed_execution")
+      .field("component_agents", environment->agent_count())
+      .field("sensor_events", events)
+      .field("adm_decisions", environment->adm().decisions().size())
+      .field("directives_applied", directives)
+      .field("repartition_actuations", static_cast<std::size_t>(repartitions))
+      .field("migrate_actuations", static_cast<std::size_t>(migrations))
+      .field("mc_messages_sent", environment->message_center().sent_count())
+      .field("mc_messages_delivered",
+             environment->message_center().delivered_count());
+  bench::write_bench_json(json, "BENCH_fig1_catalina_flow.json");
   return 0;
 }

@@ -63,6 +63,7 @@ int main() {
   std::cout << cube.render();
 
   // Classification sweep.
+  util::BenchJsonWriter json;
   const int box_counts[] = {1, 2, 4, 8, 16, 32};
   const double moves[] = {0.0, 0.05, 0.15, 0.3, 0.6, 1.0};
   for (const int edge : {16, 4}) {
@@ -79,8 +80,13 @@ int main() {
                          "0.60", "1.00"});
     for (const int count : box_counts) {
       std::vector<std::string> row{util::cell(count)};
-      for (const double move : moves)
-        row.push_back(octant::to_string(classify_synthetic(count, move, edge)));
+      for (const double move : moves) {
+        const octant::Octant oct = classify_synthetic(count, move, edge);
+        row.push_back(octant::to_string(oct));
+        json.entry("edge_" + std::to_string(edge) + "/regions_" +
+                   std::to_string(count) + "/move_" + util::cell(move, 2))
+            .field("octant", static_cast<int>(oct));
+      }
       map.add_row(std::move(row));
     }
     std::cout << map.render();
@@ -90,5 +96,6 @@ int main() {
       << "bit; move fraction drives the dynamics bit; the share of deeply\n"
       << "refined (multi-substep) volume drives the computation<->\n"
       << "communication bit.\n";
+  bench::write_bench_json(json, "BENCH_fig2_octant_map.json");
   return 0;
 }

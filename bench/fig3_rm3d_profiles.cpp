@@ -54,13 +54,21 @@ int main() {
                "'#' level 2\n";
 
   const amr::AdaptationTrace trace = bench::canonical_rm3d_trace();
+  util::BenchJsonWriter json;
   for (const int step : {0, 25, 106, 137, 162, 201, 400, 560, 680, 800}) {
     const std::size_t i = trace.index_for_step(step);
-    render(trace.at(i).hierarchy, trace.at(i).step);
+    const amr::GridHierarchy& hierarchy = trace.at(i).hierarchy;
+    render(hierarchy, trace.at(i).step);
+    json.entry("step_" + std::to_string(trace.at(i).step))
+        .field("amr_efficiency", hierarchy.amr_efficiency(), 5)
+        .field("total_work", hierarchy.total_work(), 0)
+        .field("levels", static_cast<std::size_t>(hierarchy.num_levels()));
   }
 
   std::cout << "\nTrace summary: " << trace.size()
             << " snapshots (paper: >200), regridding every 4 steps over 800"
                " coarse steps.\n";
+  json.entry("trace").field("snapshots", trace.size());
+  bench::write_bench_json(json, "BENCH_fig3_rm3d_profiles.json");
   return 0;
 }

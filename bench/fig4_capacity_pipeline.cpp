@@ -98,13 +98,25 @@ int main() {
   members.push_back(std::make_unique<monitor::ExpSmoothingForecaster>(0.25));
   members.push_back(std::make_unique<monitor::Ar1Forecaster>(32));
   members.push_back(monitor::AdaptiveForecaster::standard());
+  util::BenchJsonWriter json;
   for (const auto& forecaster : members) {
     auto fresh = forecaster->clone();
-    fc.add_row({fresh->name(),
-                util::cell(monitor::evaluate_mae(*fresh, series), 4)});
+    const double mae = monitor::evaluate_mae(*fresh, series);
+    fc.add_row({fresh->name(), util::cell(mae, 4)});
+    json.entry(std::string("forecaster/") + fresh->name())
+        .field("mae", mae, 5);
   }
   std::cout << fc.render()
             << "\n(The adaptive ensemble tracks the best member without"
                " knowing it in advance.)\n";
+  for (grid::NodeId n = 0; n < cluster.size(); ++n)
+    json.entry("node_" + std::to_string(n))
+        .field("capacity_share", capacities.fraction[n], 5)
+        .field("work_share",
+               total_load > 0.0 ? loads[n] / total_load : 0.0, 5);
+  json.entry("summary")
+      .field("monitor_sweeps", nws.sweeps())
+      .field("worst_share_gap", worst_gap, 5);
+  bench::write_bench_json(json, "BENCH_fig4_capacity_pipeline.json");
   return 0;
 }

@@ -1,13 +1,27 @@
 // Micro-benchmarks: infrastructure components — the discrete-event core,
-// SFC key generation, forecasters, the policy base and the message center.
+// SFC key generation, forecasters, the policy base, the message center and
+// the observability layer's disabled/enabled span-site overhead.
+//
+// In addition to the google-benchmark suite, main() first runs a small
+// fixed harness over the same components and writes the results to
+// BENCH_micro_infra.json (name -> ns/op) so runs can be diffed
+// mechanically.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "pragma/agents/message_center.hpp"
 #include "pragma/monitor/forecaster.hpp"
+#include "pragma/obs/metrics.hpp"
+#include "pragma/obs/tracer.hpp"
 #include "pragma/partition/sfc.hpp"
 #include "pragma/policy/builtin.hpp"
 #include "pragma/sim/simulator.hpp"
 #include "pragma/util/rng.hpp"
+#include "pragma/util/table.hpp"
 
 using namespace pragma;
 
@@ -108,6 +122,128 @@ void BM_MessageCenterSend(benchmark::State& state) {
                           1000);
 }
 
+// ---- Observability span-site overhead.
+
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::Tracer::instance().set_enabled(false);
+  for (auto _ : state) {
+    PRAGMA_SPAN("bench", "BM_SpanDisabled");
+    benchmark::ClobberMemory();
+  }
+}
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::Tracer::instance().set_enabled(true);
+  for (auto _ : state) {
+    PRAGMA_SPAN("bench", "BM_SpanEnabled");
+    benchmark::ClobberMemory();
+  }
+  obs::Tracer::instance().set_enabled(false);
+  obs::Tracer::instance().clear();
+}
+
+void BM_CounterDisabled(benchmark::State& state) {
+  obs::MetricsRegistry::instance().set_enabled(false);
+  obs::Counter& counter = obs::metrics().counter("bench.disabled");
+  for (auto _ : state) {
+    counter.add();
+    benchmark::ClobberMemory();
+  }
+}
+
+void BM_CounterEnabled(benchmark::State& state) {
+  obs::MetricsRegistry::instance().set_enabled(true);
+  obs::Counter& counter = obs::metrics().counter("bench.enabled");
+  for (auto _ : state) {
+    counter.add();
+    benchmark::ClobberMemory();
+  }
+  obs::MetricsRegistry::instance().set_enabled(false);
+}
+
+// ---- Fixed JSON harness ---------------------------------------------------
+
+/// Time `fn` with a plain steady_clock loop: one warm-up call, then batches
+/// until ~0.1 s have accumulated.
+template <typename Fn>
+double time_ns_per_op(Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warm-up
+  constexpr double kMinSeconds = 0.1;
+  constexpr std::size_t kMaxIters = 1u << 22;
+  std::size_t iters = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  while (elapsed < kMinSeconds && iters < kMaxIters) {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  }
+  return elapsed * 1e9 / static_cast<double>(iters);
+}
+
+struct InfraEntry {
+  std::string name;
+  double ns_per_op = 0.0;
+};
+
+std::vector<InfraEntry> run_infra_harness() {
+  std::vector<InfraEntry> entries;
+  auto add = [&](std::string name, double ns) {
+    entries.push_back({std::move(name), ns});
+  };
+
+  std::uint32_t i = 0;
+  add("hilbert_key", time_ns_per_op([&] {
+        benchmark::DoNotOptimize(
+            partition::hilbert_key(i & 31, (i >> 5) & 31, (i >> 10) & 31, 5));
+        ++i;
+      }));
+  add("morton_key", time_ns_per_op([&] {
+        benchmark::DoNotOptimize(
+            partition::morton_key(i & 31, (i >> 5) & 31, (i >> 10) & 31, 5));
+        ++i;
+      }));
+
+  const policy::PolicyBase base = policy::standard_policy_base();
+  policy::AttributeSet query;
+  query["octant"] = policy::Value{"VI"};
+  query["load"] = policy::Value{0.9};
+  add("policy_query", time_ns_per_op([&] {
+        benchmark::DoNotOptimize(base.query(query));
+      }));
+
+  // Span-site and counter-site costs, off and on.  The disabled numbers
+  // are the overhead contract DESIGN.md documents (a relaxed atomic load
+  // and a branch).
+  obs::Tracer::instance().set_enabled(false);
+  add("span_site/disabled", time_ns_per_op([] {
+        PRAGMA_SPAN("bench", "harness");
+        benchmark::ClobberMemory();
+      }));
+  obs::Tracer::instance().set_enabled(true);
+  add("span_site/enabled", time_ns_per_op([] {
+        PRAGMA_SPAN("bench", "harness");
+        benchmark::ClobberMemory();
+      }));
+  obs::Tracer::instance().set_enabled(false);
+  obs::Tracer::instance().clear();
+
+  obs::Counter& counter = obs::metrics().counter("bench.harness");
+  obs::MetricsRegistry::instance().set_enabled(false);
+  add("counter_site/disabled", time_ns_per_op([&] {
+        counter.add();
+        benchmark::ClobberMemory();
+      }));
+  obs::MetricsRegistry::instance().set_enabled(true);
+  add("counter_site/enabled", time_ns_per_op([&] {
+        counter.add();
+        benchmark::ClobberMemory();
+      }));
+  obs::MetricsRegistry::instance().set_enabled(false);
+  return entries;
+}
+
 }  // namespace
 
 BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(10000);
@@ -117,5 +253,27 @@ BENCHMARK(BM_CurveOrder);
 BENCHMARK(BM_AdaptiveForecaster);
 BENCHMARK(BM_PolicyQuery);
 BENCHMARK(BM_MessageCenterSend);
+BENCHMARK(BM_SpanDisabled);
+BENCHMARK(BM_SpanEnabled);
+BENCHMARK(BM_CounterDisabled);
+BENCHMARK(BM_CounterEnabled);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::vector<InfraEntry> entries = run_infra_harness();
+  util::BenchJsonWriter json;
+  for (const InfraEntry& e : entries)
+    json.entry(e.name).field("ns_per_op", e.ns_per_op);
+  if (json.write("BENCH_micro_infra.json"))
+    std::printf("wrote BENCH_micro_infra.json (%zu entries)\n",
+                entries.size());
+  else
+    std::fprintf(stderr, "could not write BENCH_micro_infra.json\n");
+  for (const InfraEntry& e : entries)
+    std::printf("  %-24s %12.1f ns/op\n", e.name.c_str(), e.ns_per_op);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -19,7 +19,8 @@
 
 namespace {
 
-void run_method(pragma::perf::FitMethod method) {
+void run_method(pragma::perf::FitMethod method,
+                pragma::util::BenchJsonWriter& json) {
   using namespace pragma;
 
   perf::Table1Options options;
@@ -35,6 +36,11 @@ void run_method(pragma::perf::FitMethod method) {
                    util::sci_cell(row.measured_s),
                    util::cell(row.percent_error, 3)});
     errors.add(row.percent_error);
+    json.entry(std::string(perf::to_string(method)) + "/D=" +
+               std::to_string(static_cast<long long>(row.data_bytes)))
+        .field("predicted_s", row.predicted_s, 9)
+        .field("measured_s", row.measured_s, 9)
+        .field("percent_error", row.percent_error, 3);
   }
   std::cout << "\nFit method: " << perf::to_string(method) << "\n"
             << table.render() << "error range: " << util::cell(errors.min(), 3)
@@ -51,7 +57,9 @@ int main() {
       << "Procedure: measure per-component task time over training sizes,\n"
       << "fit a PF per component, compose end-to-end (Eq. 2), validate at\n"
       << "the paper's data sizes against fresh measurements.\n";
-  run_method(pragma::perf::FitMethod::kLeastSquares);
-  run_method(pragma::perf::FitMethod::kNeuralNetwork);
+  pragma::util::BenchJsonWriter json;
+  run_method(pragma::perf::FitMethod::kLeastSquares, json);
+  run_method(pragma::perf::FitMethod::kNeuralNetwork, json);
+  pragma::bench::write_bench_json(json, "BENCH_table1_pf_accuracy.json");
   return 0;
 }

@@ -126,5 +126,19 @@ int main() {
     detail.add_row(std::move(row));
   }
   std::cout << detail.render();
+
+  util::BenchJsonWriter json;
+  for (int o = 1; o <= 8; ++o) {
+    const auto oct = static_cast<octant::Octant>(o);
+    if (counts[oct] == 0) continue;
+    auto& entry = json.entry(std::string("octant_") + octant::to_string(oct))
+                      .field("snapshots", static_cast<std::size_t>(counts[oct]));
+    for (const char* name : names)
+      entry.field(name, cost[oct][name], 3);
+  }
+  json.entry("agreement")
+      .field("derived_in_paper_list", static_cast<std::size_t>(agree))
+      .field("octants_compared", static_cast<std::size_t>(compared));
+  bench::write_bench_json(json, "BENCH_table2_octant_recommendations.json");
   return 0;
 }

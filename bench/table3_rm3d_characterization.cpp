@@ -87,5 +87,26 @@ int main() {
     transitions.add_row(std::move(row));
   }
   std::cout << transitions.render();
+
+  util::BenchJsonWriter json;
+  for (const PaperRow& row : paper_rows) {
+    const std::size_t i = trace.index_for_step(row.step);
+    const core::Selection& sel = meta.history().at(i);
+    json.entry("step_" + std::to_string(row.step))
+        .field("scatter", sel.state.scatter_score, 3)
+        .field("dynamics", sel.state.dynamics_score, 3)
+        .field("comm", sel.state.comm_score, 3)
+        .field("octant_matches_paper",
+               static_cast<std::size_t>(
+                   std::string(octant::to_string(sel.state.octant())) ==
+                   row.octant))
+        .field("partitioner_matches_paper",
+               static_cast<std::size_t>(sel.partitioner == row.partitioner));
+  }
+  json.entry("summary")
+      .field("snapshots", trace.size())
+      .field("octants_visited", coverage.size())
+      .field("partitioner_switches", meta.switch_count());
+  bench::write_bench_json(json, "BENCH_table3_rm3d_characterization.json");
   return 0;
 }

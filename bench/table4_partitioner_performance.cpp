@@ -99,5 +99,20 @@ int main() {
                        util::cell(run.migration_s, 1),
                        util::cell(run.partition_s, 1)});
   std::cout << breakdown.render();
+
+  util::BenchJsonWriter json;
+  for (const core::RunSummary& run : runs)
+    json.entry(run.label)
+        .field("runtime_s", run.runtime_s, 3)
+        .field("mean_imbalance", run.mean_imbalance, 5)
+        .field("amr_efficiency", run.amr_efficiency, 5)
+        .field("compute_s", run.compute_s, 3)
+        .field("comm_s", run.comm_s, 3)
+        .field("migration_s", run.migration_s, 3)
+        .field("partition_s", run.partition_s, 3)
+        .field("switches", run.switches);
+  json.entry("adaptive_improvement")
+      .field("percent", (slowest - adaptive) / slowest * 100.0, 2);
+  bench::write_bench_json(json, "BENCH_table4_partitioner_performance.json");
   return 0;
 }

@@ -46,6 +46,7 @@ int main() {
   util::TextTable table({"Number of Processors", "Default run-time (s)",
                          "Sensitive run-time (s)", "Improvement (%)",
                          "eff. imbalance default", "eff. imbalance sensitive"});
+  util::BenchJsonWriter json;
   const std::size_t proc_counts[] = {4, 8, 16, 32};
   std::vector<std::future<core::SystemSensitiveResult>> sweep;
   for (std::size_t nprocs : proc_counts) {
@@ -61,6 +62,12 @@ int main() {
                    util::cell(result.improvement * 100.0, 1),
                    util::percent_cell(result.default_imbalance),
                    util::percent_cell(result.sensitive_imbalance)});
+    json.entry("procs_" + std::to_string(proc_counts[i]))
+        .field("default_runtime_s", result.default_runtime_s, 3)
+        .field("sensitive_runtime_s", result.sensitive_runtime_s, 3)
+        .field("improvement_percent", result.improvement * 100.0, 3)
+        .field("default_imbalance", result.default_imbalance, 5)
+        .field("sensitive_imbalance", result.sensitive_imbalance, 5);
   }
   std::cout << table.render()
             << "\nPaper: improvement grows with processor count, ~18% at 32"
@@ -85,9 +92,15 @@ int main() {
     ablation.add_row({util::cell(mixes[i][0], 2), util::cell(mixes[i][1], 2),
                       util::cell(mixes[i][2], 2),
                       util::cell(result.improvement * 100.0, 1)});
+    json.entry("mix_" + std::to_string(i))
+        .field("w_cpu", mixes[i][0], 2)
+        .field("w_mem", mixes[i][1], 2)
+        .field("w_bw", mixes[i][2], 2)
+        .field("improvement_percent", result.improvement * 100.0, 3);
   }
   std::cout << ablation.render()
             << "\n(The capacity signal is CPU-dominated for the compute-bound"
                " RM3D kernel.)\n";
+  bench::write_bench_json(json, "BENCH_table5_system_sensitive.json");
   return 0;
 }

@@ -8,9 +8,20 @@
 // failure recovery.
 //
 //   $ ./managed_execution [--procs 16] [--steps 200] [--fail-at 60]
+//
+// Observability: add --obs-trace to record spans across the run and write
+// a chrome://tracing JSON file at exit, --obs-metrics for the counter/
+// histogram export, --obs-flight for the in-memory event ring (dumped to
+// stderr on failures).  --deterministic swaps the wall-clock partitioner
+// cost for a modeled one so repeated runs print byte-identical tables;
+// --ft adds the lossy-channel fault-tolerant control plane and durable
+// checkpoints on top, exercising every instrumented subsystem (the CI
+// smoke test runs --deterministic --ft and diffs against a committed
+// reference).
 #include <iostream>
 
 #include "pragma/core/managed_run.hpp"
+#include "pragma/obs/obs.hpp"
 #include "pragma/util/cli.hpp"
 #include "pragma/util/table.hpp"
 
@@ -25,6 +36,16 @@ int main(int argc, char** argv) {
   flags.add_double("downtime", 120.0, "failure downtime in seconds");
   flags.add_bool("proactive", false,
                  "use capacity forecasts instead of current readings");
+  flags.add_bool("deterministic", false,
+                 "model the partitioner cost instead of measuring wall "
+                 "clock, making the output reproducible");
+  flags.add_bool("ft", false,
+                 "fault-tolerant control plane: lossy messaging with "
+                 "reliable directives, heartbeat detection, and durable "
+                 "checkpoints under --ft-dir");
+  flags.add_string("ft-dir", "pragma-smoke-checkpoints",
+                   "checkpoint directory for --ft");
+  obs::add_cli_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
 
   core::ManagedRunConfig config;
@@ -34,6 +55,18 @@ int main(int argc, char** argv) {
   config.with_background_load = true;
   config.system_sensitive = true;
   config.proactive = flags.get_bool("proactive");
+  if (flags.get_bool("deterministic"))
+    config.modeled_partition_s_per_cell = 50e-9;
+  if (flags.get_bool("ft")) {
+    // A lossy control network so the reliable channel actually retries,
+    // plus durable checkpoints — together they exercise every obs-
+    // instrumented subsystem (seeded, so still reproducible).
+    config.ft.enabled = true;
+    config.ft.channel.drop_probability = 0.05;
+    config.persist.enabled = true;
+    config.persist.dir = flags.get_string("ft-dir");
+  }
+  config.obs = obs::config_from_flags(flags, obs::config_from_env());
 
   core::ManagedRun managed(config);
   if (flags.get_double("fail-at") >= 0.0)
@@ -75,5 +108,9 @@ int main(int argc, char** argv) {
             << "\nWatch 'live nodes' drop when the failure hits and the"
                " octant/partitioner\ncolumn react as the run passes through"
                " its phases.\n";
+
+  // Artifacts go to stderr so stdout stays byte-stable for diffing.
+  for (const std::string& line : obs::export_artifacts(config.obs))
+    std::cerr << line << "\n";
   return 0;
 }

@@ -2,9 +2,19 @@
 
 #include <utility>
 
+#include "pragma/obs/flight_recorder.hpp"
+#include "pragma/obs/metrics.hpp"
+#include "pragma/obs/tracer.hpp"
 #include "pragma/util/logging.hpp"
 
 namespace pragma::agents {
+
+namespace {
+obs::Counter& adm_decisions_counter() {
+  static obs::Counter& counter = obs::metrics().counter("agents.adm.decisions");
+  return counter;
+}
+}  // namespace
 
 Adm::Adm(sim::Simulator& simulator, MessageCenter& center,
          const policy::PolicyBase& policies, AdmConfig config)
@@ -40,8 +50,10 @@ void Adm::on_event(const Message& message) {
 }
 
 void Adm::consolidate() {
+  PRAGMA_SPAN_VAR(span, "agents", "Adm.consolidate");
   window_open_ = false;
   auto events = std::exchange(pending_, {});
+  span.annotate("event_types", events.size());
 
   for (auto& [type, messages] : events) {
     // Build the consolidated policy query: the event type, how many agents
@@ -102,6 +114,10 @@ void Adm::consolidate() {
 
     decisions_.push_back(AdmDecision{simulator_.now(), type, action,
                                      fired.name, recipients.size()});
+    adm_decisions_counter().add();
+    PRAGMA_FLIGHT(simulator_.now(), "directive", messages.size(), " x ", type,
+                  " -> ", action, " via ", fired.name, " to ",
+                  recipients.size(), " agents");
     util::log_debug("ADM consolidated ", messages.size(), " x ", type,
                     " -> ", action, " via ", fired.name);
   }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "pragma/obs/flight_recorder.hpp"
+#include "pragma/obs/tracer.hpp"
 #include "pragma/util/logging.hpp"
 
 namespace pragma::agents {
@@ -92,6 +94,8 @@ std::optional<double> ComponentAgent::last_reading(
 void ComponentAgent::sample() {
   if (state_ == ComponentState::kSuspended) return;
   if (alive_ && !alive_()) return;  // host node is down
+  PRAGMA_SPAN_VAR(span, "agents", "ComponentAgent.sample");
+  span.annotate("component", port_);
   for (const Sensor& sensor : sensors_) readings_[sensor.name] = sensor.read();
 
   for (std::size_t r = 0; r < rules_.size(); ++r) {
@@ -149,14 +153,23 @@ void ComponentAgent::on_message(const Message& message) {
   }
   const auto it = actuators_.find(message.type);
   if (it != actuators_.end()) {
-    it->second.apply(message.payload);
+    {
+      PRAGMA_SPAN_VAR(span, "agents", "ComponentAgent.actuate");
+      span.annotate("component", port_);
+      span.annotate("directive", message.type);
+      it->second.apply(message.payload);
+    }
     ++directives_;
+    PRAGMA_FLIGHT(simulator_.now(), "directive", port_, " applied ",
+                  message.type);
     if (message.type == "migrate") state_ = ComponentState::kRunning;
   } else if (message.type == "suspend" || message.type == "resume" ||
              message.type == "migrate") {
     // Built-in lifecycle transitions count as applied even without a
     // custom actuator.
     ++directives_;
+    PRAGMA_FLIGHT(simulator_.now(), "directive", port_, " applied ",
+                  message.type);
     if (message.type == "migrate") state_ = ComponentState::kRunning;
   }
 }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "pragma/obs/flight_recorder.hpp"
 #include "pragma/util/logging.hpp"
 
 namespace pragma::agents {
@@ -55,10 +56,12 @@ void HeartbeatDetector::on_beat(const Message& message) {
   if (member.state == Liveness::kSuspected) {
     member.state = Liveness::kAlive;
     ++unsuspects_;
+    PRAGMA_FLIGHT(simulator_.now(), "liveness", "un-suspect ", message.from);
     util::log_debug("detector: un-suspecting ", message.from);
   } else if (member.state == Liveness::kConfirmedDead) {
     member.state = Liveness::kAlive;
     ++recoveries_;
+    PRAGMA_FLIGHT(simulator_.now(), "liveness", "recovered ", message.from);
     util::log_debug("detector: ", message.from, " recovered");
     if (on_recover_) on_recover_(message.from, simulator_.now());
   }
@@ -73,6 +76,8 @@ void HeartbeatDetector::sweep() {
         missed >= static_cast<double>(config_.suspect_missed)) {
       member.state = Liveness::kSuspected;
       ++suspects_;
+      PRAGMA_FLIGHT(now, "liveness", "suspect ", port, " (", missed,
+                    " missed periods)");
       util::log_debug("detector: suspecting ", port, " (", missed,
                       " missed periods)");
       if (on_suspect_) on_suspect_(port, now);
@@ -81,6 +86,7 @@ void HeartbeatDetector::sweep() {
         missed >= static_cast<double>(config_.confirm_missed)) {
       member.state = Liveness::kConfirmedDead;
       ++confirms_;
+      PRAGMA_FLIGHT(now, "liveness", "confirm dead ", port);
       util::log_debug("detector: confirming ", port, " dead");
       if (on_confirm_) on_confirm_(port, now);
     }

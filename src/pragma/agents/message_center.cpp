@@ -3,7 +3,30 @@
 #include <algorithm>
 #include <utility>
 
+#include "pragma/obs/flight_recorder.hpp"
+#include "pragma/obs/metrics.hpp"
+
 namespace pragma::agents {
+
+namespace {
+// Delivery counters; references are stable for the process lifetime, and
+// every add() branches on the global metrics flag (no-op when obs is off).
+obs::Counter& messages_sent_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("agents.messages.sent");
+  return counter;
+}
+obs::Counter& messages_delivered_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("agents.messages.delivered");
+  return counter;
+}
+obs::Counter& messages_dropped_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("agents.messages.dropped");
+  return counter;
+}
+}  // namespace
 
 MessageCenter::MessageCenter(sim::Simulator& simulator,
                              double delivery_latency_s)
@@ -58,19 +81,25 @@ void MessageCenter::schedule_delivery(Message message) {
 
 bool MessageCenter::send(Message message) {
   ++sent_;
+  messages_sent_counter().add();
   message.sent_at = simulator_.now();
   if (!has_port(message.to)) {
     ++dropped_;
+    messages_dropped_counter().add();
     return false;
   }
   if (faults_active_) {
     if (faults_.reachable && !faults_.reachable(message.from, message.to)) {
       ++partition_dropped_;
+      PRAGMA_FLIGHT(simulator_.now(), "channel", "partition drop ",
+                    message.type, " ", message.from, " -> ", message.to);
       return true;  // the sender cannot tell a partition from slow delivery
     }
     if (faults_.drop_probability > 0.0 &&
         fault_rng_.bernoulli(faults_.drop_probability)) {
       ++fault_dropped_;
+      PRAGMA_FLIGHT(simulator_.now(), "channel", "fault drop ", message.type,
+                    " ", message.from, " -> ", message.to);
       return true;
     }
     if (faults_.duplicate_probability > 0.0 &&
@@ -104,9 +133,11 @@ void MessageCenter::deliver(const PortId& port, Message message) {
   const auto it = ports_.find(port);
   if (it == ports_.end()) {
     ++dropped_;
+    messages_dropped_counter().add();
     return;
   }
   ++delivered_;
+  messages_delivered_counter().add();
   if (it->second.interceptor && it->second.interceptor(message)) return;
   if (it->second.handler) {
     it->second.handler(message);

@@ -3,9 +3,28 @@
 #include <utility>
 #include <vector>
 
+#include "pragma/obs/flight_recorder.hpp"
+#include "pragma/obs/metrics.hpp"
 #include "pragma/util/logging.hpp"
 
 namespace pragma::agents {
+
+namespace {
+obs::Counter& reliable_sends_counter() {
+  static obs::Counter& counter = obs::metrics().counter("agents.reliable.sends");
+  return counter;
+}
+obs::Counter& reliable_retries_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("agents.reliable.retries");
+  return counter;
+}
+obs::Counter& reliable_failures_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("agents.reliable.failures");
+  return counter;
+}
+}  // namespace
 
 ReliableChannel::ReliableChannel(sim::Simulator& simulator,
                                  MessageCenter& center, ReliableConfig config)
@@ -49,6 +68,7 @@ std::uint64_t ReliableChannel::send(Message message) {
   entry.attempts = 0;
   entry.timeout_s = config_.timeout_s;
   ++sends_;
+  reliable_sends_counter().add();
   transmit(seq);
   return seq;
 }
@@ -58,7 +78,12 @@ void ReliableChannel::transmit(std::uint64_t seq) {
   if (it == pending_.end()) return;
   Pending& entry = it->second;
   ++entry.attempts;
-  if (entry.attempts > 1) ++retries_;
+  if (entry.attempts > 1) {
+    ++retries_;
+    reliable_retries_counter().add();
+    PRAGMA_FLIGHT(simulator_.now(), "retry", entry.message.type, " to ",
+                  entry.message.to, " attempt ", entry.attempts);
+  }
   center_.send(entry.message);
   const int attempt = entry.attempts;
   simulator_.schedule(entry.timeout_s,
@@ -75,6 +100,9 @@ void ReliableChannel::on_timeout(std::uint64_t seq, int attempt) {
     const int attempts = it->second.attempts;
     pending_.erase(it);
     ++failed_;
+    reliable_failures_counter().add();
+    PRAGMA_FLIGHT(simulator_.now(), "retry", "giving up on ", message.type,
+                  " to ", message.to, " after ", attempts, " attempts");
     util::log_debug("reliable: giving up on ", message.type, " to ",
                     message.to, " after ", attempts, " attempts");
     if (on_failure_) on_failure_(message, attempts);
@@ -99,6 +127,9 @@ void ReliableChannel::abandon_destination(const PortId& port) {
     if (entry.message.to == port) doomed.push_back(seq);
   for (const std::uint64_t seq : doomed) pending_.erase(seq);
   abandoned_ += doomed.size();
+  if (!doomed.empty())
+    PRAGMA_FLIGHT(simulator_.now(), "retry", "abandoning ", doomed.size(),
+                  " in-flight messages to ", port);
 }
 
 void ReliableChannel::set_failure_handler(FailureHandler handler) {

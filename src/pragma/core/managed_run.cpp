@@ -6,6 +6,9 @@
 #include <utility>
 
 #include "pragma/core/run_snapshot.hpp"
+#include "pragma/obs/flight_recorder.hpp"
+#include "pragma/obs/metrics.hpp"
+#include "pragma/obs/tracer.hpp"
 #include "pragma/policy/builtin.hpp"
 #include "pragma/util/logging.hpp"
 
@@ -25,6 +28,9 @@ ManagedRun::ManagedRun(ManagedRunConfig config)
       policies_(policy::standard_policy_base()),
       emulator_(config_.app),
       model_(config_.exec) {
+  // Merge-enable: turns requested facilities on, never off, so an embedded
+  // default config cannot disable obs the process enabled elsewhere.
+  if (config_.obs.any()) obs::apply(config_.obs);
   if (config_.with_background_load) {
     loadgen_ = std::make_unique<grid::LoadGenerator>(
         simulator_, cluster_, config_.load, util::Rng(config_.seed, 2));
@@ -209,6 +215,11 @@ void ManagedRun::on_confirm(const agents::PortId& port, double now) {
   if (it == port_node_.end()) return;
   const grid::NodeId node = it->second;
   ++report_.detected_failures;
+  PRAGMA_FLIGHT(now, "failure", "node ", node, " (", port,
+                ") confirmed dead");
+  // A confirmed failure is exactly the moment the recent-events ring is
+  // worth reading: dump it before recovery overwrites the history.
+  if (obs::flight_enabled()) obs::FlightRecorder::instance().dump_to_log();
 
   // Detection latency: time from the (ground-truth) failure event to this
   // confirmation.  The stalled application has been paying for it already;
@@ -266,11 +277,15 @@ void ManagedRun::rollback_recovery() {
     report_.records.back().lost_cells += lost_cells;
     report_.records.back().detection_s += detection_s;
   }
+  PRAGMA_FLIGHT(simulator_.now(), "recovery", "rollback of ", lost_cells,
+                " cell updates (", recompute_s, " s recompute, ",
+                detection_s, " s detection)");
   util::log_debug("managed run: rollback recovery of ", lost_cells,
                   " cell updates (", recompute_s, " s)");
 }
 
 void ManagedRun::take_checkpoint() {
+  PRAGMA_SPAN_VAR(span, "core", "ManagedRun.take_checkpoint");
   // Save-state cost: every live processor writes its partition's state
   // over its uplink; the checkpoint completes when the slowest finishes.
   double worst = 0.0;
@@ -284,6 +299,8 @@ void ManagedRun::take_checkpoint() {
   }
   const double cost = worst * config_.ft.checkpoint_cost_factor;
   ++report_.checkpoints;
+  PRAGMA_FLIGHT(simulator_.now(), "checkpoint", "save-state #",
+                report_.checkpoints, " (", cost, " s modeled)");
   report_.checkpoint_time_s += cost;
   report_.total_time_s += cost;
   std::fill(cells_since_checkpoint_.begin(), cells_since_checkpoint_.end(),
@@ -313,6 +330,9 @@ void ManagedRun::persist_checkpoint() {
       store_->write(encode_run_snapshot(snapshot));
   if (status.is_ok()) {
     ++report_.checkpoints_persisted;
+    PRAGMA_FLIGHT(simulator_.now(), "checkpoint", "persisted generation #",
+                  report_.checkpoints_persisted, " at step ",
+                  completed_steps_);
   } else {
     // A failed durable write degrades recovery, not the run itself.
     util::log_warn("persist: checkpoint write failed: ",
@@ -321,6 +341,7 @@ void ManagedRun::persist_checkpoint() {
 }
 
 bool ManagedRun::try_restore() {
+  PRAGMA_SPAN("core", "ManagedRun.try_restore");
   const std::uint64_t want = config_fingerprint(config_);
   std::vector<std::uint64_t> generations = store_->generations();
   for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
@@ -354,6 +375,8 @@ bool ManagedRun::try_restore() {
     }
     if (!status.is_ok()) {
       ++report_.checkpoint_generations_rejected;
+      PRAGMA_FLIGHT(0.0, "checkpoint", "generation ", *it, " rejected: ",
+                    status.to_string());
       util::log_warn("persist: generation ", *it, " rejected: ",
                      status.to_string());
       continue;
@@ -390,6 +413,9 @@ bool ManagedRun::try_restore() {
     completed_steps_ = snapshot.completed_steps;
     last_checkpoint_time_ = snapshot.sim_clock;
     cells_since_checkpoint_.assign(config_.nprocs, 0.0);
+    PRAGMA_FLIGHT(snapshot.sim_clock, "recovery", "resumed from generation ",
+                  *it, " at step ", completed_steps_);
+    if (obs::flight_enabled()) obs::FlightRecorder::instance().dump_to_log();
     util::log_info("persist: resumed from generation ", *it, " at step ",
                    completed_steps_, " (t=", snapshot.sim_clock, "s)");
     return true;
@@ -443,6 +469,8 @@ std::vector<double> ManagedRun::current_targets() {
 }
 
 void ManagedRun::repartition(bool count_as_regrid) {
+  PRAGMA_SPAN_VAR(span, "core", "ManagedRun.repartition");
+  span.annotate("trigger", count_as_regrid ? "regrid" : "event");
   // Dynamic application configuration (Section 3.5): low available memory
   // on any live node bounds the refined patch size the regridder may emit.
   double min_memory = std::numeric_limits<double>::infinity();
@@ -486,7 +514,7 @@ void ManagedRun::repartition(bool count_as_regrid) {
           ? config_.ft.modeled_partition_s_per_cell
           : (config_.persist.enabled
                  ? config_.persist.modeled_partition_s_per_cell
-                 : 0.0);
+                 : config_.modeled_partition_s_per_cell);
   if (modeled_s_per_cell > 0.0)
     partition_seconds =
         static_cast<double>(native.cell_count()) * modeled_s_per_cell;
@@ -499,11 +527,17 @@ void ManagedRun::repartition(bool count_as_regrid) {
   mapped_ = model_.map(*canonical_, owners_);
   has_assignment_ = true;
   if (count_as_regrid) ++report_.repartitions;
+  span.annotate("partitioner", partitioner.name());
+  span.annotate("cells", canonical_->cell_count());
   util::log_debug("managed run: repartitioned with ", partitioner.name(),
                   count_as_regrid ? " (regrid)" : " (event)");
 }
 
 ManagedRunReport ManagedRun::run() {
+  PRAGMA_SPAN_VAR(run_span, "core", "ManagedRun.run");
+  run_span.annotate("nprocs", config_.nprocs);
+  run_span.annotate("coarse_steps",
+                    static_cast<std::int64_t>(config_.app.coarse_steps));
   const bool durable = config_.ft.enabled || config_.persist.enabled;
   bool resumed = false;
   if (config_.persist.enabled && config_.persist.resume)
@@ -523,6 +557,8 @@ ManagedRunReport ManagedRun::run() {
       report_.halted = true;
       return report_;
     }
+    PRAGMA_SPAN_VAR(step_span, "core", "ManagedRun.step");
+    step_span.annotate("step", static_cast<std::int64_t>(emulator_.step()));
     const bool regridded = emulator_.advance();
     if (regridded) {
       trace_.add(amr::Snapshot{emulator_.step(), emulator_.hierarchy()});
@@ -563,6 +599,9 @@ ManagedRunReport ManagedRun::run() {
       ++stall_guard;
     }
     if (!std::isfinite(step.total_s)) {
+      PRAGMA_FLIGHT(simulator_.now(), "failure", "unrecoverable stall at step ",
+                    emulator_.step(), "; aborting run");
+      if (obs::flight_enabled()) obs::FlightRecorder::instance().dump_to_log();
       util::log_error("managed run: unrecoverable stall; aborting run");
       break;
     }

@@ -47,6 +47,7 @@
 #include "pragma/grid/loadgen.hpp"
 #include "pragma/io/checkpoint.hpp"
 #include "pragma/monitor/capacity.hpp"
+#include "pragma/obs/obs.hpp"
 
 namespace pragma::core {
 
@@ -137,6 +138,16 @@ struct ManagedRunConfig {
   std::uint64_t seed = 40;
   FaultToleranceConfig ft;
   PersistenceConfig persist;
+  /// Deterministic partitioner cost model for the *fault-free* path, in
+  /// seconds per work-grid cell (<= 0 keeps the wall-clock measurement).
+  /// The ft/persist equivalents win when those subsystems are enabled.
+  /// Setting this makes a default run replay byte-identically — required
+  /// for the CI observability smoke test's committed reference output.
+  double modeled_partition_s_per_cell = 0.0;
+  /// Observability knobs (tracing/metrics/flight recorder).  Merge-enabled
+  /// into the process-wide obs facilities at construction; the default
+  /// (all off) leaves global state untouched, so runs stay byte-identical.
+  obs::ObsConfig obs;
 };
 
 /// One regrid-interval record of a managed run.

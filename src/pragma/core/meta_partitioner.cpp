@@ -2,7 +2,22 @@
 
 #include <stdexcept>
 
+#include "pragma/obs/flight_recorder.hpp"
+#include "pragma/obs/metrics.hpp"
+#include "pragma/obs/tracer.hpp"
+
 namespace pragma::core {
+
+namespace {
+obs::Counter& meta_selects_counter() {
+  static obs::Counter& counter = obs::metrics().counter("core.meta.selects");
+  return counter;
+}
+obs::Counter& meta_switches_counter() {
+  static obs::Counter& counter = obs::metrics().counter("core.meta.switches");
+  return counter;
+}
+}  // namespace
 
 MetaPartitioner::MetaPartitioner(const policy::PolicyBase& policies,
                                  MetaPartitionerConfig config)
@@ -20,7 +35,10 @@ const partition::Partitioner& MetaPartitioner::by_name(
 
 const partition::Partitioner& MetaPartitioner::select(
     const amr::AdaptationTrace& trace, std::size_t i) {
+  PRAGMA_SPAN_VAR(span, "core", "MetaPartitioner.select");
+  meta_selects_counter().add();
   const octant::OctantState state = classifier_.classify(trace, i);
+  span.annotate("octant", octant::to_string(state.octant()));
 
   // Policy query: "octant = <name>" -> partitioner (+ optional grain).
   policy::AttributeSet query;
@@ -60,6 +78,13 @@ const partition::Partitioner& MetaPartitioner::select(
     pending_count_ = 0;
   }
 
+  if (switched) {
+    meta_switches_counter().add();
+    PRAGMA_FLIGHT(static_cast<double>(i), "partitioner", "regrid ", i,
+                  " octant ", octant::to_string(state.octant()), " -> ",
+                  current_);
+  }
+  span.annotate("partitioner", current_);
   history_.push_back(Selection{i, state, current_, current_grain_, switched});
   return by_name(current_);
 }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "pragma/obs/tracer.hpp"
 #include "pragma/util/thread_pool.hpp"
 
 namespace pragma::core {
@@ -24,6 +25,7 @@ TraceRunner::TraceRunner(const amr::AdaptationTrace& trace,
   if (config_.targets.size() != config_.nprocs)
     throw std::invalid_argument("TraceRunner: targets/nprocs mismatch");
   config_.threads = util::resolve_threads(config_.threads);
+  if (config_.obs.any()) obs::apply(config_.obs);
 }
 
 RunSummary TraceRunner::run_static(
@@ -60,6 +62,9 @@ RunSummary TraceRunner::replay(
     const std::string& label,
     const std::function<const partition::Partitioner&(std::size_t)>& select,
     MetaPartitioner* meta) const {
+  PRAGMA_SPAN_VAR(span, "core", "TraceRunner.replay");
+  span.annotate("label", label);
+  span.annotate("snapshots", trace_.size());
   RunSummary summary;
   summary.label = label;
   // Imbalance of the current partition at the regrid it was computed

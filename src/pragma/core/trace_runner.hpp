@@ -14,6 +14,7 @@
 #include "pragma/core/exec_model.hpp"
 #include "pragma/core/meta_partitioner.hpp"
 #include "pragma/grid/cluster.hpp"
+#include "pragma/obs/obs.hpp"
 #include "pragma/partition/workgrid.hpp"
 
 namespace pragma::core {
@@ -43,6 +44,8 @@ struct TraceRunConfig {
   /// communication sweep).  0 = hardware_concurrency; 1 = the serial code
   /// path, bitwise-identical to pre-threading replays.
   int threads = 0;
+  /// Observability knobs, merge-enabled at construction (default: no-op).
+  obs::ObsConfig obs;
 };
 
 /// Per-snapshot record of a replay.

@@ -11,10 +11,30 @@
 #include <filesystem>
 #include <fstream>
 
+#include "pragma/obs/metrics.hpp"
+#include "pragma/obs/tracer.hpp"
 #include "pragma/util/crc32.hpp"
 #include "pragma/util/logging.hpp"
 
 namespace pragma::io {
+
+namespace {
+obs::Counter& checkpoint_writes_counter() {
+  static obs::Counter& counter = obs::metrics().counter("io.checkpoint.writes");
+  return counter;
+}
+obs::Counter& checkpoint_write_failures_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("io.checkpoint.write_failures");
+  return counter;
+}
+obs::Histogram& checkpoint_bytes_histogram() {
+  static obs::Histogram& histogram = obs::metrics().histogram(
+      "io.checkpoint.bytes",
+      obs::HistogramOptions::exponential(1024.0, 4.0, 12));
+  return histogram;
+}
+}  // namespace
 
 namespace fs = std::filesystem;
 
@@ -159,6 +179,21 @@ std::uint64_t CheckpointStore::next_generation() const {
 
 util::Status CheckpointStore::write(
     const std::vector<std::uint8_t>& payload) {
+  PRAGMA_SPAN_VAR(span, "io", "CheckpointStore.write");
+  span.annotate("payload_bytes", payload.size());
+  const util::Status status = write_impl(payload);
+  if (status.is_ok()) {
+    checkpoint_writes_counter().add();
+    checkpoint_bytes_histogram().observe(static_cast<double>(payload.size()));
+  } else {
+    checkpoint_write_failures_counter().add();
+    span.annotate("error", status.to_string());
+  }
+  return status;
+}
+
+util::Status CheckpointStore::write_impl(
+    const std::vector<std::uint8_t>& payload) {
   std::error_code ec;
   fs::create_directories(options_.dir, ec);
   if (ec)
@@ -226,6 +261,8 @@ util::Status CheckpointStore::write(
 
 util::Expected<LoadedCheckpoint> CheckpointStore::load_generation(
     std::uint64_t generation) const {
+  PRAGMA_SPAN_VAR(span, "io", "CheckpointStore.load_generation");
+  span.annotate("generation", generation);
   const std::string path = path_for(generation);
   std::ifstream in(path, std::ios::binary);
   if (!in)

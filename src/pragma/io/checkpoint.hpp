@@ -105,6 +105,8 @@ class CheckpointStore {
   }
 
  private:
+  util::Status write_impl(const std::vector<std::uint8_t>& payload);
+
   CheckpointStoreOptions options_;
 };
 

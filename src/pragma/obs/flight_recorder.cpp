@@ -1,0 +1,124 @@
+#include "pragma/obs/flight_recorder.hpp"
+
+#include <iomanip>
+#include <mutex>
+
+#include "pragma/util/logging.hpp"
+
+namespace pragma::obs {
+
+namespace detail {
+std::atomic<bool> g_flight_enabled{false};
+}  // namespace detail
+
+struct FlightRecorder::Impl {
+  mutable std::mutex mutex;
+  std::vector<FlightEvent> ring;
+  std::size_t capacity = 256;
+  std::size_t head = 0;   ///< next write position
+  std::size_t count = 0;  ///< events currently buffered (<= capacity)
+  std::size_t total = 0;  ///< events ever recorded
+};
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+FlightRecorder::Impl& FlightRecorder::impl() const {
+  static Impl* impl = new Impl();  // leaked: usable during static teardown
+  return *impl;
+}
+
+void FlightRecorder::set_enabled(bool on) {
+  detail::g_flight_enabled.store(on, std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_capacity(std::size_t capacity) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  state.capacity = capacity == 0 ? 1 : capacity;
+  state.ring.clear();
+  state.ring.shrink_to_fit();
+  state.head = 0;
+  state.count = 0;
+}
+
+std::size_t FlightRecorder::capacity() const {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  return state.capacity;
+}
+
+void FlightRecorder::record(double sim_time_s, const char* category,
+                            std::string detail) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  FlightEvent event{sim_time_s, category, std::move(detail)};
+  if (state.ring.size() < state.capacity) {
+    state.ring.push_back(std::move(event));
+    state.head = state.ring.size() % state.capacity;
+  } else {
+    state.ring[state.head] = std::move(event);
+    state.head = (state.head + 1) % state.capacity;
+  }
+  state.count = state.ring.size();
+  ++state.total;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<FlightEvent> out;
+  out.reserve(state.ring.size());
+  // When the ring is full, `head` is the oldest element.
+  const std::size_t n = state.ring.size();
+  const std::size_t start = n < state.capacity ? 0 : state.head;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(state.ring[(start + i) % n]);
+  return out;
+}
+
+std::size_t FlightRecorder::total_recorded() const {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  return state.total;
+}
+
+std::string FlightRecorder::format() const {
+  const std::vector<FlightEvent> snapshot = events();
+  std::size_t total = total_recorded();
+  std::ostringstream os;
+  os << "flight recorder: " << snapshot.size() << " of " << total
+     << " events";
+  if (total > snapshot.size())
+    os << " (" << total - snapshot.size() << " older events dropped)";
+  os << "\n";
+  os << std::fixed << std::setprecision(3);
+  for (const FlightEvent& event : snapshot)
+    os << "  [t=" << event.sim_time_s << "s] " << event.category << ": "
+       << event.detail << "\n";
+  return os.str();
+}
+
+void FlightRecorder::dump_to_log() const {
+  const std::string text = format();
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    util::log_warn(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+}
+
+void FlightRecorder::clear() {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  state.ring.clear();
+  state.head = 0;
+  state.count = 0;
+  state.total = 0;
+}
+
+}  // namespace pragma::obs

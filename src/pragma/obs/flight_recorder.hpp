@@ -1,0 +1,95 @@
+// Flight recorder: a bounded ring of recent control-plane events.
+//
+// The tracer answers "where did the time go"; the recorder answers "what
+// did the control plane just do" when something breaks.  Directives,
+// acks, retries, heartbeat suspicions, checkpoint generations and
+// partitioner selections are recorded with their *simulated* timestamp,
+// and the last `capacity` of them can be dumped on demand — ManagedRun
+// dumps automatically on failure confirmation and rollback recovery.
+//
+// Recording is off by default; PRAGMA_FLIGHT sites branch on one relaxed
+// atomic flag and build no strings while disabled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pragma::obs {
+
+namespace detail {
+extern std::atomic<bool> g_flight_enabled;
+}  // namespace detail
+
+inline bool flight_enabled() {
+  return detail::g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+struct FlightEvent {
+  double sim_time_s = 0.0;
+  const char* category = "";  ///< static string: "directive", "retry", ...
+  std::string detail;
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance();
+
+  void set_enabled(bool on);
+  /// Resize the ring (drops buffered events).  Minimum capacity 1.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const;
+
+  void record(double sim_time_s, const char* category, std::string detail);
+
+  /// Buffered events, oldest first.
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+  /// Events recorded since construction/clear (>= events().size()).
+  [[nodiscard]] std::size_t total_recorded() const;
+
+  /// Human-readable dump, one "[t=...s] category: detail" line per event,
+  /// prefixed with a header noting how many events were dropped.
+  [[nodiscard]] std::string format() const;
+  /// format() through util::log_warn, line by line (so the dump lands in
+  /// whatever sink the embedding configured).
+  void dump_to_log() const;
+
+  void clear();
+
+ private:
+  FlightRecorder() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+namespace detail {
+inline void flight_append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void flight_append(std::ostringstream& os, const T& value,
+                   const Rest&... rest) {
+  os << value;
+  flight_append(os, rest...);
+}
+
+template <typename... Args>
+void flight_record(double sim_time_s, const char* category,
+                   const Args&... args) {
+  std::ostringstream os;
+  flight_append(os, args...);
+  FlightRecorder::instance().record(sim_time_s, category, os.str());
+}
+}  // namespace detail
+
+}  // namespace pragma::obs
+
+/// Record a control-plane event: PRAGMA_FLIGHT(now, "retry", "seq ", seq).
+/// Arguments after the category are streamed together; nothing is
+/// evaluated while the recorder is disabled.
+#define PRAGMA_FLIGHT(sim_time_s, category, ...)                          \
+  do {                                                                    \
+    if (::pragma::obs::flight_enabled())                                  \
+      ::pragma::obs::detail::flight_record((sim_time_s), (category),      \
+                                           __VA_ARGS__);                  \
+  } while (0)

@@ -1,0 +1,228 @@
+#include "pragma/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "pragma/util/table.hpp"
+
+namespace pragma::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+HistogramOptions HistogramOptions::exponential(double start, double factor,
+                                               int count) {
+  if (!(start > 0.0) || !(factor > 1.0) || count < 1)
+    throw std::invalid_argument("HistogramOptions::exponential: bad shape");
+  HistogramOptions options;
+  options.bounds.reserve(static_cast<std::size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    options.bounds.push_back(bound);
+    bound *= factor;
+  }
+  return options;
+}
+
+HistogramOptions HistogramOptions::linear(double lo, double hi, int count) {
+  if (!(hi > lo) || count < 1)
+    throw std::invalid_argument("HistogramOptions::linear: bad shape");
+  HistogramOptions options;
+  options.bounds.reserve(static_cast<std::size_t>(count));
+  const double width = (hi - lo) / count;
+  for (int i = 1; i <= count; ++i)
+    options.bounds.push_back(lo + width * i);
+  return options;
+}
+
+const HistogramOptions& default_histogram_options() {
+  static const HistogramOptions options =
+      HistogramOptions::exponential(1e-6, 4.0, 20);
+  return options;
+}
+
+Histogram::Histogram(HistogramOptions options)
+    : bounds_(std::move(options.bounds)), buckets_(bounds_.size() + 1) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: need at least one bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (!(bounds_[i] > bounds_[i - 1]))
+      throw std::invalid_argument("Histogram: bounds must ascend");
+}
+
+void Histogram::observe(double value) {
+  if (!metrics_enabled()) return;
+  if (std::isnan(value)) return;  // NaN is unbucketable; drop it
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // == size() -> overflow
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, value);
+  detail::atomic_min(min_, value);
+  detail::atomic_max(max_, value);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  return buckets_.at(i).load(std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(buckets_.size());
+  for (const auto& bucket : buckets_)
+    snap.counts.push_back(bucket.load(std::memory_order_relaxed));
+  snap.count = count();
+  snap.sum = sum();
+  const double lo = min_.load(std::memory_order_relaxed);
+  const double hi = max_.load(std::memory_order_relaxed);
+  snap.min = std::isfinite(lo) ? lo : 0.0;
+  snap.max = std::isfinite(hi) ? hi : 0.0;
+  return snap;
+}
+
+double Histogram::quantile(double q) const {
+  const HistogramSnapshot snap = snapshot();
+  if (snap.count == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(snap.count);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+    const double in_bucket = static_cast<double>(snap.counts[b]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      // Interpolate within [lower, upper); clamp to the observed range so
+      // sparse histograms do not report values never seen.
+      const double lower = b == 0 ? snap.min : snap.bounds[b - 1];
+      const double upper =
+          b < snap.bounds.size() ? snap.bounds[b] : snap.max;
+      const double fraction =
+          in_bucket > 0.0 ? (target - cumulative) / in_bucket : 0.0;
+      const double value = lower + (upper - lower) * fraction;
+      return std::clamp(value, snap.min, snap.max);
+    }
+    cumulative += in_bucket;
+  }
+  return snap.max;
+}
+
+void Histogram::merge(const Histogram& other) { merge(other.snapshot()); }
+
+void Histogram::merge(const HistogramSnapshot& other) {
+  if (other.bounds != bounds_)
+    throw std::invalid_argument("Histogram::merge: bucket bounds differ");
+  for (std::size_t b = 0; b < buckets_.size(); ++b)
+    buckets_[b].fetch_add(other.counts[b], std::memory_order_relaxed);
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  detail::atomic_add(sum_, other.sum);
+  if (other.count > 0) {
+    detail::atomic_min(min_, other.min);
+    detail::atomic_max(max_, other.max);
+  }
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  // Leaked on purpose: metrics may be touched during static destruction.
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+void MetricsRegistry::set_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  auto& slot = state.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  auto& slot = state.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      HistogramOptions options) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  auto& slot = state.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(options));
+  return *slot;
+}
+
+void MetricsRegistry::export_to(util::BenchJsonWriter& json) const {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  for (const auto& [name, counter] : state.counters)
+    json.entry(name).field("value", counter->value());
+  for (const auto& [name, gauge] : state.gauges)
+    json.entry(name).field("value", gauge->value(), 6);
+  for (const auto& [name, histogram] : state.histograms) {
+    const HistogramSnapshot snap = histogram->snapshot();
+    json.entry(name)
+        .field("count", static_cast<std::size_t>(snap.count))
+        .field("sum", snap.sum, 6)
+        .field("min", snap.min, 6)
+        .field("max", snap.max, 6)
+        .field("p50", histogram->quantile(0.50), 6)
+        .field("p90", histogram->quantile(0.90), 6)
+        .field("p99", histogram->quantile(0.99), 6);
+  }
+}
+
+bool MetricsRegistry::write(const std::string& path) const {
+  util::BenchJsonWriter json;
+  export_to(json);
+  return json.write(path);
+}
+
+void MetricsRegistry::reset() {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& [name, counter] : state.counters) counter->reset();
+  for (auto& [name, gauge] : state.gauges) gauge->reset();
+  for (auto& [name, histogram] : state.histograms) histogram->reset();
+}
+
+std::size_t MetricsRegistry::metric_count() const {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  return state.counters.size() + state.gauges.size() +
+         state.histograms.size();
+}
+
+}  // namespace pragma::obs

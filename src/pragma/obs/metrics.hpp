@@ -1,0 +1,198 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// Like the tracer, the registry is off by default: Counter::add,
+// Gauge::set and Histogram::observe first branch on one relaxed atomic
+// flag and do nothing while metrics are disabled, so instrumented hot
+// paths (message delivery, checkpoint writes, splitter kernels) pay a
+// load+branch, not an atomic RMW.
+//
+// Metric objects are created on first lookup and never destroyed or
+// re-allocated (reset() zeroes values in place), so call sites may cache
+// references:
+//
+//   static obs::Counter& retries =
+//       obs::metrics().counter("agents.reliable.retries");
+//   retries.add();
+//
+// Histograms use fixed bucket bounds chosen at creation; quantiles are
+// estimated by linear interpolation inside the containing bucket, and two
+// histograms with identical bounds merge by bucket-wise addition (the
+// shard-then-merge pattern for per-thread collection).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pragma::util {
+class BenchJsonWriter;
+}  // namespace pragma::util
+
+namespace pragma::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+
+/// fetch_add for atomic<double> via CAS (portable pre-C++20-TS targets).
+inline void atomic_add(std::atomic<double>& target, double delta) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_min(std::atomic<double>& target, double value) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (value < expected &&
+         !target.compare_exchange_weak(expected, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_max(std::atomic<double>& target, double value) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (value > expected &&
+         !target.compare_exchange_weak(expected, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!metrics_enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written scalar (queue depths, live-node counts, ...).
+class Gauge {
+ public:
+  void set(double value) {
+    if (!metrics_enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Bucket upper bounds, ascending and strictly increasing; an implicit
+/// overflow bucket covers (bounds.back(), +inf).
+struct HistogramOptions {
+  std::vector<double> bounds;
+
+  /// `count` buckets: start, start*factor, start*factor^2, ...
+  [[nodiscard]] static HistogramOptions exponential(double start,
+                                                    double factor, int count);
+  /// `count` buckets of equal width from lo (exclusive) to hi (inclusive).
+  [[nodiscard]] static HistogramOptions linear(double lo, double hi,
+                                               int count);
+};
+
+/// Default bounds when none are given: 20 exponential buckets from 1e-6,
+/// factor 4 — covers microseconds to ~1e6 with relative resolution.
+[[nodiscard]] const HistogramOptions& default_histogram_options();
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when empty
+  double max = 0.0;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = default_histogram_options());
+
+  void observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
+
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// containing bucket, clamped to the observed [min, max].  NaN when the
+  /// histogram is empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Bucket-wise accumulate `other` into this histogram.  Both must share
+  /// identical bounds (std::invalid_argument otherwise).  Unlike observe,
+  /// merge is unconditional: merging shards must work while the global
+  /// enable flag is off.
+  void merge(const Histogram& other);
+  void merge(const HistogramSnapshot& other);
+
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  /// bounds_.size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Name -> metric map.  Lookups are mutex-guarded; returned references
+/// stay valid for the process lifetime.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  void set_enabled(bool on);
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `options` applies only when the histogram is created by this call.
+  Histogram& histogram(const std::string& name, HistogramOptions options =
+                                                    default_histogram_options());
+
+  /// One BenchJsonWriter entry per metric, sorted by name: counters emit
+  /// {value}, gauges {value}, histograms {count,sum,min,max,p50,p90,p99}.
+  void export_to(util::BenchJsonWriter& json) const;
+  /// Export to a BENCH-schema JSON file; false when it cannot be opened.
+  bool write(const std::string& path) const;
+
+  /// Zero every metric in place (references stay valid).
+  void reset();
+
+  [[nodiscard]] std::size_t metric_count() const;
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Shorthand for MetricsRegistry::instance().
+inline MetricsRegistry& metrics() { return MetricsRegistry::instance(); }
+
+}  // namespace pragma::obs

@@ -1,0 +1,104 @@
+#include "pragma/obs/obs.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "pragma/util/cli.hpp"
+
+namespace pragma::obs {
+
+namespace {
+
+bool env_truthy(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const std::string text(value);
+  return !(text == "0" || text == "false" || text == "off" || text == "no");
+}
+
+std::string env_string(const char* name, std::string fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return value;
+}
+
+}  // namespace
+
+void apply(const ObsConfig& config) {
+  if (config.tracing) Tracer::instance().set_enabled(true);
+  if (config.metrics) MetricsRegistry::instance().set_enabled(true);
+  if (config.flight) {
+    FlightRecorder& recorder = FlightRecorder::instance();
+    if (recorder.capacity() != config.flight_capacity)
+      recorder.set_capacity(config.flight_capacity);
+    recorder.set_enabled(true);
+  }
+}
+
+ObsConfig config_from_env(ObsConfig base) {
+  base.tracing = env_truthy("PRAGMA_OBS_TRACE", base.tracing);
+  base.metrics = env_truthy("PRAGMA_OBS_METRICS", base.metrics);
+  base.flight = env_truthy("PRAGMA_OBS_FLIGHT", base.flight);
+  base.trace_path = env_string("PRAGMA_OBS_TRACE_PATH", base.trace_path);
+  base.metrics_path =
+      env_string("PRAGMA_OBS_METRICS_PATH", base.metrics_path);
+  if (const char* capacity = std::getenv("PRAGMA_OBS_FLIGHT_CAPACITY");
+      capacity != nullptr && *capacity != '\0') {
+    const long value = std::strtol(capacity, nullptr, 10);
+    if (value > 0) base.flight_capacity = static_cast<std::size_t>(value);
+  }
+  return base;
+}
+
+void add_cli_flags(util::CliFlags& flags) {
+  flags.add_bool("obs-trace", false,
+                 "record spans and export chrome://tracing JSON");
+  flags.add_string("obs-trace-path", "pragma-trace.json",
+                   "trace export path");
+  flags.add_bool("obs-metrics", false,
+                 "collect metrics and export BENCH-schema JSON");
+  flags.add_string("obs-metrics-path", "pragma-metrics.json",
+                   "metrics export path");
+  flags.add_bool("obs-flight", false,
+                 "record control-plane events in the flight recorder");
+  flags.add_int("obs-flight-capacity", 256, "flight recorder ring size");
+}
+
+ObsConfig config_from_flags(const util::CliFlags& flags, ObsConfig base) {
+  if (flags.get_bool("obs-trace")) base.tracing = true;
+  if (flags.get_bool("obs-metrics")) base.metrics = true;
+  if (flags.get_bool("obs-flight")) base.flight = true;
+  if (const std::string& path = flags.get_string("obs-trace-path");
+      path != "pragma-trace.json")
+    base.trace_path = path;
+  if (const std::string& path = flags.get_string("obs-metrics-path");
+      path != "pragma-metrics.json")
+    base.metrics_path = path;
+  if (const long long capacity = flags.get_int("obs-flight-capacity");
+      capacity > 0 && capacity != 256)
+    base.flight_capacity = static_cast<std::size_t>(capacity);
+  return base;
+}
+
+std::vector<std::string> export_artifacts(const ObsConfig& config) {
+  std::vector<std::string> lines;
+  if (config.tracing) {
+    const Tracer& tracer = Tracer::instance();
+    if (tracer.write(config.trace_path))
+      lines.push_back("wrote " + config.trace_path + " (" +
+                      std::to_string(tracer.event_count()) + " spans)");
+    else
+      lines.push_back("could not write " + config.trace_path);
+  }
+  if (config.metrics) {
+    const MetricsRegistry& registry = MetricsRegistry::instance();
+    if (registry.write(config.metrics_path))
+      lines.push_back("wrote " + config.metrics_path + " (" +
+                      std::to_string(registry.metric_count()) + " metrics)");
+    else
+      lines.push_back("could not write " + config.metrics_path);
+  }
+  return lines;
+}
+
+}  // namespace pragma::obs

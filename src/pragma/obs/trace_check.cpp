@@ -1,0 +1,314 @@
+#include "pragma/obs/trace_check.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <variant>
+#include <vector>
+
+namespace pragma::obs {
+
+namespace {
+
+// ---- Minimal JSON document model and recursive-descent parser -------------
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      data = nullptr;
+
+  [[nodiscard]] const JsonObject* as_object() const {
+    const auto* p = std::get_if<std::shared_ptr<JsonObject>>(&data);
+    return p ? p->get() : nullptr;
+  }
+  [[nodiscard]] const JsonArray* as_array() const {
+    const auto* p = std::get_if<std::shared_ptr<JsonArray>>(&data);
+    return p ? p->get() : nullptr;
+  }
+  [[nodiscard]] const std::string* as_string() const {
+    return std::get_if<std::string>(&data);
+  }
+  [[nodiscard]] const double* as_number() const {
+    return std::get_if<double>(&data);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  util::Expected<JsonValue> parse() {
+    JsonValue value;
+    util::Status status = parse_value(value, 0);
+    if (!status.is_ok()) return status;
+    skip_whitespace();
+    if (pos_ != text_.size())
+      return fail("trailing garbage after the JSON document");
+    return value;
+  }
+
+ private:
+  /// Hostile-input guard: a parser over untrusted bytes must not recurse
+  /// without bound (see util::Status conventions).
+  static constexpr int kMaxDepth = 64;
+
+  util::Status fail(const std::string& what) const {
+    return util::Status::invalid(what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  util::Status parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting deeper than the cap");
+    skip_whitespace();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out, depth);
+    if (c == '[') return parse_array(out, depth);
+    if (c == '"') {
+      std::string text;
+      util::Status status = parse_string(text);
+      if (!status.is_ok()) return status;
+      out.data = std::move(text);
+      return util::Status::ok();
+    }
+    if (c == 't' || c == 'f') return parse_keyword(out, c == 't');
+    if (c == 'n') {
+      if (text_.substr(pos_, 4) != "null") return fail("bad keyword");
+      pos_ += 4;
+      out.data = nullptr;
+      return util::Status::ok();
+    }
+    return parse_number(out);
+  }
+
+  util::Status parse_keyword(JsonValue& out, bool value) {
+    const std::string_view keyword = value ? "true" : "false";
+    if (text_.substr(pos_, keyword.size()) != keyword)
+      return fail("bad keyword");
+    pos_ += keyword.size();
+    out.data = value;
+    return util::Status::ok();
+  }
+
+  util::Status parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value))
+      return util::Status::invalid("malformed number '" + token +
+                                   "' at byte " + std::to_string(start));
+    out.data = value;
+    return util::Status::ok();
+  }
+
+  util::Status parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected '\"'");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return util::Status::ok();
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad hex digit in \\u escape");
+          }
+          // Encode as UTF-8; surrogate pairs are passed through unpaired
+          // (good enough for a validator — the tracer never emits them).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape sequence");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  util::Status parse_array(JsonValue& out, int depth) {
+    consume('[');
+    auto array = std::make_shared<JsonArray>();
+    skip_whitespace();
+    if (consume(']')) {
+      out.data = std::move(array);
+      return util::Status::ok();
+    }
+    while (true) {
+      JsonValue element;
+      util::Status status = parse_value(element, depth + 1);
+      if (!status.is_ok()) return status;
+      array->push_back(std::move(element));
+      skip_whitespace();
+      if (consume(']')) break;
+      if (!consume(',')) return fail("expected ',' or ']'");
+    }
+    out.data = std::move(array);
+    return util::Status::ok();
+  }
+
+  util::Status parse_object(JsonValue& out, int depth) {
+    consume('{');
+    auto object = std::make_shared<JsonObject>();
+    skip_whitespace();
+    if (consume('}')) {
+      out.data = std::move(object);
+      return util::Status::ok();
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key;
+      util::Status status = parse_string(key);
+      if (!status.is_ok()) return status;
+      skip_whitespace();
+      if (!consume(':')) return fail("expected ':'");
+      JsonValue value;
+      status = parse_value(value, depth + 1);
+      if (!status.is_ok()) return status;
+      (*object)[std::move(key)] = std::move(value);
+      skip_whitespace();
+      if (consume('}')) break;
+      if (!consume(',')) return fail("expected ',' or '}'");
+    }
+    out.data = std::move(object);
+    return util::Status::ok();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Status check_json_wellformed(std::string_view text) {
+  util::Expected<JsonValue> result = JsonParser(text).parse();
+  return result ? util::Status::ok() : result.status();
+}
+
+util::Expected<TraceCheckReport> validate_trace_json(
+    std::string_view text,
+    const std::vector<std::string>& require_categories) {
+  util::Expected<JsonValue> document = JsonParser(text).parse();
+  if (!document) return document.status();
+
+  const JsonObject* root = document.value().as_object();
+  if (root == nullptr)
+    return util::Status::invalid("trace root must be a JSON object");
+  const auto events_it = root->find("traceEvents");
+  if (events_it == root->end())
+    return util::Status::invalid("missing 'traceEvents'");
+  const JsonArray* events = events_it->second.as_array();
+  if (events == nullptr)
+    return util::Status::invalid("'traceEvents' must be an array");
+
+  TraceCheckReport report;
+  std::set<std::string> categories;
+  std::set<std::string> threads;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonObject* event = (*events)[i].as_object();
+    const std::string where = "event " + std::to_string(i);
+    if (event == nullptr)
+      return util::Status::invalid(where + " is not an object");
+    const auto field = [&](const char* key) -> const JsonValue* {
+      const auto it = event->find(key);
+      return it == event->end() ? nullptr : &it->second;
+    };
+    const JsonValue* name = field("name");
+    if (name == nullptr || name->as_string() == nullptr)
+      return util::Status::invalid(where + " lacks a string 'name'");
+    const JsonValue* ph = field("ph");
+    if (ph == nullptr || ph->as_string() == nullptr)
+      return util::Status::invalid(where + " lacks a string 'ph'");
+    const JsonValue* ts = field("ts");
+    if (ts == nullptr || ts->as_number() == nullptr)
+      return util::Status::invalid(where + " lacks a numeric 'ts'");
+    if (*ph->as_string() == "X") {
+      const JsonValue* dur = field("dur");
+      if (dur == nullptr || dur->as_number() == nullptr ||
+          *dur->as_number() < 0.0)
+        return util::Status::invalid(where +
+                                     " is 'X' without a valid 'dur'");
+    }
+    if (const JsonValue* cat = field("cat"); cat && cat->as_string())
+      categories.insert(*cat->as_string());
+    if (const JsonValue* tid = field("tid"); tid && tid->as_number())
+      threads.insert(std::to_string(
+          static_cast<long long>(*tid->as_number())));
+    ++report.event_count;
+  }
+
+  for (const std::string& required : require_categories)
+    if (categories.find(required) == categories.end())
+      return util::Status::failed_precondition(
+          "required category '" + required + "' absent from the trace");
+
+  report.categories.assign(categories.begin(), categories.end());
+  report.threads.assign(threads.begin(), threads.end());
+  return report;
+}
+
+}  // namespace pragma::obs

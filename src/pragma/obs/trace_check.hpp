@@ -1,0 +1,39 @@
+// Validator for exported Chrome Trace Event Format files.
+//
+// A self-contained JSON parser (objects, arrays, strings with escapes,
+// numbers, true/false/null) plus structural checks over the parsed
+// document: the root must be an object with a "traceEvents" array, every
+// event needs a string "name"/"ph" (and numeric "ts"; complete "X" events
+// also "dur" >= 0), and the caller can require specific categories to be
+// present.  Used by the obs tests and by the tools/trace_check CI gate.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pragma/util/status.hpp"
+
+namespace pragma::obs {
+
+/// Summary of a validated trace file.
+struct TraceCheckReport {
+  std::size_t event_count = 0;
+  std::vector<std::string> categories;  ///< distinct "cat" values, sorted
+  std::vector<std::string> threads;     ///< distinct tids, sorted as text
+};
+
+/// Parse `text` as JSON and verify it is a valid Trace Event Format
+/// document.  Every category in `require_categories` must appear on at
+/// least one event.  On success the report describes what was found.
+[[nodiscard]] util::Expected<TraceCheckReport> validate_trace_json(
+    std::string_view text,
+    const std::vector<std::string>& require_categories = {});
+
+/// Parse-only entry point: ok when `text` is well-formed JSON of any
+/// shape.  Exposed so tests can check other emitted JSON artifacts (the
+/// BENCH metrics files) with the same parser.
+[[nodiscard]] util::Status check_json_wellformed(std::string_view text);
+
+}  // namespace pragma::obs

@@ -1,0 +1,260 @@
+#include "pragma/obs/tracer.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace pragma::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point tracer_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+/// Escape a string for a JSON string literal (quotes not included).
+void json_escape_to(std::ostringstream& os, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+/// One thread's span buffer.  The owner thread appends under `mutex`
+/// (uncontended except during an export); the tracer snapshots it from
+/// other threads under the same mutex.  When a thread exits, its buffer is
+/// retired into the tracer's global list so the events survive.
+struct Tracer::ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+namespace {
+
+/// Global tracer state, kept out of the header.  Leaked on purpose: spans
+/// may be recorded from thread-exit paths after static destruction starts.
+struct TracerState {
+  std::mutex mutex;
+  std::vector<Tracer::ThreadBuffer*> live;
+  std::vector<TraceEvent> retired;
+  std::uint32_t next_tid = 1;
+};
+
+TracerState& state() {
+  static TracerState* s = new TracerState();
+  return *s;
+}
+
+/// Registers with the tracer on construction, retires on thread exit.
+struct ThreadBufferHandle {
+  ThreadBufferHandle() : buffer(new Tracer::ThreadBuffer()) {
+    TracerState& s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    buffer->tid = s.next_tid++;
+    s.live.push_back(buffer);
+  }
+  ~ThreadBufferHandle() {
+    TracerState& s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    {
+      const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      for (TraceEvent& event : buffer->events)
+        s.retired.push_back(std::move(event));
+      buffer->events.clear();
+    }
+    std::erase(s.live, buffer);
+    delete buffer;
+  }
+  Tracer::ThreadBuffer* buffer;
+};
+
+}  // namespace
+
+Tracer::Tracer() { (void)tracer_epoch(); }
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_enabled(bool on) {
+  detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+double Tracer::now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   tracer_epoch())
+      .count();
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  thread_local ThreadBufferHandle handle;
+  return *handle.buffer;
+}
+
+void Tracer::append(TraceEvent event) {
+  ThreadBuffer& buffer = local_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  event.tid = buffer.tid;
+  buffer.events.push_back(std::move(event));
+}
+
+void Tracer::clear() {
+  TracerState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.retired.clear();
+  for (ThreadBuffer* buffer : s.live) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  TracerState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<TraceEvent> out = s.retired;
+  for (ThreadBuffer* buffer : s.live) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return out;
+}
+
+std::size_t Tracer::event_count() const {
+  TracerState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::size_t count = s.retired.size();
+  for (ThreadBuffer* buffer : s.live) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    count += buffer->events.size();
+  }
+  return count;
+}
+
+std::string Tracer::export_json() const {
+  const std::vector<TraceEvent> snapshot = events();
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : snapshot) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"";
+    json_escape_to(os, event.name ? event.name : "?");
+    os << "\",\"cat\":\"";
+    json_escape_to(os, event.category ? event.category : "?");
+    os << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << event.tid
+       << ",\"ts\":" << event.ts_us << ",\"dur\":" << event.dur_us;
+    if (!event.args.empty()) {
+      os << ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        if (!first_arg) os << ",";
+        first_arg = false;
+        os << "\"";
+        json_escape_to(os, key);
+        os << "\":\"";
+        json_escape_to(os, value);
+        os << "\"";
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+bool Tracer::write(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  const std::string text = export_json();
+  file.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return static_cast<bool>(file);
+}
+
+void Span::begin(const char* category, const char* name) {
+  category_ = category;
+  name_ = name;
+  start_us_ = Tracer::now_us();
+  armed_ = true;
+}
+
+void Span::end() {
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.ts_us = start_us_;
+  event.dur_us = Tracer::now_us() - start_us_;
+  event.args = std::move(args_);
+  Tracer::instance().append(std::move(event));
+  armed_ = false;
+}
+
+void Span::annotate(const char* key, std::string value) {
+  if (!armed_) return;
+  args_.emplace_back(key, std::move(value));
+}
+
+void Span::annotate(const char* key, const char* value) {
+  if (!armed_) return;
+  args_.emplace_back(key, value);
+}
+
+void Span::annotate(const char* key, double value) {
+  if (!armed_) return;
+  std::ostringstream os;
+  os << value;
+  args_.emplace_back(key, os.str());
+}
+
+void Span::annotate(const char* key, std::int64_t value) {
+  if (!armed_) return;
+  args_.emplace_back(key, std::to_string(value));
+}
+
+void Span::annotate(const char* key, std::size_t value) {
+  if (!armed_) return;
+  args_.emplace_back(key, std::to_string(value));
+}
+
+}  // namespace pragma::obs

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "pragma/obs/tracer.hpp"
 #include "pragma/util/thread_pool.hpp"
 
 namespace pragma::partition {
@@ -45,6 +46,8 @@ double communication_volume(const WorkGrid& grid, const OwnerMap& owners,
                             int threads) {
   if (owners.owner.size() != grid.cell_count())
     throw std::invalid_argument("communication_volume: size mismatch");
+  PRAGMA_SPAN_VAR(span, "partition", "communication_volume");
+  span.annotate("cells", grid.cell_count());
   const amr::IntVec3 dims = grid.lattice_dims();
   const int g = grid.grain();
 

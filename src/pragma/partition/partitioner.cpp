@@ -5,11 +5,20 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "pragma/obs/metrics.hpp"
+#include "pragma/obs/tracer.hpp"
+
 namespace pragma::partition {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+obs::Histogram& partition_seconds_histogram() {
+  static obs::Histogram& histogram = obs::metrics().histogram(
+      "partition.seconds", obs::default_histogram_options());
+  return histogram;
+}
 
 /// Fill an OwnerMap from sequence breaks: chunk i owns the grain cells at
 /// ranks [breaks[i], breaks[i+1]).
@@ -36,6 +45,9 @@ PartitionResult sequence_partition(const WorkGrid& grid,
                                    const std::string& name,
                                    Breaks (*splitter)(const PrefixSums&,
                                                       std::span<const double>)) {
+  PRAGMA_SPAN_VAR(span, "partition", "Partitioner.partition");
+  span.annotate("partitioner", name);
+  span.annotate("cells", grid.cell_count());
   const auto start = Clock::now();
   // Splitters run on the grid's shared prefix-sum view: range sums are O(1)
   // and every cut is a binary search.
@@ -47,6 +59,7 @@ PartitionResult sequence_partition(const WorkGrid& grid,
   result.partitioner = name;
   result.chunk_count = nonempty_chunks(breaks);
   result.unit_count = grid.cell_count();
+  partition_seconds_histogram().observe(result.partition_seconds);
   return result;
 }
 
@@ -125,6 +138,9 @@ Breaks GMispSpPartitioner::split_blocks(
 
 PartitionResult GMispPartitioner::partition(
     const WorkGrid& grid, std::span<const double> targets) const {
+  PRAGMA_SPAN_VAR(span, "partition", "Partitioner.partition");
+  span.annotate("partitioner", name());
+  span.annotate("cells", grid.cell_count());
   const auto start = Clock::now();
   const std::vector<std::size_t> lengths = build_blocks(grid, targets);
 
@@ -156,6 +172,7 @@ PartitionResult GMispPartitioner::partition(
   result.partitioner = name();
   result.chunk_count = nonempty_chunks(breaks);
   result.unit_count = lengths.size();
+  partition_seconds_histogram().observe(result.partition_seconds);
   return result;
 }
 

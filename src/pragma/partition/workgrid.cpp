@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "pragma/obs/tracer.hpp"
 #include "pragma/util/thread_pool.hpp"
 
 namespace pragma::partition {
@@ -55,6 +56,8 @@ WorkGrid::WorkGrid(const amr::GridHierarchy& hierarchy, int grain,
       num_levels_(hierarchy.num_levels()),
       ratio_(hierarchy.ratio()) {
   if (grain <= 0) throw std::invalid_argument("WorkGrid: grain <= 0");
+  PRAGMA_SPAN_VAR(span, "partition", "WorkGrid.build");
+  span.annotate("grain", static_cast<std::int64_t>(grain));
   const amr::IntVec3 base = hierarchy.base_dims();
   dims_ = {(base.x + grain - 1) / grain, (base.y + grain - 1) / grain,
            (base.z + grain - 1) / grain};

@@ -38,11 +38,15 @@ Logger::Logger() {
 }
 
 void Logger::set_sink(Sink sink) {
-  if (sink) sink_ = std::move(sink);
+  if (!sink) return;
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_ = std::move(sink);
 }
 
 void Logger::log(LogLevel level, std::string_view message) {
-  if (enabled(level)) sink_(level, message);
+  if (!enabled(level)) return;
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_(level, message);
 }
 
 }  // namespace pragma::util

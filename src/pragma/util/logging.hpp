@@ -6,7 +6,9 @@
 // on/off without recompiling.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -25,17 +27,25 @@ enum class LogLevel : int {
 /// Human-readable name of a log level ("TRACE", "DEBUG", ...).
 std::string_view to_string(LogLevel level);
 
-/// Global logger configuration.  Not thread-safe by design: the simulator is
-/// single-threaded and deterministic; configure logging before running.
+/// Global logger configuration.  Thread-safe: the level is an atomic read
+/// on the fast path and the sink is invoked under a mutex, so the
+/// ThreadPool-parallel replay paths (and any other concurrent callers) can
+/// log without interleaving or racing a set_sink().
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, std::string_view)>;
 
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level >= this->level();
+  }
 
   /// Replace the output sink (default writes "[LEVEL] message" to stderr).
   void set_sink(Sink sink);
@@ -44,7 +54,8 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex sink_mutex_;  ///< guards sink_ replacement and invocation
   Sink sink_;
 };
 

@@ -1,0 +1,88 @@
+// The observability contract ManagedRun depends on: with every obs
+// facility disabled (the default), instrumented code paths change nothing
+// — two identically configured runs produce bitwise-identical reports —
+// and *enabling* obs only observes, so the report stays identical too.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "pragma/core/managed_run.hpp"
+#include "pragma/obs/obs.hpp"
+
+namespace pragma::core {
+namespace {
+
+ManagedRunConfig deterministic_config() {
+  ManagedRunConfig config;
+  config.app.coarse_steps = 60;
+  config.nprocs = 8;
+  config.capacity_spread = 0.3;
+  config.with_background_load = true;
+  config.system_sensitive = true;
+  // Replace the wall-clock partitioning measurement with the modeled cost
+  // so the fault-free path replays byte-identically.
+  config.modeled_partition_s_per_cell = 50e-9;
+  return config;
+}
+
+/// Serialize every report field (and every per-record field) at full
+/// precision, so two reports compare bitwise.
+std::string fingerprint(const ManagedRunReport& report) {
+  std::ostringstream os;
+  os.precision(17);
+  os << report.total_time_s << '|' << report.regrids << '|'
+     << report.repartitions << '|' << report.agent_events << '|'
+     << report.adm_decisions << '|' << report.event_repartitions << '|'
+     << report.migrations << '|' << report.partitioner_switches << '|'
+     << report.checkpoints << '|' << report.checkpoint_time_s << '|'
+     << report.detected_failures << '|' << report.recovery_time_s << '|'
+     << report.cells_advanced << '|' << report.recomputed_cells << '\n';
+  for (const ManagedStepRecord& record : report.records)
+    os << record.step << ';' << record.octant << ';' << record.partitioner
+       << ';' << record.sim_time_s << ';' << record.step_time_s << ';'
+       << record.imbalance << ';' << record.live_nodes << ';'
+       << record.repartitioned << ';' << record.recovery_s << ';'
+       << record.lost_cells << ';' << record.detection_s << '\n';
+  return os.str();
+}
+
+class ObsDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    // Undo anything an obs-enabled run switched on.
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().clear();
+    obs::MetricsRegistry::instance().set_enabled(false);
+    obs::MetricsRegistry::instance().reset();
+    obs::FlightRecorder::instance().set_enabled(false);
+    obs::FlightRecorder::instance().clear();
+  }
+};
+
+TEST_F(ObsDeterminismTest, DisabledRunsAreBitwiseIdentical) {
+  const ManagedRunReport first = ManagedRun(deterministic_config()).run();
+  const ManagedRunReport second = ManagedRun(deterministic_config()).run();
+  ASSERT_FALSE(first.records.empty());
+  EXPECT_EQ(fingerprint(first), fingerprint(second));
+}
+
+TEST_F(ObsDeterminismTest, EnabledRunMatchesDisabledRun) {
+  const ManagedRunReport baseline = ManagedRun(deterministic_config()).run();
+
+  ManagedRunConfig traced = deterministic_config();
+  traced.obs.tracing = true;
+  traced.obs.metrics = true;
+  traced.obs.flight = true;
+  const ManagedRunReport observed = ManagedRun(traced).run();
+
+  // The observers saw the run...
+  EXPECT_GT(obs::Tracer::instance().event_count(), 0u);
+  EXPECT_GT(obs::metrics().metric_count(), 0u);
+  EXPECT_GT(obs::FlightRecorder::instance().total_recorded(), 0u);
+  // ...without perturbing it.
+  EXPECT_EQ(fingerprint(baseline), fingerprint(observed));
+}
+
+}  // namespace
+}  // namespace pragma::core

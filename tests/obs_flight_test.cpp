@@ -1,0 +1,93 @@
+#include "pragma/obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace pragma::obs {
+namespace {
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::instance().clear();
+    FlightRecorder::instance().set_capacity(256);
+    FlightRecorder::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    FlightRecorder::instance().set_enabled(false);
+    FlightRecorder::instance().clear();
+  }
+};
+
+TEST_F(FlightRecorderTest, DisabledMacroRecordsNothing) {
+  FlightRecorder::instance().set_enabled(false);
+  PRAGMA_FLIGHT(1.0, "test", "invisible ", 42);
+  EXPECT_TRUE(FlightRecorder::instance().events().empty());
+  EXPECT_EQ(FlightRecorder::instance().total_recorded(), 0u);
+}
+
+TEST_F(FlightRecorderTest, MacroStreamsArgumentsTogether) {
+  PRAGMA_FLIGHT(12.5, "retry", "seq ", 7, " to ", std::string("agent3"));
+  const std::vector<FlightEvent> events = FlightRecorder::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].sim_time_s, 12.5);
+  EXPECT_STREQ(events[0].category, "retry");
+  EXPECT_EQ(events[0].detail, "seq 7 to agent3");
+}
+
+TEST_F(FlightRecorderTest, RingKeepsNewestAndWrapsOldestFirst) {
+  FlightRecorder::instance().set_capacity(4);
+  for (int i = 0; i < 10; ++i)
+    FlightRecorder::instance().record(static_cast<double>(i), "test",
+                                      "event " + std::to_string(i));
+  const std::vector<FlightEvent> events = FlightRecorder::instance().events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first among the survivors: 6, 7, 8, 9.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(events[static_cast<std::size_t>(i)].sim_time_s,
+                     static_cast<double>(6 + i));
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].detail,
+              "event " + std::to_string(6 + i));
+  }
+  EXPECT_EQ(FlightRecorder::instance().total_recorded(), 10u);
+}
+
+TEST_F(FlightRecorderTest, CapacityOneAndClamping) {
+  FlightRecorder::instance().set_capacity(0);  // clamps to 1
+  EXPECT_EQ(FlightRecorder::instance().capacity(), 1u);
+  FlightRecorder::instance().record(1.0, "test", "a");
+  FlightRecorder::instance().record(2.0, "test", "b");
+  const std::vector<FlightEvent> events = FlightRecorder::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].detail, "b");
+}
+
+TEST_F(FlightRecorderTest, SetCapacityDropsBufferedEvents) {
+  FlightRecorder::instance().record(1.0, "test", "pre-resize");
+  FlightRecorder::instance().set_capacity(8);
+  EXPECT_TRUE(FlightRecorder::instance().events().empty());
+}
+
+TEST_F(FlightRecorderTest, FormatMentionsDropsAfterWraparound) {
+  FlightRecorder::instance().set_capacity(2);
+  for (int i = 0; i < 5; ++i)
+    FlightRecorder::instance().record(static_cast<double>(i), "checkpoint",
+                                      "gen " + std::to_string(i));
+  const std::string dump = FlightRecorder::instance().format();
+  EXPECT_NE(dump.find("2 of 5"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("checkpoint"), std::string::npos);
+  EXPECT_NE(dump.find("gen 4"), std::string::npos);
+  EXPECT_EQ(dump.find("gen 0"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, ClearResetsEventsAndTotal) {
+  FlightRecorder::instance().record(1.0, "test", "x");
+  FlightRecorder::instance().clear();
+  EXPECT_TRUE(FlightRecorder::instance().events().empty());
+  EXPECT_EQ(FlightRecorder::instance().total_recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace pragma::obs

@@ -1,0 +1,203 @@
+#include "pragma/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "pragma/obs/trace_check.hpp"
+#include "pragma/util/table.hpp"
+
+namespace pragma::obs {
+namespace {
+
+/// Every test runs with metrics globally enabled and a clean registry;
+/// the process default (disabled) is restored afterwards so other suites
+/// in this binary observe the documented off-by-default state.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::instance().reset();
+    MetricsRegistry::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    MetricsRegistry::instance().set_enabled(false);
+    MetricsRegistry::instance().reset();
+  }
+};
+
+TEST_F(MetricsTest, CounterCountsAndResets) {
+  Counter& counter = metrics().counter("test.counter");
+  counter.reset();
+  counter.add();
+  counter.add(9);
+  EXPECT_EQ(counter.value(), 10u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST_F(MetricsTest, CounterIgnoredWhileDisabled) {
+  Counter& counter = metrics().counter("test.gated");
+  counter.reset();
+  MetricsRegistry::instance().set_enabled(false);
+  counter.add(100);
+  EXPECT_EQ(counter.value(), 0u);
+  MetricsRegistry::instance().set_enabled(true);
+  counter.add(2);
+  EXPECT_EQ(counter.value(), 2u);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue) {
+  Gauge& gauge = metrics().gauge("test.gauge");
+  gauge.set(1.5);
+  gauge.set(-3.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), -3.25);
+}
+
+TEST_F(MetricsTest, RegistryReturnsStableReferences) {
+  Counter& a = metrics().counter("test.stable");
+  Counter& b = metrics().counter("test.stable");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST_F(MetricsTest, HistogramBucketsObservations) {
+  Histogram h(HistogramOptions{{1.0, 2.0, 4.0}});
+  // buckets: (-inf,1], (1,2], (2,4], (4,inf)
+  h.observe(0.5);
+  h.observe(1.0);   // boundary lands in the first bucket
+  h.observe(1.5);
+  h.observe(3.0);
+  h.observe(100.0);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 3.0 + 100.0);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+}
+
+TEST_F(MetricsTest, HistogramQuantiles) {
+  Histogram h(HistogramOptions::linear(0.0, 100.0, 100));
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+  // Uniform 1..100: quantiles should land near q*100, clamped to [1,100].
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST_F(MetricsTest, EmptyHistogramQuantileIsNan) {
+  Histogram h;
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(MetricsTest, HistogramMergeIsBucketwise) {
+  const HistogramOptions options{{1.0, 10.0, 100.0}};
+  Histogram a(options);
+  Histogram b(options);
+  a.observe(0.5);
+  a.observe(50.0);
+  b.observe(5.0);
+  b.observe(500.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.5 + 50.0 + 5.0 + 500.0);
+  EXPECT_EQ(a.bucket_count(0), 1u);
+  EXPECT_EQ(a.bucket_count(1), 1u);
+  EXPECT_EQ(a.bucket_count(2), 1u);
+  EXPECT_EQ(a.bucket_count(3), 1u);
+  const HistogramSnapshot snapshot = a.snapshot();
+  EXPECT_EQ(snapshot.count, 4u);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.5);
+  EXPECT_DOUBLE_EQ(snapshot.max, 500.0);
+}
+
+TEST_F(MetricsTest, HistogramMergeWorksWhileDisabled) {
+  // The shard-then-merge pattern collects into local histograms and merges
+  // after the fact; the merge must not depend on the global flag.
+  const HistogramOptions options{{1.0, 2.0}};
+  Histogram a(options);
+  Histogram b(options);
+  a.observe(0.5);
+  b.observe(1.5);
+  MetricsRegistry::instance().set_enabled(false);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST_F(MetricsTest, HistogramMergeRejectsMismatchedBounds) {
+  Histogram a(HistogramOptions{{1.0, 2.0}});
+  Histogram b(HistogramOptions{{1.0, 3.0}});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST_F(MetricsTest, ExponentialAndLinearBounds) {
+  const HistogramOptions exp = HistogramOptions::exponential(1.0, 2.0, 4);
+  ASSERT_EQ(exp.bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(exp.bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(exp.bounds[3], 8.0);
+  const HistogramOptions lin = HistogramOptions::linear(0.0, 10.0, 5);
+  ASSERT_EQ(lin.bounds.size(), 5u);
+  EXPECT_DOUBLE_EQ(lin.bounds[0], 2.0);
+  EXPECT_DOUBLE_EQ(lin.bounds[4], 10.0);
+}
+
+TEST_F(MetricsTest, ConcurrentCountersAndHistograms) {
+  Counter& counter = metrics().counter("test.concurrent");
+  counter.reset();
+  Histogram& histogram =
+      metrics().histogram("test.concurrent.hist",
+                          HistogramOptions::linear(0.0, 8.0, 8));
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&counter, &histogram, t] {
+      for (int i = 0; i < kIters; ++i) {
+        counter.add();
+        histogram.observe(static_cast<double>((t + i) % 8));
+      }
+    });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST_F(MetricsTest, ExportIsWellformedJsonWithAllMetricKinds) {
+  metrics().counter("test.export.counter").add(7);
+  metrics().gauge("test.export.gauge").set(2.5);
+  Histogram& h = metrics().histogram("test.export.hist");
+  h.observe(1e-3);
+  h.observe(1e-2);
+
+  util::BenchJsonWriter json;
+  metrics().export_to(json);
+  const std::string text = json.render();
+  EXPECT_TRUE(check_json_wellformed(text).is_ok()) << text;
+  EXPECT_NE(text.find("test.export.counter"), std::string::npos);
+  EXPECT_NE(text.find("test.export.gauge"), std::string::npos);
+  EXPECT_NE(text.find("test.export.hist"), std::string::npos);
+}
+
+TEST_F(MetricsTest, ResetZeroesEverythingInPlace) {
+  Counter& counter = metrics().counter("test.reset.counter");
+  Histogram& histogram = metrics().histogram("test.reset.hist");
+  counter.add(5);
+  histogram.observe(1.0);
+  MetricsRegistry::instance().reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(histogram.count(), 0u);
+  counter.add();  // references stay live after reset
+  EXPECT_EQ(counter.value(), 1u);
+}
+
+}  // namespace
+}  // namespace pragma::obs

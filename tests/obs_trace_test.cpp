@@ -1,0 +1,161 @@
+#include "pragma/obs/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pragma/obs/trace_check.hpp"
+
+namespace pragma::obs {
+namespace {
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().clear();
+    Tracer::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+};
+
+TEST_F(TracerTest, DisabledSpanRecordsNothing) {
+  Tracer::instance().set_enabled(false);
+  {
+    PRAGMA_SPAN("test", "invisible");
+    PRAGMA_SPAN_VAR(span, "test", "also invisible");
+    EXPECT_FALSE(span.active());
+    span.annotate("ignored", 1.0);  // must be a no-op, not a crash
+  }
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+}
+
+TEST_F(TracerTest, SpanRecordsCompleteEvent) {
+  {
+    PRAGMA_SPAN_VAR(span, "test", "unit");
+    EXPECT_TRUE(span.active());
+    span.annotate("key", "value");
+    span.annotate("n", std::int64_t{42});
+  }
+  const std::vector<TraceEvent> events = Tracer::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit");
+  EXPECT_STREQ(events[0].category, "test");
+  EXPECT_GE(events[0].dur_us, 0.0);
+  ASSERT_EQ(events[0].args.size(), 2u);
+  EXPECT_EQ(events[0].args[0].first, "key");
+  EXPECT_EQ(events[0].args[0].second, "value");
+  EXPECT_EQ(events[0].args[1].second, "42");
+}
+
+TEST_F(TracerTest, NestedSpansAreContainedInTime) {
+  {
+    PRAGMA_SPAN("test", "outer");
+    {
+      PRAGMA_SPAN("test", "inner");
+    }
+  }
+  const std::vector<TraceEvent> events = Tracer::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first, so it is recorded first.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(outer.name, "outer");
+  // The viewer reconstructs nesting from containment; verify it holds.
+  EXPECT_LE(outer.ts_us, inner.ts_us);
+  EXPECT_GE(outer.ts_us + outer.dur_us, inner.ts_us + inner.dur_us);
+  EXPECT_EQ(inner.tid, outer.tid);
+}
+
+TEST_F(TracerTest, SpansEnabledMidRunOnlyRecordFromThen) {
+  Tracer::instance().set_enabled(false);
+  {
+    PRAGMA_SPAN("test", "before");
+  }
+  Tracer::instance().set_enabled(true);
+  {
+    PRAGMA_SPAN("test", "after");
+  }
+  const std::vector<TraceEvent> events = Tracer::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "after");
+}
+
+TEST_F(TracerTest, ThreadsRecordIntoDistinctBuffers) {
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        PRAGMA_SPAN_VAR(span, "worker", "interleaved");
+        span.annotate("i", static_cast<std::int64_t>(i));
+      }
+    });
+  for (std::thread& thread : threads) thread.join();
+  {
+    PRAGMA_SPAN("main", "driver");
+  }
+
+  const std::vector<TraceEvent> events = Tracer::instance().events();
+  EXPECT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads) * kSpans + 1);
+  std::vector<std::uint32_t> tids;
+  for (const TraceEvent& event : events) tids.push_back(event.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads) + 1);
+}
+
+TEST_F(TracerTest, ExportedJsonValidatesWithThreadInterleavedSpans) {
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < 20; ++i) {
+        PRAGMA_SPAN_VAR(span, "partition", "kernel");
+        span.annotate("label", std::string("iter ") + std::to_string(i));
+        PRAGMA_SPAN("io", "nested \"quoted\"\\backslash");
+      }
+    });
+  for (std::thread& thread : threads) thread.join();
+  {
+    PRAGMA_SPAN("core", "step");
+  }
+
+  const std::string json = Tracer::instance().export_json();
+  const auto report = validate_trace_json(json, {"partition", "io", "core"});
+  ASSERT_TRUE(report.has_value()) << report.status().to_string();
+  EXPECT_EQ(report.value().event_count, 3u * 20u * 2u + 1u);
+  EXPECT_GE(report.value().threads.size(), 2u);
+}
+
+TEST_F(TracerTest, ValidatorRejectsGarbageAndMissingCategories) {
+  EXPECT_FALSE(validate_trace_json("not json").has_value());
+  EXPECT_FALSE(validate_trace_json("{\"traceEvents\": 3}").has_value());
+  {
+    PRAGMA_SPAN("only", "event");
+  }
+  const std::string json = Tracer::instance().export_json();
+  EXPECT_TRUE(validate_trace_json(json, {"only"}).has_value());
+  EXPECT_FALSE(validate_trace_json(json, {"absent"}).has_value());
+}
+
+TEST_F(TracerTest, ClearDropsBufferedEvents) {
+  {
+    PRAGMA_SPAN("test", "dropped");
+  }
+  ASSERT_EQ(Tracer::instance().event_count(), 1u);
+  Tracer::instance().clear();
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+  // An empty trace still exports a valid document.
+  EXPECT_TRUE(validate_trace_json(Tracer::instance().export_json()).has_value());
+}
+
+}  // namespace
+}  // namespace pragma::obs

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace pragma::util {
@@ -68,6 +71,50 @@ TEST_F(LoggingTest, EnabledReflectsLevel) {
   EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
   EXPECT_TRUE(Logger::instance().enabled(LogLevel::kInfo));
   EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+}
+
+TEST_F(LoggingTest, ConcurrentLoggingDoesNotTearMessages) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  // The fixture's sink captures into an unguarded vector; replace it with
+  // a mutex-guarded one for the duration of this test.
+  std::mutex mutex;
+  std::vector<std::string> lines;
+  Logger::instance().set_sink(
+      [&mutex, &lines](LogLevel, std::string_view message) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        lines.emplace_back(message);
+      });
+
+  constexpr int kThreads = 4;
+  constexpr int kLines = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i)
+        log_info("thread=", t, " line=", i, " payload=", 3.5);
+    });
+  for (std::thread& thread : threads) thread.join();
+
+  const std::lock_guard<std::mutex> lock(mutex);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads) * kLines);
+  // Every line must be one whole message — arguments from different
+  // threads never interleave because the message is built before the
+  // sink call and the sink runs under the logger's mutex.
+  std::vector<int> per_thread(kThreads, 0);
+  for (const std::string& line : lines) {
+    int t = -1;
+    int i = -1;
+    double payload = 0.0;
+    ASSERT_EQ(std::sscanf(line.c_str(), "thread=%d line=%d payload=%lf",
+                          &t, &i, &payload),
+              3)
+        << "torn line: " << line;
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    EXPECT_EQ(i, per_thread[t]) << "lines reordered within a thread";
+    EXPECT_DOUBLE_EQ(payload, 3.5);
+    ++per_thread[t];
+  }
 }
 
 TEST_F(LoggingTest, NullSinkIgnored) {

@@ -1,0 +1,80 @@
+// Validate a Chrome Trace Event Format JSON file produced by the span
+// tracer.  Exit 0 when the file parses, every event is well-formed, and
+// all --require categories are present; exit 1 otherwise.
+//
+//   $ ./trace_check pragma-trace.json --require agents,core,partition,io
+//
+// CI runs this against the trace emitted by the observability smoke job;
+// it shares the parser with the obs unit tests, so a regression in the
+// exporter fails both.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pragma/obs/trace_check.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require" && i + 1 < argc) {
+      required = split_csv(argv[++i]);
+    } else if (arg.rfind("--require=", 0) == 0) {
+      required = split_csv(arg.substr(10));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: trace_check <trace.json> "
+                   "[--require cat1,cat2,...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "trace_check: unknown flag " << arg << "\n";
+      return 1;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << "trace_check: more than one input file\n";
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "trace_check: no input file (see --help)\n";
+    return 1;
+  }
+
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::cerr << "trace_check: cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+
+  const pragma::util::Expected<pragma::obs::TraceCheckReport> report =
+      pragma::obs::validate_trace_json(buffer.str(), required);
+  if (!report) {
+    std::cerr << "trace_check: " << path << ": "
+              << report.status().to_string() << "\n";
+    return 1;
+  }
+  std::cout << path << ": " << report.value().event_count << " events, "
+            << report.value().categories.size() << " categories, "
+            << report.value().threads.size() << " threads\n";
+  for (const std::string& category : report.value().categories)
+    std::cout << "  category: " << category << "\n";
+  return 0;
+}
