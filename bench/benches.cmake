@@ -21,6 +21,7 @@ pragma_bench(fig3_rm3d_profiles)
 pragma_bench(fig4_capacity_pipeline)
 pragma_bench(ablation_sensitivity)
 pragma_bench(chaos_soak)
+pragma_bench(service_throughput)
 
 function(pragma_micro_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)

@@ -1,0 +1,239 @@
+// Service soak — the multi-run scheduler under a grid-shaped job mix.
+//
+// Two questions, one artifact:
+//
+//   1. Throughput.  A batch of grid jobs — each one stages its input over
+//      the (simulated) wide area, runs a short computation, and stages
+//      results back — is pushed through pragma::service::Scheduler at
+//      worker counts 1/2/4/8.  Stage-in/stage-out are latency, not CPU,
+//      which is exactly the regime the multi-run scheduler exists for:
+//      while one run waits on the WAN another computes.  We report
+//      aggregate runs/sec, the speedup over the 1-worker serial baseline,
+//      and the admission-queue latency percentiles the scheduler tracks.
+//
+//   2. Determinism.  A 16-run batch of fully managed RM3D executions
+//      (background load, system-sensitive partitioning, modeled
+//      partitioner cost) is executed once serially through core::ManagedRun
+//      and once concurrently through the scheduler, and the two report
+//      sets must match bitwise — per-run isolation (derived seeds,
+//      per-run RNG streams) is what makes concurrent execution safe.
+//
+// Results land in BENCH_service_throughput.json.  Exit code is non-zero
+// when the determinism gate fails or 8 workers do not reach 3x the serial
+// aggregate throughput, so CI can run this directly.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pragma/core/managed_run.hpp"
+#include "pragma/service/scheduler.hpp"
+#include "pragma/util/cli.hpp"
+#include "pragma/util/thread_pool.hpp"
+
+using namespace pragma;
+
+namespace {
+
+struct BenchConfig {
+  int runs = 24;           // grid jobs per worker-count sweep point
+  double stage_ms = 400.0; // simulated WAN stage-in + stage-out, each half
+  int batch = 16;          // managed runs in the determinism gate
+  int steps = 40;          // coarse steps per managed run
+};
+
+/// A grid job: stage in, compute, stage out.  The staging halves are pure
+/// latency (the job is off-CPU, as it would be while GridFTP moves its
+/// input), the compute part is a short deterministic checksum so the job
+/// is not free.
+service::RunSpec grid_job(int index, double stage_ms) {
+  service::RunSpec spec;
+  std::string name = "grid-";
+  name += std::to_string(index);
+  spec.name = std::move(name);
+  spec.tenant = index % 2 == 0 ? "astro" : "climate";
+  spec.priority = index % 3;
+  spec.kind = service::WorkloadKind::kCustom;
+  spec.custom = [stage_ms](service::RunContext& context) {
+    const auto half =
+        std::chrono::duration<double, std::milli>(stage_ms / 2.0);
+    std::this_thread::sleep_for(half);  // stage-in
+    if (context.cancel_requested()) return util::Status::ok();
+    volatile std::uint64_t checksum = 0;
+    for (std::uint64_t i = 0; i < 2'000'000; ++i)
+      checksum = checksum * 6364136223846793005ull + i;
+    std::this_thread::sleep_for(half);  // stage-out
+    return util::Status::ok();
+  };
+  return spec;
+}
+
+/// One sweep point: `runs` grid jobs through a scheduler with `workers`
+/// slots.  Returns the wall time; fills the stats out-param.
+double sweep_point(std::size_t workers, const BenchConfig& config,
+                   service::SchedulerStats* stats) {
+  util::ThreadPool pool(workers);
+  service::Scheduler scheduler(
+      {workers, /*queue_capacity=*/static_cast<std::size_t>(config.runs) + 8},
+      &pool);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < config.runs; ++i) {
+    auto handle = scheduler.submit(grid_job(i, config.stage_ms));
+    if (!handle.has_value()) {
+      std::cerr << "unexpected admission rejection: "
+                << handle.status().to_string() << "\n";
+      std::exit(1);
+    }
+  }
+  scheduler.drain();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  *stats = scheduler.stats();
+  return wall.count();
+}
+
+/// Full-precision serialization so managed reports compare bitwise.
+std::string fingerprint(const core::ManagedRunReport& report) {
+  std::ostringstream os;
+  os.precision(17);
+  os << report.total_time_s << '|' << report.regrids << '|'
+     << report.repartitions << '|' << report.agent_events << '|'
+     << report.adm_decisions << '|' << report.event_repartitions << '|'
+     << report.migrations << '|' << report.partitioner_switches << '|'
+     << report.cells_advanced << '\n';
+  for (const core::ManagedStepRecord& record : report.records)
+    os << record.step << ';' << record.octant << ';' << record.partitioner
+       << ';' << record.sim_time_s << ';' << record.step_time_s << ';'
+       << record.imbalance << ';' << record.live_nodes << '\n';
+  return os.str();
+}
+
+service::RunSpec managed_base(const BenchConfig& config) {
+  service::RunSpec spec;
+  spec.name = "soak";
+  spec.kind = service::WorkloadKind::kManaged;
+  spec.app.coarse_steps = config.steps;
+  spec.nprocs = 8;
+  spec.capacity_spread = 0.3;
+  spec.with_background_load = true;
+  spec.system_sensitive = true;
+  spec.modeled_partition_s_per_cell = 50e-9;
+  return spec;
+}
+
+/// The determinism gate: N managed runs serial vs concurrent, bitwise.
+bool batch_is_bitwise_reproducible(const BenchConfig& config) {
+  const service::RunSpec base = managed_base(config);
+
+  std::vector<std::string> serial;
+  for (int i = 0; i < config.batch; ++i) {
+    core::ManagedRun run(base.derived(i).to_managed());
+    serial.push_back(fingerprint(run.run()));
+  }
+
+  util::ThreadPool pool(8);
+  service::Scheduler scheduler(
+      {/*workers=*/8,
+       /*queue_capacity=*/static_cast<std::size_t>(config.batch)},
+      &pool);
+  std::vector<service::RunHandle> handles;
+  for (int i = 0; i < config.batch; ++i)
+    handles.push_back(scheduler.submit(base.derived(i)).value());
+
+  bool identical = true;
+  for (int i = 0; i < config.batch; ++i) {
+    const service::RunOutcome& outcome = handles[static_cast<std::size_t>(i)]
+                                             .wait();
+    if (outcome.state != service::RunState::kCompleted) {
+      std::cerr << "determinism gate: run " << i << " ended "
+                << service::to_string(outcome.state) << "\n";
+      identical = false;
+      continue;
+    }
+    if (fingerprint(outcome.managed) != serial[static_cast<std::size_t>(i)]) {
+      std::cerr << "determinism gate: run " << i
+                << " diverged from its serial twin\n";
+      identical = false;
+    }
+  }
+  return identical;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags("Multi-run scheduler throughput and determinism soak.");
+  flags.add_int("runs", 24, "grid jobs per sweep point");
+  flags.add_double("stage-ms", 400.0, "simulated stage-in+out latency per job");
+  flags.add_int("batch", 16, "managed runs in the determinism gate");
+  flags.add_int("steps", 40, "coarse steps per managed run");
+  if (!flags.parse(argc, argv)) return 0;
+
+  BenchConfig config;
+  config.runs = flags.get_int("runs");
+  config.stage_ms = flags.get_double("stage-ms");
+  config.batch = flags.get_int("batch");
+  config.steps = flags.get_int("steps");
+
+  bench::banner("SERVICE", "Multi-run scheduler: throughput and determinism");
+
+  util::BenchJsonWriter json;
+  util::TextTable table({"workers", "wall (s)", "runs/sec", "speedup",
+                         "queue p50 (ms)", "queue p99 (ms)"});
+
+  double serial_wall = 0.0;
+  bool reached_3x = false;
+  double speedup_at_8 = 0.0;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    service::SchedulerStats stats;
+    const double wall = sweep_point(workers, config, &stats);
+    if (workers == 1) serial_wall = wall;
+    const double speedup = serial_wall / wall;
+    if (workers == 8) {
+      speedup_at_8 = speedup;
+      reached_3x = speedup >= 3.0;
+    }
+    const double runs_per_sec = static_cast<double>(config.runs) / wall;
+    table.add_row({util::cell(static_cast<double>(workers), 0),
+                   util::cell(wall, 3), util::cell(runs_per_sec, 2),
+                   util::cell(speedup, 2),
+                   util::cell(stats.queue_p50_s * 1e3, 1),
+                   util::cell(stats.queue_p99_s * 1e3, 1)});
+    std::string entry = "workers-";
+    entry += std::to_string(workers);
+    json.entry(entry)
+        .field("workers", workers)
+        .field("runs", static_cast<std::size_t>(config.runs))
+        .field("wall_s", wall, 4)
+        .field("runs_per_sec", runs_per_sec, 3)
+        .field("speedup_vs_serial", speedup, 3)
+        .field("queue_p50_ms", stats.queue_p50_s * 1e3, 3)
+        .field("queue_p99_ms", stats.queue_p99_s * 1e3, 3);
+  }
+  std::cout << table.render();
+
+  std::cout << "\nDeterminism gate: " << config.batch
+            << " managed runs, concurrent (8 workers) vs serial...\n";
+  const bool identical = batch_is_bitwise_reproducible(config);
+  std::cout << (identical ? "  bitwise identical\n" : "  DIVERGED\n");
+  json.entry("determinism-gate")
+      .field("batch", static_cast<std::size_t>(config.batch))
+      .field("bitwise_identical", identical ? 1 : 0);
+
+  bench::write_bench_json(json, "BENCH_service_throughput.json");
+
+  if (!identical) {
+    std::cerr << "FAIL: concurrent batch is not bitwise reproducible\n";
+    return 1;
+  }
+  if (!reached_3x) {
+    std::cerr << "FAIL: 8 workers reached only " << speedup_at_8
+              << "x the serial throughput (need >= 3x)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -3,14 +3,17 @@
 // Runs the RM3D emulator to produce an adaptation trace, replays it on a
 // simulated cluster under the octant-driven adaptive meta-partitioner and
 // under each static partitioner, and reports run-times, imbalance, octant
-// timeline and partitioner switches.
+// timeline and partitioner switches.  The four replays are submitted to
+// the runtime together and execute concurrently, coalescing their
+// rasterization work through the runtime's shared per-trace cache.
 //
 //   $ ./adaptive_rm3d [--procs 64] [--steps 800] [--timeline]
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "pragma/amr/rm3d.hpp"
-#include "pragma/core/trace_runner.hpp"
-#include "pragma/policy/builtin.hpp"
+#include "pragma/service/runtime.hpp"
 #include "pragma/util/cli.hpp"
 #include "pragma/util/table.hpp"
 
@@ -21,6 +24,7 @@ int main(int argc, char** argv) {
   flags.add_int("procs", 64, "number of processors");
   flags.add_int("steps", 800, "coarse time-steps to simulate");
   flags.add_bool("timeline", false, "print the octant/selection timeline");
+  flags.merge_env("PRAGMA");
   if (!flags.parse(argc, argv)) return 0;
 
   amr::Rm3dConfig app;
@@ -29,33 +33,42 @@ int main(int argc, char** argv) {
             << " coarse steps, regrid every " << app.regrid_interval
             << ")...\n";
   amr::Rm3dEmulator emulator(app);
-  const amr::AdaptationTrace trace = emulator.run();
-  std::cout << trace.size() << " snapshots captured.\n\n";
+  const auto trace =
+      std::make_shared<const amr::AdaptationTrace>(emulator.run());
+  std::cout << trace->size() << " snapshots captured.\n\n";
 
   const auto procs = static_cast<std::size_t>(flags.get_int("procs"));
-  const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(procs);
-  const policy::PolicyBase policies = policy::standard_policy_base();
+  util::ThreadPool pool(4);
+  auto runtime =
+      Runtime::Builder{}.grid({.nprocs = procs}).workers(4).pool(&pool).build();
 
-  core::TraceRunConfig config;
-  config.nprocs = procs;
-  core::TraceRunner runner(trace, cluster, config);
+  RunSpec spec = runtime.spec();
+  spec.kind = service::WorkloadKind::kTraceReplay;
+  spec.trace = trace;
+
+  // One replay per strategy, all in flight at once; results are joined in
+  // submission order so the table reads the same as a serial sweep.
+  std::vector<RunHandle> handles;
+  for (const char* name : {"SFC", "G-MISP+SP", "pBD-ISP", "adaptive"}) {
+    spec.name = name;
+    spec.strategy = name;
+    handles.push_back(runtime.submit(spec).value());
+  }
 
   util::TextTable table({"strategy", "run-time (s)", "mean imbalance",
                          "migration (s)", "partitioning (s)", "switches"});
   table.set_alignment(0, util::Align::kLeft);
-  for (const char* name : {"SFC", "G-MISP+SP", "pBD-ISP"}) {
-    const core::RunSummary run = runner.run_static(name);
+  core::RunSummary adaptive;
+  for (RunHandle& handle : handles) {
+    const core::RunSummary& run = handle.wait().replay;
+    const bool is_adaptive = handle.name() == "adaptive";
     table.add_row({run.label, util::cell(run.runtime_s, 2),
                    util::percent_cell(run.mean_imbalance),
                    util::cell(run.migration_s, 1),
-                   util::cell(run.partition_s, 1), "-"});
+                   util::cell(run.partition_s, 1),
+                   is_adaptive ? util::cell(run.switches) : "-"});
+    if (is_adaptive) adaptive = run;
   }
-  const core::RunSummary adaptive = runner.run_adaptive(policies);
-  table.add_row({adaptive.label, util::cell(adaptive.runtime_s, 2),
-                 util::percent_cell(adaptive.mean_imbalance),
-                 util::cell(adaptive.migration_s, 1),
-                 util::cell(adaptive.partition_s, 1),
-                 util::cell(adaptive.switches)});
   std::cout << table.render();
 
   if (flags.get_bool("timeline")) {

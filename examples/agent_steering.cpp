@@ -5,17 +5,15 @@
 // policy DSL: component agents monitor per-node sensors, publish threshold
 // events, the ADM consolidates them against the policy base, and actuators
 // execute the resulting directives while the cluster's background load and
-// an injected failure evolve underneath.
+// an injected failure evolve underneath.  The standard wiring comes from a
+// service::Workbench — the open-testbed counterpart of pragma::Runtime.
 //
 //   $ ./agent_steering [--nodes 8] [--seconds 400]
 //   $ ./agent_steering --rule "if load >= 0.6 tol 0.05 then action = repartition priority 2"
 #include <iostream>
 
-#include "pragma/agents/mcs.hpp"
-#include "pragma/grid/failure.hpp"
-#include "pragma/grid/loadgen.hpp"
-#include "pragma/policy/builtin.hpp"
 #include "pragma/policy/dsl.hpp"
+#include "pragma/service/workbench.hpp"
 #include "pragma/util/cli.hpp"
 #include "pragma/util/table.hpp"
 
@@ -28,49 +26,38 @@ int main(int argc, char** argv) {
   flags.add_string("rule", "",
                    "extra policy rule in the DSL, e.g. \"if load >= 0.6"
                    " then action = repartition\"");
+  flags.merge_env("PRAGMA");
   if (!flags.parse(argc, argv)) return 0;
   const auto nodes = static_cast<std::size_t>(flags.get_int("nodes"));
 
-  sim::Simulator simulator;
-  util::Rng rng(99, 0);
-  grid::Cluster cluster = grid::ClusterBuilder::heterogeneous(nodes, rng);
-  grid::LoadGeneratorConfig load;
-  load.mean_cpu_load = 0.5;
-  grid::LoadGenerator loadgen(simulator, cluster, load, util::Rng(99, 1));
-  loadgen.start();
+  service::RunSpec spec;
+  spec.name = "agent-steering";
+  spec.app_name = "demo";
+  spec.nprocs = nodes;
+  spec.seed = 99;
+  spec.capacity_spread = 0.35;
+  spec.with_background_load = true;
+  spec.load.mean_cpu_load = 0.5;
 
-  grid::FailureInjector failures(simulator, cluster);
-  failures.schedule_failure(120.0, 1, 60.0);
+  service::Workbench bench(spec);
+  bench.failures().schedule_failure(120.0, 1, 60.0);
 
-  // The programmable policy base: built-ins plus an optional user rule.
-  policy::PolicyBase policies = policy::standard_policy_base();
+  // The programmable policy base: built-ins plus an optional user rule,
+  // installed before the environment is built so the ADM consults it.
   if (!flags.get_string("rule").empty()) {
     policy::Policy rule =
         policy::parse_rule(flags.get_string("rule"), "user_rule");
     std::cout << "Installed user rule: " << policy::format_rule(rule)
               << "\n";
-    policies.add(std::move(rule));
+    bench.policies().add(std::move(rule));
   }
 
-  agents::Mcs mcs(simulator, policies);
-  agents::EnvTemplate blueprint;
-  blueprint.name = "steering-demo";
-  blueprint.provides["arch"] = policy::Value{"linux-cluster"};
-  blueprint.provides["nodes"] =
-      policy::Value{static_cast<double>(nodes)};
-  mcs.registry().register_template(blueprint);
-
-  agents::AppSpec spec;
-  spec.name = "demo";
-  spec.requirements["arch"] = policy::Value{"linux-cluster"};
-  for (std::size_t c = 0; c < nodes; ++c)
-    spec.components.push_back("c" + std::to_string(c));
-  auto environment = mcs.build(spec);
-
+  agents::Environment& environment = bench.environment();
+  grid::Cluster& cluster = bench.cluster();
   int repartitions = 0;
   int migrations = 0;
-  for (std::size_t c = 0; c < environment->agent_count(); ++c) {
-    agents::ComponentAgent& agent = environment->agent(c);
+  for (std::size_t c = 0; c < environment.agent_count(); ++c) {
+    agents::ComponentAgent& agent = environment.agent(c);
     const auto node = static_cast<grid::NodeId>(c);
     agent.add_sensor({"load", [&cluster, node] {
                         return cluster.node(node).state().background_load;
@@ -89,24 +76,24 @@ int main(int argc, char** argv) {
                           ++migrations;
                         }});
   }
-  environment->start();
-  simulator.run(static_cast<double>(flags.get_int("seconds")));
+  environment.start();
+  bench.advance(static_cast<double>(flags.get_int("seconds")));
 
   std::cout << "\nAfter " << flags.get_int("seconds")
             << " simulated seconds:\n";
   util::TextTable table({"metric", "value"});
   table.set_alignment(0, util::Align::kLeft);
   table.add_row({"ADM decisions",
-                 util::cell(environment->adm().decisions().size())});
+                 util::cell(environment.adm().decisions().size())});
   table.add_row({"repartition actuations", util::cell(repartitions)});
   table.add_row({"migrate actuations (incl. failure response)",
                  util::cell(migrations)});
   table.add_row({"messages through the Message Center",
-                 util::cell(environment->message_center().sent_count())});
+                 util::cell(environment.message_center().sent_count())});
   std::cout << table.render();
 
   std::cout << "\nLast 5 ADM decisions:\n";
-  const auto& decisions = environment->adm().decisions();
+  const auto& decisions = environment.adm().decisions();
   const std::size_t start = decisions.size() > 5 ? decisions.size() - 5 : 0;
   for (std::size_t d = start; d < decisions.size(); ++d)
     std::cout << "  t=" << util::cell(decisions[d].time, 1) << "s  "

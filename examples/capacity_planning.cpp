@@ -3,14 +3,17 @@
 // counts, fit the composed scalability PF, project the performance of
 // unseen configurations, and validate the projection against actual
 // (simulated) runs — then recommend the cheapest near-optimal
-// configuration.
+// configuration.  Each measurement is one replay submitted to the runtime;
+// a sweep's runs execute concurrently against the shared trace cache.
 //
 //   $ ./capacity_planning [--max-procs 128]
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "pragma/amr/rm3d.hpp"
-#include "pragma/core/trace_runner.hpp"
 #include "pragma/perf/app_model.hpp"
+#include "pragma/service/runtime.hpp"
 #include "pragma/util/cli.hpp"
 #include "pragma/util/table.hpp"
 
@@ -18,16 +21,31 @@ using namespace pragma;
 
 namespace {
 
-double measured_step_time(const amr::AdaptationTrace& trace,
-                          std::size_t procs) {
-  const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(procs);
-  core::TraceRunConfig config;
-  config.nprocs = procs;
-  core::TraceRunner runner(trace, cluster, config);
-  const core::RunSummary run = runner.run_static("G-MISP+SP");
+/// Submits one G-MISP+SP replay per processor count and returns the
+/// measured mean step times, joined in sweep order.
+std::vector<double> measure_sweep(
+    Runtime& runtime, const std::shared_ptr<const amr::AdaptationTrace>& trace,
+    const std::vector<std::size_t>& proc_counts) {
+  RunSpec spec = runtime.spec();
+  spec.kind = service::WorkloadKind::kTraceReplay;
+  spec.trace = trace;
+  spec.strategy = "G-MISP+SP";
+
+  std::vector<RunHandle> handles;
+  for (std::size_t procs : proc_counts) {
+    spec.name = "measure-" + std::to_string(procs);
+    spec.nprocs = procs;
+    handles.push_back(runtime.submit(spec).value());
+  }
+
   const auto steps = static_cast<double>(
-      trace.at(trace.size() - 1).step - trace.at(0).step);
-  return (run.compute_s + run.comm_s) / steps;
+      trace->at(trace->size() - 1).step - trace->at(0).step);
+  std::vector<double> step_times;
+  for (RunHandle& handle : handles) {
+    const core::RunSummary& run = handle.wait().replay;
+    step_times.push_back((run.compute_s + run.comm_s) / steps);
+  }
+  return step_times;
 }
 
 }  // namespace
@@ -37,18 +55,25 @@ int main(int argc, char** argv) {
                        " counts.");
   flags.add_int("max-procs", 128, "largest configuration to consider");
   flags.add_int("steps", 160, "coarse steps of the measured kernel");
+  flags.merge_env("PRAGMA");
   if (!flags.parse(argc, argv)) return 0;
 
   amr::Rm3dConfig app;
   app.coarse_steps = static_cast<int>(flags.get_int("steps"));
-  const amr::AdaptationTrace trace = amr::Rm3dEmulator(app).run();
+  const auto trace =
+      std::make_shared<const amr::AdaptationTrace>(amr::Rm3dEmulator(app).run());
+
+  util::ThreadPool pool(4);
+  auto runtime = Runtime::Builder{}.workers(4).pool(&pool).build();
 
   // Measure a handful of configurations ("experimental techniques to
   // obtain the PF").
   std::cout << "Measuring training configurations...\n";
+  const std::vector<std::size_t> training{4, 8, 16, 32};
   std::vector<perf::AppSample> samples;
-  for (std::size_t p : {4u, 8u, 16u, 32u})
-    samples.push_back({p, measured_step_time(trace, p)});
+  std::vector<double> trained_times = measure_sweep(runtime, trace, training);
+  for (std::size_t i = 0; i < training.size(); ++i)
+    samples.push_back({training[i], trained_times[i]});
 
   const perf::ScalabilityPf pf = perf::ScalabilityPf::fit(samples);
   std::cout << "Fitted PF coefficients (serial, parallel, surface, sync): ";
@@ -57,11 +82,15 @@ int main(int argc, char** argv) {
             << util::percent_cell(pf.training_error(), 2) << "\n\n";
 
   // Validate the projection at held-out configurations.
+  const std::vector<std::size_t> validation{4, 8, 16, 24, 32, 48, 64};
+  const std::vector<double> measured_times =
+      measure_sweep(runtime, trace, validation);
   util::TextTable table({"procs", "predicted step (s)", "measured step (s)",
                          "error", "in training set?"});
-  for (std::size_t p : {4u, 8u, 16u, 24u, 32u, 48u, 64u}) {
+  for (std::size_t i = 0; i < validation.size(); ++i) {
+    const std::size_t p = validation[i];
     const double predicted = pf.predict(p);
-    const double measured = measured_step_time(trace, p);
+    const double measured = measured_times[i];
     const bool trained = p == 4 || p == 8 || p == 16 || p == 32;
     table.add_row({util::cell(static_cast<long long>(p)),
                    util::cell(predicted, 4), util::cell(measured, 4),

@@ -12,43 +12,48 @@
 //                      [--drop 0.05] [--checkpoint 25]
 #include <iostream>
 
-#include "pragma/core/managed_run.hpp"
+#include "pragma/service/runtime.hpp"
 #include "pragma/util/cli.hpp"
 #include "pragma/util/table.hpp"
 
 using namespace pragma;
 
 int main(int argc, char** argv) {
+  service::RunSpec base;
+  base.name = "chaos-recovery";
+  base.app.coarse_steps = 200;
+  base.with_background_load = true;
+  base.system_sensitive = true;
+  base.ft.enabled = true;
+  base.ft.channel.drop_probability = 0.05;
+  base.ft.checkpoint_interval_s = 25.0;
+
   util::CliFlags flags("Fault-tolerant managed execution with recovery.");
-  flags.add_int("procs", 16, "number of processors");
-  flags.add_int("steps", 200, "coarse time-steps");
+  service::add_run_flags(flags, base);
   flags.add_double("fail-at", 60.0,
                    "simulated seconds until node 3 fails (<0: no failure)");
   flags.add_double("downtime", 120.0, "failure downtime in seconds");
-  flags.add_double("drop", 0.05, "control-message drop probability");
-  flags.add_double("checkpoint", 25.0, "save-state interval in seconds");
+  flags.merge_env("PRAGMA");
   if (!flags.parse(argc, argv)) return 0;
 
-  core::ManagedRunConfig config;
-  config.app.coarse_steps = static_cast<int>(flags.get_int("steps"));
-  config.nprocs = static_cast<std::size_t>(flags.get_int("procs"));
-  config.with_background_load = true;
-  config.system_sensitive = true;
-  config.ft.enabled = true;
-  config.ft.channel.drop_probability = flags.get_double("drop");
-  config.ft.channel.jitter_s = 2.0 * config.exec.message_latency_s;
-  config.ft.checkpoint_interval_s = flags.get_double("checkpoint");
-
-  core::ManagedRun managed(config);
+  service::RunSpec spec = service::spec_from_flags(flags, base);
+  spec.ft.channel.jitter_s = 2.0 * spec.exec.message_latency_s;
   if (flags.get_double("fail-at") >= 0.0)
-    managed.schedule_failure(flags.get_double("fail-at"), 3,
-                             flags.get_double("downtime"));
+    spec.failures.push_back(
+        {flags.get_double("fail-at"), 3, flags.get_double("downtime")});
 
-  std::cout << "Running " << config.app.coarse_steps
-            << " managed coarse steps on " << config.nprocs
+  auto runtime = Runtime::Builder{}.obs(spec.obs).build();
+
+  std::cout << "Running " << spec.app.coarse_steps
+            << " managed coarse steps on " << spec.nprocs
             << " nodes over a lossy control network (drop "
-            << flags.get_double("drop") << ")...\n";
-  const core::ManagedRunReport report = managed.run();
+            << spec.ft.channel.drop_probability << ")...\n";
+  const service::RunOutcome outcome = runtime.run(spec);
+  if (outcome.state != service::RunState::kCompleted) {
+    std::cerr << "run failed: " << outcome.status.to_string() << "\n";
+    return 1;
+  }
+  const core::ManagedRunReport& report = outcome.managed;
 
   util::TextTable table({"metric", "value"});
   table.set_alignment(0, util::Align::kLeft);

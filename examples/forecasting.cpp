@@ -1,15 +1,15 @@
 // Resource forecasting (Section 3.1): the NWS-style adaptive forecaster.
 //
-// Monitors a loaded cluster node, then compares the forecaster-ensemble
-// members and the adaptive selector on the resulting CPU-availability
-// series, and on three synthetic regimes (stationary noise, trend,
-// regime switches) that favor different members.
+// Monitors a loaded cluster node (standard wiring from a
+// service::Workbench), then compares the forecaster-ensemble members and
+// the adaptive selector on the resulting CPU-availability series, and on
+// three synthetic regimes (stationary noise, trend, regime switches) that
+// favor different members.
 //
 //   $ ./forecasting [--seconds 600]
 #include <iostream>
 
-#include "pragma/grid/loadgen.hpp"
-#include "pragma/monitor/resource_monitor.hpp"
+#include "pragma/service/workbench.hpp"
 #include "pragma/util/cli.hpp"
 #include "pragma/util/table.hpp"
 
@@ -50,19 +50,21 @@ void evaluate(const std::string& label, const std::vector<double>& series) {
 int main(int argc, char** argv) {
   util::CliFlags flags("Forecaster ensemble evaluation.");
   flags.add_int("seconds", 600, "simulated monitoring duration");
+  flags.merge_env("PRAGMA");
   if (!flags.parse(argc, argv)) return 0;
 
   // Real monitored series from the testbed.
-  sim::Simulator simulator;
-  util::Rng rng(5, 0);
-  grid::Cluster cluster = grid::ClusterBuilder::heterogeneous(4, rng);
-  grid::LoadGenerator loadgen(simulator, cluster, {}, util::Rng(5, 1));
-  monitor::ResourceMonitor nws(simulator, cluster, {}, util::Rng(5, 2));
-  loadgen.start();
-  nws.start();
-  simulator.run(static_cast<double>(flags.get_int("seconds")));
+  service::RunSpec spec;
+  spec.name = "forecasting";
+  spec.nprocs = 4;
+  spec.seed = 5;
+  spec.capacity_spread = 0.35;
+  spec.with_background_load = true;
+  service::Workbench bench(spec);
+  bench.start_monitoring();
+  bench.advance(static_cast<double>(flags.get_int("seconds")));
   evaluate("Monitored CPU availability (node 0)",
-           nws.series(0, monitor::Resource::kCpu).values());
+           bench.monitor().series(0, monitor::Resource::kCpu).values());
 
   // Synthetic regimes.
   util::Rng gen(123);

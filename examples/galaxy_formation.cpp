@@ -7,14 +7,17 @@
 // systems), traversing the octant space in the opposite direction to the
 // shock-driven RM3D problem.  This example runs the merging emulator,
 // shows the octant migration, and compares the adaptive meta-partitioner
-// against the statics on the resulting trace.
+// against the statics on the resulting trace — all four replays submitted
+// to the runtime at once.
 //
 //   $ ./galaxy_formation [--clumps 48] [--steps 400] [--procs 32]
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "pragma/amr/galaxy.hpp"
-#include "pragma/core/trace_runner.hpp"
-#include "pragma/policy/builtin.hpp"
+#include "pragma/octant/octant.hpp"
+#include "pragma/service/runtime.hpp"
 #include "pragma/util/cli.hpp"
 #include "pragma/util/table.hpp"
 
@@ -25,6 +28,7 @@ int main(int argc, char** argv) {
   flags.add_int("clumps", 48, "initial clump population");
   flags.add_int("steps", 400, "coarse time-steps");
   flags.add_int("procs", 32, "number of processors");
+  flags.merge_env("PRAGMA");
   if (!flags.parse(argc, argv)) return 0;
 
   amr::GalaxyConfig config;
@@ -33,7 +37,8 @@ int main(int argc, char** argv) {
   amr::GalaxyEmulator emulator(config);
   std::cout << "Simulating hierarchical merging of " << config.clumps
             << " clumps over " << config.coarse_steps << " steps...\n";
-  const amr::AdaptationTrace trace = emulator.run();
+  const auto trace =
+      std::make_shared<const amr::AdaptationTrace>(emulator.run());
   std::cout << "Final population: " << emulator.clumps().size()
             << " systems (total mass conserved at "
             << util::cell(emulator.total_mass(), 2) << ").\n\n";
@@ -43,13 +48,13 @@ int main(int argc, char** argv) {
   std::cout << "Application state along the run:\n";
   util::TextTable timeline({"step", "octant", "scatter", "dynamics",
                             "refined boxes", "Table 2 choice"});
-  for (std::size_t i = 0; i < trace.size();
-       i += std::max<std::size_t>(1, trace.size() / 10)) {
-    const octant::OctantState state = classifier.classify(trace, i);
+  for (std::size_t i = 0; i < trace->size();
+       i += std::max<std::size_t>(1, trace->size() / 10)) {
+    const octant::OctantState state = classifier.classify(*trace, i);
     std::size_t boxes = 0;
-    const amr::GridHierarchy& h = trace.at(i).hierarchy;
+    const amr::GridHierarchy& h = trace->at(i).hierarchy;
     for (int l = 1; l < h.num_levels(); ++l) boxes += h.level(l).box_count();
-    timeline.add_row({util::cell(trace.at(i).step),
+    timeline.add_row({util::cell(trace->at(i).step),
                       octant::to_string(state.octant()),
                       util::cell(state.scatter_score, 2),
                       util::cell(state.dynamics_score, 2),
@@ -58,28 +63,34 @@ int main(int argc, char** argv) {
   }
   std::cout << timeline.render();
 
-  // Partitioning strategies on this trace.
+  // Partitioning strategies on this trace, replayed concurrently.
   const auto procs = static_cast<std::size_t>(flags.get_int("procs"));
-  const grid::Cluster cluster = grid::ClusterBuilder::homogeneous(procs);
-  const policy::PolicyBase policies = policy::standard_policy_base();
-  core::TraceRunConfig run_config;
-  run_config.nprocs = procs;
-  core::TraceRunner runner(trace, cluster, run_config);
+  util::ThreadPool pool(4);
+  auto runtime =
+      Runtime::Builder{}.grid({.nprocs = procs}).workers(4).pool(&pool).build();
+  RunSpec spec = runtime.spec();
+  spec.kind = service::WorkloadKind::kTraceReplay;
+  spec.trace = trace;
+
+  std::vector<RunHandle> handles;
+  for (const char* name : {"SFC", "G-MISP+SP", "pBD-ISP", "adaptive"}) {
+    spec.name = name;
+    spec.strategy = name;
+    handles.push_back(runtime.submit(spec).value());
+  }
 
   std::cout << "\nPartitioning strategies on the galaxy trace ("
             << procs << " procs):\n";
   util::TextTable results({"strategy", "run-time (s)", "mean imbalance",
                            "switches"});
   results.set_alignment(0, util::Align::kLeft);
-  for (const char* name : {"SFC", "G-MISP+SP", "pBD-ISP"}) {
-    const core::RunSummary run = runner.run_static(name);
+  for (RunHandle& handle : handles) {
+    const core::RunSummary& run = handle.wait().replay;
+    const bool is_adaptive = handle.name() == "adaptive";
     results.add_row({run.label, util::cell(run.runtime_s, 2),
-                     util::percent_cell(run.mean_imbalance), "-"});
+                     util::percent_cell(run.mean_imbalance),
+                     is_adaptive ? util::cell(run.switches) : "-"});
   }
-  const core::RunSummary adaptive = runner.run_adaptive(policies);
-  results.add_row({adaptive.label, util::cell(adaptive.runtime_s, 2),
-                   util::percent_cell(adaptive.mean_imbalance),
-                   util::cell(adaptive.switches)});
   std::cout << results.render()
             << "\nThe same Table 2 policies manage both applications"
                " unchanged — the\noctant abstraction is what makes the"

@@ -1,13 +1,14 @@
 // Wide-area grid execution: why placement matters on a federation.
 //
 // The paper targets "widely distributed, highly heterogeneous and dynamic,
-// networked computational grids".  This example builds a two-site
-// federation joined by a slow WAN link, partitions an RM3D hierarchy with
-// the suite, and compares two placements of the resulting chunks onto
-// nodes: site-contiguous (consecutive SFC chunks land in the same site, so
-// almost all ghost traffic stays on the LANs) versus interleaved
-// (round-robin across sites, dragging every other ghost face across the
-// WAN).
+// networked computational grids".  This example asks the runtime for a
+// two-site federation joined by a slow WAN link (the GridSpec is the same
+// machine description every submitted run would inherit), partitions an
+// RM3D hierarchy with the suite, and compares two placements of the
+// resulting chunks onto nodes: site-contiguous (consecutive SFC chunks
+// land in the same site, so almost all ghost traffic stays on the LANs)
+// versus interleaved (round-robin across sites, dragging every other
+// ghost face across the WAN).
 //
 //   $ ./grid_federation [--sites 2] [--nodes-per-site 16] [--wan-mbps 20]
 #include <iostream>
@@ -15,6 +16,7 @@
 
 #include "pragma/amr/rm3d.hpp"
 #include "pragma/core/exec_model.hpp"
+#include "pragma/service/runtime.hpp"
 #include "pragma/util/cli.hpp"
 #include "pragma/util/table.hpp"
 
@@ -25,14 +27,19 @@ int main(int argc, char** argv) {
   flags.add_int("sites", 2, "number of grid sites");
   flags.add_int("nodes-per-site", 16, "nodes per site");
   flags.add_double("wan-mbps", 20.0, "WAN bandwidth between sites");
+  flags.merge_env("PRAGMA");
   if (!flags.parse(argc, argv)) return 0;
 
   const auto sites = static_cast<std::size_t>(flags.get_int("sites"));
   const auto per_site =
       static_cast<std::size_t>(flags.get_int("nodes-per-site"));
   const std::size_t nprocs = sites * per_site;
-  grid::Cluster cluster = grid::ClusterBuilder::federated(
-      sites, per_site, 1.0, 1000.0, flags.get_double("wan-mbps"));
+  auto runtime = Runtime::Builder{}
+                     .grid({.nprocs = nprocs,
+                            .sites = sites,
+                            .wan_mbps = flags.get_double("wan-mbps")})
+                     .build();
+  const grid::Cluster& cluster = runtime.cluster();
 
   // An RM3D snapshot in the developed-mixing phase.
   amr::Rm3dConfig app;

@@ -3,12 +3,14 @@
 // Builds a heterogeneous Linux-cluster model with a synthetic background
 // load, monitors it NWS-style, computes relative capacities (Fig. 4), and
 // compares capacity-proportional against equal workload distribution.
+// The experiment is submitted to the runtime as one system-sensitive run.
 //
 //   $ ./heterogeneous_cluster [--nodes 16] [--spread 0.35] [--dynamic]
 #include <iostream>
+#include <memory>
 
 #include "pragma/amr/rm3d.hpp"
-#include "pragma/core/system_sensitive.hpp"
+#include "pragma/service/runtime.hpp"
 #include "pragma/util/cli.hpp"
 #include "pragma/util/table.hpp"
 
@@ -22,23 +24,34 @@ int main(int argc, char** argv) {
                  "recompute capacities at every regrid (paper computes them"
                  " once)");
   flags.add_int("steps", 200, "coarse steps of the RM3D kernel");
+  flags.merge_env("PRAGMA");
   if (!flags.parse(argc, argv)) return 0;
 
   amr::Rm3dConfig app;
   app.coarse_steps = static_cast<int>(flags.get_int("steps"));
-  const amr::AdaptationTrace trace = amr::Rm3dEmulator(app).run();
+  const auto trace =
+      std::make_shared<const amr::AdaptationTrace>(amr::Rm3dEmulator(app).run());
 
-  core::SystemSensitiveConfig config;
-  config.nprocs = static_cast<std::size_t>(flags.get_int("nodes"));
-  config.capacity_spread = flags.get_double("spread");
-  config.dynamic_capacities = flags.get_bool("dynamic");
+  auto runtime = Runtime::Builder{}.build();
+  RunSpec spec = runtime.spec();
+  spec.name = "system-sensitive";
+  spec.kind = service::WorkloadKind::kSystemSensitive;
+  spec.trace = trace;
+  spec.nprocs = static_cast<std::size_t>(flags.get_int("nodes"));
+  spec.capacity_spread = flags.get_double("spread");
+  spec.dynamic_capacities = flags.get_bool("dynamic");
+  spec.seed = 11;  // the experiment's curated seed (Section 4.6 tables)
 
-  const core::SystemSensitiveResult result =
-      core::run_system_sensitive_experiment(trace, config);
+  const service::RunOutcome outcome = runtime.run(spec);
+  if (outcome.state != service::RunState::kCompleted) {
+    std::cerr << "run failed: " << outcome.status.to_string() << "\n";
+    return 1;
+  }
+  const core::SystemSensitiveResult& result = outcome.system_sensitive;
 
   std::cout << "Relative capacities ("
-            << (config.dynamic_capacities ? "recomputed each regrid"
-                                          : "computed once at start")
+            << (spec.dynamic_capacities ? "recomputed each regrid"
+                                        : "computed once at start")
             << "):\n";
   util::TextTable capacities({"node", "capacity share"});
   for (std::size_t n = 0; n < result.capacities.size(); ++n)

@@ -5,9 +5,13 @@
 // meta-partitioner repartitions at regrids, NWS-derived capacities weight
 // the distribution, component agents watch load/liveness sensors, and the
 // ADM's consolidated decisions trigger out-of-band repartitioning and
-// failure recovery.
+// failure recovery.  The whole workload is one RunSpec handed to the
+// pragma::Runtime facade.
 //
 //   $ ./managed_execution [--procs 16] [--steps 200] [--fail-at 60]
+//
+// Every flag can also be set through the environment (PRAGMA_STEPS=60,
+// PRAGMA_OBS_TRACE=1, ...); explicit command-line flags win.
 //
 // Observability: add --obs-trace to record spans across the run and write
 // a chrome://tracing JSON file at exit, --obs-metrics for the counter/
@@ -20,64 +24,54 @@
 // reference).
 #include <iostream>
 
-#include "pragma/core/managed_run.hpp"
 #include "pragma/obs/obs.hpp"
+#include "pragma/service/runtime.hpp"
 #include "pragma/util/cli.hpp"
 #include "pragma/util/table.hpp"
 
 using namespace pragma;
 
 int main(int argc, char** argv) {
+  // The defaults this example ships with; add_run_flags turns each into a
+  // --flag so the spec, the CLI, and the environment stay one surface.
+  service::RunSpec base;
+  base.name = "managed-execution";
+  base.app.coarse_steps = 200;
+  base.capacity_spread = 0.35;
+  base.with_background_load = true;
+  base.system_sensitive = true;
+  // A lossy control network (when --ft enables it) so the reliable channel
+  // actually retries — together with durable checkpoints this exercises
+  // every obs-instrumented subsystem (seeded, so still reproducible).
+  base.ft.channel.drop_probability = 0.05;
+  base.persist.dir = "pragma-smoke-checkpoints";
+
   util::CliFlags flags("Fully managed Pragma execution.");
-  flags.add_int("procs", 16, "number of processors");
-  flags.add_int("steps", 200, "coarse time-steps");
+  service::add_run_flags(flags, base);
   flags.add_double("fail-at", 60.0,
                    "simulated seconds until node 3 fails (<0: no failure)");
   flags.add_double("downtime", 120.0, "failure downtime in seconds");
-  flags.add_bool("proactive", false,
-                 "use capacity forecasts instead of current readings");
-  flags.add_bool("deterministic", false,
-                 "model the partitioner cost instead of measuring wall "
-                 "clock, making the output reproducible");
-  flags.add_bool("ft", false,
-                 "fault-tolerant control plane: lossy messaging with "
-                 "reliable directives, heartbeat detection, and durable "
-                 "checkpoints under --ft-dir");
-  flags.add_string("ft-dir", "pragma-smoke-checkpoints",
-                   "checkpoint directory for --ft");
-  obs::add_cli_flags(flags);
+  flags.merge_env("PRAGMA");
   if (!flags.parse(argc, argv)) return 0;
 
-  core::ManagedRunConfig config;
-  config.app.coarse_steps = static_cast<int>(flags.get_int("steps"));
-  config.nprocs = static_cast<std::size_t>(flags.get_int("procs"));
-  config.capacity_spread = 0.35;
-  config.with_background_load = true;
-  config.system_sensitive = true;
-  config.proactive = flags.get_bool("proactive");
-  if (flags.get_bool("deterministic"))
-    config.modeled_partition_s_per_cell = 50e-9;
-  if (flags.get_bool("ft")) {
-    // A lossy control network so the reliable channel actually retries,
-    // plus durable checkpoints — together they exercise every obs-
-    // instrumented subsystem (seeded, so still reproducible).
-    config.ft.enabled = true;
-    config.ft.channel.drop_probability = 0.05;
-    config.persist.enabled = true;
-    config.persist.dir = flags.get_string("ft-dir");
-  }
-  config.obs = obs::config_from_flags(flags, obs::config_from_env());
-
-  core::ManagedRun managed(config);
+  service::RunSpec spec = service::spec_from_flags(flags, base);
+  spec.persist.enabled = spec.ft.enabled;
   if (flags.get_double("fail-at") >= 0.0)
-    managed.schedule_failure(flags.get_double("fail-at"), 3,
-                             flags.get_double("downtime"));
+    spec.failures.push_back(
+        {flags.get_double("fail-at"), 3, flags.get_double("downtime")});
 
-  std::cout << "Running " << config.app.coarse_steps
-            << " managed coarse steps on " << config.nprocs
+  auto runtime = Runtime::Builder{}.obs(spec.obs).build();
+
+  std::cout << "Running " << spec.app.coarse_steps
+            << " managed coarse steps on " << spec.nprocs
             << " heterogeneous nodes"
-            << (config.proactive ? " (proactive capacities)" : "") << "...\n";
-  const core::ManagedRunReport report = managed.run();
+            << (spec.proactive ? " (proactive capacities)" : "") << "...\n";
+  const service::RunOutcome outcome = runtime.run(spec);
+  if (outcome.state != service::RunState::kCompleted) {
+    std::cerr << "run failed: " << outcome.status.to_string() << "\n";
+    return 1;
+  }
+  const core::ManagedRunReport& report = outcome.managed;
 
   util::TextTable table({"metric", "value"});
   table.set_alignment(0, util::Align::kLeft);
@@ -110,7 +104,7 @@ int main(int argc, char** argv) {
                " its phases.\n";
 
   // Artifacts go to stderr so stdout stays byte-stable for diffing.
-  for (const std::string& line : obs::export_artifacts(config.obs))
+  for (const std::string& line : obs::export_artifacts(spec.obs))
     std::cerr << line << "\n";
   return 0;
 }

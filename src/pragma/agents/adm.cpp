@@ -1,5 +1,6 @@
 #include "pragma/agents/adm.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 #include "pragma/obs/flight_recorder.hpp"
@@ -22,8 +23,10 @@ Adm::Adm(sim::Simulator& simulator, MessageCenter& center,
       center_(center),
       policies_(policies),
       config_(std::move(config)) {
-  center_.register_port(config_.port,
-                        [this](const Message& m) { on_event(m); });
+  util::Status registered = center_.register_port(
+      config_.port, [this](const Message& m) { on_event(m); });
+  if (!registered.is_ok())
+    throw std::invalid_argument("Adm: " + registered.to_string());
   center_.subscribe(config_.event_topic, config_.port);
 }
 

@@ -1,5 +1,6 @@
 #include "pragma/agents/component_agent.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 #include "pragma/obs/flight_recorder.hpp"
@@ -29,8 +30,10 @@ ComponentAgent::ComponentAgent(sim::Simulator& simulator,
       port_(std::move(port)),
       event_topic_(std::move(event_topic)),
       period_(sample_period_s) {
-  center_.register_port(port_,
-                        [this](const Message& m) { on_message(m); });
+  util::Status registered = center_.register_port(
+      port_, [this](const Message& m) { on_message(m); });
+  if (!registered.is_ok())
+    throw std::invalid_argument("ComponentAgent: " + registered.to_string());
 }
 
 void ComponentAgent::add_sensor(Sensor sensor) {

@@ -1,5 +1,6 @@
 #include "pragma/agents/heartbeat.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 #include "pragma/obs/flight_recorder.hpp"
@@ -26,7 +27,10 @@ HeartbeatDetector::HeartbeatDetector(sim::Simulator& simulator,
       center_(center),
       config_(std::move(config)),
       port_(std::move(port)) {
-  center_.register_port(port_, [this](const Message& m) { on_beat(m); });
+  util::Status registered =
+      center_.register_port(port_, [this](const Message& m) { on_beat(m); });
+  if (!registered.is_ok())
+    throw std::invalid_argument("HeartbeatDetector: " + registered.to_string());
   center_.subscribe(config_.topic, port_);
 }
 

@@ -32,8 +32,13 @@ MessageCenter::MessageCenter(sim::Simulator& simulator,
                              double delivery_latency_s)
     : simulator_(simulator), latency_(delivery_latency_s) {}
 
-void MessageCenter::register_port(const PortId& port, Handler handler) {
-  Port& entry = ports_[port];
+util::Status MessageCenter::register_port(const PortId& port,
+                                          Handler handler) {
+  const auto it = ports_.find(port);
+  if (it != ports_.end() && it->second.handler)
+    return util::Status::failed_precondition(
+        "port already registered with a handler: " + port);
+  Port& entry = it != ports_.end() ? it->second : ports_[port];
   entry.handler = std::move(handler);
   // A port that queued messages while poll-only must not strand them when
   // a handler takes over: flush in FIFO order.  (They were already counted
@@ -42,6 +47,7 @@ void MessageCenter::register_port(const PortId& port, Handler handler) {
     std::deque<Message> queued = std::exchange(entry.mailbox, {});
     for (Message& message : queued) entry.handler(message);
   }
+  return util::Status::ok();
 }
 
 void MessageCenter::unregister_port(const PortId& port) {

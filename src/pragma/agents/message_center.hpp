@@ -21,6 +21,7 @@
 
 #include "pragma/agents/message.hpp"
 #include "pragma/util/rng.hpp"
+#include "pragma/util/status.hpp"
 
 namespace pragma::agents {
 
@@ -55,10 +56,15 @@ class MessageCenter {
 
   MessageCenter(sim::Simulator& simulator, double delivery_latency_s = 1e-3);
 
-  /// Create (or re-register) a port.  A null handler makes it poll-only.
-  /// Re-registration preserves the queued mailbox: messages received while
-  /// the port was poll-only are handed to the new handler in FIFO order.
-  void register_port(const PortId& port, Handler handler = nullptr);
+  /// Create a port.  A null handler makes it poll-only.  Attaching a
+  /// handler to an existing poll-only port is allowed and preserves the
+  /// queued mailbox: messages received while the port was poll-only are
+  /// handed to the new handler in FIFO order.  Registering over a port
+  /// that already has a handler returns failed-precondition and leaves the
+  /// existing registration untouched — with several runs multiplexed over
+  /// one center, a name collision must surface instead of silently
+  /// stealing another run's traffic.
+  util::Status register_port(const PortId& port, Handler handler = nullptr);
 
   /// Remove a port.  Messages still queued in its mailbox are counted as
   /// dropped; in-flight messages addressed to it will also drop on

@@ -38,8 +38,7 @@ ManagedRun::ManagedRun(ManagedRunConfig config)
   }
   failures_ = std::make_unique<grid::FailureInjector>(simulator_, cluster_);
   nws_ = std::make_unique<monitor::ResourceMonitor>(
-      simulator_, cluster_, monitor::ResourceMonitorConfig{},
-      util::Rng(config_.seed, 3));
+      simulator_, cluster_, config_.monitor, util::Rng(config_.seed, 3));
   nws_->start();
   // Prime the monitor so the very first capacity calculation sees real
   // readings instead of empty series.
@@ -57,7 +56,7 @@ ManagedRun::ManagedRun(ManagedRunConfig config)
   mcs_->registry().register_template(blueprint);
 
   agents::AppSpec spec;
-  spec.name = "rm3d";
+  spec.name = config_.app_name;
   spec.requirements["arch"] = policy::Value{std::string("linux-cluster")};
   spec.sample_period_s = config_.agent_period_s;
   for (std::size_t c = 0; c < config_.nprocs; ++c)
@@ -549,6 +548,10 @@ ManagedRunReport ManagedRun::run() {
   }
 
   while (emulator_.step() < config_.app.coarse_steps) {
+    // Cooperative cancellation (service layer): break out at the step
+    // boundary but fall through to the final accounting below, so the
+    // partial report is internally consistent.
+    if (cancel_.load(std::memory_order_relaxed)) break;
     // Crash injection for the kill-restart soak: abandon the run the way
     // SIGKILL would — no final accounting, no flushing.  Only checkpoints
     // already durably written survive.

@@ -30,6 +30,7 @@
 // byte.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -47,6 +48,7 @@
 #include "pragma/grid/loadgen.hpp"
 #include "pragma/io/checkpoint.hpp"
 #include "pragma/monitor/capacity.hpp"
+#include "pragma/monitor/resource_monitor.hpp"
 #include "pragma/obs/obs.hpp"
 
 namespace pragma::core {
@@ -130,6 +132,9 @@ struct ManagedRunConfig {
   /// plain NWS consumption).
   bool proactive = false;
   monitor::CapacityWeights weights{0.8, 0.1, 0.1};
+  /// NWS-style monitor cadence/noise/history.  The default reproduces the
+  /// original hard-wired monitor exactly.
+  monitor::ResourceMonitorConfig monitor;
   ExecModelConfig exec;
   MetaPartitionerConfig meta;
   /// Agent sampling period and load threshold for out-of-band events.
@@ -148,6 +153,11 @@ struct ManagedRunConfig {
   /// into the process-wide obs facilities at construction; the default
   /// (all off) leaves global state untouched, so runs stay byte-identical.
   obs::ObsConfig obs;
+  /// Application name: prefixes every control-network port and topic.
+  /// Port names feed ordered containers inside the message center, so a
+  /// different name changes event interleaving — keep the default for
+  /// byte-compatibility with existing seeded runs.
+  std::string app_name = "rm3d";
 };
 
 /// One regrid-interval record of a managed run.
@@ -219,6 +229,14 @@ class ManagedRun {
 
   /// Execute the whole configured application run.
   [[nodiscard]] ManagedRunReport run();
+
+  /// Ask a run in progress (possibly on another thread) to stop at the
+  /// next coarse-step boundary.  run() still performs its final accounting
+  /// and returns the partial report; the caller decides how to label it.
+  void request_cancel() { cancel_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancel_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] const grid::Cluster& cluster() const { return cluster_; }
   [[nodiscard]] const ManagedRunConfig& config() const { return config_; }
@@ -292,6 +310,8 @@ class ManagedRun {
   /// Set by the save_state actuator; forces a checkpoint at the next
   /// coarse-step boundary.
   bool checkpoint_requested_ = false;
+  /// Cooperative cancellation flag (request_cancel above).
+  std::atomic<bool> cancel_{false};
 
   ManagedRunReport report_;
 };

@@ -78,7 +78,9 @@ RunSummary TraceRunner::replay(
   double weighted_efficiency = 0.0;
   double total_steps = 0.0;
 
+  partition::WorkGridCache& grids = cache();
   for (std::size_t i = 0; i < trace_.size(); ++i) {
+    if (config_.should_abort && config_.should_abort()) break;
     const amr::Snapshot& snapshot = trace_.at(i);
     const amr::GridHierarchy& hierarchy = snapshot.hierarchy;
 
@@ -99,7 +101,7 @@ RunSummary TraceRunner::replay(
     // below for the stale-partition term, is this lookup on the next
     // iteration — and on every other replay of the same trace).
     const std::shared_ptr<const partition::WorkGrid> canonical_ptr =
-        workgrid_cache_.get_or_build(i, hierarchy, config_.canonical_grain,
+        grids.get_or_build(i, hierarchy, config_.canonical_grain,
                                      partition::CurveKind::kHilbert,
                                      config_.threads);
     const partition::WorkGrid& canonical = *canonical_ptr;
@@ -142,9 +144,13 @@ RunSummary TraceRunner::replay(
                             ? meta->current_grain()
                             : partitioner.preferred_grain();
       const std::shared_ptr<const partition::WorkGrid> native =
-          workgrid_cache_.get_or_build(i, hierarchy, grain,
+          grids.get_or_build(i, hierarchy, grain,
                                        partitioner.curve(), config_.threads);
       result = partitioner.partition(*native, config_.targets);
+      if (config_.modeled_partition_s_per_cell > 0.0)
+        result.partition_seconds =
+            static_cast<double>(native->cell_count()) *
+            config_.modeled_partition_s_per_cell;
       owners = project_owners(result.owners, native->lattice_dims(),
                               canonical.lattice_dims());
     }
@@ -158,7 +164,7 @@ RunSummary TraceRunner::replay(
     StepTime stale = fresh;
     if (i + 1 < trace_.size()) {
       const std::shared_ptr<const partition::WorkGrid> next_canonical =
-          workgrid_cache_.get_or_build(i + 1, trace_.at(i + 1).hierarchy,
+          grids.get_or_build(i + 1, trace_.at(i + 1).hierarchy,
                                        config_.canonical_grain,
                                        partition::CurveKind::kHilbert,
                                        config_.threads);

@@ -44,8 +44,22 @@ struct TraceRunConfig {
   /// communication sweep).  0 = hardware_concurrency; 1 = the serial code
   /// path, bitwise-identical to pre-threading replays.
   int threads = 0;
+  /// When > 0, charge partitioning as cells * this instead of the
+  /// partitioner's wall-clock measurement (same knob as
+  /// ManagedRunConfig::modeled_partition_s_per_cell) so that concurrent
+  /// replays of one trace stay bitwise-identical to serial ones.
+  /// <= 0 keeps the measured wall clock.
+  double modeled_partition_s_per_cell = 0.0;
   /// Observability knobs, merge-enabled at construction (default: no-op).
   obs::ObsConfig obs;
+  /// Optional externally owned work-grid cache.  When set, rasterized
+  /// canonical/native grids are shared *across* runners replaying the same
+  /// trace (the service layer batches concurrent partition requests through
+  /// one cache per trace).  Must outlive the runner.  Null = private cache.
+  partition::WorkGridCache* shared_cache = nullptr;
+  /// Cooperative cancellation probe, polled once per snapshot.  Returning
+  /// true abandons the replay; the partial summary is returned as-is.
+  std::function<bool()> should_abort;
 };
 
 /// Per-snapshot record of a replay.
@@ -101,12 +115,18 @@ class TraceRunner {
           select,
       MetaPartitioner* meta) const;
 
+  [[nodiscard]] partition::WorkGridCache& cache() const {
+    return config_.shared_cache != nullptr ? *config_.shared_cache
+                                           : workgrid_cache_;
+  }
+
   const amr::AdaptationTrace& trace_;
   const grid::Cluster& cluster_;
   TraceRunConfig config_;
   ExecutionModel model_;
   /// Canonical (and native) work grids keyed by snapshot index: each grid
-  /// is rasterized once per runner and shared across replays.
+  /// is rasterized once per runner and shared across replays.  Bypassed
+  /// when config_.shared_cache points at a service-owned cache.
   mutable partition::WorkGridCache workgrid_cache_;
 };
 

@@ -1,0 +1,55 @@
+#include "pragma/service/runtime.hpp"
+
+#include <utility>
+
+#include "pragma/obs/obs.hpp"
+
+namespace pragma::service {
+
+Runtime::Runtime(Options options)
+    : defaults_(std::move(options.defaults)),
+      scheduler_(options.scheduler, options.pool) {
+  if (options.grid) {
+    defaults_.nprocs = options.grid->nprocs;
+    defaults_.capacity_spread = options.grid->capacity_spread;
+    defaults_.sites = options.grid->sites;
+    defaults_.wan_mbps = options.grid->wan_mbps;
+    defaults_.seed = options.grid->seed;
+  }
+  if (options.monitor) defaults_.monitor = *options.monitor;
+  if (options.obs) {
+    defaults_.obs = *options.obs;
+    obs::apply(defaults_.obs);
+  }
+}
+
+util::Expected<RunHandle> Runtime::submit(RunSpec spec) {
+  const bool replays = spec.kind == WorkloadKind::kTraceReplay ||
+                       spec.kind == WorkloadKind::kSystemSensitive;
+  if (replays && spec.trace && spec.workgrid_cache == nullptr) {
+    std::lock_guard<std::mutex> lock(caches_mu_);
+    std::unique_ptr<partition::WorkGridCache>& cache =
+        caches_[spec.trace.get()];
+    if (!cache) cache = std::make_unique<partition::WorkGridCache>();
+    spec.workgrid_cache = cache.get();
+  }
+  return scheduler_.submit(std::move(spec));
+}
+
+RunOutcome Runtime::run(RunSpec spec) {
+  util::Expected<RunHandle> handle = submit(std::move(spec));
+  if (!handle) {
+    RunOutcome outcome;
+    outcome.state = RunState::kFailed;
+    outcome.status = handle.status();
+    return outcome;
+  }
+  return handle.value().wait();
+}
+
+const grid::Cluster& Runtime::cluster() {
+  if (!cluster_) cluster_.emplace(build_cluster(defaults_));
+  return *cluster_;
+}
+
+}  // namespace pragma::service

@@ -1,0 +1,139 @@
+// pragma::Runtime — the front door of the service layer.
+//
+// Owns the wiring every example used to duplicate: the scheduler, the
+// process-wide obs setup, the default RunSpec (grid shape, monitor
+// cadence), and the per-trace WorkGridCache map that lets concurrent
+// replays of one adaptation trace coalesce their rasterization work.
+//
+//   auto rt = pragma::Runtime::Builder{}
+//                 .grid({.nprocs = 32, .capacity_spread = 0.35})
+//                 .monitor(monitor::ResourceMonitorConfig{})
+//                 .obs(obs_config)
+//                 .build();
+//   RunSpec spec = rt.spec();          // defaults pre-applied
+//   spec.trace = trace;
+//   spec.kind = WorkloadKind::kTraceReplay;
+//   auto handle = rt.submit(spec);     // async; Expected<RunHandle>
+//   const RunOutcome& out = handle.value().wait();
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "pragma/service/run_spec.hpp"
+#include "pragma/service/scheduler.hpp"
+
+namespace pragma::service {
+
+/// The machine every run of this runtime targets by default.
+struct GridSpec {
+  std::size_t nprocs = 16;
+  double capacity_spread = 0.0;  ///< 0 = homogeneous
+  std::size_t sites = 1;         ///< >1 = federated over a WAN
+  double wan_mbps = 20.0;
+  std::uint64_t seed = 40;
+};
+
+class Runtime {
+  struct Options {
+    RunSpec defaults;
+    std::optional<GridSpec> grid;
+    std::optional<monitor::ResourceMonitorConfig> monitor;
+    std::optional<obs::ObsConfig> obs;
+    SchedulerConfig scheduler;
+    util::ThreadPool* pool = nullptr;
+  };
+
+ public:
+  class Builder {
+   public:
+    /// Default machine shape for submitted runs.
+    Builder& grid(GridSpec grid) {
+      options_.grid = grid;
+      return *this;
+    }
+    /// Default NWS monitor cadence/noise/history.
+    Builder& monitor(monitor::ResourceMonitorConfig config) {
+      options_.monitor = config;
+      return *this;
+    }
+    /// Process-wide observability, applied (merge-enable) at build().
+    Builder& obs(obs::ObsConfig config) {
+      options_.obs = config;
+      return *this;
+    }
+    /// Wholesale default RunSpec; grid()/monitor()/obs() overlay it.
+    Builder& defaults(RunSpec spec) {
+      options_.defaults = std::move(spec);
+      return *this;
+    }
+    /// Concurrent runs in flight (0 = executing pool's size).
+    Builder& workers(std::size_t count) {
+      options_.scheduler.workers = count;
+      return *this;
+    }
+    Builder& queue_capacity(std::size_t capacity) {
+      options_.scheduler.queue_capacity = capacity;
+      return *this;
+    }
+    /// Pool the runs execute on (must outlive the runtime); default
+    /// util::shared_pool().
+    Builder& pool(util::ThreadPool* pool) {
+      options_.pool = pool;
+      return *this;
+    }
+    [[nodiscard]] Runtime build() { return Runtime(std::move(options_)); }
+
+   private:
+    Options options_;
+  };
+
+  /// A copy of the runtime's default spec — start here, tweak, submit.
+  [[nodiscard]] RunSpec spec() const { return defaults_; }
+
+  /// Admit a run for asynchronous execution.  Replay specs sharing a
+  /// trace are pointed at one work-grid cache so their rasterization
+  /// coalesces.  Sheds with Status::unavailable under backpressure.
+  [[nodiscard]] util::Expected<RunHandle> submit(RunSpec spec);
+
+  /// Submit and join: the synchronous convenience path.  Admission
+  /// rejection comes back as a kFailed outcome carrying the status.
+  RunOutcome run(RunSpec spec);
+
+  /// Block until every admitted run has finished.
+  void drain() { scheduler_.drain(); }
+
+  [[nodiscard]] SchedulerStats stats() const { return scheduler_.stats(); }
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+
+  /// The default machine, built on first use (examples that model
+  /// placement directly, e.g. the federation demo, read it).
+  [[nodiscard]] const grid::Cluster& cluster();
+
+ private:
+  explicit Runtime(Options options);
+
+  RunSpec defaults_;
+  std::optional<grid::Cluster> cluster_;
+  // Declared before scheduler_ so caches outlive in-flight runs during
+  // destruction (members destroy in reverse order).
+  std::mutex caches_mu_;
+  std::map<const amr::AdaptationTrace*,
+           std::unique_ptr<partition::WorkGridCache>>
+      caches_;
+  Scheduler scheduler_;
+};
+
+}  // namespace pragma::service
+
+namespace pragma {
+// The facade names examples and embedders use.
+using service::GridSpec;       // NOLINT(misc-unused-using-decls)
+using service::RunHandle;      // NOLINT(misc-unused-using-decls)
+using service::RunOutcome;     // NOLINT(misc-unused-using-decls)
+using service::RunSpec;        // NOLINT(misc-unused-using-decls)
+using service::Runtime;        // NOLINT(misc-unused-using-decls)
+using service::WorkloadKind;   // NOLINT(misc-unused-using-decls)
+}  // namespace pragma

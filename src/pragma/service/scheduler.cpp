@@ -1,0 +1,382 @@
+#include "pragma/service/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <limits>
+#include <utility>
+
+#include "pragma/obs/flight_recorder.hpp"
+#include "pragma/obs/metrics.hpp"
+#include "pragma/policy/builtin.hpp"
+#include "pragma/util/logging.hpp"
+
+namespace pragma::service {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Service counters; every add() is a no-op while obs metrics are off.
+obs::Counter& submitted_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.runs.submitted");
+  return counter;
+}
+obs::Counter& rejected_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.runs.rejected");
+  return counter;
+}
+obs::Counter& completed_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.runs.completed");
+  return counter;
+}
+obs::Counter& failed_counter() {
+  static obs::Counter& counter = obs::metrics().counter("service.runs.failed");
+  return counter;
+}
+obs::Counter& cancelled_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.runs.cancelled");
+  return counter;
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace
+
+const char* to_string(RunState state) {
+  switch (state) {
+    case RunState::kQueued: return "queued";
+    case RunState::kRunning: return "running";
+    case RunState::kCompleted: return "completed";
+    case RunState::kFailed: return "failed";
+    case RunState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+const std::string& RunHandle::name() const { return ticket_->spec.name; }
+
+RunState RunHandle::state() const {
+  std::lock_guard<std::mutex> lock(ticket_->mu);
+  return ticket_->state;
+}
+
+bool RunHandle::cancel() {
+  if (!valid()) return false;
+  return scheduler_->cancel_ticket(ticket_);
+}
+
+const RunOutcome& RunHandle::wait() {
+  std::unique_lock<std::mutex> lock(ticket_->mu);
+  ticket_->cv.wait(lock, [&] { return is_terminal(ticket_->state); });
+  return ticket_->outcome;
+}
+
+Scheduler::Scheduler(SchedulerConfig config, util::ThreadPool* pool)
+    : config_(config),
+      pool_(pool != nullptr ? pool : &util::shared_pool()) {
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+}
+
+Scheduler::~Scheduler() {
+  std::vector<TicketPtr> doomed;
+  std::vector<TicketPtr> running;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+    doomed.assign(queue_.begin(), queue_.end());
+    queue_.clear();
+    running = inflight_;
+  }
+  for (const TicketPtr& ticket : running) {
+    std::lock_guard<std::mutex> lock(ticket->mu);
+    ticket->cancel.store(true, std::memory_order_relaxed);
+    if (ticket->active != nullptr) ticket->active->request_cancel();
+  }
+  for (const TicketPtr& ticket : doomed) {
+    std::lock_guard<std::mutex> lock(ticket->mu);
+    ticket->state = RunState::kCancelled;
+    ticket->outcome.state = RunState::kCancelled;
+    ticket->outcome.status =
+        util::Status::unavailable("scheduler shut down before dispatch");
+    ticket->cv.notify_all();
+  }
+  drain();
+}
+
+std::size_t Scheduler::workers() const {
+  if (config_.workers > 0) return config_.workers;
+  return std::max<std::size_t>(1, pool_->size());
+}
+
+util::Expected<RunHandle> Scheduler::submit(RunSpec spec) {
+  TicketPtr ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      ++stats_.rejected;
+      rejected_counter().add();
+      return util::Status::unavailable("scheduler is shutting down");
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      ++stats_.rejected;
+      rejected_counter().add();
+      return util::Status::unavailable(
+          "admission queue full (" + std::to_string(queue_.size()) + "/" +
+          std::to_string(config_.queue_capacity) + "); run \"" + spec.name +
+          "\" shed");
+    }
+    ticket = std::make_shared<detail::Ticket>();
+    ticket->spec = std::move(spec);
+    ticket->sequence = next_sequence_++;
+    ticket->submitted_at = std::chrono::steady_clock::now();
+    queue_.push_back(ticket);
+    ++stats_.submitted;
+    stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+    maybe_dispatch();
+  }
+  submitted_counter().add();
+  return RunHandle(std::move(ticket), this);
+}
+
+void Scheduler::set_tenant_weight(const std::string& tenant, double weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tenants_[tenant].weight = std::max(weight, 1e-9);
+}
+
+void Scheduler::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SchedulerStats out = stats_;
+  out.queue_p50_s = percentile(queue_latencies_s_, 0.50);
+  out.queue_p99_s = percentile(queue_latencies_s_, 0.99);
+  return out;
+}
+
+std::size_t Scheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+Scheduler::TicketPtr Scheduler::pick_next() {
+  // Pass 1: the tenant owed the most service — smallest dispatched/weight,
+  // ties to the lexicographically smaller name so ordering is
+  // deterministic regardless of submission interleaving.
+  const std::string* best_tenant = nullptr;
+  double best_share = std::numeric_limits<double>::infinity();
+  for (const TicketPtr& ticket : queue_) {
+    const Tenant& tenant = tenants_[ticket->spec.tenant];
+    const double share =
+        static_cast<double>(tenant.dispatched) / tenant.weight;
+    if (best_tenant == nullptr || share < best_share ||
+        (share == best_share && ticket->spec.tenant < *best_tenant)) {
+      best_share = share;
+      best_tenant = &ticket->spec.tenant;
+    }
+  }
+  // Pass 2: within that tenant, highest priority first, then FIFO.
+  auto best = queue_.end();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if ((*it)->spec.tenant != *best_tenant) continue;
+    if (best == queue_.end() ||
+        (*it)->spec.priority > (*best)->spec.priority ||
+        ((*it)->spec.priority == (*best)->spec.priority &&
+         (*it)->sequence < (*best)->sequence))
+      best = it;
+  }
+  TicketPtr picked = *best;
+  queue_.erase(best);
+  return picked;
+}
+
+void Scheduler::maybe_dispatch() {
+  while (running_ < workers() && !queue_.empty()) {
+    TicketPtr ticket = pick_next();
+    ++running_;
+    stats_.peak_running = std::max(stats_.peak_running, running_);
+    const double queued_s = seconds_since(ticket->submitted_at);
+    queue_latencies_s_.push_back(queued_s);
+    // Pre-dispatch: the executor (and any waiter, via the terminal-state
+    // handshake) observes this write through the pool's queue ordering.
+    ticket->outcome.queue_s = queued_s;
+    tenants_[ticket->spec.tenant].dispatched++;
+    inflight_.push_back(ticket);
+    pool_->submit([this, ticket] { execute(ticket); });
+  }
+}
+
+void Scheduler::execute(const TicketPtr& ticket) {
+  {
+    std::lock_guard<std::mutex> lock(ticket->mu);
+    ticket->state = RunState::kRunning;
+  }
+  const RunSpec& spec = ticket->spec;
+  RunOutcome outcome;
+  outcome.queue_s = ticket->outcome.queue_s;
+  util::Status status = util::Status::ok();
+  const auto started = std::chrono::steady_clock::now();
+
+  if (ticket->cancel.load(std::memory_order_relaxed)) {
+    outcome.state = RunState::kCancelled;
+    finish(ticket, std::move(outcome));
+    return;
+  }
+
+  try {
+    switch (spec.kind) {
+      case WorkloadKind::kManaged: {
+        core::ManagedRun run(spec.to_managed());
+        {
+          std::lock_guard<std::mutex> lock(ticket->mu);
+          ticket->active = &run;
+        }
+        if (ticket->cancel.load(std::memory_order_relaxed))
+          run.request_cancel();
+        for (const FailurePlan& plan : spec.failures)
+          run.schedule_failure(plan.at_s, plan.node, plan.downtime_s);
+        if (spec.random_mtbf_s > 0.0 && spec.random_mttr_s > 0.0)
+          run.start_random_failures(spec.random_mtbf_s, spec.random_mttr_s);
+        outcome.managed = run.run();
+        {
+          std::lock_guard<std::mutex> lock(ticket->mu);
+          ticket->active = nullptr;
+        }
+        break;
+      }
+      case WorkloadKind::kTraceReplay: {
+        if (!spec.trace) {
+          status = util::Status::invalid("trace replay without a trace");
+          break;
+        }
+        const grid::Cluster cluster = build_cluster(spec);
+        core::TraceRunConfig config = spec.to_trace();
+        config.should_abort = [ticket] {
+          return ticket->cancel.load(std::memory_order_relaxed);
+        };
+        const core::TraceRunner runner(*spec.trace, cluster, config);
+        if (spec.strategy == "adaptive") {
+          const policy::PolicyBase policies = policy::standard_policy_base();
+          outcome.replay = runner.run_adaptive(policies);
+        } else {
+          outcome.replay = runner.run_static(spec.strategy);
+        }
+        break;
+      }
+      case WorkloadKind::kSystemSensitive: {
+        if (!spec.trace) {
+          status = util::Status::invalid(
+              "system-sensitive experiment without a trace");
+          break;
+        }
+        outcome.system_sensitive = core::run_system_sensitive_experiment(
+            *spec.trace, spec.to_system_sensitive());
+        break;
+      }
+      case WorkloadKind::kCustom: {
+        if (!spec.custom) {
+          status =
+              util::Status::invalid("custom run without a workload callable");
+          break;
+        }
+        RunContext context{[ticket] {
+          return ticket->cancel.load(std::memory_order_relaxed);
+        }};
+        status = spec.custom(context);
+        break;
+      }
+    }
+  } catch (const std::exception& error) {
+    status = util::Status::internal(std::string("run \"") + spec.name +
+                                    "\" threw: " + error.what());
+    std::lock_guard<std::mutex> lock(ticket->mu);
+    ticket->active = nullptr;
+  }
+
+  outcome.exec_s = seconds_since(started);
+  outcome.status = status;
+  if (!status.is_ok()) {
+    outcome.state = RunState::kFailed;
+  } else if (ticket->cancel.load(std::memory_order_relaxed)) {
+    outcome.state = RunState::kCancelled;
+  } else {
+    outcome.state = RunState::kCompleted;
+  }
+  finish(ticket, std::move(outcome));
+}
+
+void Scheduler::finish(const TicketPtr& ticket, RunOutcome outcome) {
+  if (outcome.state == RunState::kFailed)
+    util::log_warn("service: run \"", ticket->spec.name,
+                   "\" failed: ", outcome.status.to_string());
+  switch (outcome.state) {
+    case RunState::kCompleted: completed_counter().add(); break;
+    case RunState::kFailed: failed_counter().add(); break;
+    case RunState::kCancelled: cancelled_counter().add(); break;
+    default: break;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  --running_;
+  inflight_.erase(std::find(inflight_.begin(), inflight_.end(), ticket));
+  switch (outcome.state) {
+    case RunState::kCompleted: ++stats_.completed; break;
+    case RunState::kFailed: ++stats_.failed; break;
+    case RunState::kCancelled: ++stats_.cancelled; break;
+    default: break;
+  }
+  {
+    std::lock_guard<std::mutex> ticket_lock(ticket->mu);
+    ticket->state = outcome.state;
+    ticket->outcome = std::move(outcome);
+  }
+  ticket->cv.notify_all();
+  maybe_dispatch();
+  idle_cv_.notify_all();
+}
+
+bool Scheduler::cancel_ticket(const TicketPtr& ticket) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = std::find(queue_.begin(), queue_.end(), ticket);
+    if (it != queue_.end()) {
+      queue_.erase(it);
+      ++stats_.cancelled;
+      {
+        std::lock_guard<std::mutex> ticket_lock(ticket->mu);
+        ticket->cancel.store(true, std::memory_order_relaxed);
+        ticket->state = RunState::kCancelled;
+        ticket->outcome.state = RunState::kCancelled;
+      }
+      ticket->cv.notify_all();
+      idle_cv_.notify_all();
+      cancelled_counter().add();
+      return true;
+    }
+  }
+  std::lock_guard<std::mutex> lock(ticket->mu);
+  if (is_terminal(ticket->state)) return false;
+  ticket->cancel.store(true, std::memory_order_relaxed);
+  if (ticket->active != nullptr) ticket->active->request_cancel();
+  return true;
+}
+
+}  // namespace pragma::service

@@ -1,0 +1,189 @@
+// Multi-run scheduler: admits, queues, and concurrently executes many
+// managed runs over a shared util::ThreadPool.
+//
+// The paper's Pragma is an *infrastructure*: one deployment manages many
+// grid applications at once.  This scheduler is that layer.  Admission is
+// a bounded queue with backpressure — when it is full, submit() sheds the
+// run with util::Status::unavailable instead of queueing unboundedly.
+// Dispatch is fair-share across tenants (each tenant's dispatched count,
+// normalized by its weight, is balanced) with per-run priority inside a
+// tenant and FIFO tie-breaking, so one chatty tenant cannot starve the
+// rest and ordering stays deterministic.
+//
+// Isolation: every run executes in its own core::ManagedRun /
+// core::TraceRunner instance — its own discrete-event simulator, cluster
+// model, message center, and seeded RNG streams — so N concurrent runs
+// produce bitwise the same reports as the same N runs executed serially
+// (RunSpec::derived gives each run of a batch a distinct seed stream,
+// checkpoint dir, and obs artifact paths).
+//
+// Cancellation is cooperative: queued runs are removed immediately;
+// running ones are flagged and stop at the next coarse-step (managed) or
+// snapshot (replay) boundary, custom workloads poll RunContext.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pragma/service/run_spec.hpp"
+#include "pragma/util/status.hpp"
+#include "pragma/util/thread_pool.hpp"
+
+namespace pragma::service {
+
+enum class RunState { kQueued, kRunning, kCompleted, kFailed, kCancelled };
+
+[[nodiscard]] const char* to_string(RunState state);
+[[nodiscard]] constexpr bool is_terminal(RunState state) {
+  return state == RunState::kCompleted || state == RunState::kFailed ||
+         state == RunState::kCancelled;
+}
+
+/// Everything a finished run produced.  Exactly one of the per-kind
+/// payloads is meaningful, selected by the spec's WorkloadKind.
+struct RunOutcome {
+  RunState state = RunState::kQueued;
+  util::Status status;  ///< non-ok explains kFailed
+  core::ManagedRunReport managed;
+  core::RunSummary replay;
+  core::SystemSensitiveResult system_sensitive;
+  double queue_s = 0.0;  ///< admission -> dispatch wall time
+  double exec_s = 0.0;   ///< dispatch -> completion wall time
+};
+
+class Scheduler;
+
+namespace detail {
+/// Shared state of one submitted run.  Lock ordering: a thread holding
+/// Scheduler::mu_ may take Ticket::mu, never the reverse.
+struct Ticket {
+  RunSpec spec;
+  std::uint64_t sequence = 0;
+  std::chrono::steady_clock::time_point submitted_at;
+  std::mutex mu;
+  std::condition_variable cv;
+  RunState state = RunState::kQueued;  // guarded by mu
+  RunOutcome outcome;                  // stable once state is terminal
+  std::atomic<bool> cancel{false};
+  core::ManagedRun* active = nullptr;  // guarded by mu; only while running
+};
+}  // namespace detail
+
+/// Async handle to a submitted run: status, cooperative cancel, blocking
+/// join.  Copyable; all copies observe the same run.
+class RunHandle {
+ public:
+  RunHandle() = default;
+
+  [[nodiscard]] bool valid() const { return ticket_ != nullptr; }
+  [[nodiscard]] const std::string& name() const;
+  [[nodiscard]] RunState state() const;
+  [[nodiscard]] bool done() const { return is_terminal(state()); }
+
+  /// Request cancellation.  Queued runs are withdrawn immediately; running
+  /// ones stop at their next cooperative boundary.  Returns false when the
+  /// run had already reached a terminal state.
+  bool cancel();
+
+  /// Block until the run reaches a terminal state.  The returned reference
+  /// stays valid for the handle's lifetime.
+  const RunOutcome& wait();
+
+ private:
+  friend class Scheduler;
+  RunHandle(std::shared_ptr<detail::Ticket> ticket, Scheduler* scheduler)
+      : ticket_(std::move(ticket)), scheduler_(scheduler) {}
+
+  std::shared_ptr<detail::Ticket> ticket_;
+  Scheduler* scheduler_ = nullptr;
+};
+
+struct SchedulerConfig {
+  /// Runs in flight at once.  0 = the executing pool's thread count.
+  std::size_t workers = 0;
+  /// Bounded admission queue: submissions beyond this many *queued* runs
+  /// are shed with Status::unavailable.
+  std::size_t queue_capacity = 64;
+};
+
+struct SchedulerStats {
+  std::size_t submitted = 0;  ///< admitted into the queue
+  std::size_t rejected = 0;   ///< shed at admission (queue full / shutdown)
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  std::size_t peak_queue_depth = 0;
+  std::size_t peak_running = 0;
+  double queue_p50_s = 0.0;  ///< median admission->dispatch latency
+  double queue_p99_s = 0.0;
+};
+
+class Scheduler {
+ public:
+  /// `pool` must outlive the scheduler; null uses util::shared_pool().
+  explicit Scheduler(SchedulerConfig config = {},
+                     util::ThreadPool* pool = nullptr);
+  /// Cancels queued runs, requests cancellation of running ones, and
+  /// waits for everything in flight to finish.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admit a run.  Fails with Status::unavailable when the admission
+  /// queue is full (backpressure: retry later or shed load upstream).
+  [[nodiscard]] util::Expected<RunHandle> submit(RunSpec spec);
+
+  /// Fair-share weight of a tenant (default 1.0; larger = more slots).
+  void set_tenant_weight(const std::string& tenant, double weight);
+
+  /// Block until the queue is empty and no run is in flight.
+  void drain();
+
+  [[nodiscard]] SchedulerStats stats() const;
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+
+ private:
+  friend class RunHandle;
+  using TicketPtr = std::shared_ptr<detail::Ticket>;
+
+  [[nodiscard]] std::size_t workers() const;
+  /// Dispatch queued tickets while worker slots are free.  Requires mu_.
+  void maybe_dispatch();
+  /// Remove and return the fair-share pick.  Requires mu_; queue_ must be
+  /// non-empty.
+  [[nodiscard]] TicketPtr pick_next();
+  /// Pool-thread body: execute one run and publish its outcome.
+  void execute(const TicketPtr& ticket);
+  void finish(const TicketPtr& ticket, RunOutcome outcome);
+  bool cancel_ticket(const TicketPtr& ticket);
+
+  SchedulerConfig config_;
+  util::ThreadPool* pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::deque<TicketPtr> queue_;
+  std::vector<TicketPtr> inflight_;
+  std::size_t running_ = 0;
+  bool shutdown_ = false;
+  std::uint64_t next_sequence_ = 0;
+  struct Tenant {
+    double weight = 1.0;
+    std::uint64_t dispatched = 0;
+  };
+  std::map<std::string, Tenant> tenants_;
+  SchedulerStats stats_;
+  std::vector<double> queue_latencies_s_;
+};
+
+}  // namespace pragma::service

@@ -1,0 +1,68 @@
+#include "pragma/service/workbench.hpp"
+
+#include <string>
+#include <utility>
+
+namespace pragma::service {
+
+namespace {
+
+grid::Cluster bench_cluster(const RunSpec& spec) {
+  if (spec.capacity_spread > 0.0) {
+    util::Rng rng(spec.seed, 0);
+    return grid::ClusterBuilder::heterogeneous(
+        spec.nprocs, rng, 0.5, 512.0, 100.0, 150e-6, spec.capacity_spread);
+  }
+  return grid::ClusterBuilder::homogeneous(spec.nprocs);
+}
+
+}  // namespace
+
+Workbench::Workbench(RunSpec spec, policy::PolicyBase policies)
+    : spec_(std::move(spec)),
+      cluster_(bench_cluster(spec_)),
+      failures_(simulator_, cluster_),
+      monitor_(simulator_, cluster_, spec_.monitor, util::Rng(spec_.seed, 2)),
+      policies_(std::move(policies)) {
+  if (spec_.with_background_load) {
+    loadgen_ = std::make_unique<grid::LoadGenerator>(
+        simulator_, cluster_, spec_.load, util::Rng(spec_.seed, 1));
+    loadgen_->start();
+  }
+}
+
+void Workbench::start_monitoring() {
+  if (monitoring_) return;
+  monitoring_ = true;
+  monitor_.start();
+}
+
+agents::Environment& Workbench::environment() {
+  if (!environment_) {
+    mcs_ = std::make_unique<agents::Mcs>(simulator_, policies_);
+    agents::EnvTemplate blueprint;
+    blueprint.name = "workbench";
+    blueprint.provides["arch"] = policy::Value{std::string("linux-cluster")};
+    blueprint.provides["nodes"] =
+        policy::Value{static_cast<double>(spec_.nprocs)};
+    mcs_->registry().register_template(blueprint);
+
+    agents::AppSpec app;
+    app.name = spec_.app_name;
+    app.requirements["arch"] = policy::Value{std::string("linux-cluster")};
+    app.sample_period_s = spec_.agent_period_s;
+    for (std::size_t c = 0; c < spec_.nprocs; ++c) {
+      std::string component = "c";
+      component += std::to_string(c);
+      app.components.push_back(std::move(component));
+    }
+    environment_ = mcs_->build(std::move(app));
+  }
+  return *environment_;
+}
+
+void Workbench::advance(double seconds) {
+  simulator_.run(simulator_.now() + seconds);
+}
+
+}  // namespace pragma::service

@@ -1,6 +1,8 @@
 #include "pragma/util/cli.hpp"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -67,6 +69,46 @@ bool CliFlags::parse(int argc, const char* const* argv) {
     it->second.value = value;
   }
   return true;
+}
+
+std::size_t CliFlags::merge_env(const std::string& prefix) {
+  std::size_t merged = 0;
+  for (auto& [name, flag] : flags_) {
+    std::string variable = prefix + "_" + name;
+    for (char& c : variable) {
+      if (c == '-') c = '_';
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    const char* raw = std::getenv(variable.c_str());
+    if (raw == nullptr || *raw == '\0') continue;
+    // Validate through the same conversions the getters use so a malformed
+    // variable fails loudly here, not at first use.
+    const std::string value = raw;
+    switch (flag.type) {
+      case Type::kInt:
+        try {
+          (void)std::stoll(value);
+        } catch (const std::exception&) {
+          throw std::invalid_argument("environment variable " + variable +
+                                      " is not an integer: " + value);
+        }
+        break;
+      case Type::kDouble:
+        try {
+          (void)std::stod(value);
+        } catch (const std::exception&) {
+          throw std::invalid_argument("environment variable " + variable +
+                                      " is not a number: " + value);
+        }
+        break;
+      case Type::kBool:
+      case Type::kString:
+        break;
+    }
+    flag.value = value;
+    ++merged;
+  }
+  return merged;
 }
 
 const CliFlags::Flag& CliFlags::find(const std::string& name,

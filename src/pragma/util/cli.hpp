@@ -4,6 +4,7 @@
 // automatic --help text.  No external dependencies.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <optional>
 #include <string>
@@ -29,6 +30,14 @@ class CliFlags {
   /// Parse arguments.  Returns false (after printing usage) when --help was
   /// requested; throws std::invalid_argument on malformed input.
   bool parse(int argc, const char* const* argv);
+
+  /// Overlay environment variables onto the registered defaults: for every
+  /// flag `some-name`, the variable `<prefix>_SOME_NAME` (dashes become
+  /// underscores, letters upper-cased), when set and non-empty, replaces
+  /// the flag's current value.  Call before parse() so explicit CLI
+  /// arguments still win — this is the one env/CLI merge path shared by
+  /// every binary.  Returns the number of flags overridden.
+  std::size_t merge_env(const std::string& prefix);
 
   [[nodiscard]] long long get_int(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;

@@ -32,6 +32,7 @@ enum class StatusCode {
   kFailedPrecondition, ///< valid bytes, wrong context (config mismatch)
   kUnimplemented,      ///< versioned format from the future
   kInternal,           ///< I/O syscall failure and other environment errors
+  kUnavailable,        ///< transient overload (admission queue full, shed)
 };
 
 [[nodiscard]] constexpr const char* to_string(StatusCode code) {
@@ -44,6 +45,7 @@ enum class StatusCode {
     case StatusCode::kFailedPrecondition: return "failed-precondition";
     case StatusCode::kUnimplemented: return "unimplemented";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }
@@ -84,6 +86,9 @@ class Status {
   }
   [[nodiscard]] static Status internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  [[nodiscard]] static Status unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
