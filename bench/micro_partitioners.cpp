@@ -14,10 +14,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <span>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "pragma/amr/delta.hpp"
 #include "pragma/amr/rm3d.hpp"
 #include "pragma/amr/synthetic.hpp"
 #include "pragma/partition/metrics.hpp"
@@ -217,6 +221,199 @@ std::vector<PipelineEntry> run_pipeline_harness() {
   return entries;
 }
 
+// ---- Regrid-churn sweep: full rebuild vs incremental ----------------------
+//
+// Controlled by two environment variables (google-benchmark owns argv):
+//   PRAGMA_PIPELINE_LARGE  "0" shrinks the sweep to a small lattice for
+//                          quick local runs (default: the 1M+-grain-cell
+//                          configuration the committed baseline reports).
+//   PRAGMA_PIPELINE_CHURN  comma-separated move fractions for the sweep
+//                          (default "0.02,0.05,0.10,0.25").
+//
+// Besides the timing curves, the sweep *gates* correctness: the vectorized
+// build must match WorkGrid::reference_build bitwise, apply_delta must
+// match a from-scratch rebuild bitwise, the table-driven communication
+// sweep must match its reference, the incremental communication tracker
+// must match the full sweep, and the incremental build must not be slower
+// than the full rebuild at the lowest churn.  Any violation makes the
+// binary exit nonzero, which is what the perf-smoke CI job checks.
+
+/// Bitwise comparison of every array a full rebuild would produce.
+bool grids_bitwise_equal(const partition::WorkGrid& a,
+                         const partition::WorkGrid& b, const char* what,
+                         int& failures) {
+  const auto fail = [&](const char* field) {
+    std::fprintf(stderr, "GATE FAILED: %s: %s differs bitwise\n", what,
+                 field);
+    ++failures;
+    return false;
+  };
+  if (a.cell_count() != b.cell_count() || a.num_levels() != b.num_levels())
+    return fail("shape");
+  const std::size_t n = a.cell_count();
+  for (std::size_t c = 0; c < n; ++c) {
+    const double wa = a.work(c);
+    const double wb = b.work(c);
+    if (std::memcmp(&wa, &wb, sizeof(double)) != 0) return fail("work");
+    if (a.levels_present(c) != b.levels_present(c)) return fail("levels");
+    const double sa = a.storage(c);
+    const double sb = b.storage(c);
+    if (std::memcmp(&sa, &sb, sizeof(double)) != 0) return fail("storage");
+  }
+  if (std::memcmp(a.sequence().data(), b.sequence().data(),
+                  n * sizeof(double)) != 0)
+    return fail("sequence");
+  for (std::size_t i = 0; i <= n; ++i) {
+    const double pa = a.prefix_sums().prefix(i);
+    const double pb = b.prefix_sums().prefix(i);
+    if (std::memcmp(&pa, &pb, sizeof(double)) != 0) return fail("prefix");
+  }
+  const double ta = a.total_work();
+  const double tb = b.total_work();
+  if (std::memcmp(&ta, &tb, sizeof(double)) != 0) return fail("total_work");
+  return true;
+}
+
+std::vector<double> churn_levels_from_env() {
+  std::vector<double> churns;
+  if (const char* env = std::getenv("PRAGMA_PIPELINE_CHURN")) {
+    std::stringstream stream(env);
+    std::string item;
+    while (std::getline(stream, item, ','))
+      if (!item.empty()) churns.push_back(std::atof(item.c_str()));
+  }
+  if (churns.empty()) churns = {0.02, 0.05, 0.10, 0.25};
+  return churns;
+}
+
+std::vector<PipelineEntry> run_churn_sweep(int& failures) {
+  const char* large_env = std::getenv("PRAGMA_PIPELINE_LARGE");
+  const bool large = large_env == nullptr || std::strcmp(large_env, "0") != 0;
+  const std::vector<double> churns = churn_levels_from_env();
+
+  amr::SyntheticConfig config;
+  if (large) {
+    // 128 x 128 x 64 grain cells at grain 2 = 1,048,576 cells.
+    config.base_dims = {256, 256, 128};
+    config.box_count = 96;
+    config.box_edge = 32;
+  } else {
+    config.box_count = 16;
+    config.box_edge = 4;
+  }
+  constexpr int kGrain = 2;
+
+  std::vector<PipelineEntry> entries;
+  bool oracle_checked = false;
+  double lowest_churn = -1.0;
+  double lowest_speedup = 0.0;
+
+  for (const double move_fraction : churns) {
+    amr::SyntheticConfig step = config;
+    step.move_fraction = move_fraction;
+    amr::SyntheticAppGenerator generator(step);
+    const amr::AdaptationTrace trace = generator.generate(2);
+    const amr::GridHierarchy& before = trace.at(0).hierarchy;
+    const amr::GridHierarchy& after = trace.at(1).hierarchy;
+    const amr::HierarchyDelta delta = amr::diff_hierarchies(before, after);
+    const amr::HierarchyDelta reverse = delta.reversed();
+
+    const partition::WorkGrid base(before, kGrain);
+    const partition::WorkGrid full(after, kGrain);
+    const std::size_t cells = full.cell_count();
+
+    // Bitwise gates.  The scalar-oracle comparisons are O(cells * boxes)
+    // and config-independent, so they run once per sweep; the
+    // incremental-vs-rebuild gate runs at every churn level.
+    if (!oracle_checked) {
+      oracle_checked = true;
+      const partition::WorkGrid reference =
+          partition::WorkGrid::reference_build(after, kGrain);
+      grids_bitwise_equal(full, reference, "vectorized vs reference build",
+                          failures);
+
+      const auto partitioner = partition::make_partitioner("G-MISP+SP");
+      const auto targets = partition::equal_targets(64);
+      const partition::OwnerMap owners_before =
+          partitioner->partition(base, targets).owners;
+      const partition::OwnerMap owners_after =
+          partitioner->partition(full, targets).owners;
+      const double swept = partition::communication_volume(full,
+                                                           owners_after, 1);
+      const double reference_swept =
+          partition::reference_communication_volume(full, owners_after);
+      if (std::memcmp(&swept, &reference_swept, sizeof(double)) != 0) {
+        std::fprintf(stderr,
+                     "GATE FAILED: table comm sweep differs from reference "
+                     "(%.17g vs %.17g)\n",
+                     swept, reference_swept);
+        ++failures;
+      }
+      partition::IncrementalCommVolume tracker;
+      tracker.reset(base, owners_before);
+      const double tracked = tracker.update(full, owners_after);
+      if (std::memcmp(&tracked, &swept, sizeof(double)) != 0) {
+        std::fprintf(stderr,
+                     "GATE FAILED: incremental comm tracker differs from "
+                     "sweep (%.17g vs %.17g)\n",
+                     tracked, swept);
+        ++failures;
+      }
+    }
+    partition::WorkGrid incremental = base;
+    if (!incremental.apply_delta(delta)) {
+      std::fprintf(stderr, "GATE FAILED: apply_delta rejected churn %.3g\n",
+                   move_fraction);
+      ++failures;
+      continue;
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label), "apply_delta@churn=%.3g",
+                  delta.churn());
+    grids_bitwise_equal(incremental, full, label, failures);
+
+    // Timing: the full rebuild vs the in-place incremental update (one
+    // forward + one reverse application per iteration — an exact round
+    // trip, so the grid state is stable across iterations).
+    const double full_ns = time_ns_per_op([&] {
+      benchmark::DoNotOptimize(partition::WorkGrid(after, kGrain));
+    });
+    const double pair_ns = time_ns_per_op([&] {
+      benchmark::DoNotOptimize(incremental.apply_delta(reverse));
+      benchmark::DoNotOptimize(incremental.apply_delta(delta));
+    });
+    const double incremental_ns = pair_ns / 2.0;
+    const double speedup =
+        incremental_ns > 0.0 ? full_ns / incremental_ns : 0.0;
+
+    char name[96];
+    std::snprintf(name, sizeof(name), "regrid_full_rebuild@churn=%.3g",
+                  move_fraction);
+    entries.push_back({name, full_ns, cells, 1});
+    std::snprintf(name, sizeof(name), "regrid_incremental@churn=%.3g",
+                  move_fraction);
+    entries.push_back({name, incremental_ns, cells, 1});
+    std::printf("  churn %.3g (delta churn %.3g): full %.0f ns, "
+                "incremental %.0f ns, speedup %.1fx\n",
+                move_fraction, delta.churn(), full_ns, incremental_ns,
+                speedup);
+
+    if (lowest_churn < 0.0 || move_fraction < lowest_churn) {
+      lowest_churn = move_fraction;
+      lowest_speedup = speedup;
+    }
+  }
+
+  if (lowest_churn >= 0.0 && lowest_speedup < 1.0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: incremental path slower than full rebuild at "
+                 "churn %.3g (%.2fx)\n",
+                 lowest_churn, lowest_speedup);
+    ++failures;
+  }
+  return entries;
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_Partition, sfc, "SFC")->Arg(16)->Arg(64)->Arg(256);
@@ -243,7 +440,10 @@ BENCHMARK(BM_PacMetrics)->Arg(1)->Arg(0);
 BENCHMARK(BM_Regrid);
 
 int main(int argc, char** argv) {
-  const std::vector<PipelineEntry> entries = run_pipeline_harness();
+  int gate_failures = 0;
+  std::vector<PipelineEntry> entries = run_pipeline_harness();
+  const std::vector<PipelineEntry> churn = run_churn_sweep(gate_failures);
+  entries.insert(entries.end(), churn.begin(), churn.end());
   if (write_pipeline_json(entries, "BENCH_partition_pipeline.json"))
     std::printf("wrote BENCH_partition_pipeline.json (%zu entries)\n",
                 entries.size());
@@ -251,8 +451,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "could not write BENCH_partition_pipeline.json\n");
   for (const PipelineEntry& e : entries)
-    std::printf("  %-28s threads=%d  %12.1f ns/op\n", e.name.c_str(),
+    std::printf("  %-36s threads=%d  %12.1f ns/op\n", e.name.c_str(),
                 e.threads, e.ns_per_op);
+  if (gate_failures > 0) {
+    std::fprintf(stderr, "%d equivalence/performance gate(s) failed\n",
+                 gate_failures);
+    return 1;
+  }
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,0 +1,105 @@
+#include "pragma/amr/delta.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace pragma::amr {
+
+namespace {
+/// Total order on boxes for the set difference (any consistent order works;
+/// lexicographic on the corner coordinates is cheap and deterministic).
+bool box_less(const Box& a, const Box& b) {
+  const auto key = [](const Box& box) {
+    return std::make_tuple(box.lo().z, box.lo().y, box.lo().x, box.hi().z,
+                           box.hi().y, box.hi().x);
+  };
+  return key(a) < key(b);
+}
+
+/// a \ b for sorted box lists (multiset semantics).
+std::vector<Box> sorted_difference(const std::vector<Box>& a,
+                                   const std::vector<Box>& b) {
+  std::vector<Box> out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size()) {
+    if (j == b.size() || box_less(a[i], b[j])) {
+      out.push_back(a[i++]);
+    } else if (box_less(b[j], a[i])) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::size_t HierarchyDelta::changed_boxes() const {
+  std::size_t n = 0;
+  for (const LevelDelta& level : levels)
+    n += level.removed.size() + level.added.size();
+  return n;
+}
+
+double HierarchyDelta::churn() const {
+  // Union population: every box that exists in either snapshot, counting
+  // the shared ones once.
+  const std::size_t changed = changed_boxes();
+  const std::size_t total = (boxes_before + boxes_after + changed) / 2;
+  return total > 0 ? static_cast<double>(changed) / static_cast<double>(total)
+                   : 0.0;
+}
+
+HierarchyDelta HierarchyDelta::reversed() const {
+  HierarchyDelta out;
+  out.base_dims = base_dims;
+  out.ratio = ratio;
+  out.compatible = compatible;
+  out.before_levels = after_levels;
+  out.after_levels = before_levels;
+  out.boxes_before = boxes_after;
+  out.boxes_after = boxes_before;
+  out.levels.reserve(levels.size());
+  for (const LevelDelta& level : levels)
+    out.levels.push_back({level.level, level.added, level.removed});
+  return out;
+}
+
+HierarchyDelta diff_hierarchies(const GridHierarchy& before,
+                                const GridHierarchy& after) {
+  HierarchyDelta delta;
+  delta.base_dims = after.base_dims();
+  delta.ratio = after.ratio();
+  delta.compatible = before.base_dims() == after.base_dims() &&
+                     before.ratio() == after.ratio();
+  delta.before_levels = before.num_levels();
+  delta.after_levels = after.num_levels();
+
+  const int max_levels = std::max(before.num_levels(), after.num_levels());
+  static const std::vector<Box> kNoBoxes;
+  for (int l = 0; l < max_levels; ++l) {
+    const std::vector<Box>& old_boxes =
+        l < before.num_levels() ? before.level(l).boxes : kNoBoxes;
+    const std::vector<Box>& new_boxes =
+        l < after.num_levels() ? after.level(l).boxes : kNoBoxes;
+    delta.boxes_before += old_boxes.size();
+    delta.boxes_after += new_boxes.size();
+
+    std::vector<Box> old_sorted = old_boxes;
+    std::vector<Box> new_sorted = new_boxes;
+    std::sort(old_sorted.begin(), old_sorted.end(), box_less);
+    std::sort(new_sorted.begin(), new_sorted.end(), box_less);
+
+    LevelDelta level;
+    level.level = l;
+    level.removed = sorted_difference(old_sorted, new_sorted);
+    level.added = sorted_difference(new_sorted, old_sorted);
+    if (!level.removed.empty() || !level.added.empty())
+      delta.levels.push_back(std::move(level));
+  }
+  return delta;
+}
+
+}  // namespace pragma::amr

@@ -402,6 +402,7 @@ bool ManagedRun::try_restore() {
     owners_.owner.assign(snapshot.owners.begin(), snapshot.owners.end());
     owners_.nprocs = snapshot.owners_nprocs;
     canonical_ = std::move(canonical);
+    canonical_hierarchy_ = trace_.snapshots().back().hierarchy;
     mapped_ = model_.map(*canonical_, owners_);
     has_assignment_ = true;
 
@@ -498,8 +499,29 @@ void ManagedRun::repartition(bool count_as_regrid) {
                                    partitioner.curve());
   const partition::PartitionResult result =
       partitioner.partition(native, targets);
-  canonical_.emplace(emulator_.hierarchy(), 2,
-                     partition::CurveKind::kHilbert);
+
+  // Steady-state regrids move few boxes, so the canonical grid is usually
+  // updated in place from the hierarchy delta (bitwise-identical to the
+  // rebuild, see WorkGrid::apply_delta) instead of re-rasterized.
+  bool incremental = false;
+  if (config_.incremental_workgrid && canonical_.has_value() &&
+      canonical_hierarchy_.has_value()) {
+    const amr::HierarchyDelta delta =
+        amr::diff_hierarchies(*canonical_hierarchy_, emulator_.hierarchy());
+    if (delta.compatible &&
+        delta.churn() <= partition::kIncrementalChurnLimit)
+      incremental = canonical_->apply_delta(delta);
+  }
+  if (!incremental)
+    canonical_.emplace(emulator_.hierarchy(), 2,
+                       partition::CurveKind::kHilbert);
+  canonical_hierarchy_ = emulator_.hierarchy();
+  static obs::Counter& canonical_incremental =
+      obs::metrics().counter("core.managed_run.canonical_incremental");
+  static obs::Counter& canonical_full =
+      obs::metrics().counter("core.managed_run.canonical_full");
+  (incremental ? canonical_incremental : canonical_full).add();
+  span.annotate("canonical_incremental", incremental ? "true" : "false");
   partition::OwnerMap next = project_owners(
       result.owners, native.lattice_dims(), canonical_->lattice_dims());
 

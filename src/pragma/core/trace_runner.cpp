@@ -73,6 +73,10 @@ RunSummary TraceRunner::replay(
 
   partition::OwnerMap previous_canonical;
   bool has_previous = false;
+  // Maintains the communication volume across snapshots by refreshing only
+  // the faces incident to cells whose owner or level mask changed (exact —
+  // see IncrementalCommVolume), instead of a full face sweep per snapshot.
+  partition::IncrementalCommVolume comm_tracker;
 
   double weighted_imbalance = 0.0;
   double weighted_efficiency = 0.0;
@@ -99,11 +103,24 @@ RunSummary TraceRunner::replay(
     // Each snapshot's canonical grid is rasterized once per runner and
     // shared across replays through the cache (snapshot i+1's grid, built
     // below for the stale-partition term, is this lookup on the next
-    // iteration — and on every other replay of the same trace).
+    // iteration — and on every other replay of the same trace).  With the
+    // incremental path on, a cache miss derives the grid from the previous
+    // snapshot's entry via the hierarchy delta instead of re-rasterizing.
+    const auto canonical_grid = [&](std::size_t index)
+        -> std::shared_ptr<const partition::WorkGrid> {
+      const amr::GridHierarchy& h = trace_.at(index).hierarchy;
+      if (config_.incremental_workgrid && index > 0)
+        return grids.get_or_update(index, h, index - 1,
+                                   trace_.at(index - 1).hierarchy,
+                                   config_.canonical_grain,
+                                   partition::CurveKind::kHilbert,
+                                   config_.threads);
+      return grids.get_or_build(index, h, config_.canonical_grain,
+                                partition::CurveKind::kHilbert,
+                                config_.threads);
+    };
     const std::shared_ptr<const partition::WorkGrid> canonical_ptr =
-        grids.get_or_build(i, hierarchy, config_.canonical_grain,
-                                     partition::CurveKind::kHilbert,
-                                     config_.threads);
+        canonical_grid(i);
     const partition::WorkGrid& canonical = *canonical_ptr;
 
     // Agent-triggered repartitioning (adaptive runs only): keep the
@@ -144,8 +161,12 @@ RunSummary TraceRunner::replay(
                             ? meta->current_grain()
                             : partitioner.preferred_grain();
       const std::shared_ptr<const partition::WorkGrid> native =
-          grids.get_or_build(i, hierarchy, grain,
-                                       partitioner.curve(), config_.threads);
+          config_.incremental_workgrid && i > 0
+              ? grids.get_or_update(i, hierarchy, i - 1,
+                                    trace_.at(i - 1).hierarchy, grain,
+                                    partitioner.curve(), config_.threads)
+              : grids.get_or_build(i, hierarchy, grain, partitioner.curve(),
+                                   config_.threads);
       result = partitioner.partition(*native, config_.targets);
       if (config_.modeled_partition_s_per_cell > 0.0)
         result.partition_seconds =
@@ -164,10 +185,7 @@ RunSummary TraceRunner::replay(
     StepTime stale = fresh;
     if (i + 1 < trace_.size()) {
       const std::shared_ptr<const partition::WorkGrid> next_canonical =
-          grids.get_or_build(i + 1, trace_.at(i + 1).hierarchy,
-                                       config_.canonical_grain,
-                                       partition::CurveKind::kHilbert,
-                                       config_.threads);
+          canonical_grid(i + 1);
       stale = model_.step_time(*next_canonical, owners, cluster_);
     }
     const double sw = std::clamp(config_.stale_weight, 0.0, 1.0);
@@ -190,7 +208,8 @@ RunSummary TraceRunner::replay(
     canonical_result.partition_seconds = result.partition_seconds;
     const partition::PacMetrics pac = partition::evaluate_pac(
         canonical, canonical_result, config_.targets,
-        has_previous ? &previous_canonical : nullptr, config_.threads);
+        has_previous ? &previous_canonical : nullptr, config_.threads,
+        config_.incremental_workgrid ? &comm_tracker : nullptr);
     record.imbalance = pac.load_imbalance;
     record.comm_volume = pac.communication;
     if (!reuse_previous) baseline_imbalance = pac.load_imbalance;

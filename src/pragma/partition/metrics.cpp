@@ -22,6 +22,70 @@ void validate_owners(const char* who, const WorkGrid& grid,
     if (owner < 0 || owner >= owners.nprocs)
       throw std::invalid_argument(std::string(who) + ": owner out of range");
 }
+
+/// Cost of one lattice face whose sides share the levels in `mask`: a
+/// level-l face is (g r^l)^2 cells, exchanged r^l times per coarse step.
+/// Terms fold in ascending level order — the table builder and the
+/// incremental tracker must repeat this association bit for bit.
+double face_cost_scalar(std::uint32_t mask, int g, int num_levels,
+                        int ratio) {
+  double cost = 0.0;
+  double r = 1.0;
+  for (int l = 0; l < num_levels; ++l) {
+    if (mask & (1u << l)) {
+      const double edge = static_cast<double>(g) * r;
+      cost += edge * edge * r;
+    }
+    r *= static_cast<double>(ratio);
+  }
+  return cost;
+}
+
+/// Past this depth the 2^levels table stops paying for itself; callers
+/// fall back to the scalar per-face fold.
+constexpr int kCommTableMaxLevels = 16;
+
+std::vector<double> build_cost_table(int g, int num_levels, int ratio) {
+  std::vector<double> table(std::size_t{1} << num_levels, 0.0);
+  for (std::size_t mask = 1; mask < table.size(); ++mask)
+    table[mask] = face_cost_scalar(static_cast<std::uint32_t>(mask), g,
+                                   num_levels, ratio);
+  return table;
+}
+
+/// Branchless z-slab sweep over [z0, z1) using a precomputed cost table.
+/// Boundary faces resolve to the cell itself (owner difference 0), so the
+/// inner loop is a straight-line select+gather chain; adding the resulting
+/// 0.0 terms leaves the non-negative accumulator bitwise unchanged, which
+/// keeps the fold order identical to the reference sweep's.
+double sweep_slab_table(const int* owner, const std::uint32_t* levels,
+                        amr::IntVec3 dims, const double* table, int z0,
+                        int z1) {
+  const std::size_t sy = static_cast<std::size_t>(dims.x);
+  const std::size_t sz =
+      static_cast<std::size_t>(dims.x) * static_cast<std::size_t>(dims.y);
+  double slab_total = 0.0;
+  for (int z = z0; z < z1; ++z) {
+    const std::size_t zstep = z + 1 < dims.z ? sz : 0;
+    for (int y = 0; y < dims.y; ++y) {
+      const std::size_t ystep = y + 1 < dims.y ? sy : 0;
+      const std::size_t base =
+          sy * static_cast<std::size_t>(y) + sz * static_cast<std::size_t>(z);
+      for (int x = 0; x < dims.x; ++x) {
+        const std::size_t c = base + static_cast<std::size_t>(x);
+        const std::size_t xn = c + static_cast<std::size_t>(x + 1 < dims.x);
+        const std::size_t yn = c + ystep;
+        const std::size_t zn = c + zstep;
+        const int oc = owner[c];
+        const std::uint32_t lc = levels[c];
+        slab_total += oc != owner[xn] ? table[lc & levels[xn]] : 0.0;
+        slab_total += oc != owner[yn] ? table[lc & levels[yn]] : 0.0;
+        slab_total += oc != owner[zn] ? table[lc & levels[zn]] : 0.0;
+      }
+    }
+  }
+  return slab_total;
+}
 }  // namespace
 
 std::vector<double> processor_loads(const WorkGrid& grid,
@@ -42,6 +106,33 @@ std::vector<double> processor_storage(const WorkGrid& grid,
   return storage;
 }
 
+double reference_communication_volume(const WorkGrid& grid,
+                                      const OwnerMap& owners) {
+  if (owners.owner.size() != grid.cell_count())
+    throw std::invalid_argument(
+        "reference_communication_volume: size mismatch");
+  const amr::IntVec3 dims = grid.lattice_dims();
+  const int g = grid.grain();
+
+  // Every face is visited from its lower cell, x then y then z per cell.
+  double total = 0.0;
+  for (int z = 0; z < dims.z; ++z)
+    for (int y = 0; y < dims.y; ++y)
+      for (int x = 0; x < dims.x; ++x) {
+        const std::size_t c = grid.linear({x, y, z});
+        const auto face = [&](std::size_t n) {
+          if (owners.owner[c] == owners.owner[n]) return;
+          total += face_cost_scalar(
+              grid.levels_present(c) & grid.levels_present(n), g,
+              grid.num_levels(), grid.ratio());
+        };
+        if (x + 1 < dims.x) face(grid.linear({x + 1, y, z}));
+        if (y + 1 < dims.y) face(grid.linear({x, y + 1, z}));
+        if (z + 1 < dims.z) face(grid.linear({x, y, z + 1}));
+      }
+  return total;
+}
+
 double communication_volume(const WorkGrid& grid, const OwnerMap& owners,
                             int threads) {
   if (owners.owner.size() != grid.cell_count())
@@ -49,56 +140,19 @@ double communication_volume(const WorkGrid& grid, const OwnerMap& owners,
   PRAGMA_SPAN_VAR(span, "partition", "communication_volume");
   span.annotate("cells", grid.cell_count());
   const amr::IntVec3 dims = grid.lattice_dims();
-  const int g = grid.grain();
+  if (grid.num_levels() > kCommTableMaxLevels)
+    return reference_communication_volume(grid, owners);
 
-  // For every lattice face between differently-owned cells, charge the
-  // ghost-exchange area of each level present on both sides: a level-l face
-  // is (g r^l)^2 cells, exchanged r^l times per coarse step.
-  auto face_cost = [&](std::size_t a, std::size_t b) {
-    const std::uint32_t shared =
-        grid.levels_present(a) & grid.levels_present(b);
-    if (shared == 0) return 0.0;
-    double cost = 0.0;
-    double r = 1.0;
-    for (int l = 0; l < grid.num_levels(); ++l) {
-      if (shared & (1u << l)) {
-        const double edge = static_cast<double>(g) * r;
-        cost += edge * edge * r;
-      }
-      r *= static_cast<double>(grid.ratio());
-    }
-    return cost;
-  };
+  const std::vector<double> table =
+      build_cost_table(grid.grain(), grid.num_levels(), grid.ratio());
+  const int* owner = owners.owner.data();
+  const std::uint32_t* levels = grid.levels().data();
 
-  // Every face is visited from its lower cell, so z-slabs [z0, z1) sweep
-  // disjoint face sets; per-slab partials are reduced in slab order.
-  auto sweep_slab = [&](int z0, int z1) {
-    double slab_total = 0.0;
-    for (int z = z0; z < z1; ++z)
-      for (int y = 0; y < dims.y; ++y)
-        for (int x = 0; x < dims.x; ++x) {
-          const std::size_t c = grid.linear({x, y, z});
-          if (x + 1 < dims.x) {
-            const std::size_t n = grid.linear({x + 1, y, z});
-            if (owners.owner[c] != owners.owner[n])
-              slab_total += face_cost(c, n);
-          }
-          if (y + 1 < dims.y) {
-            const std::size_t n = grid.linear({x, y + 1, z});
-            if (owners.owner[c] != owners.owner[n])
-              slab_total += face_cost(c, n);
-          }
-          if (z + 1 < dims.z) {
-            const std::size_t n = grid.linear({x, y, z + 1});
-            if (owners.owner[c] != owners.owner[n])
-              slab_total += face_cost(c, n);
-          }
-        }
-    return slab_total;
-  };
+  if (threads <= 1 || dims.z < 2)
+    return sweep_slab_table(owner, levels, dims, table.data(), 0, dims.z);
 
-  if (threads <= 1 || dims.z < 2) return sweep_slab(0, dims.z);
-
+  // Z-slabs sweep disjoint face sets; per-slab partials reduce in slab
+  // order (bitwise equal to the serial sweep for the integer-valued costs).
   std::vector<double> partials(
       std::min<std::size_t>(static_cast<std::size_t>(threads),
                             static_cast<std::size_t>(dims.z)),
@@ -107,11 +161,111 @@ double communication_volume(const WorkGrid& grid, const OwnerMap& owners,
       static_cast<std::size_t>(dims.z), static_cast<int>(partials.size()),
       [&](std::size_t block, std::size_t begin, std::size_t end) {
         partials[block] =
-            sweep_slab(static_cast<int>(begin), static_cast<int>(end));
+            sweep_slab_table(owner, levels, dims, table.data(),
+                             static_cast<int>(begin), static_cast<int>(end));
       });
   double total = 0.0;
   for (std::size_t b = 0; b < used; ++b) total += partials[b];
   return total;
+}
+
+bool IncrementalCommVolume::shape_matches(const WorkGrid& grid) const {
+  const amr::IntVec3 d = grid.lattice_dims();
+  return d.x == dims_.x && d.y == dims_.y && d.z == dims_.z &&
+         grain_ == grid.grain() && num_levels_ == grid.num_levels() &&
+         ratio_ == grid.ratio();
+}
+
+void IncrementalCommVolume::reset(const WorkGrid& grid,
+                                  const OwnerMap& owners) {
+  validate_owners("IncrementalCommVolume::reset", grid, owners);
+  dims_ = grid.lattice_dims();
+  grain_ = grid.grain();
+  num_levels_ = grid.num_levels();
+  ratio_ = grid.ratio();
+  prev_owner_ = owners.owner;
+  prev_levels_ = grid.levels();
+  table_ = num_levels_ <= kCommTableMaxLevels
+               ? build_cost_table(grain_, num_levels_, ratio_)
+               : std::vector<double>{};
+
+  const std::size_t count = grid.cell_count();
+  face_.assign(count * 3, 0.0);
+  const std::size_t sy = static_cast<std::size_t>(dims_.x);
+  const std::size_t sz = sy * static_cast<std::size_t>(dims_.y);
+  const auto cost = [&](std::size_t a, std::size_t b) {
+    if (prev_owner_[a] == prev_owner_[b]) return 0.0;
+    const std::uint32_t mask = prev_levels_[a] & prev_levels_[b];
+    return table_.empty()
+               ? face_cost_scalar(mask, grain_, num_levels_, ratio_)
+               : table_[mask];
+  };
+  // Prime the total with the serial sweep's fold order (z, y, x cells;
+  // x, y, z faces per cell) so it starts bitwise-identical to
+  // communication_volume.
+  total_ = 0.0;
+  for (int z = 0; z < dims_.z; ++z)
+    for (int y = 0; y < dims_.y; ++y)
+      for (int x = 0; x < dims_.x; ++x) {
+        const std::size_t c = static_cast<std::size_t>(x) +
+                              sy * static_cast<std::size_t>(y) +
+                              sz * static_cast<std::size_t>(z);
+        if (x + 1 < dims_.x) total_ += face_[c * 3 + 0] = cost(c, c + 1);
+        if (y + 1 < dims_.y) total_ += face_[c * 3 + 1] = cost(c, c + sy);
+        if (z + 1 < dims_.z) total_ += face_[c * 3 + 2] = cost(c, c + sz);
+      }
+}
+
+double IncrementalCommVolume::update(const WorkGrid& grid,
+                                     const OwnerMap& owners) {
+  if (!primed() || !shape_matches(grid) ||
+      owners.owner.size() != prev_owner_.size()) {
+    reset(grid, owners);
+    return total_;
+  }
+  validate_owners("IncrementalCommVolume::update", grid, owners);
+  PRAGMA_SPAN_VAR(span, "partition", "communication_volume.incremental");
+
+  const std::vector<std::uint32_t>& levels = grid.levels();
+  const std::size_t count = prev_owner_.size();
+  const std::size_t sy = static_cast<std::size_t>(dims_.x);
+  const std::size_t sz = sy * static_cast<std::size_t>(dims_.y);
+  const auto cost = [&](std::size_t a, std::size_t b) {
+    if (owners.owner[a] == owners.owner[b]) return 0.0;
+    const std::uint32_t mask = levels[a] & levels[b];
+    return table_.empty()
+               ? face_cost_scalar(mask, grain_, num_levels_, ratio_)
+               : table_[mask];
+  };
+  // Re-evaluating a face is idempotent (second visit contributes new - new
+  // = 0), so both endpoints of a face may independently trigger it without
+  // any dedup bookkeeping.  The += of integer-valued deltas is exact, so
+  // total_ stays equal to the full sweep bit for bit.
+  const auto refresh = [&](std::size_t cell, std::size_t axis,
+                           std::size_t neighbor) {
+    const std::size_t f = cell * 3 + axis;
+    const double fresh = cost(cell, neighbor);
+    total_ += fresh - face_[f];
+    face_[f] = fresh;
+  };
+  std::size_t changed = 0;
+  for (std::size_t c = 0; c < count; ++c) {
+    if (owners.owner[c] == prev_owner_[c] && levels[c] == prev_levels_[c])
+      continue;
+    ++changed;
+    const amr::IntVec3 p = grid.coords(c);
+    if (p.x + 1 < dims_.x) refresh(c, 0, c + 1);
+    if (p.y + 1 < dims_.y) refresh(c, 1, c + sy);
+    if (p.z + 1 < dims_.z) refresh(c, 2, c + sz);
+    if (p.x > 0) refresh(c - 1, 0, c);
+    if (p.y > 0) refresh(c - sy, 1, c);
+    if (p.z > 0) refresh(c - sz, 2, c);
+    prev_owner_[c] = owners.owner[c];
+    prev_levels_[c] = levels[c];
+  }
+  span.annotate("changed_cells", changed);
+  span.annotate("cells", count);
+  return total_;
 }
 
 double migration_fraction(const WorkGrid& grid, const OwnerMap& previous,
@@ -129,7 +283,8 @@ double migration_fraction(const WorkGrid& grid, const OwnerMap& previous,
 
 PacMetrics evaluate_pac(const WorkGrid& grid, const PartitionResult& result,
                         std::span<const double> targets,
-                        const OwnerMap* previous, int threads) {
+                        const OwnerMap* previous, int threads,
+                        IncrementalCommVolume* comm_tracker) {
   validate_owners("evaluate_pac", grid, result.owners);
   if (targets.size() != static_cast<std::size_t>(result.owners.nprocs))
     throw std::invalid_argument("evaluate_pac: targets/nprocs mismatch");
@@ -148,7 +303,10 @@ PacMetrics evaluate_pac(const WorkGrid& grid, const PartitionResult& result,
   }
   metrics.load_imbalance = total > 0.0 ? std::max(0.0, worst - 1.0) : 0.0;
 
-  metrics.communication = communication_volume(grid, result.owners, threads);
+  metrics.communication =
+      comm_tracker != nullptr
+          ? comm_tracker->update(grid, result.owners)
+          : communication_volume(grid, result.owners, threads);
   metrics.partition_time = result.partition_seconds;
   if (previous != nullptr)
     metrics.data_migration = migration_fraction(grid, *previous,

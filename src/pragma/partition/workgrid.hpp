@@ -9,19 +9,35 @@
 //   * which levels are present (for communication weighting),
 //   * the storage volume (for migration cost).
 // Partitioners then assign each grain cell to a processor.
+//
+// Incremental maintenance: most regrids move a small fraction of the
+// hierarchy's boxes, so a grid can be *updated* from an amr::HierarchyDelta
+// (apply_delta) instead of re-rasterized from scratch — only the grain
+// cells covered by added/removed boxes are touched.  Per-box contributions
+// are integer-valued by construction (overlap volumes times integer powers
+// of the refinement ratio), so the subtract/re-add round-trip is exact and
+// the updated grid is bitwise-identical to a full rebuild; reference_build
+// keeps the scalar rebuild around as the equivalence oracle.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "pragma/amr/delta.hpp"
 #include "pragma/amr/hierarchy.hpp"
 #include "pragma/partition/prefix_sums.hpp"
 #include "pragma/partition/sfc.hpp"
 
 namespace pragma::partition {
+
+/// Deltas whose churn() exceeds this are cheaper to absorb with a full
+/// rebuild (the incremental path's per-touched-cell bookkeeping stops
+/// paying for itself well before half the boxes have moved).
+inline constexpr double kIncrementalChurnLimit = 0.35;
 
 class WorkGrid {
  public:
@@ -32,11 +48,27 @@ class WorkGrid {
   WorkGrid(const amr::GridHierarchy& hierarchy, int grain,
            CurveKind curve = CurveKind::kHilbert, int threads = 1);
 
+  /// Bitwise equivalence oracle: the same grid built with the pre-SIMD
+  /// scalar per-box kernel (serial).  Tests and the perf-smoke bench gate
+  /// the vectorized constructor and apply_delta against this.
+  [[nodiscard]] static WorkGrid reference_build(
+      const amr::GridHierarchy& hierarchy, int grain,
+      CurveKind curve = CurveKind::kHilbert);
+
+  /// Update this grid in place from a hierarchy delta, touching only the
+  /// grain cells covered by the delta's boxes (work, level masks, storage,
+  /// SFC sequence, and prefix sums).  Returns false — leaving the grid
+  /// unmodified — when the delta cannot be applied: incompatible domain or
+  /// ratio, level-count mismatch with this grid's state, or more levels
+  /// than the 32-bit mask can hold.  Callers fall back to a full rebuild.
+  [[nodiscard]] bool apply_delta(const amr::HierarchyDelta& delta);
+
   [[nodiscard]] int grain() const { return grain_; }
   [[nodiscard]] amr::IntVec3 lattice_dims() const { return dims_; }
   [[nodiscard]] std::size_t cell_count() const { return work_.size(); }
   [[nodiscard]] int num_levels() const { return num_levels_; }
   [[nodiscard]] int ratio() const { return ratio_; }
+  [[nodiscard]] CurveKind curve() const { return curve_; }
 
   /// Work of grain cell `c` (linear index).
   [[nodiscard]] double work(std::size_t c) const { return work_[c]; }
@@ -45,6 +77,11 @@ class WorkGrid {
   /// Bitmask of levels present in grain cell `c` (bit l = level l).
   [[nodiscard]] std::uint32_t levels_present(std::size_t c) const {
     return levels_[c];
+  }
+  /// The full per-cell level-mask array (the communication kernels stream
+  /// it; element c == levels_present(c)).
+  [[nodiscard]] const std::vector<std::uint32_t>& levels() const {
+    return levels_;
   }
   /// Storage volume of grain cell `c` in cell-equivalents across levels.
   [[nodiscard]] double storage(std::size_t c) const { return storage_[c]; }
@@ -77,25 +114,44 @@ class WorkGrid {
   [[nodiscard]] amr::Box cell_box(std::size_t c) const;
 
  private:
+  WorkGrid(const amr::GridHierarchy& hierarchy, int grain, CurveKind curve,
+           int threads, bool reference_kernels);
+
   int grain_;
   amr::IntVec3 dims_{0, 0, 0};
   int num_levels_ = 1;
   int ratio_ = 2;
+  CurveKind curve_ = CurveKind::kHilbert;
   std::vector<double> work_;
   std::vector<std::uint32_t> levels_;
   std::vector<double> storage_;
+  /// Per-level box cover counts, level-major: cover_[l * cell_count() + c]
+  /// = number of level-l boxes overlapping grain cell c.  levels_ is the
+  /// derived bitmask (bit l set iff the count is nonzero); the counts are
+  /// what make level bits removable under apply_delta.
+  std::vector<std::uint32_t> cover_;
   std::shared_ptr<const std::vector<std::uint32_t>> order_;
+  /// Inverse of order_, fetched lazily on the first apply_delta.
+  std::shared_ptr<const std::vector<std::uint32_t>> rank_;
   std::vector<double> sequence_;
   PrefixSums prefix_;
   double total_work_ = 0.0;
 };
 
-/// Thread-safe cache of immutable WorkGrids keyed by (snapshot index,
+/// Thread-safe LRU cache of immutable WorkGrids keyed by (snapshot index,
 /// grain, curve).  Trace replays and multi-run benches request the same
 /// canonical grid once per partitioner run; with the cache each grid is
-/// rasterized exactly once per trace and shared from then on.
+/// rasterized exactly once per trace and shared from then on.  The entry
+/// count is bounded (least-recently-used grids are evicted) so long
+/// multi-run services do not grow without limit, and steady-state regrids
+/// can derive snapshot i's grid from snapshot i-1's via apply_delta
+/// (get_or_update) instead of rebuilding.
 class WorkGridCache {
  public:
+  static constexpr std::size_t kDefaultMaxEntries = 64;
+
+  explicit WorkGridCache(std::size_t max_entries = kDefaultMaxEntries);
+
   /// Return the cached grid for (`snapshot`, `grain`, `curve`), building it
   /// from `hierarchy` on first request.  The caller must use a stable
   /// snapshot index <-> hierarchy mapping for the lifetime of the cache.
@@ -103,8 +159,31 @@ class WorkGridCache {
       std::size_t snapshot, const amr::GridHierarchy& hierarchy, int grain,
       CurveKind curve, int threads = 1);
 
+  /// Like get_or_build, but on a miss first tries to derive the grid from
+  /// the cached (`prev_snapshot`, `grain`, `curve`) entry by applying the
+  /// hierarchy delta — a copy plus an update over the touched cells, which
+  /// at low regrid churn is far cheaper than re-rasterizing.  Falls back to
+  /// a full build when the previous grid is absent, the delta churn exceeds
+  /// kIncrementalChurnLimit, or apply_delta rejects the delta.
+  [[nodiscard]] std::shared_ptr<const WorkGrid> get_or_update(
+      std::size_t snapshot, const amr::GridHierarchy& hierarchy,
+      std::size_t prev_snapshot, const amr::GridHierarchy& prev_hierarchy,
+      int grain, CurveKind curve, int threads = 1);
+
   [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t max_entries() const { return max_entries_; }
   void clear();
+
+  /// Monotonic counters since construction (also exported through the obs
+  /// metrics registry as partition.workgrid_cache.*).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t incremental_builds = 0;  ///< grids derived via apply_delta
+    std::uint64_t full_builds = 0;         ///< grids rasterized from scratch
+  };
+  [[nodiscard]] Stats stats() const;
 
  private:
   struct Key {
@@ -121,9 +200,23 @@ class WorkGridCache {
       return static_cast<std::size_t>(h ^ (h >> 32));
     }
   };
+  struct Entry {
+    std::shared_ptr<const WorkGrid> grid;
+    std::list<Key>::iterator lru;
+  };
 
+  /// Callers hold the lock.  find_locked refreshes recency on hit;
+  /// insert_locked evicts the LRU tail past the cap.
+  [[nodiscard]] std::shared_ptr<const WorkGrid> find_locked(const Key& key);
+  std::shared_ptr<const WorkGrid> insert_locked(
+      const Key& key, std::shared_ptr<const WorkGrid> grid);
+
+  const std::size_t max_entries_;
   mutable std::mutex mutex_;
-  std::unordered_map<Key, std::shared_ptr<const WorkGrid>, KeyHash> cache_;
+  std::unordered_map<Key, Entry, KeyHash> cache_;
+  /// Most-recently-used at the front.
+  std::list<Key> lru_;
+  Stats stats_;
 };
 
 }  // namespace pragma::partition

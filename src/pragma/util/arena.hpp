@@ -1,0 +1,90 @@
+// Reusable per-thread scratch memory for hot kernels.
+//
+// The vectorized rasterization and communication kernels need small
+// transient arrays (per-axis overlap tables, touched-cell stamps) for every
+// box or delta they process.  Allocating those per box would put a heap
+// round-trip in the innermost hot path; a ScratchArena instead hands out
+// spans carved from grow-only storage that is reset (not freed) between
+// uses, so steady-state kernels allocate nothing.
+//
+// Storage is a list of chunks that never move: carving a new span can add
+// a chunk but never reallocates an existing one, so spans stay valid from
+// one reset() to the next even when later carves grow the arena.  reset()
+// coalesces multiple chunks into one, so after warm-up every carve is a
+// bump allocation in a single block.
+//
+// The arena is intentionally trivial: no destructors run, so only
+// trivially-destructible element types are allowed.  Use the thread_local
+// accessor `scratch_arena()` from kernels that may run on the shared
+// ThreadPool — each worker gets its own arena, so no synchronization is
+// needed.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace pragma::util {
+
+class ScratchArena {
+ public:
+  /// Invalidate every span handed out so far and start carving from the
+  /// front again.  Capacity is kept (grow-only); fragmented chunks from a
+  /// growth burst are merged into one.
+  void reset() {
+    if (chunks_.size() > 1) {
+      std::size_t total = 0;
+      for (const auto& chunk : chunks_) total += chunk.size();
+      chunks_.clear();
+      chunks_.emplace_back(total);
+    }
+    used_ = 0;
+  }
+
+  /// A span of `count` value-initialized (zeroed) elements, valid until the
+  /// next reset().
+  template <typename T>
+  [[nodiscard]] std::span<T> make_span(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "ScratchArena never runs destructors");
+    const std::size_t bytes = count * sizeof(T);
+    std::size_t offset =
+        (used_ + alignof(T) - 1) / alignof(T) * alignof(T);
+    if (chunks_.empty() || offset + bytes > chunks_.back().size()) {
+      // A fresh chunk at least doubles the arena: the amortized warm-up
+      // cost stays O(total) and reset() folds the pieces back together.
+      const std::size_t grown = std::max<std::size_t>(
+          {bytes, capacity_bytes() * 2, std::size_t{4096}});
+      chunks_.emplace_back(grown);
+      offset = 0;
+    }
+    T* data = reinterpret_cast<T*>(chunks_.back().data() + offset);
+    used_ = offset + bytes;
+    std::span<T> span(data, count);
+    for (T& value : span) value = T{};
+    return span;
+  }
+
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const auto& chunk : chunks_) total += chunk.size();
+    return total;
+  }
+
+ private:
+  /// Chunks never move once allocated; used_ indexes into chunks_.back().
+  std::vector<std::vector<std::uint8_t>> chunks_;
+  std::size_t used_ = 0;
+};
+
+/// The calling thread's scratch arena.  Callers must reset() before carving
+/// (spans from earlier call sites on the same thread are dead by then).
+[[nodiscard]] inline ScratchArena& scratch_arena() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace pragma::util
