@@ -22,6 +22,7 @@ pragma_bench(fig4_capacity_pipeline)
 pragma_bench(ablation_sensitivity)
 pragma_bench(chaos_soak)
 pragma_bench(service_throughput)
+pragma_bench(distributed_service)
 
 function(pragma_micro_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)

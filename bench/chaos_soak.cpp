@@ -27,6 +27,14 @@
 // with a final report bit-identical to an uninterrupted run at the same
 // seed.
 //
+// A third, worker-churn phase deploys the elastic coordinator/worker
+// control plane (service::DistributedService): a small burst of managed
+// runs over a worker pool that loses a member mid-burst (SIGKILL, no
+// oracle — the heartbeat detector must confirm the death) and gains a
+// late joiner.  The burst must drain with at least one checkpoint
+// failover and every final report bit-identical to an uninterrupted
+// single-process reference.
+//
 // Results land in BENCH_chaos_soak.json using the same name -> numeric
 // fields schema as BENCH_partition_pipeline.json.  Exit code is non-zero
 // when any invariant fails, so CI can run this directly.
@@ -43,6 +51,7 @@
 #include "bench_common.hpp"
 #include "pragma/core/managed_run.hpp"
 #include "pragma/io/checkpoint.hpp"
+#include "pragma/service/worker.hpp"
 
 using namespace pragma;
 
@@ -285,6 +294,100 @@ int main(int argc, char** argv) {
   fs::remove_all(ckpt_dir);
   fs::remove_all(ckpt_dir + "-ref");
 
+  // ---- worker-churn phase: elastic control plane under kill + join ----
+  const std::string churn_root =
+      (fs::temp_directory_path() / "pragma_chaos_soak_churn").string();
+  fs::remove_all(churn_root);
+  const int churn_runs = 4;
+  const int churn_steps = 14;
+
+  auto churn_spec = [&](int index, const std::string& dir) {
+    service::RunSpec spec;
+    spec.name = "churn-" + std::to_string(index);
+    spec.kind = service::WorkloadKind::kManaged;
+    spec.app.coarse_steps = churn_steps;
+    spec.nprocs = 8;
+    spec.seed = soak.seed + 1000ull * static_cast<unsigned>(index);
+    spec.persist.enabled = true;
+    spec.persist.dir = dir;
+    spec.persist.checkpoint_interval_s = 1e-6;
+    spec.persist.keep_last_n = 4;
+    return spec;
+  };
+
+  std::printf("\nworker churn: 3 workers, kill w0 mid-burst, join w3 ...\n");
+  service::DistributedConfig plane;
+  plane.enabled = true;
+  plane.heartbeat.period_s = 0.5;
+  plane.heartbeat.suspect_missed = 3;
+  plane.heartbeat.confirm_missed = 6;
+  plane.dispatch_period_s = 0.25;
+  plane.slice_steps = 6;
+  plane.slice_sim_s = 1.0;
+  plane.checkpoint_root = churn_root;
+  service::DistributedService dist(plane, soak.seed);
+  dist.add_worker("w0");
+  dist.add_worker("w1");
+  dist.add_worker("w2");
+  // Kill between slices of whatever w0 is running; a replacement joins
+  // while the detector is still walking w0 through suspect -> confirmed.
+  dist.schedule_kill(1.7, "w0");
+  dist.schedule_join(2.5, "w3");
+
+  std::vector<std::uint64_t> churn_ids;
+  bool churn_admitted = true;
+  for (int i = 0; i < churn_runs; ++i) {
+    const auto id =
+        dist.submit(churn_spec(i, churn_root + "/run-" + std::to_string(i)));
+    if (!id) {
+      churn_admitted = false;
+      break;
+    }
+    churn_ids.push_back(id.value());
+  }
+  const bool churn_drained =
+      churn_admitted && dist.run_until_done(600.0).is_ok();
+
+  bool churn_identical = churn_drained;
+  std::size_t churn_completed = 0;
+  if (churn_drained) {
+    for (int i = 0; i < churn_runs; ++i) {
+      const service::DistRun* run =
+          dist.coordinator().find(churn_ids[static_cast<std::size_t>(i)]);
+      if (run == nullptr ||
+          run->state != service::DistRunState::kCompleted) {
+        churn_identical = false;
+        continue;
+      }
+      ++churn_completed;
+      const core::ManagedRunReport reference =
+          core::ManagedRun(
+              churn_spec(i, churn_root + "/ref-" + std::to_string(i))
+                  .to_managed())
+              .run();
+      if (!reports_bit_identical(run->outcome.managed, reference))
+        churn_identical = false;
+    }
+  }
+  const service::CoordinatorStats dist_stats = dist.coordinator().stats();
+  const std::vector<double> recoveries = dist.recovery_latencies();
+  double mean_recovery_s = 0.0;
+  for (const double r : recoveries) mean_recovery_s += r;
+  if (!recoveries.empty())
+    mean_recovery_s /= static_cast<double>(recoveries.size());
+
+  std::printf("\nworker-churn invariants:\n");
+  check(churn_drained, "burst drained despite kill + join");
+  check(churn_completed == static_cast<std::size_t>(churn_runs),
+        "every run completed exactly once");
+  check(dist_stats.failovers >= 1,
+        "killed worker's run failed over from durable checkpoints");
+  check(dist_stats.confirms >= 1,
+        "death was confirmed by heartbeat silence, not an oracle");
+  check(churn_identical,
+        "churned outcomes bit-identical to single-process references");
+  fs::remove_all(churn_root);
+
   util::BenchJsonWriter json;
   json.entry("chaos_soak/recovery")
       .field("detected_failures", chaos.detected_failures)
@@ -321,6 +424,15 @@ int main(int argc, char** argv) {
       .field("bit_identical", reports_bit_identical(durable_ref, recovered)
                                   ? 1
                                   : 0);
+  json.entry("chaos_soak/worker_churn")
+      .field("runs", static_cast<std::size_t>(churn_runs))
+      .field("completed", churn_completed)
+      .field("failovers", dist_stats.failovers)
+      .field("steals", dist_stats.steals)
+      .field("confirms", dist_stats.confirms)
+      .field("rejoins", dist_stats.rejoins)
+      .field("mean_recovery_s", mean_recovery_s, 3)
+      .field("bit_identical", churn_identical ? 1 : 0);
   if (json.write("BENCH_chaos_soak.json"))
     std::printf("\nwrote BENCH_chaos_soak.json (%zu entries)\n",
                 json.entry_count());

@@ -68,7 +68,7 @@ ManagedRun::ManagedRun(ManagedRunConfig config)
 
   if (config_.persist.enabled)
     store_ = std::make_unique<io::CheckpointStore>(io::CheckpointStoreOptions{
-        config_.persist.dir, config_.persist.keep_generations,
+        config_.persist.dir, config_.persist.keep_last_n,
         io::kDefaultMaxPayloadBytes});
 }
 

@@ -104,8 +104,9 @@ struct PersistenceConfig {
   /// Simulated seconds between durable checkpoints (independent of the
   /// ft cadence; ft's interval wins when both subsystems are enabled).
   double checkpoint_interval_s = 25.0;
-  /// Validated generations retained on disk (>= 2 keeps a fallback).
-  int keep_generations = 3;
+  /// Retention window: generations kept on disk (>= 2 keeps a fallback).
+  /// GC never deletes the latest recoverable generation regardless.
+  int keep_last_n = 2;
   /// Deterministic partitioner cost model, like
   /// ft.modeled_partition_s_per_cell — required for byte-identical
   /// resume (<= 0 keeps nondeterministic wall clock).
@@ -247,6 +248,9 @@ class ManagedRun {
 
   [[nodiscard]] const grid::Cluster& cluster() const { return cluster_; }
   [[nodiscard]] const ManagedRunConfig& config() const { return config_; }
+  /// Coarse steps completed so far (includes restored steps after a
+  /// resume); lets a sliced executor track progress across halted runs.
+  [[nodiscard]] int completed_steps() const { return completed_steps_; }
   /// Present only when ft.enabled; valid for the object's lifetime.
   [[nodiscard]] const agents::HeartbeatDetector* detector() const {
     return detector_.get();

@@ -28,6 +28,11 @@ obs::Counter& checkpoint_write_failures_counter() {
       obs::metrics().counter("io.checkpoint.write_failures");
   return counter;
 }
+obs::Counter& checkpoint_gc_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("io.checkpoint.gc_removed");
+  return counter;
+}
 obs::Histogram& checkpoint_bytes_histogram() {
   static obs::Histogram& histogram = obs::metrics().histogram(
       "io.checkpoint.bytes",
@@ -149,7 +154,7 @@ util::Expected<std::vector<std::uint8_t>> decode_envelope(
 
 CheckpointStore::CheckpointStore(CheckpointStoreOptions options)
     : options_(std::move(options)) {
-  if (options_.keep_generations < 1) options_.keep_generations = 1;
+  if (options_.keep_last_n < 1) options_.keep_last_n = 1;
 }
 
 std::string CheckpointStore::path_for(std::uint64_t generation) const {
@@ -247,16 +252,37 @@ util::Status CheckpointStore::write_impl(
     if (!status.is_ok()) return status;
   }
 
-  // Prune generations beyond the retention window (never the one just
-  // written).  Best-effort: a failed unlink only wastes disk.
-  const std::vector<std::uint64_t> existing = generations();
-  if (existing.size() > static_cast<std::size_t>(options_.keep_generations))
-    for (std::size_t i = 0;
-         i < existing.size() -
-                 static_cast<std::size_t>(options_.keep_generations);
-         ++i)
-      ::unlink(path_for(existing[i]).c_str());
+  // Trim to the retention window.  The generation just written is the
+  // newest valid one, so gc() can never touch it.
+  gc();
   return util::Status::ok();
+}
+
+int CheckpointStore::gc() {
+  const std::vector<std::uint64_t> existing = generations();
+  const auto keep = static_cast<std::size_t>(options_.keep_last_n);
+  if (existing.size() <= keep) return 0;
+
+  // The latest recoverable state is sacrosanct: find the newest
+  // generation that passes full validation (torn or bit-flipped newer
+  // files do not count) and exempt it from the sweep.
+  std::uint64_t newest_valid = 0;
+  for (auto it = existing.rbegin(); it != existing.rend(); ++it) {
+    if (load_generation(*it)) {
+      newest_valid = *it;
+      break;
+    }
+  }
+
+  int removed = 0;
+  std::size_t excess = existing.size() - keep;
+  for (std::size_t i = 0; i < existing.size() && excess > 0; ++i) {
+    if (existing[i] == newest_valid) continue;
+    if (::unlink(path_for(existing[i]).c_str()) == 0) ++removed;
+    --excess;
+  }
+  if (removed > 0) checkpoint_gc_counter().add(static_cast<std::uint64_t>(removed));
+  return removed;
 }
 
 util::Expected<LoadedCheckpoint> CheckpointStore::load_generation(

@@ -61,10 +61,12 @@ inline constexpr std::uint64_t kDefaultMaxPayloadBytes = 64ull << 20;
 
 struct CheckpointStoreOptions {
   std::string dir;
-  /// Validated generations kept on disk; older ones are pruned after a
-  /// successful write.  Minimum 1 (the generation just written); keep ≥ 2
-  /// so a corrupted newest generation still has a fallback.
-  int keep_generations = 3;
+  /// Retention window: generations kept on disk; older ones are garbage-
+  /// collected after a successful write (or an explicit gc() call).
+  /// Minimum 1; keep ≥ 2 so a corrupted newest generation still has a
+  /// fallback.  GC never deletes the newest generation that validates,
+  /// even when it falls outside the window.
+  int keep_last_n = 2;
   std::uint64_t max_payload_bytes = kDefaultMaxPayloadBytes;
 };
 
@@ -79,9 +81,17 @@ class CheckpointStore {
   explicit CheckpointStore(CheckpointStoreOptions options);
 
   /// Durably write `payload` as the next generation (tmp + fsync + rename
-  /// + directory fsync).  On success older generations beyond
-  /// keep_generations are pruned.
+  /// + directory fsync).  On success gc() trims generations beyond
+  /// keep_last_n.
   util::Status write(const std::vector<std::uint8_t>& payload);
+
+  /// Trim the directory to the keep_last_n retention window, oldest
+  /// first.  The newest generation that passes full validation is always
+  /// retained — GC can never delete the latest recoverable state, no
+  /// matter how the window is set or how many newer torn/corrupt files
+  /// exist.  Best-effort (a failed unlink only wastes disk); returns the
+  /// number of files removed.
+  int gc();
 
   /// Newest generation that passes full validation.  Generations that
   /// fail are logged and skipped (and reported via `rejected` when

@@ -151,6 +151,12 @@ void add_run_flags(util::CliFlags& flags, const RunSpec& defaults) {
                    "control-message drop probability (with --ft)");
   flags.add_double("checkpoint", defaults.ft.checkpoint_interval_s,
                    "save-state interval in seconds (with --ft)");
+  flags.add_double("reliable-timeout", defaults.ft.reliable.timeout_s,
+                   "seconds before the first directive retry");
+  flags.add_double("reliable-backoff", defaults.ft.reliable.backoff_factor,
+                   "retry backoff multiplier for directives");
+  flags.add_int("reliable-attempts", defaults.ft.reliable.max_attempts,
+                "directive transmissions before abandoning the send");
   flags.add_string("ft-dir", defaults.persist.dir,
                    "durable checkpoint directory");
   flags.add_string("tenant", defaults.tenant,
@@ -178,6 +184,10 @@ RunSpec spec_from_flags(const util::CliFlags& flags, RunSpec base) {
   base.ft.enabled = flags.get_bool("ft");
   base.ft.channel.drop_probability = flags.get_double("drop");
   base.ft.checkpoint_interval_s = flags.get_double("checkpoint");
+  base.ft.reliable.timeout_s = flags.get_double("reliable-timeout");
+  base.ft.reliable.backoff_factor = flags.get_double("reliable-backoff");
+  base.ft.reliable.max_attempts =
+      static_cast<int>(flags.get_int("reliable-attempts"));
   base.persist.dir = flags.get_string("ft-dir");
   base.tenant = flags.get_string("tenant");
   base.priority = static_cast<int>(flags.get_int("priority"));

@@ -8,6 +8,7 @@ namespace pragma::service {
 
 Runtime::Runtime(Options options)
     : defaults_(std::move(options.defaults)),
+      distributed_(std::move(options.distributed)),
       scheduler_(options.scheduler, options.pool) {
   if (options.grid) {
     defaults_.nprocs = options.grid->nprocs;
@@ -45,6 +46,55 @@ RunOutcome Runtime::run(RunSpec spec) {
     return outcome;
   }
   return handle.value().wait();
+}
+
+std::vector<RunOutcome> Runtime::run_burst(std::vector<RunSpec> specs) {
+  std::vector<RunOutcome> outcomes(specs.size());
+  if (!distributed_.enabled) {
+    // The pre-existing path, untouched: submit everything to the
+    // in-process scheduler, then join in order.
+    std::vector<util::Expected<RunHandle>> handles;
+    handles.reserve(specs.size());
+    for (RunSpec& spec : specs) handles.push_back(submit(std::move(spec)));
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (handles[i]) {
+        outcomes[i] = handles[i].value().wait();
+      } else {
+        outcomes[i].state = RunState::kFailed;
+        outcomes[i].status = handles[i].status();
+      }
+    }
+    return outcomes;
+  }
+
+  DistributedService service(distributed_, defaults_.seed);
+  for (std::size_t w = 0; w < distributed_.workers; ++w)
+    service.add_worker("w" + std::to_string(w));
+  std::vector<std::pair<std::size_t, std::uint64_t>> admitted;
+  admitted.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    util::Expected<std::uint64_t> id = service.submit(std::move(specs[i]));
+    if (id) {
+      admitted.emplace_back(i, id.value());
+    } else {
+      outcomes[i].state = RunState::kFailed;
+      outcomes[i].status = id.status();
+    }
+  }
+  const util::Status status = service.run_until_done();
+  for (const auto& [index, id] : admitted) {
+    const DistRun* run = service.coordinator().find(id);
+    if (run != nullptr && is_terminal(run->state)) {
+      outcomes[index] = run->outcome;
+    } else {
+      outcomes[index].state = RunState::kFailed;
+      outcomes[index].status =
+          status.is_ok() ? util::Status::internal("run never reached a "
+                                                  "terminal state")
+                         : status;
+    }
+  }
+  return outcomes;
 }
 
 const grid::Cluster& Runtime::cluster() {

@@ -24,6 +24,7 @@
 
 #include "pragma/service/run_spec.hpp"
 #include "pragma/service/scheduler.hpp"
+#include "pragma/service/worker.hpp"
 
 namespace pragma::service {
 
@@ -43,6 +44,7 @@ class Runtime {
     std::optional<monitor::ResourceMonitorConfig> monitor;
     std::optional<obs::ObsConfig> obs;
     SchedulerConfig scheduler;
+    DistributedConfig distributed;
     util::ThreadPool* pool = nullptr;
   };
 
@@ -84,6 +86,14 @@ class Runtime {
       options_.pool = pool;
       return *this;
     }
+    /// Run bursts over the elastic coordinator/worker control plane
+    /// instead of the in-process scheduler.  Off by default; when
+    /// `config.enabled` is false the scheduler path is untouched and
+    /// byte-identical to a runtime built without this call.
+    Builder& distributed(DistributedConfig config) {
+      options_.distributed = std::move(config);
+      return *this;
+    }
     [[nodiscard]] Runtime build() { return Runtime(std::move(options_)); }
 
    private:
@@ -102,6 +112,16 @@ class Runtime {
   /// rejection comes back as a kFailed outcome carrying the status.
   RunOutcome run(RunSpec spec);
 
+  /// Execute a batch of runs and return their outcomes in order.  With
+  /// distributed mode off (the default) this is a thin loop over the
+  /// scheduler — submit all, wait all — so existing behavior is
+  /// unchanged.  With Builder::distributed({.enabled = true, ...}) the
+  /// burst is deployed on a fresh DistributedService: a coordinator plus
+  /// `distributed.workers` workers on one deterministic control network.
+  /// Admission shedding surfaces as kFailed outcomes carrying
+  /// Status::unavailable either way.
+  [[nodiscard]] std::vector<RunOutcome> run_burst(std::vector<RunSpec> specs);
+
   /// Block until every admitted run has finished.
   void drain() { scheduler_.drain(); }
 
@@ -116,6 +136,7 @@ class Runtime {
   explicit Runtime(Options options);
 
   RunSpec defaults_;
+  DistributedConfig distributed_;
   std::optional<grid::Cluster> cluster_;
   // Declared before scheduler_ so caches outlive in-flight runs during
   // destruction (members destroy in reverse order).

@@ -37,7 +37,7 @@ class CheckpointStoreTest : public ::testing::Test {
   [[nodiscard]] CheckpointStore make_store(int keep = 3) const {
     CheckpointStoreOptions options;
     options.dir = dir_.string();
-    options.keep_generations = keep;
+    options.keep_last_n = keep;
     return CheckpointStore(options);
   }
 
@@ -215,6 +215,52 @@ TEST_F(CheckpointStoreTest, PrunesOldGenerations) {
   ASSERT_EQ(gens.size(), 2u);
   EXPECT_EQ(gens[0], 4u);
   EXPECT_EQ(gens[1], 5u);
+}
+
+TEST_F(CheckpointStoreTest, GcNeverDeletesLatestRecoverableGeneration) {
+  // Write five generations under a wide window, then corrupt the two
+  // newest: the latest *recoverable* state is generation 3.
+  CheckpointStoreOptions wide;
+  wide.dir = dir_.string();
+  wide.keep_last_n = 10;
+  CheckpointStore store(wide);
+  for (int i = 1; i <= 5; ++i)
+    ASSERT_TRUE(store.write(payload_bytes(64, static_cast<std::uint8_t>(i)))
+                    .is_ok());
+  corrupt_file(store.path_for(4), kCheckpointHeaderBytes + 3, 0x01);
+  corrupt_file(store.path_for(5), kCheckpointHeaderBytes + 3, 0x01);
+  // GC with a keep-2 window would nominally retain only {4, 5} — but
+  // generation 3 is the latest recoverable state and must survive any
+  // number of passes, no matter how the window is set.
+  CheckpointStoreOptions narrow = wide;
+  narrow.keep_last_n = 2;
+  CheckpointStore reopened(narrow);
+  reopened.gc();
+  reopened.gc();
+  const auto loaded = reopened.load_latest_valid();
+  ASSERT_TRUE(loaded) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value().generation, 3u);
+  EXPECT_EQ(loaded.value().payload, payload_bytes(64, 3));
+}
+
+TEST_F(CheckpointStoreTest, GcTrimsToRetentionWindow) {
+  CheckpointStoreOptions options;
+  options.dir = dir_.string();
+  options.keep_last_n = 100;  // effectively unbounded while writing
+  CheckpointStore store(options);
+  for (int i = 1; i <= 6; ++i)
+    ASSERT_TRUE(store.write(payload_bytes(16, static_cast<std::uint8_t>(i)))
+                    .is_ok());
+  ASSERT_EQ(store.generations().size(), 6u);
+  CheckpointStoreOptions narrow = options;
+  narrow.keep_last_n = 2;
+  CheckpointStore reopened(narrow);
+  EXPECT_EQ(reopened.gc(), 4);
+  const auto gens = reopened.generations();
+  ASSERT_EQ(gens.size(), 2u);
+  EXPECT_EQ(gens[0], 5u);
+  EXPECT_EQ(gens[1], 6u);
+  EXPECT_EQ(reopened.gc(), 0);  // idempotent
 }
 
 TEST_F(CheckpointStoreTest, GenerationNumberingResumesAcrossInstances) {

@@ -1,0 +1,379 @@
+// Integration tests for the elastic coordinator/worker control plane:
+// lease dispatch over the reliable channel, heartbeat-driven liveness
+// (suspect -> un-suspect -> confirm, no oracle), work stealing, failover
+// from durable checkpoints with byte-identical final artifacts, graceful
+// degradation under partition, and the ServiceConfig knob that keeps the
+// single-process Scheduler path untouched when off.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pragma/core/managed_run.hpp"
+#include "pragma/service/runtime.hpp"
+#include "pragma/service/worker.hpp"
+#include "pragma/util/cli.hpp"
+
+namespace pragma::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string test_dir(const std::string& tag) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / ("pragma_dist_" + tag);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+/// A small managed run with durable persistence, patterned on the PR-3
+/// persistence tests (checkpoint on almost every step so a kill always
+/// has generations to recover from).
+RunSpec managed_spec(const std::string& dir, int steps = 18,
+                     std::uint64_t seed = 40) {
+  RunSpec spec;
+  spec.name = "dist";
+  spec.kind = WorkloadKind::kManaged;
+  spec.app.coarse_steps = steps;
+  spec.nprocs = 8;
+  spec.seed = seed;
+  spec.persist.enabled = true;
+  spec.persist.dir = dir;
+  spec.persist.checkpoint_interval_s = 1e-6;
+  spec.persist.keep_last_n = 4;
+  return spec;
+}
+
+/// Fast-cadence control plane so churn scenarios settle in a few
+/// simulated (and real) seconds.
+DistributedConfig fast_config() {
+  DistributedConfig config;
+  config.enabled = true;
+  config.heartbeat.topic = "dist.heartbeats";
+  config.heartbeat.period_s = 0.5;
+  config.heartbeat.suspect_missed = 3;  // suspected after 1.5 s silence
+  config.heartbeat.confirm_missed = 6;  // confirmed dead after 3 s
+  config.dispatch_period_s = 0.25;
+  config.slice_steps = 6;
+  config.slice_sim_s = 1.0;
+  return config;
+}
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// The PR-3 bit-identity contract, minus fields describing *this
+/// process's* lifecycle (halted/resumed/checkpoints_persisted).
+void expect_reports_bit_identical(const core::ManagedRunReport& a,
+                                  const core::ManagedRunReport& b) {
+  EXPECT_TRUE(same_bits(a.total_time_s, b.total_time_s))
+      << a.total_time_s << " vs " << b.total_time_s;
+  EXPECT_EQ(a.regrids, b.regrids);
+  EXPECT_EQ(a.repartitions, b.repartitions);
+  EXPECT_EQ(a.agent_events, b.agent_events);
+  EXPECT_EQ(a.adm_decisions, b.adm_decisions);
+  EXPECT_EQ(a.event_repartitions, b.event_repartitions);
+  EXPECT_EQ(a.partitioner_switches, b.partitioner_switches);
+  EXPECT_TRUE(same_bits(a.cells_advanced, b.cells_advanced));
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const core::ManagedStepRecord& ra = a.records[i];
+    const core::ManagedStepRecord& rb = b.records[i];
+    EXPECT_EQ(ra.step, rb.step) << "record " << i;
+    EXPECT_EQ(ra.octant, rb.octant) << "record " << i;
+    EXPECT_EQ(ra.partitioner, rb.partitioner) << "record " << i;
+    EXPECT_TRUE(same_bits(ra.sim_time_s, rb.sim_time_s)) << "record " << i;
+    EXPECT_TRUE(same_bits(ra.step_time_s, rb.step_time_s)) << "record " << i;
+    EXPECT_TRUE(same_bits(ra.imbalance, rb.imbalance)) << "record " << i;
+    EXPECT_EQ(ra.live_nodes, rb.live_nodes) << "record " << i;
+  }
+}
+
+/// Uninterrupted single-process reference for a spec (distinct dir so the
+/// distributed run's generations are untouched).
+core::ManagedRunReport reference_report(RunSpec spec,
+                                        const std::string& dir) {
+  spec.persist.dir = dir;
+  return core::ManagedRun(spec.to_managed()).run();
+}
+
+TEST(Distributed, BurstCompletesAndMatchesStandalone) {
+  const std::string root = test_dir("burst");
+  DistributedService service(fast_config(), /*seed=*/40);
+  service.add_worker("w0");
+  service.add_worker("w1");
+  std::vector<std::uint64_t> ids;
+  std::vector<RunSpec> specs;
+  for (int i = 0; i < 3; ++i) {
+    specs.push_back(managed_spec(root + "/run-" + std::to_string(i), 14,
+                                 40 + 1000ull * static_cast<unsigned>(i)));
+    const auto id = service.submit(specs.back());
+    ASSERT_TRUE(id) << id.status().to_string();
+    ids.push_back(id.value());
+  }
+  ASSERT_TRUE(service.run_until_done(300.0).is_ok());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const DistRun* run = service.coordinator().find(ids[i]);
+    ASSERT_NE(run, nullptr);
+    ASSERT_EQ(run->state, DistRunState::kCompleted);
+    expect_reports_bit_identical(
+        run->outcome.managed,
+        reference_report(specs[i], root + "/ref-" + std::to_string(i)));
+  }
+  EXPECT_EQ(service.coordinator().stats().completed, 3u);
+  EXPECT_EQ(service.coordinator().stats().failed, 0u);
+  fs::remove_all(root);
+}
+
+TEST(Distributed, KillMidRunFailsOverByteIdentical) {
+  const std::string root = test_dir("failover");
+  DistributedService service(fast_config(), /*seed=*/41);
+  service.add_worker("w0");
+  service.add_worker("w1");
+  const RunSpec spec = managed_spec(root + "/run", /*steps=*/30);
+  const auto id = service.submit(spec);
+  ASSERT_TRUE(id) << id.status().to_string();
+  // Both workers idle: the run lands on one of them and executes in
+  // ~1 s slices.  Kill the assignee mid-run; the confirm window is 3 s,
+  // so failover lands while the run is genuinely unfinished.
+  service.simulator().schedule_at(1.6, [&] {
+    const DistRun* run = service.coordinator().find(id.value());
+    ASSERT_NE(run, nullptr);
+    ASSERT_FALSE(run->assignee.empty());
+    // Map port back to worker name ("dist.worker.<name>").
+    const std::string name =
+        run->assignee.substr(dist::kWorkerPortPrefix.size());
+    service.schedule_kill(1.7, name);
+  });
+  ASSERT_TRUE(service.run_until_done(600.0).is_ok());
+
+  const DistRun* run = service.coordinator().find(id.value());
+  ASSERT_NE(run, nullptr);
+  ASSERT_EQ(run->state, DistRunState::kCompleted);
+  EXPECT_EQ(run->failovers, 1);
+  EXPECT_TRUE(run->outcome.managed.resumed)
+      << "failover must resume from the durable store, not restart";
+  EXPECT_GE(service.coordinator().stats().failovers, 1u);
+  expect_reports_bit_identical(run->outcome.managed,
+                               reference_report(spec, root + "/ref"));
+
+  const auto latencies = service.recovery_latencies();
+  ASSERT_FALSE(latencies.empty());
+  // Detection dominates: kill -> confirm is ~3 s at this cadence, plus a
+  // dispatch sweep.  Sanity-bound it rather than pin it.
+  EXPECT_GT(latencies.front(), 1.0);
+  EXPECT_LT(latencies.front(), 30.0);
+  fs::remove_all(root);
+}
+
+// Satellite: HeartbeatDetector flapping.  The assignee goes silent long
+// enough to be suspected, resumes (un-suspect, nothing stolen or lost),
+// then dies for real — exactly one failover, no duplicate execution.
+TEST(Distributed, FlappingWorkerSuspectsUnsuspectsThenDies) {
+  const std::string root = test_dir("flap");
+  DistributedService service(fast_config(), /*seed=*/42);
+  Worker& w0 = service.add_worker("w0");
+  service.add_worker("w1");
+  const RunSpec spec = managed_spec(root + "/run", /*steps=*/36);
+  const auto id = service.submit(spec);
+  ASSERT_TRUE(id) << id.status().to_string();
+  // Let the dispatch sweep land the run, then freeze whichever worker
+  // got it for 2 s: past the 1.5 s suspect window, short of the 3 s
+  // confirm window.
+  agents::PortId assignee;
+  service.simulator().schedule_at(0.6, [&] {
+    const DistRun* run = service.coordinator().find(id.value());
+    ASSERT_NE(run, nullptr);
+    assignee = run->assignee;
+    ASSERT_FALSE(assignee.empty());
+    const std::string name =
+        assignee.substr(dist::kWorkerPortPrefix.size());
+    service.schedule_stall(0.7, name, 2.0);
+    service.schedule_kill(6.0, name);  // later: dies for real
+  });
+  ASSERT_TRUE(service.run_until_done(600.0).is_ok());
+
+  const auto& detector = service.coordinator().detector();
+  EXPECT_GE(detector.suspects_raised(), 1u);
+  EXPECT_GE(detector.unsuspects(), 1u)
+      << "resumed heartbeats must clear the suspicion";
+
+  const DistRun* run = service.coordinator().find(id.value());
+  ASSERT_NE(run, nullptr);
+  ASSERT_EQ(run->state, DistRunState::kCompleted);
+  EXPECT_EQ(run->failovers, 1) << "exactly one failover, from the real death";
+  EXPECT_EQ(service.coordinator().stats().stale_results_ignored, 0u);
+  EXPECT_EQ(service.coordinator().stats().completed, 1u);
+  // No duplicate execution: exactly one completion across the pool.
+  std::size_t completions = w0.stats().completions;
+  if (const Worker* w1 = service.worker("w1"))
+    completions += w1->stats().completions;
+  EXPECT_EQ(completions, 1u);
+  expect_reports_bit_identical(run->outcome.managed,
+                               reference_report(spec, root + "/ref"));
+  fs::remove_all(root);
+}
+
+// Work stealing: a late joiner relieves the backlog of the only worker.
+TEST(Distributed, JoinMidBurstStealsBacklog) {
+  const std::string root = test_dir("steal");
+  DistributedConfig config = fast_config();
+  config.worker_queue_depth = 2;
+  DistributedService service(config, /*seed=*/43);
+  service.add_worker("w0");
+  const auto a = service.submit(managed_spec(root + "/a", 18, 40));
+  const auto b = service.submit(managed_spec(root + "/b", 18, 1040));
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  service.schedule_join(1.0, "w1");
+  ASSERT_TRUE(service.run_until_done(600.0).is_ok());
+  EXPECT_EQ(service.coordinator().stats().completed, 2u);
+  EXPECT_GE(service.coordinator().stats().steals, 1u)
+      << "the idle joiner should have stolen w0's queued lease";
+  const Worker* w1 = service.worker("w1");
+  ASSERT_NE(w1, nullptr);
+  EXPECT_GE(w1->stats().completions, 1u);
+  EXPECT_EQ(service.coordinator().stats().stale_results_ignored, 0u);
+  fs::remove_all(root);
+}
+
+// Partition: admitted work is queued, not lost; submissions beyond the
+// admission bound are shed with Status::unavailable; the healed worker
+// is fenced, re-registers, and finishes everything.
+TEST(Distributed, PartitionDegradesGracefully) {
+  DistributedConfig config = fast_config();
+  config.queue_capacity = 2;
+  DistributedService service(config, /*seed=*/44);
+  service.add_worker("w0");
+  service.schedule_partition(0.1, 8.0, {"w0"});
+
+  int executions = 0;
+  RunSpec quick;
+  quick.kind = WorkloadKind::kCustom;
+  quick.custom = [&executions](RunContext&) {
+    ++executions;
+    return util::Status::ok();
+  };
+  // Submit once the worker is already cut off: the leases cannot reach
+  // it, the worker is eventually confirmed dead, and the runs must sit
+  // in the queue (not lost, not failed) until the heal.
+  util::Expected<std::uint64_t> a = util::Status::internal("unset");
+  util::Expected<std::uint64_t> b = util::Status::internal("unset");
+  util::Expected<std::uint64_t> c = util::Status::internal("unset");
+  service.simulator().schedule_at(0.5, [&] {
+    a = service.submit(quick);
+    b = service.submit(quick);
+  });
+  // Queue full (capacity 2, worker unreachable): shed, not queued.
+  service.simulator().schedule_at(5.0, [&] { c = service.submit(quick); });
+  service.simulator().run(12.0);
+
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  ASSERT_TRUE(service.coordinator().all_done());
+  ASSERT_FALSE(c);
+  EXPECT_EQ(c.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_EQ(service.coordinator().stats().shed, 1u);
+  EXPECT_EQ(service.coordinator().stats().completed, 2u);
+  EXPECT_EQ(executions, 2);
+  EXPECT_GE(service.coordinator().stats().confirms, 1u)
+      << "the partitioned worker should have been confirmed dead";
+  EXPECT_GE(service.coordinator().stats().rejoins, 1u)
+      << "and fenced back in after the heal";
+}
+
+// The ServiceConfig knob: distributed off == the scheduler path,
+// distributed on == the same bytes over the control plane.
+TEST(Distributed, KnobOffMatchesSchedulerPathByteIdentical) {
+  const std::string root = test_dir("knob");
+  auto specs_for = [&](const std::string& tag) {
+    std::vector<RunSpec> specs;
+    specs.push_back(managed_spec(root + "/" + tag + "-0", 14, 40));
+    specs.push_back(managed_spec(root + "/" + tag + "-1", 14, 1040));
+    return specs;
+  };
+
+  Runtime off = Runtime::Builder{}.build();  // never calls distributed()
+  const std::vector<RunOutcome> scheduler_path =
+      off.run_burst(specs_for("sched"));
+
+  DistributedConfig config = fast_config();
+  config.workers = 2;
+  Runtime on = Runtime::Builder{}.distributed(config).build();
+  const std::vector<RunOutcome> distributed_path =
+      on.run_burst(specs_for("dist"));
+
+  ASSERT_EQ(scheduler_path.size(), distributed_path.size());
+  for (std::size_t i = 0; i < scheduler_path.size(); ++i) {
+    ASSERT_EQ(scheduler_path[i].state, RunState::kCompleted)
+        << scheduler_path[i].status.to_string();
+    ASSERT_EQ(distributed_path[i].state, RunState::kCompleted)
+        << distributed_path[i].status.to_string();
+    expect_reports_bit_identical(scheduler_path[i].managed,
+                                 distributed_path[i].managed);
+  }
+  fs::remove_all(root);
+}
+
+// Satellite: the reliable-channel knobs ride the one env/CLI merge path.
+TEST(Distributed, ReliableFlagsRoundTrip) {
+  util::CliFlags flags;
+  add_run_flags(flags, RunSpec{});
+  const char* argv[] = {"prog", "--reliable-timeout=0.25",
+                        "--reliable-backoff=3.5", "--reliable-attempts=11"};
+  ASSERT_TRUE(flags.parse(4, argv));
+  const RunSpec spec = spec_from_flags(flags);
+  EXPECT_EQ(spec.ft.reliable.timeout_s, 0.25);
+  EXPECT_EQ(spec.ft.reliable.backoff_factor, 3.5);
+  EXPECT_EQ(spec.ft.reliable.max_attempts, 11);
+  // Defaults pass through untouched when the flags are absent.
+  util::CliFlags defaults;
+  add_run_flags(defaults, RunSpec{});
+  const RunSpec untouched = spec_from_flags(defaults);
+  EXPECT_EQ(untouched.ft.reliable.timeout_s,
+            agents::ReliableConfig{}.timeout_s);
+  EXPECT_EQ(untouched.ft.reliable.max_attempts,
+            agents::ReliableConfig{}.max_attempts);
+}
+
+// Same-seed deployments are bitwise identical even with churn, and a
+// churning burst per thread keeps TSan quiet (each service is fully
+// thread-local; only the obs registry is shared).
+TEST(Distributed, ConcurrentChurningServicesAreDeterministic) {
+  const std::string root = test_dir("tsan");
+  constexpr int kThreads = 4;
+  std::vector<core::ManagedRunReport> reports(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &root, &reports] {
+      DistributedService service(fast_config(), /*seed=*/50);
+      service.add_worker("w0");
+      service.add_worker("w1");
+      // Same seed + same churn schedule in every thread: kill w0 mid-run,
+      // join a replacement.
+      service.schedule_kill(1.7, "w0");
+      service.schedule_join(2.0, "w2");
+      const std::string dir =
+          root + "/t" + std::to_string(t) + "/run";
+      const auto id = service.submit(managed_spec(dir, /*steps=*/24));
+      ASSERT_TRUE(id);
+      ASSERT_TRUE(service.run_until_done(600.0).is_ok());
+      const DistRun* run = service.coordinator().find(id.value());
+      ASSERT_NE(run, nullptr);
+      ASSERT_EQ(run->state, DistRunState::kCompleted);
+      reports[t] = run->outcome.managed;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t)
+    expect_reports_bit_identical(reports[0], reports[t]);
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace pragma::service
