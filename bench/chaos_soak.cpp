@@ -35,22 +35,40 @@
 // failover and every final report bit-identical to an uninterrupted
 // single-process reference.
 //
+// A fourth, journal-kill phase attacks the admission journal: a forked
+// child admits a burst through a journaled Runtime (recording every
+// durable admission in a separately fsynced oracle file) and is
+// SIGKILLed mid-burst — a real kill, not a simulated one.  The parent
+// then recovers the journal directory and requires zero lost runs:
+// every oracle entry is either tombstoned (completed before the kill)
+// or recovered and re-executed to a report bit-identical to an
+// uninterrupted reference.
+//
 // Results land in BENCH_chaos_soak.json using the same name -> numeric
 // fields schema as BENCH_partition_pipeline.json.  Exit code is non-zero
 // when any invariant fails, so CI can run this directly.
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "pragma/core/managed_run.hpp"
 #include "pragma/io/checkpoint.hpp"
+#include "pragma/service/runtime.hpp"
 #include "pragma/service/worker.hpp"
 
 using namespace pragma;
@@ -388,6 +406,144 @@ int main(int argc, char** argv) {
         "churned outcomes bit-identical to single-process references");
   fs::remove_all(churn_root);
 
+  // ---- journal-kill phase: SIGKILL mid-admission-burst, then recover ----
+  const std::string journal_dir =
+      (fs::temp_directory_path() / "pragma_chaos_soak_journal").string();
+  const std::string oracle_path = journal_dir + "-oracle";
+  fs::remove_all(journal_dir);
+  fs::remove(oracle_path);
+  const int journal_runs = 24;
+
+  auto journal_spec = [&](int index) {
+    service::RunSpec spec;
+    spec.name = "journal-" + std::to_string(index);
+    spec.kind = service::WorkloadKind::kManaged;
+    spec.app.coarse_steps = 10;
+    spec.nprocs = 4;
+    spec.capacity_spread = 0.3;
+    spec.seed = soak.seed + 77ull * static_cast<unsigned>(index);
+    spec.modeled_partition_s_per_cell = 50e-9;
+    return spec;
+  };
+
+  std::printf("\njournal kill: admit %d runs, SIGKILL mid-burst ...\n",
+              journal_runs);
+  service::JournalConfig journal_config;
+  journal_config.enabled = true;
+  journal_config.dir = journal_dir;
+
+  const pid_t child = fork();
+  if (child == 0) {
+    // Child: every admission is durable in the journal before submit()
+    // returns; the oracle file (its own fsync) records what the caller
+    // was promised.  The parent kills us while the burst executes.
+    const int oracle_fd =
+        ::open(oracle_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    util::ThreadPool pool(2);
+    auto runtime = Runtime::Builder{}
+                       .workers(2)
+                       .queue_capacity(64)
+                       .pool(&pool)
+                       .journal(journal_config)
+                       .build();
+    for (int i = 0; i < journal_runs; ++i) {
+      auto handle = runtime.submit(journal_spec(i));
+      if (handle.has_value() && oracle_fd >= 0) {
+        const std::string line = std::to_string(i) + "\n";
+        if (::write(oracle_fd, line.data(), line.size()) ==
+            static_cast<ssize_t>(line.size()))
+          ::fsync(oracle_fd);
+      }
+    }
+    runtime.drain();
+    ::_exit(0);
+  }
+
+  // Parent: wait until the whole burst is admitted (the oracle fills),
+  // then kill while the workers are still chewing through it.
+  std::size_t oracle_count = 0;
+  for (int spins = 0; spins < 2000; ++spins) {
+    std::ifstream oracle(oracle_path);
+    oracle_count = 0;
+    std::string line;
+    while (std::getline(oracle, line))
+      if (!line.empty()) ++oracle_count;
+    if (oracle_count >= static_cast<std::size_t>(journal_runs)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ::kill(child, SIGKILL);
+  int wait_status = 0;
+  ::waitpid(child, &wait_status, 0);
+  const bool was_killed =
+      WIFSIGNALED(wait_status) && WTERMSIG(wait_status) == SIGKILL;
+
+  std::vector<int> oracle_indices;
+  {
+    std::ifstream oracle(oracle_path);
+    std::string line;
+    while (std::getline(oracle, line))
+      if (!line.empty()) oracle_indices.push_back(std::atoi(line.c_str()));
+  }
+
+  std::printf("journal recovery: %zu admissions promised, replaying ...\n",
+              oracle_indices.size());
+  util::ThreadPool recovery_pool(2);
+  auto recovered_runtime = Runtime::Builder{}
+                               .workers(2)
+                               .pool(&recovery_pool)
+                               .journal(journal_config)
+                               .build();
+  const service::JournalRecovery& journal_recovery =
+      recovered_runtime.recovered();
+
+  std::set<std::string> resolved;
+  for (const std::string& name : journal_recovery.completed)
+    resolved.insert(name);
+  for (const service::RecoveredRun& run : journal_recovery.pending)
+    resolved.insert(run.spec.name);
+  std::size_t lost_runs = 0;
+  for (const int index : oracle_indices)
+    if (resolved.count("journal-" + std::to_string(index)) == 0) ++lost_runs;
+
+  bool journal_identical = true;
+  std::size_t journal_recompleted = 0;
+  for (service::RunHandle& handle : recovered_runtime.recovered_handles()) {
+    const service::RunOutcome& outcome = handle.wait();
+    if (outcome.state != service::RunState::kCompleted) {
+      journal_identical = false;
+      continue;
+    }
+    ++journal_recompleted;
+    const std::string& name = handle.name();
+    const int index = std::atoi(name.c_str() + std::strlen("journal-"));
+    const core::ManagedRunReport reference =
+        core::ManagedRun(journal_spec(index).to_managed()).run();
+    if (!reports_bit_identical(outcome.managed, reference))
+      journal_identical = false;
+  }
+  recovered_runtime.drain();
+  const service::JournalStats journal_stats =
+      recovered_runtime.journal() != nullptr
+          ? recovered_runtime.journal()->stats()
+          : service::JournalStats{};
+
+  std::printf("\njournal-kill invariants:\n");
+  check(was_killed && oracle_count >= static_cast<std::size_t>(journal_runs),
+        "child admitted the full burst and died by SIGKILL");
+  check(!journal_recovery.pending.empty(),
+        "kill left admitted-but-unfinished runs for recovery");
+  check(lost_runs == 0,
+        "zero lost runs: every promised admission is completed or pending");
+  check(journal_recovery.unrecoverable == 0 && journal_recovery.duplicates == 0,
+        "recovery is clean (no undecodable or duplicate records)");
+  check(journal_identical,
+        "recovered runs re-executed bit-identical to uninterrupted "
+        "references");
+  check(journal_stats.live_pending == 0,
+        "journal drains to empty after the recovered burst completes");
+  fs::remove_all(journal_dir);
+  fs::remove(oracle_path);
+
   util::BenchJsonWriter json;
   json.entry("chaos_soak/recovery")
       .field("detected_failures", chaos.detected_failures)
@@ -433,6 +589,14 @@ int main(int argc, char** argv) {
       .field("rejoins", dist_stats.rejoins)
       .field("mean_recovery_s", mean_recovery_s, 3)
       .field("bit_identical", churn_identical ? 1 : 0);
+  json.entry("chaos_soak/journal_kill")
+      .field("admitted", oracle_indices.size())
+      .field("completed_before_kill", journal_recovery.completed.size())
+      .field("pending_recovered", journal_recovery.pending.size())
+      .field("recompleted", journal_recompleted)
+      .field("lost_runs", lost_runs)
+      .field("torn_files", journal_recovery.torn_files)
+      .field("bit_identical", journal_identical ? 1 : 0);
   if (json.write("BENCH_chaos_soak.json"))
     std::printf("\nwrote BENCH_chaos_soak.json (%zu entries)\n",
                 json.entry_count());

@@ -18,11 +18,23 @@
 //      sets must match bitwise — per-run isolation (derived seeds,
 //      per-run RNG streams) is what makes concurrent execution safe.
 //
+//   3. Journal overhead.  The same admission front door with the
+//      crash-durable journal off vs on: concurrent submitters push a
+//      large spec backlog (default 100k) into a gated scheduler, and we
+//      report per-submit p50/p99 — the price of a durable admission is
+//      one group-committed fsync shared across the submitter threads —
+//      plus the sustained queue depth.
+//
 // Results land in BENCH_service_throughput.json.  Exit code is non-zero
-// when the determinism gate fails or 8 workers do not reach 3x the serial
-// aggregate throughput, so CI can run this directly.
+// when the determinism gate fails, 8 workers do not reach 3x the serial
+// aggregate throughput, or the journaled scheduler fails to sustain the
+// full queued backlog, so CI can run this directly.
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
+#include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -31,6 +43,7 @@
 
 #include "bench_common.hpp"
 #include "pragma/core/managed_run.hpp"
+#include "pragma/service/journal.hpp"
 #include "pragma/service/scheduler.hpp"
 #include "pragma/util/cli.hpp"
 #include "pragma/util/thread_pool.hpp"
@@ -163,6 +176,102 @@ bool batch_is_bitwise_reproducible(const BenchConfig& config) {
   return identical;
 }
 
+struct AdmissionResult {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double wall_s = 0.0;
+  double submits_per_sec = 0.0;
+  std::size_t queued = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t compactions = 0;
+};
+
+/// Push `total` specs from `threads` concurrent submitters into a
+/// scheduler whose single worker is parked on a gate, so every spec
+/// lands in the queue and submit latency is pure admission cost (plus
+/// the journal append when one is wired in).
+AdmissionResult admission_point(int total, int threads,
+                                service::Journal* journal) {
+  util::ThreadPool pool(1);
+  service::SchedulerConfig config;
+  config.workers = 1;
+  config.queue_capacity = static_cast<std::size_t>(total) + 8;
+  config.journal = journal;
+  service::Scheduler scheduler(config, &pool);
+
+  std::promise<void> gate;
+  std::shared_future<void> release = gate.get_future().share();
+  service::RunSpec blocker;
+  blocker.name = "blocker";
+  blocker.kind = service::WorkloadKind::kCustom;
+  blocker.custom = [release](service::RunContext&) {
+    release.wait();
+    return util::Status::ok();
+  };
+  if (!scheduler.submit(std::move(blocker)).has_value()) std::exit(1);
+
+  std::vector<std::vector<double>> samples(
+      static_cast<std::size_t>(threads));
+  std::atomic<int> next{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> submitters;
+  submitters.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    submitters.emplace_back([&, t] {
+      std::vector<double>& mine = samples[static_cast<std::size_t>(t)];
+      mine.reserve(static_cast<std::size_t>(total / threads + 1));
+      int index = 0;
+      while ((index = next.fetch_add(1)) < total) {
+        service::RunSpec spec;
+        spec.name = "adm-" + std::to_string(index);
+        spec.tenant = index % 2 == 0 ? "astro" : "climate";
+        spec.kind = service::WorkloadKind::kCustom;
+        spec.seed = static_cast<std::uint64_t>(index);
+        spec.custom = [](service::RunContext&) { return util::Status::ok(); };
+        const auto t0 = std::chrono::steady_clock::now();
+        auto handle = scheduler.submit(std::move(spec));
+        const std::chrono::duration<double, std::milli> elapsed =
+            std::chrono::steady_clock::now() - t0;
+        if (!handle.has_value()) {
+          std::cerr << "admission phase: unexpected shed: "
+                    << handle.status().to_string() << "\n";
+          std::exit(1);
+        }
+        mine.push_back(elapsed.count());
+      }
+    });
+  }
+  for (std::thread& thread : submitters) thread.join();
+
+  AdmissionResult result;
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  result.wall_s = wall.count();
+  result.submits_per_sec = static_cast<double>(total) / result.wall_s;
+  result.queued = scheduler.queue_depth();
+  if (journal != nullptr) {
+    const service::JournalStats stats = journal->stats();
+    result.fsyncs = stats.fsyncs;
+    result.compactions = stats.compactions;
+  }
+
+  std::vector<double> all;
+  all.reserve(static_cast<std::size_t>(total));
+  for (const std::vector<double>& mine : samples)
+    all.insert(all.end(), mine.begin(), mine.end());
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    result.p50_ms = all[all.size() / 2];
+    result.p99_ms = all[all.size() * 99 / 100];
+  }
+
+  gate.set_value();
+  // Scheduler teardown resolves the queued backlog as cancelled — with a
+  // journal wired in, that is one tombstone per spec plus the compactions
+  // they trigger, which is part of the cost being soaked here.
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -171,6 +280,10 @@ int main(int argc, char** argv) {
   flags.add_double("stage-ms", 400.0, "simulated stage-in+out latency per job");
   flags.add_int("batch", 16, "managed runs in the determinism gate");
   flags.add_int("steps", 40, "coarse steps per managed run");
+  flags.add_int("journal-specs", 100000,
+                "specs queued in the journal-overhead phase (0: skip)");
+  flags.add_int("journal-threads", 8,
+                "concurrent submitters in the journal-overhead phase");
   if (!flags.parse(argc, argv)) return 0;
 
   BenchConfig config;
@@ -224,6 +337,70 @@ int main(int argc, char** argv) {
       .field("batch", static_cast<std::size_t>(config.batch))
       .field("bitwise_identical", identical ? 1 : 0);
 
+  // ---- journal-overhead phase -------------------------------------------
+  const int journal_specs = static_cast<int>(flags.get_int("journal-specs"));
+  const int journal_threads =
+      std::max(1, static_cast<int>(flags.get_int("journal-threads")));
+  bool journal_sustained = true;
+  if (journal_specs > 0) {
+    std::cout << "\nJournal overhead: " << journal_specs << " specs from "
+              << journal_threads << " submitters, journal off vs on...\n";
+    const AdmissionResult plain =
+        admission_point(journal_specs, journal_threads, nullptr);
+
+    namespace fs = std::filesystem;
+    const std::string journal_dir =
+        (fs::temp_directory_path() / "pragma_service_throughput_journal")
+            .string();
+    fs::remove_all(journal_dir);
+    service::JournalConfig journal_config;
+    journal_config.enabled = true;
+    journal_config.dir = journal_dir;
+    service::Journal journal(journal_config);
+    if (!journal.open().has_value()) {
+      std::cerr << "cannot open bench journal in " << journal_dir << "\n";
+      return 1;
+    }
+    const AdmissionResult durable =
+        admission_point(journal_specs, journal_threads, &journal);
+    fs::remove_all(journal_dir);
+
+    journal_sustained =
+        plain.queued == static_cast<std::size_t>(journal_specs) &&
+        durable.queued == static_cast<std::size_t>(journal_specs);
+
+    util::TextTable journal_table({"journal", "p50 (ms)", "p99 (ms)",
+                                   "submits/sec", "queued", "fsyncs"});
+    journal_table.add_row({"off", util::cell(plain.p50_ms, 3),
+                           util::cell(plain.p99_ms, 3),
+                           util::cell(plain.submits_per_sec, 0),
+                           util::cell(plain.queued), util::cell(0)});
+    journal_table.add_row({"on", util::cell(durable.p50_ms, 3),
+                           util::cell(durable.p99_ms, 3),
+                           util::cell(durable.submits_per_sec, 0),
+                           util::cell(durable.queued),
+                           util::cell(durable.fsyncs)});
+    std::cout << journal_table.render();
+
+    json.entry("journal-off")
+        .field("specs", static_cast<std::size_t>(journal_specs))
+        .field("threads", static_cast<std::size_t>(journal_threads))
+        .field("submit_p50_ms", plain.p50_ms, 4)
+        .field("submit_p99_ms", plain.p99_ms, 4)
+        .field("submits_per_sec", plain.submits_per_sec, 1)
+        .field("queued", plain.queued);
+    json.entry("journal-on")
+        .field("specs", static_cast<std::size_t>(journal_specs))
+        .field("threads", static_cast<std::size_t>(journal_threads))
+        .field("submit_p50_ms", durable.p50_ms, 4)
+        .field("submit_p99_ms", durable.p99_ms, 4)
+        .field("submits_per_sec", durable.submits_per_sec, 1)
+        .field("queued", durable.queued)
+        .field("fsyncs", durable.fsyncs)
+        .field("compactions", durable.compactions)
+        .field("p99_overhead_ms", durable.p99_ms - plain.p99_ms, 4);
+  }
+
   bench::write_bench_json(json, "BENCH_service_throughput.json");
 
   if (!identical) {
@@ -233,6 +410,11 @@ int main(int argc, char** argv) {
   if (!reached_3x) {
     std::cerr << "FAIL: 8 workers reached only " << speedup_at_8
               << "x the serial throughput (need >= 3x)\n";
+    return 1;
+  }
+  if (!journal_sustained) {
+    std::cerr << "FAIL: scheduler shed submissions before reaching "
+              << journal_specs << " queued specs\n";
     return 1;
   }
   return 0;

@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
   // actually retries — together with durable checkpoints this exercises
   // every obs-instrumented subsystem (seeded, so still reproducible).
   base.ft.channel.drop_probability = 0.05;
-  base.persist.dir = "pragma-smoke-checkpoints";
+  // Keep smoke-run artifacts inside the build tree, not the source tree.
+  base.persist.dir = "build/pragma-smoke-checkpoints";
 
   util::CliFlags flags("Fully managed Pragma execution.");
   service::add_run_flags(flags, base);

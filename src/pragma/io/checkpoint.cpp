@@ -89,14 +89,22 @@ std::uint64_t generation_of(const std::string& filename) {
   return generation;
 }
 
-util::Status sync_fd(int fd, const std::string& what) {
+}  // namespace
+
+util::Status fsync_fd(int fd, const std::string& what) {
   if (::fsync(fd) != 0)
     return util::Status::internal("fsync failed for " + what + ": " +
                                   std::strerror(errno));
   return util::Status::ok();
 }
 
-}  // namespace
+util::Status fsync_dir(const std::string& dir) {
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd < 0) return util::Status::ok();  // e.g. network fs without dirs
+  const util::Status status = fsync_fd(dir_fd, dir);
+  ::close(dir_fd);
+  return status;
+}
 
 std::vector<std::uint8_t> encode_envelope(
     const std::vector<std::uint8_t>& payload) {
@@ -229,7 +237,7 @@ util::Status CheckpointStore::write_impl(
     }
     written += static_cast<std::size_t>(n);
   }
-  if (util::Status status = sync_fd(fd, tmp_path); !status.is_ok()) {
+  if (util::Status status = fsync_fd(fd, tmp_path); !status.is_ok()) {
     ::close(fd);
     ::unlink(tmp_path.c_str());
     return status;
@@ -244,13 +252,8 @@ util::Status CheckpointStore::write_impl(
   }
 
   // Make the rename itself durable.
-  const int dir_fd = ::open(options_.dir.c_str(),
-                            O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dir_fd >= 0) {
-    const util::Status status = sync_fd(dir_fd, options_.dir);
-    ::close(dir_fd);
-    if (!status.is_ok()) return status;
-  }
+  if (util::Status status = fsync_dir(options_.dir); !status.is_ok())
+    return status;
 
   // Trim to the retention window.  The generation just written is the
   // newest valid one, so gc() can never touch it.

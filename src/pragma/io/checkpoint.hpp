@@ -46,6 +46,12 @@ inline constexpr std::size_t kCheckpointHeaderBytes = 32;
 /// loader allocate more than this.
 inline constexpr std::uint64_t kDefaultMaxPayloadBytes = 64ull << 20;
 
+/// fsync a descriptor / a directory with a bounded, descriptive error —
+/// the crash-consistency primitives shared by CheckpointStore and the
+/// service run journal.
+util::Status fsync_fd(int fd, const std::string& what);
+util::Status fsync_dir(const std::string& dir);
+
 /// Wrap `payload` in the checkpoint envelope.
 [[nodiscard]] std::vector<std::uint8_t> encode_envelope(
     const std::vector<std::uint8_t>& payload);

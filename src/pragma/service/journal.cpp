@@ -1,0 +1,915 @@
+#include "pragma/service/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <unordered_map>
+
+#include "pragma/io/checkpoint.hpp"
+#include "pragma/io/serial.hpp"
+#include "pragma/obs/flight_recorder.hpp"
+#include "pragma/obs/metrics.hpp"
+#include "pragma/util/crc32.hpp"
+#include "pragma/util/logging.hpp"
+
+namespace pragma::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kWalPrefix = "wal-";
+constexpr const char* kWalSuffix = ".pragma-wal";
+constexpr const char* kTmpSuffix = ".tmp";
+
+obs::Counter& appends_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.journal.appends");
+  return counter;
+}
+obs::Counter& tombstones_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.journal.tombstones");
+  return counter;
+}
+obs::Counter& compactions_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.journal.compactions");
+  return counter;
+}
+obs::Counter& shed_saturated_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.journal.shed_saturated");
+  return counter;
+}
+obs::Counter& degraded_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.journal.degraded_events");
+  return counter;
+}
+obs::Counter& recovered_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.journal.recovered_runs");
+  return counter;
+}
+obs::Histogram& fsync_histogram() {
+  static obs::Histogram& histogram = obs::metrics().histogram(
+      "service.journal.fsync_seconds",
+      obs::HistogramOptions::exponential(1e-5, 4.0, 12));
+  return histogram;
+}
+
+void put_u32(std::uint8_t* out, std::uint32_t value) {
+  std::memcpy(out, &value, sizeof value);
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  std::uint32_t value = 0;
+  std::memcpy(&value, in, sizeof value);
+  return value;
+}
+
+std::uint64_t get_u64(const std::uint8_t* in) {
+  std::uint64_t value = 0;
+  std::memcpy(&value, in, sizeof value);
+  return value;
+}
+
+/// Parse a generation number out of "wal-<digits>.pragma-wal"; 0 = not a
+/// journal file name.
+std::uint64_t generation_of(const std::string& filename) {
+  const std::size_t prefix_len = std::strlen(kWalPrefix);
+  const std::size_t suffix_len = std::strlen(kWalSuffix);
+  if (filename.size() <= prefix_len + suffix_len) return 0;
+  if (filename.compare(0, prefix_len, kWalPrefix) != 0) return 0;
+  if (filename.compare(filename.size() - suffix_len, suffix_len, kWalSuffix) !=
+      0)
+    return 0;
+  std::uint64_t generation = 0;
+  for (std::size_t i = prefix_len; i < filename.size() - suffix_len; ++i) {
+    const char c = filename[i];
+    if (c < '0' || c > '9') return 0;
+    if (generation > (UINT64_MAX - 9) / 10) return 0;
+    generation = generation * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return generation;
+}
+
+/// EINTR-safe full write of `bytes` to `fd`.
+util::Status write_all(int fd, const std::uint8_t* bytes, std::size_t size,
+                       const std::string& what) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, bytes + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::internal("write failed for " + what + ": " +
+                                    std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return util::Status::ok();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Retry-after hint plumbing
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr const char* kRetryAfterToken = " [retry_after_ms=";
+}  // namespace
+
+util::Status unavailable_with_retry_after(const std::string& message,
+                                          int retry_after_ms) {
+  if (retry_after_ms < 0) retry_after_ms = 0;
+  return util::Status::unavailable(message + kRetryAfterToken +
+                                   std::to_string(retry_after_ms) + "]");
+}
+
+int retry_after_ms(const util::Status& status) {
+  if (status.code() != util::StatusCode::kUnavailable) return -1;
+  const std::string& message = status.message();
+  const std::size_t start = message.rfind(kRetryAfterToken);
+  if (start == std::string::npos) return -1;
+  std::size_t pos = start + std::strlen(kRetryAfterToken);
+  long value = 0;
+  bool any = false;
+  while (pos < message.size() && message[pos] >= '0' && message[pos] <= '9') {
+    if (value > (INT32_MAX - 9) / 10) return -1;
+    value = value * 10 + (message[pos] - '0');
+    any = true;
+    ++pos;
+  }
+  if (!any || pos >= message.size() || message[pos] != ']') return -1;
+  return static_cast<int>(value);
+}
+
+// ---------------------------------------------------------------------------
+// File / record framing
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_journal_file_header() {
+  std::vector<std::uint8_t> out(kJournalFileHeaderBytes);
+  std::memcpy(out.data(), kJournalMagic, sizeof kJournalMagic);
+  put_u32(out.data() + 8, kJournalVersion);
+  put_u32(out.data() + 12, util::crc32(out.data(), 12));
+  return out;
+}
+
+std::vector<std::uint8_t> encode_journal_record(
+    JournalRecordType type, std::uint64_t seq,
+    const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out(kJournalRecordHeaderBytes + payload.size());
+  std::memcpy(out.data(), kJournalRecordMagic, sizeof kJournalRecordMagic);
+  put_u32(out.data() + 4, static_cast<std::uint32_t>(type));
+  std::uint64_t value = seq;
+  std::memcpy(out.data() + 8, &value, sizeof value);
+  value = payload.size();
+  std::memcpy(out.data() + 16, &value, sizeof value);
+  put_u32(out.data() + 24, util::crc32(payload.data(), payload.size()));
+  put_u32(out.data() + 28, util::crc32(out.data(), 28));
+  std::memcpy(out.data() + kJournalRecordHeaderBytes, payload.data(),
+              payload.size());
+  return out;
+}
+
+JournalScan scan_journal_file(const std::uint8_t* bytes, std::size_t size,
+                              std::uint64_t max_payload_bytes) {
+  JournalScan scan;
+  if (size < kJournalFileHeaderBytes) {
+    scan.tail = util::Status::data_loss(
+        "journal file shorter than its 16-byte header (" +
+        std::to_string(size) + " bytes)");
+    return scan;
+  }
+  if (std::memcmp(bytes, kJournalMagic, sizeof kJournalMagic) != 0) {
+    scan.tail = util::Status::invalid("bad journal file magic");
+    return scan;
+  }
+  if (util::crc32(bytes, 12) != get_u32(bytes + 12)) {
+    scan.tail = util::Status::data_loss("journal file header CRC mismatch");
+    return scan;
+  }
+  if (get_u32(bytes + 8) != kJournalVersion) {
+    scan.tail = util::Status::unimplemented(
+        "journal format version " + std::to_string(get_u32(bytes + 8)));
+    return scan;
+  }
+  std::size_t pos = kJournalFileHeaderBytes;
+  scan.valid_bytes = pos;
+  while (pos < size) {
+    const std::size_t remaining = size - pos;
+    if (remaining < kJournalRecordHeaderBytes) {
+      scan.tail = util::Status::data_loss("torn record header at offset " +
+                                          std::to_string(pos));
+      return scan;
+    }
+    const std::uint8_t* frame = bytes + pos;
+    if (std::memcmp(frame, kJournalRecordMagic, sizeof kJournalRecordMagic) !=
+        0) {
+      scan.tail = util::Status::data_loss("bad record magic at offset " +
+                                          std::to_string(pos));
+      return scan;
+    }
+    if (util::crc32(frame, 28) != get_u32(frame + 28)) {
+      scan.tail = util::Status::data_loss("record header CRC mismatch at "
+                                          "offset " +
+                                          std::to_string(pos));
+      return scan;
+    }
+    const std::uint32_t raw_type = get_u32(frame + 4);
+    if (raw_type != static_cast<std::uint32_t>(JournalRecordType::kPending) &&
+        raw_type !=
+            static_cast<std::uint32_t>(JournalRecordType::kTombstone)) {
+      scan.tail = util::Status::invalid("unknown record type " +
+                                        std::to_string(raw_type));
+      return scan;
+    }
+    const std::uint64_t declared = get_u64(frame + 16);
+    if (declared > max_payload_bytes) {
+      scan.tail = util::Status::out_of_range(
+          "declared record payload of " + std::to_string(declared) +
+          " bytes exceeds cap of " + std::to_string(max_payload_bytes));
+      return scan;
+    }
+    if (declared > remaining - kJournalRecordHeaderBytes) {
+      scan.tail = util::Status::data_loss(
+          "torn record payload at offset " + std::to_string(pos) +
+          " (declared " + std::to_string(declared) + " bytes)");
+      return scan;
+    }
+    const std::uint8_t* payload = frame + kJournalRecordHeaderBytes;
+    if (util::crc32(payload, declared) != get_u32(frame + 24)) {
+      scan.tail = util::Status::data_loss(
+          "record payload CRC mismatch at offset " + std::to_string(pos));
+      return scan;
+    }
+    JournalRecord record;
+    record.type = static_cast<JournalRecordType>(raw_type);
+    record.seq = get_u64(frame + 8);
+    record.payload.assign(payload, payload + declared);
+    scan.records.push_back(std::move(record));
+    pos += kJournalRecordHeaderBytes + static_cast<std::size_t>(declared);
+    scan.valid_bytes = pos;
+  }
+  return scan;
+}
+
+JournalScan scan_journal_file(const std::vector<std::uint8_t>& bytes,
+                              std::uint64_t max_payload_bytes) {
+  return scan_journal_file(bytes.data(), bytes.size(), max_payload_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// RunSpec payload codec (version 1)
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_run_spec(const RunSpec& spec) {
+  io::ByteWriter w;
+  w.u32(kRunSpecPayloadVersion);
+
+  // identity & scheduling
+  w.str(spec.name);
+  w.str(spec.tenant);
+  w.i32(spec.priority);
+  w.u8(static_cast<std::uint8_t>(spec.kind));
+
+  // application & cluster
+  w.i32(spec.app.base_dims.x);
+  w.i32(spec.app.base_dims.y);
+  w.i32(spec.app.base_dims.z);
+  w.i32(spec.app.max_levels);
+  w.i32(spec.app.ratio);
+  w.i32(spec.app.regrid_interval);
+  w.i32(spec.app.coarse_steps);
+  w.u64(spec.app.seed);
+  w.u32(static_cast<std::uint32_t>(spec.app.thresholds.size()));
+  for (double t : spec.app.thresholds) w.f64(t);
+  w.f64(spec.app.cluster.efficiency);
+  w.i32(spec.app.cluster.min_width);
+  w.i64(spec.app.cluster.max_box_cells);
+  w.i32(spec.app.cluster.max_depth);
+  w.str(spec.app_name);
+  w.u64(spec.nprocs);
+  w.f64(spec.capacity_spread);
+  w.u64(spec.sites);
+  w.f64(spec.wan_mbps);
+  w.u8(spec.with_background_load ? 1 : 0);
+  w.f64(spec.load.update_period_s);
+  w.f64(spec.load.mean_cpu_load);
+  w.f64(spec.load.reversion);
+  w.f64(spec.load.volatility);
+  w.f64(spec.load.burst_probability);
+  w.f64(spec.load.burst_load);
+  w.f64(spec.load.burst_duration_s);
+  w.f64(spec.load.mean_link_utilization);
+  w.f64(spec.load.node_bias_spread);
+
+  // management policy
+  w.u8(spec.system_sensitive ? 1 : 0);
+  w.u8(spec.proactive ? 1 : 0);
+  w.f64(spec.weights.cpu);
+  w.f64(spec.weights.memory);
+  w.f64(spec.weights.bandwidth);
+  w.f64(spec.monitor.period_s);
+  w.f64(spec.monitor.noise);
+  w.u64(spec.monitor.history);
+  w.f64(spec.exec.flops_per_cell_update);
+  w.f64(spec.exec.bytes_per_face_cell);
+  w.f64(spec.exec.bytes_per_cell);
+  w.f64(spec.exec.message_latency_s);
+  w.f64(spec.exec.partition_time_scale);
+  w.f64(spec.exec.redistribution_overhead);
+  w.i32(spec.meta.hysteresis);
+  w.f64(spec.agent_period_s);
+  w.f64(spec.load_event_threshold);
+  w.u64(spec.seed);
+
+  // fault tolerance
+  w.u8(spec.ft.enabled ? 1 : 0);
+  w.f64(spec.ft.channel.drop_probability);
+  w.f64(spec.ft.channel.duplicate_probability);
+  w.f64(spec.ft.channel.jitter_s);
+  w.f64(spec.ft.reliable.timeout_s);
+  w.f64(spec.ft.reliable.backoff_factor);
+  w.i32(spec.ft.reliable.max_attempts);
+  w.str(spec.ft.heartbeat.topic);
+  w.f64(spec.ft.heartbeat.period_s);
+  w.i32(spec.ft.heartbeat.suspect_missed);
+  w.i32(spec.ft.heartbeat.confirm_missed);
+  w.f64(spec.ft.staleness.fresh_age_s);
+  w.f64(spec.ft.staleness.decay_tau_s);
+  w.f64(spec.ft.staleness.prior_fraction);
+  w.f64(spec.ft.checkpoint_interval_s);
+  w.f64(spec.ft.checkpoint_cost_factor);
+  w.f64(spec.ft.modeled_partition_s_per_cell);
+
+  // persistence
+  w.u8(spec.persist.enabled ? 1 : 0);
+  w.str(spec.persist.dir);
+  w.u8(spec.persist.resume ? 1 : 0);
+  w.f64(spec.persist.checkpoint_interval_s);
+  w.i32(spec.persist.keep_last_n);
+  w.f64(spec.persist.modeled_partition_s_per_cell);
+  w.i32(spec.persist.halt_after_steps);
+  w.f64(spec.modeled_partition_s_per_cell);
+
+  // replay / system-sensitive knobs
+  w.str(spec.strategy);
+  w.i32(spec.canonical_grain);
+  w.u32(static_cast<std::uint32_t>(spec.targets.size()));
+  for (double t : spec.targets) w.f64(t);
+  w.f64(spec.stale_weight);
+  w.f64(spec.repartition_threshold);
+  w.i32(spec.threads);
+  w.u8(spec.dynamic_capacities ? 1 : 0);
+
+  // failure injection
+  w.u32(static_cast<std::uint32_t>(spec.failures.size()));
+  for (const FailurePlan& plan : spec.failures) {
+    w.f64(plan.at_s);
+    w.u64(plan.node);
+    w.f64(plan.downtime_s);
+  }
+  w.f64(spec.random_mtbf_s);
+  w.f64(spec.random_mttr_s);
+  return w.take();
+}
+
+util::Expected<RunSpec> decode_run_spec(
+    const std::vector<std::uint8_t>& payload) {
+  io::ByteReader r(payload);
+  const std::uint32_t version = r.u32();
+  if (r.ok() && version != kRunSpecPayloadVersion)
+    return util::Status::unimplemented("run-spec payload version " +
+                                       std::to_string(version));
+  RunSpec spec;
+  spec.name = r.str();
+  spec.tenant = r.str();
+  spec.priority = r.i32();
+  const std::uint8_t kind = r.u8();
+  if (r.ok() && kind > static_cast<std::uint8_t>(WorkloadKind::kCustom))
+    r.fail("unknown workload kind " + std::to_string(kind));
+  spec.kind = static_cast<WorkloadKind>(kind);
+
+  spec.app.base_dims.x = r.i32();
+  spec.app.base_dims.y = r.i32();
+  spec.app.base_dims.z = r.i32();
+  spec.app.max_levels = r.i32();
+  spec.app.ratio = r.i32();
+  spec.app.regrid_interval = r.i32();
+  spec.app.coarse_steps = r.i32();
+  spec.app.seed = r.u64();
+  spec.app.thresholds.clear();
+  const std::uint32_t n_thresholds = r.count(sizeof(double), 64);
+  for (std::uint32_t i = 0; r.ok() && i < n_thresholds; ++i)
+    spec.app.thresholds.push_back(r.f64());
+  spec.app.cluster.efficiency = r.f64();
+  spec.app.cluster.min_width = r.i32();
+  spec.app.cluster.max_box_cells = r.i64();
+  spec.app.cluster.max_depth = r.i32();
+  spec.app_name = r.str();
+  spec.nprocs = static_cast<std::size_t>(r.u64());
+  spec.capacity_spread = r.f64();
+  spec.sites = static_cast<std::size_t>(r.u64());
+  spec.wan_mbps = r.f64();
+  spec.with_background_load = r.u8() != 0;
+  spec.load.update_period_s = r.f64();
+  spec.load.mean_cpu_load = r.f64();
+  spec.load.reversion = r.f64();
+  spec.load.volatility = r.f64();
+  spec.load.burst_probability = r.f64();
+  spec.load.burst_load = r.f64();
+  spec.load.burst_duration_s = r.f64();
+  spec.load.mean_link_utilization = r.f64();
+  spec.load.node_bias_spread = r.f64();
+
+  spec.system_sensitive = r.u8() != 0;
+  spec.proactive = r.u8() != 0;
+  spec.weights.cpu = r.f64();
+  spec.weights.memory = r.f64();
+  spec.weights.bandwidth = r.f64();
+  spec.monitor.period_s = r.f64();
+  spec.monitor.noise = r.f64();
+  spec.monitor.history = static_cast<std::size_t>(r.u64());
+  spec.exec.flops_per_cell_update = r.f64();
+  spec.exec.bytes_per_face_cell = r.f64();
+  spec.exec.bytes_per_cell = r.f64();
+  spec.exec.message_latency_s = r.f64();
+  spec.exec.partition_time_scale = r.f64();
+  spec.exec.redistribution_overhead = r.f64();
+  spec.meta.hysteresis = r.i32();
+  spec.agent_period_s = r.f64();
+  spec.load_event_threshold = r.f64();
+  spec.seed = r.u64();
+
+  spec.ft.enabled = r.u8() != 0;
+  spec.ft.channel.drop_probability = r.f64();
+  spec.ft.channel.duplicate_probability = r.f64();
+  spec.ft.channel.jitter_s = r.f64();
+  spec.ft.reliable.timeout_s = r.f64();
+  spec.ft.reliable.backoff_factor = r.f64();
+  spec.ft.reliable.max_attempts = r.i32();
+  spec.ft.heartbeat.topic = r.str();
+  spec.ft.heartbeat.period_s = r.f64();
+  spec.ft.heartbeat.suspect_missed = r.i32();
+  spec.ft.heartbeat.confirm_missed = r.i32();
+  spec.ft.staleness.fresh_age_s = r.f64();
+  spec.ft.staleness.decay_tau_s = r.f64();
+  spec.ft.staleness.prior_fraction = r.f64();
+  spec.ft.checkpoint_interval_s = r.f64();
+  spec.ft.checkpoint_cost_factor = r.f64();
+  spec.ft.modeled_partition_s_per_cell = r.f64();
+
+  spec.persist.enabled = r.u8() != 0;
+  spec.persist.dir = r.str();
+  spec.persist.resume = r.u8() != 0;
+  spec.persist.checkpoint_interval_s = r.f64();
+  spec.persist.keep_last_n = r.i32();
+  spec.persist.modeled_partition_s_per_cell = r.f64();
+  spec.persist.halt_after_steps = r.i32();
+  spec.modeled_partition_s_per_cell = r.f64();
+
+  spec.strategy = r.str();
+  spec.canonical_grain = r.i32();
+  spec.targets.clear();
+  const std::uint32_t n_targets = r.count(sizeof(double), 4096);
+  for (std::uint32_t i = 0; r.ok() && i < n_targets; ++i)
+    spec.targets.push_back(r.f64());
+  spec.stale_weight = r.f64();
+  spec.repartition_threshold = r.f64();
+  spec.threads = r.i32();
+  spec.dynamic_capacities = r.u8() != 0;
+
+  spec.failures.clear();
+  const std::uint32_t n_failures =
+      r.count(2 * sizeof(double) + sizeof(std::uint64_t), 4096);
+  for (std::uint32_t i = 0; r.ok() && i < n_failures; ++i) {
+    FailurePlan plan;
+    plan.at_s = r.f64();
+    plan.node = static_cast<grid::NodeId>(r.u64());
+    plan.downtime_s = r.f64();
+    spec.failures.push_back(plan);
+  }
+  spec.random_mtbf_s = r.f64();
+  spec.random_mttr_s = r.f64();
+
+  if (r.ok() && !r.at_end())
+    r.fail("trailing bytes after run-spec payload");
+  if (!r.ok()) return r.status();
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+Journal::Journal(JournalConfig config) : config_(std::move(config)) {}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Journal::path_for(std::uint64_t generation) const {
+  char name[64];
+  std::snprintf(name, sizeof name, "%s%08llu%s", kWalPrefix,
+                static_cast<unsigned long long>(generation), kWalSuffix);
+  return (fs::path(config_.dir) / name).string();
+}
+
+std::string Journal::active_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return path_for(active_generation_);
+}
+
+std::vector<std::uint64_t> Journal::generations() const {
+  std::vector<std::uint64_t> result;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::uint64_t generation =
+        generation_of(entry.path().filename().string());
+    if (generation > 0) result.push_back(generation);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+util::Expected<JournalRecovery> Journal::open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (opened_)
+    return util::Status::failed_precondition("journal already open");
+
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  if (ec)
+    return util::Status::internal("cannot create journal dir " + config_.dir +
+                                  ": " + ec.message());
+
+  JournalRecovery recovery;
+
+  // Replay every generation, oldest first.  Sequence numbers are assigned
+  // once and preserved across compactions, so overlapping generations (a
+  // crash between the compacted rename and the old-generation delete)
+  // dedupe naturally: the first occurrence of a seq wins.
+  std::map<std::uint64_t, std::vector<std::uint8_t>> pending;
+  std::set<std::uint64_t> dead;
+  std::uint64_t max_seq = 0;
+  const std::vector<std::uint64_t> existing = generations();
+  for (const std::uint64_t generation : existing) {
+    const std::string path = path_for(generation);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      ++recovery.torn_files;
+      continue;
+    }
+    std::vector<std::uint8_t> bytes;
+    {
+      std::error_code size_ec;
+      const std::uintmax_t size = fs::file_size(path, size_ec);
+      if (size_ec) {
+        ++recovery.torn_files;
+        continue;
+      }
+      bytes.resize(static_cast<std::size_t>(size));
+    }
+    if (!bytes.empty() &&
+        !in.read(reinterpret_cast<char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()))) {
+      ++recovery.torn_files;
+      continue;
+    }
+    const JournalScan scan =
+        scan_journal_file(bytes, config_.max_payload_bytes);
+    if (!scan.tail.is_ok()) {
+      ++recovery.torn_files;
+      util::log_warn("journal generation ", generation,
+                     " truncated at byte ", scan.valid_bytes, ": ",
+                     scan.tail.to_string());
+    }
+    for (const JournalRecord& record : scan.records) {
+      max_seq = std::max(max_seq, record.seq);
+      if (record.type == JournalRecordType::kTombstone) {
+        dead.insert(record.seq);
+        continue;
+      }
+      if (!pending.emplace(record.seq, record.payload).second)
+        ++recovery.duplicates;
+    }
+  }
+  next_seq_ = max_seq + 1;
+
+  // Resolve tombstones and decode survivors.  A second dedupe layer works
+  // on the spec identity (journal_key): if the same logical run was
+  // admitted twice — e.g. a client retried after a shed whose append had
+  // in fact reached the disk — only the first instance is resubmitted.
+  std::unordered_map<std::string, std::uint64_t> seen_keys;
+  for (auto& [seq, payload] : pending) {
+    util::Expected<RunSpec> decoded = decode_run_spec(payload);
+    if (dead.count(seq) > 0) {
+      ++recovery.tombstoned;
+      if (decoded) recovery.completed.push_back(decoded.value().name);
+      continue;
+    }
+    if (!decoded) {
+      ++recovery.unrecoverable;
+      util::log_warn("journal seq ", seq, " pending but undecodable: ",
+                     decoded.status().to_string());
+      continue;
+    }
+    RunSpec spec = std::move(decoded).value();
+    if (spec.kind == WorkloadKind::kCustom ||
+        ((spec.kind == WorkloadKind::kTraceReplay ||
+          spec.kind == WorkloadKind::kSystemSensitive) &&
+         !spec.trace)) {
+      // The callable / in-memory trace did not survive the process; the
+      // record is journaled for accounting but cannot be re-executed.
+      ++recovery.unrecoverable;
+      continue;
+    }
+    const std::string key = spec.journal_key();
+    const auto [it, fresh] = seen_keys.emplace(key, seq);
+    if (!fresh) {
+      ++recovery.duplicates;
+      continue;
+    }
+    LivePending live;
+    live.key = key;
+    live.name = spec.name;
+    live.payload = payload;
+    live_.emplace(seq, std::move(live));
+    recovery.pending.push_back(RecoveredRun{seq, std::move(spec)});
+  }
+
+  // Compact what survived into a fresh sealed generation and open it for
+  // appends.  This also heals overlap and truncated tails on disk.  The
+  // crash-injection hook is disarmed for this bootstrap compaction so
+  // tests can open a journal and then crash a later, explicit compact().
+  opened_ = true;  // compact_locked requires an open journal
+  const int armed_crash = config_.testing_crash_compact;
+  config_.testing_crash_compact = 0;
+  util::Status compacted = compact_locked();
+  config_.testing_crash_compact = armed_crash;
+  if (!compacted.is_ok()) {
+    opened_ = false;
+    return compacted;
+  }
+  recovered_counter().add(recovery.pending.size());
+  if (!recovery.pending.empty() || recovery.torn_files > 0)
+    PRAGMA_FLIGHT(0.0, "journal", "recovered ", recovery.pending.size(),
+                  " pending, ", recovery.tombstoned, " tombstoned, ",
+                  recovery.unrecoverable, " unrecoverable, ",
+                  recovery.torn_files, " torn files");
+  return recovery;
+}
+
+util::Status Journal::write_frame(const std::vector<std::uint8_t>& frame,
+                                  std::uint64_t* watermark) {
+  if (util::Status status =
+          write_all(fd_, frame.data(), frame.size(),
+                    path_for(active_generation_));
+      !status.is_ok())
+    return status;
+  written_bytes_ += frame.size();
+  const std::uint64_t next =
+      append_watermark_.load(std::memory_order_relaxed) + frame.size();
+  append_watermark_.store(next, std::memory_order_release);
+  if (watermark) *watermark = next;
+  return util::Status::ok();
+}
+
+util::Status Journal::commit(std::uint64_t target) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (synced_watermark_ >= target) return util::Status::ok();  // batched
+  const std::uint64_t covered =
+      append_watermark_.load(std::memory_order_acquire);
+  const auto start = std::chrono::steady_clock::now();
+  if (::fsync(fd_) != 0)
+    return util::Status::internal("journal fsync failed: " +
+                                  std::string(std::strerror(errno)));
+  if (obs::metrics_enabled()) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    fsync_histogram().observe(elapsed.count());
+  }
+  fsync_count_.fetch_add(1, std::memory_order_relaxed);
+  synced_watermark_ = covered;
+  return util::Status::ok();
+}
+
+void Journal::enter_degraded(const util::Status& cause) {
+  if (degraded_) return;
+  degraded_ = true;
+  stats_.degraded = true;
+  degraded_counter().add();
+  util::log_warn("journal degraded (serving in-memory only): ",
+                 cause.to_string());
+  PRAGMA_FLIGHT(0.0, "journal", "DEGRADED journal-unwritable: ",
+                cause.to_string());
+}
+
+util::Expected<std::uint64_t> Journal::append(const RunSpec& spec) {
+  std::vector<std::uint8_t> payload = encode_run_spec(spec);
+  if (payload.size() > config_.max_payload_bytes)
+    return util::Status::out_of_range(
+        "run-spec payload of " + std::to_string(payload.size()) +
+        " bytes exceeds journal cap of " +
+        std::to_string(config_.max_payload_bytes));
+
+  std::uint64_t seq = 0;
+  std::uint64_t target = 0;
+  bool durable = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!opened_)
+      return util::Status::failed_precondition("journal not open");
+    seq = next_seq_++;
+
+    util::Status injected = util::Status::ok();
+    if (config_.testing_append_error) injected = config_.testing_append_error();
+
+    if (!degraded_ && injected.is_ok()) {
+      const std::vector<std::uint8_t> frame =
+          encode_journal_record(JournalRecordType::kPending, seq, payload);
+      // Saturation: try compacting first (tombstoned bulk may free the
+      // space); shed only when the *live* set itself is too large.
+      if (written_bytes_ + frame.size() > config_.max_active_bytes) {
+        (void)compact_locked();
+        if (written_bytes_ + frame.size() > config_.max_active_bytes) {
+          --next_seq_;
+          ++stats_.shed_saturated;
+          shed_saturated_counter().add();
+          return unavailable_with_retry_after(
+              "journal saturated (" + std::to_string(written_bytes_) +
+                  " bytes live)",
+              config_.shed_retry_after_ms);
+        }
+      }
+      util::Status written = write_frame(frame, &target);
+      if (written.is_ok()) {
+        ++records_in_active_;
+        durable = true;
+      } else {
+        enter_degraded(written);
+      }
+    } else if (!injected.is_ok()) {
+      enter_degraded(injected);
+    }
+
+    LivePending live;
+    live.key = spec.journal_key();
+    live.name = spec.name;
+    if (durable) live.payload = std::move(payload);
+    live_.emplace(seq, std::move(live));
+    ++stats_.appends;
+    if (!durable) ++stats_.degraded_appends;
+  }
+  appends_counter().add();
+  if (durable && config_.fsync) {
+    if (util::Status synced = commit(target); !synced.is_ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      enter_degraded(synced);
+    }
+  }
+  return seq;
+}
+
+void Journal::tombstone(std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opened_) return;
+  if (live_.erase(seq) == 0) return;  // unknown or already tombstoned
+  ++stats_.tombstones;
+  tombstones_counter().add();
+  if (degraded_) return;  // in-memory bookkeeping only
+  const std::vector<std::uint8_t> frame =
+      encode_journal_record(JournalRecordType::kTombstone, seq, {});
+  // Tombstones are not individually fsynced: losing one re-runs a
+  // completed run after a crash, which recovery fences; the next pending
+  // append's group commit carries them to disk.
+  if (util::Status written = write_frame(frame, nullptr); !written.is_ok()) {
+    enter_degraded(written);
+    return;
+  }
+  ++tombstones_in_active_;
+  if (tombstones_in_active_ >= config_.compact_min_tombstones &&
+      static_cast<double>(tombstones_in_active_) >=
+          config_.compact_tombstone_ratio *
+              static_cast<double>(records_in_active_ + 1))
+    (void)compact_locked();
+}
+
+util::Status Journal::compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opened_) return util::Status::failed_precondition("journal not open");
+  return compact_locked();
+}
+
+util::Status Journal::compact_locked() {
+  if (degraded_)
+    return util::Status::unavailable("journal degraded; compaction skipped");
+
+  // Serialize the live set into a fresh generation image.
+  std::vector<std::uint8_t> image = encode_journal_file_header();
+  for (const auto& [seq, live] : live_) {
+    if (live.payload.empty()) continue;  // degraded-era record, not durable
+    const std::vector<std::uint8_t> frame =
+        encode_journal_record(JournalRecordType::kPending, seq, live.payload);
+    image.insert(image.end(), frame.begin(), frame.end());
+  }
+
+  const std::vector<std::uint64_t> old = generations();
+  const std::uint64_t generation = old.empty() ? 1 : old.back() + 1;
+  const std::string final_path = path_for(generation);
+  const std::string tmp_path = final_path + kTmpSuffix;
+
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0)
+    return util::Status::internal("cannot open " + tmp_path + ": " +
+                                  std::strerror(errno));
+  if (util::Status status =
+          write_all(fd, image.data(), image.size(), tmp_path);
+      !status.is_ok()) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  if (util::Status status = io::fsync_fd(fd, tmp_path); !status.is_ok()) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  ::close(fd);
+
+  if (config_.testing_crash_compact == 1)
+    return util::Status::internal(
+        "testing: crashed after compaction tmp write, before rename");
+
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    const util::Status status = util::Status::internal(
+        "rename to " + final_path + " failed: " + std::strerror(errno));
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  if (util::Status status = io::fsync_dir(config_.dir); !status.is_ok())
+    return status;
+
+  if (config_.testing_crash_compact == 2)
+    return util::Status::internal(
+        "testing: crashed after compaction rename, before old-gen delete");
+
+  // Swap the active fd.  commit() fsyncs under commit_mu_ alone, so the
+  // swap takes both locks (mu_ is already held; lock order mu_ ->
+  // commit_mu_).  The compacted generation was fully fsynced above, so
+  // everything ever appended is durable: the synced watermark jumps to
+  // the append watermark.
+  {
+    std::lock_guard<std::mutex> commit_lock(commit_mu_);
+    const int new_fd =
+        ::open(final_path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (new_fd < 0)
+      return util::Status::internal("cannot reopen " + final_path + ": " +
+                                    std::strerror(errno));
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = new_fd;
+    synced_watermark_ = append_watermark_.load(std::memory_order_acquire);
+  }
+  active_generation_ = generation;
+  written_bytes_ = image.size();
+  records_in_active_ = live_.size();
+  tombstones_in_active_ = 0;
+  ++stats_.compactions;
+  compactions_counter().add();
+
+  for (const std::uint64_t g : old)
+    ::unlink(path_for(g).c_str());  // best-effort; overlap dedupes by seq
+  return util::Status::ok();
+}
+
+bool Journal::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
+JournalStats Journal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JournalStats out = stats_;
+  out.fsyncs = fsync_count_.load(std::memory_order_relaxed);
+  out.active_bytes = written_bytes_;
+  out.live_pending = live_.size();
+  out.degraded = degraded_;
+  return out;
+}
+
+}  // namespace pragma::service

@@ -92,6 +92,11 @@ core::SystemSensitiveConfig RunSpec::to_system_sensitive() const {
   return config;
 }
 
+std::string RunSpec::journal_key() const {
+  return name + "|" + tenant + "|" + to_string(kind) + "|" +
+         std::to_string(seed);
+}
+
 RunSpec RunSpec::derived(std::size_t index) const {
   RunSpec spec = *this;
   spec.name = name + "-" + std::to_string(index);

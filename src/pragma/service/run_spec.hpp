@@ -127,6 +127,13 @@ struct RunSpec {
   [[nodiscard]] core::TraceRunConfig to_trace() const;
   [[nodiscard]] core::SystemSensitiveConfig to_system_sensitive() const;
 
+  /// Logical-run identity for journal recovery dedupe:
+  /// "<name>|<tenant>|<kind>|<seed>".  derived(i) specs have distinct
+  /// keys (distinct name + seed stream), so a retried admission of the
+  /// same logical run collapses to one journal entry while a batch of
+  /// derived runs does not.
+  [[nodiscard]] std::string journal_key() const;
+
   /// A per-run isolated variant for concurrent batches: "<name>-<i>", a
   /// distinct deterministic seed stream, its own checkpoint directory and
   /// obs artifact paths.  derived(i) of equal specs are equal — the basis

@@ -3,13 +3,39 @@
 #include <utility>
 
 #include "pragma/obs/obs.hpp"
+#include "pragma/util/logging.hpp"
 
 namespace pragma::service {
+
+namespace {
+/// The scheduler receives the journal pointer through its config.
+SchedulerConfig with_journal(SchedulerConfig config, Journal* journal) {
+  config.journal = journal;
+  return config;
+}
+}  // namespace
+
+std::unique_ptr<Journal> Runtime::make_journal(JournalConfig config,
+                                               JournalRecovery* recovery) {
+  if (!config.enabled) return nullptr;
+  auto journal = std::make_unique<Journal>(std::move(config));
+  util::Expected<JournalRecovery> opened = journal->open();
+  if (!opened) {
+    util::log_warn("runtime: journal unusable, serving without admission "
+                   "durability: ",
+                   opened.status().to_string());
+    return nullptr;
+  }
+  *recovery = std::move(opened).value();
+  return journal;
+}
 
 Runtime::Runtime(Options options)
     : defaults_(std::move(options.defaults)),
       distributed_(std::move(options.distributed)),
-      scheduler_(options.scheduler, options.pool) {
+      journal_(make_journal(std::move(options.journal), &recovery_)),
+      scheduler_(with_journal(options.scheduler, journal_.get()),
+                 options.pool) {
   if (options.grid) {
     defaults_.nprocs = options.grid->nprocs;
     defaults_.capacity_spread = options.grid->capacity_spread;
@@ -21,6 +47,25 @@ Runtime::Runtime(Options options)
   if (options.obs) {
     defaults_.obs = *options.obs;
     obs::apply(defaults_.obs);
+  }
+  // Replay survivors of a previous process before accepting new work.
+  // At-least-once: each run re-executes under its original journal seq;
+  // checkpoint resume (forced on for persisting runs) and deterministic
+  // seeded execution fence the rerun to an effectively-once outcome.
+  if (journal_ && journal_->config().auto_resubmit) {
+    for (const RecoveredRun& run : recovery_.pending) {
+      RunSpec spec = run.spec;
+      if (spec.persist.enabled) spec.persist.resume = true;
+      util::Expected<RunHandle> handle =
+          scheduler_.resubmit_recovered(std::move(spec), run.seq);
+      if (handle) {
+        recovered_handles_.push_back(std::move(handle).value());
+      } else {
+        util::log_warn("runtime: recovered run \"", run.spec.name,
+                       "\" shed at resubmission: ",
+                       handle.status().to_string());
+      }
+    }
   }
 }
 
@@ -71,8 +116,20 @@ std::vector<RunOutcome> Runtime::run_burst(std::vector<RunSpec> specs) {
   for (std::size_t w = 0; w < distributed_.workers; ++w)
     service.add_worker("w" + std::to_string(w));
   std::vector<std::pair<std::size_t, std::uint64_t>> admitted;
+  std::vector<std::uint64_t> journal_seqs(specs.size(), 0);
   admitted.reserve(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
+    // Same durability contract as the scheduler path: the pending record
+    // is on disk before the coordinator lease enqueue returns.
+    if (journal_) {
+      util::Expected<std::uint64_t> seq = journal_->append(specs[i]);
+      if (!seq) {
+        outcomes[i].state = RunState::kFailed;
+        outcomes[i].status = seq.status();
+        continue;
+      }
+      journal_seqs[i] = seq.value();
+    }
     util::Expected<std::uint64_t> id = service.submit(std::move(specs[i]));
     if (id) {
       admitted.emplace_back(i, id.value());
@@ -93,6 +150,13 @@ std::vector<RunOutcome> Runtime::run_burst(std::vector<RunSpec> specs) {
                                                   "terminal state")
                          : status;
     }
+  }
+  // Every journaled spec has been resolved one way or the other and its
+  // outcome reported to the caller; a kill before this point leaves the
+  // pending records for the next process to recover.
+  if (journal_) {
+    for (const std::uint64_t seq : journal_seqs)
+      if (seq != 0) journal_->tombstone(seq);
   }
   return outcomes;
 }

@@ -22,6 +22,7 @@
 #include <mutex>
 #include <optional>
 
+#include "pragma/service/journal.hpp"
 #include "pragma/service/run_spec.hpp"
 #include "pragma/service/scheduler.hpp"
 #include "pragma/service/worker.hpp"
@@ -45,6 +46,7 @@ class Runtime {
     std::optional<obs::ObsConfig> obs;
     SchedulerConfig scheduler;
     DistributedConfig distributed;
+    JournalConfig journal;
     util::ThreadPool* pool = nullptr;
   };
 
@@ -94,6 +96,22 @@ class Runtime {
       options_.distributed = std::move(config);
       return *this;
     }
+    /// Crash-durable admission journal.  With `config.enabled` every
+    /// admitted spec is durably appended before submit() returns, and
+    /// build() replays the journal: pending runs from a killed process
+    /// are resubmitted (with checkpoint resume forced on, so reruns fast
+    /// -forward instead of recomputing) before the first new submission.
+    /// Off by default; the off path is byte-identical to a runtime built
+    /// without this call.
+    Builder& journal(JournalConfig config) {
+      options_.journal = std::move(config);
+      return *this;
+    }
+    /// Per-tenant token-bucket admission rate limit (off by default).
+    Builder& rate_limit(TenantRateLimit limit) {
+      options_.scheduler.rate_limit = limit;
+      return *this;
+    }
     [[nodiscard]] Runtime build() { return Runtime(std::move(options_)); }
 
    private:
@@ -128,12 +146,30 @@ class Runtime {
   [[nodiscard]] SchedulerStats stats() const { return scheduler_.stats(); }
   [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
 
+  /// The admission journal (null when journaling is off or its directory
+  /// could not be opened — the runtime then serves without durability).
+  [[nodiscard]] Journal* journal() { return journal_.get(); }
+  /// What startup recovery replayed from the journal.
+  [[nodiscard]] const JournalRecovery& recovered() const { return recovery_; }
+  /// Handles of the recovered runs resubmitted at build() (in journal
+  /// sequence order); wait on them like any other submission.
+  [[nodiscard]] std::vector<RunHandle>& recovered_handles() {
+    return recovered_handles_;
+  }
+
   /// The default machine, built on first use (examples that model
   /// placement directly, e.g. the federation demo, read it).
   [[nodiscard]] const grid::Cluster& cluster();
 
  private:
   explicit Runtime(Options options);
+
+  /// Construct + open the journal (null when disabled); recovery results
+  /// land in *recovery.  An unopenable journal logs loudly and returns
+  /// null — the runtime keeps serving without durability rather than
+  /// refusing to start.
+  [[nodiscard]] static std::unique_ptr<Journal> make_journal(
+      JournalConfig config, JournalRecovery* recovery);
 
   RunSpec defaults_;
   DistributedConfig distributed_;
@@ -144,6 +180,11 @@ class Runtime {
   std::map<const amr::AdaptationTrace*,
            std::unique_ptr<partition::WorkGridCache>>
       caches_;
+  // Journal before scheduler_: the scheduler holds a raw pointer and
+  // tombstones terminal runs during its own destruction.
+  JournalRecovery recovery_;
+  std::unique_ptr<Journal> journal_;
+  std::vector<RunHandle> recovered_handles_;
   Scheduler scheduler_;
 };
 

@@ -9,6 +9,7 @@
 #include "pragma/obs/flight_recorder.hpp"
 #include "pragma/obs/metrics.hpp"
 #include "pragma/policy/builtin.hpp"
+#include "pragma/service/journal.hpp"
 #include "pragma/util/logging.hpp"
 
 namespace pragma::service {
@@ -45,6 +46,25 @@ obs::Counter& cancelled_counter() {
   static obs::Counter& counter =
       obs::metrics().counter("service.runs.cancelled");
   return counter;
+}
+obs::Counter& shed_queue_full_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.sched.shed_queue_full");
+  return counter;
+}
+obs::Counter& shed_rate_limited_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.sched.shed_rate_limited");
+  return counter;
+}
+obs::Counter& shed_journal_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.sched.shed_journal");
+  return counter;
+}
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& gauge = obs::metrics().gauge("service.sched.queue_depth");
+  return gauge;
 }
 
 double percentile(std::vector<double> values, double q) {
@@ -110,12 +130,18 @@ Scheduler::~Scheduler() {
     if (ticket->active != nullptr) ticket->active->request_cancel();
   }
   for (const TicketPtr& ticket : doomed) {
-    std::lock_guard<std::mutex> lock(ticket->mu);
-    ticket->state = RunState::kCancelled;
-    ticket->outcome.state = RunState::kCancelled;
-    ticket->outcome.status =
-        util::Status::unavailable("scheduler shut down before dispatch");
+    {
+      std::lock_guard<std::mutex> lock(ticket->mu);
+      ticket->state = RunState::kCancelled;
+      ticket->outcome.state = RunState::kCancelled;
+      ticket->outcome.status =
+          util::Status::unavailable("scheduler shut down before dispatch");
+    }
     ticket->cv.notify_all();
+    // A clean shutdown resolves queued runs as cancelled (their callers
+    // were told); tombstone so a restart does not resurrect them.
+    if (config_.journal != nullptr && ticket->journal_seq != 0)
+      config_.journal->tombstone(ticket->journal_seq);
   }
   drain();
 }
@@ -125,8 +151,52 @@ std::size_t Scheduler::workers() const {
   return std::max<std::size_t>(1, pool_->size());
 }
 
+util::Status Scheduler::check_rate_limit(const std::string& tenant_name) {
+  if (config_.rate_limit.rate_per_s <= 0.0) return util::Status::ok();
+  Tenant& tenant = tenants_[tenant_name];
+  const auto now = std::chrono::steady_clock::now();
+  if (!tenant.bucket_primed) {
+    tenant.bucket_primed = true;
+    tenant.tokens = std::max(config_.rate_limit.burst, 1.0);
+    tenant.last_refill = now;
+  } else {
+    const double elapsed =
+        std::chrono::duration<double>(now - tenant.last_refill).count();
+    tenant.tokens =
+        std::min(std::max(config_.rate_limit.burst, 1.0),
+                 tenant.tokens + elapsed * config_.rate_limit.rate_per_s);
+    tenant.last_refill = now;
+  }
+  if (tenant.tokens < 1.0) {
+    const double wait_s =
+        (1.0 - tenant.tokens) / config_.rate_limit.rate_per_s;
+    ++stats_.shed_rate_limited;
+    ++stats_.rejected;
+    rejected_counter().add();
+    shed_rate_limited_counter().add();
+    return unavailable_with_retry_after(
+        "tenant \"" + tenant_name + "\" rate limited",
+        static_cast<int>(wait_s * 1000.0) + 1);
+  }
+  tenant.tokens -= 1.0;
+  return util::Status::ok();
+}
+
 util::Expected<RunHandle> Scheduler::submit(RunSpec spec) {
+  return admit(std::move(spec), /*rate_limited=*/true, /*recovered_seq=*/0);
+}
+
+util::Expected<RunHandle> Scheduler::resubmit_recovered(
+    RunSpec spec, std::uint64_t journal_seq) {
+  return admit(std::move(spec), /*rate_limited=*/false, journal_seq);
+}
+
+util::Expected<RunHandle> Scheduler::admit(RunSpec spec, bool rate_limited,
+                                           std::uint64_t recovered_seq) {
   TicketPtr ticket;
+  // Phase 1 (under mu_): degradation-ladder checks, then reserve a queue
+  // slot.  The reservation keeps concurrent submitters from
+  // oversubscribing the queue while phase 2 runs unlocked.
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
@@ -134,21 +204,62 @@ util::Expected<RunHandle> Scheduler::submit(RunSpec spec) {
       rejected_counter().add();
       return util::Status::unavailable("scheduler is shutting down");
     }
-    if (queue_.size() >= config_.queue_capacity) {
-      ++stats_.rejected;
-      rejected_counter().add();
-      return util::Status::unavailable(
-          "admission queue full (" + std::to_string(queue_.size()) + "/" +
-          std::to_string(config_.queue_capacity) + "); run \"" + spec.name +
-          "\" shed");
+    if (rate_limited) {
+      if (util::Status limited = check_rate_limit(spec.tenant);
+          !limited.is_ok())
+        return limited;
     }
+    if (queue_.size() + reserved_ >= config_.queue_capacity) {
+      ++stats_.rejected;
+      ++stats_.shed_queue_full;
+      rejected_counter().add();
+      shed_queue_full_counter().add();
+      return unavailable_with_retry_after(
+          "admission queue full (" + std::to_string(queue_.size()) + "/" +
+              std::to_string(config_.queue_capacity) + "); run \"" +
+              spec.name + "\" shed",
+          config_.shed_retry_after_ms);
+    }
+    ++reserved_;
     ticket = std::make_shared<detail::Ticket>();
     ticket->spec = std::move(spec);
+    ticket->journal_seq = recovered_seq;
+  }
+
+  // Phase 2 (unlocked): the durable append — group-commit fsync happens
+  // here, so the scheduler lock is never held across disk I/O.  Recovered
+  // runs keep their original pending record instead of appending again.
+  if (config_.journal != nullptr && recovered_seq == 0) {
+    util::Expected<std::uint64_t> seq = config_.journal->append(ticket->spec);
+    if (!seq) {
+      std::lock_guard<std::mutex> lock(mu_);
+      --reserved_;
+      ++stats_.rejected;
+      ++stats_.shed_journal;
+      rejected_counter().add();
+      shed_journal_counter().add();
+      return seq.status();
+    }
+    ticket->journal_seq = seq.value();
+  }
+
+  // Phase 3 (under mu_): convert the reservation into a queue entry.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --reserved_;
+    if (shutdown_) {
+      // Shut down while appending: the journal keeps the pending record,
+      // so a restart recovers the run instead of losing it silently.
+      ++stats_.rejected;
+      rejected_counter().add();
+      return util::Status::unavailable("scheduler is shutting down");
+    }
     ticket->sequence = next_sequence_++;
     ticket->submitted_at = std::chrono::steady_clock::now();
     queue_.push_back(ticket);
     ++stats_.submitted;
     stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
     maybe_dispatch();
   }
   submitted_counter().add();
@@ -212,6 +323,7 @@ Scheduler::TicketPtr Scheduler::pick_next() {
 void Scheduler::maybe_dispatch() {
   while (running_ < workers() && !queue_.empty()) {
     TicketPtr ticket = pick_next();
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
     ++running_;
     stats_.peak_running = std::max(stats_.peak_running, running_);
     const double queued_s = seconds_since(ticket->submitted_at);
@@ -334,6 +446,10 @@ void Scheduler::finish(const TicketPtr& ticket, RunOutcome outcome) {
     case RunState::kCancelled: cancelled_counter().add(); break;
     default: break;
   }
+  // Tombstone before taking mu_: the journal may compact (disk I/O) and
+  // the scheduler lock must never be held across it.
+  if (config_.journal != nullptr && ticket->journal_seq != 0)
+    config_.journal->tombstone(ticket->journal_seq);
   std::lock_guard<std::mutex> lock(mu_);
   --running_;
   inflight_.erase(std::find(inflight_.begin(), inflight_.end(), ticket));
@@ -354,11 +470,13 @@ void Scheduler::finish(const TicketPtr& ticket, RunOutcome outcome) {
 }
 
 bool Scheduler::cancel_ticket(const TicketPtr& ticket) {
+  bool withdrawn = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = std::find(queue_.begin(), queue_.end(), ticket);
     if (it != queue_.end()) {
       queue_.erase(it);
+      queue_depth_gauge().set(static_cast<double>(queue_.size()));
       ++stats_.cancelled;
       {
         std::lock_guard<std::mutex> ticket_lock(ticket->mu);
@@ -369,8 +487,13 @@ bool Scheduler::cancel_ticket(const TicketPtr& ticket) {
       ticket->cv.notify_all();
       idle_cv_.notify_all();
       cancelled_counter().add();
-      return true;
+      withdrawn = true;
     }
+  }
+  if (withdrawn) {
+    if (config_.journal != nullptr && ticket->journal_seq != 0)
+      config_.journal->tombstone(ticket->journal_seq);
+    return true;
   }
   std::lock_guard<std::mutex> lock(ticket->mu);
   if (is_terminal(ticket->state)) return false;

@@ -39,6 +39,8 @@
 
 namespace pragma::service {
 
+class Journal;
+
 enum class RunState { kQueued, kRunning, kCompleted, kFailed, kCancelled };
 
 [[nodiscard]] const char* to_string(RunState state);
@@ -67,6 +69,9 @@ namespace detail {
 struct Ticket {
   RunSpec spec;
   std::uint64_t sequence = 0;
+  /// Journal sequence of this run's pending record (0 = not journaled);
+  /// the terminal-state transition appends the matching tombstone.
+  std::uint64_t journal_seq = 0;
   std::chrono::steady_clock::time_point submitted_at;
   std::mutex mu;
   std::condition_variable cv;
@@ -106,17 +111,41 @@ class RunHandle {
   Scheduler* scheduler_ = nullptr;
 };
 
+/// Per-tenant token-bucket admission rate limit, checked *ahead* of
+/// fair-share: fair-share balances tenants already admitted, the bucket
+/// bounds how fast any one tenant may add to that pool.
+struct TenantRateLimit {
+  /// Sustained submissions per second per tenant (0 = rate limit off).
+  double rate_per_s = 0.0;
+  /// Bucket capacity: short bursts up to this many submissions pass even
+  /// at zero accumulated credit history.
+  double burst = 16.0;
+};
+
 struct SchedulerConfig {
   /// Runs in flight at once.  0 = the executing pool's thread count.
   std::size_t workers = 0;
   /// Bounded admission queue: submissions beyond this many *queued* runs
   /// are shed with Status::unavailable.
   std::size_t queue_capacity = 64;
+  /// Per-tenant token bucket (first rung of the degradation ladder).
+  TenantRateLimit rate_limit = {};
+  /// Retry-after hint attached to queue-full sheds (the rate-limit shed
+  /// computes its own hint from the token deficit).
+  int shed_retry_after_ms = 50;
+  /// Write-ahead journal for admitted runs: when non-null, every
+  /// admitted spec is durably appended before submit() returns and
+  /// tombstoned on its terminal transition.  Not owned; must outlive the
+  /// scheduler.  Null = journaling off (byte-identical legacy path).
+  Journal* journal = nullptr;
 };
 
 struct SchedulerStats {
   std::size_t submitted = 0;  ///< admitted into the queue
   std::size_t rejected = 0;   ///< shed at admission (queue full / shutdown)
+  std::size_t shed_queue_full = 0;
+  std::size_t shed_rate_limited = 0;
+  std::size_t shed_journal = 0;  ///< journal saturated / payload rejected
   std::size_t completed = 0;
   std::size_t failed = 0;
   std::size_t cancelled = 0;
@@ -138,9 +167,19 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  /// Admit a run.  Fails with Status::unavailable when the admission
-  /// queue is full (backpressure: retry later or shed load upstream).
+  /// Admit a run.  Fails with Status::unavailable when the tenant's rate
+  /// limit, the admission queue, or the journal sheds it (backpressure:
+  /// the status carries a retry-after hint — see retry_after_ms() in
+  /// journal.hpp).  When a journal is configured, the pending record is
+  /// durable before this returns.
   [[nodiscard]] util::Expected<RunHandle> submit(RunSpec spec);
+
+  /// Resubmit a journal-recovered run under its original journal
+  /// sequence: skips the rate limiter (the run was already admitted once)
+  /// and does not re-append — the existing record stays live until the
+  /// rerun's terminal tombstone.
+  [[nodiscard]] util::Expected<RunHandle> resubmit_recovered(
+      RunSpec spec, std::uint64_t journal_seq);
 
   /// Fair-share weight of a tenant (default 1.0; larger = more slots).
   void set_tenant_weight(const std::string& tenant, double weight);
@@ -157,6 +196,13 @@ class Scheduler {
   using TicketPtr = std::shared_ptr<detail::Ticket>;
 
   [[nodiscard]] std::size_t workers() const;
+  /// submit()/resubmit_recovered() body.
+  [[nodiscard]] util::Expected<RunHandle> admit(RunSpec spec,
+                                                bool rate_limited,
+                                                std::uint64_t recovered_seq);
+  /// Token-bucket check for `tenant`.  Requires mu_.  Returns ok or the
+  /// shed status with a computed retry-after hint.
+  [[nodiscard]] util::Status check_rate_limit(const std::string& tenant);
   /// Dispatch queued tickets while worker slots are free.  Requires mu_.
   void maybe_dispatch();
   /// Remove and return the fair-share pick.  Requires mu_; queue_ must be
@@ -177,9 +223,17 @@ class Scheduler {
   std::size_t running_ = 0;
   bool shutdown_ = false;
   std::uint64_t next_sequence_ = 0;
+  /// Admissions past the capacity check but not yet enqueued (their
+  /// journal append runs outside mu_); counted against queue_capacity so
+  /// concurrent submitters cannot oversubscribe the queue.
+  std::size_t reserved_ = 0;
   struct Tenant {
     double weight = 1.0;
     std::uint64_t dispatched = 0;
+    // Token bucket (meaningful only when rate_limit.rate_per_s > 0).
+    double tokens = 0.0;
+    bool bucket_primed = false;
+    std::chrono::steady_clock::time_point last_refill;
   };
   std::map<std::string, Tenant> tenants_;
   SchedulerStats stats_;

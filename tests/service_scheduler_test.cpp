@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "pragma/core/managed_run.hpp"
+#include "pragma/service/journal.hpp"
+#include "pragma/service/runtime.hpp"
 #include "pragma/util/thread_pool.hpp"
 
 namespace pragma::service {
@@ -91,14 +93,73 @@ TEST(SchedulerAdmission, OverflowShedsWithUnavailable) {
   EXPECT_EQ(shed.status().code(), util::StatusCode::kUnavailable);
   EXPECT_NE(shed.status().to_string().find("admission queue full"),
             std::string::npos);
+  // The shed carries a machine-readable retry-after hint.
+  EXPECT_GE(retry_after_ms(shed.status()), 0);
+  EXPECT_EQ(retry_after_ms(util::Status::ok()), -1);
+  EXPECT_EQ(retry_after_ms(util::Status::unavailable("no hint")), -1);
 
   gate.set_value();
   scheduler.drain();
   const SchedulerStats stats = scheduler.stats();
   EXPECT_EQ(stats.submitted, 3u);
   EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.shed_queue_full, 1u);
+  EXPECT_EQ(stats.shed_rate_limited, 0u);
   EXPECT_EQ(stats.completed, 3u);
   EXPECT_EQ(blocker.value().wait().state, RunState::kCompleted);
+}
+
+TEST(SchedulerAdmission, RateLimitShedsWithRetryAfterHint) {
+  util::ThreadPool pool(1);
+  SchedulerConfig config{/*workers=*/1, /*queue_capacity=*/64};
+  // Two-token bucket refilling at 1 token/s: the first two submissions
+  // pass, the third sheds with a hint close to one refill period.
+  config.rate_limit = {/*rate_per_s=*/1.0, /*burst=*/2.0};
+  Scheduler scheduler(config, &pool);
+
+  std::promise<void> gate;
+  std::shared_future<void> release = gate.get_future().share();
+  auto first = scheduler.submit(blocking_spec("a", release));
+  auto second = scheduler.submit(blocking_spec("b", release));
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+
+  util::Expected<RunHandle> shed = scheduler.submit(blocking_spec("c", release));
+  ASSERT_FALSE(shed.has_value());
+  EXPECT_EQ(shed.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_NE(shed.status().to_string().find("rate limit"), std::string::npos);
+  const long long hint = retry_after_ms(shed.status());
+  EXPECT_GT(hint, 0);
+  EXPECT_LE(hint, 2000);
+
+  gate.set_value();
+  scheduler.drain();
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.shed_rate_limited, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+TEST(SchedulerAdmission, RetryAfterHintSurvivesRuntimeSubmit) {
+  auto runtime = Runtime::Builder{}
+                     .workers(1)
+                     .queue_capacity(1)
+                     .rate_limit({/*rate_per_s=*/0.5, /*burst=*/1.0})
+                     .build();
+
+  std::promise<void> gate;
+  std::shared_future<void> release = gate.get_future().share();
+  ASSERT_TRUE(runtime.submit(blocking_spec("only", release)).has_value());
+
+  // The rate limiter sheds before the queue does; either way the status
+  // that reaches the Runtime caller carries the machine-readable hint.
+  util::Expected<RunHandle> shed =
+      runtime.submit(blocking_spec("over", release));
+  ASSERT_FALSE(shed.has_value());
+  EXPECT_EQ(shed.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_GE(retry_after_ms(shed.status()), 0);
+
+  gate.set_value();
+  runtime.drain();
 }
 
 TEST(SchedulerFairShare, AlternatesTenantsDespitePrioritySkew) {
