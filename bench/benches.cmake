@@ -23,6 +23,7 @@ pragma_bench(ablation_sensitivity)
 pragma_bench(chaos_soak)
 pragma_bench(service_throughput)
 pragma_bench(distributed_service)
+pragma_bench(autoscale_slo)
 
 function(pragma_micro_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)

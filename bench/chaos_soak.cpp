@@ -44,6 +44,14 @@
 // or recovered and re-executed to a report bit-identical to an
 // uninterrupted reference.
 //
+// A fifth, over-budget-tenant phase exercises resource isolation: a
+// greedy tenant submits runs with an impossibly small CPU budget
+// alongside an honest tenant's unbudgeted runs, through one scheduler
+// with a shared ResourceAccountant.  Every greedy run must be shed with
+// Status::resource_exhausted (carrying the retry-after hint) while the
+// honest tenant's reports stay bit-identical to references executed with
+// no accountant and no greedy traffic at all.
+//
 // Results land in BENCH_chaos_soak.json using the same name -> numeric
 // fields schema as BENCH_partition_pipeline.json.  Exit code is non-zero
 // when any invariant fails, so CI can run this directly.
@@ -68,6 +76,8 @@
 #include "bench_common.hpp"
 #include "pragma/core/managed_run.hpp"
 #include "pragma/io/checkpoint.hpp"
+#include "pragma/res/accountant.hpp"
+#include "pragma/service/journal.hpp"
 #include "pragma/service/runtime.hpp"
 #include "pragma/service/worker.hpp"
 
@@ -544,6 +554,93 @@ int main(int argc, char** argv) {
   fs::remove_all(journal_dir);
   fs::remove(oracle_path);
 
+  // ---- over-budget-tenant phase: kills isolate, never contaminate ----
+  const int budget_runs = 4;
+  auto budget_spec = [&](int index, const std::string& tenant) {
+    service::RunSpec spec;
+    spec.name = tenant + "-budget-" + std::to_string(index);
+    spec.tenant = tenant;
+    spec.kind = service::WorkloadKind::kManaged;
+    spec.app.coarse_steps = 12;
+    spec.nprocs = 4;
+    spec.capacity_spread = 0.3;
+    spec.seed = soak.seed + 31ull * static_cast<unsigned>(index);
+    spec.modeled_partition_s_per_cell = 50e-9;
+    return spec;
+  };
+
+  std::printf("\nover-budget tenant: greedy budget-killed alongside honest "
+              "runs ...\n");
+  // Honest references: executed with no accountant and no greedy traffic.
+  std::vector<core::ManagedRunReport> honest_refs;
+  for (int i = 0; i < budget_runs; ++i)
+    honest_refs.push_back(
+        core::ManagedRun(budget_spec(i, "honest").to_managed()).run());
+
+  res::ResourceAccountant accountant;
+  bool budget_admitted = true;
+  std::vector<service::RunHandle> honest_handles;
+  std::vector<service::RunHandle> greedy_handles;
+  {
+    util::ThreadPool budget_pool(4);
+    service::SchedulerConfig budget_config;
+    budget_config.workers = 4;
+    budget_config.queue_capacity = 32;
+    budget_config.accountant = &accountant;
+    service::Scheduler budget_scheduler(budget_config, &budget_pool);
+    for (int i = 0; i < budget_runs; ++i) {
+      auto honest = budget_scheduler.submit(budget_spec(i, "honest"));
+      service::RunSpec greedy = budget_spec(i, "greedy");
+      greedy.budget.cpu_s = 1e-6;  // violated on the first coarse step
+      auto doomed = budget_scheduler.submit(std::move(greedy));
+      if (!honest || !doomed) {
+        budget_admitted = false;
+        break;
+      }
+      honest_handles.push_back(std::move(honest).value());
+      greedy_handles.push_back(std::move(doomed).value());
+    }
+    budget_scheduler.drain();
+  }
+
+  std::size_t greedy_killed = 0;
+  bool greedy_hinted = true;
+  for (service::RunHandle& handle : greedy_handles) {
+    const service::RunOutcome& outcome = handle.wait();
+    if (outcome.state == service::RunState::kFailed &&
+        outcome.status.code() == util::StatusCode::kResourceExhausted)
+      ++greedy_killed;
+    if (service::retry_after_ms(outcome.status) <= 0) greedy_hinted = false;
+  }
+  bool honest_identical = budget_admitted;
+  std::size_t honest_completed = 0;
+  for (std::size_t i = 0; i < honest_handles.size(); ++i) {
+    const service::RunOutcome& outcome = honest_handles[i].wait();
+    if (outcome.state != service::RunState::kCompleted) {
+      honest_identical = false;
+      continue;
+    }
+    ++honest_completed;
+    if (!reports_bit_identical(outcome.managed, honest_refs[i]))
+      honest_identical = false;
+  }
+  const res::TenantUsage greedy_usage = accountant.tenant_usage("greedy");
+  const res::TenantUsage honest_usage = accountant.tenant_usage("honest");
+
+  std::printf("\nover-budget-tenant invariants:\n");
+  check(budget_admitted, "both tenants admitted in full");
+  check(greedy_killed == static_cast<std::size_t>(budget_runs),
+        "every greedy run shed with Status::resource_exhausted");
+  check(greedy_hinted, "every budget shed carries a retry-after hint");
+  check(accountant.kills() == static_cast<std::size_t>(budget_runs),
+        "accountant charged each kill to the greedy tenant");
+  check(honest_completed == static_cast<std::size_t>(budget_runs) &&
+            honest_identical,
+        "honest tenant's runs complete bit-identical to accountant-free "
+        "references");
+  check(honest_usage.usage.cpu_s > greedy_usage.usage.cpu_s,
+        "greedy tenant's CPU was capped below the honest tenant's");
+
   util::BenchJsonWriter json;
   json.entry("chaos_soak/recovery")
       .field("detected_failures", chaos.detected_failures)
@@ -597,6 +694,15 @@ int main(int argc, char** argv) {
       .field("lost_runs", lost_runs)
       .field("torn_files", journal_recovery.torn_files)
       .field("bit_identical", journal_identical ? 1 : 0);
+  json.entry("chaos_soak/budget_isolation")
+      .field("runs_per_tenant", static_cast<std::size_t>(budget_runs))
+      .field("greedy_killed", greedy_killed)
+      .field("greedy_hinted", greedy_hinted ? 1 : 0)
+      .field("accountant_kills", accountant.kills())
+      .field("greedy_cpu_s", greedy_usage.usage.cpu_s, 3)
+      .field("honest_cpu_s", honest_usage.usage.cpu_s, 3)
+      .field("honest_completed", honest_completed)
+      .field("bystander_bit_identical", honest_identical ? 1 : 0);
   if (json.write("BENCH_chaos_soak.json"))
     std::printf("\nwrote BENCH_chaos_soak.json (%zu entries)\n",
                 json.entry_count());

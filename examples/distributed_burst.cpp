@@ -18,11 +18,13 @@
 //                         [--kill-at 1.7] [--join-at 2.5]
 //                         [--reliable-timeout 0.5] [--reliable-attempts 8]
 //   $ PRAGMA_RELIABLE_TIMEOUT=0.25 ./distributed_burst
+#include <algorithm>
 #include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "pragma/service/journal.hpp"
 #include "pragma/service/worker.hpp"
 #include "pragma/util/cli.hpp"
 #include "pragma/util/table.hpp"
@@ -89,7 +91,20 @@ int main(int argc, char** argv) {
     one.persist.enabled = true;
     one.persist.dir = root + "/run-" + std::to_string(i);
     one.persist.checkpoint_interval_s = 1e-6;
-    const auto id = service.submit(std::move(one));
+    // Admission backpressure is advisory, not fatal: honor the shed
+    // status's retry-after hint (capped exponential backoff in simulated
+    // time) and resubmit — leases drain as the simulator advances.
+    auto id = service.submit(one);
+    int backoff_ms = 10;
+    constexpr int kCapMs = 1000;
+    for (int attempt = 1; !id && attempt < 8; ++attempt) {
+      const int hint = service::retry_after_ms(id.status());
+      const int wait_ms = std::min(hint > 0 ? hint : backoff_ms, kCapMs);
+      service.simulator().run(service.simulator().now() +
+                              static_cast<double>(wait_ms) / 1000.0);
+      backoff_ms = std::min(backoff_ms * 2, kCapMs);
+      id = service.submit(one);
+    }
     if (!id) {
       std::cerr << "admission rejected: " << id.status().to_string() << "\n";
       return 1;

@@ -288,14 +288,18 @@ void ManagedRun::take_checkpoint() {
   // Save-state cost: every live processor writes its partition's state
   // over its uplink; the checkpoint completes when the slowest finishes.
   double worst = 0.0;
+  double total_bytes = 0.0;
   for (grid::NodeId p = 0; p < cluster_.size(); ++p) {
     if (p >= mapped_.work.size()) break;
     if (!cluster_.node(p).state().up || mapped_.work[p] <= 0.0) continue;
     const double bytes = mapped_.work[p] * config_.exec.bytes_per_cell;
+    total_bytes += bytes;
     const double rate = cluster_.uplink(p).effective_bytes_per_s() /
                         config_.exec.redistribution_overhead;
     if (rate > 0.0) worst = std::max(worst, bytes / rate);
   }
+  if (config_.account != nullptr)
+    config_.account->charge_io(static_cast<std::uint64_t>(total_bytes));
   const double cost = worst * config_.ft.checkpoint_cost_factor;
   ++report_.checkpoints;
   PRAGMA_FLIGHT(simulator_.now(), "checkpoint", "save-state #",
@@ -630,11 +634,23 @@ ManagedRunReport ManagedRun::run() {
       util::log_error("managed run: unrecoverable stall; aborting run");
       break;
     }
+    // A throttled violator pays the slowdown in modeled step time — the
+    // report, the simulator clock, and the account all see the same
+    // inflated cost.
+    if (config_.account != nullptr && config_.account->throttled() &&
+        config_.account->budget().throttle_factor > 1.0)
+      step.total_s *= config_.account->budget().throttle_factor;
     report_.total_time_s += step.total_s;
     if (!report_.records.empty())
       report_.records.back().step_time_s = step.total_s;
     simulator_.run(simulator_.now() + step.total_s);
     ++completed_steps_;
+    if (config_.account != nullptr) {
+      config_.account->charge_cpu(step.total_s);
+      if (canonical_)
+        config_.account->sample_memory(static_cast<std::uint64_t>(
+            canonical_->total_work() * config_.exec.bytes_per_cell));
+    }
     if (durable) {
       report_.cells_advanced += canonical_->total_work();
       for (std::size_t p = 0;
@@ -647,6 +663,10 @@ ManagedRunReport ManagedRun::run() {
         take_checkpoint();
       }
     }
+    // Budget kill: stop at the boundary exactly like a cancel — fall
+    // through to the final accounting so the partial report is
+    // internally consistent; the caller reads the account's verdict.
+    if (config_.account != nullptr && config_.account->should_stop()) break;
   }
 
   report_.partitioner_switches = meta_->switch_count();

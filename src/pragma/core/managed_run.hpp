@@ -50,6 +50,7 @@
 #include "pragma/monitor/capacity.hpp"
 #include "pragma/monitor/resource_monitor.hpp"
 #include "pragma/obs/obs.hpp"
+#include "pragma/res/accountant.hpp"
 
 namespace pragma::core {
 
@@ -166,6 +167,14 @@ struct ManagedRunConfig {
   /// different name changes event interleaving — keep the default for
   /// byte-compatibility with existing seeded runs.
   std::string app_name = "rm3d";
+  /// Resource account this run charges (not owned; must outlive run()).
+  /// At every coarse-step boundary the run charges its modeled CPU
+  /// seconds, samples its modeled memory footprint, charges checkpoint IO
+  /// bytes, and polls the account's kill/throttle verdict — a kill stops
+  /// the run at the boundary exactly like a cancel, a throttle inflates
+  /// the modeled step time by the budget's factor.  Null (the default)
+  /// is byte-identical to a run without accounting.
+  res::RunAccount* account = nullptr;
 };
 
 /// One regrid-interval record of a managed run.

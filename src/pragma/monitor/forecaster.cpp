@@ -1,5 +1,6 @@
 #include "pragma/monitor/forecaster.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -126,6 +127,52 @@ double evaluate_mae(Forecaster& forecaster, std::span<const double> series) {
     forecaster.observe(series[i]);
   }
   return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+
+SeriesForecaster::SeriesForecaster(std::size_t history,
+                                   std::size_t trend_window)
+    : series_(history),
+      trend_window_(std::max<std::size_t>(trend_window, 2)),
+      ensemble_(AdaptiveForecaster::standard()) {}
+
+void SeriesForecaster::observe(sim::SimTime time, double value) {
+  series_.append(time, value);
+  ensemble_->observe(value);
+}
+
+double SeriesForecaster::predict_next() const {
+  if (series_.empty()) return 0.0;
+  return ensemble_->predict();
+}
+
+double SeriesForecaster::trend() const {
+  const std::vector<double> recent = series_.recent_values(trend_window_);
+  const std::size_t n = recent.size();
+  if (n < 2) return 0.0;
+  // Least squares over (index, value): slope in value-per-observation.
+  double sum_x = 0.0, sum_y = 0.0, sum_xy = 0.0, sum_xx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    sum_x += x;
+    sum_y += recent[i];
+    sum_xy += x * recent[i];
+    sum_xx += x * x;
+  }
+  const double count = static_cast<double>(n);
+  const double denom = count * sum_xx - sum_x * sum_x;
+  if (denom == 0.0) return 0.0;
+  return (count * sum_xy - sum_x * sum_y) / denom;
+}
+
+double SeriesForecaster::predict_ahead(std::size_t steps) const {
+  const double base = predict_next();
+  if (steps == 0) return base;
+  return std::max(0.0, base + trend() * static_cast<double>(steps));
+}
+
+std::string SeriesForecaster::best_member() const {
+  return ensemble_->best_member();
 }
 
 }  // namespace pragma::monitor

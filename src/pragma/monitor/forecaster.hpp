@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "pragma/monitor/series.hpp"
 #include "pragma/util/stats.hpp"
 
 namespace pragma::monitor {
@@ -173,5 +174,39 @@ class AdaptiveForecaster final : public Forecaster {
 /// and returns the mean absolute error.
 [[nodiscard]] double evaluate_mae(Forecaster& forecaster,
                                   std::span<const double> series);
+
+/// A timestamped series wired to the NWS ensemble, plus multi-step lookahead.
+///
+/// The service-layer autoscaler feeds demand series (per-tenant usage,
+/// queue depth) through this: observations land in a bounded TimeSeries
+/// *and* the AdaptiveForecaster, predict_next() is the ensemble's one-step
+/// forecast, and predict_ahead(n) extends it by the linear trend of the
+/// recent window.  Trend extrapolation (not iterated ensemble feedback) is
+/// deliberate: the ensemble's members are one-step predictors whose clone()
+/// returns a *fresh* instance, so feeding predictions back would both
+/// mutate state and flatten ramps — exactly the signal a proactive scaler
+/// needs to see.
+class SeriesForecaster {
+ public:
+  explicit SeriesForecaster(std::size_t history = 256,
+                            std::size_t trend_window = 8);
+
+  void observe(sim::SimTime time, double value);
+  /// Ensemble one-step-ahead forecast (0 before any observation).
+  [[nodiscard]] double predict_next() const;
+  /// Trend-extrapolated forecast `steps` observations ahead:
+  /// predict_next() + slope * steps, floored at 0 (demand series are
+  /// non-negative).  steps == 0 is predict_next().
+  [[nodiscard]] double predict_ahead(std::size_t steps) const;
+  /// Least-squares slope (per observation) over the recent trend window.
+  [[nodiscard]] double trend() const;
+  [[nodiscard]] const TimeSeries& series() const { return series_; }
+  [[nodiscard]] std::string best_member() const;
+
+ private:
+  TimeSeries series_;
+  std::size_t trend_window_;
+  std::unique_ptr<AdaptiveForecaster> ensemble_;
+};
 
 }  // namespace pragma::monitor

@@ -1,0 +1,222 @@
+#include "pragma/res/accountant.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "pragma/obs/metrics.hpp"
+
+namespace pragma::res {
+
+namespace {
+
+// Accounting counters; every add() is a no-op while obs metrics are off.
+obs::Counter& tracked_counter() {
+  static obs::Counter& counter = obs::metrics().counter("res.runs.tracked");
+  return counter;
+}
+obs::Counter& kills_counter() {
+  static obs::Counter& counter = obs::metrics().counter("res.budget.kills");
+  return counter;
+}
+obs::Counter& throttles_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("res.budget.throttles");
+  return counter;
+}
+obs::Gauge& cpu_gauge() {
+  static obs::Gauge& gauge = obs::metrics().gauge("res.total.cpu_s");
+  return gauge;
+}
+obs::Gauge& io_gauge() {
+  static obs::Gauge& gauge = obs::metrics().gauge("res.total.io_bytes");
+  return gauge;
+}
+obs::Gauge& mem_gauge() {
+  static obs::Gauge& gauge = obs::metrics().gauge("res.total.peak_mem_bytes");
+  return gauge;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  std::ostringstream os;
+  if (bytes >= 1024 * 1024) {
+    os << (static_cast<double>(bytes) / (1024.0 * 1024.0)) << " MiB";
+  } else {
+    os << bytes << " B";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+RunAccount::RunAccount(std::string run, std::string tenant,
+                       ResourceBudget budget)
+    : run_(std::move(run)),
+      tenant_(std::move(tenant)),
+      budget_(budget),
+      opened_(std::chrono::steady_clock::now()) {}
+
+double RunAccount::wall_elapsed_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       opened_)
+      .count();
+}
+
+void RunAccount::charge_cpu(double seconds) {
+  if (seconds < 0.0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  usage_.cpu_s += seconds;
+  ++usage_.samples;
+  enforce_locked();
+}
+
+void RunAccount::charge_io(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  usage_.io_bytes += bytes;
+  enforce_locked();
+}
+
+void RunAccount::sample_memory(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  usage_.peak_mem_bytes = std::max(usage_.peak_mem_bytes, bytes);
+  // Exponentially-weighted steady footprint (alpha 1/8): cheap, bounded,
+  // and robust to one-step allocation spikes.
+  constexpr double kAlpha = 0.125;
+  if (usage_.steady_mem_bytes <= 0.0) {
+    usage_.steady_mem_bytes = static_cast<double>(bytes);
+  } else {
+    usage_.steady_mem_bytes +=
+        kAlpha * (static_cast<double>(bytes) - usage_.steady_mem_bytes);
+  }
+  enforce_locked();
+}
+
+void RunAccount::enforce_locked() {
+  if (!violation_.empty() || !budget_.any()) return;
+  std::ostringstream os;
+  if (budget_.cpu_s > 0.0 && usage_.cpu_s > budget_.cpu_s) {
+    os << "cpu budget " << budget_.cpu_s << "s exceeded (used "
+       << usage_.cpu_s << "s)";
+  } else if (budget_.mem_bytes > 0 &&
+             usage_.peak_mem_bytes > budget_.mem_bytes) {
+    os << "memory budget " << format_bytes(budget_.mem_bytes)
+       << " exceeded (peak " << format_bytes(usage_.peak_mem_bytes) << ")";
+  } else if (budget_.io_bytes > 0 && usage_.io_bytes > budget_.io_bytes) {
+    os << "io budget " << format_bytes(budget_.io_bytes) << " exceeded (wrote "
+       << format_bytes(usage_.io_bytes) << ")";
+  } else if (budget_.wall_s > 0.0 && wall_elapsed_s() > budget_.wall_s) {
+    os << "wall budget " << budget_.wall_s << "s exceeded (elapsed "
+       << wall_elapsed_s() << "s)";
+  } else {
+    return;
+  }
+  violation_ = os.str();
+  if (budget_.action == ResourceBudget::Action::kKill) {
+    stop_.store(true, std::memory_order_relaxed);
+  } else {
+    throttle_.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool RunAccount::violated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !violation_.empty();
+}
+
+std::string RunAccount::violation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violation_;
+}
+
+ResourceUsage RunAccount::usage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResourceUsage snapshot = usage_;
+  snapshot.wall_s = wall_elapsed_s();
+  return snapshot;
+}
+
+std::shared_ptr<RunAccount> ResourceAccountant::open(
+    const std::string& run, const std::string& tenant,
+    const ResourceBudget& budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<RunAccount>& slot = live_[run];
+  if (!slot) {
+    slot = std::make_shared<RunAccount>(run, tenant, budget);
+    ++tenants_[tenant].runs;
+    tracked_counter().add();
+  }
+  return slot;
+}
+
+void ResourceAccountant::close(const std::shared_ptr<RunAccount>& account) {
+  if (!account) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = live_.find(account->run_name());
+  if (it == live_.end() || it->second != account) return;  // already closed
+  live_.erase(it);
+
+  const ResourceUsage used = account->usage();
+  TenantUsage& tenant = tenants_[account->tenant()];
+  tenant.usage.cpu_s += used.cpu_s;
+  tenant.usage.io_bytes += used.io_bytes;
+  tenant.usage.peak_mem_bytes =
+      std::max(tenant.usage.peak_mem_bytes, used.peak_mem_bytes);
+  tenant.usage.steady_mem_bytes = used.steady_mem_bytes;
+  tenant.usage.wall_s += used.wall_s;
+  tenant.usage.samples += used.samples;
+  total_.cpu_s += used.cpu_s;
+  total_.io_bytes += used.io_bytes;
+  total_.peak_mem_bytes = std::max(total_.peak_mem_bytes, used.peak_mem_bytes);
+  total_.wall_s += used.wall_s;
+  total_.samples += used.samples;
+  if (account->violated()) {
+    if (account->budget().action == ResourceBudget::Action::kKill) {
+      ++tenant.kills;
+      ++kills_;
+      kills_counter().add();
+    } else {
+      ++tenant.throttles;
+      ++throttles_;
+      throttles_counter().add();
+    }
+  }
+  cpu_gauge().set(total_.cpu_s);
+  io_gauge().set(static_cast<double>(total_.io_bytes));
+  mem_gauge().set(static_cast<double>(total_.peak_mem_bytes));
+}
+
+TenantUsage ResourceAccountant::tenant_usage(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  return it != tenants_.end() ? it->second : TenantUsage{};
+}
+
+std::vector<std::string> ResourceAccountant::tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, usage] : tenants_) names.push_back(name);
+  return names;
+}
+
+ResourceUsage ResourceAccountant::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::size_t ResourceAccountant::kills() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kills_;
+}
+
+std::size_t ResourceAccountant::throttles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return throttles_;
+}
+
+std::size_t ResourceAccountant::open_accounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+}  // namespace pragma::res

@@ -1,0 +1,171 @@
+// Per-run resource accounting and budget enforcement (ROADMAP item 3).
+//
+// Modeled on cctools' resource_monitor: every managed run (and worker
+// slice) is attributed the CPU time, peak/steady memory, and checkpoint
+// IO it consumes, sampled at the step/poll boundaries the run already
+// visits for cancellation.  Accounts aggregate per run *and* per tenant,
+// and the totals are exported through the obs metrics registry so a
+// deployment can watch usage without touching the run loop.
+//
+// Enforcement closes the loop the paper's runtime-management story needs:
+// a RunSpec may carry a ResourceBudget, and the account latches a
+// violation the moment a charge crosses it.  Kill-action budgets make the
+// run stop at its next cooperative boundary (exactly like a cancel, so
+// the partial report stays internally consistent) and the scheduler sheds
+// it with Status::resource_exhausted carrying the ladder's
+// " [retry_after_ms=N]" hint; throttle-action budgets instead inflate the
+// violator's modeled step time, slowing it without killing it.
+//
+// Determinism: a null account (the default everywhere) is byte-identical
+// to the pre-accounting code — every hook is gated on a pointer check.
+// CPU/memory/IO charges are *modeled* quantities from the deterministic
+// execution model, so budget kills land on the same step at a fixed seed;
+// only the optional wall_s budget reads the real clock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pragma::res {
+
+/// Per-run resource limits.  0 = unlimited for every dimension, so a
+/// default-constructed budget enforces nothing (`any()` is false and no
+/// account machinery runs).
+struct ResourceBudget {
+  /// What to do with a violator: kill sheds it with
+  /// Status::resource_exhausted at the next cooperative boundary;
+  /// throttle lets it finish but inflates its modeled step time.
+  enum class Action { kKill, kThrottle };
+
+  double cpu_s = 0.0;           ///< modeled CPU-seconds across the run
+  std::uint64_t mem_bytes = 0;  ///< peak modeled memory footprint
+  std::uint64_t io_bytes = 0;   ///< checkpoint/journal bytes written
+  double wall_s = 0.0;          ///< real wall-clock seconds since dispatch
+  Action action = Action::kKill;
+  /// Step-time multiplier applied to a throttled run (> 1 slows it).
+  double throttle_factor = 2.0;
+
+  [[nodiscard]] bool any() const {
+    return cpu_s > 0.0 || mem_bytes > 0 || io_bytes > 0 || wall_s > 0.0;
+  }
+};
+
+/// Usage attributed to one run (or aggregated over a tenant).
+struct ResourceUsage {
+  double cpu_s = 0.0;
+  std::uint64_t peak_mem_bytes = 0;
+  double steady_mem_bytes = 0.0;  ///< exponentially-weighted mean footprint
+  std::uint64_t io_bytes = 0;
+  double wall_s = 0.0;
+  std::uint64_t samples = 0;
+};
+
+class ResourceAccountant;
+
+/// The account of one run in flight.  charge_*/sample_memory are called
+/// from the run's executing thread at step boundaries; should_stop() is
+/// the kill probe polled at the same boundaries (one relaxed atomic load
+/// on the fast path).  Everything else may be read from other threads —
+/// state is guarded by an internal mutex.
+class RunAccount {
+ public:
+  RunAccount(std::string run, std::string tenant, ResourceBudget budget);
+
+  /// Modeled CPU-seconds of one step (post-throttle, so accounting and
+  /// the report agree on what the run cost).
+  void charge_cpu(double seconds);
+  /// Checkpoint/journal bytes durably written on the run's behalf.
+  void charge_io(std::uint64_t bytes);
+  /// Instantaneous modeled memory footprint at a step boundary.
+  void sample_memory(std::uint64_t bytes);
+
+  /// True once a kill-action budget is violated: the run should stop at
+  /// its next cooperative boundary (like a cancel).
+  [[nodiscard]] bool should_stop() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+  /// True once a throttle-action budget is violated: the run's modeled
+  /// step time is multiplied by budget().throttle_factor from then on.
+  [[nodiscard]] bool throttled() const {
+    return throttle_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool violated() const;
+  /// "cpu budget 2s exceeded (used 2.4s)" — empty while within budget.
+  [[nodiscard]] std::string violation() const;
+  [[nodiscard]] ResourceUsage usage() const;
+  [[nodiscard]] const ResourceBudget& budget() const { return budget_; }
+  [[nodiscard]] const std::string& run_name() const { return run_; }
+  [[nodiscard]] const std::string& tenant() const { return tenant_; }
+
+ private:
+  friend class ResourceAccountant;
+  /// Re-checks every dimension (including wall clock) and latches the
+  /// action flag on first violation.  Requires mu_.
+  void enforce_locked();
+  [[nodiscard]] double wall_elapsed_s() const;
+
+  const std::string run_;
+  const std::string tenant_;
+  const ResourceBudget budget_;
+  const std::chrono::steady_clock::time_point opened_;
+
+  mutable std::mutex mu_;
+  ResourceUsage usage_;        // guarded by mu_
+  std::string violation_;      // guarded by mu_; set once, never cleared
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> throttle_{false};
+};
+
+/// Aggregate view of one tenant across every account opened for it.
+struct TenantUsage {
+  ResourceUsage usage;
+  std::size_t runs = 0;       ///< accounts opened
+  std::size_t kills = 0;      ///< kill-action budget violations
+  std::size_t throttles = 0;  ///< throttle-action budget violations
+};
+
+/// Opens, tracks, and aggregates run accounts.  Thread-safe; designed to
+/// be shared by a Scheduler and a DistributedService worker pool at once.
+/// Aggregation is by tenant and in total, and the registry exports the
+/// totals through obs metrics (res.* counters/gauges) on every close.
+class ResourceAccountant {
+ public:
+  ResourceAccountant() = default;
+  ResourceAccountant(const ResourceAccountant&) = delete;
+  ResourceAccountant& operator=(const ResourceAccountant&) = delete;
+
+  /// Find-or-create the account of run `run` (keyed by name, so a sliced
+  /// or failed-over run keeps accumulating into one account across
+  /// slices and workers).  The budget of the first open wins.
+  [[nodiscard]] std::shared_ptr<RunAccount> open(const std::string& run,
+                                                 const std::string& tenant,
+                                                 const ResourceBudget& budget);
+
+  /// Fold a finished run into its tenant aggregate and drop the live
+  /// entry.  Idempotent: a second close of the same run is a no-op.
+  void close(const std::shared_ptr<RunAccount>& account);
+
+  [[nodiscard]] TenantUsage tenant_usage(const std::string& tenant) const;
+  [[nodiscard]] std::vector<std::string> tenants() const;
+  [[nodiscard]] ResourceUsage total() const;
+  [[nodiscard]] std::size_t kills() const;
+  [[nodiscard]] std::size_t throttles() const;
+  [[nodiscard]] std::size_t open_accounts() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<RunAccount>> live_;
+  std::map<std::string, TenantUsage> tenants_;
+  ResourceUsage total_;
+  std::size_t kills_ = 0;
+  std::size_t throttles_ = 0;
+};
+
+}  // namespace pragma::res

@@ -42,6 +42,7 @@
 #include "pragma/agents/heartbeat.hpp"
 #include "pragma/agents/message_center.hpp"
 #include "pragma/agents/reliable.hpp"
+#include "pragma/res/autoscaler.hpp"
 #include "pragma/service/run_spec.hpp"
 #include "pragma/service/scheduler.hpp"
 #include "pragma/sim/simulator.hpp"
@@ -104,6 +105,16 @@ struct DistributedConfig {
   std::string checkpoint_root = "pragma-dist-checkpoints";
   /// Forced checkpoint cadence (simulated seconds) for such runs.
   double forced_checkpoint_interval_s = 1.0;
+  /// Predictive worker-pool autoscaling (DistributedService only).  Off
+  /// by default: with enabled=false no autoscaler exists, no event is
+  /// scheduled, and the service is byte-identical to the fixed-pool path.
+  res::AutoscaleConfig autoscale;
+  /// Per-run resource accounting for worker slices: accounts are keyed by
+  /// run name, so usage accumulates across slices and failovers.  A
+  /// kill-action budget violation fails the run with
+  /// Status::resource_exhausted.  Not owned; null = accounting off
+  /// (byte-identical legacy path).
+  res::ResourceAccountant* accountant = nullptr;
 };
 
 enum class DistRunState { kQueued, kLeased, kRunning, kCompleted, kFailed };

@@ -137,8 +137,18 @@ util::Status unavailable_with_retry_after(const std::string& message,
                                    std::to_string(retry_after_ms) + "]");
 }
 
+util::Status resource_exhausted_with_retry_after(const std::string& message,
+                                                 int retry_after_ms) {
+  if (retry_after_ms < 0) retry_after_ms = 0;
+  return util::Status::resource_exhausted(message + kRetryAfterToken +
+                                          std::to_string(retry_after_ms) +
+                                          "]");
+}
+
 int retry_after_ms(const util::Status& status) {
-  if (status.code() != util::StatusCode::kUnavailable) return -1;
+  if (status.code() != util::StatusCode::kUnavailable &&
+      status.code() != util::StatusCode::kResourceExhausted)
+    return -1;
   const std::string& message = status.message();
   const std::size_t start = message.rfind(kRetryAfterToken);
   if (start == std::string::npos) return -1;
@@ -384,6 +394,14 @@ std::vector<std::uint8_t> encode_run_spec(const RunSpec& spec) {
   }
   w.f64(spec.random_mtbf_s);
   w.f64(spec.random_mttr_s);
+
+  // resource budget (appended by payload version 2)
+  w.f64(spec.budget.cpu_s);
+  w.u64(spec.budget.mem_bytes);
+  w.u64(spec.budget.io_bytes);
+  w.f64(spec.budget.wall_s);
+  w.u8(static_cast<std::uint8_t>(spec.budget.action));
+  w.f64(spec.budget.throttle_factor);
   return w.take();
 }
 
@@ -391,7 +409,8 @@ util::Expected<RunSpec> decode_run_spec(
     const std::vector<std::uint8_t>& payload) {
   io::ByteReader r(payload);
   const std::uint32_t version = r.u32();
-  if (r.ok() && version != kRunSpecPayloadVersion)
+  if (r.ok() && version != kRunSpecPayloadVersion &&
+      version != kRunSpecPayloadVersionV1)
     return util::Status::unimplemented("run-spec payload version " +
                                        std::to_string(version));
   RunSpec spec;
@@ -504,6 +523,22 @@ util::Expected<RunSpec> decode_run_spec(
   }
   spec.random_mtbf_s = r.f64();
   spec.random_mttr_s = r.f64();
+
+  // Version-1 payloads (pre-budget journals) end here; their runs carry
+  // the default unlimited budget.
+  if (version >= 2) {
+    spec.budget.cpu_s = r.f64();
+    spec.budget.mem_bytes = r.u64();
+    spec.budget.io_bytes = r.u64();
+    spec.budget.wall_s = r.f64();
+    const std::uint8_t action = r.u8();
+    if (r.ok() &&
+        action > static_cast<std::uint8_t>(
+                     res::ResourceBudget::Action::kThrottle))
+      r.fail("unknown budget action " + std::to_string(action));
+    spec.budget.action = static_cast<res::ResourceBudget::Action>(action);
+    spec.budget.throttle_factor = r.f64();
+  }
 
   if (r.ok() && !r.at_end())
     r.fail("trailing bytes after run-spec payload");

@@ -70,7 +70,10 @@ inline constexpr std::size_t kJournalFileHeaderBytes = 16;
 inline constexpr char kJournalRecordMagic[4] = {'P', 'J', 'R', '1'};
 inline constexpr std::size_t kJournalRecordHeaderBytes = 32;
 /// Version tag of the RunSpec payload encoding (first u32 of the payload).
-inline constexpr std::uint32_t kRunSpecPayloadVersion = 1;
+/// Version 2 appended the ResourceBudget fields; version-1 payloads from
+/// pre-budget journals still decode (with default, unlimited budgets).
+inline constexpr std::uint32_t kRunSpecPayloadVersion = 2;
+inline constexpr std::uint32_t kRunSpecPayloadVersionV1 = 1;
 inline constexpr std::uint64_t kDefaultJournalMaxPayloadBytes = 1ull << 20;
 
 enum class JournalRecordType : std::uint32_t {
@@ -193,6 +196,13 @@ struct JournalStats {
 /// stays a (code, bounded message) pair — the hint travels inside the
 /// message so it survives every existing plumbing layer unchanged.
 [[nodiscard]] util::Status unavailable_with_retry_after(
+    const std::string& message, int retry_after_ms);
+
+/// Like unavailable_with_retry_after, for budget-kill sheds: a
+/// Status::resource_exhausted carrying the same machine-readable
+/// " [retry_after_ms=<ms>]" hint, so budget backpressure rides the
+/// degradation ladder's existing retry convention.
+[[nodiscard]] util::Status resource_exhausted_with_retry_after(
     const std::string& message, int retry_after_ms);
 
 /// Parse the retry-after hint back out of a shed status; -1 when the

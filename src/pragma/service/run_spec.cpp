@@ -1,5 +1,7 @@
 #include "pragma/service/run_spec.hpp"
 
+#include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "pragma/obs/obs.hpp"
@@ -8,6 +10,43 @@
 namespace pragma::service {
 
 namespace {
+
+/// Reject an explicitly-set budget flag with a caret diagnostic pointing
+/// at the offending value inside the verbatim CLI token or environment
+/// assignment (same shape as the policy-DSL parse errors):
+///
+///   invalid --budget-cpu-s: budget must be positive, got -3
+///     --budget-cpu-s=-3
+///                    ^
+[[noreturn]] void throw_budget_error(const util::CliFlags& flags,
+                                     const std::string& name,
+                                     const std::string& value) {
+  std::string raw = flags.provenance(name);
+  if (raw.empty()) raw = "--" + name + "=" + value;
+  // The value starts after the last '=' (both "--x=v" and "ENV_X=v") or
+  // after the separating space of the "--x v" form.
+  std::size_t pos = raw.rfind('=');
+  if (pos == std::string::npos) pos = raw.rfind(' ');
+  pos = pos == std::string::npos ? 0 : pos + 1;
+  std::ostringstream os;
+  os << "invalid --" << name << ": budget must be positive, got " << value
+     << '\n'
+     << "  " << raw << '\n'
+     << "  " << std::string(pos, ' ') << '^';
+  throw std::invalid_argument(os.str());
+}
+
+/// Budgets are 0-means-unlimited by *default*; an explicit zero or
+/// negative value is a contradiction worth failing loudly on.
+double checked_budget(const util::CliFlags& flags, const std::string& name) {
+  const double value = flags.get_double(name);
+  if (flags.explicitly_set(name) && value <= 0.0) {
+    std::ostringstream formatted;
+    formatted << value;
+    throw_budget_error(flags, name, formatted.str());
+  }
+  return value < 0.0 ? 0.0 : value;
+}
 
 /// "pragma-trace.json" + 3 -> "pragma-trace-3.json" (suffix appended when
 /// there is no extension).  Keeps per-run obs artifacts from clobbering
@@ -168,6 +207,22 @@ void add_run_flags(util::CliFlags& flags, const RunSpec& defaults) {
                    "fair-share tenant this run is charged to");
   flags.add_int("priority", defaults.priority,
                 "scheduling priority within the tenant (higher first)");
+  flags.add_double("budget-cpu-s", defaults.budget.cpu_s,
+                   "modeled CPU-second budget (0 = unlimited)");
+  flags.add_double("budget-mem-mb", static_cast<double>(
+                       defaults.budget.mem_bytes) / (1024.0 * 1024.0),
+                   "peak modeled memory budget in MiB (0 = unlimited)");
+  flags.add_double("budget-io-mb", static_cast<double>(
+                       defaults.budget.io_bytes) / (1024.0 * 1024.0),
+                   "checkpoint/journal IO budget in MiB (0 = unlimited)");
+  flags.add_double("budget-wall-s", defaults.budget.wall_s,
+                   "wall-clock budget in seconds (0 = unlimited)");
+  flags.add_string("budget-action",
+                   defaults.budget.action ==
+                           res::ResourceBudget::Action::kThrottle
+                       ? "throttle"
+                       : "kill",
+                   "what happens to a violator: kill | throttle");
   obs::add_cli_flags(flags);
 }
 
@@ -196,6 +251,21 @@ RunSpec spec_from_flags(const util::CliFlags& flags, RunSpec base) {
   base.persist.dir = flags.get_string("ft-dir");
   base.tenant = flags.get_string("tenant");
   base.priority = static_cast<int>(flags.get_int("priority"));
+  base.budget.cpu_s = checked_budget(flags, "budget-cpu-s");
+  base.budget.mem_bytes = static_cast<std::uint64_t>(
+      checked_budget(flags, "budget-mem-mb") * 1024.0 * 1024.0);
+  base.budget.io_bytes = static_cast<std::uint64_t>(
+      checked_budget(flags, "budget-io-mb") * 1024.0 * 1024.0);
+  base.budget.wall_s = checked_budget(flags, "budget-wall-s");
+  const std::string& action = flags.get_string("budget-action");
+  if (action == "kill") {
+    base.budget.action = res::ResourceBudget::Action::kKill;
+  } else if (action == "throttle") {
+    base.budget.action = res::ResourceBudget::Action::kThrottle;
+  } else {
+    throw std::invalid_argument("invalid --budget-action \"" + action +
+                                "\": must be kill or throttle");
+  }
   base.obs = obs::config_from_flags(flags, base.obs);
   return base;
 }

@@ -28,6 +28,7 @@
 #include "pragma/core/system_sensitive.hpp"
 #include "pragma/core/trace_runner.hpp"
 #include "pragma/grid/cluster.hpp"
+#include "pragma/res/accountant.hpp"
 #include "pragma/util/cli.hpp"
 #include "pragma/util/status.hpp"
 
@@ -93,6 +94,12 @@ struct RunSpec {
   core::PersistenceConfig persist;
   double modeled_partition_s_per_cell = 0.0;
   obs::ObsConfig obs;
+  /// Per-run resource limits (0 = unlimited), enforced by the scheduler
+  /// or worker when a res::ResourceAccountant is wired in: a kill-action
+  /// violator is shed with Status::resource_exhausted (carrying the
+  /// ladder's retry-after hint), a throttle-action one finishes slowed.
+  /// A default (empty) budget runs byte-identically to pre-budget code.
+  res::ResourceBudget budget;
 
   // ---- replay / system-sensitive workloads ----------------------------
   /// The adaptation trace to replay (kTraceReplay / kSystemSensitive).

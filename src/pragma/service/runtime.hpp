@@ -93,6 +93,11 @@ class Runtime {
     /// `config.enabled` is false the scheduler path is untouched and
     /// byte-identical to a runtime built without this call.
     Builder& distributed(DistributedConfig config) {
+      // Keep accountant()/autoscale() settings regardless of call order.
+      if (config.accountant == nullptr)
+        config.accountant = options_.distributed.accountant;
+      if (!config.autoscale.enabled)
+        config.autoscale = options_.distributed.autoscale;
       options_.distributed = std::move(config);
       return *this;
     }
@@ -110,6 +115,21 @@ class Runtime {
     /// Per-tenant token-bucket admission rate limit (off by default).
     Builder& rate_limit(TenantRateLimit limit) {
       options_.scheduler.rate_limit = limit;
+      return *this;
+    }
+    /// Per-run resource accounting and budget enforcement (off by
+    /// default).  The accountant is shared by the scheduler path and the
+    /// distributed path; it is not owned and must outlive the runtime.
+    /// Null (the default) is the byte-identical pre-accounting path.
+    Builder& accountant(res::ResourceAccountant* accountant) {
+      options_.scheduler.accountant = accountant;
+      options_.distributed.accountant = accountant;
+      return *this;
+    }
+    /// Predictive worker-pool autoscaling for distributed bursts (off by
+    /// default; requires distributed({.enabled = true})).
+    Builder& autoscale(res::AutoscaleConfig config) {
+      options_.distributed.autoscale = config;
       return *this;
     }
     [[nodiscard]] Runtime build() { return Runtime(std::move(options_)); }

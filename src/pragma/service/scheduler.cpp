@@ -66,6 +66,16 @@ obs::Gauge& queue_depth_gauge() {
   static obs::Gauge& gauge = obs::metrics().gauge("service.sched.queue_depth");
   return gauge;
 }
+obs::Counter& budget_killed_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.runs.budget_killed");
+  return counter;
+}
+obs::Counter& budget_throttled_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.runs.budget_throttled");
+  return counter;
+}
 
 double percentile(std::vector<double> values, double q) {
   if (values.empty()) return 0.0;
@@ -354,10 +364,19 @@ void Scheduler::execute(const TicketPtr& ticket) {
     return;
   }
 
+  // Open the run's resource account (find-or-create, so a retried run
+  // keeps accumulating against the same budget).  Null accountant = the
+  // pre-accounting path, byte-identical.
+  std::shared_ptr<res::RunAccount> account;
+  if (config_.accountant != nullptr)
+    account = config_.accountant->open(spec.name, spec.tenant, spec.budget);
+
   try {
     switch (spec.kind) {
       case WorkloadKind::kManaged: {
-        core::ManagedRun run(spec.to_managed());
+        core::ManagedRunConfig managed_config = spec.to_managed();
+        managed_config.account = account.get();
+        core::ManagedRun run(managed_config);
         {
           std::lock_guard<std::mutex> lock(ticket->mu);
           ticket->active = &run;
@@ -382,8 +401,9 @@ void Scheduler::execute(const TicketPtr& ticket) {
         }
         const grid::Cluster cluster = build_cluster(spec);
         core::TraceRunConfig config = spec.to_trace();
-        config.should_abort = [ticket] {
-          return ticket->cancel.load(std::memory_order_relaxed);
+        config.should_abort = [ticket, account] {
+          return ticket->cancel.load(std::memory_order_relaxed) ||
+                 (account != nullptr && account->should_stop());
         };
         const core::TraceRunner runner(*spec.trace, cluster, config);
         if (spec.strategy == "adaptive") {
@@ -410,8 +430,9 @@ void Scheduler::execute(const TicketPtr& ticket) {
               util::Status::invalid("custom run without a workload callable");
           break;
         }
-        RunContext context{[ticket] {
-          return ticket->cancel.load(std::memory_order_relaxed);
+        RunContext context{[ticket, account] {
+          return ticket->cancel.load(std::memory_order_relaxed) ||
+                 (account != nullptr && account->should_stop());
         }};
         status = spec.custom(context);
         break;
@@ -425,6 +446,21 @@ void Scheduler::execute(const TicketPtr& ticket) {
   }
 
   outcome.exec_s = seconds_since(started);
+
+  // Budget classification runs first so a kill-action violation yields
+  // exactly one terminal status (resource-exhausted), even when a caller
+  // cancel raced the kill; accountant close() folds the run's usage into
+  // the per-tenant aggregate exactly once.
+  if (account != nullptr) {
+    outcome.usage = account->usage();
+    outcome.budget_throttled = account->throttled();
+    if (status.is_ok() && account->should_stop())
+      status = resource_exhausted_with_retry_after(
+          "run \"" + spec.name + "\": " + account->violation(),
+          config_.shed_retry_after_ms);
+    config_.accountant->close(account);
+  }
+
   outcome.status = status;
   if (!status.is_ok()) {
     outcome.state = RunState::kFailed;
@@ -446,6 +482,10 @@ void Scheduler::finish(const TicketPtr& ticket, RunOutcome outcome) {
     case RunState::kCancelled: cancelled_counter().add(); break;
     default: break;
   }
+  if (outcome.state == RunState::kFailed &&
+      outcome.status.code() == util::StatusCode::kResourceExhausted)
+    budget_killed_counter().add();
+  if (outcome.budget_throttled) budget_throttled_counter().add();
   // Tombstone before taking mu_: the journal may compact (disk I/O) and
   // the scheduler lock must never be held across it.
   if (config_.journal != nullptr && ticket->journal_seq != 0)
@@ -459,6 +499,10 @@ void Scheduler::finish(const TicketPtr& ticket, RunOutcome outcome) {
     case RunState::kCancelled: ++stats_.cancelled; break;
     default: break;
   }
+  if (outcome.state == RunState::kFailed &&
+      outcome.status.code() == util::StatusCode::kResourceExhausted)
+    ++stats_.budget_killed;
+  if (outcome.budget_throttled) ++stats_.budget_throttled;
   {
     std::lock_guard<std::mutex> ticket_lock(ticket->mu);
     ticket->state = outcome.state;

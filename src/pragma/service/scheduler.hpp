@@ -59,6 +59,11 @@ struct RunOutcome {
   core::SystemSensitiveResult system_sensitive;
   double queue_s = 0.0;  ///< admission -> dispatch wall time
   double exec_s = 0.0;   ///< dispatch -> completion wall time
+  /// The run finished under a throttle-action budget violation (it ran to
+  /// completion, slowed by ResourceBudget::throttle_factor).
+  bool budget_throttled = false;
+  /// Per-run resource usage (all-zero when no accountant is configured).
+  res::ResourceUsage usage;
 };
 
 class Scheduler;
@@ -138,6 +143,13 @@ struct SchedulerConfig {
   /// tombstoned on its terminal transition.  Not owned; must outlive the
   /// scheduler.  Null = journaling off (byte-identical legacy path).
   Journal* journal = nullptr;
+  /// Per-run resource accounting and budget enforcement: when non-null,
+  /// every dispatched run charges its modeled CPU/memory/IO to an account
+  /// and a RunSpec budget violation is enforced (kill-action runs shed
+  /// with Status::resource_exhausted carrying the retry-after hint,
+  /// throttle-action ones finish slowed).  Not owned; must outlive the
+  /// scheduler.  Null = accounting off (byte-identical legacy path).
+  res::ResourceAccountant* accountant = nullptr;
 };
 
 struct SchedulerStats {
@@ -149,6 +161,8 @@ struct SchedulerStats {
   std::size_t completed = 0;
   std::size_t failed = 0;
   std::size_t cancelled = 0;
+  std::size_t budget_killed = 0;     ///< kill-action budget violations
+  std::size_t budget_throttled = 0;  ///< throttle-action budget violations
   std::size_t peak_queue_depth = 0;
   std::size_t peak_running = 0;
   double queue_p50_s = 0.0;  ///< median admission->dispatch latency

@@ -1,9 +1,34 @@
 #include "pragma/service/workbench.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 
+#include "pragma/service/journal.hpp"
+
 namespace pragma::service {
+
+util::Expected<RunHandle> submit_with_retry(Runtime& runtime, RunSpec spec,
+                                            RetryBackoff backoff) {
+  const int cap_ms = std::max(backoff.cap_ms, 1);
+  int next_wait_ms = std::max(backoff.base_ms, 1);
+  util::Expected<RunHandle> handle = runtime.submit(spec);
+  for (int attempt = 1; !handle && attempt < backoff.max_attempts;
+       ++attempt) {
+    const util::StatusCode code = handle.status().code();
+    if (code != util::StatusCode::kUnavailable &&
+        code != util::StatusCode::kResourceExhausted)
+      break;  // not backpressure — retrying cannot help
+    const int hint = retry_after_ms(handle.status());
+    const int wait_ms = std::min(hint > 0 ? hint : next_wait_ms, cap_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+    next_wait_ms = std::min(next_wait_ms * 2, cap_ms);
+    handle = runtime.submit(spec);
+  }
+  return handle;
+}
 
 namespace {
 

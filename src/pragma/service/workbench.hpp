@@ -21,9 +21,28 @@
 #include "pragma/monitor/resource_monitor.hpp"
 #include "pragma/policy/builtin.hpp"
 #include "pragma/service/run_spec.hpp"
+#include "pragma/service/runtime.hpp"
 #include "pragma/sim/simulator.hpp"
 
 namespace pragma::service {
+
+/// Capped exponential backoff for admission retries.  A shed status's
+/// retry_after_ms() hint, when present, overrides the exponential wait
+/// for that attempt; every wait is capped at cap_ms.
+struct RetryBackoff {
+  int base_ms = 10;
+  int cap_ms = 1000;
+  int max_attempts = 8;
+};
+
+/// Submit with retry: when admission sheds the run with
+/// Status::unavailable or Status::resource_exhausted (the degradation
+/// ladder's backpressure statuses), wait the hinted — or exponentially
+/// backed-off — interval and resubmit, up to backoff.max_attempts total
+/// attempts.  Any other failure, or exhausting the attempts, returns the
+/// last status unchanged.
+[[nodiscard]] util::Expected<RunHandle> submit_with_retry(
+    Runtime& runtime, RunSpec spec, RetryBackoff backoff = {});
 
 class Workbench {
  public:

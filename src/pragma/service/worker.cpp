@@ -9,6 +9,7 @@
 #include "pragma/obs/metrics.hpp"
 #include "pragma/obs/tracer.hpp"
 #include "pragma/policy/builtin.hpp"
+#include "pragma/service/journal.hpp"
 #include "pragma/util/logging.hpp"
 
 namespace pragma::service {
@@ -21,6 +22,10 @@ double attr_double(const agents::Message& message, const std::string& key) {
   if (const double* value = std::get_if<double>(&it->second)) return *value;
   return 0.0;
 }
+
+/// Retry-after hint on distributed budget sheds (the Scheduler path uses
+/// its configurable shed_retry_after_ms; here the default suffices).
+constexpr int kBudgetShedRetryAfterMs = 50;
 
 }  // namespace
 
@@ -193,6 +198,14 @@ void Worker::run_slice() {
 
   Active& active = *active_;
   core::ManagedRunConfig config = spec->to_managed();
+  // Accounts are find-or-create by run name: a run's usage accumulates
+  // across slices and across failovers to another worker.
+  std::shared_ptr<res::RunAccount> account;
+  if (coordinator_.config().accountant != nullptr) {
+    account = coordinator_.config().accountant->open(spec->name, spec->tenant,
+                                                     spec->budget);
+    config.account = account.get();
+  }
   const int total = config.app.coarse_steps;
   const bool resume = active.resume_next || active.steps_done > 0;
   config.persist.resume = resume;
@@ -212,6 +225,18 @@ void Worker::run_slice() {
     core::ManagedRunReport report = run.run();
     ++stats_.slices;
     obs::metrics().counter("service.dist.slices").add();
+    if (account != nullptr && account->should_stop()) {
+      // Kill-action budget violation: the run stopped at a step boundary
+      // inside this slice.  Shed it — no further slices.
+      outcome.state = RunState::kFailed;
+      outcome.status = resource_exhausted_with_retry_after(
+          "run \"" + spec->name + "\": " + account->violation(),
+          kBudgetShedRetryAfterMs);
+      outcome.usage = account->usage();
+      coordinator_.config().accountant->close(account);
+      finish_active(std::move(outcome));
+      return;
+    }
     if (report.halted) {
       active.steps_done = run.completed_steps();
       active.resume_next = true;
@@ -234,6 +259,11 @@ void Worker::run_slice() {
     outcome.status = util::Status::internal(
         std::string("run \"") + spec->name + "\" threw: " + error.what());
   }
+  if (account != nullptr) {
+    outcome.usage = account->usage();
+    outcome.budget_throttled = account->throttled();
+    coordinator_.config().accountant->close(account);
+  }
   finish_active(std::move(outcome));
 }
 
@@ -242,10 +272,16 @@ void Worker::execute_unsliced(const RunSpec& spec) {
   // cancellation plumbing (the coordinator fences instead of cancelling).
   RunOutcome outcome;
   util::Status status = util::Status::ok();
+  std::shared_ptr<res::RunAccount> account;
+  if (coordinator_.config().accountant != nullptr)
+    account = coordinator_.config().accountant->open(spec.name, spec.tenant,
+                                                     spec.budget);
   try {
     switch (spec.kind) {
       case WorkloadKind::kManaged: {
-        core::ManagedRun run(spec.to_managed());
+        core::ManagedRunConfig config = spec.to_managed();
+        config.account = account.get();
+        core::ManagedRun run(config);
         for (const FailurePlan& plan : spec.failures)
           run.schedule_failure(plan.at_s, plan.node, plan.downtime_s);
         if (spec.random_mtbf_s > 0.0 && spec.random_mttr_s > 0.0)
@@ -259,7 +295,10 @@ void Worker::execute_unsliced(const RunSpec& spec) {
           break;
         }
         const grid::Cluster cluster = build_cluster(spec);
-        const core::TraceRunner runner(*spec.trace, cluster, spec.to_trace());
+        core::TraceRunConfig config = spec.to_trace();
+        if (account != nullptr)
+          config.should_abort = [account] { return account->should_stop(); };
+        const core::TraceRunner runner(*spec.trace, cluster, config);
         if (spec.strategy == "adaptive") {
           const policy::PolicyBase policies = policy::standard_policy_base();
           outcome.replay = runner.run_adaptive(policies);
@@ -284,7 +323,9 @@ void Worker::execute_unsliced(const RunSpec& spec) {
               util::Status::invalid("custom run without a workload callable");
           break;
         }
-        RunContext context{[] { return false; }};
+        RunContext context{[account] {
+          return account != nullptr && account->should_stop();
+        }};
         status = spec.custom(context);
         break;
       }
@@ -292,6 +333,15 @@ void Worker::execute_unsliced(const RunSpec& spec) {
   } catch (const std::exception& error) {
     status = util::Status::internal(std::string("run \"") + spec.name +
                                     "\" threw: " + error.what());
+  }
+  if (account != nullptr) {
+    outcome.usage = account->usage();
+    outcome.budget_throttled = account->throttled();
+    if (status.is_ok() && account->should_stop())
+      status = resource_exhausted_with_retry_after(
+          "run \"" + spec.name + "\": " + account->violation(),
+          kBudgetShedRetryAfterMs);
+    coordinator_.config().accountant->close(account);
   }
   outcome.status = status;
   outcome.state = status.is_ok() ? RunState::kCompleted : RunState::kFailed;
@@ -338,7 +388,16 @@ DistributedService::DistributedService(DistributedConfig config,
           std::make_unique<Coordinator>(simulator_, center_, reliable_,
                                         config_)),
       partitioned_(std::make_shared<std::set<agents::PortId>>()),
-      seed_(seed) {}
+      seed_(seed) {
+  // Disabled autoscaling constructs nothing and schedules nothing: the
+  // event sequence of the fixed-pool service is untouched.
+  if (config_.autoscale.enabled) {
+    autoscaler_ = std::make_unique<res::PredictiveAutoscaler>(
+        config_.autoscale);
+    simulator_.schedule_periodic(autoscaler_->config().interval_s,
+                                 [this] { autoscale_tick(); });
+  }
+}
 
 Worker& DistributedService::add_worker(const std::string& name) {
   if (Worker* existing = worker(name); existing && existing->alive())
@@ -433,6 +492,71 @@ std::vector<double> DistributedService::recovery_latencies() const {
     }
   }
   return latencies;
+}
+
+std::size_t DistributedService::alive_workers() const {
+  std::size_t alive = 0;
+  for (const auto& worker : workers_)
+    if (worker->alive()) ++alive;
+  return alive;
+}
+
+void DistributedService::autoscale_tick() {
+  // Demand = non-terminal runs, total and per tenant; feeding the series
+  // every tick (including zeros) keeps the forecaster's trend honest.
+  const double now = simulator_.now();
+  double demand = 0.0;
+  std::map<std::string, double> per_tenant;
+  for (const auto& [id, run] : coordinator_->runs()) {
+    if (is_terminal(run.state)) continue;
+    demand += 1.0;
+    per_tenant[run.spec.tenant] += 1.0;
+  }
+  autoscaler_->observe(now, demand);
+  for (const auto& [tenant, count] : per_tenant)
+    autoscaler_->observe_tenant(tenant, now, count);
+
+  const std::size_t alive = alive_workers();
+  const std::size_t desired = autoscaler_->desired_workers();
+  obs::metrics().gauge("res.autoscale.workers").set(
+      static_cast<double>(alive));
+
+  if (desired > alive + pending_joins_) {
+    // Scale up ahead of demand: each join pays the modeled spin-up delay,
+    // which is exactly the latency the predictive lead time hides.
+    const std::size_t add = desired - alive - pending_joins_;
+    for (std::size_t i = 0; i < add; ++i) {
+      const std::string name = "auto" + std::to_string(++auto_seq_);
+      ++pending_joins_;
+      simulator_.schedule(config_.autoscale.spinup_s, [this, name] {
+        --pending_joins_;
+        Worker& joined = add_worker(name);
+        auto_ports_.insert(joined.port());
+      });
+      ++scale_ups_;
+      obs::metrics().counter("res.autoscale.scale_ups").add();
+    }
+    autoscaler_->note_scaled(now);
+    PRAGMA_FLIGHT(now, "dist.autoscale", "scale up: +", add, " (alive ",
+                  alive, ", desired ", desired, ")");
+  } else if (desired < alive &&
+             autoscaler_->scale_down_due(now, alive)) {
+    // Retire one idle autoscaler-joined worker per due tick; never touch
+    // the base pool or a worker holding leases.
+    for (auto it = workers_.rbegin(); it != workers_.rend(); ++it) {
+      Worker& candidate = **it;
+      if (!candidate.alive() || !candidate.idle()) continue;
+      if (auto_ports_.count(candidate.port()) == 0) continue;
+      candidate.kill();
+      auto_ports_.erase(candidate.port());
+      ++scale_downs_;
+      obs::metrics().counter("res.autoscale.scale_downs").add();
+      autoscaler_->note_scaled(now);
+      PRAGMA_FLIGHT(now, "dist.autoscale", "scale down: retired ",
+                    candidate.port());
+      break;
+    }
+  }
 }
 
 agents::PortId DistributedService::port_of(const std::string& name) {

@@ -126,6 +126,14 @@ struct ChurnEvent {
 /// A deployed distributed service: one simulator, one control network,
 /// one coordinator, N workers — the whole thing deterministic at a fixed
 /// seed, churn schedule included.
+///
+/// With DistributedConfig::autoscale.enabled the service also runs a
+/// res::PredictiveAutoscaler: a periodic tick feeds the count of
+/// non-terminal runs (total and per tenant) into the forecaster, joins
+/// "auto<N>" workers ahead of predicted demand (each join lands after
+/// the modeled spin-up delay), and retires idle auto-joined workers once
+/// demand stays below capacity for the cool-down window.  Disabled (the
+/// default) schedules no event at all — byte-identical to the fixed pool.
 class DistributedService {
  public:
   explicit DistributedService(DistributedConfig config = {},
@@ -161,8 +169,18 @@ class DistributedService {
   /// kill schedule; the detector's confirm window dominates).
   [[nodiscard]] std::vector<double> recovery_latencies() const;
 
+  /// The autoscaler (null unless config.autoscale.enabled).
+  [[nodiscard]] const res::PredictiveAutoscaler* autoscaler() const {
+    return autoscaler_.get();
+  }
+  [[nodiscard]] std::size_t scale_ups() const { return scale_ups_; }
+  [[nodiscard]] std::size_t scale_downs() const { return scale_downs_; }
+  [[nodiscard]] std::size_t alive_workers() const;
+
  private:
   [[nodiscard]] static agents::PortId port_of(const std::string& name);
+  /// Periodic autoscale pass: observe demand, join/retire workers.
+  void autoscale_tick();
 
   DistributedConfig config_;
   sim::Simulator simulator_;
@@ -175,6 +193,14 @@ class DistributedService {
   /// Ports currently cut off; shared with the center's fault predicate.
   std::shared_ptr<std::set<agents::PortId>> partitioned_;
   std::uint64_t seed_;
+
+  // ---- autoscaling (all inert while autoscale.enabled is false) --------
+  std::unique_ptr<res::PredictiveAutoscaler> autoscaler_;
+  std::set<agents::PortId> auto_ports_;  ///< workers the autoscaler joined
+  std::size_t auto_seq_ = 0;             ///< next "auto<N>" name
+  std::size_t pending_joins_ = 0;        ///< joins still inside spin-up
+  std::size_t scale_ups_ = 0;
+  std::size_t scale_downs_ = 0;
 };
 
 }  // namespace pragma::service

@@ -48,6 +48,7 @@ bool CliFlags::parse(int argc, const char* const* argv) {
     }
     std::string name = arg.substr(2);
     std::string value;
+    std::string raw = arg;
     bool has_value = false;
     if (auto eq = name.find('='); eq != std::string::npos) {
       value = name.substr(eq + 1);
@@ -62,11 +63,15 @@ bool CliFlags::parse(int argc, const char* const* argv) {
         value = "true";
       } else if (i + 1 < argc) {
         value = argv[++i];
+        raw += " ";
+        raw += value;
       } else {
         throw std::invalid_argument("flag --" + name + " requires a value");
       }
     }
     it->second.value = value;
+    it->second.set = true;
+    it->second.raw = std::move(raw);
   }
   return true;
 }
@@ -106,6 +111,8 @@ std::size_t CliFlags::merge_env(const std::string& prefix) {
         break;
     }
     flag.value = value;
+    flag.set = true;
+    flag.raw = variable + "=" + value;
     ++merged;
   }
   return merged;
@@ -136,6 +143,21 @@ bool CliFlags::get_bool(const std::string& name) const {
 
 const std::string& CliFlags::get_string(const std::string& name) const {
   return find(name, Type::kString).value;
+}
+
+const CliFlags::Flag& CliFlags::find_any(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end())
+    throw std::out_of_range("flag --" + name + " not registered");
+  return it->second;
+}
+
+bool CliFlags::explicitly_set(const std::string& name) const {
+  return find_any(name).set;
+}
+
+const std::string& CliFlags::provenance(const std::string& name) const {
+  return find_any(name).raw;
 }
 
 std::string CliFlags::usage(const std::string& program) const {

@@ -44,6 +44,16 @@ class CliFlags {
   [[nodiscard]] bool get_bool(const std::string& name) const;
   [[nodiscard]] const std::string& get_string(const std::string& name) const;
 
+  /// True when `name` was set explicitly (CLI argument or environment
+  /// override) rather than left at its registered default.  Lets
+  /// validators distinguish "--budget-cpu-s 0" (reject loudly) from the
+  /// 0-means-unlimited default.
+  [[nodiscard]] bool explicitly_set(const std::string& name) const;
+  /// The verbatim token that set `name` — "--flag=value", "--flag value",
+  /// or "PRAGMA_FLAG=value" — for caret diagnostics; empty when the flag
+  /// is still at its default.
+  [[nodiscard]] const std::string& provenance(const std::string& name) const;
+
   /// Positional (non-flag) arguments in order of appearance.
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
@@ -57,8 +67,11 @@ class CliFlags {
     Type type;
     std::string help;
     std::string value;  // canonical string form
+    bool set = false;   // explicitly set (CLI or env), not defaulted
+    std::string raw;    // verbatim token that set it (diagnostics)
   };
   const Flag& find(const std::string& name, Type type) const;
+  const Flag& find_any(const std::string& name) const;
 
   std::string description_;
   std::map<std::string, Flag> flags_;

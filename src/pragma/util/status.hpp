@@ -33,6 +33,7 @@ enum class StatusCode {
   kUnimplemented,      ///< versioned format from the future
   kInternal,           ///< I/O syscall failure and other environment errors
   kUnavailable,        ///< transient overload (admission queue full, shed)
+  kResourceExhausted,  ///< a per-run resource budget was exceeded
 };
 
 [[nodiscard]] constexpr const char* to_string(StatusCode code) {
@@ -46,6 +47,7 @@ enum class StatusCode {
     case StatusCode::kUnimplemented: return "unimplemented";
     case StatusCode::kInternal: return "internal";
     case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kResourceExhausted: return "resource-exhausted";
   }
   return "unknown";
 }
@@ -89,6 +91,9 @@ class Status {
   }
   [[nodiscard]] static Status unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  [[nodiscard]] static Status resource_exhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
   }
 
   [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "pragma/core/managed_run.hpp"
+#include "pragma/res/accountant.hpp"
 #include "pragma/service/runtime.hpp"
 #include "pragma/service/worker.hpp"
 #include "pragma/util/cli.hpp"
@@ -372,6 +373,73 @@ TEST(Distributed, ConcurrentChurningServicesAreDeterministic) {
   for (std::thread& thread : threads) thread.join();
   for (int t = 1; t < kThreads; ++t)
     expect_reports_bit_identical(reports[0], reports[t]);
+  fs::remove_all(root);
+}
+
+/// The PR-9 off-switch gate: a populated-but-disabled AutoscaleConfig and
+/// a budget-less accountant must leave the distributed burst byte-
+/// identical to the legacy service — same reports bit for bit, same
+/// simulated completion instants, no scale events.
+TEST(Distributed, DisabledAutoscaleAndBudgetlessAccountantAreByteIdentical) {
+  const std::string root = test_dir("autoscale_gate");
+  auto run_burst = [&](const DistributedConfig& config, const char* tag,
+                       std::vector<core::ManagedRunReport>* reports,
+                       std::vector<double>* completed_at) {
+    DistributedService service(config, /*seed=*/40);
+    service.add_worker("w0");
+    service.add_worker("w1");
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 3; ++i) {
+      RunSpec spec = managed_spec(
+          root + "/" + tag + "-" + std::to_string(i), 14,
+          40 + 1000ull * static_cast<unsigned>(i));
+      const auto id = service.submit(spec);
+      ASSERT_TRUE(id) << id.status().to_string();
+      ids.push_back(id.value());
+    }
+    ASSERT_TRUE(service.run_until_done(300.0).is_ok());
+    for (const std::uint64_t id : ids) {
+      const DistRun* run = service.coordinator().find(id);
+      ASSERT_NE(run, nullptr);
+      ASSERT_EQ(run->state, DistRunState::kCompleted);
+      reports->push_back(run->outcome.managed);
+      completed_at->push_back(run->completed_s);
+    }
+    EXPECT_EQ(service.scale_ups(), 0u);
+    EXPECT_EQ(service.scale_downs(), 0u);
+    EXPECT_EQ(service.autoscaler(), nullptr);
+  };
+
+  std::vector<core::ManagedRunReport> legacy_reports;
+  std::vector<double> legacy_completed;
+  run_burst(fast_config(), "legacy", &legacy_reports, &legacy_completed);
+
+  // Every autoscale knob populated, master switch off; accountant
+  // attached, no spec carries a budget.
+  res::ResourceAccountant accountant;
+  DistributedConfig gated = fast_config();
+  gated.autoscale.predictive = true;
+  gated.autoscale.min_workers = 1;
+  gated.autoscale.max_workers = 12;
+  gated.autoscale.interval_s = 0.5;
+  gated.autoscale.spinup_s = 4.0;
+  ASSERT_FALSE(gated.autoscale.enabled);
+  gated.accountant = &accountant;
+
+  std::vector<core::ManagedRunReport> gated_reports;
+  std::vector<double> gated_completed;
+  run_burst(gated, "gated", &gated_reports, &gated_completed);
+
+  ASSERT_EQ(gated_reports.size(), legacy_reports.size());
+  for (std::size_t i = 0; i < legacy_reports.size(); ++i) {
+    expect_reports_bit_identical(legacy_reports[i], gated_reports[i]);
+    EXPECT_TRUE(same_bits(legacy_completed[i], gated_completed[i]))
+        << legacy_completed[i] << " vs " << gated_completed[i];
+  }
+  // The accountant observed the runs without perturbing them.
+  EXPECT_EQ(accountant.kills(), 0u);
+  EXPECT_EQ(accountant.throttles(), 0u);
+  EXPECT_GT(accountant.total().cpu_s, 0.0);
   fs::remove_all(root);
 }
 
