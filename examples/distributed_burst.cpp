@@ -24,7 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "pragma/service/journal.hpp"
+#include "pragma/service/admission.hpp"
 #include "pragma/service/worker.hpp"
 #include "pragma/util/cli.hpp"
 #include "pragma/util/table.hpp"
@@ -91,25 +91,31 @@ int main(int argc, char** argv) {
     one.persist.enabled = true;
     one.persist.dir = root + "/run-" + std::to_string(i);
     one.persist.checkpoint_interval_s = 1e-6;
-    // Admission backpressure is advisory, not fatal: honor the shed
-    // status's retry-after hint (capped exponential backoff in simulated
-    // time) and resubmit — leases drain as the simulator advances.
-    auto id = service.submit(one);
+    // Admission backpressure is advisory, not fatal: ShedInfo classifies
+    // the rejection (queue-full and friends are retryable, a shutdown is
+    // not) and carries the retry-after hint, honored here as a capped
+    // exponential backoff in simulated time — leases drain as the
+    // simulator advances.
+    auto handle = service.submit_run(one);
     int backoff_ms = 10;
     constexpr int kCapMs = 1000;
-    for (int attempt = 1; !id && attempt < 8; ++attempt) {
-      const int hint = service::retry_after_ms(id.status());
-      const int wait_ms = std::min(hint > 0 ? hint : backoff_ms, kCapMs);
+    for (int attempt = 1; !handle && attempt < 8; ++attempt) {
+      if (!service::ShedInfo::retryable(handle.status())) break;
+      const service::ShedInfo info = service::shed_info(handle.status());
+      const int wait_ms =
+          std::min(info.retry_after_ms > 0 ? info.retry_after_ms : backoff_ms,
+                   kCapMs);
       service.simulator().run(service.simulator().now() +
                               static_cast<double>(wait_ms) / 1000.0);
       backoff_ms = std::min(backoff_ms * 2, kCapMs);
-      id = service.submit(one);
+      handle = service.submit_run(one);
     }
-    if (!id) {
-      std::cerr << "admission rejected: " << id.status().to_string() << "\n";
+    if (!handle) {
+      std::cerr << "admission rejected: " << handle.status().to_string()
+                << "\n";
       return 1;
     }
-    ids.push_back(id.value());
+    ids.push_back(handle.value().id());
   }
   if (!service.run_until_done(600.0).is_ok()) {
     std::cerr << "burst did not drain\n";

@@ -81,16 +81,22 @@ Coordinator::~Coordinator() {
   // The failure handler captures `this`; make sure a late-settling send
   // cannot call back into the corpse.
   reliable_.set_failure_handler(nullptr);
+  // Backstop: no handle may be left blocking on a run that can no longer
+  // finish (owners normally call resolve_pending themselves first).
+  resolve_pending(util::Status::unavailable(
+      "coordinator destroyed before the run finished"));
 }
 
-util::Expected<std::uint64_t> Coordinator::submit(RunSpec spec) {
+util::Expected<RunHandle> Coordinator::submit(RunSpec spec) {
   if (queue_.size() >= config_.queue_capacity) {
     ++stats_.shed;
     obs::metrics().counter("service.dist.shed").add();
-    return util::Status::unavailable(
-        "distributed admission queue full (" +
-        std::to_string(queue_.size()) + "/" +
-        std::to_string(config_.queue_capacity) + " queued)");
+    return shed_status(util::StatusCode::kUnavailable, ShedReason::kQueueFull,
+                       "distributed admission queue full (" +
+                           std::to_string(queue_.size()) + "/" +
+                           std::to_string(config_.queue_capacity) +
+                           " queued)",
+                       config_.shed_retry_after_ms);
   }
   const std::uint64_t id = next_id_++;
   DistRun run;
@@ -107,12 +113,63 @@ util::Expected<std::uint64_t> Coordinator::submit(RunSpec spec) {
   }
   run.submitted_s = simulator_.now();
   run.last_activity_s = run.submitted_s;
+
+  auto ticket = std::make_shared<detail::Ticket>();
+  ticket->spec = run.spec;  // post-persist-forcing copy: what executes
+  ticket->sequence = id;
+  ticket->run_id = id;
+  ticket->submitted_at = std::chrono::steady_clock::now();
+  tickets_.emplace(id, ticket);
+
   runs_.emplace(id, std::move(run));
   queue_.push_back(id);
   ++stats_.submitted;
   obs::metrics().counter("service.dist.submitted").add();
   schedule_sweep_now();
-  return id;
+  return RunHandle(std::move(ticket), this);
+}
+
+util::Expected<std::uint64_t> Coordinator::submit_id(RunSpec spec) {
+  util::Expected<RunHandle> handle = submit(std::move(spec));
+  if (!handle) return handle.status();
+  return handle.value().id();
+}
+
+bool Coordinator::cancel_ticket(
+    const std::shared_ptr<detail::Ticket>& ticket) {
+  (void)ticket;
+  return false;
+}
+
+void Coordinator::resolve_ticket(std::uint64_t id, const RunOutcome& outcome) {
+  const auto it = tickets_.find(id);
+  if (it == tickets_.end()) return;
+  const std::shared_ptr<detail::Ticket> ticket = it->second;
+  tickets_.erase(it);
+  {
+    std::lock_guard<std::mutex> lock(ticket->mu);
+    if (is_terminal(ticket->state)) return;
+    ticket->state = outcome.state;
+    ticket->outcome = outcome;
+  }
+  ticket->cv.notify_all();
+}
+
+void Coordinator::resolve_pending(const util::Status& status) {
+  // Drain the map first: resolve_ticket-style publication, but with a
+  // synthesized terminal outcome for runs the plane will never finish.
+  std::map<std::uint64_t, std::shared_ptr<detail::Ticket>> pending;
+  pending.swap(tickets_);
+  for (const auto& [id, ticket] : pending) {
+    {
+      std::lock_guard<std::mutex> lock(ticket->mu);
+      if (is_terminal(ticket->state)) continue;
+      ticket->state = status.is_ok() ? RunState::kCancelled : RunState::kFailed;
+      ticket->outcome.state = ticket->state;
+      ticket->outcome.status = status;
+    }
+    ticket->cv.notify_all();
+  }
 }
 
 const DistRun* Coordinator::find(std::uint64_t id) const {
@@ -234,6 +291,7 @@ void Coordinator::on_result(const agents::Message& message, bool failed) {
   PRAGMA_FLIGHT(simulator_.now(), "dist.coord", "run ", id,
                 failed ? " failed on " : " completed on ",
                 std::string(message.from));
+  resolve_ticket(id, run.outcome);
   schedule_sweep_now();
 }
 

@@ -43,6 +43,7 @@
 #include "pragma/agents/message_center.hpp"
 #include "pragma/agents/reliable.hpp"
 #include "pragma/res/autoscaler.hpp"
+#include "pragma/service/admission.hpp"
 #include "pragma/service/run_spec.hpp"
 #include "pragma/service/scheduler.hpp"
 #include "pragma/sim/simulator.hpp"
@@ -76,6 +77,9 @@ struct DistributedConfig {
   /// Admission bound on *queued* (not yet leased) runs; submissions
   /// beyond it are shed with Status::unavailable.
   std::size_t queue_capacity = 64;
+  /// Retry-after hint attached to queue-full sheds (same ladder slot as
+  /// SchedulerConfig::shed_retry_after_ms).
+  int shed_retry_after_ms = 50;
   /// Worker liveness: publish cadence and miss thresholds
   /// (suspect after 3 silent periods, confirm dead after 6).
   agents::HeartbeatConfig heartbeat{"dist.heartbeats", 1.0, 3, 6};
@@ -177,23 +181,42 @@ struct CoordinatorStats {
 };
 
 /// The catalog/coordinator.  Single-threaded: every action happens inside
-/// an event of the owning simulator, so decisions are deterministic.
-class Coordinator {
+/// an event of the owning simulator, so decisions are deterministic.  It
+/// implements the same Admission interface as the in-process Scheduler,
+/// so Runtime::submit/submit_batch are backend-agnostic.  Note the
+/// execution model difference: a distributed RunHandle resolves only
+/// while the owning simulator runs (RunHandle::wait() from the sim
+/// thread before pumping events would never return — use all_done() /
+/// run_until_done loops, then read the handles).
+class Coordinator : public Admission, public detail::TicketOwner {
  public:
   /// Registers the coordinator port, makes it a reliable endpoint, starts
   /// the heartbeat detector and the periodic dispatch sweep.  `simulator`,
   /// `center`, and `channel` must outlive the coordinator.
   Coordinator(sim::Simulator& simulator, agents::MessageCenter& center,
               agents::ReliableChannel& channel, DistributedConfig config = {});
-  ~Coordinator();
+  ~Coordinator() override;
 
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;
 
-  /// Admit a run.  Sheds with Status::unavailable beyond the admission
-  /// bound.  Managed runs without durable persistence get the checkpoint
-  /// store forced on (failover needs generations to resume from).
-  [[nodiscard]] util::Expected<std::uint64_t> submit(RunSpec spec);
+  /// Admit a run.  Sheds with a ShedInfo-tagged Status::unavailable
+  /// (queue-full reason + retry-after hint) beyond the admission bound.
+  /// Managed runs without durable persistence get the checkpoint store
+  /// forced on (failover needs generations to resume from).  The
+  /// handle's id() is the DistRun id (find()/runs() key).
+  [[nodiscard]] util::Expected<RunHandle> submit(RunSpec spec) override;
+
+  /// \deprecated Pre-Admission shim returning the raw DistRun id; new
+  /// code uses submit() and RunHandle::id().  Kept for one release.
+  [[nodiscard]] util::Expected<std::uint64_t> submit_id(RunSpec spec);
+
+  /// Resolve every non-terminal handle with `status` (state kFailed, or
+  /// kCancelled when `status` is ok).  Call before tearing down the
+  /// control plane so no RunHandle is left waiting on a run that can no
+  /// longer finish; the destructor does this with an "unavailable" status
+  /// as a backstop.
+  void resolve_pending(const util::Status& status);
 
   [[nodiscard]] const DistRun* find(std::uint64_t id) const;
   [[nodiscard]] const std::map<std::uint64_t, DistRun>& runs() const {
@@ -224,6 +247,12 @@ class Coordinator {
     double registered_s = 0.0;
   };
 
+  /// Distributed cancellation is not supported (a lease in flight cannot
+  /// be revoked through the handle yet): always false.
+  bool cancel_ticket(const std::shared_ptr<detail::Ticket>& ticket) override;
+  /// Publish a terminal run's outcome to its ticket and wake waiters.
+  void resolve_ticket(std::uint64_t id, const RunOutcome& outcome);
+
   void on_message(const agents::Message& message);
   void on_register(const agents::PortId& from);
   void on_progress(const agents::Message& message);
@@ -252,6 +281,8 @@ class Coordinator {
 
   std::map<agents::PortId, WorkerInfo> workers_;
   std::map<std::uint64_t, DistRun> runs_;
+  /// RunHandle tickets by DistRun id; erased once resolved terminal.
+  std::map<std::uint64_t, std::shared_ptr<detail::Ticket>> tickets_;
   std::deque<std::uint64_t> queue_;  // queued run ids, dispatch order
   std::map<std::pair<std::uint64_t, int>, RunOutcome> deposits_;
   std::uint64_t next_id_ = 1;

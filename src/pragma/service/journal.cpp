@@ -18,6 +18,7 @@
 #include "pragma/io/serial.hpp"
 #include "pragma/obs/flight_recorder.hpp"
 #include "pragma/obs/metrics.hpp"
+#include "pragma/service/admission.hpp"
 #include "pragma/util/crc32.hpp"
 #include "pragma/util/logging.hpp"
 
@@ -34,6 +35,11 @@ constexpr const char* kTmpSuffix = ".tmp";
 obs::Counter& appends_counter() {
   static obs::Counter& counter =
       obs::metrics().counter("service.journal.appends");
+  return counter;
+}
+obs::Counter& batch_appends_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.journal.batch_appends");
   return counter;
 }
 obs::Counter& tombstones_counter() {
@@ -194,6 +200,28 @@ std::vector<std::uint8_t> encode_journal_record(
   return out;
 }
 
+std::vector<std::uint8_t> encode_journal_batch_record(
+    const std::vector<JournalRecord>& items) {
+  // Payload: u32 count | per item: u64 seq | u64 payload size | payload.
+  std::size_t total = 4;
+  for (const JournalRecord& item : items) total += 16 + item.payload.size();
+  std::vector<std::uint8_t> payload(total);
+  put_u32(payload.data(), static_cast<std::uint32_t>(items.size()));
+  std::size_t pos = 4;
+  for (const JournalRecord& item : items) {
+    std::uint64_t value = item.seq;
+    std::memcpy(payload.data() + pos, &value, sizeof value);
+    value = item.payload.size();
+    std::memcpy(payload.data() + pos + 8, &value, sizeof value);
+    std::memcpy(payload.data() + pos + 16, item.payload.data(),
+                item.payload.size());
+    pos += 16 + item.payload.size();
+  }
+  return encode_journal_record(JournalRecordType::kBatch,
+                               items.empty() ? 0 : items.front().seq,
+                               payload);
+}
+
 JournalScan scan_journal_file(const std::uint8_t* bytes, std::size_t size,
                               std::uint64_t max_payload_bytes) {
   JournalScan scan;
@@ -241,7 +269,8 @@ JournalScan scan_journal_file(const std::uint8_t* bytes, std::size_t size,
     const std::uint32_t raw_type = get_u32(frame + 4);
     if (raw_type != static_cast<std::uint32_t>(JournalRecordType::kPending) &&
         raw_type !=
-            static_cast<std::uint32_t>(JournalRecordType::kTombstone)) {
+            static_cast<std::uint32_t>(JournalRecordType::kTombstone) &&
+        raw_type != static_cast<std::uint32_t>(JournalRecordType::kBatch)) {
       scan.tail = util::Status::invalid("unknown record type " +
                                         std::to_string(raw_type));
       return scan;
@@ -265,11 +294,57 @@ JournalScan scan_journal_file(const std::uint8_t* bytes, std::size_t size,
           "record payload CRC mismatch at offset " + std::to_string(pos));
       return scan;
     }
-    JournalRecord record;
-    record.type = static_cast<JournalRecordType>(raw_type);
-    record.seq = get_u64(frame + 8);
-    record.payload.assign(payload, payload + declared);
-    scan.records.push_back(std::move(record));
+    if (raw_type == static_cast<std::uint32_t>(JournalRecordType::kBatch)) {
+      // Expand the batch into its individual pending records.  The frame
+      // passed both CRCs, so a malformed interior means a corrupted-yet-
+      // CRC-consistent image (or an encoder bug): stop the scan at this
+      // frame's edge without surfacing any of its partial records.
+      std::vector<JournalRecord> items;
+      const std::uint8_t* cursor = payload;
+      std::size_t left = static_cast<std::size_t>(declared);
+      bool well_formed = left >= 4;
+      std::uint32_t count = 0;
+      if (well_formed) {
+        count = get_u32(cursor);
+        cursor += 4;
+        left -= 4;
+      }
+      for (std::uint32_t k = 0; well_formed && k < count; ++k) {
+        if (left < 16) {
+          well_formed = false;
+          break;
+        }
+        const std::uint64_t item_seq = get_u64(cursor);
+        const std::uint64_t item_size = get_u64(cursor + 8);
+        cursor += 16;
+        left -= 16;
+        if (item_size > left) {
+          well_formed = false;
+          break;
+        }
+        JournalRecord item;
+        item.type = JournalRecordType::kPending;
+        item.seq = item_seq;
+        item.payload.assign(cursor, cursor + item_size);
+        items.push_back(std::move(item));
+        cursor += item_size;
+        left -= static_cast<std::size_t>(item_size);
+      }
+      if (!well_formed || left != 0) {
+        scan.tail = util::Status::data_loss(
+            "malformed batch record interior at offset " +
+            std::to_string(pos));
+        return scan;
+      }
+      for (JournalRecord& item : items)
+        scan.records.push_back(std::move(item));
+    } else {
+      JournalRecord record;
+      record.type = static_cast<JournalRecordType>(raw_type);
+      record.seq = get_u64(frame + 8);
+      record.payload.assign(payload, payload + declared);
+      scan.records.push_back(std::move(record));
+    }
     pos += kJournalRecordHeaderBytes + static_cast<std::size_t>(declared);
     scan.valid_bytes = pos;
   }
@@ -757,10 +832,12 @@ void Journal::enter_degraded(const util::Status& cause) {
 util::Expected<std::uint64_t> Journal::append(const RunSpec& spec) {
   std::vector<std::uint8_t> payload = encode_run_spec(spec);
   if (payload.size() > config_.max_payload_bytes)
-    return util::Status::out_of_range(
-        "run-spec payload of " + std::to_string(payload.size()) +
-        " bytes exceeds journal cap of " +
-        std::to_string(config_.max_payload_bytes));
+    return shed_status(util::StatusCode::kOutOfRange,
+                       ShedReason::kPayloadTooLarge,
+                       "run-spec payload of " + std::to_string(payload.size()) +
+                           " bytes exceeds journal cap of " +
+                           std::to_string(config_.max_payload_bytes),
+                       /*retry_after_ms=*/-1);
 
   std::uint64_t seq = 0;
   std::uint64_t target = 0;
@@ -785,10 +862,12 @@ util::Expected<std::uint64_t> Journal::append(const RunSpec& spec) {
           --next_seq_;
           ++stats_.shed_saturated;
           shed_saturated_counter().add();
-          return unavailable_with_retry_after(
-              "journal saturated (" + std::to_string(written_bytes_) +
-                  " bytes live)",
-              config_.shed_retry_after_ms);
+          return shed_status(util::StatusCode::kUnavailable,
+                             ShedReason::kJournalSaturated,
+                             "journal saturated (" +
+                                 std::to_string(written_bytes_) +
+                                 " bytes live)",
+                             config_.shed_retry_after_ms);
         }
       }
       util::Status written = write_frame(frame, &target);
@@ -818,6 +897,126 @@ util::Expected<std::uint64_t> Journal::append(const RunSpec& spec) {
     }
   }
   return seq;
+}
+
+util::Expected<std::vector<std::uint64_t>> Journal::append_batch(
+    const std::vector<const RunSpec*>& specs) {
+  std::vector<std::uint64_t> seqs;
+  if (specs.empty()) return seqs;
+  seqs.reserve(specs.size());
+
+  // Encode every payload outside the lock; an oversized spec sheds the
+  // whole batch (all-or-nothing: no half of a batch may be durable while
+  // its other half never existed).
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.reserve(specs.size());
+  for (const RunSpec* spec : specs) {
+    payloads.push_back(encode_run_spec(*spec));
+    if (payloads.back().size() > config_.max_payload_bytes)
+      return shed_status(util::StatusCode::kOutOfRange,
+                         ShedReason::kPayloadTooLarge,
+                         "run-spec payload of \"" + spec->name + "\" (" +
+                             std::to_string(payloads.back().size()) +
+                             " bytes) exceeds journal cap of " +
+                             std::to_string(config_.max_payload_bytes),
+                         /*retry_after_ms=*/-1);
+  }
+
+  std::uint64_t target = 0;
+  bool durable = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!opened_)
+      return util::Status::failed_precondition("journal not open");
+    const std::uint64_t first_seq = next_seq_;
+    for (std::size_t i = 0; i < specs.size(); ++i) seqs.push_back(next_seq_++);
+
+    util::Status injected = util::Status::ok();
+    if (config_.testing_append_error) injected = config_.testing_append_error();
+
+    if (!degraded_ && injected.is_ok()) {
+      // Frame the batch: kBatch records chunked so no frame payload
+      // exceeds the cap; a chunk of one degenerates to a plain kPending
+      // frame (a batch of one is byte-identical to append()).  All the
+      // chunks concatenate into ONE image -> one write, one fsync.
+      std::vector<std::uint8_t> image;
+      std::vector<JournalRecord> chunk;
+      std::size_t chunk_bytes = 4;
+      const auto flush_chunk = [&] {
+        if (chunk.empty()) return;
+        const std::vector<std::uint8_t> frame =
+            chunk.size() == 1
+                ? encode_journal_record(JournalRecordType::kPending,
+                                        chunk.front().seq,
+                                        chunk.front().payload)
+                : encode_journal_batch_record(chunk);
+        image.insert(image.end(), frame.begin(), frame.end());
+        chunk.clear();
+        chunk_bytes = 4;
+      };
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        const std::size_t item_bytes = 16 + payloads[i].size();
+        if (!chunk.empty() &&
+            chunk_bytes + item_bytes > config_.max_payload_bytes)
+          flush_chunk();
+        JournalRecord item;
+        item.type = JournalRecordType::kPending;
+        item.seq = seqs[i];
+        item.payload = payloads[i];
+        chunk.push_back(std::move(item));
+        chunk_bytes += item_bytes;
+      }
+      flush_chunk();
+
+      // Saturation: try compacting first (tombstoned bulk may free the
+      // space); shed the whole batch when the live set itself is too
+      // large, restoring the sequence counter.
+      if (written_bytes_ + image.size() > config_.max_active_bytes) {
+        (void)compact_locked();
+        if (written_bytes_ + image.size() > config_.max_active_bytes) {
+          next_seq_ = first_seq;
+          ++stats_.shed_saturated;
+          shed_saturated_counter().add();
+          return shed_status(util::StatusCode::kUnavailable,
+                             ShedReason::kJournalSaturated,
+                             "journal saturated (" +
+                                 std::to_string(written_bytes_) +
+                                 " bytes live); batch of " +
+                                 std::to_string(specs.size()) + " shed",
+                             config_.shed_retry_after_ms);
+        }
+      }
+      util::Status written = write_frame(image, &target);
+      if (written.is_ok()) {
+        records_in_active_ += specs.size();
+        durable = true;
+      } else {
+        enter_degraded(written);
+      }
+    } else if (!injected.is_ok()) {
+      enter_degraded(injected);
+    }
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      LivePending live;
+      live.key = specs[i]->journal_key();
+      live.name = specs[i]->name;
+      if (durable) live.payload = std::move(payloads[i]);
+      live_.emplace(seqs[i], std::move(live));
+    }
+    stats_.appends += specs.size();
+    ++stats_.batch_appends;
+    if (!durable) stats_.degraded_appends += specs.size();
+  }
+  appends_counter().add(specs.size());
+  batch_appends_counter().add();
+  if (durable && config_.fsync) {
+    if (util::Status synced = commit(target); !synced.is_ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      enter_degraded(synced);
+    }
+  }
+  return seqs;
 }
 
 void Journal::tombstone(std::uint64_t seq) {

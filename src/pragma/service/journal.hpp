@@ -30,10 +30,18 @@
 //                 | payload...
 //
 // type 1 = pending (payload: versioned RunSpec encoding), type 2 =
-// tombstone (empty payload; the seq names the pending record it kills).
-// A scan accepts the longest valid prefix of a file: the first frame that
-// fails any check (magic, CRCs, declared size vs remaining bytes) ends
-// the scan — torn tails from a crash mid-append are expected and benign.
+// tombstone (empty payload; the seq names the pending record it kills),
+// type 3 = batch (payload: u32 count, then per item u64 seq | u64 size |
+// RunSpec encoding — one frame, one payload CRC, one fsync for a whole
+// submit_batch; the frame header's seq is the first item's).  A scan
+// accepts the longest valid prefix of a file: the first frame that fails
+// any check (magic, CRCs, declared size vs remaining bytes) ends the
+// scan — torn tails from a crash mid-append are expected and benign.
+// Batch frames expand into their individual pending records at scan
+// time, so recovery replays them identically to single appends; a crash
+// mid-batch loses the whole frame (its payload CRC cannot match),
+// never half of it.  Compaction rewrites survivors as plain pending
+// frames, so v1-era readers of compacted journals see no batch frames.
 //
 // Degradation ladder (loudest first):
 //   1. saturation — the active generation exceeds max_active_bytes and
@@ -79,6 +87,10 @@ inline constexpr std::uint64_t kDefaultJournalMaxPayloadBytes = 1ull << 20;
 enum class JournalRecordType : std::uint32_t {
   kPending = 1,
   kTombstone = 2,
+  /// One frame carrying many pending records (see the batch payload
+  /// layout above).  Written by append_batch(); expanded back into
+  /// individual kPending records by scan_journal_file().
+  kBatch = 3,
 };
 
 struct JournalRecord {
@@ -112,6 +124,11 @@ struct JournalScan {
 [[nodiscard]] std::vector<std::uint8_t> encode_journal_record(
     JournalRecordType type, std::uint64_t seq,
     const std::vector<std::uint8_t>& payload);
+/// One kBatch frame carrying every item (each treated as a pending
+/// record: its seq + payload).  The frame header's seq is the first
+/// item's.  Exposed for tests and the fuzzer corpus.
+[[nodiscard]] std::vector<std::uint8_t> encode_journal_batch_record(
+    const std::vector<JournalRecord>& items);
 
 /// Versioned RunSpec (de)serialization for pending payloads.  The
 /// encoding covers every field reachable through the RunSpec value
@@ -180,7 +197,8 @@ struct JournalRecovery {
 };
 
 struct JournalStats {
-  std::uint64_t appends = 0;
+  std::uint64_t appends = 0;       ///< pending records (batch items count)
+  std::uint64_t batch_appends = 0; ///< append_batch() calls
   std::uint64_t tombstones = 0;
   std::uint64_t fsyncs = 0;
   std::uint64_t compactions = 0;
@@ -195,6 +213,9 @@ struct JournalStats {
 /// retry-after hint: "<message> [retry_after_ms=<ms>]".  Status itself
 /// stays a (code, bounded message) pair — the hint travels inside the
 /// message so it survives every existing plumbing layer unchanged.
+/// Compatibility shim: new code builds sheds through shed_status() and
+/// decodes them with shed_info() (admission.hpp), which additionally
+/// carries the structured ShedReason tag.
 [[nodiscard]] util::Status unavailable_with_retry_after(
     const std::string& message, int retry_after_ms);
 
@@ -231,6 +252,15 @@ class Journal {
   /// on saturation; latches degraded mode on I/O failure and keeps
   /// serving (the returned seq is then in-memory only).
   [[nodiscard]] util::Expected<std::uint64_t> append(const RunSpec& spec);
+
+  /// Durably append pending records for every spec with ONE write and ONE
+  /// group-commit fsync (kBatch frames, chunked to the payload cap; a
+  /// chunk of one degenerates to a plain kPending frame so a batch of one
+  /// is byte-identical to append()).  All-or-nothing: saturation or an
+  /// oversized payload sheds the whole batch and no sequence is consumed.
+  /// Returns one sequence per spec, in order.
+  [[nodiscard]] util::Expected<std::vector<std::uint64_t>> append_batch(
+      const std::vector<const RunSpec*>& specs);
 
   /// Append a tombstone for `seq` (completion, failure or cancel).
   /// Unknown/duplicate seqs are harmless.  Best-effort in degraded mode.

@@ -69,7 +69,7 @@ Runtime::Runtime(Options options)
   }
 }
 
-util::Expected<RunHandle> Runtime::submit(RunSpec spec) {
+void Runtime::wire_cache(RunSpec& spec) {
   const bool replays = spec.kind == WorkloadKind::kTraceReplay ||
                        spec.kind == WorkloadKind::kSystemSensitive;
   if (replays && spec.trace && spec.workgrid_cache == nullptr) {
@@ -79,7 +79,17 @@ util::Expected<RunHandle> Runtime::submit(RunSpec spec) {
     if (!cache) cache = std::make_unique<partition::WorkGridCache>();
     spec.workgrid_cache = cache.get();
   }
+}
+
+util::Expected<RunHandle> Runtime::submit(RunSpec spec) {
+  wire_cache(spec);
   return scheduler_.submit(std::move(spec));
+}
+
+std::vector<util::Expected<RunHandle>> Runtime::submit_batch(
+    std::vector<RunSpec> specs) {
+  for (RunSpec& spec : specs) wire_cache(spec);
+  return scheduler_.submit_batch(std::move(specs));
 }
 
 RunOutcome Runtime::run(RunSpec spec) {
@@ -96,11 +106,10 @@ RunOutcome Runtime::run(RunSpec spec) {
 std::vector<RunOutcome> Runtime::run_burst(std::vector<RunSpec> specs) {
   std::vector<RunOutcome> outcomes(specs.size());
   if (!distributed_.enabled) {
-    // The pre-existing path, untouched: submit everything to the
-    // in-process scheduler, then join in order.
-    std::vector<util::Expected<RunHandle>> handles;
-    handles.reserve(specs.size());
-    for (RunSpec& spec : specs) handles.push_back(submit(std::move(spec)));
+    // Scheduler path: one batched admission (one journal frame, one
+    // fsync), then join in order.
+    std::vector<util::Expected<RunHandle>> handles =
+        submit_batch(std::move(specs));
     for (std::size_t i = 0; i < handles.size(); ++i) {
       if (handles[i]) {
         outcomes[i] = handles[i].value().wait();
@@ -115,40 +124,43 @@ std::vector<RunOutcome> Runtime::run_burst(std::vector<RunSpec> specs) {
   DistributedService service(distributed_, defaults_.seed);
   for (std::size_t w = 0; w < distributed_.workers; ++w)
     service.add_worker("w" + std::to_string(w));
-  std::vector<std::pair<std::size_t, std::uint64_t>> admitted;
-  std::vector<std::uint64_t> journal_seqs(specs.size(), 0);
-  admitted.reserve(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    // Same durability contract as the scheduler path: the pending record
-    // is on disk before the coordinator lease enqueue returns.
-    if (journal_) {
-      util::Expected<std::uint64_t> seq = journal_->append(specs[i]);
-      if (!seq) {
-        outcomes[i].state = RunState::kFailed;
-        outcomes[i].status = seq.status();
-        continue;
+  // Same durability contract as the scheduler path: the pending records
+  // are on disk (one sealed batch frame, one fsync) before any
+  // coordinator lease enqueue returns.  append_batch is all-or-nothing:
+  // a saturated journal sheds the whole burst rather than silently
+  // running some specs without durability.
+  std::vector<std::uint64_t> journal_seqs;
+  if (journal_) {
+    std::vector<const RunSpec*> pointers;
+    pointers.reserve(specs.size());
+    for (const RunSpec& spec : specs) pointers.push_back(&spec);
+    util::Expected<std::vector<std::uint64_t>> seqs =
+        journal_->append_batch(pointers);
+    if (!seqs) {
+      for (RunOutcome& outcome : outcomes) {
+        outcome.state = RunState::kFailed;
+        outcome.status = seqs.status();
       }
-      journal_seqs[i] = seq.value();
+      return outcomes;
     }
-    util::Expected<std::uint64_t> id = service.submit(std::move(specs[i]));
-    if (id) {
-      admitted.emplace_back(i, id.value());
+    journal_seqs = std::move(seqs).value();
+  }
+  std::vector<util::Expected<RunHandle>> handles =
+      service.submit_batch(std::move(specs));
+  const util::Status status = service.run_until_done();
+  // Tickets of runs that never reached a terminal state (run_until_done
+  // timed out) resolve as kFailed carrying the reason; with a clean
+  // finish this is a no-op because on_result already resolved them all.
+  service.coordinator().resolve_pending(
+      status.is_ok()
+          ? util::Status::internal("run never reached a terminal state")
+          : status);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    if (handles[i]) {
+      outcomes[i] = handles[i].value().wait();
     } else {
       outcomes[i].state = RunState::kFailed;
-      outcomes[i].status = id.status();
-    }
-  }
-  const util::Status status = service.run_until_done();
-  for (const auto& [index, id] : admitted) {
-    const DistRun* run = service.coordinator().find(id);
-    if (run != nullptr && is_terminal(run->state)) {
-      outcomes[index] = run->outcome;
-    } else {
-      outcomes[index].state = RunState::kFailed;
-      outcomes[index].status =
-          status.is_ok() ? util::Status::internal("run never reached a "
-                                                  "terminal state")
-                         : status;
+      outcomes[i].status = handles[i].status();
     }
   }
   // Every journaled spec has been resolved one way or the other and its

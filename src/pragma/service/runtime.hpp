@@ -146,18 +146,28 @@ class Runtime {
   /// coalesces.  Sheds with Status::unavailable under backpressure.
   [[nodiscard]] util::Expected<RunHandle> submit(RunSpec spec);
 
+  /// Admit N runs in one call.  Results come back index-aligned with the
+  /// input; each slot is independently a handle or a shed status (see
+  /// ShedInfo for the structured retry classification).  On the
+  /// scheduler path the batch is journaled as ONE sealed frame with one
+  /// fsync and identical derived specs inside the batch coalesce onto a
+  /// single execution — submit_batch is the high-throughput front door.
+  /// A batch of one is byte-identical to submit().
+  [[nodiscard]] std::vector<util::Expected<RunHandle>> submit_batch(
+      std::vector<RunSpec> specs);
+
   /// Submit and join: the synchronous convenience path.  Admission
   /// rejection comes back as a kFailed outcome carrying the status.
   RunOutcome run(RunSpec spec);
 
-  /// Execute a batch of runs and return their outcomes in order.  With
-  /// distributed mode off (the default) this is a thin loop over the
-  /// scheduler — submit all, wait all — so existing behavior is
-  /// unchanged.  With Builder::distributed({.enabled = true, ...}) the
-  /// burst is deployed on a fresh DistributedService: a coordinator plus
+  /// Execute a batch of runs and return their outcomes in order.  Built
+  /// on submit_batch: with distributed mode off (the default) the burst
+  /// goes through the scheduler's batched admission, then joins in
+  /// order.  With Builder::distributed({.enabled = true, ...}) the burst
+  /// is deployed on a fresh DistributedService: a coordinator plus
   /// `distributed.workers` workers on one deterministic control network.
-  /// Admission shedding surfaces as kFailed outcomes carrying
-  /// Status::unavailable either way.
+  /// Admission shedding surfaces as kFailed outcomes carrying the shed
+  /// status either way.
   [[nodiscard]] std::vector<RunOutcome> run_burst(std::vector<RunSpec> specs);
 
   /// Block until every admitted run has finished.
@@ -190,6 +200,10 @@ class Runtime {
   /// refusing to start.
   [[nodiscard]] static std::unique_ptr<Journal> make_journal(
       JournalConfig config, JournalRecovery* recovery);
+
+  /// Point replay specs sharing a trace at one WorkGridCache so their
+  /// rasterization coalesces (shared by submit and submit_batch).
+  void wire_cache(RunSpec& spec);
 
   RunSpec defaults_;
   DistributedConfig distributed_;

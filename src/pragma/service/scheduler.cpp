@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <exception>
+#include <functional>
 #include <limits>
+#include <thread>
 #include <utility>
 
 #include "pragma/obs/flight_recorder.hpp"
@@ -62,6 +64,21 @@ obs::Counter& shed_journal_counter() {
       obs::metrics().counter("service.sched.shed_journal");
   return counter;
 }
+obs::Counter& batches_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.sched.batches");
+  return counter;
+}
+obs::Counter& batch_specs_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.sched.batch_specs");
+  return counter;
+}
+obs::Counter& coalesced_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("service.sched.coalesced");
+  return counter;
+}
 obs::Gauge& queue_depth_gauge() {
   static obs::Gauge& gauge = obs::metrics().gauge("service.sched.queue_depth");
   return gauge;
@@ -87,50 +104,38 @@ double percentile(std::vector<double> values, double q) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+util::Status shutting_down_status() {
+  return shed_status(util::StatusCode::kUnavailable, ShedReason::kShuttingDown,
+                     "scheduler is shutting down", /*retry_after_ms=*/-1);
+}
+
 }  // namespace
 
-const char* to_string(RunState state) {
-  switch (state) {
-    case RunState::kQueued: return "queued";
-    case RunState::kRunning: return "running";
-    case RunState::kCompleted: return "completed";
-    case RunState::kFailed: return "failed";
-    case RunState::kCancelled: return "cancelled";
-  }
-  return "?";
-}
-
-const std::string& RunHandle::name() const { return ticket_->spec.name; }
-
-RunState RunHandle::state() const {
-  std::lock_guard<std::mutex> lock(ticket_->mu);
-  return ticket_->state;
-}
-
-bool RunHandle::cancel() {
-  if (!valid()) return false;
-  return scheduler_->cancel_ticket(ticket_);
-}
-
-const RunOutcome& RunHandle::wait() {
-  std::unique_lock<std::mutex> lock(ticket_->mu);
-  ticket_->cv.wait(lock, [&] { return is_terminal(ticket_->state); });
-  return ticket_->outcome;
-}
-
 Scheduler::Scheduler(SchedulerConfig config, util::ThreadPool* pool)
-    : config_(config),
-      pool_(pool != nullptr ? pool : &util::shared_pool()) {
+    : config_(config), pool_(pool != nullptr ? pool : &util::shared_pool()) {
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  std::size_t nshards = config_.admission_shards;
+  if (nshards == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    nshards = std::min<std::size_t>(8, std::max(1u, hw));
+  }
+  config_.admission_shards = nshards;
+  shards_.reserve(nshards);
+  for (std::size_t i = 0; i < nshards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
 }
 
 Scheduler::~Scheduler() {
+  shutdown_.store(true);
   std::vector<TicketPtr> doomed;
   std::vector<TicketPtr> running;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    shutdown_ = true;
+    // Centralize anything still staged in the shards; stagers racing this
+    // drain observe shutdown_ under their shard mutex and shed instead.
+    drain_shards_locked();
     doomed.assign(queue_.begin(), queue_.end());
+    occupied_.fetch_sub(queue_.size());
     queue_.clear();
     running = inflight_;
   }
@@ -161,35 +166,100 @@ std::size_t Scheduler::workers() const {
   return std::max<std::size_t>(1, pool_->size());
 }
 
-util::Status Scheduler::check_rate_limit(const std::string& tenant_name) {
+Scheduler::Shard& Scheduler::shard_for(const std::string& tenant) {
+  return *shards_[std::hash<std::string>{}(tenant) % shards_.size()];
+}
+
+util::Status Scheduler::check_rate_limit(Shard& shard,
+                                         const std::string& tenant_name) {
   if (config_.rate_limit.rate_per_s <= 0.0) return util::Status::ok();
-  Tenant& tenant = tenants_[tenant_name];
+  TokenBucket& bucket = shard.buckets[tenant_name];
   const auto now = std::chrono::steady_clock::now();
-  if (!tenant.bucket_primed) {
-    tenant.bucket_primed = true;
-    tenant.tokens = std::max(config_.rate_limit.burst, 1.0);
-    tenant.last_refill = now;
+  if (!bucket.primed) {
+    bucket.primed = true;
+    bucket.tokens = std::max(config_.rate_limit.burst, 1.0);
+    bucket.last_refill = now;
   } else {
     const double elapsed =
-        std::chrono::duration<double>(now - tenant.last_refill).count();
-    tenant.tokens =
+        std::chrono::duration<double>(now - bucket.last_refill).count();
+    bucket.tokens =
         std::min(std::max(config_.rate_limit.burst, 1.0),
-                 tenant.tokens + elapsed * config_.rate_limit.rate_per_s);
-    tenant.last_refill = now;
+                 bucket.tokens + elapsed * config_.rate_limit.rate_per_s);
+    bucket.last_refill = now;
   }
-  if (tenant.tokens < 1.0) {
+  if (bucket.tokens < 1.0) {
     const double wait_s =
-        (1.0 - tenant.tokens) / config_.rate_limit.rate_per_s;
-    ++stats_.shed_rate_limited;
-    ++stats_.rejected;
+        (1.0 - bucket.tokens) / config_.rate_limit.rate_per_s;
+    n_shed_rate_limited_.fetch_add(1);
+    n_rejected_.fetch_add(1);
     rejected_counter().add();
     shed_rate_limited_counter().add();
-    return unavailable_with_retry_after(
-        "tenant \"" + tenant_name + "\" rate limited",
-        static_cast<int>(wait_s * 1000.0) + 1);
+    return shed_status(util::StatusCode::kUnavailable,
+                       ShedReason::kRateLimited,
+                       "tenant \"" + tenant_name + "\" rate limited",
+                       static_cast<int>(wait_s * 1000.0) + 1);
   }
-  tenant.tokens -= 1.0;
+  bucket.tokens -= 1.0;
   return util::Status::ok();
+}
+
+bool Scheduler::try_reserve() {
+  const std::size_t prev = occupied_.fetch_add(1);
+  if (prev >= config_.queue_capacity) {
+    occupied_.fetch_sub(1);
+    return false;
+  }
+  reserved_.fetch_add(1);
+  return true;
+}
+
+void Scheduler::release_reservation() {
+  reserved_.fetch_sub(1);
+  occupied_.fetch_sub(1);
+}
+
+bool Scheduler::stage(Shard& shard, const TicketPtr& ticket) {
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shutdown_.load()) return false;
+    ticket->sequence = next_sequence_.fetch_add(1);
+    ticket->run_id = ticket->sequence;
+    ticket->submitted_at = std::chrono::steady_clock::now();
+    shard.staged.push_back(ticket);
+    staged_.fetch_add(1);
+  }
+  reserved_.fetch_sub(1);
+  n_submitted_.fetch_add(1);
+  submitted_counter().add();
+  const std::size_t depth = queue_depth();
+  std::size_t peak = peak_queue_depth_.load();
+  while (depth > peak &&
+         !peak_queue_depth_.compare_exchange_weak(peak, depth)) {
+  }
+  queue_depth_gauge().set(static_cast<double>(depth));
+  return true;
+}
+
+void Scheduler::kick_dispatch() {
+  // Fast path: all worker slots busy — the finishing worker drains the
+  // shards itself (finish() decrements running_ under mu_ *before* its
+  // dispatch sweep, so either that sweep sees our staged ticket or we see
+  // the decremented running_ here; the staged ticket is never orphaned).
+  if (running_.load() >= workers()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  maybe_dispatch();
+}
+
+void Scheduler::drain_shards_locked() {
+  if (staged_.load() == 0) return;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    while (!shard->staged.empty()) {
+      queue_.push_back(std::move(shard->staged.front()));
+      shard->staged.pop_front();
+      staged_.fetch_sub(1);
+    }
+  }
 }
 
 util::Expected<RunHandle> Scheduler::submit(RunSpec spec) {
@@ -203,49 +273,47 @@ util::Expected<RunHandle> Scheduler::resubmit_recovered(
 
 util::Expected<RunHandle> Scheduler::admit(RunSpec spec, bool rate_limited,
                                            std::uint64_t recovered_seq) {
-  TicketPtr ticket;
-  // Phase 1 (under mu_): degradation-ladder checks, then reserve a queue
-  // slot.  The reservation keeps concurrent submitters from
-  // oversubscribing the queue while phase 2 runs unlocked.
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) {
-      ++stats_.rejected;
-      rejected_counter().add();
-      return util::Status::unavailable("scheduler is shutting down");
-    }
-    if (rate_limited) {
-      if (util::Status limited = check_rate_limit(spec.tenant);
-          !limited.is_ok())
-        return limited;
-    }
-    if (queue_.size() + reserved_ >= config_.queue_capacity) {
-      ++stats_.rejected;
-      ++stats_.shed_queue_full;
-      rejected_counter().add();
-      shed_queue_full_counter().add();
-      return unavailable_with_retry_after(
-          "admission queue full (" + std::to_string(queue_.size()) + "/" +
-              std::to_string(config_.queue_capacity) + "); run \"" +
-              spec.name + "\" shed",
-          config_.shed_retry_after_ms);
-    }
-    ++reserved_;
-    ticket = std::make_shared<detail::Ticket>();
-    ticket->spec = std::move(spec);
-    ticket->journal_seq = recovered_seq;
+  // Phase 1 (shard-local): degradation-ladder checks, then reserve a
+  // queue slot with one atomic fetch-add.  The reservation keeps
+  // concurrent submitters from oversubscribing the queue while phase 2
+  // runs unlocked; nothing here touches the central dispatch lock.
+  if (shutdown_.load()) {
+    n_rejected_.fetch_add(1);
+    rejected_counter().add();
+    return shutting_down_status();
   }
+  Shard& shard = shard_for(spec.tenant);
+  if (rate_limited) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (util::Status limited = check_rate_limit(shard, spec.tenant);
+        !limited.is_ok())
+      return limited;
+  }
+  if (!try_reserve()) {
+    n_rejected_.fetch_add(1);
+    n_shed_queue_full_.fetch_add(1);
+    rejected_counter().add();
+    shed_queue_full_counter().add();
+    return shed_status(util::StatusCode::kUnavailable, ShedReason::kQueueFull,
+                       "admission queue full (" +
+                           std::to_string(queue_depth()) + "/" +
+                           std::to_string(config_.queue_capacity) +
+                           "); run \"" + spec.name + "\" shed",
+                       config_.shed_retry_after_ms);
+  }
+  auto ticket = std::make_shared<detail::Ticket>();
+  ticket->spec = std::move(spec);
+  ticket->journal_seq = recovered_seq;
 
   // Phase 2 (unlocked): the durable append — group-commit fsync happens
-  // here, so the scheduler lock is never held across disk I/O.  Recovered
+  // here, so no scheduler lock is ever held across disk I/O.  Recovered
   // runs keep their original pending record instead of appending again.
   if (config_.journal != nullptr && recovered_seq == 0) {
     util::Expected<std::uint64_t> seq = config_.journal->append(ticket->spec);
     if (!seq) {
-      std::lock_guard<std::mutex> lock(mu_);
-      --reserved_;
-      ++stats_.rejected;
-      ++stats_.shed_journal;
+      release_reservation();
+      n_rejected_.fetch_add(1);
+      n_shed_journal_.fetch_add(1);
       rejected_counter().add();
       shed_journal_counter().add();
       return seq.status();
@@ -253,27 +321,144 @@ util::Expected<RunHandle> Scheduler::admit(RunSpec spec, bool rate_limited,
     ticket->journal_seq = seq.value();
   }
 
-  // Phase 3 (under mu_): convert the reservation into a queue entry.
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    --reserved_;
-    if (shutdown_) {
-      // Shut down while appending: the journal keeps the pending record,
-      // so a restart recovers the run instead of losing it silently.
-      ++stats_.rejected;
-      rejected_counter().add();
-      return util::Status::unavailable("scheduler is shutting down");
-    }
-    ticket->sequence = next_sequence_++;
-    ticket->submitted_at = std::chrono::steady_clock::now();
-    queue_.push_back(ticket);
-    ++stats_.submitted;
-    stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
-    queue_depth_gauge().set(static_cast<double>(queue_.size()));
-    maybe_dispatch();
+  // Phase 3 (shard-local): convert the reservation into a staged ticket.
+  if (!stage(shard, ticket)) {
+    // Shut down while appending: the journal keeps the pending record,
+    // so a restart recovers the run instead of losing it silently.
+    release_reservation();
+    n_rejected_.fetch_add(1);
+    rejected_counter().add();
+    return shutting_down_status();
   }
-  submitted_counter().add();
+  kick_dispatch();
   return RunHandle(std::move(ticket), this);
+}
+
+std::vector<util::Expected<RunHandle>> Scheduler::submit_batch(
+    std::vector<RunSpec> specs) {
+  const std::size_t n = specs.size();
+  std::vector<util::Expected<RunHandle>> results;
+  results.reserve(n);
+  if (n == 0) return results;
+  n_batches_.fetch_add(1);
+  n_batch_specs_.fetch_add(n);
+  batches_counter().add();
+  batch_specs_counter().add(n);
+  for (std::size_t i = 0; i < n; ++i)
+    results.emplace_back(util::Status::unavailable("batch slot unresolved"));
+
+  // Coalesce: duplicates of the same journal_key with bitwise-identical
+  // encoded payloads (and the same trace object) attach to the first
+  // occurrence's execution.  Custom workloads never coalesce — their
+  // callables are not part of the encoding, so two specs could encode
+  // equal yet run different code.
+  std::vector<std::size_t> primary(n);
+  std::vector<std::vector<std::uint8_t>> encoded;
+  std::map<std::string, std::size_t> first_by_key;
+  if (config_.coalesce_batches) encoded.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    primary[i] = i;
+    if (!config_.coalesce_batches) continue;
+    if (specs[i].kind == WorkloadKind::kCustom) continue;
+    encoded[i] = encode_run_spec(specs[i]);
+    const auto [it, fresh] = first_by_key.emplace(specs[i].journal_key(), i);
+    if (!fresh) {
+      const std::size_t j = it->second;
+      if (specs[i].trace == specs[j].trace && encoded[i] == encoded[j]) {
+        primary[i] = j;
+        n_coalesced_.fetch_add(1);
+        coalesced_counter().add();
+      }
+    }
+  }
+
+  // Per-item admission: rate limit + slot reservation.  A shed item's
+  // slot carries its own status while the rest of the batch proceeds.
+  struct Pending {
+    std::size_t index;
+    TicketPtr ticket;
+    Shard* shard;
+  };
+  std::vector<Pending> admitted;
+  admitted.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (primary[i] != i) continue;  // follower: fans out below
+    if (shutdown_.load()) {
+      n_rejected_.fetch_add(1);
+      rejected_counter().add();
+      results[i] = shutting_down_status();
+      continue;
+    }
+    Shard& shard = shard_for(specs[i].tenant);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (util::Status limited = check_rate_limit(shard, specs[i].tenant);
+          !limited.is_ok()) {
+        results[i] = std::move(limited);
+        continue;
+      }
+    }
+    if (!try_reserve()) {
+      n_rejected_.fetch_add(1);
+      n_shed_queue_full_.fetch_add(1);
+      rejected_counter().add();
+      shed_queue_full_counter().add();
+      results[i] = shed_status(
+          util::StatusCode::kUnavailable, ShedReason::kQueueFull,
+          "admission queue full (" + std::to_string(queue_depth()) + "/" +
+              std::to_string(config_.queue_capacity) + "); run \"" +
+              specs[i].name + "\" shed",
+          config_.shed_retry_after_ms);
+      continue;
+    }
+    auto ticket = std::make_shared<detail::Ticket>();
+    ticket->spec = std::move(specs[i]);
+    admitted.push_back(Pending{i, std::move(ticket), &shard});
+  }
+
+  // ONE WAL append + ONE group-commit fsync for the whole admitted set.
+  // Saturation sheds the set all-or-nothing so no half of a batch is
+  // durable while its other half never existed.
+  if (config_.journal != nullptr && !admitted.empty()) {
+    std::vector<const RunSpec*> jspecs;
+    jspecs.reserve(admitted.size());
+    for (const Pending& p : admitted) jspecs.push_back(&p.ticket->spec);
+    util::Expected<std::vector<std::uint64_t>> seqs =
+        config_.journal->append_batch(jspecs);
+    if (!seqs) {
+      for (const Pending& p : admitted) {
+        release_reservation();
+        n_rejected_.fetch_add(1);
+        n_shed_journal_.fetch_add(1);
+        rejected_counter().add();
+        shed_journal_counter().add();
+        results[p.index] = seqs.status();
+      }
+      admitted.clear();
+    } else {
+      for (std::size_t k = 0; k < admitted.size(); ++k)
+        admitted[k].ticket->journal_seq = seqs.value()[k];
+    }
+  }
+
+  // Stage in index order so admission sequences match N single submits.
+  for (const Pending& p : admitted) {
+    if (!stage(*p.shard, p.ticket)) {
+      release_reservation();
+      n_rejected_.fetch_add(1);
+      rejected_counter().add();
+      results[p.index] = shutting_down_status();
+      continue;
+    }
+    results[p.index] = RunHandle(p.ticket, this);
+  }
+  if (!admitted.empty()) kick_dispatch();
+
+  // Fan each primary's result — handle or shed status — out to its
+  // coalesced followers.
+  for (std::size_t i = 0; i < n; ++i)
+    if (primary[i] != i) results[i] = results[primary[i]];
+  return results;
 }
 
 void Scheduler::set_tenant_weight(const std::string& tenant, double weight) {
@@ -283,20 +468,35 @@ void Scheduler::set_tenant_weight(const std::string& tenant, double weight) {
 
 void Scheduler::drain() {
   std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+  idle_cv_.wait(lock, [&] {
+    return staged_.load() == 0 && queue_.empty() && running_.load() == 0;
+  });
 }
 
 SchedulerStats Scheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  SchedulerStats out = stats_;
-  out.queue_p50_s = percentile(queue_latencies_s_, 0.50);
-  out.queue_p99_s = percentile(queue_latencies_s_, 0.99);
+  SchedulerStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = terminal_stats_;
+    out.queue_p50_s = percentile(queue_latencies_s_, 0.50);
+    out.queue_p99_s = percentile(queue_latencies_s_, 0.99);
+  }
+  out.submitted = n_submitted_.load();
+  out.rejected = n_rejected_.load();
+  out.shed_queue_full = n_shed_queue_full_.load();
+  out.shed_rate_limited = n_shed_rate_limited_.load();
+  out.shed_journal = n_shed_journal_.load();
+  out.batches = n_batches_.load();
+  out.batch_specs = n_batch_specs_.load();
+  out.coalesced = n_coalesced_.load();
+  out.peak_queue_depth = peak_queue_depth_.load();
   return out;
 }
 
 std::size_t Scheduler::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  const std::size_t occupied = occupied_.load();
+  const std::size_t reserved = reserved_.load();
+  return occupied > reserved ? occupied - reserved : 0;
 }
 
 Scheduler::TicketPtr Scheduler::pick_next() {
@@ -331,11 +531,14 @@ Scheduler::TicketPtr Scheduler::pick_next() {
 }
 
 void Scheduler::maybe_dispatch() {
-  while (running_ < workers() && !queue_.empty()) {
+  drain_shards_locked();
+  while (running_.load() < workers() && !queue_.empty()) {
     TicketPtr ticket = pick_next();
-    queue_depth_gauge().set(static_cast<double>(queue_.size()));
-    ++running_;
-    stats_.peak_running = std::max(stats_.peak_running, running_);
+    occupied_.fetch_sub(1);
+    queue_depth_gauge().set(static_cast<double>(queue_depth()));
+    running_.fetch_add(1);
+    terminal_stats_.peak_running =
+        std::max(terminal_stats_.peak_running, running_.load());
     const double queued_s = seconds_since(ticket->submitted_at);
     queue_latencies_s_.push_back(queued_s);
     // Pre-dispatch: the executor (and any waiter, via the terminal-state
@@ -455,9 +658,11 @@ void Scheduler::execute(const TicketPtr& ticket) {
     outcome.usage = account->usage();
     outcome.budget_throttled = account->throttled();
     if (status.is_ok() && account->should_stop())
-      status = resource_exhausted_with_retry_after(
-          "run \"" + spec.name + "\": " + account->violation(),
-          config_.shed_retry_after_ms);
+      status = shed_status(util::StatusCode::kResourceExhausted,
+                           ShedReason::kBudgetExhausted,
+                           "run \"" + spec.name + "\": " +
+                               account->violation(),
+                           config_.shed_retry_after_ms);
     config_.accountant->close(account);
   }
 
@@ -491,18 +696,21 @@ void Scheduler::finish(const TicketPtr& ticket, RunOutcome outcome) {
   if (config_.journal != nullptr && ticket->journal_seq != 0)
     config_.journal->tombstone(ticket->journal_seq);
   std::lock_guard<std::mutex> lock(mu_);
-  --running_;
+  // Decrement before the dispatch sweep: a submitter that staged while we
+  // held every slot either gets drained below or observes the lowered
+  // running_ and kicks dispatch itself — no staged ticket is orphaned.
+  running_.fetch_sub(1);
   inflight_.erase(std::find(inflight_.begin(), inflight_.end(), ticket));
   switch (outcome.state) {
-    case RunState::kCompleted: ++stats_.completed; break;
-    case RunState::kFailed: ++stats_.failed; break;
-    case RunState::kCancelled: ++stats_.cancelled; break;
+    case RunState::kCompleted: ++terminal_stats_.completed; break;
+    case RunState::kFailed: ++terminal_stats_.failed; break;
+    case RunState::kCancelled: ++terminal_stats_.cancelled; break;
     default: break;
   }
   if (outcome.state == RunState::kFailed &&
       outcome.status.code() == util::StatusCode::kResourceExhausted)
-    ++stats_.budget_killed;
-  if (outcome.budget_throttled) ++stats_.budget_throttled;
+    ++terminal_stats_.budget_killed;
+  if (outcome.budget_throttled) ++terminal_stats_.budget_throttled;
   {
     std::lock_guard<std::mutex> ticket_lock(ticket->mu);
     ticket->state = outcome.state;
@@ -517,11 +725,15 @@ bool Scheduler::cancel_ticket(const TicketPtr& ticket) {
   bool withdrawn = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // The ticket may still sit in a shard staging queue — centralize
+    // first so the withdraw scan sees it.
+    drain_shards_locked();
     const auto it = std::find(queue_.begin(), queue_.end(), ticket);
     if (it != queue_.end()) {
       queue_.erase(it);
-      queue_depth_gauge().set(static_cast<double>(queue_.size()));
-      ++stats_.cancelled;
+      occupied_.fetch_sub(1);
+      queue_depth_gauge().set(static_cast<double>(queue_depth()));
+      ++terminal_stats_.cancelled;
       {
         std::lock_guard<std::mutex> ticket_lock(ticket->mu);
         ticket->cancel.store(true, std::memory_order_relaxed);

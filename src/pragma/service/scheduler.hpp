@@ -10,6 +10,44 @@
 // tenant and FIFO tie-breaking, so one chatty tenant cannot starve the
 // rest and ordering stays deterministic.
 //
+// Admission is *sharded*: tenants hash onto admission shards, each with
+// its own mutex guarding that shard's token buckets and staging queue, so
+// concurrent submitters no longer serialize on one global lock.  Capacity
+// is a single atomic occupancy counter; the central fair-share state
+// (tenant weights, dispatched counts, the dispatch queue) stays under one
+// mutex but is only touched when a worker slot is actually free.  The
+// fair-share pick compares *fields* (tenant share, priority, admission
+// sequence), never queue position, so draining shard staging queues into
+// the dispatch queue in any order preserves the exact dispatch order of
+// the unsharded scheduler.
+//
+// submit_batch() admits N specs in one call: per-item rate-limit and
+// capacity decisions (a shed item's slot carries its own status while the
+// rest proceed), ONE write-ahead-journal append + ONE group-commit fsync
+// for the whole admitted set (see Journal::append_batch), and coalescing
+// of identical specs — duplicates of the same journal_key with identical
+// encoded payloads attach to one execution and every returned RunHandle
+// observes that shared outcome.
+//
+// Shed ladder classification (every admission-time rejection carries a
+// machine-readable " [shed=<reason>]" tag — decode with shed_info() from
+// admission.hpp; " [retry_after_ms=N]" hints remain for the legacy
+// retry_after_ms() parser):
+//
+//   reason             | status code        | retry? | hint
+//   -------------------+--------------------+--------+--------------------
+//   rate-limited       | kUnavailable       | yes    | token deficit
+//   queue-full         | kUnavailable       | yes    | shed_retry_after_ms
+//   journal-saturated  | kUnavailable       | yes    | journal config hint
+//   payload-too-large  | kOutOfRange        | no     | none (spec too big)
+//   budget-exhausted   | kResourceExhausted | yes    | shed_retry_after_ms
+//   shutting-down      | kUnavailable       | no     | none (terminal)
+//
+// Rejections that are *not* admission sheds keep their own codes and stay
+// untagged — e.g. agents::MessageCenter::register_port collision returns
+// kFailedPrecondition (a wiring error; retrying cannot help), and
+// shed_info().retryable() correctly refuses to retry it.
+//
 // Isolation: every run executes in its own core::ManagedRun /
 // core::TraceRunner instance — its own discrete-event simulator, cluster
 // model, message center, and seeded RNG streams — so N concurrent runs
@@ -33,6 +71,7 @@
 #include <string>
 #include <vector>
 
+#include "pragma/service/admission.hpp"
 #include "pragma/service/run_spec.hpp"
 #include "pragma/util/status.hpp"
 #include "pragma/util/thread_pool.hpp"
@@ -40,81 +79,6 @@
 namespace pragma::service {
 
 class Journal;
-
-enum class RunState { kQueued, kRunning, kCompleted, kFailed, kCancelled };
-
-[[nodiscard]] const char* to_string(RunState state);
-[[nodiscard]] constexpr bool is_terminal(RunState state) {
-  return state == RunState::kCompleted || state == RunState::kFailed ||
-         state == RunState::kCancelled;
-}
-
-/// Everything a finished run produced.  Exactly one of the per-kind
-/// payloads is meaningful, selected by the spec's WorkloadKind.
-struct RunOutcome {
-  RunState state = RunState::kQueued;
-  util::Status status;  ///< non-ok explains kFailed
-  core::ManagedRunReport managed;
-  core::RunSummary replay;
-  core::SystemSensitiveResult system_sensitive;
-  double queue_s = 0.0;  ///< admission -> dispatch wall time
-  double exec_s = 0.0;   ///< dispatch -> completion wall time
-  /// The run finished under a throttle-action budget violation (it ran to
-  /// completion, slowed by ResourceBudget::throttle_factor).
-  bool budget_throttled = false;
-  /// Per-run resource usage (all-zero when no accountant is configured).
-  res::ResourceUsage usage;
-};
-
-class Scheduler;
-
-namespace detail {
-/// Shared state of one submitted run.  Lock ordering: a thread holding
-/// Scheduler::mu_ may take Ticket::mu, never the reverse.
-struct Ticket {
-  RunSpec spec;
-  std::uint64_t sequence = 0;
-  /// Journal sequence of this run's pending record (0 = not journaled);
-  /// the terminal-state transition appends the matching tombstone.
-  std::uint64_t journal_seq = 0;
-  std::chrono::steady_clock::time_point submitted_at;
-  std::mutex mu;
-  std::condition_variable cv;
-  RunState state = RunState::kQueued;  // guarded by mu
-  RunOutcome outcome;                  // stable once state is terminal
-  std::atomic<bool> cancel{false};
-  core::ManagedRun* active = nullptr;  // guarded by mu; only while running
-};
-}  // namespace detail
-
-/// Async handle to a submitted run: status, cooperative cancel, blocking
-/// join.  Copyable; all copies observe the same run.
-class RunHandle {
- public:
-  RunHandle() = default;
-
-  [[nodiscard]] bool valid() const { return ticket_ != nullptr; }
-  [[nodiscard]] const std::string& name() const;
-  [[nodiscard]] RunState state() const;
-  [[nodiscard]] bool done() const { return is_terminal(state()); }
-
-  /// Request cancellation.  Queued runs are withdrawn immediately; running
-  /// ones stop at their next cooperative boundary.  Returns false when the
-  /// run had already reached a terminal state.
-  bool cancel();
-
-  /// Block until the run reaches a terminal state.  The returned reference
-  /// stays valid for the handle's lifetime.
-  const RunOutcome& wait();
-
- private:
-  friend class Scheduler;
-  RunHandle(std::shared_ptr<detail::Ticket> ticket, Scheduler* scheduler)
-      : ticket_(std::move(ticket)), scheduler_(scheduler) {}
-
-  std::shared_ptr<detail::Ticket> ticket_;
-  Scheduler* scheduler_ = nullptr;
-};
 
 /// Per-tenant token-bucket admission rate limit, checked *ahead* of
 /// fair-share: fair-share balances tenants already admitted, the bucket
@@ -133,6 +97,15 @@ struct SchedulerConfig {
   /// Bounded admission queue: submissions beyond this many *queued* runs
   /// are shed with Status::unavailable.
   std::size_t queue_capacity = 64;
+  /// Admission shards: tenants hash onto shards, each with its own lock,
+  /// so concurrent submitters contend per shard instead of globally.
+  /// 0 = auto (min(8, hardware threads)); 1 = the unsharded layout.
+  std::size_t admission_shards = 0;
+  /// Coalesce identical specs inside one submit_batch() call: duplicates
+  /// of the same journal_key with identical encoded payloads share one
+  /// execution (and one journal record); every handle observes the shared
+  /// outcome.  Single submit() calls never coalesce.
+  bool coalesce_batches = true;
   /// Per-tenant token bucket (first rung of the degradation ladder).
   TenantRateLimit rate_limit = {};
   /// Retry-after hint attached to queue-full sheds (the rate-limit shed
@@ -158,6 +131,9 @@ struct SchedulerStats {
   std::size_t shed_queue_full = 0;
   std::size_t shed_rate_limited = 0;
   std::size_t shed_journal = 0;  ///< journal saturated / payload rejected
+  std::size_t batches = 0;       ///< submit_batch() calls
+  std::size_t batch_specs = 0;   ///< specs that arrived via submit_batch()
+  std::size_t coalesced = 0;     ///< duplicates attached to a primary run
   std::size_t completed = 0;
   std::size_t failed = 0;
   std::size_t cancelled = 0;
@@ -169,24 +145,30 @@ struct SchedulerStats {
   double queue_p99_s = 0.0;
 };
 
-class Scheduler {
+class Scheduler : public Admission, public detail::TicketOwner {
  public:
   /// `pool` must outlive the scheduler; null uses util::shared_pool().
   explicit Scheduler(SchedulerConfig config = {},
                      util::ThreadPool* pool = nullptr);
   /// Cancels queued runs, requests cancellation of running ones, and
   /// waits for everything in flight to finish.
-  ~Scheduler();
+  ~Scheduler() override;
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Admit a run.  Fails with Status::unavailable when the tenant's rate
   /// limit, the admission queue, or the journal sheds it (backpressure:
-  /// the status carries a retry-after hint — see retry_after_ms() in
-  /// journal.hpp).  When a journal is configured, the pending record is
-  /// durable before this returns.
-  [[nodiscard]] util::Expected<RunHandle> submit(RunSpec spec);
+  /// the status carries a ShedInfo reason tag and a retry-after hint —
+  /// see shed_info() in admission.hpp).  When a journal is configured,
+  /// the pending record is durable before this returns.
+  [[nodiscard]] util::Expected<RunHandle> submit(RunSpec spec) override;
+
+  /// Admit a batch: one WAL append + one fsync for every admitted spec,
+  /// per-item shed statuses, identical specs coalesced onto one
+  /// execution.  Results are positional: results[i] belongs to specs[i].
+  [[nodiscard]] std::vector<util::Expected<RunHandle>> submit_batch(
+      std::vector<RunSpec> specs) override;
 
   /// Resubmit a journal-recovered run under its original journal
   /// sequence: skips the rate limiter (the run was already admitted once)
@@ -203,20 +185,54 @@ class Scheduler {
 
   [[nodiscard]] SchedulerStats stats() const;
   [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
 
  private:
-  friend class RunHandle;
   using TicketPtr = std::shared_ptr<detail::Ticket>;
 
+  struct TokenBucket {
+    double tokens = 0.0;
+    bool primed = false;
+    std::chrono::steady_clock::time_point last_refill;
+  };
+  /// One admission shard.  Its mutex guards the staging queue and the
+  /// token buckets of every tenant that hashes here.  Lock order:
+  /// mu_ may be held when taking a shard mutex (the dispatch drain),
+  /// never the reverse — a submitter releases the shard before kicking
+  /// dispatch.
+  struct Shard {
+    std::mutex mu;
+    std::deque<TicketPtr> staged;
+    std::map<std::string, TokenBucket> buckets;
+  };
+
   [[nodiscard]] std::size_t workers() const;
+  [[nodiscard]] Shard& shard_for(const std::string& tenant);
   /// submit()/resubmit_recovered() body.
   [[nodiscard]] util::Expected<RunHandle> admit(RunSpec spec,
                                                 bool rate_limited,
                                                 std::uint64_t recovered_seq);
-  /// Token-bucket check for `tenant`.  Requires mu_.  Returns ok or the
-  /// shed status with a computed retry-after hint.
-  [[nodiscard]] util::Status check_rate_limit(const std::string& tenant);
+  /// Token-bucket check for `tenant`.  Requires shard.mu.  Returns ok or
+  /// the shed status with a computed retry-after hint.
+  [[nodiscard]] util::Status check_rate_limit(Shard& shard,
+                                              const std::string& tenant);
+  /// Claim one queue slot against queue_capacity (single atomic
+  /// fetch-add); false = queue full.  A successful reservation is
+  /// released by stage(), release_reservation(), or ticket doom.
+  [[nodiscard]] bool try_reserve();
+  void release_reservation();
+  /// Convert a reservation into a staged ticket: assign its admission
+  /// sequence and push it onto the shard's staging queue.  Returns false
+  /// when shutdown raced the staging (the caller resolves the shed; a
+  /// journaled record stays live for recovery).
+  [[nodiscard]] bool stage(Shard& shard, const TicketPtr& ticket);
+  /// Lock-free fast path: only take mu_ (and dispatch) when a worker
+  /// slot might be free.
+  void kick_dispatch();
+  /// Move every staged ticket into the central dispatch queue.  Requires
+  /// mu_ (takes each shard mutex inside).
+  void drain_shards_locked();
   /// Dispatch queued tickets while worker slots are free.  Requires mu_.
   void maybe_dispatch();
   /// Remove and return the fair-share pick.  Requires mu_; queue_ must be
@@ -225,32 +241,48 @@ class Scheduler {
   /// Pool-thread body: execute one run and publish its outcome.
   void execute(const TicketPtr& ticket);
   void finish(const TicketPtr& ticket, RunOutcome outcome);
-  bool cancel_ticket(const TicketPtr& ticket);
+  bool cancel_ticket(const TicketPtr& ticket) override;
 
   SchedulerConfig config_;
   util::ThreadPool* pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex mu_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> next_sequence_{0};
+  /// staged + centrally queued + reserved (journal append in flight) —
+  /// the whole capacity check is one fetch-add on this counter.
+  std::atomic<std::size_t> occupied_{0};
+  /// Reservations whose journal append is still in flight (subset of
+  /// occupied_); queue_depth() = occupied_ - reserved_.
+  std::atomic<std::size_t> reserved_{0};
+  /// Tickets sitting in shard staging queues (subset of occupied_); lets
+  /// the dispatcher skip the shard sweep when nothing is staged.
+  std::atomic<std::size_t> staged_{0};
+  std::atomic<std::size_t> running_{0};
+
+  // Admission-side counters: bumped from shard context without mu_.
+  std::atomic<std::size_t> n_submitted_{0};
+  std::atomic<std::size_t> n_rejected_{0};
+  std::atomic<std::size_t> n_shed_queue_full_{0};
+  std::atomic<std::size_t> n_shed_rate_limited_{0};
+  std::atomic<std::size_t> n_shed_journal_{0};
+  std::atomic<std::size_t> n_batches_{0};
+  std::atomic<std::size_t> n_batch_specs_{0};
+  std::atomic<std::size_t> n_coalesced_{0};
+  std::atomic<std::size_t> peak_queue_depth_{0};
+
+  mutable std::mutex mu_;  ///< dispatch queue + fair-share + terminal stats
   std::condition_variable idle_cv_;
   std::deque<TicketPtr> queue_;
   std::vector<TicketPtr> inflight_;
-  std::size_t running_ = 0;
-  bool shutdown_ = false;
-  std::uint64_t next_sequence_ = 0;
-  /// Admissions past the capacity check but not yet enqueued (their
-  /// journal append runs outside mu_); counted against queue_capacity so
-  /// concurrent submitters cannot oversubscribe the queue.
-  std::size_t reserved_ = 0;
   struct Tenant {
     double weight = 1.0;
     std::uint64_t dispatched = 0;
-    // Token bucket (meaningful only when rate_limit.rate_per_s > 0).
-    double tokens = 0.0;
-    bool bucket_primed = false;
-    std::chrono::steady_clock::time_point last_refill;
   };
   std::map<std::string, Tenant> tenants_;
-  SchedulerStats stats_;
+  /// Terminal-side counters (completed/failed/cancelled/budget/peaks),
+  /// guarded by mu_.
+  SchedulerStats terminal_stats_;
   std::vector<double> queue_latencies_s_;
 };
 

@@ -2,13 +2,25 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
-#include "pragma/service/journal.hpp"
+#include "pragma/service/admission.hpp"
 
 namespace pragma::service {
+
+namespace {
+
+/// The wait before one retry round: the shed hint when present,
+/// otherwise the exponential schedule; always capped.
+int retry_wait_ms(int hint_ms, int next_wait_ms, int cap_ms) {
+  return std::min(hint_ms > 0 ? hint_ms : next_wait_ms, cap_ms);
+}
+
+}  // namespace
 
 util::Expected<RunHandle> submit_with_retry(Runtime& runtime, RunSpec spec,
                                             RetryBackoff backoff) {
@@ -17,17 +29,47 @@ util::Expected<RunHandle> submit_with_retry(Runtime& runtime, RunSpec spec,
   util::Expected<RunHandle> handle = runtime.submit(spec);
   for (int attempt = 1; !handle && attempt < backoff.max_attempts;
        ++attempt) {
-    const util::StatusCode code = handle.status().code();
-    if (code != util::StatusCode::kUnavailable &&
-        code != util::StatusCode::kResourceExhausted)
+    if (!ShedInfo::retryable(handle.status()))
       break;  // not backpressure — retrying cannot help
-    const int hint = retry_after_ms(handle.status());
-    const int wait_ms = std::min(hint > 0 ? hint : next_wait_ms, cap_ms);
+    const ShedInfo info = shed_info(handle.status());
+    const int wait_ms = retry_wait_ms(info.retry_after_ms, next_wait_ms,
+                                      cap_ms);
     std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
     next_wait_ms = std::min(next_wait_ms * 2, cap_ms);
     handle = runtime.submit(spec);
   }
   return handle;
+}
+
+std::vector<util::Expected<RunHandle>> submit_batch_with_retry(
+    Runtime& runtime, std::vector<RunSpec> specs, RetryBackoff backoff) {
+  const int cap_ms = std::max(backoff.cap_ms, 1);
+  int next_wait_ms = std::max(backoff.base_ms, 1);
+  // The batch is submitted from a kept copy: shed slots need their spec
+  // again on the next round.
+  std::vector<util::Expected<RunHandle>> results =
+      runtime.submit_batch(specs);
+  for (int attempt = 1; attempt < backoff.max_attempts; ++attempt) {
+    std::vector<std::size_t> shed;
+    int hint_ms = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (results[i] || !ShedInfo::retryable(results[i].status())) continue;
+      shed.push_back(i);
+      hint_ms = std::max(hint_ms, shed_info(results[i].status()).retry_after_ms);
+    }
+    if (shed.empty()) break;
+    const int wait_ms = retry_wait_ms(hint_ms, next_wait_ms, cap_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+    next_wait_ms = std::min(next_wait_ms * 2, cap_ms);
+    std::vector<RunSpec> again;
+    again.reserve(shed.size());
+    for (const std::size_t i : shed) again.push_back(specs[i]);
+    std::vector<util::Expected<RunHandle>> redo =
+        runtime.submit_batch(std::move(again));
+    for (std::size_t k = 0; k < shed.size(); ++k)
+      results[shed[k]] = std::move(redo[k]);
+  }
+  return results;
 }
 
 namespace {

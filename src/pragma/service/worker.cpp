@@ -229,7 +229,8 @@ void Worker::run_slice() {
       // Kill-action budget violation: the run stopped at a step boundary
       // inside this slice.  Shed it — no further slices.
       outcome.state = RunState::kFailed;
-      outcome.status = resource_exhausted_with_retry_after(
+      outcome.status = shed_status(
+          util::StatusCode::kResourceExhausted, ShedReason::kBudgetExhausted,
           "run \"" + spec->name + "\": " + account->violation(),
           kBudgetShedRetryAfterMs);
       outcome.usage = account->usage();
@@ -338,7 +339,8 @@ void Worker::execute_unsliced(const RunSpec& spec) {
     outcome.usage = account->usage();
     outcome.budget_throttled = account->throttled();
     if (status.is_ok() && account->should_stop())
-      status = resource_exhausted_with_retry_after(
+      status = shed_status(
+          util::StatusCode::kResourceExhausted, ShedReason::kBudgetExhausted,
           "run \"" + spec.name + "\": " + account->violation(),
           kBudgetShedRetryAfterMs);
     coordinator_.config().accountant->close(account);
@@ -457,8 +459,17 @@ void DistributedService::schedule_partition(double from_s, double until_s,
   });
 }
 
-util::Expected<std::uint64_t> DistributedService::submit(RunSpec spec) {
+util::Expected<RunHandle> DistributedService::submit_run(RunSpec spec) {
   return coordinator_->submit(std::move(spec));
+}
+
+std::vector<util::Expected<RunHandle>> DistributedService::submit_batch(
+    std::vector<RunSpec> specs) {
+  return coordinator_->submit_batch(std::move(specs));
+}
+
+util::Expected<std::uint64_t> DistributedService::submit(RunSpec spec) {
+  return coordinator_->submit_id(std::move(spec));
 }
 
 util::Status DistributedService::run_until_done(double max_sim_s) {

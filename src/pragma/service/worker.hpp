@@ -153,6 +153,16 @@ class DistributedService {
   void schedule_partition(double from_s, double until_s,
                           std::vector<std::string> workers);
 
+  /// Admit a run through the coordinator's Admission surface.  The
+  /// handle resolves while run_until_done pumps the simulator; wait() on
+  /// it only after the burst finishes (single-threaded simulation).
+  [[nodiscard]] util::Expected<RunHandle> submit_run(RunSpec spec);
+  /// Batched admission (forwards to Coordinator::submit_batch).
+  [[nodiscard]] std::vector<util::Expected<RunHandle>> submit_batch(
+      std::vector<RunSpec> specs);
+
+  /// \deprecated Pre-Admission shim returning the raw DistRun id; new
+  /// code uses submit_run() and RunHandle::id().  Kept for one release.
   [[nodiscard]] util::Expected<std::uint64_t> submit(RunSpec spec);
 
   /// Drive the simulation until every submitted run is terminal (ok) or
